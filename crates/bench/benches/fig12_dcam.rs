@@ -1,0 +1,76 @@
+//! Figure 12(b): dCAM computation time while varying (b.1) the number of
+//! dimensions, (b.2) the series length, and (b.3) the number of
+//! permutations `k` (§5.7).
+//!
+//! Paper shape: superlinear in `D` (the cube is `D²·n` and every
+//! permutation costs a forward pass), linear in `|T|` and in `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dcam::arch::cnn;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::{InputEncoding, ModelScale};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::SeededRng;
+
+fn series(d: usize, n: usize) -> MultivariateSeries {
+    let mut rng = SeededRng::new(1);
+    let rows: Vec<Vec<f32>> =
+        (0..d).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+fn cfg(k: usize) -> DcamConfig {
+    DcamConfig { k, only_correct: false, seed: 3, ..Default::default() }
+}
+
+fn bench_vs_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12b1_dcam_vs_dims");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &d in &[5usize, 10, 20] {
+        let s = series(d, 64);
+        let mut rng = SeededRng::new(0);
+        let mut model = cnn(InputEncoding::Dcnn, d, 2, ModelScale::Tiny, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| compute_dcam(&mut model, &s, 0, &cfg(8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12b2_dcam_vs_length");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &n in &[32usize, 64, 128, 256] {
+        let s = series(8, n);
+        let mut rng = SeededRng::new(0);
+        let mut model = cnn(InputEncoding::Dcnn, 8, 2, ModelScale::Tiny, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compute_dcam(&mut model, &s, 0, &cfg(8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12b3_dcam_vs_k");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let s = series(8, 64);
+    let mut rng = SeededRng::new(0);
+    let mut model = cnn(InputEncoding::Dcnn, 8, 2, ModelScale::Tiny, &mut rng);
+    for &k in &[4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| compute_dcam(&mut model, &s, 0, &cfg(k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_dims, bench_vs_length, bench_vs_k);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Figure 12(a): training execution time for one epoch while varying the
+//! series length (a.1) and the number of dimensions (a.2), for all conv
+//! architecture families (§5.7).
+//!
+//! Paper shape: time grows with both knobs; the c- and d-variants of one
+//! family cost about the same per epoch; the d-variants pay an extra factor
+//! from the `(D, D, n)` cube (`O(ℓ·|T|·D²)` per kernel vs `O(ℓ·|T|·D)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dcam::model::{ArchKind, Classifier};
+use dcam::train::encode_dataset;
+use dcam::ModelScale;
+use dcam_nn::layers::Layer;
+use dcam_nn::loss::softmax_cross_entropy;
+use dcam_nn::optim::{Adam, Optimizer};
+use dcam_nn::trainer::stack;
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+use dcam_tensor::Tensor;
+
+const METHODS: [ArchKind; 9] = [
+    ArchKind::Cnn,
+    ArchKind::CCnn,
+    ArchKind::DCnn,
+    ArchKind::ResNet,
+    ArchKind::CResNet,
+    ArchKind::DResNet,
+    ArchKind::InceptionTime,
+    ArchKind::CInceptionTime,
+    ArchKind::DInceptionTime,
+];
+
+fn dataset(d: usize, len: usize) -> dcam_series::Dataset {
+    let mut cfg = InjectConfig::new(SeedKind::StarLight, DatasetType::Type1, d);
+    cfg.n_per_class = 2; // one mini-batch of 4 per "epoch" measurement
+    cfg.series_len = len;
+    cfg.pattern_len = (len / 4).max(8);
+    generate(&cfg)
+}
+
+/// One optimizer step over a batch of 4: the unit the paper's per-epoch
+/// timing scales with.
+fn train_step(clf: &mut Classifier, batch: &Tensor, labels: &[usize], opt: &mut Adam) {
+    clf.zero_grads();
+    let logits = clf.forward(batch, true);
+    let (_, grad) = softmax_cross_entropy(&logits, labels);
+    clf.backward(&grad);
+    opt.step(clf);
+}
+
+fn bench_vs_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a1_train_vs_length");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &len in &[32usize, 64, 128] {
+        let ds = dataset(10, len);
+        for kind in METHODS {
+            let set = encode_dataset(&ds, kind.encoding());
+            let refs: Vec<&Tensor> = set.inputs.iter().collect();
+            let batch = stack(&refs);
+            let labels = set.labels.clone();
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), len),
+                &len,
+                |b, _| {
+                    let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
+                    let mut opt = Adam::new(0.01);
+                    b.iter(|| train_step(&mut clf, &batch, &labels, &mut opt));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vs_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a2_train_vs_dims");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &d in &[5usize, 10, 20] {
+        let ds = dataset(d, 64);
+        for kind in METHODS {
+            let set = encode_dataset(&ds, kind.encoding());
+            let refs: Vec<&Tensor> = set.inputs.iter().collect();
+            let batch = stack(&refs);
+            let labels = set.labels.clone();
+            group.bench_with_input(BenchmarkId::new(kind.name(), d), &d, |b, _| {
+                let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
+                let mut opt = Adam::new(0.01);
+                b.iter(|| train_step(&mut clf, &batch, &labels, &mut opt));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_length, bench_vs_dims);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Method-agnostic attribution extraction: given any trained classifier of
+//! the study and an instance, produce the explanation map the paper scores
+//! (CAM / cCAM / dCAM / MTEX-grad) and its `Dr-acc`.
+
+use dcam::cam::cam;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::model::{ArchKind, Classifier};
+use dcam::InputEncoding;
+use dcam_eval::{dr_acc, dr_acc_univariate};
+use dcam_series::{GroundTruthMask, MultivariateSeries};
+use dcam_tensor::Tensor;
+
+/// An attribution produced by one of the study's explanation methods.
+pub enum Attribution {
+    /// Dimension-wise map `(D, n)` (cCAM, dCAM, MTEX-grad).
+    PerDimension(Tensor),
+    /// Univariate map of length `n` (plain CAM) — scored by broadcasting to
+    /// all dimensions, as the paper does for the starred Table-3 rows.
+    Univariate(Vec<f32>),
+}
+
+/// Computes the explanation of `series` for `class` using the method that
+/// belongs to `kind` (§5.2: CAM for plain, cCAM for c-, dCAM for d-,
+/// grad-CAM for MTEX). Recurrent baselines have no attribution method.
+pub fn attribution_for(
+    kind: ArchKind,
+    clf: &mut Classifier,
+    series: &MultivariateSeries,
+    class: usize,
+    dcam_cfg: &DcamConfig,
+) -> Option<Attribution> {
+    match kind.encoding() {
+        InputEncoding::Rnn => None,
+        InputEncoding::Dcnn => {
+            let gap = clf.as_gap_mut().expect("d-architecture is GAP-headed");
+            let result = compute_dcam(gap, series, class, dcam_cfg);
+            Some(Attribution::PerDimension(result.dcam))
+        }
+        InputEncoding::Ccnn => {
+            if kind == ArchKind::Mtex {
+                let mtex = clf.as_mtex_mut().expect("MTEX classifier");
+                let x = InputEncoding::Ccnn.encode(series);
+                let mut dims = vec![1usize];
+                dims.extend_from_slice(x.dims());
+                let xb = x.reshape(&dims).expect("batch of one");
+                let maps = mtex.grad_cam(&xb, class);
+                Some(Attribution::PerDimension(maps.combined))
+            } else {
+                let gap = clf.as_gap_mut().expect("c-architecture is GAP-headed");
+                Some(Attribution::PerDimension(cam(gap, series, class).map))
+            }
+        }
+        InputEncoding::Cnn => {
+            let gap = clf.as_gap_mut().expect("plain architecture is GAP-headed");
+            let map = cam(gap, series, class).map;
+            Some(Attribution::Univariate(map.into_vec()))
+        }
+    }
+}
+
+/// `Dr-acc` of `kind`'s explanation on one instance with known ground truth.
+pub fn dr_acc_of_method(
+    kind: ArchKind,
+    clf: &mut Classifier,
+    series: &MultivariateSeries,
+    mask: &GroundTruthMask,
+    class: usize,
+    dcam_cfg: &DcamConfig,
+) -> Option<f32> {
+    match attribution_for(kind, clf, series, class, dcam_cfg)? {
+        Attribution::PerDimension(map) => Some(dr_acc(&map, mask.tensor())),
+        Attribution::Univariate(cam) => Some(dr_acc_univariate(&cam, mask.tensor())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam::ModelScale;
+    use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+    use dcam_series::synth::seeds::SeedKind;
+
+    fn dataset() -> dcam_series::Dataset {
+        let mut cfg = InjectConfig::new(SeedKind::Shapes, DatasetType::Type1, 4);
+        cfg.n_per_class = 4;
+        cfg.series_len = 48;
+        cfg.pattern_len = 12;
+        generate(&cfg)
+    }
+
+    #[test]
+    fn every_method_yields_expected_attribution_shape() {
+        let ds = dataset();
+        let idx = ds.class_indices(1)[0];
+        let series = &ds.samples[idx];
+        let mask = ds.masks[idx].as_ref().unwrap();
+        let cfg = DcamConfig { k: 4, only_correct: false, ..Default::default() };
+        for kind in ArchKind::ALL {
+            let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
+            let attr = attribution_for(kind, &mut clf, series, 1, &cfg);
+            match (kind.encoding(), attr) {
+                (InputEncoding::Rnn, None) => {}
+                (InputEncoding::Cnn, Some(Attribution::Univariate(v))) => {
+                    assert_eq!(v.len(), 48, "{}", kind.name());
+                }
+                (_, Some(Attribution::PerDimension(m))) => {
+                    assert_eq!(m.dims(), &[4, 48], "{}", kind.name());
+                }
+                _ => panic!("unexpected attribution for {}", kind.name()),
+            }
+            // Dr-acc is defined (or None for recurrents) and within [0, 1].
+            let mut clf2 = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
+            match dr_acc_of_method(kind, &mut clf2, series, mask, 1, &cfg) {
+                Some(v) => assert!((0.0..=1.0).contains(&v), "{}: {v}", kind.name()),
+                None => assert_eq!(kind.encoding(), InputEncoding::Rnn),
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 10: influence of the number of permutations `k` on `Dr-acc`
+//! (§5.5), plus the number of permutations needed to reach 90 % of the
+//! best `Dr-acc` as `D` grows.
+//!
+//! Paper shape being reproduced: `Dr-acc` rises with `k` and saturates;
+//! more dimensions require more permutations to converge; dResNet /
+//! dInceptionTime converge faster than dCNN.
+//!
+//! Run: `cargo run --release -p dcam-bench --bin fig10 -- [--quick|--full]`
+
+use dcam::dcam::DcamConfig;
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, Protocol};
+use dcam::ModelScale;
+use dcam_bench::attribution::dr_acc_of_method;
+use dcam_bench::harness::{parse_scale, write_json, RunScale};
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    method: String,
+    dataset_type: String,
+    dims: usize,
+    k_values: Vec<usize>,
+    dr_acc: Vec<f32>,
+    k_to_90pct: Option<usize>,
+}
+
+fn main() {
+    let scale = parse_scale();
+    let (dims_grid, k_values, n_instances, model_scale, epochs, n_per_class) = match scale {
+        RunScale::Quick => (
+            vec![6usize],
+            vec![1usize, 2, 4, 8, 16, 32, 64],
+            6usize,
+            ModelScale::Small,
+            30usize,
+            50usize,
+        ),
+        RunScale::Full => (
+            vec![10, 20, 40, 60],
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 200, 400],
+            15,
+            ModelScale::Small,
+            50,
+            40,
+        ),
+    };
+    let methods = [ArchKind::DCnn, ArchKind::DResNet, ArchKind::DInceptionTime];
+
+    let mut all_series: Vec<Series> = Vec::new();
+    println!("=== Figure 10: Dr-acc vs number of permutations k ({}) ===", scale.name());
+
+    for dataset_type in [DatasetType::Type1, DatasetType::Type2] {
+        for &d in &dims_grid {
+            let mut cfg = InjectConfig::new(SeedKind::Shapes, dataset_type, d);
+            cfg.n_per_class = n_per_class;
+            cfg.series_len = 64;
+            cfg.pattern_len = 16;
+            cfg.amplitude = 2.0;
+            cfg.seed = 31;
+            let train_ds = generate(&cfg);
+            let mut test_cfg = cfg.clone();
+            test_cfg.seed = 1031;
+            test_cfg.n_per_class = n_instances.max(4);
+            let test_ds = generate(&test_cfg);
+
+            for kind in methods {
+                let protocol =
+                    Protocol { epochs, patience: epochs / 3, seed: 3, ..Default::default() };
+                let (mut clf, _) = build_and_train(kind, &train_ds, model_scale, &protocol);
+
+                let mut dr_per_k = Vec::with_capacity(k_values.len());
+                for &k in &k_values {
+                    let dcam_cfg = DcamConfig { k, seed: 17, ..Default::default() };
+                    let mut drs = Vec::new();
+                    for &i in test_ds.class_indices(1).iter().take(n_instances) {
+                        let mask = test_ds.masks[i].as_ref().unwrap();
+                        if let Some(v) = dr_acc_of_method(
+                            kind,
+                            &mut clf,
+                            &test_ds.samples[i],
+                            mask,
+                            1,
+                            &dcam_cfg,
+                        ) {
+                            drs.push(v);
+                        }
+                    }
+                    dr_per_k.push(drs.iter().sum::<f32>() / drs.len().max(1) as f32);
+                }
+                let best = dr_per_k.iter().copied().fold(0.0f32, f32::max);
+                let k_to_90 = k_values
+                    .iter()
+                    .zip(&dr_per_k)
+                    .find(|(_, &v)| v >= 0.9 * best)
+                    .map(|(&k, _)| k);
+                println!(
+                    "{:<8} {:<14} D={:<4} Dr-acc(k): {:?}  k@90%: {:?}",
+                    dataset_type.name(),
+                    kind.name(),
+                    d,
+                    dr_per_k.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+                    k_to_90
+                );
+                all_series.push(Series {
+                    method: kind.name().to_string(),
+                    dataset_type: dataset_type.name().to_string(),
+                    dims: d,
+                    k_values: k_values.clone(),
+                    dr_acc: dr_per_k,
+                    k_to_90pct: k_to_90,
+                });
+            }
+        }
+    }
+
+    write_json("fig10", scale, &all_series);
+}

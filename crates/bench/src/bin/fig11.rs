@@ -1,0 +1,145 @@
+//! Figure 11: the coupling between classification accuracy (`C-acc`),
+//! explanation accuracy (`Dr-acc`) and the correctly-classified-permutation
+//! ratio `n_g/k` (§5.6).
+//!
+//! Paper shape being reproduced: (1) `Dr-acc` grows with `C-acc`
+//! (log-like), (2) `n_g/k` grows with `Dr-acc`, (3) `n_g/k` is roughly
+//! linear in `C-acc` for accurate models — so `n_g/k` works as a label-free
+//! proxy for explanation quality.
+//!
+//! Model quality is varied by training each d-architecture with several
+//! epoch budgets (under-trained → converged), mirroring the paper's spread
+//! of model accuracies across datasets.
+//!
+//! Run: `cargo run --release -p dcam-bench --bin fig11 -- [--quick|--full]`
+
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, test_accuracy, Protocol};
+use dcam::ModelScale;
+use dcam_bench::harness::{parse_scale, write_json, RunScale};
+use dcam_eval::dr_acc;
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    method: String,
+    dataset_type: String,
+    dims: usize,
+    epochs: usize,
+    c_acc: f32,
+    dr_acc: f32,
+    ng_ratio: f32,
+}
+
+fn main() {
+    let scale = parse_scale();
+    let (dims_grid, epoch_budgets, n_instances, k, model_scale) = match scale {
+        RunScale::Quick => {
+            (vec![6usize], vec![2usize, 8, 25], 4usize, 24usize, ModelScale::Small)
+        }
+        RunScale::Full => (
+            vec![10, 20, 40],
+            vec![2, 5, 10, 20, 40, 80],
+            10,
+            100,
+            ModelScale::Small,
+        ),
+    };
+    let methods = [ArchKind::DCnn, ArchKind::DResNet, ArchKind::DInceptionTime];
+
+    let mut points: Vec<Point> = Vec::new();
+    println!("=== Figure 11: C-acc vs Dr-acc vs ng/k ({}) ===", scale.name());
+    println!(
+        "{:<14}{:<8}{:>4}{:>8} | {:>7} {:>7} {:>7}",
+        "method", "type", "D", "epochs", "C-acc", "Dr-acc", "ng/k"
+    );
+
+    for dataset_type in [DatasetType::Type1, DatasetType::Type2] {
+        for &d in &dims_grid {
+            let mut cfg = InjectConfig::new(SeedKind::StarLight, dataset_type, d);
+            cfg.n_per_class = 50;
+            cfg.series_len = 64;
+            cfg.pattern_len = 16;
+            cfg.amplitude = 2.0;
+            cfg.seed = 41;
+            let train_ds = generate(&cfg);
+            let mut test_cfg = cfg.clone();
+            test_cfg.seed = 1041;
+            test_cfg.n_per_class = 10;
+            let test_ds = generate(&test_cfg);
+
+            for kind in methods {
+                for &epochs in &epoch_budgets {
+                    let protocol = Protocol {
+                        epochs,
+                        patience: epochs,
+                        seed: 23,
+                        ..Default::default()
+                    };
+                    let (mut clf, _) =
+                        build_and_train(kind, &train_ds, model_scale, &protocol);
+                    let c_acc = test_accuracy(&mut clf, &test_ds, 8);
+
+                    let gap = clf.as_gap_mut().expect("d-architecture");
+                    let dcam_cfg = DcamConfig { k, seed: 29, ..Default::default() };
+                    let mut drs = Vec::new();
+                    let mut ngs = Vec::new();
+                    for &i in test_ds.class_indices(1).iter().take(n_instances) {
+                        let mask = test_ds.masks[i].as_ref().unwrap();
+                        let result =
+                            compute_dcam(gap, &test_ds.samples[i], 1, &dcam_cfg);
+                        drs.push(dr_acc(&result.dcam, mask.tensor()));
+                        ngs.push(result.ng_ratio());
+                    }
+                    let dr = drs.iter().sum::<f32>() / drs.len().max(1) as f32;
+                    let ng = ngs.iter().sum::<f32>() / ngs.len().max(1) as f32;
+                    println!(
+                        "{:<14}{:<8}{:>4}{:>8} | {:>7.2} {:>7.3} {:>7.2}",
+                        kind.name(),
+                        dataset_type.name(),
+                        d,
+                        epochs,
+                        c_acc,
+                        dr,
+                        ng
+                    );
+                    points.push(Point {
+                        method: kind.name().to_string(),
+                        dataset_type: dataset_type.name().to_string(),
+                        dims: d,
+                        epochs,
+                        c_acc,
+                        dr_acc: dr,
+                        ng_ratio: ng,
+                    });
+                }
+            }
+        }
+    }
+
+    // Correlations over the pooled points (the trends of Fig. 11 panels).
+    let corr = |xs: &[f32], ys: &[f32]| -> f32 {
+        let n = xs.len() as f32;
+        let mx = xs.iter().sum::<f32>() / n;
+        let my = ys.iter().sum::<f32>() / n;
+        let cov: f32 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f32 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f32 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        if vx <= 0.0 || vy <= 0.0 {
+            0.0
+        } else {
+            cov / (vx.sqrt() * vy.sqrt())
+        }
+    };
+    let c: Vec<f32> = points.iter().map(|p| p.c_acc).collect();
+    let dr: Vec<f32> = points.iter().map(|p| p.dr_acc).collect();
+    let ng: Vec<f32> = points.iter().map(|p| p.ng_ratio).collect();
+    println!("\ncorr(C-acc, Dr-acc) = {:.3}", corr(&c, &dr));
+    println!("corr(ng/k,  Dr-acc) = {:.3}", corr(&ng, &dr));
+    println!("corr(C-acc, ng/k)   = {:.3}", corr(&c, &ng));
+
+    write_json("fig11", scale, &points);
+}

@@ -1,0 +1,110 @@
+//! Figure 12(c): training convergence — epochs and wall-clock time to reach
+//! 90 % of the best loss, as the number of dimensions grows (§5.7).
+//!
+//! Paper shape being reproduced: c- and d-variants need a similar total
+//! training *time*, while the plain baselines need more *epochs* than the
+//! d-methods (the `C(T)` cube exposes `D` permutations per instance, so
+//! dCNN effectively sees more data per epoch).
+//!
+//! Run: `cargo run --release -p dcam-bench --bin fig12_convergence -- [--quick|--full]`
+
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, Protocol};
+use dcam::ModelScale;
+use dcam_bench::harness::{parse_scale, timed, write_json, RunScale};
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    dims: usize,
+    epochs_to_90pct: Option<usize>,
+    epochs_run: usize,
+    total_secs: f64,
+    secs_per_epoch: f64,
+    best_val_loss: f32,
+    underfit_or_overfit: bool,
+}
+
+fn main() {
+    let scale = parse_scale();
+    let (dims_grid, epochs, model_scale) = match scale {
+        RunScale::Quick => (vec![6usize, 10], 25usize, ModelScale::Tiny),
+        RunScale::Full => (vec![10, 20, 40, 60, 100], 50, ModelScale::Small),
+    };
+    let methods = [
+        ArchKind::Cnn,
+        ArchKind::CCnn,
+        ArchKind::DCnn,
+        ArchKind::ResNet,
+        ArchKind::CResNet,
+        ArchKind::DResNet,
+        ArchKind::InceptionTime,
+        ArchKind::CInceptionTime,
+        ArchKind::DInceptionTime,
+    ];
+
+    println!("=== Figure 12(c): convergence to 90% of best loss ({}) ===", scale.name());
+    println!(
+        "{:<16}{:>4} | {:>10} {:>8} {:>9} {:>10}",
+        "method", "D", "epochs@90%", "epochs", "total(s)", "s/epoch"
+    );
+
+    let mut rows = Vec::new();
+    for &d in &dims_grid {
+        // Type-1 ShapesAll-like datasets, as in the paper's Fig. 12(c).
+        let mut cfg = InjectConfig::new(SeedKind::Shapes, DatasetType::Type1, d);
+        cfg.n_per_class = 25;
+        cfg.series_len = 64;
+        cfg.pattern_len = 16;
+        cfg.amplitude = 2.0;
+        cfg.seed = 53;
+        let train_ds = generate(&cfg);
+
+        for kind in methods {
+            let protocol = Protocol {
+                epochs,
+                patience: epochs, // no early stop: we time the loss curve
+                seed: 7,
+                ..Default::default()
+            };
+            let ((_, outcome), secs) =
+                timed(|| build_and_train(kind, &train_ds, model_scale, &protocol));
+            let to90 = outcome.history.epochs_to_fraction_of_best(0.9);
+            let run = outcome.history.epochs_run;
+            // The paper marks models whose first-epoch loss already equals
+            // the best loss (under/overfitting) with a red dot.
+            let flat = outcome
+                .history
+                .val_loss
+                .first()
+                .zip(outcome.history.val_loss.iter().copied().reduce(f32::min))
+                .map(|(first, best)| (first - best).abs() < 0.05 * first.abs().max(1e-6))
+                .unwrap_or(true);
+            println!(
+                "{:<16}{:>4} | {:>10} {:>8} {:>9.1} {:>10.3}{}",
+                kind.name(),
+                d,
+                to90.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                run,
+                secs,
+                secs / run.max(1) as f64,
+                if flat { "  (under/overfit)" } else { "" }
+            );
+            rows.push(Row {
+                method: kind.name().to_string(),
+                dims: d,
+                epochs_to_90pct: to90,
+                epochs_run: run,
+                total_secs: secs,
+                secs_per_epoch: secs / run.max(1) as f64,
+                best_val_loss: outcome.val_loss,
+                underfit_or_overfit: flat,
+            });
+        }
+    }
+
+    write_json("fig12_convergence", scale, &rows);
+}

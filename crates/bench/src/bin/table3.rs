@@ -1,0 +1,200 @@
+//! Table 3 + Figure 9: `C-acc` and `Dr-acc` on Type-1/Type-2 synthetic
+//! datasets while the number of dimensions grows.
+//!
+//! Paper shape being reproduced (§5.4):
+//! * every method classifies Type 1 nearly perfectly at low `D`;
+//! * plain ResNet and MTEX collapse on Type 2 as `D` grows, while the
+//!   d-architectures stay accurate far longer;
+//! * cCAM wins `Dr-acc` on Type 1 but falls to the random baseline on
+//!   Type 2; dCAM is the only method strong on both;
+//! * univariate CAM (starred) is near-random everywhere.
+//!
+//! Run: `cargo run --release -p dcam-bench --bin table3 -- [--quick|--full]`
+
+use dcam::dcam::DcamConfig;
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, test_accuracy, Protocol};
+use dcam::ModelScale;
+use dcam_bench::harness::{cell, parse_scale, timed, write_json, RunScale};
+use dcam_bench::attribution::dr_acc_of_method;
+use dcam_eval::{average_ranks, dr_acc_random};
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    dataset_type: String,
+    dims: usize,
+    method: String,
+    c_acc: f32,
+    dr_acc: f32,
+    dr_random: f32,
+    train_secs: f64,
+}
+
+fn main() {
+    let scale = parse_scale();
+    let (kinds, dims_grid, n_per_class, series_len, pattern_len, k, n_dr, model_scale, epochs) =
+        match scale {
+            RunScale::Quick => (
+                vec![SeedKind::StarLight],
+                vec![6usize, 10],
+                40usize,
+                64usize,
+                16usize,
+                24usize,
+                8usize,
+                ModelScale::Small,
+                25usize,
+            ),
+            RunScale::Full => (
+                vec![SeedKind::StarLight, SeedKind::Shapes],
+                vec![10, 20, 40, 60, 100],
+                50,
+                96,
+                16,
+                100,
+                20,
+                ModelScale::Small,
+                60,
+            ),
+        };
+    let methods = [
+        ArchKind::Mtex,
+        ArchKind::ResNet,
+        ArchKind::CResNet,
+        ArchKind::DCnn,
+        ArchKind::DResNet,
+        ArchKind::DInceptionTime,
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    println!("=== Table 3: C-acc and Dr-acc on synthetic datasets ({}) ===", scale.name());
+    println!(
+        "{:<16}{:<8}{:>5} | {:>22} | {:>22}",
+        "dataset", "type", "D", "C-acc per method", "Dr-acc per method"
+    );
+
+    for &seed_kind in &kinds {
+        for dataset_type in [DatasetType::Type1, DatasetType::Type2] {
+            for &d in &dims_grid {
+                let mut cfg = InjectConfig::new(seed_kind, dataset_type, d);
+                cfg.n_per_class = n_per_class;
+                cfg.series_len = series_len;
+                cfg.pattern_len = pattern_len;
+                cfg.amplitude = 2.0;
+                cfg.seed = 77;
+                let train_ds = generate(&cfg);
+                // "We generate a fully new test dataset" (§5.2): fresh draws
+                // from the same construction.
+                let mut test_cfg = cfg.clone();
+                test_cfg.seed = 1077;
+                test_cfg.n_per_class = n_per_class / 2;
+                let test_ds = generate(&test_cfg);
+
+                let mut c_cells = String::new();
+                let mut dr_cells = String::new();
+                let mut dr_random_avg = 0.0f32;
+                for kind in methods {
+                    let protocol = Protocol {
+                        epochs,
+                        patience: epochs / 2,
+                        seed: 7,
+                        ..Default::default()
+                    };
+                    let ((mut clf, _outcome), secs) =
+                        timed(|| build_and_train(kind, &train_ds, model_scale, &protocol));
+                    let c_acc = test_accuracy(&mut clf, &test_ds, 8);
+
+                    // Dr-acc over class-1 test instances with masks.
+                    let dcam_cfg = DcamConfig { k, seed: 11, ..Default::default() };
+                    let mut drs = Vec::new();
+                    let mut randoms = Vec::new();
+                    for &i in test_ds.class_indices(1).iter().take(n_dr) {
+                        let mask = test_ds.masks[i].as_ref().expect("class-1 mask");
+                        if let Some(v) = dr_acc_of_method(
+                            kind,
+                            &mut clf,
+                            &test_ds.samples[i],
+                            mask,
+                            1,
+                            &dcam_cfg,
+                        ) {
+                            drs.push(v);
+                        }
+                        randoms.push(dr_acc_random(mask.tensor()));
+                    }
+                    let dr = if drs.is_empty() {
+                        f32::NAN
+                    } else {
+                        drs.iter().sum::<f32>() / drs.len() as f32
+                    };
+                    dr_random_avg =
+                        randoms.iter().sum::<f32>() / randoms.len().max(1) as f32;
+                    c_cells.push_str(&format!("{} ", cell(c_acc)));
+                    dr_cells.push_str(&format!("{} ", cell(dr)));
+                    rows.push(Row {
+                        dataset: seed_kind.name().to_string(),
+                        dataset_type: dataset_type.name().to_string(),
+                        dims: d,
+                        method: kind.name().to_string(),
+                        c_acc,
+                        dr_acc: dr,
+                        dr_random: dr_random_avg,
+                        train_secs: secs,
+                    });
+                }
+                println!(
+                    "{:<16}{:<8}{:>5} | {} | {} rnd {:.3}",
+                    seed_kind.name(),
+                    dataset_type.name(),
+                    d,
+                    c_cells,
+                    dr_cells,
+                    dr_random_avg
+                );
+            }
+        }
+    }
+
+    // Rank summary (methods ranked per configuration, as in the paper).
+    let method_names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+    let mut c_scores: Vec<Vec<f32>> = Vec::new();
+    let mut dr_scores: Vec<Vec<f32>> = Vec::new();
+    for chunk in rows.chunks(methods.len()) {
+        c_scores.push(chunk.iter().map(|r| r.c_acc).collect());
+        dr_scores.push(chunk.iter().map(|r| r.dr_acc).collect());
+    }
+    println!("\nmethods: {method_names:?}");
+    println!("C-acc mean ranks:  {:?}", average_ranks(&c_scores));
+    println!("Dr-acc mean ranks: {:?}", average_ranks(&dr_scores));
+
+    // Figure 9 series: averaged C-acc / Dr-acc per (type, method, D).
+    println!("\n=== Figure 9 series (averaged over seed datasets) ===");
+    for dataset_type in ["Type 1", "Type 2"] {
+        for (mi, m) in method_names.iter().enumerate() {
+            let series: Vec<(usize, f32, f32)> = dims_grid
+                .iter()
+                .map(|&d| {
+                    let sel: Vec<&Row> = rows
+                        .iter()
+                        .filter(|r| {
+                            r.dims == d
+                                && r.dataset_type == dataset_type
+                                && r.method == methods[mi].name()
+                        })
+                        .collect();
+                    let c = sel.iter().map(|r| r.c_acc).sum::<f32>() / sel.len().max(1) as f32;
+                    let dr =
+                        sel.iter().map(|r| r.dr_acc).sum::<f32>() / sel.len().max(1) as f32;
+                    (d, c, dr)
+                })
+                .collect();
+            println!("{dataset_type:<7} {m:<14} {series:?}");
+        }
+    }
+
+    write_json("table3", scale, &rows);
+}

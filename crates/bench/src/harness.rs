@@ -1,0 +1,109 @@
+//! Shared experiment plumbing: scale flags, result serialization, timing.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Experiment scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Reduced grid that completes in minutes on a laptop CPU.
+    Quick,
+    /// The closest practical approximation of the paper's grid.
+    Full,
+}
+
+impl RunScale {
+    /// Scale name for output files.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunScale::Quick => "quick",
+            RunScale::Full => "full",
+        }
+    }
+}
+
+/// Parses `--quick` / `--full` from `std::env::args` (default: quick).
+pub fn parse_scale() -> RunScale {
+    let mut scale = RunScale::Quick;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--full" => scale = RunScale::Full,
+            "--help" | "-h" => {
+                eprintln!("usage: <experiment> [--quick|--full]");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    scale
+}
+
+/// Directory where experiment JSON lands (`results/` at the workspace root,
+/// falling back to the current directory).
+pub fn results_dir() -> PathBuf {
+    let candidates = [PathBuf::from("results"), PathBuf::from("../../results")];
+    for c in &candidates {
+        if c.is_dir() {
+            return c.clone();
+        }
+    }
+    std::fs::create_dir_all("results").ok();
+    PathBuf::from("results")
+}
+
+/// Serializes an experiment result as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, scale: RunScale, value: &T) {
+    let path = results_dir().join(format!("{}-{}.json", name, scale.name()));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("results written to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Runs `f`, returning its output and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats a float cell to two decimals, using `-` for NaN.
+pub fn cell(v: f32) -> String {
+    if v.is_nan() {
+        "  -  ".into()
+    } else {
+        format!("{v:5.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_names() {
+        assert_eq!(RunScale::Quick.name(), "quick");
+        assert_eq!(RunScale::Full.name(), "full");
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(0.5), " 0.50");
+        assert_eq!(cell(f32::NAN), "  -  ");
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

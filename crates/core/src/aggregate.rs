@@ -1,0 +1,162 @@
+//! Dataset-level aggregation of per-instance dCAMs (paper §4.6, §5.8).
+//!
+//! "When analyzing sets of series, we can use dCAM on each one
+//! independently, and then aggregate the dCAM results to identify global
+//! discriminant features." The paper's Fig. 13 derives (c) the distribution
+//! of each sensor's maximal activation and (d) the average activation per
+//! sensor per gesture window.
+
+use dcam_tensor::Tensor;
+
+/// Per-dimension maxima of one attribution map: Fig. 13(c)'s statistic for
+/// one instance.
+pub fn max_per_dimension(map: &Tensor) -> Vec<f32> {
+    let d = map.dims()[0];
+    (0..d)
+        .map(|i| map.row(i).expect("row").iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        .collect()
+}
+
+/// Box-plot style summary of a sample of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f32,
+    /// First quartile.
+    pub q1: f32,
+    /// Median.
+    pub median: f32,
+    /// Third quartile.
+    pub q3: f32,
+    /// Maximum.
+    pub max: f32,
+}
+
+/// Computes the five-number summary of a non-empty sample.
+pub fn summarize(values: &[f32]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |frac: f32| -> f32 {
+        let pos = frac * (v.len() - 1) as f32;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let w = pos - lo as f32;
+        v[lo] * (1.0 - w) + v[hi] * w
+    };
+    Summary { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: v[v.len() - 1] }
+}
+
+/// Fig. 13(c): distribution of per-dimension maximal activation across a
+/// set of attribution maps. Returns one [`Summary`] per dimension.
+pub fn max_activation_distribution(maps: &[Tensor]) -> Vec<Summary> {
+    assert!(!maps.is_empty(), "need at least one map");
+    let d = maps[0].dims()[0];
+    let mut per_dim: Vec<Vec<f32>> = vec![Vec::with_capacity(maps.len()); d];
+    for map in maps {
+        assert_eq!(map.dims()[0], d, "maps must share dimensionality");
+        for (dim, v) in max_per_dimension(map).into_iter().enumerate() {
+            per_dim[dim].push(v);
+        }
+    }
+    per_dim.iter().map(|vals| summarize(vals)).collect()
+}
+
+/// Fig. 13(d): average activation per dimension per window (e.g. gesture
+/// segments). Returns a `(D, windows.len())` tensor.
+pub fn mean_activation_per_window(maps: &[Tensor], windows: &[(usize, usize)]) -> Tensor {
+    assert!(!maps.is_empty() && !windows.is_empty());
+    let d = maps[0].dims()[0];
+    let mut out = Tensor::zeros(&[d, windows.len()]);
+    for map in maps {
+        assert_eq!(map.dims()[0], d);
+        let n = map.dims()[1];
+        for dim in 0..d {
+            let row = map.row(dim).expect("row");
+            for (wi, &(s, e)) in windows.iter().enumerate() {
+                let e = e.min(n);
+                assert!(s < e, "empty window {wi}");
+                let mean: f32 = row[s..e].iter().sum::<f32>() / (e - s) as f32;
+                out.data_mut()[dim * windows.len() + wi] += mean / maps.len() as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Ranks dimensions by their mean maximal activation (descending): the
+/// "most discriminant sensors" list of §5.8.
+pub fn rank_dimensions(maps: &[Tensor]) -> Vec<(usize, f32)> {
+    assert!(!maps.is_empty());
+    let d = maps[0].dims()[0];
+    let mut means = vec![0.0f32; d];
+    for map in maps {
+        for (dim, v) in max_per_dimension(map).into_iter().enumerate() {
+            means[dim] += v / maps.len() as f32;
+        }
+    }
+    let mut ranked: Vec<(usize, f32)> = means.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(rows: &[&[f32]]) -> Tensor {
+        let d = rows.len();
+        let n = rows[0].len();
+        let mut data = Vec::new();
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(data, &[d, n]).unwrap()
+    }
+
+    #[test]
+    fn max_per_dimension_basic() {
+        let m = map(&[&[1.0, 5.0, 2.0], &[0.0, -1.0, -2.0]]);
+        assert_eq!(max_per_dimension(&m), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn distribution_identifies_hot_dimension() {
+        let maps: Vec<Tensor> = (0..5)
+            .map(|i| {
+                map(&[
+                    &[0.1, 0.2, 0.1],
+                    &[1.0 + i as f32 * 0.1, 2.0, 1.5], // dimension 1 is hot
+                ])
+            })
+            .collect();
+        let dist = max_activation_distribution(&maps);
+        assert!(dist[1].median > dist[0].median * 3.0);
+        let ranked = rank_dimensions(&maps);
+        assert_eq!(ranked[0].0, 1);
+    }
+
+    #[test]
+    fn window_means() {
+        let maps = vec![map(&[&[1.0, 1.0, 3.0, 3.0]])];
+        let out = mean_activation_per_window(&maps, &[(0, 2), (2, 4)]);
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summarize_rejects_empty() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,83 @@
+//! The CNN family: CNN / cCNN / dCNN (paper §2.1, §4.2, §5.2).
+//!
+//! Five convolutional layers with batch norm and ReLU, a GAP layer and a
+//! dense classifier. The paper uses filter counts (64, 128, 256, 256, 256)
+//! and kernel size 3; the `Small`/`Tiny` presets shrink widths for CPU runs.
+
+use super::{GapClassifier, InputEncoding, ModelScale};
+use dcam_nn::layers::{BatchNorm, Conv2dRows, Dense, Relu, Sequential};
+use dcam_tensor::SeededRng;
+
+fn filter_plan(scale: ModelScale) -> Vec<usize> {
+    match scale {
+        ModelScale::Paper => vec![64, 128, 256, 256, 256],
+        ModelScale::Small => vec![16, 24, 32, 32],
+        ModelScale::Tiny => vec![6, 8],
+    }
+}
+
+/// Builds a CNN/cCNN/dCNN classifier (selected by `encoding`) for a
+/// `D = n_dims` series and `n_classes` outputs.
+pub fn cnn(
+    encoding: InputEncoding,
+    n_dims: usize,
+    n_classes: usize,
+    scale: ModelScale,
+    rng: &mut SeededRng,
+) -> GapClassifier {
+    assert_ne!(encoding, InputEncoding::Rnn, "use `recurrent` for RNN baselines");
+    let kernel = 3;
+    let mut features = Sequential::new();
+    let mut c_in = encoding.in_channels(n_dims);
+    let plan = filter_plan(scale);
+    for &c_out in &plan {
+        features.add(Box::new(Conv2dRows::same(c_in, c_out, kernel, rng)));
+        features.add(Box::new(BatchNorm::new(c_out)));
+        features.add(Box::new(Relu::new()));
+        c_in = c_out;
+    }
+    let head = Dense::new(c_in, n_classes, rng);
+    let name = match encoding {
+        InputEncoding::Cnn => "CNN",
+        InputEncoding::Ccnn => "cCNN",
+        InputEncoding::Dcnn => "dCNN",
+        InputEncoding::Rnn => unreachable!(),
+    };
+    GapClassifier::new(name, encoding, features, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_nn::layers::Layer;
+    use dcam_tensor::Tensor;
+
+    #[test]
+    fn dcnn_forward_backward_smoke() {
+        let mut rng = SeededRng::new(0);
+        let mut clf = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+        let x = Tensor::uniform(&[2, 3, 3, 10], -1.0, 1.0, &mut rng);
+        let y = clf.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 2]);
+        let g = clf.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn scales_order_parameter_counts() {
+        let mut rng = SeededRng::new(1);
+        let mut tiny = cnn(InputEncoding::Cnn, 4, 2, ModelScale::Tiny, &mut rng);
+        let mut small = cnn(InputEncoding::Cnn, 4, 2, ModelScale::Small, &mut rng);
+        assert!(tiny.param_count() < small.param_count());
+    }
+
+    #[test]
+    fn ccnn_has_single_input_channel() {
+        let mut rng = SeededRng::new(2);
+        let mut clf = cnn(InputEncoding::Ccnn, 5, 3, ModelScale::Tiny, &mut rng);
+        // (N, 1, D, W) must be accepted.
+        let x = Tensor::uniform(&[1, 1, 5, 9], -1.0, 1.0, &mut rng);
+        let y = clf.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 3]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The InceptionTime family: InceptionTime / cInceptionTime /
+//! dInceptionTime (paper §2.1, §4.3; Ismail Fawaz et al. 2020).
+//!
+//! Each inception module runs four parallel branches over its input —
+//! a bottleneck 1×1 convolution feeding three convolutions of decreasing
+//! kernel length, plus a max-pool → 1×1 branch — concatenated along the
+//! channel axis and passed through batch norm + ReLU. Residual shortcuts
+//! join every three modules. The `d` variant applies the identical `C(T)`
+//! input transformation as dCNN; the module itself is unchanged.
+
+use super::{GapClassifier, InputEncoding, ModelScale};
+use dcam_nn::layers::{BatchNorm, Conv2dRows, Dense, Layer, MaxPoolW, Relu, Residual, Sequential};
+use dcam_nn::Param;
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Concatenates `(N, C_i, H, W)` tensors along the channel axis.
+fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty());
+    let d0 = parts[0].dims();
+    let (n, h, w) = (d0[0], d0[2], d0[3]);
+    let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    let plane = h * w;
+    for ni in 0..n {
+        let mut c_off = 0;
+        for p in parts {
+            let c = p.dims()[1];
+            assert_eq!(p.dims()[0], n);
+            assert_eq!(&p.dims()[2..], &[h, w], "branch spatial shapes differ");
+            let src = &p.data()[ni * c * plane..(ni + 1) * c * plane];
+            let dst_base = (ni * c_total + c_off) * plane;
+            out.data_mut()[dst_base..dst_base + c * plane].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    out
+}
+
+/// Splits an `(N, C, H, W)` tensor back into channel groups of given sizes.
+fn split_channels(x: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
+    let d = x.dims();
+    let (n, c_total, h, w) = (d[0], d[1], d[2], d[3]);
+    assert_eq!(sizes.iter().sum::<usize>(), c_total);
+    let plane = h * w;
+    let mut outs: Vec<Tensor> =
+        sizes.iter().map(|&c| Tensor::zeros(&[n, c, h, w])).collect();
+    for ni in 0..n {
+        let mut c_off = 0;
+        for (out, &c) in outs.iter_mut().zip(sizes) {
+            let src_base = (ni * c_total + c_off) * plane;
+            let dst_base = ni * c * plane;
+            out.data_mut()[dst_base..dst_base + c * plane]
+                .copy_from_slice(&x.data()[src_base..src_base + c * plane]);
+            c_off += c;
+        }
+    }
+    outs
+}
+
+/// One inception module (four branches, concat, BN, ReLU).
+pub struct InceptionModule {
+    bottleneck: Conv2dRows,
+    convs: Vec<Conv2dRows>,
+    pool: MaxPoolW,
+    pool_conv: Conv2dRows,
+    bn: BatchNorm,
+    relu: Relu,
+    branch_sizes: Vec<usize>,
+}
+
+impl InceptionModule {
+    /// Creates a module with `n_filters` per branch and the given kernel
+    /// lengths (the published module uses {40, 20, 10} at bottleneck 32).
+    pub fn new(
+        c_in: usize,
+        bottleneck: usize,
+        n_filters: usize,
+        kernels: &[usize],
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(!kernels.is_empty());
+        let bottleneck_conv = Conv2dRows::new(c_in, bottleneck, 1, 1, 0, rng);
+        let convs: Vec<Conv2dRows> = kernels
+            .iter()
+            .map(|&k| Conv2dRows::same(bottleneck, n_filters, k, rng))
+            .collect();
+        let pool = MaxPoolW::same3();
+        let pool_conv = Conv2dRows::new(c_in, n_filters, 1, 1, 0, rng);
+        let c_out = n_filters * (kernels.len() + 1);
+        let mut branch_sizes = vec![n_filters; kernels.len()];
+        branch_sizes.push(n_filters);
+        InceptionModule {
+            bottleneck: bottleneck_conv,
+            convs,
+            pool,
+            pool_conv,
+            bn: BatchNorm::new(c_out),
+            relu: Relu::new(),
+            branch_sizes,
+        }
+    }
+
+    /// Output channel count (`n_filters × (|kernels| + 1)`).
+    pub fn out_channels(&self) -> usize {
+        self.branch_sizes.iter().sum()
+    }
+}
+
+impl Layer for InceptionModule {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let b = self.bottleneck.forward(x, train);
+        let mut branches: Vec<Tensor> =
+            self.convs.iter_mut().map(|c| c.forward(&b, train)).collect();
+        let pooled = self.pool.forward(x, train);
+        branches.push(self.pool_conv.forward(&pooled, train));
+        let refs: Vec<&Tensor> = branches.iter().collect();
+        let cat = concat_channels(&refs);
+        let normed = self.bn.forward(&cat, train);
+        self.relu.forward(&normed, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.relu.backward(grad_out);
+        let g = self.bn.backward(&g);
+        let parts = split_channels(&g, &self.branch_sizes);
+        // Conv branches share the bottleneck output.
+        let mut g_b: Option<Tensor> = None;
+        for (conv, gp) in self.convs.iter_mut().zip(&parts) {
+            let gi = conv.backward(gp);
+            match &mut g_b {
+                Some(acc) => acc.add_assign(&gi).expect("bottleneck grads"),
+                None => g_b = Some(gi),
+            }
+        }
+        let mut grad_x = self.bottleneck.backward(&g_b.expect("conv branches"));
+        // Pool branch.
+        let g_pool = self.pool_conv.backward(parts.last().expect("pool part"));
+        let g_pool = self.pool.backward(&g_pool);
+        grad_x.add_assign(&g_pool).expect("input grads");
+        grad_x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.bottleneck.visit_params(f);
+        for c in &mut self.convs {
+            c.visit_params(f);
+        }
+        self.pool_conv.visit_params(f);
+        self.bn.visit_params(f);
+        self.relu.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.bn.visit_buffers(f);
+    }
+}
+
+struct Plan {
+    depth: usize,
+    bottleneck: usize,
+    filters: usize,
+    kernels: Vec<usize>,
+}
+
+fn plan(scale: ModelScale) -> Plan {
+    match scale {
+        ModelScale::Paper => {
+            Plan { depth: 6, bottleneck: 32, filters: 32, kernels: vec![39, 19, 9] }
+        }
+        ModelScale::Small => {
+            Plan { depth: 3, bottleneck: 8, filters: 8, kernels: vec![15, 9, 5] }
+        }
+        ModelScale::Tiny => {
+            Plan { depth: 2, bottleneck: 4, filters: 4, kernels: vec![7, 5, 3] }
+        }
+    }
+}
+
+/// Builds an InceptionTime/cInceptionTime/dInceptionTime classifier
+/// (selected by `encoding`). Residual shortcuts join every 3 modules, as in
+/// the published architecture.
+pub fn inception_time(
+    encoding: InputEncoding,
+    n_dims: usize,
+    n_classes: usize,
+    scale: ModelScale,
+    rng: &mut SeededRng,
+) -> GapClassifier {
+    assert_ne!(encoding, InputEncoding::Rnn, "use `recurrent` for RNN baselines");
+    let p = plan(scale);
+    let mut features = Sequential::new();
+    let mut c_in = encoding.in_channels(n_dims);
+    let mut remaining = p.depth;
+    while remaining > 0 {
+        let group = remaining.min(3);
+        let mut chain = Sequential::new();
+        let group_in = c_in;
+        for _ in 0..group {
+            let module = InceptionModule::new(c_in, p.bottleneck, p.filters, &p.kernels, rng);
+            c_in = module.out_channels();
+            chain.add(Box::new(module));
+        }
+        if group == 3 {
+            // Residual join with projection shortcut (channels change).
+            let mut shortcut = Sequential::new();
+            shortcut.add(Box::new(Conv2dRows::new(group_in, c_in, 1, 1, 0, rng)));
+            shortcut.add(Box::new(BatchNorm::new(c_in)));
+            features.add(Box::new(Residual::with_shortcut(chain, shortcut)));
+            features.add(Box::new(Relu::new()));
+        } else {
+            features.add(Box::new(chain));
+        }
+        remaining -= group;
+    }
+    let head = Dense::new(c_in, n_classes, rng);
+    let name = match encoding {
+        InputEncoding::Cnn => "InceptionTime",
+        InputEncoding::Ccnn => "cInceptionTime",
+        InputEncoding::Dcnn => "dInceptionTime",
+        InputEncoding::Rnn => unreachable!(),
+    };
+    GapClassifier::new(name, encoding, features, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_split_round_trip() {
+        let mut rng = SeededRng::new(0);
+        let a = Tensor::uniform(&[2, 3, 2, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[2, 5, 2, 4], -1.0, 1.0, &mut rng);
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.dims(), &[2, 8, 2, 4]);
+        let parts = split_channels(&cat, &[3, 5]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn module_output_channels() {
+        let mut rng = SeededRng::new(1);
+        let mut m = InceptionModule::new(5, 4, 4, &[7, 5, 3], &mut rng);
+        assert_eq!(m.out_channels(), 16);
+        let x = Tensor::uniform(&[1, 5, 2, 10], -1.0, 1.0, &mut rng);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 16, 2, 10]);
+    }
+
+    #[test]
+    fn module_gradcheck() {
+        let mut rng = SeededRng::new(2);
+        let mut m = InceptionModule::new(2, 3, 3, &[5, 3], &mut rng);
+        let x = Tensor::uniform(&[2, 2, 1, 8], -1.0, 1.0, &mut rng);
+        // Train-mode probe (the module contains BatchNorm, whose eval path
+        // reads running statistics instead of the differentiated batch path).
+        let report = dcam_nn::gradcheck::check_layer_train(&mut m, &x, 1e-2, 7);
+        assert!(
+            report.passes(6e-2),
+            "inception module grads off: param {} input {}",
+            report.max_param_err,
+            report.max_input_err
+        );
+    }
+
+    #[test]
+    fn dinception_forward_backward_smoke() {
+        let mut rng = SeededRng::new(3);
+        let mut clf =
+            inception_time(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+        let x = Tensor::uniform(&[2, 3, 3, 12], -1.0, 1.0, &mut rng);
+        let y = clf.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 2]);
+        let g = clf.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn paper_depth_includes_residual() {
+        let mut rng = SeededRng::new(4);
+        let mut clf =
+            inception_time(InputEncoding::Cnn, 2, 2, ModelScale::Small, &mut rng);
+        // Small: depth 3 -> one residual group; forward must still work.
+        let x = Tensor::uniform(&[1, 2, 1, 20], -1.0, 1.0, &mut rng);
+        let y = clf.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 2]);
+    }
+}

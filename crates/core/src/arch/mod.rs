@@ -1,0 +1,226 @@
+//! The paper's network architectures.
+//!
+//! Three families, each in plain / `c` / `d` variants distinguished *only*
+//! by their input encoding (§4):
+//!
+//! | variant | input                | kernel view        | CAM shape |
+//! |---------|----------------------|--------------------|-----------|
+//! | plain   | `(D, 1, n)`          | `(D, ℓ)` mixes dims| `(n,)`    |
+//! | `c`     | `(1, D, n)`          | `(1, ℓ)` per dim   | `(D, n)`  |
+//! | `d`     | `C(T)` = `(D, D, n)` | `(D, ℓ, 1)` per row| `(D, n)`  |
+//!
+//! plus the recurrent baselines (RNN/GRU/LSTM) and MTEX-CNN.
+
+mod cnn;
+mod inception;
+mod mtex;
+mod recurrent;
+mod resnet;
+
+pub use cnn::cnn;
+pub use inception::{inception_time, InceptionModule};
+pub use mtex::{GradCamMaps, MtexCnn};
+pub use recurrent::{recurrent, RecurrentCell, RecurrentClassifier};
+pub use resnet::resnet;
+
+use dcam_nn::layers::{Dense, GlobalAvgPool, Layer, Sequential};
+use dcam_nn::Param;
+use dcam_series::{cube, MultivariateSeries};
+use dcam_tensor::Tensor;
+
+/// How a multivariate series is presented to a network (paper §2.1–§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputEncoding {
+    /// Standard 1-D CNN view: channels = dimensions, one row.
+    Cnn,
+    /// cCNN view: one channel, rows = dimensions (dimension-independent).
+    Ccnn,
+    /// dCNN view: the `C(T)` cube of §4.2.
+    Dcnn,
+    /// Recurrent view: raw `(D, n)` sequence.
+    Rnn,
+}
+
+impl InputEncoding {
+    /// Encodes one series for this input convention.
+    pub fn encode(self, series: &MultivariateSeries) -> Tensor {
+        match self {
+            InputEncoding::Cnn => cube::cnn_input(series),
+            InputEncoding::Ccnn => cube::ccnn_input(series),
+            InputEncoding::Dcnn => cube::dcnn_input(series),
+            InputEncoding::Rnn => cube::rnn_input(series),
+        }
+    }
+
+    /// Convolution input channels for a `D`-dimensional series.
+    pub fn in_channels(self, d: usize) -> usize {
+        match self {
+            InputEncoding::Cnn | InputEncoding::Dcnn => d,
+            InputEncoding::Ccnn => 1,
+            InputEncoding::Rnn => d,
+        }
+    }
+}
+
+/// Width presets: `Paper` mirrors the layer widths of §5.2, `Small` scales
+/// them down for CPU-budget experiments and tests. Relative comparisons are
+/// preserved because *every* competing architecture is scaled identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelScale {
+    /// Paper-sized layers (CNN: 64/128/256/256/256 filters, ResNet 64/64/128,
+    /// InceptionTime as published).
+    Paper,
+    /// Reduced widths (~1/8) for CPU experiments.
+    Small,
+    /// Minimal widths for unit tests.
+    Tiny,
+}
+
+/// A convolutional classifier with the `features → GAP → dense` shape every
+/// CAM-based method requires (§2.2).
+///
+/// `features` must preserve the spatial extent `(H, W)` of its input (all
+/// convolutions are stride-1/"same"), so the class activation map aligns
+/// index-for-index with the input series.
+pub struct GapClassifier {
+    encoding: InputEncoding,
+    features: Sequential,
+    gap: GlobalAvgPool,
+    head: Dense,
+    name: String,
+}
+
+impl GapClassifier {
+    /// Assembles a classifier from a feature extractor and a dense head.
+    pub fn new(
+        name: impl Into<String>,
+        encoding: InputEncoding,
+        features: Sequential,
+        head: Dense,
+    ) -> Self {
+        GapClassifier {
+            encoding,
+            features,
+            gap: GlobalAvgPool::new(),
+            head,
+            name: name.into(),
+        }
+    }
+
+    /// The input convention this classifier expects.
+    pub fn encoding(&self) -> InputEncoding {
+        self.encoding
+    }
+
+    /// Architecture name (e.g. `"dResNet"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    /// The dense weights `w^{C_j}_m` connecting GAP features to class
+    /// neurons, shape `(classes, n_f)` — the CAM coefficients.
+    pub fn class_weights(&self) -> &Tensor {
+        self.head.weight()
+    }
+
+    /// Evaluation-mode forward returning both the last-conv feature maps
+    /// `A(T)` (shape `(N, n_f, H, W)`) and the logits.
+    pub fn forward_with_features(&mut self, x: &Tensor) -> (Tensor, Tensor) {
+        let features = self.features.forward(x, false);
+        let pooled = self.gap.forward(&features, false);
+        let logits = self.head.forward(&pooled, false);
+        (features, logits)
+    }
+
+    /// Encodes one series and returns its logits (batch of one).
+    pub fn logits_for(&mut self, series: &MultivariateSeries) -> Tensor {
+        let x = self.encoding.encode(series);
+        let mut dims = vec![1usize];
+        dims.extend_from_slice(x.dims());
+        let xb = x.reshape(&dims).expect("batch of one");
+        self.forward(&xb, false)
+    }
+}
+
+impl Layer for GapClassifier {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let f = self.features.forward(x, train);
+        let p = self.gap.forward(&f, train);
+        self.head.forward(&p, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.head.backward(grad_out);
+        let g = self.gap.backward(&g);
+        self.features.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.features.visit_params(f);
+        self.gap.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.features.visit_buffers(f);
+        self.gap.visit_buffers(f);
+        self.head.visit_buffers(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_tensor::SeededRng;
+
+    #[test]
+    fn encoding_channels() {
+        assert_eq!(InputEncoding::Cnn.in_channels(5), 5);
+        assert_eq!(InputEncoding::Ccnn.in_channels(5), 1);
+        assert_eq!(InputEncoding::Dcnn.in_channels(5), 5);
+    }
+
+    #[test]
+    fn gap_classifier_logits_shape() {
+        let mut rng = SeededRng::new(0);
+        let clf = cnn(InputEncoding::Cnn, 3, 4, ModelScale::Tiny, &mut rng);
+        let mut clf = clf;
+        let s = MultivariateSeries::from_rows(&[
+            vec![0.0; 16],
+            vec![1.0; 16],
+            vec![2.0; 16],
+        ]);
+        let logits = clf.logits_for(&s);
+        assert_eq!(logits.dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn features_preserve_spatial_extent() {
+        let mut rng = SeededRng::new(1);
+        for enc in [InputEncoding::Cnn, InputEncoding::Ccnn, InputEncoding::Dcnn] {
+            let mut clf = cnn(enc, 4, 2, ModelScale::Tiny, &mut rng);
+            let s = MultivariateSeries::from_rows(&[
+                vec![0.1; 12],
+                vec![0.2; 12],
+                vec![0.3; 12],
+                vec![0.4; 12],
+            ]);
+            let x = enc.encode(&s);
+            let mut dims = vec![1usize];
+            dims.extend_from_slice(x.dims());
+            let xb = x.reshape(&dims).unwrap();
+            let (f, _) = clf.forward_with_features(&xb);
+            let expect_h = match enc {
+                InputEncoding::Cnn => 1,
+                _ => 4,
+            };
+            assert_eq!(f.dims()[2], expect_h, "{enc:?} H");
+            assert_eq!(f.dims()[3], 12, "{enc:?} W");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Recurrent classifier baselines: RNN / GRU / LSTM (paper §2.1, §5.2).
+//!
+//! One recurrent hidden layer (the paper uses 128 neurons; scaled presets
+//! shrink this) followed by a dense layer mapping the final hidden state to
+//! class logits.
+
+use super::ModelScale;
+use dcam_nn::layers::{Dense, Layer};
+use dcam_nn::recurrent::{Gru, Lstm, Rnn};
+use dcam_nn::Param;
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Which recurrent cell drives the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecurrentCell {
+    /// Vanilla Elman RNN.
+    Rnn,
+    /// Gated recurrent unit.
+    Gru,
+    /// Long short-term memory.
+    Lstm,
+}
+
+impl RecurrentCell {
+    /// Architecture name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecurrentCell::Rnn => "RNN",
+            RecurrentCell::Gru => "GRU",
+            RecurrentCell::Lstm => "LSTM",
+        }
+    }
+}
+
+enum CellImpl {
+    Rnn(Rnn),
+    Gru(Gru),
+    Lstm(Lstm),
+}
+
+/// A recurrent classifier over `(N, D, n)` inputs.
+pub struct RecurrentClassifier {
+    cell: CellImpl,
+    head: Dense,
+    name: &'static str,
+}
+
+fn hidden_size(scale: ModelScale) -> usize {
+    match scale {
+        ModelScale::Paper => 128,
+        ModelScale::Small => 32,
+        ModelScale::Tiny => 8,
+    }
+}
+
+/// Builds an RNN/GRU/LSTM classifier for `D = n_dims` inputs.
+pub fn recurrent(
+    cell: RecurrentCell,
+    n_dims: usize,
+    n_classes: usize,
+    scale: ModelScale,
+    rng: &mut SeededRng,
+) -> RecurrentClassifier {
+    let h = hidden_size(scale);
+    let cell_impl = match cell {
+        RecurrentCell::Rnn => CellImpl::Rnn(Rnn::new(n_dims, h, rng)),
+        RecurrentCell::Gru => CellImpl::Gru(Gru::new(n_dims, h, rng)),
+        RecurrentCell::Lstm => CellImpl::Lstm(Lstm::new(n_dims, h, rng)),
+    };
+    RecurrentClassifier {
+        cell: cell_impl,
+        head: Dense::new(h, n_classes, rng),
+        name: cell.name(),
+    }
+}
+
+impl RecurrentClassifier {
+    /// Architecture name for tables.
+    pub fn name(&self) -> &str {
+        self.name
+    }
+}
+
+impl Layer for RecurrentClassifier {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = match &mut self.cell {
+            CellImpl::Rnn(c) => c.forward(x, train),
+            CellImpl::Gru(c) => c.forward(x, train),
+            CellImpl::Lstm(c) => c.forward(x, train),
+        };
+        self.head.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.head.backward(grad_out);
+        match &mut self.cell {
+            CellImpl::Rnn(c) => c.backward(&g),
+            CellImpl::Gru(c) => c.backward(&g),
+            CellImpl::Lstm(c) => c.backward(&g),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match &mut self.cell {
+            CellImpl::Rnn(c) => c.visit_params(f),
+            CellImpl::Gru(c) => c.visit_params(f),
+            CellImpl::Lstm(c) => c.visit_params(f),
+        }
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cells_forward_backward() {
+        let mut rng = SeededRng::new(0);
+        for cell in [RecurrentCell::Rnn, RecurrentCell::Gru, RecurrentCell::Lstm] {
+            let mut clf = recurrent(cell, 3, 4, ModelScale::Tiny, &mut rng);
+            let x = Tensor::uniform(&[2, 3, 6], -1.0, 1.0, &mut rng);
+            let y = clf.forward(&x, true);
+            assert_eq!(y.dims(), &[2, 4], "{}", cell.name());
+            let g = clf.backward(&Tensor::ones(&[2, 4]));
+            assert_eq!(g.dims(), x.dims());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RecurrentCell::Gru.name(), "GRU");
+        let mut rng = SeededRng::new(1);
+        let clf = recurrent(RecurrentCell::Lstm, 2, 2, ModelScale::Tiny, &mut rng);
+        assert_eq!(clf.name(), "LSTM");
+    }
+}

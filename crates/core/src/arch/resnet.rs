@@ -1,0 +1,118 @@
+//! The ResNet family: ResNet / cResNet / dResNet (paper §2.1, §5.2).
+//!
+//! Three residual blocks of three convolutions each (kernels 8, 5, 3), with
+//! batch norm + ReLU, projection shortcuts on channel changes, then
+//! GAP + dense. Paper filter counts: 64 for the first two blocks, 128 for
+//! the last.
+
+use super::{GapClassifier, InputEncoding, ModelScale};
+use dcam_nn::layers::{BatchNorm, Conv2dRows, Dense, Relu, Residual, Sequential};
+use dcam_tensor::SeededRng;
+
+fn block_filters(scale: ModelScale) -> [usize; 3] {
+    match scale {
+        ModelScale::Paper => [64, 64, 128],
+        ModelScale::Small => [16, 16, 32],
+        ModelScale::Tiny => [6, 6, 8],
+    }
+}
+
+fn kernel_sizes(scale: ModelScale) -> [usize; 3] {
+    match scale {
+        ModelScale::Paper | ModelScale::Small => [8, 5, 3],
+        ModelScale::Tiny => [5, 3, 3],
+    }
+}
+
+/// One residual block: three `conv → BN → ReLU` stages plus a shortcut
+/// (projection 1×1 conv + BN when the channel count changes).
+fn residual_block(
+    c_in: usize,
+    c_out: usize,
+    kernels: [usize; 3],
+    rng: &mut SeededRng,
+) -> Residual {
+    let mut main = Sequential::new();
+    let mut c = c_in;
+    for (i, &k) in kernels.iter().enumerate() {
+        main.add(Box::new(Conv2dRows::same(c, c_out, k, rng)));
+        main.add(Box::new(BatchNorm::new(c_out)));
+        // The final ReLU is applied after the residual sum, as in the
+        // reference architecture; inner stages keep theirs.
+        if i + 1 < kernels.len() {
+            main.add(Box::new(Relu::new()));
+        }
+        c = c_out;
+    }
+    if c_in == c_out {
+        Residual::identity(main)
+    } else {
+        let mut shortcut = Sequential::new();
+        shortcut.add(Box::new(Conv2dRows::new(c_in, c_out, 1, 1, 0, rng)));
+        shortcut.add(Box::new(BatchNorm::new(c_out)));
+        Residual::with_shortcut(main, shortcut)
+    }
+}
+
+/// Builds a ResNet/cResNet/dResNet classifier (selected by `encoding`).
+pub fn resnet(
+    encoding: InputEncoding,
+    n_dims: usize,
+    n_classes: usize,
+    scale: ModelScale,
+    rng: &mut SeededRng,
+) -> GapClassifier {
+    assert_ne!(encoding, InputEncoding::Rnn, "use `recurrent` for RNN baselines");
+    let filters = block_filters(scale);
+    let kernels = kernel_sizes(scale);
+    let mut features = Sequential::new();
+    let mut c_in = encoding.in_channels(n_dims);
+    for &c_out in &filters {
+        features.add(Box::new(residual_block(c_in, c_out, kernels, rng)));
+        features.add(Box::new(Relu::new()));
+        c_in = c_out;
+    }
+    let head = Dense::new(c_in, n_classes, rng);
+    let name = match encoding {
+        InputEncoding::Cnn => "ResNet",
+        InputEncoding::Ccnn => "cResNet",
+        InputEncoding::Dcnn => "dResNet",
+        InputEncoding::Rnn => unreachable!(),
+    };
+    GapClassifier::new(name, encoding, features, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_nn::layers::Layer;
+    use dcam_tensor::Tensor;
+
+    #[test]
+    fn dresnet_forward_backward_smoke() {
+        let mut rng = SeededRng::new(0);
+        let mut clf = resnet(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+        let x = Tensor::uniform(&[2, 3, 3, 12], -1.0, 1.0, &mut rng);
+        let y = clf.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 2]);
+        let g = clf.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn width_preserved_through_blocks() {
+        let mut rng = SeededRng::new(1);
+        let mut clf = resnet(InputEncoding::Ccnn, 4, 2, ModelScale::Tiny, &mut rng);
+        let x = Tensor::uniform(&[1, 1, 4, 17], -1.0, 1.0, &mut rng);
+        let (f, _) = clf.forward_with_features(&x);
+        assert_eq!(f.dims()[2..], [4, 17]);
+    }
+
+    #[test]
+    fn resnet_larger_than_cnn_tiny() {
+        // Sanity on composition: ResNet tiny has 3 blocks of 3 convs.
+        let mut rng = SeededRng::new(2);
+        let mut r = resnet(InputEncoding::Cnn, 4, 2, ModelScale::Tiny, &mut rng);
+        assert!(r.param_count() > 500);
+    }
+}

@@ -1,0 +1,236 @@
+//! k-NN classification baselines with Euclidean and DTW distances.
+//!
+//! The paper's introduction names k-NN with Euclidean or Dynamic Time
+//! Warping distance as the classical data-series classification baseline
+//! (§1, citing the UCR archive practice). These are provided as non-neural
+//! references for the experiment harness; DTW is computed per dimension
+//! with an optional Sakoe–Chiba band and summed over dimensions (the
+//! "independent" multivariate DTW convention).
+
+use dcam_series::{Dataset, MultivariateSeries};
+
+/// Distance used by the [`KnnClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distance {
+    /// Pointwise Euclidean distance (series must share lengths).
+    Euclidean,
+    /// Dynamic Time Warping with a Sakoe–Chiba band of the given half-width
+    /// (`None` = unconstrained).
+    Dtw(Option<usize>),
+}
+
+/// Squared Euclidean distance between two equal-length univariate series.
+fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "Euclidean distance needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// DTW distance (squared-cost formulation) between univariate series with
+/// an optional band constraint.
+pub fn dtw(a: &[f32], b: &[f32], band: Option<usize>) -> f32 {
+    let (n, m) = (a.len(), b.len());
+    assert!(n > 0 && m > 0, "DTW needs non-empty series");
+    let w = band.unwrap_or(n.max(m)).max(n.abs_diff(m));
+    let inf = f32::INFINITY;
+    // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+    let mut prev = vec![inf; m + 1];
+    let mut cur = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur.fill(inf);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let cost = {
+                let d = a[i - 1] - b[j - 1];
+                d * d
+            };
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Multivariate distance: sum of per-dimension distances ("independent"
+/// convention).
+pub fn series_distance(a: &MultivariateSeries, b: &MultivariateSeries, dist: Distance) -> f32 {
+    assert_eq!(a.n_dims(), b.n_dims(), "dimension count mismatch");
+    (0..a.n_dims())
+        .map(|j| match dist {
+            Distance::Euclidean => euclidean_sq(a.dim(j), b.dim(j)),
+            Distance::Dtw(band) => dtw(a.dim(j), b.dim(j), band),
+        })
+        .sum()
+}
+
+/// A k-nearest-neighbour classifier over multivariate series.
+pub struct KnnClassifier {
+    train: Vec<(MultivariateSeries, usize)>,
+    k: usize,
+    distance: Distance,
+}
+
+impl KnnClassifier {
+    /// Fits (i.e. memorizes) the training set.
+    pub fn fit(dataset: &Dataset, k: usize, distance: Distance) -> Self {
+        assert!(k >= 1 && k <= dataset.len().max(1), "k out of range");
+        let train = dataset
+            .samples
+            .iter()
+            .cloned()
+            .zip(dataset.labels.iter().copied())
+            .collect();
+        KnnClassifier { train, k, distance }
+    }
+
+    /// Predicts the class of one series by majority vote among the k
+    /// nearest training instances (ties break toward the closer neighbour).
+    pub fn predict(&self, series: &MultivariateSeries) -> usize {
+        assert!(!self.train.is_empty(), "classifier has no training data");
+        let mut dists: Vec<(f32, usize)> = self
+            .train
+            .iter()
+            .map(|(s, label)| (series_distance(series, s, self.distance), *label))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let top = &dists[..self.k.min(dists.len())];
+        let max_label = top.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        let mut votes = vec![0usize; max_label + 1];
+        for &(_, l) in top {
+            votes[l] += 1;
+        }
+        let best_count = *votes.iter().max().unwrap();
+        // Tie break: first label (in nearest order) achieving the max count.
+        top.iter()
+            .find(|&&(_, l)| votes[l] == best_count)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy over a test dataset.
+    pub fn accuracy(&self, dataset: &Dataset) -> f32 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let correct = dataset
+            .samples
+            .iter()
+            .zip(&dataset.labels)
+            .filter(|(s, &l)| self.predict(s) == l)
+            .count();
+        correct as f32 / dataset.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_series::Dataset;
+
+    fn series(vals: &[f32]) -> MultivariateSeries {
+        MultivariateSeries::from_rows(&[vals.to_vec()])
+    }
+
+    #[test]
+    fn dtw_identical_series_is_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        assert_eq!(dtw(&a, &a, None), 0.0);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shift_where_euclidean_cannot() {
+        let a = [0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0]; // same bump, shifted by 1
+        let e = euclidean_sq(&a, &b);
+        let d = dtw(&a, &b, None);
+        assert!(d < 1e-6, "DTW should align the bump: {d}");
+        assert!(e > 1.0, "Euclidean must pay for the shift: {e}");
+    }
+
+    #[test]
+    fn dtw_band_constrains_warping() {
+        let a = [0.0, 0.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 0.0, 0.0, 0.0, 0.0]; // bump at the opposite end
+        let free = dtw(&a, &b, None);
+        let banded = dtw(&a, &b, Some(1));
+        assert!(banded >= free, "band must not reduce the distance");
+        assert!(banded > 0.5, "band 1 cannot align a 4-step shift");
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a = [0.0, 1.0, 0.0];
+        let b = [0.0, 0.0, 1.0, 1.0, 0.0];
+        let d = dtw(&a, &b, None);
+        assert!(d.is_finite());
+        assert!(d < 0.5, "stretched copy should be cheap: {d}");
+    }
+
+    #[test]
+    fn knn_classifies_obvious_clusters() {
+        let mut ds = Dataset::new(
+            "toy",
+            vec![
+                series(&[0.0, 0.0, 0.1]),
+                series(&[0.1, 0.0, 0.0]),
+                series(&[5.0, 5.0, 5.1]),
+                series(&[5.1, 5.0, 5.0]),
+            ],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        ds.name = "toy".into();
+        let knn = KnnClassifier::fit(&ds, 1, Distance::Euclidean);
+        assert_eq!(knn.predict(&series(&[0.05, 0.05, 0.0])), 0);
+        assert_eq!(knn.predict(&series(&[4.9, 5.2, 5.0])), 1);
+        assert_eq!(knn.accuracy(&ds), 1.0);
+    }
+
+    #[test]
+    fn knn_majority_vote_with_k3() {
+        let ds = Dataset::new(
+            "toy",
+            vec![
+                series(&[0.0]),
+                series(&[0.2]),
+                series(&[0.4]),
+                series(&[10.0]),
+            ],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let knn = KnnClassifier::fit(&ds, 3, Distance::Euclidean);
+        // Neighbours of 0.1: labels {0, 0, 1} -> majority 0.
+        assert_eq!(knn.predict(&series(&[0.1])), 0);
+    }
+
+    #[test]
+    fn dtw_knn_beats_euclidean_on_shifted_patterns() {
+        // Class 0: bump early; class 1: bump late — with heavy jitter in the
+        // bump position within each class, DTW-1NN aligns, Euclidean smears.
+        let bump = |pos: usize| {
+            let mut v = vec![0.0f32; 24];
+            for (i, val) in v.iter_mut().enumerate() {
+                let z = i as f32 - pos as f32;
+                *val = (-z * z / 4.0).exp();
+            }
+            series(&v)
+        };
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for p in [3usize, 5, 7, 9] {
+            samples.push(bump(p));
+            labels.push(0);
+        }
+        for p in [14usize, 16, 18, 20] {
+            samples.push(bump(p));
+            labels.push(1);
+        }
+        let ds = Dataset::new("bumps", samples, labels, 2);
+        let dtw_knn = KnnClassifier::fit(&ds, 1, Distance::Dtw(None));
+        assert_eq!(dtw_knn.predict(&bump(6)), 0);
+        assert_eq!(dtw_knn.predict(&bump(17)), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! **dCAM** — Dimension-wise Class Activation Map for explaining
+//! multivariate data-series classification.
+//!
+//! Pure-Rust reproduction of Boniol, Meftah, Remy & Palpanas (SIGMOD '22).
+//! The crate provides:
+//!
+//! * [`arch`] — every architecture of the study: CNN/ResNet/InceptionTime in
+//!   plain, `c` (per-dimension) and `d` (`C(T)`-cube, ours) variants, plus
+//!   MTEX-CNN and the RNN/GRU/LSTM baselines;
+//! * [`cam`] — Class Activation Maps (univariate CAM, cCAM, row-wise CAM);
+//! * [`dcam`] — the paper's contribution: permutation sampling, the `M`
+//!   transformation, merging, and the Definition-3 extraction, with the
+//!   `n_g/k` explanation-quality proxy;
+//! * [`gradcam`] support for the MTEX baseline (via
+//!   [`arch::MtexCnn::grad_cam`]);
+//! * [`aggregate`] — dataset-level explanation statistics (§5.8);
+//! * [`train`] — the §5.2 training protocol glue.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dcam::dcam::{compute_dcam, DcamConfig};
+//! use dcam::model::ArchKind;
+//! use dcam::train::{build_and_train, Protocol};
+//! use dcam::ModelScale;
+//! use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+//! use dcam_series::synth::seeds::SeedKind;
+//!
+//! // A small Type-1 benchmark: patterns injected into 2 of 4 dimensions.
+//! let mut cfg = InjectConfig::new(SeedKind::StarLight, DatasetType::Type1, 4);
+//! cfg.n_per_class = 8;
+//! cfg.series_len = 48;
+//! cfg.pattern_len = 12;
+//! let ds = generate(&cfg);
+//!
+//! // Train a dCNN and explain one discriminant-class instance.
+//! let protocol = Protocol { epochs: 5, ..Default::default() };
+//! let (mut clf, _) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+//! let idx = ds.class_indices(1)[0];
+//! let gap = clf.as_gap_mut().unwrap();
+//! let result = compute_dcam(
+//!     gap,
+//!     &ds.samples[idx],
+//!     1,
+//!     &DcamConfig { k: 8, ..Default::default() },
+//! );
+//! assert_eq!(result.dcam.dims(), &[4, 48]);
+//! ```
+
+pub mod aggregate;
+pub mod arch;
+pub mod cam;
+pub mod dcam;
+pub mod knn;
+pub mod model;
+pub mod occlusion;
+pub mod train;
+pub mod viz;
+
+pub use arch::{GapClassifier, InputEncoding, ModelScale};
+pub use dcam::{compute_dcam, DcamConfig, DcamResult};
+pub use model::{ArchKind, Classifier};
+
+/// Grad-CAM support lives with the MTEX architecture; re-exported here for
+/// discoverability.
+pub mod gradcam {
+    pub use crate::arch::{GradCamMaps, MtexCnn};
+}

@@ -1,0 +1,268 @@
+//! Uniform classifier facade over every architecture in the study, so the
+//! experiment harness can sweep the 13 methods of Table 2 with one loop.
+
+use crate::arch::{
+    cnn, inception_time, recurrent, GapClassifier, InputEncoding, ModelScale, MtexCnn,
+    RecurrentCell, RecurrentClassifier,
+};
+use dcam_nn::layers::Layer;
+use dcam_nn::Param;
+use dcam_series::Dataset;
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Every method of the paper's experimental study (Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Vanilla RNN baseline.
+    Rnn,
+    /// GRU baseline.
+    Gru,
+    /// LSTM baseline.
+    Lstm,
+    /// MTEX-CNN baseline.
+    Mtex,
+    /// Standard CNN.
+    Cnn,
+    /// Standard ResNet.
+    ResNet,
+    /// Standard InceptionTime.
+    InceptionTime,
+    /// cCNN (per-dimension baseline).
+    CCnn,
+    /// cResNet.
+    CResNet,
+    /// cInceptionTime.
+    CInceptionTime,
+    /// dCNN (ours).
+    DCnn,
+    /// dResNet (ours).
+    DResNet,
+    /// dInceptionTime (ours).
+    DInceptionTime,
+}
+
+impl ArchKind {
+    /// All 13 methods in Table 2's column order.
+    pub const ALL: [ArchKind; 13] = [
+        ArchKind::Rnn,
+        ArchKind::Gru,
+        ArchKind::Lstm,
+        ArchKind::Mtex,
+        ArchKind::Cnn,
+        ArchKind::ResNet,
+        ArchKind::InceptionTime,
+        ArchKind::CCnn,
+        ArchKind::CResNet,
+        ArchKind::CInceptionTime,
+        ArchKind::DCnn,
+        ArchKind::DResNet,
+        ArchKind::DInceptionTime,
+    ];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Rnn => "RNN",
+            ArchKind::Gru => "GRU",
+            ArchKind::Lstm => "LSTM",
+            ArchKind::Mtex => "MTEX",
+            ArchKind::Cnn => "CNN",
+            ArchKind::ResNet => "ResNet",
+            ArchKind::InceptionTime => "InceptionT.",
+            ArchKind::CCnn => "cCNN",
+            ArchKind::CResNet => "cResNet",
+            ArchKind::CInceptionTime => "cInceptionT.",
+            ArchKind::DCnn => "dCNN",
+            ArchKind::DResNet => "dResNet",
+            ArchKind::DInceptionTime => "dInceptionT.",
+        }
+    }
+
+    /// The input encoding this method consumes.
+    pub fn encoding(self) -> InputEncoding {
+        match self {
+            ArchKind::Rnn | ArchKind::Gru | ArchKind::Lstm => InputEncoding::Rnn,
+            ArchKind::Mtex | ArchKind::CCnn | ArchKind::CResNet | ArchKind::CInceptionTime => {
+                InputEncoding::Ccnn
+            }
+            ArchKind::Cnn | ArchKind::ResNet | ArchKind::InceptionTime => InputEncoding::Cnn,
+            ArchKind::DCnn | ArchKind::DResNet | ArchKind::DInceptionTime => InputEncoding::Dcnn,
+        }
+    }
+
+    /// True for d-architectures (dCAM-capable).
+    pub fn is_d_variant(self) -> bool {
+        matches!(self, ArchKind::DCnn | ArchKind::DResNet | ArchKind::DInceptionTime)
+    }
+
+    /// True for architectures with a GAP head (CAM-capable).
+    pub fn has_gap_head(self) -> bool {
+        !matches!(self, ArchKind::Rnn | ArchKind::Gru | ArchKind::Lstm | ArchKind::Mtex)
+    }
+}
+
+/// A built classifier of any architecture.
+pub enum Classifier {
+    /// CAM-capable GAP-headed conv net.
+    Gap(GapClassifier),
+    /// Recurrent baseline.
+    Recurrent(RecurrentClassifier),
+    /// MTEX-CNN baseline.
+    Mtex(MtexCnn),
+}
+
+impl Classifier {
+    /// Builds `kind` for a dataset with `n_dims` dimensions, length
+    /// `series_len` and `n_classes` classes.
+    pub fn build(
+        kind: ArchKind,
+        n_dims: usize,
+        series_len: usize,
+        n_classes: usize,
+        scale: ModelScale,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SeededRng::new(seed);
+        match kind {
+            ArchKind::Rnn => Classifier::Recurrent(recurrent(
+                RecurrentCell::Rnn,
+                n_dims,
+                n_classes,
+                scale,
+                &mut rng,
+            )),
+            ArchKind::Gru => Classifier::Recurrent(recurrent(
+                RecurrentCell::Gru,
+                n_dims,
+                n_classes,
+                scale,
+                &mut rng,
+            )),
+            ArchKind::Lstm => Classifier::Recurrent(recurrent(
+                RecurrentCell::Lstm,
+                n_dims,
+                n_classes,
+                scale,
+                &mut rng,
+            )),
+            ArchKind::Mtex => {
+                Classifier::Mtex(MtexCnn::new(n_dims, series_len, n_classes, &mut rng))
+            }
+            ArchKind::Cnn | ArchKind::CCnn | ArchKind::DCnn => {
+                Classifier::Gap(cnn(kind.encoding(), n_dims, n_classes, scale, &mut rng))
+            }
+            ArchKind::ResNet | ArchKind::CResNet | ArchKind::DResNet => Classifier::Gap(
+                crate::arch::resnet(kind.encoding(), n_dims, n_classes, scale, &mut rng),
+            ),
+            ArchKind::InceptionTime | ArchKind::CInceptionTime | ArchKind::DInceptionTime => {
+                Classifier::Gap(inception_time(
+                    kind.encoding(),
+                    n_dims,
+                    n_classes,
+                    scale,
+                    &mut rng,
+                ))
+            }
+        }
+    }
+
+    /// Builds `kind` sized for `dataset`.
+    pub fn for_dataset(kind: ArchKind, dataset: &Dataset, scale: ModelScale, seed: u64) -> Self {
+        Classifier::build(
+            kind,
+            dataset.n_dims(),
+            dataset.series_len(),
+            dataset.n_classes,
+            scale,
+            seed,
+        )
+    }
+
+    /// The GAP classifier inside, if this architecture has one.
+    pub fn as_gap_mut(&mut self) -> Option<&mut GapClassifier> {
+        match self {
+            Classifier::Gap(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The MTEX classifier inside, if any.
+    pub fn as_mtex_mut(&mut self) -> Option<&mut MtexCnn> {
+        match self {
+            Classifier::Mtex(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl Layer for Classifier {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        match self {
+            Classifier::Gap(m) => m.forward(x, train),
+            Classifier::Recurrent(m) => m.forward(x, train),
+            Classifier::Mtex(m) => m.forward(x, train),
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self {
+            Classifier::Gap(m) => m.backward(grad_out),
+            Classifier::Recurrent(m) => m.backward(grad_out),
+            Classifier::Mtex(m) => m.backward(grad_out),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Classifier::Gap(m) => m.visit_params(f),
+            Classifier::Recurrent(m) => m.visit_params(f),
+            Classifier::Mtex(m) => m.visit_params(f),
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        match self {
+            Classifier::Gap(m) => m.visit_buffers(f),
+            Classifier::Recurrent(m) => m.visit_buffers(f),
+            Classifier::Mtex(m) => m.visit_buffers(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_thirteen_methods_with_unique_names() {
+        assert_eq!(ArchKind::ALL.len(), 13);
+        let mut names: Vec<&str> = ArchKind::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(ArchKind::DCnn.is_d_variant());
+        assert!(!ArchKind::Cnn.is_d_variant());
+        assert!(ArchKind::CCnn.has_gap_head());
+        assert!(!ArchKind::Mtex.has_gap_head());
+        assert!(!ArchKind::Gru.has_gap_head());
+    }
+
+    #[test]
+    fn build_every_architecture() {
+        for kind in ArchKind::ALL {
+            let mut clf = Classifier::build(kind, 3, 32, 2, ModelScale::Tiny, 0);
+            let x = match kind.encoding() {
+                InputEncoding::Rnn => Tensor::zeros(&[1, 3, 32]),
+                InputEncoding::Cnn => Tensor::zeros(&[1, 3, 1, 32]),
+                InputEncoding::Ccnn => Tensor::zeros(&[1, 1, 3, 32]),
+                InputEncoding::Dcnn => Tensor::zeros(&[1, 3, 3, 32]),
+            };
+            let y = clf.forward(&x, false);
+            assert_eq!(y.dims(), &[1, 2], "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Rendering attribution maps: ASCII heatmaps for terminals and SVG for
+//! reports — the textual counterpart of the paper's Figures 1, 6 and 13.
+
+use dcam_tensor::Tensor;
+
+/// Intensity glyph ramp used by the ASCII renderer, dark to bright.
+const GLYPHS: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+
+/// Renders a `(D, n)` attribution map as an ASCII heatmap, one row per
+/// dimension, with optional per-row labels. Values are clamped at 0 and
+/// normalized by the map's maximum (an all-non-positive map renders blank).
+pub fn ascii_heatmap(map: &Tensor, labels: Option<&[String]>) -> String {
+    let dims = map.dims();
+    assert_eq!(dims.len(), 2, "heatmap expects a (D, n) map");
+    let (d, n) = (dims[0], dims[1]);
+    if let Some(l) = labels {
+        assert_eq!(l.len(), d, "one label per dimension");
+    }
+    let max = map.data().iter().copied().fold(0.0f32, f32::max).max(1e-12);
+    let label_width = labels
+        .map(|l| l.iter().map(|s| s.len()).max().unwrap_or(0))
+        .unwrap_or(8)
+        .max(4);
+    let mut out = String::with_capacity(d * (n + label_width + 4));
+    for dim in 0..d {
+        let label = match labels {
+            Some(l) => l[dim].clone(),
+            None => format!("d{dim:02}"),
+        };
+        out.push_str(&format!("{label:>label_width$} |"));
+        for t in 0..n {
+            let v = (map.at(&[dim, t]).expect("in range").max(0.0) / max).clamp(0.0, 1.0);
+            out.push(GLYPHS[(v * (GLYPHS.len() - 1) as f32) as usize]);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders a `(D, n)` attribution map as a standalone SVG heatmap
+/// (viridis-like blue→yellow ramp, one rect per cell).
+pub fn svg_heatmap(map: &Tensor, cell: usize) -> String {
+    let dims = map.dims();
+    assert_eq!(dims.len(), 2, "heatmap expects a (D, n) map");
+    let (d, n) = (dims[0], dims[1]);
+    let cell = cell.max(1);
+    let (w, h) = (n * cell, d * cell);
+    let max = map.data().iter().copied().fold(0.0f32, f32::max).max(1e-12);
+    let mut svg = String::with_capacity(d * n * 60);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n"
+    ));
+    for dim in 0..d {
+        for t in 0..n {
+            let v = (map.at(&[dim, t]).expect("in range").max(0.0) / max).clamp(0.0, 1.0);
+            let (r, g, b) = colormap(v);
+            svg.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"{cell}\" height=\"{cell}\" \
+                 fill=\"rgb({r},{g},{b})\"/>\n",
+                t * cell,
+                dim * cell
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Simple blue→teal→yellow ramp over `[0, 1]`.
+fn colormap(v: f32) -> (u8, u8, u8) {
+    let v = v.clamp(0.0, 1.0);
+    let r = (255.0 * v.powf(1.5)) as u8;
+    let g = (220.0 * v) as u8;
+    let b = (160.0 * (1.0 - v) + 40.0) as u8;
+    (r, g, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> Tensor {
+        Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25, 0.0, 0.75], &[2, 3]).unwrap()
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_dimension() {
+        let s = ascii_heatmap(&map(), None);
+        assert_eq!(s.lines().count(), 2);
+        // The maximum cell renders the brightest glyph.
+        assert!(s.lines().next().unwrap().contains('@'));
+    }
+
+    #[test]
+    fn ascii_labels_are_used() {
+        let labels = vec!["gyr_x".to_string(), "acc_y".to_string()];
+        let s = ascii_heatmap(&map(), Some(&labels));
+        assert!(s.contains("gyr_x"));
+        assert!(s.contains("acc_y"));
+    }
+
+    #[test]
+    fn ascii_all_zero_map_is_blank() {
+        let z = Tensor::zeros(&[2, 4]);
+        let s = ascii_heatmap(&z, None);
+        for line in s.lines() {
+            let body: String =
+                line.chars().skip_while(|&c| c != '|').skip(1).take(4).collect();
+            assert_eq!(body, "    ");
+        }
+    }
+
+    #[test]
+    fn svg_contains_all_cells() {
+        let s = svg_heatmap(&map(), 4);
+        assert_eq!(s.matches("<rect").count(), 6);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn colormap_monotone_in_red() {
+        let (r0, ..) = colormap(0.0);
+        let (r5, ..) = colormap(0.5);
+        let (r1, ..) = colormap(1.0);
+        assert!(r0 <= r5 && r5 <= r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per dimension")]
+    fn label_count_checked() {
+        let labels = vec!["only-one".to_string()];
+        ascii_heatmap(&map(), Some(&labels));
+    }
+}

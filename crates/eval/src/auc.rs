@@ -1,0 +1,182 @@
+//! Ranking metrics: PR-AUC (the paper's `Dr-acc`) and ROC-AUC.
+//!
+//! The paper scores discriminant-feature identification with the area under
+//! the precision–recall curve between the attribution map and the binary
+//! ground truth, arguing PR-AUC suits the extreme class imbalance of
+//! injected patterns (§5.1.2, citing Davis & Goadrich). We compute PR-AUC
+//! as average precision (the standard step-wise integral of the PR curve).
+
+/// Area under the precision–recall curve (average precision).
+///
+/// `scores[i]` ranks item `i` (higher = more likely positive);
+/// `labels[i]` is the binary ground truth. Ties are handled by processing
+/// equal scores as one block (precision evaluated after the whole block),
+/// which makes the result permutation-invariant. Returns the positive
+/// prevalence when all scores are equal, and 0 when there are no positives.
+pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f32 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        // Process the whole tie block [i, j).
+        let mut j = i;
+        let mut block_tp = 0usize;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            if labels[order[j]] {
+                block_tp += 1;
+            }
+            j += 1;
+        }
+        let prev_tp = tp;
+        tp += block_tp;
+        if block_tp > 0 {
+            // Precision at the end of the block, credited to each positive
+            // in the block (interpolation within the block is linear; using
+            // block-end precision is the conservative tie convention).
+            let precision = tp as f64 / j as f64;
+            ap += precision * (tp - prev_tp) as f64;
+        }
+        i = j;
+    }
+    (ap / n_pos as f64) as f32
+}
+
+/// Area under the ROC curve via the Mann–Whitney statistic.
+///
+/// Ties between a positive and a negative score contribute ½. Returns 0.5
+/// when either class is empty (no ranking information).
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f32 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Average ranks with tie correction.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 1) as f64 / 2.0; // 1-based average rank
+        for &k in &order[i..j] {
+            ranks[k] = avg_rank;
+        }
+        i = j;
+    }
+    let pos_rank_sum: f64 =
+        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let u = pos_rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    (u / (n_pos as f64 * n_neg as f64)) as f32
+}
+
+/// PR-AUC of a random (uninformative) scorer: the positive prevalence.
+/// This is the "Random" baseline column of Table 3.
+pub fn random_pr_auc(labels: &[bool]) -> f32 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    labels.iter().filter(|&&l| l).count() as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-6);
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverted_ranking_is_poor() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(pr_auc(&scores, &labels) < 0.6);
+        assert!(roc_auc(&scores, &labels) < 1e-6);
+    }
+
+    #[test]
+    fn constant_scores_give_prevalence_and_half() {
+        let scores = [0.5; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 2).collect();
+        assert!((pr_auc(&scores, &labels) - 0.2).abs() < 1e-6);
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_auc_known_value() {
+        // Ranking: P N P N. AP = (1/1 * 1 + 2/3 * 1) / 2 = 0.8333...
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [true, false, true, false];
+        assert!((pr_auc(&scores, &labels) - 5.0 / 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn roc_auc_known_value() {
+        // Ranking: P N P N -> pairs: (p1 beats both n) + (p2 beats n2) = 3/4.
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let scores = [0.3, 0.9, 0.1, 0.7, 0.5];
+        let labels = [false, true, false, true, false];
+        let base_pr = pr_auc(&scores, &labels);
+        let base_roc = roc_auc(&scores, &labels);
+        // Rotate.
+        let s2 = [0.5, 0.3, 0.9, 0.1, 0.7];
+        let l2 = [false, false, true, false, true];
+        assert!((pr_auc(&s2, &l2) - base_pr).abs() < 1e-6);
+        assert!((roc_auc(&s2, &l2) - base_roc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pr_auc(&[], &[]), 0.0);
+        assert_eq!(pr_auc(&[1.0, 2.0], &[false, false]), 0.0);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(random_pr_auc(&[true, false, false, false]), 0.25);
+        assert_eq!(random_pr_auc(&[]), 0.0);
+    }
+
+    #[test]
+    fn auc_bounded_in_unit_interval() {
+        // Pseudo-random stress over many patterns.
+        let mut seed = 1234u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        for _ in 0..100 {
+            let n = 20;
+            let scores: Vec<f32> = (0..n).map(|_| next()).collect();
+            let labels: Vec<bool> = (0..n).map(|_| next() > 0.7).collect();
+            let pr = pr_auc(&scores, &labels);
+            let roc = roc_auc(&scores, &labels);
+            assert!((0.0..=1.0).contains(&pr), "pr {pr}");
+            assert!((0.0..=1.0).contains(&roc), "roc {roc}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `Dr-acc`: scoring an attribution map against a ground-truth mask
+//! (paper §5.1.2).
+
+use crate::auc::{pr_auc, random_pr_auc};
+use dcam_tensor::Tensor;
+
+/// PR-AUC between a `(D, n)` attribution map and a binary `(D, n)` mask:
+/// the paper's discriminant-features accuracy `Dr-acc`.
+pub fn dr_acc(attribution: &Tensor, mask: &Tensor) -> f32 {
+    assert_eq!(attribution.dims(), mask.dims(), "attribution/mask shape mismatch");
+    let labels: Vec<bool> = mask.data().iter().map(|&m| m > 0.5).collect();
+    pr_auc(attribution.data(), &labels)
+}
+
+/// The Dr-acc of a random attribution: the mask's positive prevalence
+/// (the "Random" column of Table 3).
+pub fn dr_acc_random(mask: &Tensor) -> f32 {
+    let labels: Vec<bool> = mask.data().iter().map(|&m| m > 0.5).collect();
+    random_pr_auc(&labels)
+}
+
+/// Scores a *univariate* CAM against a multivariate mask by broadcasting the
+/// CAM value of each timestamp to all dimensions — the starred rows of
+/// Table 3 ("we compute the Dr-acc scores by assuming that their univariate
+/// CAM values are the same for all dimensions").
+pub fn dr_acc_univariate(cam: &[f32], mask: &Tensor) -> f32 {
+    let d = mask.dims()[0];
+    let n = mask.dims()[1];
+    assert_eq!(cam.len(), n, "CAM length must equal series length");
+    let mut scores = Vec::with_capacity(d * n);
+    for _ in 0..d {
+        scores.extend_from_slice(cam);
+    }
+    let labels: Vec<bool> = mask.data().iter().map(|&m| m > 0.5).collect();
+    pr_auc(&scores, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_attribution_scores_one() {
+        let mask = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]).unwrap();
+        let attr = Tensor::from_vec(vec![0.1, 0.9, 0.1, 0.1, 0.8, 0.1], &[2, 3]).unwrap();
+        assert!((dr_acc(&attr, &mask) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_baseline_is_prevalence() {
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(dr_acc_random(&mask), 0.25);
+    }
+
+    #[test]
+    fn univariate_cam_cannot_separate_dimensions() {
+        // Mask positive only in dim 0, but CAM is broadcast to both dims, so
+        // at the discriminant timestamps half the scored cells are false
+        // positives: Dr-acc is capped well below 1.
+        let mask = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0], &[2, 3]).unwrap();
+        let cam = vec![0.0, 1.0, 0.0];
+        let score = dr_acc_univariate(&cam, &mask);
+        assert!(score <= 0.5 + 1e-6, "univariate CAM scored {score}");
+        // While a dimension-aware attribution can reach 1.
+        let attr = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0], &[2, 3]).unwrap();
+        assert!((dr_acc(&attr, &mask) - 1.0).abs() < 1e-6);
+    }
+}

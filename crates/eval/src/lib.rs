@@ -1,0 +1,14 @@
+//! Evaluation metrics for the dCAM reproduction: classification accuracy
+//! (`C-acc`), discriminant-feature accuracy (`Dr-acc` = PR-AUC against the
+//! ground-truth mask), ROC-AUC, average-rank tables and the harmonic
+//! `F(Type 1, Type 2)` score — everything §5.1.2 of the paper measures.
+
+mod auc;
+mod drattr;
+mod metrics;
+mod ranking;
+
+pub use auc::{pr_auc, random_pr_auc, roc_auc};
+pub use drattr::{dr_acc, dr_acc_random, dr_acc_univariate};
+pub use metrics::{accuracy, confusion_matrix, harmonic_f};
+pub use ranking::{average_ranks, rank_row};

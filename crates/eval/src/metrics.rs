@@ -1,0 +1,66 @@
+//! Classification metrics: `C-acc`, confusion matrices, and the harmonic
+//! combination `F(Type 1, Type 2)` used in Fig. 9(a.3)/(b.3).
+
+/// Classification accuracy (`C-acc`, §5.1.2): fraction of exact matches.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+/// `K × K` confusion matrix: `m[true][pred]` counts.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], k: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len());
+    let mut m = vec![vec![0usize; k]; k];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < k && l < k, "class index out of range");
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Harmonic mean of two accuracies — the paper's
+/// `F(Type1, Type2) = 2·a·b/(a+b)` combining Type-1 and Type-2 performance.
+pub fn harmonic_f(a: f32, b: f32) -> f32 {
+    if a + b <= 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[2, 2], &[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn harmonic_f_properties() {
+        assert_eq!(harmonic_f(0.0, 0.9), 0.0);
+        assert!((harmonic_f(0.5, 0.5) - 0.5).abs() < 1e-6);
+        // Harmonic mean is dominated by the weaker term.
+        assert!(harmonic_f(1.0, 0.2) < 0.5 * (1.0 + 0.2));
+        // Symmetry.
+        assert_eq!(harmonic_f(0.3, 0.8), harmonic_f(0.8, 0.3));
+    }
+}

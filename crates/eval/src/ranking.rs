@@ -1,0 +1,87 @@
+//! Average-rank aggregation across datasets — the "Rank" rows of
+//! Tables 2 and 3.
+//!
+//! For each dataset, methods are ranked by score (1 = best, ties receive
+//! the average of the tied rank positions); ranks are then averaged across
+//! datasets.
+
+/// Ranks one row of scores (higher is better). Returns 1-based ranks with
+/// average-tie handling, aligned with the input order.
+pub fn rank_row(scores: &[f32]) -> Vec<f32> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0f32; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 1) as f32 / 2.0;
+        for &k in &order[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Averages per-dataset ranks: `scores[dataset][method]` (higher = better)
+/// → mean rank per method (lower = better overall).
+pub fn average_ranks(scores: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!scores.is_empty(), "need at least one dataset row");
+    let m = scores[0].len();
+    let mut acc = vec![0.0f32; m];
+    for row in scores {
+        assert_eq!(row.len(), m, "ragged score matrix");
+        for (a, r) in acc.iter_mut().zip(rank_row(row)) {
+            *a += r;
+        }
+    }
+    for a in &mut acc {
+        *a /= scores.len() as f32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        // scores: method0=0.9 (rank 1), method1=0.5 (rank 3), method2=0.7 (rank 2)
+        assert_eq!(rank_row(&[0.9, 0.5, 0.7]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_share_average_rank() {
+        // Two methods tied for first -> ranks 1.5 each, third gets 3.
+        assert_eq!(rank_row(&[0.8, 0.8, 0.1]), vec![1.5, 1.5, 3.0]);
+        // All tied.
+        assert_eq!(rank_row(&[0.5, 0.5, 0.5]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn average_over_datasets() {
+        let scores = vec![
+            vec![0.9, 0.1], // method0 rank 1, method1 rank 2
+            vec![0.2, 0.8], // method0 rank 2, method1 rank 1
+            vec![1.0, 0.0], // method0 rank 1, method1 rank 2
+        ];
+        let avg = average_ranks(&scores);
+        assert!((avg[0] - 4.0 / 3.0).abs() < 1e-6);
+        assert!((avg[1] - 5.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Ranks of n methods always sum to n(n+1)/2 per dataset.
+        let row = [0.3f32, 0.3, 0.9, 0.1, 0.5];
+        let sum: f32 = rank_row(&row).iter().sum();
+        assert!((sum - 15.0).abs() < 1e-5);
+    }
+}

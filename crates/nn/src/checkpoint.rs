@@ -1,0 +1,216 @@
+//! Model checkpointing: save and restore the parameters of any [`Layer`].
+//!
+//! The paper's workflow trains once and explains many times; persisting the
+//! trained weights makes that practical. Parameters are captured in the
+//! model's stable `visit_params` order, so a checkpoint can only be restored
+//! into an identically constructed architecture — shapes are verified on
+//! load.
+
+use crate::layers::Layer;
+use dcam_tensor::Tensor;
+use std::fmt;
+use std::path::Path;
+
+/// A snapshot of every trainable parameter of a model.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Checkpoint {
+    /// Free-form tag (e.g. architecture name) checked on restore.
+    pub tag: String,
+    /// Parameter values in `visit_params` order.
+    pub params: Vec<Tensor>,
+    /// Non-trainable buffers (batch-norm running statistics) in
+    /// `visit_buffers` order.
+    pub buffers: Vec<Vec<f32>>,
+}
+
+/// Errors from checkpoint restore / IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The checkpoint's tag does not match the model's.
+    TagMismatch {
+        /// Tag stored in the checkpoint.
+        stored: String,
+        /// Tag expected by the caller.
+        expected: String,
+    },
+    /// Parameter count differs between checkpoint and model.
+    ParamCountMismatch {
+        /// Parameters in the checkpoint.
+        stored: usize,
+        /// Parameters in the model.
+        model: usize,
+    },
+    /// A parameter's shape differs.
+    ShapeMismatch {
+        /// Index in `visit_params` order.
+        index: usize,
+        /// Shape in the checkpoint.
+        stored: Vec<usize>,
+        /// Shape in the model.
+        model: Vec<usize>,
+    },
+    /// Filesystem or serialization failure.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::TagMismatch { stored, expected } => {
+                write!(f, "checkpoint tag {stored:?} does not match expected {expected:?}")
+            }
+            CheckpointError::ParamCountMismatch { stored, model } => {
+                write!(f, "checkpoint has {stored} parameters, model has {model}")
+            }
+            CheckpointError::ShapeMismatch { index, stored, model } => {
+                write!(f, "parameter {index}: checkpoint shape {stored:?} vs model {model:?}")
+            }
+            CheckpointError::Io(e) => write!(f, "checkpoint IO error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Captures a checkpoint from a model.
+pub fn save(model: &mut dyn Layer, tag: impl Into<String>) -> Checkpoint {
+    let mut params = Vec::new();
+    model.visit_params(&mut |p| params.push(p.value.clone()));
+    let mut buffers = Vec::new();
+    model.visit_buffers(&mut |b| buffers.push(b.clone()));
+    Checkpoint { tag: tag.into(), params, buffers }
+}
+
+/// Restores a checkpoint into a model, verifying tag and shapes first (the
+/// model is untouched on error).
+pub fn restore(
+    model: &mut dyn Layer,
+    checkpoint: &Checkpoint,
+    expected_tag: &str,
+) -> Result<(), CheckpointError> {
+    if checkpoint.tag != expected_tag {
+        return Err(CheckpointError::TagMismatch {
+            stored: checkpoint.tag.clone(),
+            expected: expected_tag.to_string(),
+        });
+    }
+    // Validate before mutating.
+    let mut shapes = Vec::new();
+    model.visit_params(&mut |p| shapes.push(p.value.dims().to_vec()));
+    if shapes.len() != checkpoint.params.len() {
+        return Err(CheckpointError::ParamCountMismatch {
+            stored: checkpoint.params.len(),
+            model: shapes.len(),
+        });
+    }
+    for (i, (shape, stored)) in shapes.iter().zip(&checkpoint.params).enumerate() {
+        if shape != stored.dims() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                stored: stored.dims().to_vec(),
+                model: shape.clone(),
+            });
+        }
+    }
+    let mut n_buffers = 0;
+    model.visit_buffers(&mut |_| n_buffers += 1);
+    if n_buffers != checkpoint.buffers.len() {
+        return Err(CheckpointError::ParamCountMismatch {
+            stored: checkpoint.buffers.len(),
+            model: n_buffers,
+        });
+    }
+    let mut idx = 0;
+    model.visit_params(&mut |p| {
+        p.value = checkpoint.params[idx].clone();
+        idx += 1;
+    });
+    let mut bidx = 0;
+    model.visit_buffers(&mut |b| {
+        b.clone_from(&checkpoint.buffers[bidx]);
+        bidx += 1;
+    });
+    Ok(())
+}
+
+/// Serializes a checkpoint to a JSON file.
+#[cfg(feature = "serde")]
+pub fn save_file(checkpoint: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string(checkpoint).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    std::fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Loads a checkpoint from a JSON file.
+#[cfg(feature = "serde")]
+pub fn load_file(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let json = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    serde_json::from_str(&json).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu, Sequential};
+    use dcam_tensor::SeededRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        Sequential::new()
+            .push(Dense::new(3, 5, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(5, 2, &mut rng))
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let mut m1 = model(1);
+        let ckpt = save(&mut m1, "toy");
+        let mut m2 = model(2); // different init
+        restore(&mut m2, &ckpt, "toy").unwrap();
+        // Outputs must now coincide.
+        let x = Tensor::ones(&[2, 3]);
+        let y1 = m1.forward(&x, false);
+        let y2 = m2.forward(&x, false);
+        assert!(y1.allclose(&y2, 1e-6));
+    }
+
+    #[test]
+    fn tag_mismatch_rejected_without_mutation() {
+        let mut m1 = model(3);
+        let ckpt = save(&mut m1, "a");
+        let mut m2 = model(4);
+        let before = save(&mut m2, "b");
+        let err = restore(&mut m2, &ckpt, "other").unwrap_err();
+        assert!(matches!(err, CheckpointError::TagMismatch { .. }));
+        let after = save(&mut m2, "b");
+        assert_eq!(before.params, after.params, "model mutated on failed restore");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut m1 = model(5);
+        let ckpt = save(&mut m1, "toy");
+        let mut rng = SeededRng::new(6);
+        let mut other = Sequential::new().push(Dense::new(3, 4, &mut rng));
+        let err = restore(&mut other, &ckpt, "toy").unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::ParamCountMismatch { .. } | CheckpointError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dcam-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let mut m = model(7);
+        let ckpt = save(&mut m, "file-test");
+        save_file(&ckpt, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! Weight initialization schemes.
+//!
+//! Kaiming (He) initialization is used for every convolution and dense layer
+//! feeding a ReLU, matching the PyTorch defaults the paper's artifact relies
+//! on; Xavier (Glorot) is used for recurrent cells with tanh/sigmoid gates.
+
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Kaiming-normal initialization: `N(0, sqrt(2 / fan_in))`.
+pub fn kaiming(dims: &[usize], fan_in: usize, rng: &mut SeededRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(dims, 0.0, std, rng)
+}
+
+/// Xavier-uniform initialization: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::uniform(dims, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_std_tracks_fan_in() {
+        let mut rng = SeededRng::new(0);
+        let t = kaiming(&[4096], 8, &mut rng);
+        let var = t.variance();
+        // Expected variance 2/8 = 0.25.
+        assert!((var - 0.25).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SeededRng::new(1);
+        let t = xavier(&[1000], 10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+        // Should actually use the range, not collapse near zero.
+        assert!(t.max() > 0.8 * a);
+    }
+}

@@ -1,0 +1,176 @@
+use super::Layer;
+use crate::Param;
+use dcam_tensor::Tensor;
+
+/// Pointwise activation functions usable as [`Layer`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)` — the paper's default.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`.
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// A stateless activation layer caching its output for backward.
+pub struct ActLayer {
+    act: Activation,
+    cache_y: Option<Tensor>,
+}
+
+impl ActLayer {
+    /// Wraps an [`Activation`] as a layer.
+    pub fn new(act: Activation) -> Self {
+        ActLayer { act, cache_y: None }
+    }
+}
+
+impl Layer for ActLayer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(|v| self.act.apply(v));
+        if train {
+            self.cache_y = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cache_y.take().expect("backward without cached forward");
+        y.zip_with(grad_out, |yv, gv| self.act.derivative_from_output(yv) * gv)
+            .expect("activation grad shape")
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// ReLU activation layer.
+pub struct Relu(ActLayer);
+
+impl Relu {
+    /// Creates a ReLU layer.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Relu(ActLayer::new(Activation::Relu))
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.0.forward(x, train)
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.0.backward(grad_out)
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.0.visit_params(f)
+    }
+}
+
+/// Tanh activation layer.
+pub struct Tanh(ActLayer);
+
+impl Tanh {
+    /// Creates a tanh layer.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Tanh(ActLayer::new(Activation::Tanh))
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.0.forward(x, train)
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.0.backward(grad_out)
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.0.visit_params(f)
+    }
+}
+
+/// Sigmoid activation layer.
+pub struct Sigmoid(ActLayer);
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Sigmoid(ActLayer::new(Activation::Sigmoid))
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.0.forward(x, train)
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.0.backward(grad_out)
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.0.visit_params(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]).unwrap();
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.0, 0.5, 2.0]);
+        let g = relu.backward(&Tensor::ones(&[5]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_values() {
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-7);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+        // Saturation.
+        assert!(Activation::Sigmoid.apply(20.0) > 0.999);
+        assert!(Activation::Tanh.apply(-20.0) < -0.999);
+    }
+
+    #[test]
+    fn derivative_from_output_identities() {
+        for &x in &[-1.5f32, -0.2, 0.0, 0.3, 2.0] {
+            let y = Activation::Tanh.apply(x);
+            let want = 1.0 - x.tanh() * x.tanh();
+            assert!((Activation::Tanh.derivative_from_output(y) - want).abs() < 1e-6);
+            let s = Activation::Sigmoid.apply(x);
+            let want_s = s * (1.0 - s);
+            assert!((Activation::Sigmoid.derivative_from_output(s) - want_s).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+use super::Layer;
+use crate::Param;
+use dcam_tensor::Tensor;
+
+/// Batch normalization over the channel axis of `(N, C, H, W)` inputs.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum 0.1, PyTorch convention); evaluation mode normalizes
+/// with the running estimates. `gamma`/`beta` are learned per channel.
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: [usize; 4],
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0);
+        BatchNorm {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Current running mean estimate (for inspection in tests).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance estimate.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    fn check(&self, x: &Tensor) -> [usize; 4] {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "BatchNorm expects (N, C, H, W), got {d:?}");
+        assert_eq!(d[1], self.channels, "channel mismatch");
+        [d[0], d[1], d[2], d[3]]
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w] = self.check(x);
+        let plane = h * w;
+        let per_c = n * plane;
+        let mut y = Tensor::zeros(&[n, c, h, w]);
+        let gd = self.gamma.value.data().to_vec();
+        let bd = self.beta.value.data().to_vec();
+
+        if train {
+            let mut x_hat = Tensor::zeros(&[n, c, h, w]);
+            let mut inv_std = vec![0.0f32; c];
+            for ci in 0..c {
+                // Batch statistics for channel ci across every sample & position.
+                let mut mean = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &x.data()[base..base + plane] {
+                        mean += v as f64;
+                    }
+                }
+                let mean = (mean / per_c as f64) as f32;
+                let mut var = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &x.data()[base..base + plane] {
+                        let d = v - mean;
+                        var += (d * d) as f64;
+                    }
+                }
+                let var = (var / per_c as f64) as f32;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ci] = istd;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for j in 0..plane {
+                        let xh = (x.data()[base + j] - mean) * istd;
+                        x_hat.data_mut()[base + j] = xh;
+                        y.data_mut()[base + j] = gd[ci] * xh + bd[ci];
+                    }
+                }
+            }
+            self.cache = Some(BnCache { x_hat, inv_std, dims: [n, c, h, w] });
+        } else {
+            for ci in 0..c {
+                let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let mean = self.running_mean[ci];
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for j in 0..plane {
+                        let xh = (x.data()[base + j] - mean) * istd;
+                        y.data_mut()[base + j] = gd[ci] * xh + bd[ci];
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward without cached forward");
+        let [n, c, h, w] = cache.dims;
+        assert_eq!(grad_out.dims(), &[n, c, h, w]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut grad_x = Tensor::zeros(&[n, c, h, w]);
+        let gd = self.gamma.value.data().to_vec();
+
+        for ci in 0..c {
+            // Accumulate Σg and Σ(g · x̂) for this channel.
+            let mut sum_g = 0.0f64;
+            let mut sum_gx = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for j in 0..plane {
+                    let g = grad_out.data()[base + j];
+                    sum_g += g as f64;
+                    sum_gx += (g * cache.x_hat.data()[base + j]) as f64;
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += sum_gx as f32;
+            self.beta.grad.data_mut()[ci] += sum_g as f32;
+
+            let k = gd[ci] * cache.inv_std[ci] / m;
+            let sum_g = sum_g as f32;
+            let sum_gx = sum_gx as f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for j in 0..plane {
+                    let g = grad_out.data()[base + j];
+                    let xh = cache.x_hat.data()[base + j];
+                    grad_x.data_mut()[base + j] = k * (m * g - sum_g - xh * sum_gx);
+                }
+            }
+        }
+        grad_x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_tensor::SeededRng;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut rng = SeededRng::new(0);
+        let mut bn = BatchNorm::new(2);
+        let x = Tensor::uniform(&[4, 2, 3, 5], 5.0, 9.0, &mut rng);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1.
+        let plane = 15;
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                let base = (ni * 2 + ci) * plane;
+                vals.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let t = Tensor::from_vec(vals, &[4 * plane]).unwrap();
+            assert!(t.mean().abs() < 1e-4, "mean {}", t.mean());
+            assert!((t.variance() - 1.0).abs() < 1e-2, "var {}", t.variance());
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = SeededRng::new(1);
+        let mut bn = BatchNorm::new(1);
+        // Feed several training batches so running stats adapt.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[8, 1, 1, 4], 3.0, 2.0, &mut rng);
+            bn.forward(&x, true);
+        }
+        assert!((bn.running_mean()[0] - 3.0).abs() < 0.3);
+        assert!((bn.running_var()[0] - 4.0).abs() < 0.8);
+        // Eval mode should now roughly standardize fresh data from the same
+        // distribution.
+        let x = Tensor::randn(&[64, 1, 1, 4], 3.0, 2.0, &mut rng);
+        let y = bn.forward(&x, false);
+        assert!(y.mean().abs() < 0.2);
+    }
+
+    #[test]
+    fn gamma_beta_shift_output() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma.value.fill(2.0);
+        bn.beta.value.fill(1.0);
+        let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1, 1, 1]).unwrap();
+        let y = bn.forward(&x, true);
+        // x̂ = [-1, 1] (mean 0, var 1), y = 2x̂ + 1 = [-1, 3]
+        assert!(y.allclose(&Tensor::from_vec(vec![-1.0, 3.0], &[2, 1, 1, 1]).unwrap(), 1e-2));
+    }
+}

@@ -1,0 +1,349 @@
+use super::Layer;
+use crate::parallel::{par_accumulate, par_chunk_zip};
+use crate::{init, Param};
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Row-wise 2-D convolution: the single primitive behind CNN, cCNN and dCNN.
+///
+/// Input shape `(N, C_in, H, W)`; the kernel has extent `len` along the
+/// *time* axis `W`, extent `1` along the *row* axis `H`, and reduces over all
+/// `C_in` channels — i.e. the paper's kernels `(D, ℓ)` (CNN, `H = 1`),
+/// `(1, ℓ, 1)` (cCNN, `C_in = 1`) and `(D, ℓ, 1)` (dCNN) are all instances:
+///
+/// ```text
+/// out[n, co, h, w] = bias[co]
+///   + Σ_ci Σ_l  x[n, ci, h, w·stride + l − padding] · weight[co, ci, l]
+/// ```
+///
+/// Rows never mix: each row of the `C(T)` cube is convolved independently,
+/// exactly as §4.2 of the paper requires ("convolute over each row of C(T)
+/// independently").
+pub struct Conv2dRows {
+    weight: Param,
+    bias: Param,
+    c_in: usize,
+    c_out: usize,
+    len: usize,
+    stride: usize,
+    pad_left: usize,
+    pad_right: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2dRows {
+    /// Creates a convolution with Kaiming-initialized weights.
+    ///
+    /// `len` is the kernel's temporal extent ℓ; `padding` zeros are added on
+    /// both ends of the time axis; `stride` subsamples the output.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        len: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && len > 0 && stride > 0);
+        // padding < len keeps every output tap at least partially over the
+        // input, which the edge-clipping index math below relies on.
+        assert!(padding < len, "padding {padding} must be < kernel len {len}");
+        Conv2dRows::with_padding(c_in, c_out, len, stride, padding, padding, rng)
+    }
+
+    /// Convolution with asymmetric temporal padding.
+    pub fn with_padding(
+        c_in: usize,
+        c_out: usize,
+        len: usize,
+        stride: usize,
+        pad_left: usize,
+        pad_right: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && len > 0 && stride > 0);
+        assert!(pad_left < len && pad_right < len, "padding must be < kernel len {len}");
+        let fan_in = c_in * len;
+        let weight = Param::new(init::kaiming(&[c_out, c_in, len], fan_in, rng));
+        let bias = Param::new(Tensor::zeros(&[c_out]));
+        Conv2dRows {
+            weight,
+            bias,
+            c_in,
+            c_out,
+            len,
+            stride,
+            pad_left,
+            pad_right,
+            cache_x: None,
+        }
+    }
+
+    /// "Same" convolution: stride 1, output width = input width for any
+    /// kernel length (even kernels pad one extra zero on the right).
+    pub fn same(c_in: usize, c_out: usize, len: usize, rng: &mut SeededRng) -> Self {
+        Conv2dRows::with_padding(c_in, c_out, len, 1, (len - 1) / 2, len / 2, rng)
+    }
+
+    /// Output temporal length for an input of temporal length `w`.
+    pub fn out_width(&self, w: usize) -> usize {
+        let padded = w + self.pad_left + self.pad_right;
+        assert!(padded >= self.len, "input too short for kernel");
+        (padded - self.len) / self.stride + 1
+    }
+
+    /// Number of output channels (kernels).
+    pub fn out_channels(&self) -> usize {
+        self.c_out
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.c_in
+    }
+
+    /// Kernel temporal extent ℓ.
+    pub fn kernel_len(&self) -> usize {
+        self.len
+    }
+
+    fn check_input(&self, x: &Tensor) -> (usize, usize, usize) {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "Conv2dRows expects (N, C, H, W), got {d:?}");
+        assert_eq!(d[1], self.c_in, "channel mismatch: got {}, want {}", d[1], self.c_in);
+        (d[0], d[2], d[3])
+    }
+}
+
+impl Layer for Conv2dRows {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, h, w) = self.check_input(x);
+        let wo = self.out_width(w);
+        let (c_in, c_out, l, s, p) =
+            (self.c_in, self.c_out, self.len, self.stride, self.pad_left);
+        let mut out = Tensor::zeros(&[n, c_out, h, wo]);
+        let xd = x.data();
+        let wd = self.weight.value.data();
+        let bd = self.bias.value.data();
+        let sample_out = c_out * h * wo;
+
+        par_chunk_zip(out.data_mut(), sample_out, &|ni, chunk| {
+            let x_sample = &xd[ni * c_in * h * w..(ni + 1) * c_in * h * w];
+            for co in 0..c_out {
+                let w_k = &wd[co * c_in * l..(co + 1) * c_in * l];
+                let b = bd[co];
+                for hi in 0..h {
+                    let o_row = &mut chunk[(co * h + hi) * wo..(co * h + hi + 1) * wo];
+                    for (wi, o) in o_row.iter_mut().enumerate() {
+                        // valid kernel tap range: 0 <= wi*s + li - p < w
+                        let start = wi * s;
+                        let l_lo = p.saturating_sub(start);
+                        let l_hi = l.min(w + p - start);
+                        let mut acc = b;
+                        for ci in 0..c_in {
+                            let x_row = &x_sample[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                            let w_row = &w_k[ci * l..(ci + 1) * l];
+                            let base = start + l_lo - p;
+                            let span = l_hi - l_lo;
+                            let xs = &x_row[base..base + span];
+                            let ws = &w_row[l_lo..l_hi];
+                            for (xv, wv) in xs.iter().zip(ws) {
+                                acc += xv * wv;
+                            }
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+        });
+
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without cached forward");
+        let (n, h, w) = self.check_input(&x);
+        let god = grad_out.dims();
+        let wo = self.out_width(w);
+        assert_eq!(god, &[n, self.c_out, h, wo], "grad_out shape mismatch");
+
+        let (c_in, c_out, l, s, p) =
+            (self.c_in, self.c_out, self.len, self.stride, self.pad_left);
+        let xd = x.data();
+        let gd = grad_out.data();
+        let wd = self.weight.value.data();
+
+        // grad wrt input: disjoint per sample -> parallel chunks.
+        let mut grad_x = Tensor::zeros(&[n, c_in, h, w]);
+        par_chunk_zip(grad_x.data_mut(), c_in * h * w, &|ni, gx| {
+            let g_sample = &gd[ni * c_out * h * wo..(ni + 1) * c_out * h * wo];
+            for co in 0..c_out {
+                let w_k = &wd[co * c_in * l..(co + 1) * c_in * l];
+                for hi in 0..h {
+                    let g_row = &g_sample[(co * h + hi) * wo..(co * h + hi + 1) * wo];
+                    for (wi, &g) in g_row.iter().enumerate() {
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let start = wi * s;
+                        let l_lo = p.saturating_sub(start);
+                        let l_hi = l.min(w + p - start);
+                        for ci in 0..c_in {
+                            let gx_row = &mut gx[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                            let w_row = &w_k[ci * l..(ci + 1) * l];
+                            let base = start + l_lo - p;
+                            let span = l_hi - l_lo;
+                            for (gxv, wv) in
+                                gx_row[base..base + span].iter_mut().zip(&w_row[l_lo..l_hi])
+                            {
+                                *gxv += g * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        // grad wrt weight and bias: additive over samples -> per-thread
+        // accumulators reduced once. Layout: [weight grads..., bias grads...].
+        let w_len = c_out * c_in * l;
+        let acc = par_accumulate(n, w_len + c_out, &|ni, acc| {
+            let x_sample = &xd[ni * c_in * h * w..(ni + 1) * c_in * h * w];
+            let g_sample = &gd[ni * c_out * h * wo..(ni + 1) * c_out * h * wo];
+            let (gw, gb) = acc.split_at_mut(w_len);
+            for co in 0..c_out {
+                let gw_k = &mut gw[co * c_in * l..(co + 1) * c_in * l];
+                for hi in 0..h {
+                    let g_row = &g_sample[(co * h + hi) * wo..(co * h + hi + 1) * wo];
+                    for (wi, &g) in g_row.iter().enumerate() {
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[co] += g;
+                        let start = wi * s;
+                        let l_lo = p.saturating_sub(start);
+                        let l_hi = l.min(w + p - start);
+                        for ci in 0..c_in {
+                            let x_row = &x_sample[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                            let gw_row = &mut gw_k[ci * l..(ci + 1) * l];
+                            let base = start + l_lo - p;
+                            let span = l_hi - l_lo;
+                            for (gwv, xv) in
+                                gw_row[l_lo..l_hi].iter_mut().zip(&x_row[base..base + span])
+                            {
+                                *gwv += g * xv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        for (g, a) in self.weight.grad.data_mut().iter_mut().zip(&acc[..w_len]) {
+            *g += a;
+        }
+        for (g, a) in self.bias.grad.data_mut().iter_mut().zip(&acc[w_len..]) {
+            *g += a;
+        }
+
+        grad_x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_same_padding() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2dRows::same(3, 5, 3, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 4, 10]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 5, 4, 10]);
+    }
+
+    #[test]
+    fn output_shape_stride_two() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2dRows::new(1, 2, 4, 2, 0, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 1, 12]);
+        let y = conv.forward(&x, false);
+        // (12 - 4) / 2 + 1 = 5
+        assert_eq!(y.dims(), &[1, 2, 1, 5]);
+    }
+
+    #[test]
+    fn known_convolution_values() {
+        // 1 in-channel, 1 out-channel, kernel [1, 2, 3], no padding.
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2dRows::new(1, 1, 3, 1, 0, &mut rng);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]).unwrap();
+        conv.bias.value = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 2.0, 1.0], &[1, 1, 1, 4]).unwrap();
+        let y = conv.forward(&x, false);
+        // [1*1 + 0*2 + 2*3, 0*1 + 2*2 + 1*3] + 0.5 = [7.5, 7.5]
+        assert_eq!(y.data(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn rows_do_not_mix() {
+        // With two rows, zeroing one row of input must zero that output row
+        // only (bias set to zero).
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2dRows::same(1, 1, 3, &mut rng);
+        conv.bias.value.fill(0.0);
+        let mut x = Tensor::zeros(&[1, 1, 2, 6]);
+        for w in 0..6 {
+            x.set(&[0, 0, 1, w], 1.0).unwrap(); // only row 1 nonzero
+        }
+        let y = conv.forward(&x, false);
+        for w in 0..6 {
+            assert_eq!(y.at(&[0, 0, 0, w]).unwrap(), 0.0, "row 0 leaked");
+            assert_ne!(y.at(&[0, 0, 1, w]).unwrap(), 0.0, "row 1 lost signal");
+        }
+    }
+
+    #[test]
+    fn channels_are_reduced() {
+        // Both input channels must contribute to the single output channel.
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv2dRows::new(2, 1, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 10.0], &[1, 2, 1]).unwrap();
+        conv.bias.value.fill(0.0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]).unwrap();
+        let y = conv.forward(&x, false);
+        // out[w] = 1*x0[w] + 10*x1[w]
+        assert_eq!(y.data(), &[31.0, 42.0]);
+    }
+
+    #[test]
+    fn same_padding_preserves_width_for_even_kernels() {
+        // Regression: ResNet uses kernel 8; symmetric len/2 padding grew the
+        // output by one column and broke residual adds.
+        let mut rng = SeededRng::new(9);
+        for len in [2usize, 3, 4, 5, 8] {
+            let mut conv = Conv2dRows::same(1, 1, len, &mut rng);
+            let x = Tensor::zeros(&[1, 1, 1, 13]);
+            let y = conv.forward(&x, false);
+            assert_eq!(y.dims(), &[1, 1, 1, 13], "kernel {len}");
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2dRows::same(1, 1, 3, &mut rng);
+        let g = Tensor::zeros(&[1, 1, 1, 4]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv.backward(&g);
+        }));
+        assert!(result.is_err());
+    }
+}

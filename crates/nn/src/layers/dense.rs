@@ -1,0 +1,140 @@
+use super::Layer;
+use crate::{init, Param};
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Fully connected layer: `(N, in) -> (N, out)`, `y = x W^T + b`.
+///
+/// The weight is stored `(out, in)` so the CAM computation can read the
+/// per-class GAP weights `w^{C_j}_m` directly as rows.
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-initialized weights.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0);
+        let weight = Param::new(init::kaiming(&[out_dim, in_dim], in_dim, rng));
+        let bias = Param::new(Tensor::zeros(&[out_dim]));
+        Dense { weight, bias, in_dim, out_dim, cache_x: None }
+    }
+
+    /// The `(out, in)` weight matrix; row `j` holds the weights connecting
+    /// every input feature to output neuron `j` (used by CAM as `w^{C_j}`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 2, "Dense expects (N, in), got {d:?}");
+        assert_eq!(d[1], self.in_dim, "feature mismatch");
+        let n = d[0];
+        // y = x (out,in)^T -> use matmul_nt: (n,in) x (out,in)^T
+        let mut y = x.matmul_nt(&self.weight.value).expect("dense matmul");
+        let bd = self.bias.value.data().to_vec();
+        for ni in 0..n {
+            let row = &mut y.data_mut()[ni * self.out_dim..(ni + 1) * self.out_dim];
+            for (yv, bv) in row.iter_mut().zip(&bd) {
+                *yv += bv;
+            }
+        }
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without cached forward");
+        let n = x.dims()[0];
+        assert_eq!(grad_out.dims(), &[n, self.out_dim]);
+
+        // dW = g^T x : (n,out)^T x (n,in) -> (out,in)
+        let dw = grad_out.matmul_tn(&x).expect("dense dW");
+        self.weight.grad.add_assign(&dw).expect("dW accumulate");
+
+        // db = column sums of g
+        for ni in 0..n {
+            let row = &grad_out.data()[ni * self.out_dim..(ni + 1) * self.out_dim];
+            for (gb, gv) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *gb += gv;
+            }
+        }
+
+        // dx = g W : (n,out) x (out,in)
+        grad_out.matmul(&self.weight.value).expect("dense dX")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = SeededRng::new(0);
+        let mut d = Dense::new(2, 3, &mut rng);
+        d.weight.value =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        d.bias.value = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+        let y = d.forward(&x, false);
+        // rows of W: [1,2], [3,4], [5,6]; y = [1-2, 3-4, 5-6] + b
+        assert!(y.allclose(
+            &Tensor::from_vec(vec![-0.9, -0.8, -0.7], &[1, 3]).unwrap(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn batch_rows_independent() {
+        let mut rng = SeededRng::new(1);
+        let mut d = Dense::new(4, 2, &mut rng);
+        let x1 = Tensor::uniform(&[1, 4], -1.0, 1.0, &mut rng);
+        let x2 = Tensor::uniform(&[1, 4], -1.0, 1.0, &mut rng);
+        let mut both = Vec::new();
+        both.extend_from_slice(x1.data());
+        both.extend_from_slice(x2.data());
+        let xb = Tensor::from_vec(both, &[2, 4]).unwrap();
+        let y1 = d.forward(&x1, false);
+        let y2 = d.forward(&x2, false);
+        let yb = d.forward(&xb, false);
+        assert!(yb.data()[..2]
+            .iter()
+            .zip(y1.data())
+            .all(|(a, b)| (a - b).abs() < 1e-6));
+        assert!(yb.data()[2..]
+            .iter()
+            .zip(y2.data())
+            .all(|(a, b)| (a - b).abs() < 1e-6));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = SeededRng::new(2);
+        let mut d = Dense::new(7, 3, &mut rng);
+        assert_eq!(d.param_count(), 7 * 3 + 3);
+    }
+}

@@ -1,0 +1,96 @@
+use super::Layer;
+use crate::Param;
+use dcam_tensor::{SeededRng, Tensor};
+use parking_lot::Mutex;
+
+/// Inverted dropout: zeroes activations with probability `p` during training
+/// and rescales survivors by `1/(1-p)`; identity at evaluation time.
+///
+/// The RNG lives behind a mutex so the layer stays `Send` while `forward`
+/// only needs `&mut self` like every other layer; contention is nil because
+/// layers are driven single-threaded.
+pub struct Dropout {
+    p: f32,
+    rng: Mutex<SeededRng>,
+    cache_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout { p, rng: Mutex::new(SeededRng::new(seed)), cache_mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.cache_mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.lock();
+        let mask = Tensor::from_vec(
+            (0..x.len()).map(|_| if rng.chance(keep) { scale } else { 0.0 }).collect(),
+            x.dims(),
+        )
+        .expect("mask shape");
+        drop(rng);
+        let y = x.mul(&mask).expect("dropout mul");
+        self.cache_mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self.cache_mask.take() {
+            Some(mask) => grad_out.mul(&mask).expect("dropout grad"),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.4, 1);
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are rescaled by 1/(1-p).
+        let nonzero = y.data().iter().filter(|&&v| v != 0.0).count();
+        let expected_scale = 1.0 / 0.6;
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - expected_scale).abs() < 1e-5));
+        let frac = nonzero as f32 / 20_000.0;
+        assert!((frac - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[64]));
+        // Gradient must be zero exactly where the output was zero.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Neural-network layers with explicit analytic backprop.
+//!
+//! Every layer implements [`Layer`]: `forward` caches whatever the
+//! matching `backward` needs (when `train` is true), `backward` consumes the
+//! cache, accumulates parameter gradients in place and returns the gradient
+//! with respect to the layer input. Layers compose through
+//! [`container::Sequential`] and [`container::Residual`]; branching
+//! architectures (InceptionTime, MTEX-CNN) wire layers by hand in `dcam`.
+
+mod activation;
+mod batchnorm;
+mod container;
+mod conv;
+mod dense;
+mod dropout;
+mod pooling;
+
+pub use activation::{Activation, Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm;
+pub use container::{Residual, Sequential};
+pub use conv::Conv2dRows;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pooling::{GlobalAvgPool, MaxPoolW};
+
+use crate::Param;
+use dcam_tensor::Tensor;
+
+/// A differentiable network component.
+///
+/// The contract: a `backward` call must be preceded by a `forward` call with
+/// `train == true` on the same instance; gradients of parameters accumulate
+/// (callers zero them between optimizer steps via [`Layer::zero_grads`]).
+pub trait Layer: Send {
+    /// Computes the layer output. With `train == true` the layer caches the
+    /// activations its backward pass requires.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output) backward, accumulating parameter gradients and returning the
+    /// gradient w.r.t. the layer input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a construction-stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every non-trainable state buffer (e.g. batch-norm running
+    /// statistics) in a construction-stable order. Buffers are part of a
+    /// model's checkpoint but receive no gradients.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+impl Layer for Box<dyn Layer> {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        (**self).forward(x, train)
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        (**self).backward(grad_out)
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        (**self).visit_params(f)
+    }
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        (**self).visit_buffers(f)
+    }
+}

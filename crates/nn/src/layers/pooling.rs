@@ -1,0 +1,185 @@
+use super::Layer;
+use crate::Param;
+use dcam_tensor::Tensor;
+
+/// Global Average Pooling: `(N, C, H, W) -> (N, C)`.
+///
+/// Averages each feature map over all spatial positions — the layer CAM
+/// requires directly before the dense classifier (paper §2.2: the CAM method
+/// "can only be used if a Global Average Pooling layer has been used before
+/// the softmax classifier").
+pub struct GlobalAvgPool {
+    cache_dims: Option<[usize; 4]>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a GAP layer.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        GlobalAvgPool { cache_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "GAP expects (N, C, H, W), got {d:?}");
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        let plane = h * w;
+        let mut y = Tensor::zeros(&[n, c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let s: f32 = x.data()[base..base + plane].iter().sum();
+                y.data_mut()[ni * c + ci] = s / plane as f32;
+            }
+        }
+        if train {
+            self.cache_dims = Some([n, c, h, w]);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.cache_dims.take().expect("backward without cached forward");
+        assert_eq!(grad_out.dims(), &[n, c]);
+        let plane = h * w;
+        let scale = 1.0 / plane as f32;
+        let mut grad_x = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_out.data()[ni * c + ci] * scale;
+                let base = (ni * c + ci) * plane;
+                for v in &mut grad_x.data_mut()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        grad_x
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Max pooling along the time axis `W` of `(N, C, H, W)` inputs.
+///
+/// Used by the InceptionTime max-pool branch (size 3, stride 1, same
+/// padding) and MTEX-CNN's down-sampling stages.
+pub struct MaxPoolW {
+    size: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<(Vec<usize>, [usize; 4], usize)>,
+}
+
+impl MaxPoolW {
+    /// Creates a max-pool with the given window, stride and symmetric padding.
+    pub fn new(size: usize, stride: usize, padding: usize) -> Self {
+        assert!(size > 0 && stride > 0 && padding < size);
+        MaxPoolW { size, stride, padding, cache: None }
+    }
+
+    /// InceptionTime's "same" max-pool: window 3, stride 1, padding 1.
+    pub fn same3() -> Self {
+        MaxPoolW::new(3, 1, 1)
+    }
+
+    /// Output temporal length for input temporal length `w`.
+    pub fn out_width(&self, w: usize) -> usize {
+        (w + 2 * self.padding - self.size) / self.stride + 1
+    }
+}
+
+impl Layer for MaxPoolW {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "MaxPoolW expects (N, C, H, W), got {d:?}");
+        let [n, c, h, w] = [d[0], d[1], d[2], d[3]];
+        let wo = self.out_width(w);
+        let mut y = Tensor::zeros(&[n, c, h, wo]);
+        let mut argmax = vec![0usize; n * c * h * wo];
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    let base_in = ((ni * c + ci) * h + hi) * w;
+                    let base_out = ((ni * c + ci) * h + hi) * wo;
+                    for wi in 0..wo {
+                        let start = wi * self.stride;
+                        let lo = start.saturating_sub(self.padding);
+                        let hi_w = (start + self.size - self.padding).min(w);
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_j = lo;
+                        for j in lo..hi_w {
+                            let v = x.data()[base_in + j];
+                            if v > best {
+                                best = v;
+                                best_j = j;
+                            }
+                        }
+                        y.data_mut()[base_out + wi] = best;
+                        argmax[base_out + wi] = base_in + best_j;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((argmax, [n, c, h, w], wo));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, [n, c, h, w], wo) =
+            self.cache.take().expect("backward without cached forward");
+        assert_eq!(grad_out.dims(), &[n, c, h, wo]);
+        let mut grad_x = Tensor::zeros(&[n, c, h, w]);
+        for (g, &src) in grad_out.data().iter().zip(&argmax) {
+            grad_x.data_mut()[src] += g;
+        }
+        grad_x
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_averages_each_map() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = gap.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+        let g = gap.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap());
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_same3_keeps_width() {
+        let mut mp = MaxPoolW::same3();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0, 4.0], &[1, 1, 1, 5]).unwrap();
+        let y = mp.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 1, 5]);
+        assert_eq!(y.data(), &[3.0, 3.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut mp = MaxPoolW::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 9.0, 4.0, 2.0], &[1, 1, 1, 4]).unwrap();
+        let y = mp.forward(&x, true);
+        assert_eq!(y.data(), &[9.0, 4.0]);
+        let g = mp.backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]).unwrap());
+        assert_eq!(g.data(), &[0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_stride_downsamples() {
+        let mp = MaxPoolW::new(3, 2, 1);
+        assert_eq!(mp.out_width(8), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! CPU neural-network substrate for the dCAM reproduction.
+//!
+//! The dCAM paper builds on PyTorch; this crate replaces it with a compact,
+//! fully hand-written framework providing exactly what the paper's models
+//! need:
+//!
+//! * [`layers`] — the row-wise 2-D convolution unifying CNN/cCNN/dCNN,
+//!   batch norm, dense, activations, pooling (incl. the Global Average
+//!   Pooling layer CAM requires), dropout, and sequential/residual
+//!   containers;
+//! * [`recurrent`] — RNN/LSTM/GRU baselines with backpropagation through
+//!   time;
+//! * [`loss`] — softmax cross-entropy;
+//! * [`optim`] — Adam and SGD;
+//! * [`trainer`] — mini-batch training with validation-based early stopping;
+//! * [`gradcheck`] — finite-difference verification used by the test suite
+//!   to validate every analytic backward pass.
+//!
+//! Layers follow a simple contract ([`Layer`]): `forward` caches what
+//! `backward` needs, `backward` accumulates parameter gradients in place.
+//! Convolution kernels parallelize over batch samples with crossbeam.
+//!
+//! # Example: train a tiny CNN
+//!
+//! ```
+//! use dcam_nn::layers::{Conv2dRows, Dense, GlobalAvgPool, Layer, Relu, Sequential};
+//! use dcam_nn::optim::Adam;
+//! use dcam_nn::trainer::{fit, LabelledSet, TrainConfig};
+//! use dcam_tensor::{SeededRng, Tensor};
+//!
+//! let mut rng = SeededRng::new(0);
+//! let mut model = Sequential::new()
+//!     .push(Conv2dRows::same(1, 4, 3, &mut rng))
+//!     .push(Relu::new())
+//!     .push(GlobalAvgPool::new())
+//!     .push(Dense::new(4, 2, &mut rng));
+//!
+//! // Two trivially separable classes: constant −1 vs +1 signals.
+//! let mut inputs = Vec::new();
+//! let mut labels = Vec::new();
+//! for i in 0..16 {
+//!     let v = if i % 2 == 0 { -1.0 } else { 1.0 };
+//!     inputs.push(Tensor::filled(&[1, 1, 8], v));
+//!     labels.push(i % 2);
+//! }
+//! let set = LabelledSet::new(inputs, labels);
+//! let cfg = TrainConfig { epochs: 30, batch_size: 4, patience: None, ..Default::default() };
+//! let history = fit(&mut model, &mut Adam::new(0.05), &set, None, &cfg);
+//! assert!(history.train_loss.last().unwrap() < &0.2);
+//! ```
+
+pub mod checkpoint;
+pub mod gradcheck;
+mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+mod parallel;
+mod param;
+pub mod recurrent;
+pub mod trainer;
+
+pub use init::{kaiming, xavier};
+pub use layers::Layer;
+pub use parallel::{par_accumulate, par_chunk_zip, thread_count};
+pub use param::Param;

@@ -1,0 +1,140 @@
+//! Softmax cross-entropy loss, the paper's training objective.
+
+use dcam_tensor::Tensor;
+
+/// Numerically stable softmax over the last axis of a `(N, K)` tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let d = logits.dims();
+    assert_eq!(d.len(), 2, "softmax expects (N, K), got {d:?}");
+    let (n, k) = (d[0], d[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    for ni in 0..n {
+        let row = &logits.data()[ni * k..(ni + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        let o = &mut out.data_mut()[ni * k..(ni + 1) * k];
+        for (ov, &lv) in o.iter_mut().zip(row) {
+            let e = (lv - m).exp();
+            *ov = e;
+            denom += e;
+        }
+        for ov in o.iter_mut() {
+            *ov /= denom;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over a batch, plus the gradient w.r.t. logits.
+///
+/// Returns `(loss, grad)` where `grad[n, k] = (softmax − onehot)/N`, ready to
+/// feed straight into the network's `backward`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let d = logits.dims();
+    assert_eq!(d.len(), 2, "loss expects (N, K) logits");
+    let (n, k) = (d[0], d[1]);
+    assert_eq!(labels.len(), n, "label count must match batch");
+    let probs = softmax(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (ni, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let p = probs.data()[ni * k + label].max(1e-12);
+        loss -= (p as f64).ln();
+        let row = &mut grad.data_mut()[ni * k..(ni + 1) * k];
+        row[label] -= 1.0;
+        for g in row.iter_mut() {
+            *g *= inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Predicted class per batch row (argmax of logits).
+pub fn predictions(logits: &Tensor) -> Vec<usize> {
+    let d = logits.dims();
+    assert_eq!(d.len(), 2);
+    let (n, k) = (d[0], d[1]);
+    (0..n)
+        .map(|ni| {
+            let row = &logits.data()[ni * k..(ni + 1) * k];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -10.0, 0.0, 10.0], &[2, 3]).unwrap();
+        let p = softmax(&logits);
+        for ni in 0..2 {
+            let s: f32 = p.data()[ni * 3..(ni + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Large logits dominate.
+        assert!(p.at(&[1, 2]).unwrap() > 0.999);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]).unwrap();
+        assert!(softmax(&a).allclose(&softmax(&b), 1e-6));
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k_loss() {
+        let logits = Tensor::zeros(&[4, 5]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits =
+            Tensor::from_vec(vec![30.0, 0.0, 0.0, 0.0, 30.0, 0.0], &[2, 3]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.0, -0.2], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "element {i}: numeric {numeric} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_pick_argmax() {
+        let logits =
+            Tensor::from_vec(vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0], &[2, 3]).unwrap();
+        assert_eq!(predictions(&logits), vec![1, 0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//!
+//! The convolution kernels parallelize over batch samples: each sample's
+//! output (or gradient) slice is disjoint, so work splits without locking.
+//! Thread count defaults to the machine's available parallelism and can be
+//! pinned with the `DCAM_THREADS` environment variable (useful to make
+//! benchmark runs comparable).
+
+use std::sync::OnceLock;
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Number of worker threads used by the parallel helpers.
+pub fn thread_count() -> usize {
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("DCAM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Splits `out` into consecutive `chunk_len`-sized pieces and calls
+/// `f(chunk_index, chunk)` for each, distributing chunks across threads.
+///
+/// `out.len()` must be a multiple of `chunk_len`. Falls back to a sequential
+/// loop when only one thread is available or there is a single chunk.
+pub fn par_chunk_zip<F>(out: &mut [f32], chunk_len: usize, f: &F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(out.len() % chunk_len, 0, "output not divisible into chunks");
+    let n_chunks = out.len() / chunk_len;
+    let threads = thread_count().min(n_chunks);
+    if threads <= 1 {
+        for (i, c) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut [f32])>> =
+        (0..threads).map(|_| Vec::with_capacity(n_chunks / threads + 1)).collect();
+    for (i, c) in out.chunks_mut(chunk_len).enumerate() {
+        buckets[i % threads].push((i, c));
+    }
+    crossbeam::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move |_| {
+                for (i, c) in bucket {
+                    f(i, c);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f(item, local_accumulator)` for every item in `0..n_items`,
+/// giving each thread a private `acc_len` accumulator, and returns the
+/// elementwise sum of all thread-local accumulators.
+///
+/// Used for weight gradients: samples contribute additively, so per-thread
+/// partial sums followed by one reduction avoid both locks and races.
+pub fn par_accumulate<F>(n_items: usize, acc_len: usize, f: &F) -> Vec<f32>
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let threads = thread_count().min(n_items.max(1));
+    if threads <= 1 {
+        let mut acc = vec![0.0f32; acc_len];
+        for i in 0..n_items {
+            f(i, &mut acc);
+        }
+        return acc;
+    }
+    let partials: Vec<Vec<f32>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move |_| {
+                    let mut acc = vec![0.0f32; acc_len];
+                    let mut i = t;
+                    while i < n_items {
+                        f(i, &mut acc);
+                        i += threads;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope failed");
+
+    let mut total = vec![0.0f32; acc_len];
+    for p in partials {
+        for (t, v) in total.iter_mut().zip(p) {
+            *t += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunk_zip_touches_every_chunk_once() {
+        let mut out = vec![0.0f32; 24];
+        par_chunk_zip(&mut out, 4, &|i, chunk| {
+            for (j, c) in chunk.iter_mut().enumerate() {
+                *c = (i * 4 + j) as f32;
+            }
+        });
+        let want: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn par_accumulate_sums_all_items() {
+        // Each item i adds i to slot i % 3.
+        let acc = par_accumulate(100, 3, &|i, acc| {
+            acc[i % 3] += i as f32;
+        });
+        let mut want = vec![0.0f32; 3];
+        for i in 0..100 {
+            want[i % 3] += i as f32;
+        }
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn par_accumulate_zero_items() {
+        let acc = par_accumulate(0, 4, &|_, _| panic!("should not run"));
+        assert_eq!(acc, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn par_chunk_zip_rejects_ragged() {
+        let mut out = vec![0.0f32; 5];
+        par_chunk_zip(&mut out, 2, &|_, _| {});
+    }
+}

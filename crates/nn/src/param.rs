@@ -1,0 +1,59 @@
+use dcam_tensor::Tensor;
+
+/// A trainable parameter: its current value plus an accumulated gradient.
+///
+/// Layers own their `Param`s; [`crate::Layer::visit_params`] exposes them in
+/// a construction-stable order so optimizers can keep index-aligned state
+/// (e.g. Adam moments).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of matching shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar elements in this parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,567 @@
+//! Recurrent baselines: RNN, LSTM and GRU layers with truncated-free BPTT.
+//!
+//! The paper's experimental study (§2.1, Table 2) includes vanilla RNN,
+//! LSTM and GRU classifiers with one recurrent hidden layer followed by a
+//! dense classification head. These layers consume `(N, D, n)` inputs
+//! (batch, input features per step, time steps) and emit the final hidden
+//! state `(N, H)`.
+
+use crate::layers::Layer;
+use crate::{init, Param};
+use dcam_tensor::{SeededRng, Tensor};
+
+/// Extracts time slice `t` from an `(N, D, n)` tensor as `(N, D)`.
+fn time_slice(x: &Tensor, t: usize) -> Tensor {
+    let d = x.dims();
+    let (n, feat, steps) = (d[0], d[1], d[2]);
+    let mut out = Tensor::zeros(&[n, feat]);
+    for ni in 0..n {
+        for fi in 0..feat {
+            out.data_mut()[ni * feat + fi] = x.data()[(ni * feat + fi) * steps + t];
+        }
+    }
+    out
+}
+
+/// Adds an `(N, D)` gradient into slice `t` of an `(N, D, n)` gradient tensor.
+fn scatter_time(grad_x: &mut Tensor, g: &Tensor, t: usize) {
+    let d = grad_x.dims();
+    let (n, feat, steps) = (d[0], d[1], d[2]);
+    for ni in 0..n {
+        for fi in 0..feat {
+            grad_x.data_mut()[(ni * feat + fi) * steps + t] += g.data()[ni * feat + fi];
+        }
+    }
+}
+
+/// `x Wx^T + h Wh^T + b` for a batch: the shared affine step of every cell.
+fn affine(x: &Tensor, h: &Tensor, wx: &Tensor, wh: &Tensor, b: &Tensor) -> Tensor {
+    let mut z = x.matmul_nt(wx).expect("x projection");
+    let zh = h.matmul_nt(wh).expect("h projection");
+    z.add_assign(&zh).expect("gate add");
+    let (n, hd) = (z.dims()[0], z.dims()[1]);
+    for ni in 0..n {
+        for k in 0..hd {
+            z.data_mut()[ni * hd + k] += b.data()[k];
+        }
+    }
+    z
+}
+
+/// Accumulates the parameter gradients of one affine step:
+/// `dWx += g^T x`, `dWh += g^T h`, `db += column-sums(g)`,
+/// and returns `(g Wx, g Wh)` — gradients flowing to `x` and `h`.
+fn affine_backward(
+    g: &Tensor,
+    x: &Tensor,
+    h: &Tensor,
+    wx: &mut Param,
+    wh: &mut Param,
+    b: &mut Param,
+) -> (Tensor, Tensor) {
+    let dwx = g.matmul_tn(x).expect("dWx");
+    wx.grad.add_assign(&dwx).expect("dWx accumulate");
+    let dwh = g.matmul_tn(h).expect("dWh");
+    wh.grad.add_assign(&dwh).expect("dWh accumulate");
+    let (n, hd) = (g.dims()[0], g.dims()[1]);
+    for ni in 0..n {
+        for k in 0..hd {
+            b.grad.data_mut()[k] += g.data()[ni * hd + k];
+        }
+    }
+    let gx = g.matmul(&wx.value).expect("gx");
+    let gh = g.matmul(&wh.value).expect("gh");
+    (gx, gh)
+}
+
+// ---------------------------------------------------------------------------
+// Vanilla RNN
+// ---------------------------------------------------------------------------
+
+/// Elman RNN: `h_t = tanh(Wx x_t + Wh h_{t−1} + b)`, returning `h_n`.
+pub struct Rnn {
+    wx: Param,
+    wh: Param,
+    b: Param,
+    input: usize,
+    hidden: usize,
+    cache: Option<RnnCache>,
+}
+
+struct RnnCache {
+    x: Tensor,
+    hs: Vec<Tensor>, // h_0 (zeros) .. h_n
+}
+
+impl Rnn {
+    /// Creates an RNN layer with Xavier-initialized weights.
+    pub fn new(input: usize, hidden: usize, rng: &mut SeededRng) -> Self {
+        Rnn {
+            wx: Param::new(init::xavier(&[hidden, input], input, hidden, rng)),
+            wh: Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng)),
+            b: Param::new(Tensor::zeros(&[hidden])),
+            input,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Layer for Rnn {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 3, "Rnn expects (N, D, n), got {d:?}");
+        assert_eq!(d[1], self.input, "input feature mismatch");
+        let (n, steps) = (d[0], d[2]);
+        let mut hs = vec![Tensor::zeros(&[n, self.hidden])];
+        for t in 0..steps {
+            let xt = time_slice(x, t);
+            let z = affine(&xt, &hs[t], &self.wx.value, &self.wh.value, &self.b.value);
+            hs.push(z.map(|v| v.tanh()));
+        }
+        let out = hs[steps].clone();
+        if train {
+            self.cache = Some(RnnCache { x: x.clone(), hs });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward without cached forward");
+        let d = cache.x.dims().to_vec();
+        let (n, steps) = (d[0], d[2]);
+        let mut grad_x = Tensor::zeros(&d);
+        let mut gh = grad_out.clone();
+        assert_eq!(gh.dims(), &[n, self.hidden]);
+        for t in (0..steps).rev() {
+            // dz = gh * (1 - h_{t+1}^2)
+            let h_next = &cache.hs[t + 1];
+            let dz = gh
+                .zip_with(h_next, |g, h| g * (1.0 - h * h))
+                .expect("tanh grad");
+            let xt = time_slice(&cache.x, t);
+            let (gx, gh_prev) =
+                affine_backward(&dz, &xt, &cache.hs[t], &mut self.wx, &mut self.wh, &mut self.b);
+            scatter_time(&mut grad_x, &gx, t);
+            gh = gh_prev;
+        }
+        grad_x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LSTM
+// ---------------------------------------------------------------------------
+
+/// LSTM with input/forget/cell/output gates, returning the final hidden state.
+pub struct Lstm {
+    // One (Wx, Wh, b) triple per gate: i, f, g, o.
+    wx: [Param; 4],
+    wh: [Param; 4],
+    b: [Param; 4],
+    input: usize,
+    hidden: usize,
+    cache: Option<LstmCache>,
+}
+
+struct LstmStep {
+    i: Tensor,
+    f: Tensor,
+    g: Tensor,
+    o: Tensor,
+    tanh_c: Tensor, // tanh(c_t)
+}
+
+struct LstmCache {
+    x: Tensor,
+    hs: Vec<Tensor>,
+    cs: Vec<Tensor>,
+    steps_cache: Vec<LstmStep>,
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM layer; forget-gate bias starts at 1 (standard trick).
+    pub fn new(input: usize, hidden: usize, rng: &mut SeededRng) -> Self {
+        let mk_wx = |rng: &mut SeededRng| {
+            Param::new(init::xavier(&[hidden, input], input, hidden, rng))
+        };
+        let mk_wh = |rng: &mut SeededRng| {
+            Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng))
+        };
+        let wx = [mk_wx(rng), mk_wx(rng), mk_wx(rng), mk_wx(rng)];
+        let wh = [mk_wh(rng), mk_wh(rng), mk_wh(rng), mk_wh(rng)];
+        let mut b = [
+            Param::new(Tensor::zeros(&[hidden])),
+            Param::new(Tensor::zeros(&[hidden])),
+            Param::new(Tensor::zeros(&[hidden])),
+            Param::new(Tensor::zeros(&[hidden])),
+        ];
+        b[1].value.fill(1.0); // forget gate bias
+        Lstm { wx, wh, b, input, hidden, cache: None }
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 3, "Lstm expects (N, D, n), got {d:?}");
+        assert_eq!(d[1], self.input, "input feature mismatch");
+        let (n, steps) = (d[0], d[2]);
+        let mut hs = vec![Tensor::zeros(&[n, self.hidden])];
+        let mut cs = vec![Tensor::zeros(&[n, self.hidden])];
+        let mut steps_cache = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let xt = time_slice(x, t);
+            let h_prev = &hs[t];
+            let zi = affine(&xt, h_prev, &self.wx[0].value, &self.wh[0].value, &self.b[0].value);
+            let zf = affine(&xt, h_prev, &self.wx[1].value, &self.wh[1].value, &self.b[1].value);
+            let zg = affine(&xt, h_prev, &self.wx[2].value, &self.wh[2].value, &self.b[2].value);
+            let zo = affine(&xt, h_prev, &self.wx[3].value, &self.wh[3].value, &self.b[3].value);
+            let i = zi.map(sigmoid);
+            let f = zf.map(sigmoid);
+            let g = zg.map(|v| v.tanh());
+            let o = zo.map(sigmoid);
+            let c = f
+                .mul(&cs[t])
+                .and_then(|fc| i.mul(&g).and_then(|ig| fc.add(&ig)))
+                .expect("cell update");
+            let tanh_c = c.map(|v| v.tanh());
+            let h = o.mul(&tanh_c).expect("hidden update");
+            hs.push(h);
+            cs.push(c.clone());
+            steps_cache.push(LstmStep { i, f, g, o, tanh_c });
+        }
+        let out = hs[steps].clone();
+        if train {
+            self.cache = Some(LstmCache { x: x.clone(), hs, cs, steps_cache });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward without cached forward");
+        let d = cache.x.dims().to_vec();
+        let steps = d[2];
+        let mut grad_x = Tensor::zeros(&d);
+        let mut gh = grad_out.clone();
+        let mut gc = Tensor::zeros(gh.dims());
+        for t in (0..steps).rev() {
+            let st = &cache.steps_cache[t];
+            // h = o * tanh(c)
+            let go = gh.mul(&st.tanh_c).expect("go");
+            let gtanh_c = gh.mul(&st.o).expect("gtanh_c");
+            // c grad: from h path plus carried gc
+            let mut gc_total = gtanh_c
+                .zip_with(&st.tanh_c, |g, tc| g * (1.0 - tc * tc))
+                .expect("dtanh");
+            gc_total.add_assign(&gc).expect("carry gc");
+            // c = f*c_prev + i*g
+            let gf = gc_total.mul(&cache.cs[t]).expect("gf");
+            let gi = gc_total.mul(&st.g).expect("gi");
+            let gg = gc_total.mul(&st.i).expect("gg");
+            gc = gc_total.mul(&st.f).expect("gc carry");
+            // Pre-activation grads.
+            let dzi = gi.zip_with(&st.i, |g, y| g * y * (1.0 - y)).expect("dzi");
+            let dzf = gf.zip_with(&st.f, |g, y| g * y * (1.0 - y)).expect("dzf");
+            let dzg = gg.zip_with(&st.g, |g, y| g * (1.0 - y * y)).expect("dzg");
+            let dzo = go.zip_with(&st.o, |g, y| g * y * (1.0 - y)).expect("dzo");
+
+            let xt = time_slice(&cache.x, t);
+            let h_prev = &cache.hs[t];
+            let mut gx_total: Option<Tensor> = None;
+            let mut gh_total: Option<Tensor> = None;
+            for (k, dz) in [dzi, dzf, dzg, dzo].iter().enumerate() {
+                let (gx, gh_part) = affine_backward(
+                    dz,
+                    &xt,
+                    h_prev,
+                    &mut self.wx[k],
+                    &mut self.wh[k],
+                    &mut self.b[k],
+                );
+                match &mut gx_total {
+                    Some(acc) => acc.add_assign(&gx).expect("gx sum"),
+                    None => gx_total = Some(gx),
+                }
+                match &mut gh_total {
+                    Some(acc) => acc.add_assign(&gh_part).expect("gh sum"),
+                    None => gh_total = Some(gh_part),
+                }
+            }
+            scatter_time(&mut grad_x, &gx_total.expect("gx"), t);
+            gh = gh_total.expect("gh");
+        }
+        grad_x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for k in 0..4 {
+            f(&mut self.wx[k]);
+            f(&mut self.wh[k]);
+            f(&mut self.b[k]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GRU
+// ---------------------------------------------------------------------------
+
+/// GRU with reset/update gates, returning the final hidden state.
+///
+/// Uses the PyTorch gate formulation:
+/// `r = σ(..)`, `z = σ(..)`, `ñ = tanh(Wx x + b + r ⊙ (Wh h + bh))`,
+/// `h' = (1 − z) ⊙ ñ + z ⊙ h`.
+pub struct Gru {
+    wx: [Param; 3], // r, z, n
+    wh: [Param; 3],
+    bx: [Param; 3],
+    bh: Param, // hidden bias of candidate gate (kept separate per PyTorch)
+    input: usize,
+    hidden: usize,
+    cache: Option<GruCache>,
+}
+
+struct GruStep {
+    r: Tensor,
+    z: Tensor,
+    n_cand: Tensor,
+    hh_n: Tensor, // Wh_n h + bh (pre reset-multiplication)
+}
+
+struct GruCache {
+    x: Tensor,
+    hs: Vec<Tensor>,
+    steps_cache: Vec<GruStep>,
+}
+
+impl Gru {
+    /// Creates a GRU layer with Xavier-initialized weights.
+    pub fn new(input: usize, hidden: usize, rng: &mut SeededRng) -> Self {
+        let mk_wx = |rng: &mut SeededRng| {
+            Param::new(init::xavier(&[hidden, input], input, hidden, rng))
+        };
+        let mk_wh = |rng: &mut SeededRng| {
+            Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng))
+        };
+        Gru {
+            wx: [mk_wx(rng), mk_wx(rng), mk_wx(rng)],
+            wh: [mk_wh(rng), mk_wh(rng), mk_wh(rng)],
+            bx: [
+                Param::new(Tensor::zeros(&[hidden])),
+                Param::new(Tensor::zeros(&[hidden])),
+                Param::new(Tensor::zeros(&[hidden])),
+            ],
+            bh: Param::new(Tensor::zeros(&[hidden])),
+            input,
+            hidden,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 3, "Gru expects (N, D, n), got {d:?}");
+        assert_eq!(d[1], self.input, "input feature mismatch");
+        let (n, steps) = (d[0], d[2]);
+        let mut hs = vec![Tensor::zeros(&[n, self.hidden])];
+        let mut steps_cache = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let xt = time_slice(x, t);
+            let h_prev = &hs[t];
+            let zr = affine(&xt, h_prev, &self.wx[0].value, &self.wh[0].value, &self.bx[0].value);
+            let zz = affine(&xt, h_prev, &self.wx[1].value, &self.wh[1].value, &self.bx[1].value);
+            let r = zr.map(sigmoid);
+            let z = zz.map(sigmoid);
+            // hh_n = Wh_n h + bh ; candidate pre-activation = Wx_n x + bx_n + r*hh_n
+            let mut hh_n = h_prev.matmul_nt(&self.wh[2].value).expect("hh_n");
+            let hd = self.hidden;
+            for ni in 0..n {
+                for k in 0..hd {
+                    hh_n.data_mut()[ni * hd + k] += self.bh.value.data()[k];
+                }
+            }
+            let mut zn = xt.matmul_nt(&self.wx[2].value).expect("xn");
+            for ni in 0..n {
+                for k in 0..hd {
+                    zn.data_mut()[ni * hd + k] += self.bx[2].value.data()[k];
+                }
+            }
+            let rhh = r.mul(&hh_n).expect("r*hh");
+            zn.add_assign(&rhh).expect("candidate preact");
+            let n_cand = zn.map(|v| v.tanh());
+            // h' = (1-z)*n + z*h
+            let h = n_cand
+                .zip_with(&z, |nv, zv| (1.0 - zv) * nv)
+                .and_then(|a| z.mul(h_prev).and_then(|zh| a.add(&zh)))
+                .expect("gru hidden");
+            hs.push(h);
+            steps_cache.push(GruStep { r, z, n_cand, hh_n });
+        }
+        let out = hs[steps].clone();
+        if train {
+            self.cache = Some(GruCache { x: x.clone(), hs, steps_cache });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward without cached forward");
+        let d = cache.x.dims().to_vec();
+        let (n, steps) = (d[0], d[2]);
+        let hd = self.hidden;
+        let mut grad_x = Tensor::zeros(&d);
+        let mut gh = grad_out.clone();
+        for t in (0..steps).rev() {
+            let st = &cache.steps_cache[t];
+            let h_prev = &cache.hs[t];
+            // h' = (1-z)*n + z*h_prev
+            let gz = gh
+                .zip_with(&st.n_cand, |g, nv| -g * nv)
+                .and_then(|a| gh.mul(h_prev).and_then(|b| a.add(&b)))
+                .expect("gz");
+            let gn = gh.zip_with(&st.z, |g, zv| g * (1.0 - zv)).expect("gn");
+            let mut gh_prev = gh.mul(&st.z).expect("gh carry");
+            // n = tanh(zn); zn = Wx_n x + bx_n + r*hh_n
+            let dzn = gn
+                .zip_with(&st.n_cand, |g, y| g * (1.0 - y * y))
+                .expect("dzn");
+            let gr = dzn.mul(&st.hh_n).expect("gr");
+            let ghh_n = dzn.mul(&st.r).expect("ghh_n");
+            // Candidate x-side params.
+            let xt = time_slice(&cache.x, t);
+            let dwx_n = dzn.matmul_tn(&xt).expect("dWx_n");
+            self.wx[2].grad.add_assign(&dwx_n).expect("acc dWx_n");
+            for ni in 0..n {
+                for k in 0..hd {
+                    self.bx[2].grad.data_mut()[k] += dzn.data()[ni * hd + k];
+                }
+            }
+            let gx_n = dzn.matmul(&self.wx[2].value).expect("gx_n");
+            // Candidate h-side params (through hh_n).
+            let dwh_n = ghh_n.matmul_tn(h_prev).expect("dWh_n");
+            self.wh[2].grad.add_assign(&dwh_n).expect("acc dWh_n");
+            for ni in 0..n {
+                for k in 0..hd {
+                    self.bh.grad.data_mut()[k] += ghh_n.data()[ni * hd + k];
+                }
+            }
+            gh_prev
+                .add_assign(&ghh_n.matmul(&self.wh[2].value).expect("gh_n"))
+                .expect("gh acc");
+            // Gate r and z pre-activations.
+            let dzr = gr.zip_with(&st.r, |g, y| g * y * (1.0 - y)).expect("dzr");
+            let dzz = gz.zip_with(&st.z, |g, y| g * y * (1.0 - y)).expect("dzz");
+            let (gx_r, gh_r) = affine_backward(
+                &dzr,
+                &xt,
+                h_prev,
+                &mut self.wx[0],
+                &mut self.wh[0],
+                &mut self.bx[0],
+            );
+            let (gx_z, gh_z) = affine_backward(
+                &dzz,
+                &xt,
+                h_prev,
+                &mut self.wx[1],
+                &mut self.wh[1],
+                &mut self.bx[1],
+            );
+            gh_prev.add_assign(&gh_r).expect("gh r");
+            gh_prev.add_assign(&gh_z).expect("gh z");
+            let mut gx_total = gx_n;
+            gx_total.add_assign(&gx_r).expect("gx r");
+            gx_total.add_assign(&gx_z).expect("gx z");
+            scatter_time(&mut grad_x, &gx_total, t);
+            gh = gh_prev;
+        }
+        grad_x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for k in 0..3 {
+            f(&mut self.wx[k]);
+            f(&mut self.wh[k]);
+            f(&mut self.bx[k]);
+        }
+        f(&mut self.bh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_input(rng: &mut SeededRng) -> Tensor {
+        Tensor::uniform(&[3, 2, 5], -1.0, 1.0, rng)
+    }
+
+    #[test]
+    fn rnn_output_shape() {
+        let mut rng = SeededRng::new(0);
+        let mut rnn = Rnn::new(2, 7, &mut rng);
+        let x = toy_input(&mut rng);
+        let y = rnn.forward(&x, false);
+        assert_eq!(y.dims(), &[3, 7]);
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0), "tanh bound violated");
+    }
+
+    #[test]
+    fn lstm_output_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut lstm = Lstm::new(2, 4, &mut rng);
+        let x = toy_input(&mut rng);
+        let y = lstm.forward(&x, false);
+        assert_eq!(y.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn gru_output_shape() {
+        let mut rng = SeededRng::new(2);
+        let mut gru = Gru::new(2, 4, &mut rng);
+        let x = toy_input(&mut rng);
+        let y = gru.forward(&x, false);
+        assert_eq!(y.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn rnn_depends_on_sequence_order() {
+        let mut rng = SeededRng::new(3);
+        let mut rnn = Rnn::new(1, 4, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]).unwrap();
+        let x_rev = Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0], &[1, 1, 4]).unwrap();
+        let y = rnn.forward(&x, false);
+        let y_rev = rnn.forward(&x_rev, false);
+        assert!(!y.allclose(&y_rev, 1e-5), "RNN ignored sequence order");
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = SeededRng::new(4);
+        let (i, h) = (3, 5);
+        let mut rnn = Rnn::new(i, h, &mut rng);
+        assert_eq!(rnn.param_count(), h * i + h * h + h);
+        let mut lstm = Lstm::new(i, h, &mut rng);
+        assert_eq!(lstm.param_count(), 4 * (h * i + h * h + h));
+        let mut gru = Gru::new(i, h, &mut rng);
+        assert_eq!(gru.param_count(), 3 * (h * i + h * h + h) + h);
+    }
+}

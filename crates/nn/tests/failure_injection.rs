@@ -1,0 +1,151 @@
+//! Failure-injection tests: the substrate must fail loudly and precisely on
+//! contract violations, not corrupt training silently.
+
+use dcam_nn::layers::{BatchNorm, Conv2dRows, Dense, GlobalAvgPool, Layer, Sequential};
+use dcam_nn::loss::softmax_cross_entropy;
+use dcam_nn::optim::{Adam, Optimizer};
+use dcam_nn::trainer::{evaluate, fit, LabelledSet, TrainConfig};
+use dcam_tensor::{SeededRng, Tensor};
+
+fn catches(f: impl FnOnce()) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err()
+}
+
+#[test]
+fn conv_rejects_channel_mismatch() {
+    let mut rng = SeededRng::new(0);
+    let mut conv = Conv2dRows::same(3, 4, 3, &mut rng);
+    assert!(catches(move || {
+        conv.forward(&Tensor::zeros(&[1, 2, 1, 8]), false);
+    }));
+}
+
+#[test]
+fn conv_rejects_wrong_rank() {
+    let mut rng = SeededRng::new(1);
+    let mut conv = Conv2dRows::same(2, 2, 3, &mut rng);
+    assert!(catches(move || {
+        conv.forward(&Tensor::zeros(&[2, 2, 8]), false);
+    }));
+}
+
+#[test]
+fn conv_rejects_padding_not_below_kernel() {
+    let mut rng = SeededRng::new(2);
+    assert!(catches(move || {
+        Conv2dRows::new(1, 1, 3, 1, 3, &mut rng);
+    }));
+}
+
+#[test]
+fn dense_rejects_feature_mismatch() {
+    let mut rng = SeededRng::new(3);
+    let mut dense = Dense::new(4, 2, &mut rng);
+    assert!(catches(move || {
+        dense.forward(&Tensor::zeros(&[1, 5]), false);
+    }));
+}
+
+#[test]
+fn batchnorm_rejects_channel_mismatch() {
+    let mut bn = BatchNorm::new(3);
+    assert!(catches(move || {
+        bn.forward(&Tensor::zeros(&[1, 2, 1, 4]), true);
+    }));
+}
+
+#[test]
+fn loss_rejects_label_out_of_range() {
+    let logits = Tensor::zeros(&[2, 3]);
+    assert!(catches(|| {
+        softmax_cross_entropy(&logits, &[0, 3]);
+    }));
+}
+
+#[test]
+fn loss_rejects_wrong_label_count() {
+    let logits = Tensor::zeros(&[2, 3]);
+    assert!(catches(|| {
+        softmax_cross_entropy(&logits, &[0]);
+    }));
+}
+
+#[test]
+fn double_backward_is_an_error() {
+    // The cache is consumed by the first backward; a second must panic, not
+    // silently reuse stale activations.
+    let mut rng = SeededRng::new(4);
+    let mut conv = Conv2dRows::same(1, 1, 3, &mut rng);
+    let x = Tensor::zeros(&[1, 1, 1, 6]);
+    let y = conv.forward(&x, true);
+    let _ = conv.backward(&y);
+    assert!(catches(move || {
+        let _ = conv.backward(&y);
+    }));
+}
+
+#[test]
+fn fit_rejects_empty_training_set() {
+    let mut rng = SeededRng::new(5);
+    let mut model = Dense::new(2, 2, &mut rng);
+    let empty = LabelledSet::default();
+    let cfg = TrainConfig::default();
+    assert!(catches(move || {
+        fit(&mut model, &mut Adam::new(0.01), &empty, None, &cfg);
+    }));
+}
+
+#[test]
+fn evaluate_on_empty_set_is_defined() {
+    let mut rng = SeededRng::new(6);
+    let mut model = Dense::new(2, 2, &mut rng);
+    let (loss, acc) = evaluate(&mut model, &LabelledSet::default(), 8);
+    assert_eq!(loss, 0.0);
+    assert_eq!(acc, 0.0);
+}
+
+#[test]
+fn optimizer_state_stays_aligned_across_steps() {
+    // Two Adam steps on the same model must reuse per-parameter moments;
+    // verify via the bias-corrected step shrinking when gradients flip sign.
+    let mut rng = SeededRng::new(7);
+    let mut model = Sequential::new()
+        .push(Dense::new(2, 4, &mut rng))
+        .push(Dense::new(4, 2, &mut rng));
+    let mut opt = Adam::new(0.1);
+
+    let snapshot = |m: &mut Sequential| {
+        let mut v = Vec::new();
+        m.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+        v
+    };
+
+    model.visit_params(&mut |p| p.grad.fill(1.0));
+    let before = snapshot(&mut model);
+    opt.step(&mut model);
+    let mid = snapshot(&mut model);
+    // Opposite gradient: with momentum the second step must be smaller in
+    // magnitude than a fresh first step would be.
+    model.zero_grads();
+    model.visit_params(&mut |p| p.grad.fill(-1.0));
+    opt.step(&mut model);
+    let after = snapshot(&mut model);
+    let step1: f32 = before.iter().zip(&mid).map(|(a, b)| (a - b).abs()).sum();
+    let step2: f32 = mid.iter().zip(&after).map(|(a, b)| (a - b).abs()).sum();
+    assert!(
+        step2 < step1,
+        "second (sign-flipped) Adam step {step2} should be damped vs {step1}"
+    );
+}
+
+#[test]
+fn gap_then_dense_rejects_mismatched_channels() {
+    let mut rng = SeededRng::new(8);
+    let mut model = Sequential::new()
+        .push(GlobalAvgPool::new())
+        .push(Dense::new(4, 2, &mut rng));
+    // GAP emits 3 channels but Dense expects 4.
+    assert!(catches(move || {
+        model.forward(&Tensor::zeros(&[1, 3, 2, 5]), false);
+    }));
+}

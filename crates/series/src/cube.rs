@@ -1,0 +1,180 @@
+//! The `C(T)` input cube of dCNN (paper §4.2) and the index bookkeeping the
+//! dCAM `M` transformation needs (§4.4, Definitions 1–2).
+//!
+//! `C(T) ∈ R^(D,D,n)` stacks `D` rotations of the dimension order: row `r`
+//! holds, at within-row position `p`, the dimension `T^((p + r) mod D)`.
+//! Every row and every column therefore contains each dimension exactly
+//! once — the property dCAM exploits to attribute activation to individual
+//! dimensions.
+//!
+//! Tensor layout for the `Conv2dRows` primitive of `dcam-nn`: the within-row
+//! position `p` is the *channel* axis (the kernel reduces over it, i.e. the
+//! paper's kernel `(D, ℓ, 1)`), the row `r` is the *height* axis (rows are
+//! convolved independently), time is the *width* axis.
+
+use crate::series::MultivariateSeries;
+use dcam_tensor::Tensor;
+
+/// Builds the dCNN input cube `C(T)` as a `(D, D, n)` tensor laid out
+/// `(channel = position p, height = row r, width = time)`:
+/// `cube[p, r, t] = T^((p + r) mod D)[t]`.
+pub fn cube(series: &MultivariateSeries) -> Tensor {
+    let d = series.n_dims();
+    let n = series.len();
+    let mut out = Tensor::zeros(&[d, d, n]);
+    for p in 0..d {
+        for r in 0..d {
+            let src = series.dim((p + r) % d);
+            let base = (p * d + r) * n;
+            out.data_mut()[base..base + n].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Row index of `C(T)` that holds the series' slot `j` dimension at
+/// within-row position `p` — the paper's `idx(T^(j), p)` (Definition 1).
+///
+/// With our construction the row is unique: `r = (j − p) mod D`.
+pub fn idx(slot: usize, p: usize, d: usize) -> usize {
+    assert!(slot < d && p < d);
+    (slot + d - p) % d
+}
+
+/// The dimension slot found at `(row r, position p)` of `C(T)`:
+/// inverse view of [`idx`], i.e. `slot = (p + r) mod D`.
+pub fn slot_at(r: usize, p: usize, d: usize) -> usize {
+    assert!(r < d && p < d);
+    (p + r) % d
+}
+
+/// Encodes a series for the standard 1-D CNN family: `(C = D, H = 1, W = n)`
+/// — all dimensions mix inside each kernel, CAM is univariate (§2.2).
+pub fn cnn_input(series: &MultivariateSeries) -> Tensor {
+    let d = series.n_dims();
+    let n = series.len();
+    series.tensor().reshape(&[d, 1, n]).expect("cnn encode")
+}
+
+/// Encodes a series for the cCNN family: `(C = 1, H = D, W = n)` — each
+/// dimension convolved independently, cCAM is `(D, n)` but dimension-blind
+/// (§2.3).
+pub fn ccnn_input(series: &MultivariateSeries) -> Tensor {
+    let d = series.n_dims();
+    let n = series.len();
+    series.tensor().reshape(&[1, d, n]).expect("ccnn encode")
+}
+
+/// Encodes a series for the dCNN family: the `C(T)` cube (§4.2).
+pub fn dcnn_input(series: &MultivariateSeries) -> Tensor {
+    cube(series)
+}
+
+/// Encodes a series for recurrent baselines: `(D, n)` as-is.
+pub fn rnn_input(series: &MultivariateSeries) -> Tensor {
+    series.tensor().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(d: usize, n: usize) -> MultivariateSeries {
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|j| (0..n).map(|t| (j * 100 + t) as f32).collect())
+            .collect();
+        MultivariateSeries::from_rows(&rows)
+    }
+
+    #[test]
+    fn cube_matches_definition() {
+        let s = toy(4, 3);
+        let c = cube(&s);
+        assert_eq!(c.dims(), &[4, 4, 3]);
+        for p in 0..4 {
+            for r in 0..4 {
+                for t in 0..3 {
+                    let want = s.dim((p + r) % 4)[t];
+                    assert_eq!(c.at(&[p, r, t]).unwrap(), want, "p={p} r={r} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_bottom_row_is_identity_order() {
+        // Row r = 0 must hold T^(p) at position p: the original order.
+        let s = toy(5, 2);
+        let c = cube(&s);
+        for p in 0..5 {
+            assert_eq!(c.at(&[p, 0, 0]).unwrap(), s.dim(p)[0]);
+        }
+    }
+
+    #[test]
+    fn every_row_and_column_contains_all_dims() {
+        let d = 6;
+        let s = toy(d, 1);
+        let c = cube(&s);
+        // Row r: positions 0..D must enumerate all dimensions.
+        for r in 0..d {
+            let mut seen = vec![false; d];
+            for p in 0..d {
+                let v = c.at(&[p, r, 0]).unwrap();
+                let dim = (v as usize) / 100;
+                assert!(!seen[dim], "dim {dim} twice in row {r}");
+                seen[dim] = true;
+            }
+        }
+        // Column p: rows 0..D must enumerate all dimensions.
+        for p in 0..d {
+            let mut seen = vec![false; d];
+            for r in 0..d {
+                let v = c.at(&[p, r, 0]).unwrap();
+                let dim = (v as usize) / 100;
+                assert!(!seen[dim], "dim {dim} twice in column {p}");
+                seen[dim] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn idx_round_trips_with_slot_at() {
+        let d = 7;
+        for slot in 0..d {
+            for p in 0..d {
+                let r = idx(slot, p, d);
+                assert_eq!(slot_at(r, p, d), slot);
+            }
+        }
+    }
+
+    #[test]
+    fn idx_unique_per_dimension_and_position() {
+        // A dimension is never at the same position in two different rows.
+        let d = 5;
+        for slot in 0..d {
+            let rows: Vec<usize> = (0..d).map(|p| idx(slot, p, d)).collect();
+            let mut sorted = rows.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), d, "rows {rows:?} not distinct");
+        }
+    }
+
+    #[test]
+    fn encodings_have_expected_shapes() {
+        let s = toy(3, 8);
+        assert_eq!(cnn_input(&s).dims(), &[3, 1, 8]);
+        assert_eq!(ccnn_input(&s).dims(), &[1, 3, 8]);
+        assert_eq!(dcnn_input(&s).dims(), &[3, 3, 8]);
+        assert_eq!(rnn_input(&s).dims(), &[3, 8]);
+    }
+
+    #[test]
+    fn cnn_and_ccnn_share_data_layout() {
+        let s = toy(3, 4);
+        assert_eq!(cnn_input(&s).data(), ccnn_input(&s).data());
+        assert_eq!(cnn_input(&s).data(), s.tensor().data());
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain-text dataset import/export.
+//!
+//! So the library is usable on real recordings (not only on the bundled
+//! generators), datasets round-trip through a simple line-oriented format:
+//!
+//! ```text
+//! # dcam-dataset v1
+//! # name: MyDataset
+//! # classes: 2
+//! # dims: 3
+//! # len: 5
+//! <label>;v v v v v;v v v v v;v v v v v
+//! ...
+//! ```
+//!
+//! One instance per line: the integer label, then one space-separated row
+//! of `len` values per dimension, `;`-separated. Masks are not serialized
+//! (they exist only for synthetic ground truth).
+
+use crate::series::{Dataset, MultivariateSeries};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors produced by dataset parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// The header is missing or malformed.
+    Header(String),
+    /// A data line is malformed.
+    Line {
+        /// 1-based line number in the file.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "io: {e}"),
+            IoError::Header(m) => write!(f, "bad header: {m}"),
+            IoError::Line { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Serializes a dataset to the textual format.
+pub fn to_string(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# dcam-dataset v1");
+    let _ = writeln!(out, "# name: {}", dataset.name);
+    let _ = writeln!(out, "# classes: {}", dataset.n_classes);
+    let _ = writeln!(out, "# dims: {}", dataset.n_dims());
+    let _ = writeln!(out, "# len: {}", dataset.series_len());
+    for (series, &label) in dataset.samples.iter().zip(&dataset.labels) {
+        let _ = write!(out, "{label}");
+        for j in 0..series.n_dims() {
+            let row: Vec<String> = series.dim(j).iter().map(|v| format!("{v}")).collect();
+            let _ = write!(out, ";{}", row.join(" "));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses a dataset from the textual format.
+pub fn from_str(text: &str) -> Result<Dataset, IoError> {
+    let mut name = String::from("unnamed");
+    let mut n_classes: Option<usize> = None;
+    let mut dims: Option<usize> = None;
+    let mut len: Option<usize> = None;
+    let mut ds = Dataset::default();
+
+    let mut saw_magic = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if rest.starts_with("dcam-dataset") {
+                saw_magic = true;
+            } else if let Some(v) = rest.strip_prefix("name:") {
+                name = v.trim().to_string();
+            } else if let Some(v) = rest.strip_prefix("classes:") {
+                n_classes = v.trim().parse().ok();
+            } else if let Some(v) = rest.strip_prefix("dims:") {
+                dims = v.trim().parse().ok();
+            } else if let Some(v) = rest.strip_prefix("len:") {
+                len = v.trim().parse().ok();
+            }
+            continue;
+        }
+        if !saw_magic {
+            return Err(IoError::Header("missing '# dcam-dataset v1' magic".into()));
+        }
+        let (d, n) = match (dims, len) {
+            (Some(d), Some(n)) => (d, n),
+            _ => return Err(IoError::Header("dims/len must precede data lines".into())),
+        };
+        let mut parts = line.split(';');
+        let label: usize = parts
+            .next()
+            .ok_or_else(|| IoError::Line { line: lineno + 1, message: "empty line".into() })?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Line {
+                line: lineno + 1,
+                message: "label must be a non-negative integer".into(),
+            })?;
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(d);
+        for part in parts {
+            let row: Result<Vec<f32>, _> =
+                part.split_whitespace().map(|t| t.parse::<f32>()).collect();
+            let row = row.map_err(|e| IoError::Line {
+                line: lineno + 1,
+                message: format!("bad value: {e}"),
+            })?;
+            if row.len() != n {
+                return Err(IoError::Line {
+                    line: lineno + 1,
+                    message: format!("dimension has {} values, expected {n}", row.len()),
+                });
+            }
+            rows.push(row);
+        }
+        if rows.len() != d {
+            return Err(IoError::Line {
+                line: lineno + 1,
+                message: format!("instance has {} dimensions, expected {d}", rows.len()),
+            });
+        }
+        ds.samples.push(MultivariateSeries::from_rows(&rows));
+        ds.labels.push(label);
+        ds.masks.push(None);
+    }
+    if !saw_magic {
+        return Err(IoError::Header("missing '# dcam-dataset v1' magic".into()));
+    }
+    ds.name = name;
+    ds.n_classes = n_classes.unwrap_or_else(|| {
+        ds.labels.iter().copied().max().map(|m| m + 1).unwrap_or(0)
+    });
+    for &l in &ds.labels {
+        if l >= ds.n_classes {
+            return Err(IoError::Header(format!(
+                "label {l} out of range for {} classes",
+                ds.n_classes
+            )));
+        }
+    }
+    Ok(ds)
+}
+
+/// Writes a dataset to a file.
+pub fn save(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    std::fs::write(path, to_string(dataset))?;
+    Ok(())
+}
+
+/// Reads a dataset from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    from_str(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                MultivariateSeries::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+                MultivariateSeries::from_rows(&[vec![-1.0, 0.5], vec![0.0, 2.25]]),
+            ],
+            vec![0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = toy();
+        let text = to_string(&ds);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.name, "toy");
+        assert_eq!(back.n_classes, 2);
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.samples[0].tensor().data(), ds.samples[0].tensor().data());
+        assert_eq!(back.samples[1].tensor().data(), ds.samples[1].tensor().data());
+    }
+
+    #[test]
+    fn missing_magic_rejected() {
+        assert!(matches!(from_str("0;1 2;3 4"), Err(IoError::Header(_))));
+    }
+
+    #[test]
+    fn ragged_dimension_rejected() {
+        let text = "# dcam-dataset v1\n# dims: 2\n# len: 2\n0;1 2;3\n";
+        match from_str(text) {
+            Err(IoError::Line { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_dim_count_rejected() {
+        let text = "# dcam-dataset v1\n# dims: 3\n# len: 2\n0;1 2;3 4\n";
+        assert!(matches!(from_str(text), Err(IoError::Line { .. })));
+    }
+
+    #[test]
+    fn label_out_of_declared_range_rejected() {
+        let text = "# dcam-dataset v1\n# classes: 1\n# dims: 1\n# len: 1\n3;1\n";
+        assert!(matches!(from_str(text), Err(IoError::Header(_))));
+    }
+
+    #[test]
+    fn classes_inferred_when_missing() {
+        let text = "# dcam-dataset v1\n# dims: 1\n# len: 2\n0;1 2\n4;3 4\n";
+        let ds = from_str(text).unwrap();
+        assert_eq!(ds.n_classes, 5);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dcam-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.dcam");
+        save(&toy(), &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

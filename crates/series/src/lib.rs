@@ -1,0 +1,32 @@
+//! Multivariate data-series types and benchmark generators for the dCAM
+//! reproduction.
+//!
+//! * [`MultivariateSeries`], [`Dataset`], [`GroundTruthMask`] — the paper's
+//!   `T ∈ R^(D,n)` series, labelled collections, and the discriminant-cell
+//!   masks that make explanations scorable;
+//! * [`cube`] — the dCNN input cube `C(T)` (§4.2), the `idx` bookkeeping of
+//!   Definitions 1–2, and the per-architecture input encodings;
+//! * [`synth`] — seed waveforms, Type-1/Type-2 injected benchmarks
+//!   (§5.1.1), UEA archive stand-ins (Table 2) and the JIGSAWS-like
+//!   surgical simulator (§5.8).
+//!
+//! # Example: build a Type-2 benchmark and the dCNN cube of one instance
+//!
+//! ```
+//! use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+//! use dcam_series::synth::seeds::SeedKind;
+//! use dcam_series::cube;
+//!
+//! let mut cfg = InjectConfig::new(SeedKind::Shapes, DatasetType::Type2, 6);
+//! cfg.n_per_class = 4;
+//! let ds = generate(&cfg);
+//! let c = cube::dcnn_input(&ds.samples[0]);
+//! assert_eq!(c.dims(), &[6, 6, ds.series_len()]);
+//! ```
+
+pub mod cube;
+pub mod io;
+mod series;
+pub mod synth;
+
+pub use series::{Dataset, GroundTruthMask, MultivariateSeries};

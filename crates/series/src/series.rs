@@ -1,0 +1,316 @@
+use dcam_tensor::{SeededRng, Tensor};
+
+/// A multivariate data series `T ∈ R^(D,n)`: `D` univariate series
+/// ("dimensions") of common length `n` (paper §2 notation).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultivariateSeries {
+    data: Tensor, // (D, n)
+}
+
+impl MultivariateSeries {
+    /// Builds a series from a `(D, n)` tensor.
+    pub fn new(data: Tensor) -> Self {
+        assert_eq!(data.dims().len(), 2, "series must be (D, n)");
+        MultivariateSeries { data }
+    }
+
+    /// Builds a series from per-dimension rows (all of equal length).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one dimension");
+        let n = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "ragged dimensions");
+            data.extend_from_slice(r);
+        }
+        MultivariateSeries {
+            data: Tensor::from_vec(data, &[rows.len(), n]).expect("series shape"),
+        }
+    }
+
+    /// Number of dimensions `D`.
+    pub fn n_dims(&self) -> usize {
+        self.data.dims()[0]
+    }
+
+    /// Series length `n = |T|`.
+    pub fn len(&self) -> usize {
+        self.data.dims()[1]
+    }
+
+    /// True when the series has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimension `T^(j)` as a slice.
+    pub fn dim(&self, j: usize) -> &[f32] {
+        self.data.row(j).expect("dimension index")
+    }
+
+    /// Mutable access to dimension `T^(j)`.
+    pub fn dim_mut(&mut self, j: usize) -> &mut [f32] {
+        self.data.row_mut(j).expect("dimension index")
+    }
+
+    /// The underlying `(D, n)` tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Reorders dimensions: the result's slot `j` holds `T^(perm[j])`.
+    ///
+    /// This is the permutation `S_T ∈ Σ_T` of §4.4.1.
+    pub fn permute_dims(&self, perm: &[usize]) -> MultivariateSeries {
+        let d = self.n_dims();
+        assert_eq!(perm.len(), d, "permutation length must equal D");
+        let mut rows = Vec::with_capacity(d);
+        for &src in perm {
+            rows.push(self.dim(src).to_vec());
+        }
+        MultivariateSeries::from_rows(&rows)
+    }
+
+    /// Z-normalizes every dimension in place (mean 0, std 1; constant
+    /// dimensions are left centered at 0).
+    pub fn znormalize(&mut self) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        for j in 0..self.n_dims() {
+            let row = self.dim_mut(j);
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+            let std = var.sqrt();
+            if std > 1e-8 {
+                for x in row.iter_mut() {
+                    *x = (*x - mean) / std;
+                }
+            } else {
+                for x in row.iter_mut() {
+                    *x -= mean;
+                }
+            }
+        }
+    }
+}
+
+/// A binary ground-truth mask marking the discriminant positions of a series
+/// (same `(D, n)` layout), used to score explanations (Dr-acc, §5.1.2).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroundTruthMask {
+    data: Tensor, // (D, n) of 0.0 / 1.0
+}
+
+impl GroundTruthMask {
+    /// An all-zero mask of the given shape.
+    pub fn zeros(n_dims: usize, len: usize) -> Self {
+        GroundTruthMask { data: Tensor::zeros(&[n_dims, len]) }
+    }
+
+    /// Marks `[start, start+len)` of dimension `dim` as discriminant.
+    pub fn mark(&mut self, dim: usize, start: usize, len: usize) {
+        let row = self.data.row_mut(dim).expect("mask dim");
+        let end = (start + len).min(row.len());
+        for x in row[start..end].iter_mut() {
+            *x = 1.0;
+        }
+    }
+
+    /// The `(D, n)` mask tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Number of positive (discriminant) cells.
+    pub fn positives(&self) -> usize {
+        self.data.data().iter().filter(|&&x| x > 0.5).count()
+    }
+
+    /// Reorders the mask's dimensions with the same semantics as
+    /// [`MultivariateSeries::permute_dims`].
+    pub fn permute_dims(&self, perm: &[usize]) -> GroundTruthMask {
+        let d = self.data.dims()[0];
+        let n = self.data.dims()[1];
+        assert_eq!(perm.len(), d);
+        let mut out = GroundTruthMask::zeros(d, n);
+        for (j, &src) in perm.iter().enumerate() {
+            let src_row = self.data.row(src).expect("row").to_vec();
+            out.data.row_mut(j).expect("row").copy_from_slice(&src_row);
+        }
+        out
+    }
+}
+
+/// A labelled collection of multivariate series, optionally with per-sample
+/// ground-truth masks for explanation scoring.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// The series instances.
+    pub samples: Vec<MultivariateSeries>,
+    /// Class index per instance.
+    pub labels: Vec<usize>,
+    /// Number of classes `|C|`.
+    pub n_classes: usize,
+    /// Ground-truth discriminant masks (where known).
+    pub masks: Vec<Option<GroundTruthMask>>,
+    /// Human-readable dataset name.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset without masks.
+    pub fn new(
+        name: impl Into<String>,
+        samples: Vec<MultivariateSeries>,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(samples.len(), labels.len());
+        let masks = vec![None; samples.len()];
+        Dataset { samples, labels, n_classes, masks, name: name.into() }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of dimensions `D` (0 for an empty dataset).
+    pub fn n_dims(&self) -> usize {
+        self.samples.first().map(|s| s.n_dims()).unwrap_or(0)
+    }
+
+    /// Series length `n` (0 for an empty dataset).
+    pub fn series_len(&self) -> usize {
+        self.samples.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Stratified split into `(train, rest)` with `train_frac` of each class
+    /// in the first part (paper §5.2 uses 80/20).
+    pub fn split(&self, train_frac: f32, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let mut rng = SeededRng::new(seed);
+        let mut train = Dataset {
+            name: format!("{}-train", self.name),
+            n_classes: self.n_classes,
+            ..Default::default()
+        };
+        let mut rest = Dataset {
+            name: format!("{}-val", self.name),
+            n_classes: self.n_classes,
+            ..Default::default()
+        };
+        for class in 0..self.n_classes {
+            let mut idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            rng.shuffle(&mut idx);
+            let n_train = ((idx.len() as f32) * train_frac).round() as usize;
+            for (pos, &i) in idx.iter().enumerate() {
+                let target = if pos < n_train { &mut train } else { &mut rest };
+                target.samples.push(self.samples[i].clone());
+                target.labels.push(self.labels[i]);
+                target.masks.push(self.masks[i].clone());
+            }
+        }
+        (train, rest)
+    }
+
+    /// Indices of instances belonging to `class`.
+    pub fn class_indices(&self, class: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_series() -> MultivariateSeries {
+        MultivariateSeries::from_rows(&[
+            vec![0.0, 1.0, 2.0],
+            vec![10.0, 11.0, 12.0],
+            vec![20.0, 21.0, 22.0],
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let s = toy_series();
+        assert_eq!(s.n_dims(), 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dim(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn permute_dims_moves_rows() {
+        let s = toy_series();
+        let p = s.permute_dims(&[2, 0, 1]);
+        assert_eq!(p.dim(0), s.dim(2));
+        assert_eq!(p.dim(1), s.dim(0));
+        assert_eq!(p.dim(2), s.dim(1));
+    }
+
+    #[test]
+    fn znormalize_standardizes_rows() {
+        let mut s = toy_series();
+        s.znormalize();
+        for j in 0..3 {
+            let row = s.dim(j);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn znormalize_handles_constant_rows() {
+        let mut s = MultivariateSeries::from_rows(&[vec![5.0; 4]]);
+        s.znormalize();
+        assert!(s.dim(0).iter().all(|&x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn mask_mark_and_count() {
+        let mut m = GroundTruthMask::zeros(2, 10);
+        m.mark(1, 3, 4);
+        assert_eq!(m.positives(), 4);
+        assert_eq!(m.tensor().at(&[1, 3]).unwrap(), 1.0);
+        assert_eq!(m.tensor().at(&[0, 3]).unwrap(), 0.0);
+        // Clipped at the end.
+        m.mark(0, 8, 5);
+        assert_eq!(m.positives(), 6);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            samples.push(toy_series());
+            labels.push(i % 2);
+        }
+        let ds = Dataset::new("toy", samples, labels, 2);
+        let (train, val) = ds.split(0.8, 0);
+        assert_eq!(train.len(), 32);
+        assert_eq!(val.len(), 8);
+        assert_eq!(train.labels.iter().filter(|&&l| l == 0).count(), 16);
+        assert_eq!(val.labels.iter().filter(|&&l| l == 1).count(), 4);
+    }
+
+    #[test]
+    fn mask_permutation_follows_series() {
+        let mut m = GroundTruthMask::zeros(3, 4);
+        m.mark(2, 0, 2);
+        let p = m.permute_dims(&[2, 0, 1]);
+        assert_eq!(p.tensor().at(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(p.tensor().at(&[2, 0]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthetic benchmark datasets with *known* discriminant features
+//! (paper §5.1.1, Figure 7).
+//!
+//! * **Type 1** — class 0 is pure background (concatenated seed-class-0
+//!   instances per dimension); class 1 additionally has seed-class-1
+//!   patterns injected into `n_injected` random dimensions at *independent*
+//!   random positions. The discriminant features live in single dimensions.
+//! * **Type 2** — *both* classes contain injected patterns, so marginal,
+//!   per-dimension statistics are identical; class 0 injects them at
+//!   *different* timestamps while class 1 injects them at the *same*
+//!   timestamp. Only a method that compares dimensions can separate the
+//!   classes (this is what defeats cCNN/cCAM and MTEX-CNN in the paper).
+//!
+//! Ground-truth masks mark the injected subsequences of class-1 instances,
+//! enabling the `Dr-acc` (PR-AUC) scoring of §5.1.2.
+
+use super::seeds::{instance, SeedKind};
+use crate::series::{Dataset, GroundTruthMask, MultivariateSeries};
+use dcam_tensor::SeededRng;
+
+/// Whether discriminant patterns co-occur in time (Type 2) or not (Type 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetType {
+    /// Patterns in a subset of dimensions at *different* timestamps.
+    Type1,
+    /// Patterns in a subset of dimensions at the *same* timestamp.
+    Type2,
+}
+
+impl DatasetType {
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetType::Type1 => "Type 1",
+            DatasetType::Type2 => "Type 2",
+        }
+    }
+}
+
+/// Configuration of a synthetic injected dataset.
+#[derive(Debug, Clone)]
+pub struct InjectConfig {
+    /// Seed waveform family used for background and patterns.
+    pub kind: SeedKind,
+    /// Type 1 or Type 2 construction.
+    pub dataset_type: DatasetType,
+    /// Number of dimensions `D`.
+    pub n_dims: usize,
+    /// Series length `n`.
+    pub series_len: usize,
+    /// Length of each injected pattern (and of background chunks).
+    pub pattern_len: usize,
+    /// Instances generated per class.
+    pub n_per_class: usize,
+    /// Number of dimensions receiving an injected pattern (paper: 2).
+    pub n_injected: usize,
+    /// Amplitude multiplier applied to injected patterns. 1.0 reproduces
+    /// the paper's raw injection; larger values strengthen the signal so
+    /// scaled-down networks can learn it within CPU budgets.
+    pub amplitude: f32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl InjectConfig {
+    /// The paper's default construction at a chosen scale.
+    pub fn new(kind: SeedKind, dataset_type: DatasetType, n_dims: usize) -> Self {
+        InjectConfig {
+            kind,
+            dataset_type,
+            n_dims,
+            series_len: 128,
+            pattern_len: 16,
+            n_per_class: 30,
+            n_injected: 2,
+            amplitude: 1.5,
+            seed: 0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.n_dims >= 2, "need at least 2 dimensions");
+        assert!(self.n_injected >= 1 && self.n_injected <= self.n_dims);
+        assert!(self.pattern_len >= 8, "patterns need >= 8 points");
+        assert!(
+            self.series_len >= 2 * self.pattern_len * self.n_injected,
+            "series too short to place {} disjoint patterns of {} points",
+            self.n_injected,
+            self.pattern_len
+        );
+    }
+}
+
+/// One dimension of background: concatenated seed-class-0 instances.
+fn background(cfg: &InjectConfig, rng: &mut SeededRng) -> Vec<f32> {
+    let mut out = Vec::with_capacity(cfg.series_len + cfg.pattern_len);
+    while out.len() < cfg.series_len {
+        out.extend(instance(cfg.kind, 0, cfg.pattern_len, rng));
+    }
+    out.truncate(cfg.series_len);
+    out
+}
+
+/// Picks `k` distinct dimensions.
+fn pick_dims(d: usize, k: usize, rng: &mut SeededRng) -> Vec<usize> {
+    let mut all = rng.permutation(d);
+    all.truncate(k);
+    all
+}
+
+/// Picks `k` pattern start positions with pairwise distance ≥ `min_gap`.
+fn pick_positions(len: usize, pat: usize, k: usize, min_gap: usize, rng: &mut SeededRng) -> Vec<usize> {
+    let max_start = len - pat;
+    'outer: loop {
+        let mut picks = Vec::with_capacity(k);
+        for _ in 0..k {
+            picks.push(rng.index(max_start + 1));
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if picks[i].abs_diff(picks[j]) < min_gap {
+                    continue 'outer;
+                }
+            }
+        }
+        return picks;
+    }
+}
+
+/// Injects a seed-class-1 pattern into `series[dim][start..start+pat]`.
+fn inject(
+    cfg: &InjectConfig,
+    series: &mut MultivariateSeries,
+    dim: usize,
+    start: usize,
+    rng: &mut SeededRng,
+) {
+    let mut pat = instance(cfg.kind, 1, cfg.pattern_len, rng);
+    for v in &mut pat {
+        *v *= cfg.amplitude;
+    }
+    series.dim_mut(dim)[start..start + cfg.pattern_len].copy_from_slice(&pat);
+}
+
+/// Generates a Type-1 or Type-2 dataset with ground-truth masks on the
+/// discriminant (label 1) class.
+pub fn generate(cfg: &InjectConfig) -> Dataset {
+    cfg.validate();
+    let mut rng = SeededRng::new(cfg.seed);
+    let name = format!(
+        "{}-{}-D{}",
+        cfg.kind.name(),
+        match cfg.dataset_type {
+            DatasetType::Type1 => "type1",
+            DatasetType::Type2 => "type2",
+        },
+        cfg.n_dims
+    );
+    let mut ds = Dataset { name, n_classes: 2, ..Default::default() };
+
+    for class in 0..2usize {
+        for _ in 0..cfg.n_per_class {
+            let rows: Vec<Vec<f32>> =
+                (0..cfg.n_dims).map(|_| background(cfg, &mut rng)).collect();
+            let mut series = MultivariateSeries::from_rows(&rows);
+            let mut mask = GroundTruthMask::zeros(cfg.n_dims, cfg.series_len);
+            let mut has_mask = false;
+
+            match (cfg.dataset_type, class) {
+                (DatasetType::Type1, 0) => {
+                    // Pure background.
+                }
+                (DatasetType::Type1, 1) => {
+                    // Patterns in n_injected dims at independent positions.
+                    let dims = pick_dims(cfg.n_dims, cfg.n_injected, &mut rng);
+                    for &d in &dims {
+                        let start = rng.index(cfg.series_len - cfg.pattern_len + 1);
+                        inject(cfg, &mut series, d, start, &mut rng);
+                        mask.mark(d, start, cfg.pattern_len);
+                    }
+                    has_mask = true;
+                }
+                (DatasetType::Type2, 0) => {
+                    // Same number of patterns, forced apart in time.
+                    let dims = pick_dims(cfg.n_dims, cfg.n_injected, &mut rng);
+                    let positions = pick_positions(
+                        cfg.series_len,
+                        cfg.pattern_len,
+                        cfg.n_injected,
+                        2 * cfg.pattern_len,
+                        &mut rng,
+                    );
+                    for (&d, &start) in dims.iter().zip(&positions) {
+                        inject(cfg, &mut series, d, start, &mut rng);
+                    }
+                }
+                (DatasetType::Type2, 1) => {
+                    // Patterns at the SAME timestamp: the discriminant
+                    // feature is the co-occurrence.
+                    let dims = pick_dims(cfg.n_dims, cfg.n_injected, &mut rng);
+                    let start = rng.index(cfg.series_len - cfg.pattern_len + 1);
+                    for &d in &dims {
+                        inject(cfg, &mut series, d, start, &mut rng);
+                        mask.mark(d, start, cfg.pattern_len);
+                    }
+                    has_mask = true;
+                }
+                _ => unreachable!(),
+            }
+
+            series.znormalize();
+            ds.samples.push(series);
+            ds.labels.push(class);
+            ds.masks.push(if has_mask { Some(mask) } else { None });
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ty: DatasetType, d: usize) -> InjectConfig {
+        InjectConfig {
+            n_per_class: 6,
+            series_len: 96,
+            pattern_len: 12,
+            seed: 42,
+            ..InjectConfig::new(SeedKind::StarLight, ty, d)
+        }
+    }
+
+    #[test]
+    fn type1_shapes_and_labels() {
+        let ds = generate(&cfg(DatasetType::Type1, 5));
+        assert_eq!(ds.len(), 12);
+        assert_eq!(ds.n_dims(), 5);
+        assert_eq!(ds.series_len(), 96);
+        assert_eq!(ds.labels.iter().filter(|&&l| l == 0).count(), 6);
+        assert_eq!(ds.n_classes, 2);
+    }
+
+    #[test]
+    fn type1_masks_only_on_class1() {
+        let ds = generate(&cfg(DatasetType::Type1, 5));
+        for i in 0..ds.len() {
+            match ds.labels[i] {
+                0 => assert!(ds.masks[i].is_none()),
+                1 => {
+                    let m = ds.masks[i].as_ref().expect("class-1 mask");
+                    // Exactly 2 patterns of 12 points.
+                    assert_eq!(m.positives(), 2 * 12);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn type2_class1_patterns_share_position() {
+        let ds = generate(&cfg(DatasetType::Type2, 6));
+        for i in 0..ds.len() {
+            if ds.labels[i] == 1 {
+                let m = ds.masks[i].as_ref().unwrap();
+                // Collect marked column-ranges per dim; they must coincide.
+                let mut starts = Vec::new();
+                for d in 0..6 {
+                    let row: Vec<usize> = (0..96)
+                        .filter(|&t| m.tensor().at(&[d, t]).unwrap() > 0.5)
+                        .collect();
+                    if !row.is_empty() {
+                        starts.push(row[0]);
+                    }
+                }
+                assert_eq!(starts.len(), 2, "exactly two dims injected");
+                assert_eq!(starts[0], starts[1], "type-2 patterns must co-occur");
+            }
+        }
+    }
+
+    #[test]
+    fn type2_class0_also_has_injections() {
+        // Type 2 class 0 contains patterns too (at different times); its
+        // dimensions must deviate from plain background. We verify indirectly:
+        // generating with the same seed but Type 1 gives identical background
+        // for class 0 without injections, so the two must differ.
+        let ds2 = generate(&cfg(DatasetType::Type2, 5));
+        let ds1 = generate(&cfg(DatasetType::Type1, 5));
+        let i2 = ds2.class_indices(0)[0];
+        let i1 = ds1.class_indices(0)[0];
+        assert_ne!(
+            ds2.samples[i2].tensor().data(),
+            ds1.samples[i1].tensor().data(),
+            "type-2 class 0 should contain injected patterns"
+        );
+    }
+
+    #[test]
+    fn series_are_znormalized() {
+        let ds = generate(&cfg(DatasetType::Type1, 4));
+        let s = &ds.samples[0];
+        for d in 0..s.n_dims() {
+            let row = s.dim(d);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&cfg(DatasetType::Type1, 4));
+        let b = generate(&cfg(DatasetType::Type1, 4));
+        assert_eq!(a.samples[0].tensor().data(), b.samples[0].tensor().data());
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_unplaceable_patterns() {
+        let mut c = cfg(DatasetType::Type2, 4);
+        c.series_len = 30; // 2 patterns of 12 need >= 48
+        generate(&c);
+    }
+
+    #[test]
+    fn pick_positions_respects_gap() {
+        let mut rng = SeededRng::new(9);
+        for _ in 0..50 {
+            let p = pick_positions(100, 10, 3, 20, &mut rng);
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    assert!(p[i].abs_diff(p[j]) >= 20);
+                }
+            }
+        }
+    }
+}

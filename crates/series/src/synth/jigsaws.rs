@@ -1,0 +1,291 @@
+//! Simulated surgical-kinematics dataset standing in for JIGSAWS (§5.8).
+//!
+//! The paper's use case trains on the JIGSAWS suturing recordings: 76
+//! kinematic sensors (4 manipulator groups × 19 sensors: 3 Cartesian
+//! positions, 9 rotation-matrix entries, 6 linear/angular velocities, 1
+//! gripper angle), segmented into gestures G1–G11, with surgeon skill
+//! classes novice / intermediate / expert.
+//!
+//! The simulator reproduces this structure *with planted ground truth*: the
+//! novice class differs from expert in (a) tremor on the **gripper angle**
+//! sensors and (b) jerky **rotation-matrix** entries, concentrated in the
+//! windows of gestures **G6** (pulling suture with left hand) and **G9**
+//! (right hand tightening) — precisely the sensors/gestures the paper's
+//! dCAM analysis singles out (Fig. 13). A reproduction can therefore verify
+//! that dCAM *finds* the planted discriminant sensors instead of merely
+//! displaying heatmaps.
+
+use crate::series::{Dataset, GroundTruthMask, MultivariateSeries};
+use dcam_tensor::SeededRng;
+
+/// Sensor kinds inside one manipulator group, in layout order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorKind {
+    /// Cartesian position (3 per group).
+    Position,
+    /// Rotation-matrix entry (9 per group).
+    Rotation,
+    /// Linear/angular velocity (6 per group).
+    Velocity,
+    /// Gripper angle (1 per group).
+    GripperAngle,
+}
+
+/// Number of sensors per manipulator group (3 + 9 + 6 + 1).
+pub const SENSORS_PER_GROUP: usize = 19;
+
+/// Manipulator group names (matching the paper's PSM/MTM split).
+pub const GROUPS: [&str; 4] = ["PSM-left", "PSM-right", "MTM-left", "MTM-right"];
+
+/// Returns the kind of sensor `s ∈ [0, 19)` within a group.
+pub fn sensor_kind(s: usize) -> SensorKind {
+    match s {
+        0..=2 => SensorKind::Position,
+        3..=11 => SensorKind::Rotation,
+        12..=17 => SensorKind::Velocity,
+        18 => SensorKind::GripperAngle,
+        _ => panic!("sensor index {s} out of range"),
+    }
+}
+
+/// Human-readable name of a global sensor index.
+pub fn sensor_name(dim: usize) -> String {
+    let group = GROUPS[dim / SENSORS_PER_GROUP];
+    let s = dim % SENSORS_PER_GROUP;
+    match sensor_kind(s) {
+        SensorKind::Position => format!("{group} pos_{}", s),
+        SensorKind::Rotation => format!("{group} rot_{}", s - 3),
+        SensorKind::Velocity => format!("{group} vel_{}", s - 12),
+        SensorKind::GripperAngle => format!("{group} gripper_angle"),
+    }
+}
+
+/// Skill classes (labels): 0 = novice, 1 = intermediate, 2 = expert, as in
+/// the paper's C_N / C_I / C_E.
+pub const SKILL_NAMES: [&str; 3] = ["novice", "intermediate", "expert"];
+
+/// Configuration of the simulator.
+#[derive(Debug, Clone)]
+pub struct JigsawsConfig {
+    /// Number of manipulator groups (≤ 4; use fewer for quick runs).
+    pub n_groups: usize,
+    /// Points per gesture segment.
+    pub gesture_len: usize,
+    /// Instances per skill class (paper: 19/10/10).
+    pub n_per_class: [usize; 3],
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for JigsawsConfig {
+    fn default() -> Self {
+        JigsawsConfig { n_groups: 4, gesture_len: 24, n_per_class: [19, 10, 10], seed: 0 }
+    }
+}
+
+/// Number of gesture segments (G1..G11).
+pub const N_GESTURES: usize = 11;
+
+/// Gestures whose windows carry the planted novice-discriminant behaviour
+/// (G6 and G9 — zero-based indices 5 and 8), as identified in the paper.
+pub const DISCRIMINANT_GESTURES: [usize; 2] = [5, 8];
+
+/// The generated dataset plus the gesture segmentation and planted truth.
+#[derive(Debug, Clone)]
+pub struct JigsawsData {
+    /// Instances with skill labels; novice instances carry ground-truth
+    /// masks over the planted discriminant (sensor, window) cells.
+    pub dataset: Dataset,
+    /// `(start, end)` window of each gesture (shared across instances).
+    pub gesture_windows: Vec<(usize, usize)>,
+    /// Dimensions planted as discriminant (gripper angles + rotation
+    /// entries of every group).
+    pub discriminant_dims: Vec<usize>,
+}
+
+/// Per-class severity of the planted novice behaviours: tremor amplitude
+/// and rotation jerk, novice > intermediate > expert.
+fn severity(class: usize) -> f32 {
+    match class {
+        0 => 1.0,
+        1 => 0.35,
+        2 => 0.0,
+        _ => unreachable!(),
+    }
+}
+
+/// Generates the simulated JIGSAWS-like dataset.
+pub fn generate(cfg: &JigsawsConfig) -> JigsawsData {
+    assert!((1..=4).contains(&cfg.n_groups));
+    assert!(cfg.gesture_len >= 8);
+    let d = cfg.n_groups * SENSORS_PER_GROUP;
+    let len = N_GESTURES * cfg.gesture_len;
+    let mut rng = SeededRng::new(cfg.seed);
+
+    let gesture_windows: Vec<(usize, usize)> =
+        (0..N_GESTURES).map(|g| (g * cfg.gesture_len, (g + 1) * cfg.gesture_len)).collect();
+
+    // Base per-gesture motion templates shared by all surgeons: each gesture
+    // drives positions toward gesture-specific targets.
+    let targets: Vec<Vec<f32>> =
+        (0..N_GESTURES).map(|_| (0..d).map(|_| rng.normal()).collect()).collect();
+
+    let mut discriminant_dims = Vec::new();
+    for g in 0..cfg.n_groups {
+        let base = g * SENSORS_PER_GROUP;
+        discriminant_dims.push(base + 18); // gripper angle
+        for r in 0..9 {
+            discriminant_dims.push(base + 3 + r); // rotation entries
+        }
+    }
+
+    let mut dataset = Dataset { name: "JIGSAWS-sim".into(), n_classes: 3, ..Default::default() };
+
+    for class in 0..3usize {
+        let sev = severity(class);
+        for _ in 0..cfg.n_per_class[class] {
+            let mut rows = vec![vec![0.0f32; len]; d];
+            // Smooth motion: first-order lag toward each gesture's target.
+            for (dim, row) in rows.iter_mut().enumerate() {
+                let mut v = 0.0f32;
+                let kind = sensor_kind(dim % SENSORS_PER_GROUP);
+                for gi in 0..N_GESTURES {
+                    let (s, e) = gesture_windows[gi];
+                    let target = targets[gi][dim] * rng.uniform_in(0.9, 1.1);
+                    for t in s..e {
+                        v += 0.15 * (target - v) + 0.05 * rng.normal();
+                        row[t] = v;
+                    }
+                    // Velocities are (noisy) differences of positions; model
+                    // them as small oscillations regardless of class so they
+                    // carry no skill signal (paper: velocities are NOT
+                    // discriminant).
+                    if kind == SensorKind::Velocity {
+                        for t in s..e {
+                            row[t] = 0.4
+                                * (std::f32::consts::TAU * (t - s) as f32
+                                    / cfg.gesture_len as f32)
+                                    .sin()
+                                + 0.2 * rng.normal();
+                        }
+                        v = row[e - 1];
+                    }
+                }
+            }
+            // Plant the skill signal: tremor on gripper angle + rotation
+            // jerk, inside G6/G9 windows only, scaled by class severity.
+            let mut mask = GroundTruthMask::zeros(d, len);
+            for &gi in &DISCRIMINANT_GESTURES {
+                let (s, e) = gesture_windows[gi];
+                for &dim in &discriminant_dims {
+                    let kind = sensor_kind(dim % SENSORS_PER_GROUP);
+                    let amp = match kind {
+                        SensorKind::GripperAngle => 1.2,
+                        SensorKind::Rotation => 0.7,
+                        _ => 0.0,
+                    };
+                    if sev > 0.0 && amp > 0.0 {
+                        for t in s..e {
+                            // High-frequency tremor.
+                            let osc = (t as f32 * 2.1).sin() + 0.6 * rng.normal();
+                            rows[dim][t] += sev * amp * osc;
+                        }
+                    }
+                    if class == 0 {
+                        mask.mark(dim, s, e - s);
+                    }
+                }
+            }
+            let mut series = MultivariateSeries::from_rows(&rows);
+            series.znormalize();
+            dataset.samples.push(series);
+            dataset.labels.push(class);
+            dataset.masks.push(if class == 0 { Some(mask) } else { None });
+        }
+    }
+
+    JigsawsData { dataset, gesture_windows, discriminant_dims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> JigsawsConfig {
+        JigsawsConfig {
+            n_groups: 2,
+            gesture_len: 12,
+            n_per_class: [4, 3, 3],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let data = generate(&small());
+        let ds = &data.dataset;
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.n_dims(), 2 * SENSORS_PER_GROUP);
+        assert_eq!(ds.series_len(), N_GESTURES * 12);
+        assert_eq!(ds.n_classes, 3);
+        assert_eq!(data.gesture_windows.len(), N_GESTURES);
+    }
+
+    #[test]
+    fn sensor_layout() {
+        assert_eq!(sensor_kind(0), SensorKind::Position);
+        assert_eq!(sensor_kind(3), SensorKind::Rotation);
+        assert_eq!(sensor_kind(12), SensorKind::Velocity);
+        assert_eq!(sensor_kind(18), SensorKind::GripperAngle);
+        assert!(sensor_name(18).contains("gripper_angle"));
+        assert!(sensor_name(19).starts_with("PSM-right"));
+    }
+
+    #[test]
+    fn novices_carry_masks_on_discriminant_cells_only() {
+        let data = generate(&small());
+        let ds = &data.dataset;
+        for i in 0..ds.len() {
+            if ds.labels[i] == 0 {
+                let m = ds.masks[i].as_ref().expect("novice mask");
+                // Mask covers |disc dims| × 2 gestures × gesture_len cells.
+                let want = data.discriminant_dims.len() * 2 * 12;
+                assert_eq!(m.positives(), want);
+            } else {
+                assert!(ds.masks[i].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn tremor_separates_novice_from_expert_on_planted_cells() {
+        // High-frequency energy (mean squared diff) inside G6 on the gripper
+        // angle must be higher for novices than experts.
+        let data = generate(&small());
+        let ds = &data.dataset;
+        let grip = 18; // group 0 gripper angle
+        let (s, e) = data.gesture_windows[DISCRIMINANT_GESTURES[0]];
+        let hf_energy = |series: &MultivariateSeries| -> f32 {
+            let row = series.dim(grip);
+            (s + 1..e).map(|t| (row[t] - row[t - 1]).powi(2)).sum::<f32>() / (e - s - 1) as f32
+        };
+        let avg = |class: usize| -> f32 {
+            let idx = ds.class_indices(class);
+            idx.iter().map(|&i| hf_energy(&ds.samples[i])).sum::<f32>() / idx.len() as f32
+        };
+        let novice = avg(0);
+        let expert = avg(2);
+        assert!(
+            novice > 2.0 * expert,
+            "tremor not planted: novice {novice} vs expert {expert}"
+        );
+    }
+
+    #[test]
+    fn velocities_are_not_discriminant() {
+        let data = generate(&small());
+        for &dim in &data.discriminant_dims {
+            assert_ne!(sensor_kind(dim % SENSORS_PER_GROUP), SensorKind::Velocity);
+        }
+    }
+}

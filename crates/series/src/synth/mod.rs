@@ -1,0 +1,8 @@
+//! Synthetic dataset generators: seed waveforms, injected Type-1/Type-2
+//! benchmarks, UEA archive stand-ins and the JIGSAWS-like surgical
+//! kinematics simulator.
+
+pub mod inject;
+pub mod jigsaws;
+pub mod seeds;
+pub mod uea;

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    DataShapeMismatch {
+        /// Number of elements supplied.
+        data_len: usize,
+        /// Number of elements the shape implies.
+        shape_len: usize,
+    },
+    /// Two tensors were expected to have identical shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// Matrix multiplication inner dimensions disagree, or operands are not 2-D.
+    MatmulShape {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// A reshape target has a different element count than the tensor.
+    ReshapeMismatch {
+        /// Current element count.
+        len: usize,
+        /// Target shape.
+        target: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// An element index was out of bounds along some axis.
+    IndexOutOfBounds {
+        /// The offending multi-index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+                f,
+                "data length {data_len} does not match shape element count {shape_len}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::MatmulShape { left, right } => {
+                write!(f, "matmul requires 2-D (m,k)x(k,n) operands, got {left:?} x {right:?}")
+            }
+            TensorError::ReshapeMismatch { len, target } => {
+                write!(f, "cannot reshape {len} elements into {target:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,43 @@
+//! Dense `f32` tensors for the dCAM reproduction.
+//!
+//! This crate is the numerical substrate underneath the `dcam-nn` neural
+//! network layers. It provides a contiguous, row-major n-dimensional tensor
+//! with the small set of operations the reproduction actually needs:
+//!
+//! * creation (zeros/ones/filled/from data, seeded uniform & Gaussian init),
+//! * shape manipulation (reshape, transpose-2d, axis helpers),
+//! * elementwise arithmetic and mapping,
+//! * reductions (sum/mean/max along all or one axis),
+//! * a blocked GEMM ([`Tensor::matmul`]) used by dense layers and recurrent
+//!   cells,
+//! * seeded random number utilities shared by the whole workspace.
+//!
+//! The design intentionally avoids generic element types, broadcasting rules
+//! and lazy views: the networks in this reproduction are small and explicit
+//! indexing keeps the hot convolution loops transparent and easy to verify.
+//!
+//! # Example
+//!
+//! ```
+//! use dcam_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod error;
+mod matmul;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use rng::{shuffled_indices, SeededRng};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

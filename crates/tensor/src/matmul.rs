@@ -1,0 +1,212 @@
+use crate::{Result, Tensor, TensorError};
+
+/// Blocking factor for the GEMM micro-kernel. 64 f32 = one 256-byte strip;
+/// small enough to keep three blocks resident in L1 on any modern core.
+const BLOCK: usize = 64;
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `(m,k) x (k,n) -> (m,n)`.
+    ///
+    /// Implemented as a cache-blocked i-k-j loop so the inner loop streams
+    /// both `B` and `C` rows contiguously; adequate for the dense layers and
+    /// recurrent cells in this reproduction without pulling in a BLAS.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (ld, rd) = (self.dims(), other.dims());
+        if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[0] {
+            return Err(TensorError::MatmulShape {
+                left: ld.to_vec(),
+                right: rd.to_vec(),
+            });
+        }
+        let (m, k, n) = (ld[0], ld[1], rd[1]);
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+
+        for kk in (0..k).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(k);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for p in kk..k_end {
+                    let aik = a_row[p];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self^T * other` for 2-D tensors without materializing the transpose:
+    /// `(k,m)^T x (k,n) -> (m,n)`. Used by dense-layer weight gradients.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (ld, rd) = (self.dims(), other.dims());
+        if ld.len() != 2 || rd.len() != 2 || ld[0] != rd[0] {
+            return Err(TensorError::MatmulShape {
+                left: ld.to_vec(),
+                right: rd.to_vec(),
+            });
+        }
+        let (k, m, n) = (ld[0], ld[1], rd[1]);
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &apm) in a_row.iter().enumerate() {
+                if apm == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += apm * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * other^T` for 2-D tensors without materializing the transpose:
+    /// `(m,k) x (n,k)^T -> (m,n)`. Used by dense-layer input gradients.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (ld, rd) = (self.dims(), other.dims());
+        if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[1] {
+            return Err(TensorError::MatmulShape {
+                left: ld.to_vec(),
+                right: rd.to_vec(),
+            });
+        }
+        let (m, k, n) = (ld[0], ld[1], rd[0]);
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *cv += acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `(m,k) x (k,) -> (m,)`.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (ld, rd) = (self.dims(), v.dims());
+        if ld.len() != 2 || rd.len() != 1 || ld[1] != rd[0] {
+            return Err(TensorError::MatmulShape {
+                left: ld.to_vec(),
+                right: rd.to_vec(),
+            });
+        }
+        let (m, k) = (ld[0], ld[1]);
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data()[i * k..(i + 1) * k];
+            *o = row.iter().zip(v.data()).map(|(a, b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    /// Schoolbook reference implementation for cross-checking.
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = SeededRng::new(13);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (65, 70, 33)] {
+            let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let got = a.matmul(&b).unwrap();
+            let want = naive(&a, &b);
+            assert!(got.allclose(&want, 1e-4), "({m},{k},{n}) mismatch");
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(a.matmul(&v).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeededRng::new(3);
+        let a = Tensor::uniform(&[4, 4], -1.0, 1.0, &mut rng);
+        let e = Tensor::eye(4);
+        assert!(a.matmul(&e).unwrap().allclose(&a, 1e-6));
+        assert!(e.matmul(&a).unwrap().allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = SeededRng::new(21);
+        let a = Tensor::uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[6, 5], -1.0, 1.0, &mut rng);
+        let got = a.matmul_tn(&b).unwrap();
+        let want = a.transpose2().unwrap().matmul(&b).unwrap();
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = SeededRng::new(22);
+        let a = Tensor::uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let got = a.matmul_nt(&b).unwrap();
+        let want = a.matmul(&b.transpose2().unwrap()).unwrap();
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = SeededRng::new(23);
+        let a = Tensor::uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let v = Tensor::uniform(&[7], -1.0, 1.0, &mut rng);
+        let got = a.matvec(&v).unwrap();
+        let want = a
+            .matmul(&v.reshape(&[7, 1]).unwrap())
+            .unwrap()
+            .reshape(&[5])
+            .unwrap();
+        assert!(got.allclose(&want, 1e-5));
+    }
+}

@@ -1,0 +1,249 @@
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Elementwise sum of two same-shape tensors.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference of two same-shape tensors.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product of two same-shape tensors.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (AXPY).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for x in self.data_mut() {
+            *x *= alpha;
+        }
+    }
+
+    /// Resets every element to zero, keeping the allocation.
+    pub fn fill(&mut self, value: f32) {
+        for x in self.data_mut() {
+            *x = value;
+        }
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, self.dims()).expect("map preserves length")
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in self.data().iter().enumerate() {
+            match best {
+                Some((_, b)) if x <= b => {}
+                _ => best = Some((i, x)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Population variance of all elements (0 for empty tensors).
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.data().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+    }
+
+    /// Sum along one axis of a 2-D tensor: axis 0 collapses rows (result
+    /// length = #cols), axis 1 collapses columns (result length = #rows).
+    pub fn sum_axis2(&self, axis: usize) -> Result<Tensor> {
+        let dims = self.dims();
+        if dims.len() != 2 {
+            return Err(TensorError::AxisOutOfRange { axis, rank: dims.len() });
+        }
+        let (r, c) = (dims[0], dims[1]);
+        match axis {
+            0 => {
+                let mut out = vec![0.0f32; c];
+                for i in 0..r {
+                    for (o, &x) in out.iter_mut().zip(&self.data()[i * c..(i + 1) * c]) {
+                        *o += x;
+                    }
+                }
+                Tensor::from_vec(out, &[c])
+            }
+            1 => {
+                let mut out = vec![0.0f32; r];
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = self.data()[i * c..(i + 1) * c].iter().sum();
+                }
+                Tensor::from_vec(out, &[r])
+            }
+            _ => Err(TensorError::AxisOutOfRange { axis, rank: 2 }),
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum()
+    }
+
+    /// True when every pair of elements differs by at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.dims() == other.dims()
+            && self
+                .data()
+                .iter()
+                .zip(other.data())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    fn check_same_shape(&self, other: &Tensor) -> Result<()> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0], &[2, 1]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let b = t(&[2.0, 4.0], &[2]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.argmax(), Some(3));
+        assert!((a.variance() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let a = t(&[3.0, 5.0, 5.0], &[3]);
+        assert_eq!(a.argmax(), Some(1));
+        assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+
+    #[test]
+    fn sum_axis2_both_axes() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.sum_axis2(0).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis2(1).unwrap().data(), &[6.0, 15.0]);
+        assert!(a.sum_axis2(2).is_err());
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0 + 1e-7, 2.0 - 1e-7], &[2]);
+        assert!(a.allclose(&b, 1e-6));
+        assert!(!a.allclose(&b, 1e-9));
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let mut rng = SeededRng::new(1);
+        let a = Tensor::uniform(&[8], -1.0, 1.0, &mut rng);
+        let doubled = a.scale(2.0);
+        let mapped = a.map(|x| 2.0 * x);
+        assert!(doubled.allclose(&mapped, 0.0));
+    }
+}

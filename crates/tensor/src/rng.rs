@@ -1,0 +1,167 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator shared across the workspace.
+///
+/// Wraps [`StdRng`] with the handful of draws the reproduction needs
+/// (uniform floats, Gaussian floats via Box–Muller, integer ranges,
+/// permutations) so every crate samples identically given the same seed.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second Gaussian sample from the last Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl SeededRng {
+    /// Creates a deterministic generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derives an independent child generator; useful for splitting one
+    /// experiment seed into per-component seeds without correlation.
+    pub fn fork(&mut self, stream: u64) -> SeededRng {
+        let s = self.inner.random::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(s)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.random::<f32>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    ///
+    /// `rand` alone (without `rand_distr`, which is not in the allowed crate
+    /// set) has no Gaussian distribution, so we generate pairs ourselves and
+    /// cache the spare.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln() finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * (u1 as f64).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2 as f64;
+        let z0 = (r * theta.cos()) as f32;
+        let z1 = (r * theta.sin()) as f32;
+        self.spare_normal = Some(z1);
+        z0
+    }
+
+    /// Gaussian sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "range must be non-empty");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        let n = items.len();
+        for i in (1..n).rev() {
+            let j = self.inner.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+}
+
+/// Returns `0..n` shuffled with the given seed; convenience for dataset
+/// shuffling in training loops.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    SeededRng::new(seed).permutation(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4, "seeds 1 and 2 produced nearly identical streams");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SeededRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.08, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SeededRng::new(3);
+        let p = rng.permutation(50);
+        let mut seen = [false; 50];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let mut rng = SeededRng::new(9);
+        for _ in 0..1000 {
+            assert!(rng.index(7) < 7);
+            let r = rng.range(3, 6);
+            assert!((3..6).contains(&r));
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_order() {
+        let mut base = SeededRng::new(11);
+        let mut c1 = base.fork(0);
+        let mut c2 = base.fork(1);
+        // Child streams should not be identical.
+        let same = (0..32).filter(|_| c1.uniform() == c2.uniform()).count();
+        assert!(same < 4);
+    }
+}

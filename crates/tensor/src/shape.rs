@@ -1,0 +1,135 @@
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of every axis, row-major.
+///
+/// `Shape` owns its dimensions and precomputes nothing; stride math is done
+/// on demand because the tensors in this workspace are always contiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Builds a shape from axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// The extents of every axis.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the shape holds no elements (some axis has extent 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of one axis, or an error if the axis does not exist.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.dims.len()];
+        let mut acc = 1;
+        for (s, &d) in strides.iter_mut().zip(self.dims.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index, checking bounds on every axis.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let mut off = 0;
+        let mut acc = 1;
+        for (&i, &d) in index.iter().zip(self.dims.iter()).rev() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.dims.clone(),
+                });
+            }
+            off += i * acc;
+            acc *= d;
+        }
+        Ok(off)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_manual_math() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 12 + 2 * 4 + 3);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 3]).is_err());
+        assert!(s.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[5, 7]);
+        assert_eq!(s.len(), 35);
+        assert_eq!(s.rank(), 2);
+        assert!(!s.is_empty());
+        assert!(Shape::new(&[0, 3]).is_empty());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::{Result, SeededRng, Shape, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All layers in the neural-network substrate exchange `Tensor`s; hot kernels
+/// index [`Tensor::data`] directly with offsets derived from [`Tensor::shape`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from raw data and a shape; the lengths must agree.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::DataShapeMismatch {
+                data_len: data.len(),
+                shape_len: shape.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::filled(dims, 1.0)
+    }
+
+    /// A tensor where every element is `value`.
+    pub fn filled(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// The `n`x`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Gaussian random tensor with the given mean and standard deviation.
+    pub fn randn(dims: &[usize], mean: f32, std: f32, rng: &mut SeededRng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.normal_with(mean, std)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Axis extents, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing storage (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a checked multi-index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a checked multi-index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let target = Shape::new(dims);
+        if target.len() != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                len: self.len(),
+                target: dims.to_vec(),
+            });
+        }
+        Ok(Tensor { shape: target, data: self.data.clone() })
+    }
+
+    /// In-place reshape (no data copy).
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<()> {
+        let target = Shape::new(dims);
+        if target.len() != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                len: self.len(),
+                target: dims.to_vec(),
+            });
+        }
+        self.shape = target;
+        Ok(())
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        let dims = self.dims();
+        if dims.len() != 2 {
+            return Err(TensorError::MatmulShape {
+                left: dims.to_vec(),
+                right: dims.to_vec(),
+            });
+        }
+        let (r, c) = (dims[0], dims[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Borrow row `i` of a 2-D tensor as a slice.
+    pub fn row(&self, i: usize) -> Result<&[f32]> {
+        let dims = self.dims();
+        if dims.len() != 2 || i >= dims[0] {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: dims.to_vec(),
+            });
+        }
+        let c = dims[1];
+        Ok(&self.data[i * c..(i + 1) * c])
+    }
+
+    /// Mutably borrow row `i` of a 2-D tensor.
+    pub fn row_mut(&mut self, i: usize) -> Result<&mut [f32]> {
+        let dims = self.dims().to_vec();
+        if dims.len() != 2 || i >= dims[0] {
+            return Err(TensorError::IndexOutOfBounds { index: vec![i], shape: dims });
+        }
+        let c = dims[1];
+        Ok(&mut self.data[i * c..(i + 1) * c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let e = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(e.at(&[i, j]).unwrap(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 7.5).unwrap();
+        assert_eq!(t.at(&[1, 2, 3]).unwrap(), 7.5);
+        assert_eq!(t.at(&[0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose2_involution() {
+        let mut rng = SeededRng::new(5);
+        let t = Tensor::uniform(&[4, 7], -1.0, 1.0, &mut rng);
+        let tt = t.transpose2().unwrap().transpose2().unwrap();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(t.row(0).unwrap(), &[0.0, 1.0, 2.0]);
+        assert_eq!(t.row(1).unwrap(), &[3.0, 4.0, 5.0]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn randn_seeded_reproducible() {
+        let mut r1 = SeededRng::new(99);
+        let mut r2 = SeededRng::new(99);
+        let a = Tensor::randn(&[16], 0.0, 1.0, &mut r1);
+        let b = Tensor::randn(&[16], 0.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the tensor algebra.
+
+use dcam_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn arb_matrix(max: usize) -> impl Strategy<Value = (usize, usize, u64)> {
+    (1..=max, 1..=max, any::<u64>())
+}
+
+fn mk(r: usize, c: usize, seed: u64) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    Tensor::uniform(&[r, c], -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matrix product distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        (m, k, s1) in arb_matrix(12),
+        (n, s2, s3) in (1usize..=12, any::<u64>(), any::<u64>()),
+    ) {
+        let a = mk(m, k, s1);
+        let b = mk(k, n, s2);
+        let c = mk(k, n, s3);
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.allclose(&right, 1e-3));
+    }
+
+    /// (AB)^T = B^T A^T.
+    #[test]
+    fn matmul_transpose_identity(
+        (m, k, s1) in arb_matrix(10),
+        (n, s2) in (1usize..=10, any::<u64>()),
+    ) {
+        let a = mk(m, k, s1);
+        let b = mk(k, n, s2);
+        let left = a.matmul(&b).unwrap().transpose2().unwrap();
+        let right = b
+            .transpose2()
+            .unwrap()
+            .matmul(&a.transpose2().unwrap())
+            .unwrap();
+        prop_assert!(left.allclose(&right, 1e-3));
+    }
+
+    /// matmul_tn and matmul_nt agree with explicit transposition.
+    #[test]
+    fn fused_transpose_variants_agree(
+        (k, m, s1) in arb_matrix(10),
+        (n, s2) in (1usize..=10, any::<u64>()),
+    ) {
+        let a = mk(k, m, s1);
+        let b = mk(k, n, s2);
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose2().unwrap().matmul(&b).unwrap();
+        prop_assert!(fused.allclose(&explicit, 1e-3));
+
+        let c = mk(m, k, s1.wrapping_add(1));
+        let d = mk(n, k, s2.wrapping_add(1));
+        let fused_nt = c.matmul_nt(&d).unwrap();
+        let explicit_nt = c.matmul(&d.transpose2().unwrap()).unwrap();
+        prop_assert!(fused_nt.allclose(&explicit_nt, 1e-3));
+    }
+
+    /// Scaling commutes with summation: sum(αX) = α·sum(X).
+    #[test]
+    fn scale_sum_commute((m, n, seed) in arb_matrix(16), alpha in -3.0f32..3.0) {
+        let x = mk(m, n, seed);
+        let lhs = x.scale(alpha).sum();
+        let rhs = alpha * x.sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+    }
+
+    /// Variance is translation-invariant.
+    #[test]
+    fn variance_translation_invariant((m, n, seed) in arb_matrix(12), c in -5.0f32..5.0) {
+        let x = mk(m, n, seed);
+        let shifted = x.map(|v| v + c);
+        prop_assert!((x.variance() - shifted.variance()).abs() < 1e-2);
+    }
+
+    /// Reshape round-trips and never reorders data.
+    #[test]
+    fn reshape_round_trip((m, n, seed) in arb_matrix(16)) {
+        let x = mk(m, n, seed);
+        let flat = x.reshape(&[m * n]).unwrap();
+        prop_assert_eq!(flat.data(), x.data());
+        let back = flat.reshape(&[m, n]).unwrap();
+        prop_assert_eq!(&back, &x);
+    }
+
+    /// argmax points at the maximum.
+    #[test]
+    fn argmax_is_max((m, n, seed) in arb_matrix(12)) {
+        let x = mk(m, n, seed);
+        let idx = x.argmax().unwrap();
+        prop_assert_eq!(x.data()[idx], x.max());
+    }
+}

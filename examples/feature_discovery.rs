@@ -1,0 +1,82 @@
+//! Discriminant-feature discovery on Type-2 data: the scenario where dCAM
+//! is the *only* viable method (paper §5.4).
+//!
+//! In a Type-2 benchmark both classes contain the same injected patterns;
+//! the only difference is *when* they co-occur across dimensions. A
+//! per-dimension model (cCNN + cCAM) provably cannot see this — its view of
+//! each dimension is identical across classes — while a dCNN compares
+//! dimensions inside every kernel. This example trains both, compares their
+//! accuracies and explanation quality, and prints the head-to-head verdict.
+//!
+//! Run: `cargo run --release --example feature_discovery`
+
+use dcam::cam::cam;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, test_accuracy, Protocol};
+use dcam::ModelScale;
+use dcam_eval::{dr_acc, dr_acc_random};
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+
+fn main() {
+    let mut cfg = InjectConfig::new(SeedKind::StarLight, DatasetType::Type2, 6);
+    cfg.n_per_class = 50;
+    cfg.series_len = 64;
+    cfg.pattern_len = 16;
+    cfg.amplitude = 2.0;
+    cfg.seed = 8;
+    let train_ds = generate(&cfg);
+    let mut test_cfg = cfg.clone();
+    test_cfg.seed = 1008;
+    test_cfg.n_per_class = 12;
+    let test_ds = generate(&test_cfg);
+    println!(
+        "Type-2 benchmark: both classes contain 2 injected patterns; only \
+         class 1 injects them at the SAME timestamp.\n"
+    );
+
+    let protocol = Protocol { epochs: 30, patience: 15, seed: 7, ..Default::default() };
+
+    // Per-dimension baseline: cResNet + cCAM (dimension-blind by design).
+    let (mut ccnn, _) =
+        build_and_train(ArchKind::CResNet, &train_ds, ModelScale::Small, &protocol);
+    let ccnn_acc = test_accuracy(&mut ccnn, &test_ds, 8);
+
+    // Dimension-comparing model: dResNet + dCAM.
+    let (mut dcnn, _) =
+        build_and_train(ArchKind::DResNet, &train_ds, ModelScale::Small, &protocol);
+    let dcnn_acc = test_accuracy(&mut dcnn, &test_ds, 8);
+
+    println!("test C-acc:   cResNet {ccnn_acc:.2}   vs   dResNet {dcnn_acc:.2}");
+
+    // Explanation quality on class-1 test instances.
+    let dcam_cfg = DcamConfig { k: 32, seed: 9, ..Default::default() };
+    let mut ccam_scores = Vec::new();
+    let mut dcam_scores = Vec::new();
+    let mut random_scores = Vec::new();
+    for &i in test_ds.class_indices(1).iter().take(8) {
+        let series = &test_ds.samples[i];
+        let mask = test_ds.masks[i].as_ref().unwrap();
+        let ccam_map = cam(ccnn.as_gap_mut().unwrap(), series, 1).map;
+        ccam_scores.push(dr_acc(&ccam_map, mask.tensor()));
+        let d_result = compute_dcam(dcnn.as_gap_mut().unwrap(), series, 1, &dcam_cfg);
+        dcam_scores.push(dr_acc(&d_result.dcam, mask.tensor()));
+        random_scores.push(dr_acc_random(mask.tensor()));
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    println!(
+        "mean Dr-acc:  cCAM {:.3}   vs   dCAM {:.3}   (random baseline {:.3})",
+        mean(&ccam_scores),
+        mean(&dcam_scores),
+        mean(&random_scores)
+    );
+
+    println!(
+        "\nAs in Table 3 of the paper: the per-dimension baseline collapses on \
+         Type-2 data (its Dr-acc sits at the random baseline and its accuracy \
+         near 50%), because the discriminant feature exists only *across* \
+         dimensions — which is exactly the information dCNN's C(T) cube \
+         preserves and dCAM extracts."
+    );
+}

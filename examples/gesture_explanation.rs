@@ -1,0 +1,114 @@
+//! Figure-1 style demonstration: CAM vs dCAM on a RacketSports-like
+//! gesture-classification task.
+//!
+//! The paper's opening example shows that the univariate CAM highlights the
+//! same temporal window across *all* sensors of a badminton gesture, while
+//! dCAM pinpoints which sensors (gyroscope vs accelerometer axes) actually
+//! distinguish a "smash" from a "clear". This example reproduces that
+//! contrast on the RacketSports stand-in: train CNN and dCNN, explain the
+//! same instance with both, and print the two maps side by side.
+//!
+//! Run: `cargo run --release --example gesture_explanation`
+
+use dcam::cam::cam;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, Protocol};
+use dcam::ModelScale;
+use dcam_series::synth::uea::{generate, meta, UeaStandInConfig};
+use dcam_tensor::Tensor;
+
+fn bar(v: f32, max: f32) -> char {
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    glyphs[(((v / max).clamp(0.0, 1.0)) * (glyphs.len() - 1) as f32) as usize]
+}
+
+fn print_map(title: &str, map: &Tensor) {
+    println!("{title}");
+    let (d, n) = (map.dims()[0], map.dims()[1]);
+    let max = map.max().max(1e-9);
+    // Positive part only (both CAM and dCAM are read as "high = important").
+    for dim in 0..d {
+        print!("  sensor {dim} |");
+        for t in 0..n {
+            print!("{}", bar(map.at(&[dim, t]).unwrap().max(0.0), max));
+        }
+        println!("|");
+    }
+}
+
+fn main() {
+    // RacketSports: 4 gesture classes, 6 sensors (3 gyroscope + 3
+    // accelerometer axes), short series — per the UEA metadata.
+    let m = meta("RacketSports").expect("archive metadata");
+    let cfg = UeaStandInConfig { n_per_class: 24, max_len: 0, max_dims: 0, seed: 9 };
+    let ds = generate(m, &cfg);
+    println!(
+        "RacketSports stand-in: {} classes, D = {}, |T| = {}",
+        ds.n_classes,
+        ds.n_dims(),
+        ds.series_len()
+    );
+
+    let protocol = Protocol { epochs: 40, seed: 1, ..Default::default() };
+
+    // Plain CNN -> univariate CAM.
+    let (mut cnn_clf, cnn_out) =
+        build_and_train(ArchKind::Cnn, &ds, ModelScale::Tiny, &protocol);
+    // dCNN -> dCAM.
+    let (mut dcnn_clf, dcnn_out) =
+        build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+    println!(
+        "CNN val acc {:.2}; dCNN val acc {:.2}",
+        cnn_out.val_acc, dcnn_out.val_acc
+    );
+
+    // Explain one instance of class 0 ("smash") with both methods.
+    let idx = ds.class_indices(0)[0];
+    let series = &ds.samples[idx];
+
+    let cam_result = cam(cnn_clf.as_gap_mut().unwrap(), series, 0);
+    // Broadcast the univariate CAM to all sensors, as the paper's Figure 1
+    // top heatmap does implicitly.
+    let n = series.len();
+    let d = series.n_dims();
+    let mut cam_broadcast = Tensor::zeros(&[d, n]);
+    for dim in 0..d {
+        for t in 0..n {
+            cam_broadcast
+                .set(&[dim, t], cam_result.map.at(&[0, t]).unwrap())
+                .unwrap();
+        }
+    }
+    print_map("\nCAM (CNN) — same saliency for every sensor:", &cam_broadcast);
+
+    let dcam_result = compute_dcam(
+        dcnn_clf.as_gap_mut().unwrap(),
+        series,
+        0,
+        &DcamConfig { k: 48, ..Default::default() },
+    );
+    print_map(
+        &format!(
+            "\ndCAM (dCNN) — sensor-specific saliency (ng/k = {:.2}):",
+            dcam_result.ng_ratio()
+        ),
+        &dcam_result.dcam,
+    );
+
+    // Quantify the contrast the figure makes visually: per-sensor variance
+    // of the saliency. CAM has none by construction; dCAM concentrates
+    // activation on the discriminant sensors.
+    let per_dim_mass = |map: &Tensor| -> Vec<f32> {
+        (0..d)
+            .map(|dim| (0..n).map(|t| map.at(&[dim, t]).unwrap().max(0.0)).sum::<f32>())
+            .collect()
+    };
+    let mass = per_dim_mass(&dcam_result.dcam);
+    let total: f32 = mass.iter().sum::<f32>().max(1e-9);
+    println!("\ndCAM activation share per sensor:");
+    for (dim, v) in mass.iter().enumerate() {
+        println!("  sensor {dim}: {:5.1}%", 100.0 * v / total);
+    }
+    println!("(CAM cannot produce this breakdown: its map is identical for every sensor.)");
+}

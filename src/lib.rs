@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: hosts the runnable examples in `examples/` and
+//! the cross-crate integration tests in `tests/`. Re-exports the member
+//! crates so examples can use a single import root.
+
+pub use dcam;
+pub use dcam_eval;
+pub use dcam_nn;
+pub use dcam_series;
+pub use dcam_tensor;

@@ -1,0 +1,115 @@
+//! Cross-crate integration: every architecture of the study must train,
+//! predict, and (where applicable) explain, on a shared benchmark.
+
+use dcam::dcam::DcamConfig;
+use dcam::model::{ArchKind, Classifier};
+use dcam::train::{build_and_train, Protocol};
+use dcam::{InputEncoding, ModelScale};
+use dcam_nn::layers::Layer;
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+
+fn small_dataset() -> dcam_series::Dataset {
+    let mut cfg = InjectConfig::new(SeedKind::Shapes, DatasetType::Type1, 4);
+    cfg.n_per_class = 12;
+    cfg.series_len = 48;
+    cfg.pattern_len = 12;
+    cfg.seed = 21;
+    generate(&cfg)
+}
+
+#[test]
+fn all_thirteen_architectures_train_one_epoch() {
+    let ds = small_dataset();
+    let protocol = Protocol { epochs: 1, patience: 1, seed: 1, ..Default::default() };
+    for kind in ArchKind::ALL {
+        let (clf, outcome) = build_and_train(kind, &ds, ModelScale::Tiny, &protocol);
+        assert_eq!(outcome.history.epochs_run, 1, "{}", kind.name());
+        assert!(
+            outcome.history.train_loss[0].is_finite(),
+            "{} produced a non-finite loss",
+            kind.name()
+        );
+        drop(clf);
+    }
+}
+
+#[test]
+fn explanation_capability_matches_declared_capability() {
+    let ds = small_dataset();
+    let cfg = DcamConfig { k: 3, only_correct: false, ..Default::default() };
+    let idx = ds.class_indices(1)[0];
+    for kind in ArchKind::ALL {
+        let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 2);
+        let attr = dcam_bench_free_attribution(kind, &mut clf, &ds.samples[idx], &cfg);
+        match kind.encoding() {
+            InputEncoding::Rnn => assert!(attr.is_none(), "{}", kind.name()),
+            _ => assert!(attr.is_some(), "{}", kind.name()),
+        }
+    }
+}
+
+/// Re-implements the harness' attribution dispatch with public API only, to
+/// verify the public surface is sufficient (no private hooks needed).
+fn dcam_bench_free_attribution(
+    kind: ArchKind,
+    clf: &mut Classifier,
+    series: &dcam_series::MultivariateSeries,
+    cfg: &DcamConfig,
+) -> Option<dcam_tensor::Tensor> {
+    match kind.encoding() {
+        InputEncoding::Rnn => None,
+        InputEncoding::Dcnn => {
+            let gap = clf.as_gap_mut().unwrap();
+            Some(dcam::compute_dcam(gap, series, 1, cfg).dcam)
+        }
+        InputEncoding::Ccnn => {
+            if kind == ArchKind::Mtex {
+                let mtex = clf.as_mtex_mut().unwrap();
+                let x = InputEncoding::Ccnn.encode(series);
+                let mut dims = vec![1usize];
+                dims.extend_from_slice(x.dims());
+                let xb = x.reshape(&dims).unwrap();
+                Some(mtex.grad_cam(&xb, 1).combined)
+            } else {
+                let gap = clf.as_gap_mut().unwrap();
+                Some(dcam::cam::cam(gap, series, 1).map)
+            }
+        }
+        InputEncoding::Cnn => {
+            let gap = clf.as_gap_mut().unwrap();
+            Some(dcam::cam::cam(gap, series, 1).map)
+        }
+    }
+}
+
+#[test]
+fn parameter_counts_are_architecture_dependent() {
+    let ds = small_dataset();
+    let mut counts = std::collections::HashMap::new();
+    for kind in [ArchKind::Cnn, ArchKind::CCnn, ArchKind::DCnn] {
+        let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
+        counts.insert(kind.name(), clf.param_count());
+    }
+    // cCNN has fewer first-layer weights (1 input channel vs D).
+    assert!(counts["cCNN"] < counts["CNN"]);
+    // CNN and dCNN share identical parameter shapes (D input channels).
+    assert_eq!(counts["CNN"], counts["dCNN"]);
+}
+
+#[test]
+fn gap_variants_accept_any_series_length() {
+    // GAP architectures are length-agnostic; verify a model built for one
+    // length classifies a longer series.
+    let ds = small_dataset();
+    let mut clf = Classifier::for_dataset(ArchKind::DCnn, &ds, ModelScale::Tiny, 0);
+    let long = dcam_series::MultivariateSeries::from_rows(&[
+        vec![0.1; 96],
+        vec![0.2; 96],
+        vec![0.3; 96],
+        vec![0.4; 96],
+    ]);
+    let gap = clf.as_gap_mut().unwrap();
+    let logits = gap.logits_for(&long);
+    assert_eq!(logits.dims(), &[1, 2]);
+}

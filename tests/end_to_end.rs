@@ -1,0 +1,87 @@
+//! End-to-end integration: data generation → training → dCAM explanation →
+//! quantitative scoring, across crate boundaries.
+
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::model::ArchKind;
+use dcam::train::{build_and_train, test_accuracy, Protocol};
+use dcam::ModelScale;
+use dcam_eval::{dr_acc, dr_acc_random};
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+
+fn type1_dataset(seed: u64) -> dcam_series::Dataset {
+    let mut cfg = InjectConfig::new(SeedKind::StarLight, DatasetType::Type1, 5);
+    cfg.n_per_class = 30;
+    cfg.series_len = 64;
+    cfg.pattern_len = 16;
+    cfg.seed = seed;
+    generate(&cfg)
+}
+
+#[test]
+fn dcam_explanation_beats_random_baseline() {
+    let train_ds = type1_dataset(1);
+    let test_ds = type1_dataset(901);
+
+    let protocol = Protocol { epochs: 40, patience: 15, seed: 5, ..Default::default() };
+    let (mut clf, outcome) =
+        build_and_train(ArchKind::DCnn, &train_ds, ModelScale::Tiny, &protocol);
+    assert!(outcome.val_acc >= 0.75, "model did not train: {}", outcome.val_acc);
+
+    let acc = test_accuracy(&mut clf, &test_ds, 8);
+    assert!(acc >= 0.7, "test accuracy too low: {acc}");
+
+    // Explanation quality: dCAM must rank injected cells far above random.
+    let gap = clf.as_gap_mut().unwrap();
+    let cfg = DcamConfig { k: 24, seed: 3, ..Default::default() };
+    let mut scores = Vec::new();
+    let mut randoms = Vec::new();
+    for &i in test_ds.class_indices(1).iter().take(6) {
+        let mask = test_ds.masks[i].as_ref().unwrap();
+        let result = compute_dcam(gap, &test_ds.samples[i], 1, &cfg);
+        scores.push(dr_acc(&result.dcam, mask.tensor()));
+        randoms.push(dr_acc_random(mask.tensor()));
+    }
+    let mean = scores.iter().sum::<f32>() / scores.len() as f32;
+    let random = randoms.iter().sum::<f32>() / randoms.len() as f32;
+    assert!(
+        mean > 3.0 * random,
+        "dCAM Dr-acc {mean:.3} not clearly above random {random:.3}"
+    );
+}
+
+#[test]
+fn ng_ratio_tracks_model_quality() {
+    // An untrained model classifies permutations at chance; a trained model
+    // classifies most of them correctly. ng/k must reflect that gap (§5.6).
+    let ds = type1_dataset(2);
+    let idx = ds.class_indices(1)[0];
+    let cfg = DcamConfig { k: 16, only_correct: false, seed: 1, ..Default::default() };
+
+    let mut untrained = dcam::Classifier::for_dataset(ArchKind::DCnn, &ds, ModelScale::Tiny, 3);
+    let r_untrained =
+        compute_dcam(untrained.as_gap_mut().unwrap(), &ds.samples[idx], 1, &cfg);
+
+    let protocol = Protocol { epochs: 40, patience: 15, seed: 5, ..Default::default() };
+    let (mut trained, outcome) =
+        build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+    assert!(outcome.val_acc > 0.75);
+    let r_trained = compute_dcam(trained.as_gap_mut().unwrap(), &ds.samples[idx], 1, &cfg);
+
+    assert!(
+        r_trained.ng_ratio() > r_untrained.ng_ratio() || r_trained.ng_ratio() > 0.8,
+        "trained ng/k {:.2} should exceed untrained {:.2}",
+        r_trained.ng_ratio(),
+        r_untrained.ng_ratio()
+    );
+}
+
+#[test]
+fn training_is_reproducible_across_runs() {
+    let ds = type1_dataset(3);
+    let protocol = Protocol { epochs: 6, patience: 6, seed: 9, ..Default::default() };
+    let (_, o1) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+    let (_, o2) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+    assert_eq!(o1.history.train_loss, o2.history.train_loss);
+    assert_eq!(o1.val_acc, o2.val_acc);
+}

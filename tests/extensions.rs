@@ -1,0 +1,123 @@
+//! Integration tests for the library extensions around the core method:
+//! kNN/DTW baselines, occlusion saliency, dataset I/O, visualization and
+//! checkpointing — exercised together across crates.
+
+use dcam::knn::{Distance, KnnClassifier};
+use dcam::model::ArchKind;
+use dcam::occlusion::{occlusion_map, OcclusionConfig};
+use dcam::train::{build_and_train, Protocol};
+use dcam::viz::{ascii_heatmap, svg_heatmap};
+use dcam::{Classifier, ModelScale};
+use dcam_eval::{dr_acc, dr_acc_random};
+use dcam_nn::checkpoint;
+use dcam_nn::layers::Layer;
+use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
+use dcam_series::synth::seeds::SeedKind;
+use dcam_series::{io, Dataset};
+
+fn dataset(seed: u64) -> Dataset {
+    let mut cfg = InjectConfig::new(SeedKind::Shapes, DatasetType::Type1, 4);
+    cfg.n_per_class = 25;
+    cfg.series_len = 64;
+    cfg.pattern_len = 16;
+    cfg.amplitude = 2.0;
+    cfg.seed = seed;
+    generate(&cfg)
+}
+
+#[test]
+fn knn_baselines_classify_type1() {
+    let train = dataset(1);
+    let test = dataset(901);
+    let euclid = KnnClassifier::fit(&train, 1, Distance::Euclidean);
+    let dtw = KnnClassifier::fit(&train, 3, Distance::Dtw(Some(8)));
+    let acc_e = euclid.accuracy(&test);
+    let acc_d = dtw.accuracy(&test);
+    // Type-1 class 1 has high-amplitude injected patterns at random
+    // positions; distance baselines see *some* signal but are far from the
+    // CNNs' near-perfect accuracy (position variance hurts Euclidean).
+    assert!(acc_e > 0.5, "Euclidean 1-NN at or below chance: {acc_e}");
+    assert!(acc_d > 0.5, "DTW 3-NN at or below chance: {acc_d}");
+}
+
+#[test]
+fn occlusion_finds_planted_features_on_trained_model() {
+    let train = dataset(2);
+    let protocol = Protocol { epochs: 30, patience: 15, seed: 5, ..Default::default() };
+    let (mut clf, outcome) =
+        build_and_train(ArchKind::Cnn, &train, ModelScale::Tiny, &protocol);
+    assert!(outcome.val_acc >= 0.8, "CNN failed to train: {}", outcome.val_acc);
+    let gap = clf.as_gap_mut().unwrap();
+    let mut scores = Vec::new();
+    let mut randoms = Vec::new();
+    for &i in train.class_indices(1).iter().take(5) {
+        let mask = train.masks[i].as_ref().unwrap();
+        let map = occlusion_map(
+            gap,
+            &train.samples[i],
+            1,
+            &OcclusionConfig { window: 16, stride: 8, baseline: 0.0 },
+        );
+        scores.push(dr_acc(&map, mask.tensor()));
+        randoms.push(dr_acc_random(mask.tensor()));
+    }
+    let mean = scores.iter().sum::<f32>() / scores.len() as f32;
+    let rnd = randoms.iter().sum::<f32>() / randoms.len() as f32;
+    assert!(
+        mean > 1.5 * rnd,
+        "occlusion saliency {mean:.3} not above random {rnd:.3}"
+    );
+}
+
+#[test]
+fn dataset_io_round_trips_through_training() {
+    let original = dataset(3);
+    let text = io::to_string(&original);
+    let restored = io::from_str(&text).expect("parse back");
+    assert_eq!(restored.len(), original.len());
+    // A model trained on the restored dataset behaves identically (same
+    // data, same seeds).
+    let protocol = Protocol { epochs: 3, patience: 3, seed: 1, ..Default::default() };
+    let (_, o1) = build_and_train(ArchKind::CCnn, &original, ModelScale::Tiny, &protocol);
+    let (_, o2) = build_and_train(ArchKind::CCnn, &restored, ModelScale::Tiny, &protocol);
+    let max_diff = o1
+        .history
+        .train_loss
+        .iter()
+        .zip(&o2.history.train_loss)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_diff < 1e-4, "training diverged after I/O round trip: {max_diff}");
+}
+
+#[test]
+fn checkpoint_preserves_trained_behaviour() {
+    let train = dataset(4);
+    let protocol = Protocol { epochs: 10, patience: 10, seed: 2, ..Default::default() };
+    let (mut trained, _) = build_and_train(ArchKind::DCnn, &train, ModelScale::Tiny, &protocol);
+    let ckpt = checkpoint::save(&mut trained, "dCNN");
+
+    // Fresh model with different init; restore; predictions must coincide.
+    let mut fresh = Classifier::for_dataset(ArchKind::DCnn, &train, ModelScale::Tiny, 999);
+    checkpoint::restore(&mut fresh, &ckpt, "dCNN").unwrap();
+    let x = dcam::InputEncoding::Dcnn.encode(&train.samples[0]);
+    let mut dims = vec![1usize];
+    dims.extend_from_slice(x.dims());
+    let xb = x.reshape(&dims).unwrap();
+    let y1 = trained.forward(&xb, false);
+    let y2 = fresh.forward(&xb, false);
+    assert!(y1.allclose(&y2, 1e-5));
+}
+
+#[test]
+fn viz_renders_attribution_maps() {
+    let ds = dataset(5);
+    let idx = ds.class_indices(1)[0];
+    let mask = ds.masks[idx].as_ref().unwrap();
+    let ascii = ascii_heatmap(mask.tensor(), None);
+    assert_eq!(ascii.lines().count(), 4);
+    // Marked cells must render as the brightest glyph.
+    assert!(ascii.contains('@'));
+    let svg = svg_heatmap(mask.tensor(), 3);
+    assert_eq!(svg.matches("<rect").count(), 4 * 64);
+}

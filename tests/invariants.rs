@@ -1,0 +1,134 @@
+//! Property-based integration tests over the cross-crate invariants the
+//! dCAM construction relies on.
+
+use dcam_series::cube::{ccnn_input, cnn_input, cube, dcnn_input, idx, slot_at};
+use dcam_series::{GroundTruthMask, MultivariateSeries};
+use dcam_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn arb_series(max_d: usize, max_n: usize) -> impl Strategy<Value = MultivariateSeries> {
+    (2..=max_d, 4..=max_n, any::<u64>()).prop_map(|(d, n, seed)| {
+        let mut rng = SeededRng::new(seed);
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect())
+            .collect();
+        MultivariateSeries::from_rows(&rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every row and every column of C(T) contains each dimension exactly
+    /// once — the structural property dCAM's M transformation requires.
+    #[test]
+    fn cube_is_a_latin_square(series in arb_series(8, 12)) {
+        let d = series.n_dims();
+        let c = cube(&series);
+        for r in 0..d {
+            let mut seen = vec![false; d];
+            for p in 0..d {
+                let slot = slot_at(r, p, d);
+                prop_assert!(!seen[slot]);
+                seen[slot] = true;
+                // And the data matches the definition.
+                prop_assert_eq!(c.at(&[p, r, 0]).unwrap(), series.dim(slot)[0]);
+            }
+        }
+    }
+
+    /// idx() inverts slot_at(): the bookkeeping both directions agree.
+    #[test]
+    fn idx_inverts_slot_at(d in 2usize..12, p in 0usize..12, slot in 0usize..12) {
+        let p = p % d;
+        let slot = slot % d;
+        let r = idx(slot, p, d);
+        prop_assert!(r < d);
+        prop_assert_eq!(slot_at(r, p, d), slot);
+    }
+
+    /// Permuting a series then building the cube equals re-indexing: the
+    /// cube of a permuted series contains exactly the same multiset of rows.
+    #[test]
+    fn permuted_cube_preserves_content(series in arb_series(6, 8), perm_seed in any::<u64>()) {
+        let d = series.n_dims();
+        let perm = SeededRng::new(perm_seed).permutation(d);
+        let permuted = series.permute_dims(&perm);
+        let c = cube(&permuted);
+        // Every (position, row) cell of the permuted cube holds some
+        // original dimension's data, and each original dimension appears
+        // exactly D times overall per timestamp.
+        let mut counts = vec![0usize; d];
+        for p in 0..d {
+            for r in 0..d {
+                let v = c.at(&[p, r, 0]).unwrap();
+                let dim = (0..d)
+                    .find(|&j| (series.dim(j)[0] - v).abs() < 1e-12)
+                    .expect("cube cell must come from some dimension");
+                counts[dim] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == d));
+    }
+
+    /// Input encodings preserve every value of the series.
+    #[test]
+    fn encodings_preserve_data(series in arb_series(6, 10)) {
+        let flat: Vec<f32> = series.tensor().data().to_vec();
+        let cnn = cnn_input(&series);
+        let ccnn = ccnn_input(&series);
+        prop_assert_eq!(cnn.data(), &flat[..]);
+        prop_assert_eq!(ccnn.data(), &flat[..]);
+        // The cube repeats each dimension D times.
+        let c = dcnn_input(&series);
+        prop_assert_eq!(c.len(), series.n_dims() * flat.len());
+    }
+
+    /// Dr-acc of the exact mask used as its own attribution is 1; random
+    /// prevalence matches the analytic baseline.
+    #[test]
+    fn dr_acc_of_perfect_attribution_is_one(
+        d in 2usize..6,
+        n in 8usize..20,
+        dim in 0usize..6,
+        start in 0usize..12,
+        len in 2usize..6,
+    ) {
+        let dim = dim % d;
+        let start = start % (n - 1);
+        let mut mask = GroundTruthMask::zeros(d, n);
+        mask.mark(dim, start, len.min(n - start));
+        prop_assume!(mask.positives() > 0);
+        let attribution = mask.tensor().clone();
+        let score = dcam_eval::dr_acc(&attribution, mask.tensor());
+        prop_assert!((score - 1.0).abs() < 1e-6);
+        let prevalence = mask.positives() as f32 / (d * n) as f32;
+        let rnd = dcam_eval::dr_acc_random(mask.tensor());
+        prop_assert!((rnd - prevalence).abs() < 1e-6);
+    }
+
+    /// Z-normalization is idempotent (up to float noise).
+    #[test]
+    fn znormalize_idempotent(series in arb_series(5, 16)) {
+        let mut once = series.clone();
+        once.znormalize();
+        let mut twice = once.clone();
+        twice.znormalize();
+        let a = once.tensor().data();
+        let b = twice.tensor().data();
+        for (x, y) in a.iter().zip(b) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn weighted_map_is_linear_in_features() {
+    // CAM primitive: scaling the features scales the map.
+    let mut rng = SeededRng::new(4);
+    let f = Tensor::uniform(&[1, 3, 2, 5], -1.0, 1.0, &mut rng);
+    let w = Tensor::uniform(&[2, 3], -1.0, 1.0, &mut rng);
+    let m1 = dcam::cam::weighted_map(&f, &w, 0);
+    let m2 = dcam::cam::weighted_map(&f.scale(2.0), &w, 0);
+    assert!(m2.allclose(&m1.scale(2.0), 1e-5));
+}
