@@ -6,22 +6,28 @@
 //! permutation costs a forward pass), linear in `|T|` and in `k`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dcam::arch::cnn;
 use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::{InputEncoding, ModelScale};
 use dcam_series::MultivariateSeries;
 use dcam_tensor::SeededRng;
+use std::time::Duration;
 
 fn series(d: usize, n: usize) -> MultivariateSeries {
     let mut rng = SeededRng::new(1);
-    let rows: Vec<Vec<f32>> =
-        (0..d).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
     MultivariateSeries::from_rows(&rows)
 }
 
 fn cfg(k: usize) -> DcamConfig {
-    DcamConfig { k, only_correct: false, seed: 3, ..Default::default() }
+    DcamConfig {
+        k,
+        only_correct: false,
+        seed: 3,
+        ..Default::default()
+    }
 }
 
 fn bench_vs_dims(c: &mut Criterion) {

@@ -7,7 +7,6 @@
 //! from the `(D, D, n)` cube (`O(ℓ·|T|·D²)` per kernel vs `O(ℓ·|T|·D)`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dcam::model::{ArchKind, Classifier};
 use dcam::train::encode_dataset;
 use dcam::ModelScale;
@@ -18,6 +17,7 @@ use dcam_nn::trainer::stack;
 use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
 use dcam_series::synth::seeds::SeedKind;
 use dcam_tensor::Tensor;
+use std::time::Duration;
 
 const METHODS: [ArchKind; 9] = [
     ArchKind::Cnn,
@@ -61,15 +61,11 @@ fn bench_vs_length(c: &mut Criterion) {
             let refs: Vec<&Tensor> = set.inputs.iter().collect();
             let batch = stack(&refs);
             let labels = set.labels.clone();
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), len),
-                &len,
-                |b, _| {
-                    let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
-                    let mut opt = Adam::new(0.01);
-                    b.iter(|| train_step(&mut clf, &batch, &labels, &mut opt));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), len), &len, |b, _| {
+                let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
+                let mut opt = Adam::new(0.01);
+                b.iter(|| train_step(&mut clf, &batch, &labels, &mut opt));
+            });
         }
     }
     group.finish();

@@ -1,15 +1,16 @@
 //! Micro-benchmarks of the substrate hot paths: the row-wise convolution
-//! (forward/backward), the `C(T)` cube construction, GEMM, and the `M`
-//! transformation inside dCAM. These are ablation-style benches for the
-//! design choices called out in DESIGN.md (batch-parallel conv kernels,
-//! contiguous cube layout).
+//! (forward/backward, both execution strategies), the `C(T)` cube
+//! construction, GEMM (all transpose variants), and the `M` transformation
+//! inside dCAM. These are ablation-style benches for the design choices
+//! called out in DESIGN.md (batch-parallel conv kernels, contiguous cube
+//! layout, im2col + packed GEMM).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use dcam_nn::layers::{Conv2dRows, Layer};
+use dcam_nn::layers::{Conv2dRows, ConvStrategy, Layer};
 use dcam_series::cube;
 use dcam_series::MultivariateSeries;
 use dcam_tensor::{SeededRng, Tensor};
+use std::time::Duration;
 
 fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2drows");
@@ -18,25 +19,31 @@ fn bench_conv(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     let mut rng = SeededRng::new(0);
     for &(c_in, c_out, h, w) in &[(8usize, 16usize, 1usize, 128usize), (8, 16, 8, 64)] {
-        let mut conv = Conv2dRows::same(c_in, c_out, 3, &mut rng);
         let x = Tensor::uniform(&[4, c_in, h, w], -1.0, 1.0, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("forward", format!("{c_in}x{c_out}x{h}x{w}")),
-            &w,
-            |b, _| {
-                b.iter(|| conv.forward(&x, false));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fwd_bwd", format!("{c_in}x{c_out}x{h}x{w}")),
-            &w,
-            |b, _| {
-                b.iter(|| {
-                    let y = conv.forward(&x, true);
-                    conv.backward(&y)
-                });
-            },
-        );
+        for (name, strategy) in [
+            ("direct", ConvStrategy::Direct),
+            ("im2col", ConvStrategy::Im2col),
+        ] {
+            let mut conv = Conv2dRows::same(c_in, c_out, 3, &mut rng);
+            conv.set_strategy(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(format!("forward_{name}"), format!("{c_in}x{c_out}x{h}x{w}")),
+                &w,
+                |b, _| {
+                    b.iter(|| conv.forward(&x, false));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("fwd_bwd_{name}"), format!("{c_in}x{c_out}x{h}x{w}")),
+                &w,
+                |b, _| {
+                    b.iter(|| {
+                        let y = conv.forward(&x, true);
+                        conv.backward(&y)
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -45,8 +52,9 @@ fn bench_cube(c: &mut Criterion) {
     let mut group = c.benchmark_group("cube_construction");
     let mut rng = SeededRng::new(1);
     for &d in &[10usize, 20, 40] {
-        let rows: Vec<Vec<f32>> =
-            (0..d).map(|_| (0..128).map(|_| rng.normal()).collect()).collect();
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|_| (0..128).map(|_| rng.normal()).collect())
+            .collect();
         let s = MultivariateSeries::from_rows(&rows);
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| cube::cube(&s));
@@ -63,6 +71,17 @@ fn bench_matmul(c: &mut Criterion) {
         let b_ = Tensor::uniform(&[n, n], -1.0, 1.0, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| a.matmul(&b_).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_tn(&b_).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_nt(&b_).unwrap());
+        });
+        // Allocation-free variant writing into a caller buffer.
+        let mut out = Tensor::zeros(&[n, n]);
+        group.bench_with_input(BenchmarkId::new("into", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_into(&b_, &mut out).unwrap());
         });
     }
     group.finish();

@@ -94,7 +94,11 @@ mod tests {
         let idx = ds.class_indices(1)[0];
         let series = &ds.samples[idx];
         let mask = ds.masks[idx].as_ref().unwrap();
-        let cfg = DcamConfig { k: 4, only_correct: false, ..Default::default() };
+        let cfg = DcamConfig {
+            k: 4,
+            only_correct: false,
+            ..Default::default()
+        };
         for kind in ArchKind::ALL {
             let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 0);
             let attr = attribution_for(kind, &mut clf, series, 1, &cfg);

@@ -82,11 +82,18 @@ fn main() {
         test_cfg.n_per_class = n_instances;
         let test_ds = generate(&test_cfg);
 
-        let protocol =
-            Protocol { epochs, patience: epochs / 2, seed: 7, ..Default::default() };
-        let (mut clf, outcome) =
-            build_and_train(ArchKind::DCnn, &train_ds, model_scale, &protocol);
-        println!("\n{}: dCNN val acc {:.2}", dataset_type.name(), outcome.val_acc);
+        let protocol = Protocol {
+            epochs,
+            patience: epochs / 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let (mut clf, outcome) = build_and_train(ArchKind::DCnn, &train_ds, model_scale, &protocol);
+        println!(
+            "\n{}: dCNN val acc {:.2}",
+            dataset_type.name(),
+            outcome.val_acc
+        );
         let gap = clf.as_gap_mut().unwrap();
 
         let mut scores: Vec<(String, Vec<f32>)> = vec![
@@ -102,12 +109,30 @@ fn main() {
         for &i in test_ds.class_indices(1).iter().take(n_instances) {
             let series = &test_ds.samples[i];
             let mask = test_ds.masks[i].as_ref().unwrap();
-            let base = DcamConfig { k, seed: 13, ..Default::default() };
+            let base = DcamConfig {
+                k,
+                seed: 13,
+                ..Default::default()
+            };
 
-            let r_correct =
-                compute_dcam(gap, series, 1, &DcamConfig { only_correct: true, ..base.clone() });
-            let r_all =
-                compute_dcam(gap, series, 1, &DcamConfig { only_correct: false, ..base });
+            let r_correct = compute_dcam(
+                gap,
+                series,
+                1,
+                &DcamConfig {
+                    only_correct: true,
+                    ..base.clone()
+                },
+            );
+            let r_all = compute_dcam(
+                gap,
+                series,
+                1,
+                &DcamConfig {
+                    only_correct: false,
+                    ..base
+                },
+            );
 
             scores[0].1.push(dr_acc(&r_correct.dcam, mask.tensor()));
             scores[1].1.push(dr_acc(&r_all.dcam, mask.tensor()));

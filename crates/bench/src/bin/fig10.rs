@@ -51,7 +51,10 @@ fn main() {
     let methods = [ArchKind::DCnn, ArchKind::DResNet, ArchKind::DInceptionTime];
 
     let mut all_series: Vec<Series> = Vec::new();
-    println!("=== Figure 10: Dr-acc vs number of permutations k ({}) ===", scale.name());
+    println!(
+        "=== Figure 10: Dr-acc vs number of permutations k ({}) ===",
+        scale.name()
+    );
 
     for dataset_type in [DatasetType::Type1, DatasetType::Type2] {
         for &d in &dims_grid {
@@ -68,13 +71,21 @@ fn main() {
             let test_ds = generate(&test_cfg);
 
             for kind in methods {
-                let protocol =
-                    Protocol { epochs, patience: epochs / 3, seed: 3, ..Default::default() };
+                let protocol = Protocol {
+                    epochs,
+                    patience: epochs / 3,
+                    seed: 3,
+                    ..Default::default()
+                };
                 let (mut clf, _) = build_and_train(kind, &train_ds, model_scale, &protocol);
 
                 let mut dr_per_k = Vec::with_capacity(k_values.len());
                 for &k in &k_values {
-                    let dcam_cfg = DcamConfig { k, seed: 17, ..Default::default() };
+                    let dcam_cfg = DcamConfig {
+                        k,
+                        seed: 17,
+                        ..Default::default()
+                    };
                     let mut drs = Vec::new();
                     for &i in test_ds.class_indices(1).iter().take(n_instances) {
                         let mask = test_ds.masks[i].as_ref().unwrap();
@@ -102,7 +113,10 @@ fn main() {
                     dataset_type.name(),
                     kind.name(),
                     d,
-                    dr_per_k.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+                    dr_per_k
+                        .iter()
+                        .map(|v| (v * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>(),
                     k_to_90
                 );
                 all_series.push(Series {

@@ -37,9 +37,13 @@ struct Point {
 fn main() {
     let scale = parse_scale();
     let (dims_grid, epoch_budgets, n_instances, k, model_scale) = match scale {
-        RunScale::Quick => {
-            (vec![6usize], vec![2usize, 8, 25], 4usize, 24usize, ModelScale::Small)
-        }
+        RunScale::Quick => (
+            vec![6usize],
+            vec![2usize, 8, 25],
+            4usize,
+            24usize,
+            ModelScale::Small,
+        ),
         RunScale::Full => (
             vec![10, 20, 40],
             vec![2, 5, 10, 20, 40, 80],
@@ -51,7 +55,10 @@ fn main() {
     let methods = [ArchKind::DCnn, ArchKind::DResNet, ArchKind::DInceptionTime];
 
     let mut points: Vec<Point> = Vec::new();
-    println!("=== Figure 11: C-acc vs Dr-acc vs ng/k ({}) ===", scale.name());
+    println!(
+        "=== Figure 11: C-acc vs Dr-acc vs ng/k ({}) ===",
+        scale.name()
+    );
     println!(
         "{:<14}{:<8}{:>4}{:>8} | {:>7} {:>7} {:>7}",
         "method", "type", "D", "epochs", "C-acc", "Dr-acc", "ng/k"
@@ -79,18 +86,20 @@ fn main() {
                         seed: 23,
                         ..Default::default()
                     };
-                    let (mut clf, _) =
-                        build_and_train(kind, &train_ds, model_scale, &protocol);
+                    let (mut clf, _) = build_and_train(kind, &train_ds, model_scale, &protocol);
                     let c_acc = test_accuracy(&mut clf, &test_ds, 8);
 
                     let gap = clf.as_gap_mut().expect("d-architecture");
-                    let dcam_cfg = DcamConfig { k, seed: 29, ..Default::default() };
+                    let dcam_cfg = DcamConfig {
+                        k,
+                        seed: 29,
+                        ..Default::default()
+                    };
                     let mut drs = Vec::new();
                     let mut ngs = Vec::new();
                     for &i in test_ds.class_indices(1).iter().take(n_instances) {
                         let mask = test_ds.masks[i].as_ref().unwrap();
-                        let result =
-                            compute_dcam(gap, &test_ds.samples[i], 1, &dcam_cfg);
+                        let result = compute_dcam(gap, &test_ds.samples[i], 1, &dcam_cfg);
                         drs.push(dr_acc(&result.dcam, mask.tensor()));
                         ngs.push(result.ng_ratio());
                     }

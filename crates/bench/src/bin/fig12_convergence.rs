@@ -46,7 +46,10 @@ fn main() {
         ArchKind::DInceptionTime,
     ];
 
-    println!("=== Figure 12(c): convergence to 90% of best loss ({}) ===", scale.name());
+    println!(
+        "=== Figure 12(c): convergence to 90% of best loss ({}) ===",
+        scale.name()
+    );
     println!(
         "{:<16}{:>4} | {:>10} {:>8} {:>9} {:>10}",
         "method", "D", "epochs@90%", "epochs", "total(s)", "s/epoch"

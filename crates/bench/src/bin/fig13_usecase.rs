@@ -68,7 +68,10 @@ fn main() {
         ),
     };
 
-    println!("=== Figure 13: surgeon skills use case ({}) ===", scale.name());
+    println!(
+        "=== Figure 13: surgeon skills use case ({}) ===",
+        scale.name()
+    );
     let data = generate(&cfg);
     let ds = &data.dataset;
     println!(
@@ -80,13 +83,22 @@ fn main() {
     );
 
     // Train dCNN, as the paper does for this use case.
-    let protocol = Protocol { epochs, patience: epochs / 2, seed: 3, ..Default::default() };
+    let protocol = Protocol {
+        epochs,
+        patience: epochs / 2,
+        seed: 3,
+        ..Default::default()
+    };
     let (mut clf, outcome) = build_and_train(ArchKind::DCnn, ds, model_scale, &protocol);
     println!("dCNN validation accuracy: {:.2}", outcome.val_acc);
 
     // dCAM for the novice class C_N on novice instances.
     let gap = clf.as_gap_mut().expect("dCNN");
-    let dcam_cfg = DcamConfig { k, seed: 19, ..Default::default() };
+    let dcam_cfg = DcamConfig {
+        k,
+        seed: 19,
+        ..Default::default()
+    };
     let novice = ds.class_indices(0);
     let mut maps = Vec::new();
     let mut ngs = Vec::new();
@@ -134,11 +146,17 @@ fn main() {
     );
     // Also report the least-activated kind (paper: velocities not discriminant).
     let median_of = |dim: usize| dist[dim].median;
-    let worst = ranked.last().map(|&(dim, _)| sensor_name(dim)).unwrap_or_default();
-    println!("least discriminant sensor: {worst} (median max act {:.4})", {
-        let dim = ranked.last().unwrap().0;
-        median_of(dim)
-    });
+    let worst = ranked
+        .last()
+        .map(|&(dim, _)| sensor_name(dim))
+        .unwrap_or_default();
+    println!(
+        "least discriminant sensor: {worst} (median max act {:.4})",
+        {
+            let dim = ranked.last().unwrap().0;
+            median_of(dim)
+        }
+    );
 
     // Fig. 13(d): average activation per gesture window.
     let windows = data.gesture_windows.clone();
@@ -152,18 +170,30 @@ fn main() {
     }
     println!("\nmean activation per gesture (Fig. 13(d)):");
     for (gi, v) in gesture_score.iter().enumerate() {
-        let marker = if DISCRIMINANT_GESTURES.contains(&gi) { "  <- planted (G6/G9)" } else { "" };
+        let marker = if DISCRIMINANT_GESTURES.contains(&gi) {
+            "  <- planted (G6/G9)"
+        } else {
+            ""
+        };
         println!("  G{:<2} {v:>8.4}{marker}", gi + 1);
     }
     let mut order: Vec<usize> = (0..gesture_score.len()).collect();
     order.sort_by(|&a, &b| {
-        gesture_score[b].partial_cmp(&gesture_score[a]).unwrap_or(std::cmp::Ordering::Equal)
+        gesture_score[b]
+            .partial_cmp(&gesture_score[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let hottest: Vec<usize> = order.iter().take(2).copied().collect();
     println!(
         "hottest gestures: {:?} (planted: {:?})",
-        hottest.iter().map(|g| format!("G{}", g + 1)).collect::<Vec<_>>(),
-        DISCRIMINANT_GESTURES.iter().map(|g| format!("G{}", g + 1)).collect::<Vec<_>>()
+        hottest
+            .iter()
+            .map(|g| format!("G{}", g + 1))
+            .collect::<Vec<_>>(),
+        DISCRIMINANT_GESTURES
+            .iter()
+            .map(|g| format!("G{}", g + 1))
+            .collect::<Vec<_>>()
     );
 
     write_json(

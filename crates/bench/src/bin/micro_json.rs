@@ -1,0 +1,329 @@
+//! Machine-readable micro-benchmarks of the hot paths: GEMM GFLOP/s,
+//! conv forward/backward ns (direct vs im2col strategies), and
+//! dCAM-per-instance ms (batched permutation engine vs the seed-style
+//! unbatched loop). Writes `BENCH_micro.json` so future PRs have a perf
+//! trajectory to diff against.
+//!
+//! Run: `cargo run --release -p dcam-bench --bin micro_json`
+//!
+//! The dCAM "seed" row re-runs this binary as a child process with
+//! `DCAM_CONV_STRATEGY=direct` so the seed measurement uses the scalar
+//! convolution loops end to end (the strategy override is latched once per
+//! process, so it cannot be flipped in-process).
+
+use dcam::arch::cnn;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::{InputEncoding, ModelScale};
+use dcam_nn::layers::{Conv2dRows, ConvStrategy, Layer};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::{SeededRng, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct MatmulRow {
+    n: usize,
+    new_us: f64,
+    new_gflops: f64,
+    seed_us: f64,
+    seed_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ConvRow {
+    c_in: usize,
+    c_out: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    direct_fwd_ns: f64,
+    im2col_fwd_ns: f64,
+    fwd_speedup: f64,
+    direct_bwd_ns: f64,
+    im2col_bwd_ns: f64,
+    bwd_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct DcamRow {
+    dims: usize,
+    series_len: usize,
+    k: usize,
+    new_ms: f64,
+    seed_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    matmul: Vec<MatmulRow>,
+    conv: Vec<ConvRow>,
+    dcam: DcamRow,
+}
+
+/// Best-of-`reps` wall time per call, in seconds.
+fn best_of(mut f: impl FnMut(), iters: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+/// The seed repository's cache-blocked i-k-j matmul, kept verbatim as the
+/// before-measurement.
+fn matmul_seed(a: &Tensor, b: &Tensor) -> Tensor {
+    const BLOCK: usize = 64;
+    let (m, k, n) = (a.dims()[0], a.dims()[1], b.dims()[1]);
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let c = out.data_mut();
+    for kk in (0..k).step_by(BLOCK) {
+        let k_end = (kk + BLOCK).min(k);
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in kk..k_end {
+                let aik = a_row[p];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_matmul() -> Vec<MatmulRow> {
+    let mut rng = SeededRng::new(2);
+    let mut rows = Vec::new();
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let iters = (50_000_000 / (n * n * n)).max(3);
+        let new = best_of(|| drop(a.matmul(&b).unwrap()), iters, 7);
+        let seed = best_of(|| drop(matmul_seed(&a, &b)), iters, 7);
+        let flops = 2.0 * (n * n * n) as f64;
+        rows.push(MatmulRow {
+            n,
+            new_us: new * 1e6,
+            new_gflops: flops / new / 1e9,
+            seed_us: seed * 1e6,
+            seed_gflops: flops / seed / 1e9,
+            speedup: seed / new,
+        });
+    }
+    rows
+}
+
+fn bench_conv() -> Vec<ConvRow> {
+    let mut rng = SeededRng::new(3);
+    let mut rows = Vec::new();
+    // The micro.rs shapes plus a dCAM-shaped case (C_in = D = 20 positions,
+    // H = D rows).
+    for &(c_in, c_out, h, w) in &[
+        (8usize, 16usize, 1usize, 128usize),
+        (8, 16, 8, 64),
+        (20, 16, 20, 128),
+    ] {
+        let kernel = 3;
+        let x = Tensor::uniform(&[4, c_in, h, w], -1.0, 1.0, &mut rng);
+        let mut times = Vec::new(); // [direct fwd, direct bwd, im2col fwd, im2col bwd]
+        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+            let mut conv = Conv2dRows::same(c_in, c_out, kernel, &mut SeededRng::new(5));
+            conv.set_strategy(strategy);
+            let y = conv.forward(&x, false);
+            let fwd = best_of(|| drop(conv.forward(&x, false)), 3, 7);
+            let bwd = best_of(
+                || {
+                    let _ = conv.forward(&x, true);
+                    drop(conv.backward(&y));
+                },
+                3,
+                7,
+            );
+            times.push(fwd);
+            times.push(bwd);
+        }
+        rows.push(ConvRow {
+            c_in,
+            c_out,
+            h,
+            w,
+            kernel,
+            direct_fwd_ns: times[0] * 1e9,
+            im2col_fwd_ns: times[2] * 1e9,
+            fwd_speedup: times[0] / times[2],
+            direct_bwd_ns: times[1] * 1e9,
+            im2col_bwd_ns: times[3] * 1e9,
+            bwd_speedup: times[1] / times[3],
+        });
+    }
+    rows
+}
+
+const DCAM_DIMS: usize = 20;
+const DCAM_LEN: usize = 128;
+const DCAM_K: usize = 100;
+
+/// One dCAM instance timing (ms per compute_dcam call) under whatever
+/// conv strategy the environment dictates.
+fn dcam_ms() -> f64 {
+    let mut rng = SeededRng::new(1);
+    let rows: Vec<Vec<f32>> = (0..DCAM_DIMS)
+        .map(|_| (0..DCAM_LEN).map(|_| rng.normal()).collect())
+        .collect();
+    let series = MultivariateSeries::from_rows(&rows);
+    let mut model = cnn(
+        InputEncoding::Dcnn,
+        DCAM_DIMS,
+        2,
+        ModelScale::Tiny,
+        &mut rng,
+    );
+    let cfg = DcamConfig {
+        k: DCAM_K,
+        only_correct: false,
+        seed: 3,
+        ..Default::default()
+    };
+    best_of(|| drop(compute_dcam(&mut model, &series, 0, &cfg)), 1, 5) * 1e3
+}
+
+/// Seed-style dCAM loop: one permuted-series copy + cube + batch stack per
+/// permutation and a per-sample feature copy, exactly as the seed did it.
+fn dcam_seed_ms() -> f64 {
+    use dcam::cam::weighted_map;
+    use dcam_nn::trainer::stack;
+    use dcam_series::cube;
+    let mut rng = SeededRng::new(1);
+    let rows: Vec<Vec<f32>> = (0..DCAM_DIMS)
+        .map(|_| (0..DCAM_LEN).map(|_| rng.normal()).collect())
+        .collect();
+    let series = MultivariateSeries::from_rows(&rows);
+    let mut model = cnn(
+        InputEncoding::Dcnn,
+        DCAM_DIMS,
+        2,
+        ModelScale::Tiny,
+        &mut rng,
+    );
+    let cfg = DcamConfig {
+        k: DCAM_K,
+        only_correct: false,
+        seed: 3,
+        ..Default::default()
+    };
+    let (d, n) = (DCAM_DIMS, DCAM_LEN);
+
+    best_of(
+        || {
+            let mut perm_rng = SeededRng::new(cfg.seed);
+            let mut perms: Vec<Vec<usize>> = vec![(0..d).collect()];
+            while perms.len() < cfg.k {
+                perms.push(perm_rng.permutation(d));
+            }
+            let mut m_acc = Tensor::zeros(&[d, d, n]);
+            for chunk in perms.chunks(cfg.batch) {
+                let cubes: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|p| cube::cube(&series.permute_dims(p)))
+                    .collect();
+                let refs: Vec<&Tensor> = cubes.iter().collect();
+                let xb = stack(&refs);
+                let (features, _logits) = model.forward_with_features(&xb);
+                let nf = features.dims()[1];
+                let plane = d * n;
+                for (bi, perm) in chunk.iter().enumerate() {
+                    let f_sample = Tensor::from_vec(
+                        features.data()[bi * nf * plane..(bi + 1) * nf * plane].to_vec(),
+                        &[1, nf, d, n],
+                    )
+                    .unwrap();
+                    let cam_rows = weighted_map(&f_sample, model.class_weights(), 0);
+                    let mut slot_of = vec![0usize; d];
+                    for (j, &dim) in perm.iter().enumerate() {
+                        slot_of[dim] = j;
+                    }
+                    for dim in 0..d {
+                        let j = slot_of[dim];
+                        for p in 0..d {
+                            let r = cube::idx(j, p, d);
+                            let src = &cam_rows.data()[r * n..(r + 1) * n];
+                            let dst = (dim * d + p) * n;
+                            for (acc, &v) in m_acc.data_mut()[dst..dst + n].iter_mut().zip(src) {
+                                *acc += v;
+                            }
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(&m_acc);
+        },
+        1,
+        5,
+    ) * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--dcam-seed-only") {
+        // Child mode: print the seed-style dCAM time under the conv
+        // strategy the parent pinned via DCAM_CONV_STRATEGY.
+        println!("{}", dcam_seed_ms());
+        return;
+    }
+
+    eprintln!("matmul ...");
+    let matmul = bench_matmul();
+    eprintln!("conv ...");
+    let conv = bench_conv();
+
+    eprintln!("dcam (new engine) ...");
+    let new_ms = dcam_ms();
+    eprintln!("dcam (seed loop, direct conv, child process) ...");
+    let seed_ms = match std::process::Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--dcam-seed-only")
+        .env("DCAM_CONV_STRATEGY", "direct")
+        .output()
+    {
+        Ok(out) if out.status.success() => String::from_utf8_lossy(&out.stdout)
+            .trim()
+            .parse::<f64>()
+            .unwrap_or(f64::NAN),
+        _ => {
+            eprintln!("warning: child run failed; measuring seed loop in-process");
+            dcam_seed_ms()
+        }
+    };
+
+    let report = Report {
+        matmul,
+        conv,
+        dcam: DcamRow {
+            dims: DCAM_DIMS,
+            series_len: DCAM_LEN,
+            k: DCAM_K,
+            new_ms,
+            seed_ms,
+            speedup: seed_ms / new_ms,
+        },
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+    let path = "BENCH_micro.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

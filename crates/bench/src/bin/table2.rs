@@ -61,7 +61,10 @@ fn main() {
     };
     let methods = ArchKind::ALL;
 
-    println!("=== Table 2: C-acc over UEA stand-ins ({}) ===", scale.name());
+    println!(
+        "=== Table 2: C-acc over UEA stand-ins ({}) ===",
+        scale.name()
+    );
     print!("{:<22}{:>4}{:>6}{:>5} |", "dataset", "|C|", "|T|", "D");
     for m in methods {
         print!(" {:>7}", m.name());
@@ -74,7 +77,12 @@ fn main() {
         // Sample budget shared across classes so many-class datasets stay
         // tractable; two extra folds generated for train vs held-out test.
         let n_per_class = (budget / meta.n_classes).clamp(6, 24);
-        let cfg = UeaStandInConfig { n_per_class: n_per_class * 2, max_len, max_dims, seed: 5 };
+        let cfg = UeaStandInConfig {
+            n_per_class: n_per_class * 2,
+            max_len,
+            max_dims,
+            seed: 5,
+        };
         let all = generate(meta, &cfg);
         let (train_ds, test_ds) = all.split(0.5, 99);
 
@@ -141,16 +149,36 @@ fn main() {
         ("dResNet vs ResNet", ArchKind::DResNet, ArchKind::ResNet),
         ("dResNet vs cResNet", ArchKind::DResNet, ArchKind::CResNet),
         ("dResNet vs MTEX", ArchKind::DResNet, ArchKind::Mtex),
-        ("dInceptionT. vs InceptionT.", ArchKind::DInceptionTime, ArchKind::InceptionTime),
-        ("dInceptionT. vs cInceptionT.", ArchKind::DInceptionTime, ArchKind::CInceptionTime),
-        ("dInceptionT. vs MTEX", ArchKind::DInceptionTime, ArchKind::Mtex),
+        (
+            "dInceptionT. vs InceptionT.",
+            ArchKind::DInceptionTime,
+            ArchKind::InceptionTime,
+        ),
+        (
+            "dInceptionT. vs cInceptionT.",
+            ArchKind::DInceptionTime,
+            ArchKind::CInceptionTime,
+        ),
+        (
+            "dInceptionT. vs MTEX",
+            ArchKind::DInceptionTime,
+            ArchKind::Mtex,
+        ),
     ];
     for (label, d_kind, other) in pairs {
         let (di, oi) = (idx(d_kind), idx(other));
-        let wins = rows.iter().filter(|r| r.accuracies[di] > r.accuracies[oi]).count();
-        let points: Vec<(f32, f32)> =
-            rows.iter().map(|r| (r.accuracies[oi], r.accuracies[di])).collect();
-        println!("{label:<30} d-variant wins {wins}/{}: {points:?}", rows.len());
+        let wins = rows
+            .iter()
+            .filter(|r| r.accuracies[di] > r.accuracies[oi])
+            .count();
+        let points: Vec<(f32, f32)> = rows
+            .iter()
+            .map(|r| (r.accuracies[oi], r.accuracies[di]))
+            .collect();
+        println!(
+            "{label:<30} d-variant wins {wins}/{}: {points:?}",
+            rows.len()
+        );
     }
 
     write_json("table2", scale, &rows);

@@ -15,8 +15,8 @@ use dcam::dcam::DcamConfig;
 use dcam::model::ArchKind;
 use dcam::train::{build_and_train, test_accuracy, Protocol};
 use dcam::ModelScale;
-use dcam_bench::harness::{cell, parse_scale, timed, write_json, RunScale};
 use dcam_bench::attribution::dr_acc_of_method;
+use dcam_bench::harness::{cell, parse_scale, timed, write_json, RunScale};
 use dcam_eval::{average_ranks, dr_acc_random};
 use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
 use dcam_series::synth::seeds::SeedKind;
@@ -71,7 +71,10 @@ fn main() {
     ];
 
     let mut rows: Vec<Row> = Vec::new();
-    println!("=== Table 3: C-acc and Dr-acc on synthetic datasets ({}) ===", scale.name());
+    println!(
+        "=== Table 3: C-acc and Dr-acc on synthetic datasets ({}) ===",
+        scale.name()
+    );
     println!(
         "{:<16}{:<8}{:>5} | {:>22} | {:>22}",
         "dataset", "type", "D", "C-acc per method", "Dr-acc per method"
@@ -109,7 +112,11 @@ fn main() {
                     let c_acc = test_accuracy(&mut clf, &test_ds, 8);
 
                     // Dr-acc over class-1 test instances with masks.
-                    let dcam_cfg = DcamConfig { k, seed: 11, ..Default::default() };
+                    let dcam_cfg = DcamConfig {
+                        k,
+                        seed: 11,
+                        ..Default::default()
+                    };
                     let mut drs = Vec::new();
                     let mut randoms = Vec::new();
                     for &i in test_ds.class_indices(1).iter().take(n_dr) {
@@ -131,8 +138,7 @@ fn main() {
                     } else {
                         drs.iter().sum::<f32>() / drs.len() as f32
                     };
-                    dr_random_avg =
-                        randoms.iter().sum::<f32>() / randoms.len().max(1) as f32;
+                    dr_random_avg = randoms.iter().sum::<f32>() / randoms.len().max(1) as f32;
                     c_cells.push_str(&format!("{} ", cell(c_acc)));
                     dr_cells.push_str(&format!("{} ", cell(dr)));
                     rows.push(Row {
@@ -187,8 +193,7 @@ fn main() {
                         })
                         .collect();
                     let c = sel.iter().map(|r| r.c_acc).sum::<f32>() / sel.len().max(1) as f32;
-                    let dr =
-                        sel.iter().map(|r| r.dr_acc).sum::<f32>() / sel.len().max(1) as f32;
+                    let dr = sel.iter().map(|r| r.dr_acc).sum::<f32>() / sel.len().max(1) as f32;
                     (d, c, dr)
                 })
                 .collect();

@@ -4,6 +4,11 @@ use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// The workspace-wide argmax (lowest-index tie-breaking), re-exported so
+/// experiment binaries score predictions exactly like the training loop and
+/// the explanation loop do.
+pub use dcam_tensor::argmax;
+
 /// Experiment scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunScale {

@@ -5,16 +5,37 @@ use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
 use dcam_series::synth::seeds::SeedKind;
 
 fn main() {
-    for (d, amp, npc, epochs) in [(6usize, 2.0f32, 60usize, 60usize), (6, 2.5, 60, 60), (6, 2.5, 100, 60)] {
+    for (d, amp, npc, epochs) in [
+        (6usize, 2.0f32, 60usize, 60usize),
+        (6, 2.5, 60, 60),
+        (6, 2.5, 100, 60),
+    ] {
         let mut cfg = InjectConfig::new(SeedKind::StarLight, DatasetType::Type2, d);
-        cfg.n_per_class = npc; cfg.series_len = 64; cfg.pattern_len = 16; cfg.seed = 77; cfg.amplitude = amp;
+        cfg.n_per_class = npc;
+        cfg.series_len = 64;
+        cfg.pattern_len = 16;
+        cfg.seed = 77;
+        cfg.amplitude = amp;
         let train_ds = generate(&cfg);
-        let mut tcfg = cfg.clone(); tcfg.seed = 1077; tcfg.n_per_class = 12;
+        let mut tcfg = cfg.clone();
+        tcfg.seed = 1077;
+        tcfg.n_per_class = 12;
         let test_ds = generate(&tcfg);
-        let protocol = Protocol { epochs, patience: epochs/2, seed: 7, ..Default::default() };
+        let protocol = Protocol {
+            epochs,
+            patience: epochs / 2,
+            seed: 7,
+            ..Default::default()
+        };
         let t0 = std::time::Instant::now();
-        let (mut clf, out) = build_and_train(ArchKind::DCnn, &train_ds, ModelScale::Tiny, &protocol);
+        let (mut clf, out) =
+            build_and_train(ArchKind::DCnn, &train_ds, ModelScale::Tiny, &protocol);
         let acc = test_accuracy(&mut clf, &test_ds, 8);
-        println!("D={d} amp={amp} npc={npc}: val={:.2} test={:.2} ({:.0?})", out.val_acc, acc, t0.elapsed());
+        println!(
+            "D={d} amp={amp} npc={npc}: val={:.2} test={:.2} ({:.0?})",
+            out.val_acc,
+            acc,
+            t0.elapsed()
+        );
     }
 }

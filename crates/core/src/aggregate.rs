@@ -13,7 +13,13 @@ use dcam_tensor::Tensor;
 pub fn max_per_dimension(map: &Tensor) -> Vec<f32> {
     let d = map.dims()[0];
     (0..d)
-        .map(|i| map.row(i).expect("row").iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        .map(|i| {
+            map.row(i)
+                .expect("row")
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
         .collect()
 }
 
@@ -44,7 +50,13 @@ pub fn summarize(values: &[f32]) -> Summary {
         let w = pos - lo as f32;
         v[lo] * (1.0 - w) + v[hi] * w
     };
-    Summary { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: v[v.len() - 1] }
+    Summary {
+        min: v[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+    }
 }
 
 /// Fig. 13(c): distribution of per-dimension maximal activation across a

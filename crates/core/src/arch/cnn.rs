@@ -25,7 +25,11 @@ pub fn cnn(
     scale: ModelScale,
     rng: &mut SeededRng,
 ) -> GapClassifier {
-    assert_ne!(encoding, InputEncoding::Rnn, "use `recurrent` for RNN baselines");
+    assert_ne!(
+        encoding,
+        InputEncoding::Rnn,
+        "use `recurrent` for RNN baselines"
+    );
     let kernel = 3;
     let mut features = Sequential::new();
     let mut c_in = encoding.in_channels(n_dims);

@@ -42,8 +42,10 @@ fn split_channels(x: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
     let (n, c_total, h, w) = (d[0], d[1], d[2], d[3]);
     assert_eq!(sizes.iter().sum::<usize>(), c_total);
     let plane = h * w;
-    let mut outs: Vec<Tensor> =
-        sizes.iter().map(|&c| Tensor::zeros(&[n, c, h, w])).collect();
+    let mut outs: Vec<Tensor> = sizes
+        .iter()
+        .map(|&c| Tensor::zeros(&[n, c, h, w]))
+        .collect();
     for ni in 0..n {
         let mut c_off = 0;
         for (out, &c) in outs.iter_mut().zip(sizes) {
@@ -109,8 +111,11 @@ impl InceptionModule {
 impl Layer for InceptionModule {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let b = self.bottleneck.forward(x, train);
-        let mut branches: Vec<Tensor> =
-            self.convs.iter_mut().map(|c| c.forward(&b, train)).collect();
+        let mut branches: Vec<Tensor> = self
+            .convs
+            .iter_mut()
+            .map(|c| c.forward(&b, train))
+            .collect();
         let pooled = self.pool.forward(x, train);
         branches.push(self.pool_conv.forward(&pooled, train));
         let refs: Vec<&Tensor> = branches.iter().collect();
@@ -164,15 +169,24 @@ struct Plan {
 
 fn plan(scale: ModelScale) -> Plan {
     match scale {
-        ModelScale::Paper => {
-            Plan { depth: 6, bottleneck: 32, filters: 32, kernels: vec![39, 19, 9] }
-        }
-        ModelScale::Small => {
-            Plan { depth: 3, bottleneck: 8, filters: 8, kernels: vec![15, 9, 5] }
-        }
-        ModelScale::Tiny => {
-            Plan { depth: 2, bottleneck: 4, filters: 4, kernels: vec![7, 5, 3] }
-        }
+        ModelScale::Paper => Plan {
+            depth: 6,
+            bottleneck: 32,
+            filters: 32,
+            kernels: vec![39, 19, 9],
+        },
+        ModelScale::Small => Plan {
+            depth: 3,
+            bottleneck: 8,
+            filters: 8,
+            kernels: vec![15, 9, 5],
+        },
+        ModelScale::Tiny => Plan {
+            depth: 2,
+            bottleneck: 4,
+            filters: 4,
+            kernels: vec![7, 5, 3],
+        },
     }
 }
 
@@ -186,7 +200,11 @@ pub fn inception_time(
     scale: ModelScale,
     rng: &mut SeededRng,
 ) -> GapClassifier {
-    assert_ne!(encoding, InputEncoding::Rnn, "use `recurrent` for RNN baselines");
+    assert_ne!(
+        encoding,
+        InputEncoding::Rnn,
+        "use `recurrent` for RNN baselines"
+    );
     let p = plan(scale);
     let mut features = Sequential::new();
     let mut c_in = encoding.in_channels(n_dims);
@@ -267,8 +285,7 @@ mod tests {
     #[test]
     fn dinception_forward_backward_smoke() {
         let mut rng = SeededRng::new(3);
-        let mut clf =
-            inception_time(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+        let mut clf = inception_time(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
         let x = Tensor::uniform(&[2, 3, 3, 12], -1.0, 1.0, &mut rng);
         let y = clf.forward(&x, true);
         assert_eq!(y.dims(), &[2, 2]);
@@ -279,8 +296,7 @@ mod tests {
     #[test]
     fn paper_depth_includes_residual() {
         let mut rng = SeededRng::new(4);
-        let mut clf =
-            inception_time(InputEncoding::Cnn, 2, 2, ModelScale::Small, &mut rng);
+        let mut clf = inception_time(InputEncoding::Cnn, 2, 2, ModelScale::Small, &mut rng);
         // Small: depth 3 -> one residual group; forward must still work.
         let x = Tensor::uniform(&[1, 2, 1, 20], -1.0, 1.0, &mut rng);
         let y = clf.forward(&x, false);

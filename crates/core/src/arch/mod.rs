@@ -190,11 +190,7 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let clf = cnn(InputEncoding::Cnn, 3, 4, ModelScale::Tiny, &mut rng);
         let mut clf = clf;
-        let s = MultivariateSeries::from_rows(&[
-            vec![0.0; 16],
-            vec![1.0; 16],
-            vec![2.0; 16],
-        ]);
+        let s = MultivariateSeries::from_rows(&[vec![0.0; 16], vec![1.0; 16], vec![2.0; 16]]);
         let logits = clf.logits_for(&s);
         assert_eq!(logits.dims(), &[1, 4]);
     }

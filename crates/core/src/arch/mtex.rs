@@ -139,7 +139,11 @@ impl MtexCnn {
     /// caches; we instead run with `train = true` on all layers but the
     /// dropouts, which grad-CAM treats as identity).
     pub fn grad_cam(&mut self, x: &Tensor, class: usize) -> GradCamMaps {
-        assert_eq!(x.dims(), &[1, 1, self.n_dims, self.n_len], "grad_cam expects one cCNN-encoded sample");
+        assert_eq!(
+            x.dims(),
+            &[1, 1, self.n_dims, self.n_len],
+            "grad_cam expects one cCNN-encoded sample"
+        );
         // Forward with caches. Dropout must act as identity: run eval for
         // dropout layers by draining them from the path (their train=false
         // behaviour is identity, so call with train=false).
@@ -168,12 +172,12 @@ impl MtexCnn {
         let g = self.head.backward(&g);
         let g = g.reshape(&[1, self.f3, 1, self.w3]).expect("unflatten");
         let g_c = self.relu_c.backward(&g); // gradient at block-2 conv output
-        // Continue to block-1 features.
+                                            // Continue to block-1 features.
         let g = self.conv_c.backward(&g_c);
         let g = g.reshape(&[1, 1, self.n_dims, self.w2]).expect("unshape");
         let g = self.relu_1x1.backward(&g);
         let g_b = self.conv_1x1.backward(&g); // gradient at block-1 output (1, f2, D, w2)
-        // Drain remaining caches (keeps the layer contract tidy).
+                                              // Drain remaining caches (keeps the layer contract tidy).
         let g = self.relu_b.backward(&g_b);
         let g = self.conv_b.backward(&g);
         let g = self.relu_a.backward(&g);
@@ -193,7 +197,11 @@ impl MtexCnn {
                 *v *= t;
             }
         }
-        GradCamMaps { per_dimension, temporal, combined }
+        GradCamMaps {
+            per_dimension,
+            temporal,
+            combined,
+        }
     }
 }
 
@@ -211,7 +219,11 @@ fn gradcam_map(act: &Tensor, grad: &Tensor, h: usize, w: usize) -> Tensor {
     let mut map = Tensor::zeros(&[h, w]);
     for (m, &alpha) in alphas.iter().enumerate() {
         let base = m * plane;
-        for (o, &a) in map.data_mut().iter_mut().zip(&act.data()[base..base + plane]) {
+        for (o, &a) in map
+            .data_mut()
+            .iter_mut()
+            .zip(&act.data()[base..base + plane])
+        {
             *o += alpha * a;
         }
     }

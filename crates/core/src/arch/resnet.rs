@@ -26,12 +26,7 @@ fn kernel_sizes(scale: ModelScale) -> [usize; 3] {
 
 /// One residual block: three `conv → BN → ReLU` stages plus a shortcut
 /// (projection 1×1 conv + BN when the channel count changes).
-fn residual_block(
-    c_in: usize,
-    c_out: usize,
-    kernels: [usize; 3],
-    rng: &mut SeededRng,
-) -> Residual {
+fn residual_block(c_in: usize, c_out: usize, kernels: [usize; 3], rng: &mut SeededRng) -> Residual {
     let mut main = Sequential::new();
     let mut c = c_in;
     for (i, &k) in kernels.iter().enumerate() {
@@ -62,7 +57,11 @@ pub fn resnet(
     scale: ModelScale,
     rng: &mut SeededRng,
 ) -> GapClassifier {
-    assert_ne!(encoding, InputEncoding::Rnn, "use `recurrent` for RNN baselines");
+    assert_ne!(
+        encoding,
+        InputEncoding::Rnn,
+        "use `recurrent` for RNN baselines"
+    );
     let filters = block_filters(scale);
     let kernels = kernel_sizes(scale);
     let mut features = Sequential::new();

@@ -8,7 +8,7 @@
 
 use crate::arch::{GapClassifier, InputEncoding};
 use dcam_series::MultivariateSeries;
-use dcam_tensor::Tensor;
+use dcam_tensor::{argmax, Tensor};
 
 /// Weighted sum of feature maps: `(n_f, H, W)` activations × class weights
 /// → `(H, W)` map. This is the shared CAM primitive.
@@ -16,20 +16,42 @@ pub fn weighted_map(features: &Tensor, class_weights: &Tensor, class: usize) -> 
     let d = features.dims();
     assert_eq!(d.len(), 4, "expected (1, n_f, H, W) features");
     assert_eq!(d[0], 1, "one sample at a time");
-    let (n_f, h, w) = (d[1], d[2], d[3]);
+    let mut out = Tensor::zeros(&[d[2], d[3]]);
+    weighted_map_batch(features, class_weights, class, out.data_mut());
+    out
+}
+
+/// Batched CAM primitive: `(B, n_f, H, W)` feature maps × class weights →
+/// `B` maps written into `out` (`B·H·W`, row-major per sample).
+///
+/// Reads each sample's feature planes in place — no per-sample feature
+/// copies — which is what lets [`crate::dcam::compute_dcam`] score a whole
+/// permutation batch without allocating. `out` is fully overwritten.
+pub fn weighted_map_batch(
+    features: &Tensor,
+    class_weights: &Tensor,
+    class: usize,
+    out: &mut [f32],
+) {
+    let d = features.dims();
+    assert_eq!(d.len(), 4, "expected (B, n_f, H, W) features");
+    let (b, n_f, h, w) = (d[0], d[1], d[2], d[3]);
     let cw = class_weights.dims();
     assert_eq!(cw[1], n_f, "class weights must match feature count");
     assert!(class < cw[0], "class out of range");
     let plane = h * w;
-    let mut out = Tensor::zeros(&[h, w]);
+    assert_eq!(out.len(), b * plane, "output length mismatch");
     let wrow = &class_weights.data()[class * n_f..(class + 1) * n_f];
-    for (m, &wm) in wrow.iter().enumerate() {
-        let base = m * plane;
-        for (o, &a) in out.data_mut().iter_mut().zip(&features.data()[base..base + plane]) {
-            *o += wm * a;
+    out.fill(0.0);
+    for bi in 0..b {
+        let f_sample = &features.data()[bi * n_f * plane..(bi + 1) * n_f * plane];
+        let o = &mut out[bi * plane..(bi + 1) * plane];
+        for (m, &wm) in wrow.iter().enumerate() {
+            for (ov, &fv) in o.iter_mut().zip(&f_sample[m * plane..(m + 1) * plane]) {
+                *ov += wm * fv;
+            }
         }
     }
-    out
 }
 
 /// Result of a CAM computation on one instance.
@@ -57,14 +79,12 @@ pub fn cam(model: &mut GapClassifier, series: &MultivariateSeries, class: usize)
     let xb = x.reshape(&dims).expect("batch of one");
     let (features, logits) = model.forward_with_features(&xb);
     let map = weighted_map(&features, model.class_weights(), class);
-    let predicted = logits
-        .data()
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-    CamResult { map, predicted, logits: logits.data().to_vec() }
+    let predicted = argmax(logits.data()).unwrap_or(0);
+    CamResult {
+        map,
+        predicted,
+        logits: logits.data().to_vec(),
+    }
 }
 
 /// Univariate CAM as a vector (CNN encoding only).
@@ -89,8 +109,9 @@ mod tests {
 
     fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
         let mut rng = SeededRng::new(seed);
-        let rows: Vec<Vec<f32>> =
-            (0..d).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.normal()).collect())
+            .collect();
         MultivariateSeries::from_rows(&rows)
     }
 

@@ -17,10 +17,10 @@
 //!    global mean filters irrelevant temporal windows.
 
 use crate::arch::{GapClassifier, InputEncoding};
-use crate::cam::weighted_map;
-use dcam_nn::trainer::stack;
+use crate::cam::weighted_map_batch;
+use dcam_nn::par_accumulate;
 use dcam_series::{cube, MultivariateSeries};
-use dcam_tensor::{SeededRng, Tensor};
+use dcam_tensor::{argmax, SeededRng, Tensor};
 
 /// dCAM computation parameters.
 #[derive(Debug, Clone)]
@@ -40,7 +40,13 @@ pub struct DcamConfig {
 
 impl Default for DcamConfig {
     fn default() -> Self {
-        DcamConfig { k: 100, batch: 8, only_correct: true, include_identity: true, seed: 0 }
+        DcamConfig {
+            k: 100,
+            batch: 8,
+            only_correct: true,
+            include_identity: true,
+            seed: 0,
+        }
     }
 }
 
@@ -76,6 +82,18 @@ impl DcamResult {
 /// The classifier must use the [`InputEncoding::Dcnn`] encoding (dCNN,
 /// dResNet or dInceptionTime). The model is only evaluated — never
 /// retrained — exactly as in §4.4.2.
+///
+/// Implementation: a batched permutation engine. The cube of a permuted
+/// series satisfies `C(S_T)[p, r, t] = T^(perm[(p+r) mod D])[t]`, so each
+/// permuted cube is assembled by `D²` straight row copies from the original
+/// series into one reused batch buffer — no `permute_dims` intermediate, no
+/// per-permutation cube allocation, no batch re-stacking. CAMs for the whole
+/// batch come from [`weighted_map_batch`] reading the feature tensor in
+/// place, and the `M`-transformation re-indexing is parallelized across the
+/// permutations of a batch. The per-permutation cube and feature-slice
+/// allocations of the original implementation are gone entirely; what
+/// remains per batch is the model forward itself plus the `M`-transform
+/// worker accumulators inside [`par_accumulate`].
 pub fn compute_dcam(
     model: &mut GapClassifier,
     series: &MultivariateSeries,
@@ -101,54 +119,68 @@ pub fn compute_dcam(
         perms.push(rng.permutation(d));
     }
 
-    let mut m_acc = Tensor::zeros(&[d, d, n]);
-    let mut contributors = 0usize;
+    let sd = series.tensor().data();
+    let plane_m = d * d * n;
+    let plane_cube = d * d * n;
+    // Two running sums: permutations that count toward the configured
+    // result ("contrib": the correctly classified ones, or all of them when
+    // `only_correct` is off) and the rest. Keeping both lets the
+    // `contributors == 0` fallback reuse the already-computed per-
+    // permutation contributions instead of re-running all k forwards.
+    let mut m_contrib = vec![0.0f32; plane_m];
+    let mut m_rest = vec![0.0f32; plane_m];
     let mut ng = 0usize;
+
+    let batch = cfg.batch.max(1);
+    let mut cube_buf: Vec<f32> = Vec::new();
+    let mut cam_buf: Vec<f32> = Vec::new();
 
     let mut start = 0;
     while start < perms.len() {
-        let end = (start + cfg.batch.max(1)).min(perms.len());
+        let end = (start + batch).min(perms.len());
         let batch_perms = &perms[start..end];
-        // Build the batched cubes.
-        let cubes: Vec<Tensor> = batch_perms
-            .iter()
-            .map(|p| cube::cube(&series.permute_dims(p)))
-            .collect();
-        let refs: Vec<&Tensor> = cubes.iter().collect();
-        let xb = stack(&refs);
-        let (features, logits) = model.forward_with_features(&xb);
-        let nf = features.dims()[1];
-        let k_classes = logits.dims()[1];
-        let plane = d * n;
+        let bs = end - start;
 
+        // Assemble the batch of permuted cubes by row-rotation copies.
+        cube_buf.resize(bs * plane_cube, 0.0);
         for (bi, perm) in batch_perms.iter().enumerate() {
-            // Predicted class of this permutation.
-            let row = &logits.data()[bi * k_classes..(bi + 1) * k_classes];
-            let pred = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            let correct = pred == class;
-            if correct {
-                ng += 1;
+            let sample = &mut cube_buf[bi * plane_cube..(bi + 1) * plane_cube];
+            for p in 0..d {
+                for r in 0..d {
+                    let src_dim = perm[(p + r) % d];
+                    let src = &sd[src_dim * n..(src_dim + 1) * n];
+                    sample[(p * d + r) * n..(p * d + r + 1) * n].copy_from_slice(src);
+                }
             }
-            if cfg.only_correct && !correct {
-                continue;
-            }
-            contributors += 1;
+        }
+        // Move the buffer into a Tensor for the forward pass and reclaim it
+        // afterwards — no copy in either direction.
+        let xb = Tensor::from_vec(std::mem::take(&mut cube_buf), &[bs, d, d, n])
+            .expect("cube batch shape");
+        let (features, logits) = model.forward_with_features(&xb);
+        cube_buf = xb.into_vec();
+        let k_classes = logits.dims()[1];
 
-            // Row-wise CAM of this cube: (D, n).
-            let f_sample = Tensor::from_vec(
-                features.data()[bi * nf * plane..(bi + 1) * nf * plane].to_vec(),
-                &[1, nf, d, n],
-            )
-            .expect("feature slice");
-            let cam_rows = weighted_map(&f_sample, model.class_weights(), class);
+        // Row-wise CAMs of the whole batch, read from features in place.
+        cam_buf.resize(bs * d * n, 0.0);
+        weighted_map_batch(&features, model.class_weights(), class, &mut cam_buf);
 
-            // M transformation: original dim `dim` sits in slot `j`
-            // (perm[j] = dim); at position p it appears in row (j - p) mod D.
+        let correct: Vec<bool> = (0..bs)
+            .map(|bi| argmax(&logits.data()[bi * k_classes..(bi + 1) * k_classes]) == Some(class))
+            .collect();
+        ng += correct.iter().filter(|&&c| c).count();
+
+        // M transformation, parallel over the batch's permutations: original
+        // dim `dim` sits in slot `j` (perm[j] = dim); at position p it
+        // appears in row (j - p) mod D. Accumulator layout: [contrib | rest].
+        let cam_ref: &[f32] = &cam_buf;
+        let correct_ref: &[bool] = &correct;
+        let acc = par_accumulate(bs, 2 * plane_m, &|bi, acc| {
+            let perm = &batch_perms[bi];
+            let cam = &cam_ref[bi * d * n..(bi + 1) * d * n];
+            let counts = correct_ref[bi] || !cfg.only_correct;
+            let (contrib, rest) = acc.split_at_mut(plane_m);
+            let target = if counts { contrib } else { rest };
             let mut slot_of = vec![0usize; d];
             for (j, &dim) in perm.iter().enumerate() {
                 slot_of[dim] = j;
@@ -157,33 +189,42 @@ pub fn compute_dcam(
                 let j = slot_of[dim];
                 for p in 0..d {
                     let r = cube::idx(j, p, d);
-                    let src = &cam_rows.data()[r * n..(r + 1) * n];
+                    let src = &cam[r * n..(r + 1) * n];
                     let dst_base = (dim * d + p) * n;
-                    for (acc, &v) in
-                        m_acc.data_mut()[dst_base..dst_base + n].iter_mut().zip(src)
-                    {
-                        *acc += v;
+                    for (t, &v) in target[dst_base..dst_base + n].iter_mut().zip(src) {
+                        *t += v;
                     }
                 }
             }
+        });
+        for (m, a) in m_contrib.iter_mut().zip(&acc[..plane_m]) {
+            *m += a;
+        }
+        for (m, a) in m_rest.iter_mut().zip(&acc[plane_m..]) {
+            *m += a;
         }
         start = end;
     }
 
-    // Fall back to all permutations if none were classified correctly:
-    // an all-zero M̄ would make the result meaningless and the paper's n_g
-    // proxy already signals the low quality to the caller.
-    if contributors == 0 {
-        return compute_dcam(
-            model,
-            series,
-            class,
-            &DcamConfig { only_correct: false, ..cfg.clone() },
-        );
-    }
+    let contributors = if cfg.only_correct { ng } else { perms.len() };
+    // Fall back to all permutations if none were classified correctly: an
+    // all-zero M̄ would make the result meaningless and the paper's n_g
+    // proxy already signals the low quality to the caller. The per-
+    // permutation contributions are already in `m_rest`, so no forward pass
+    // is repeated.
+    let (mut m_sum, denom) = if contributors > 0 {
+        (m_contrib, contributors)
+    } else {
+        for (c, r) in m_contrib.iter_mut().zip(&m_rest) {
+            *c += r;
+        }
+        (m_contrib, perms.len())
+    };
 
-    let mut mbar = m_acc;
-    mbar.scale_in_place(1.0 / contributors as f32);
+    for m in &mut m_sum {
+        *m /= denom as f32;
+    }
+    let mbar = Tensor::from_vec(m_sum, &[d, d, n]).expect("mbar shape");
 
     // μ(M̄)_t = Σ_{d,p} M̄[d,p,t] / (2D)  (Def. 3 / §4.4.3).
     let mut mu = vec![0.0f32; n];
@@ -218,7 +259,13 @@ pub fn compute_dcam(
         }
     }
 
-    DcamResult { dcam, mbar, mu, ng, k: cfg.k }
+    DcamResult {
+        dcam,
+        mbar,
+        mu,
+        ng,
+        k: cfg.k,
+    }
 }
 
 #[cfg(test)]
@@ -228,8 +275,9 @@ mod tests {
 
     fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
         let mut rng = SeededRng::new(seed);
-        let rows: Vec<Vec<f32>> =
-            (0..d).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.normal()).collect())
+            .collect();
         MultivariateSeries::from_rows(&rows)
     }
 
@@ -242,7 +290,11 @@ mod tests {
     fn shapes_and_counters() {
         let s = toy_series(4, 10, 0);
         let mut model = toy_model(4, 1);
-        let cfg = DcamConfig { k: 6, only_correct: false, ..Default::default() };
+        let cfg = DcamConfig {
+            k: 6,
+            only_correct: false,
+            ..Default::default()
+        };
         let r = compute_dcam(&mut model, &s, 0, &cfg);
         assert_eq!(r.dcam.dims(), &[4, 10]);
         assert_eq!(r.mbar.dims(), &[4, 4, 10]);
@@ -257,7 +309,11 @@ mod tests {
         let s = toy_series(3, 8, 2);
         let mut m1 = toy_model(3, 3);
         let mut m2 = toy_model(3, 3);
-        let cfg = DcamConfig { k: 5, only_correct: false, ..Default::default() };
+        let cfg = DcamConfig {
+            k: 5,
+            only_correct: false,
+            ..Default::default()
+        };
         let r1 = compute_dcam(&mut m1, &s, 1, &cfg);
         let r2 = compute_dcam(&mut m2, &s, 1, &cfg);
         assert!(r1.dcam.allclose(&r2.dcam, 1e-5));
@@ -328,6 +384,132 @@ mod tests {
                 "slot {j} (dim {dim}): {a} vs {b}"
             );
         }
+    }
+
+    /// The seed's unbatched implementation, kept as a test oracle: one
+    /// `permute_dims` + `cube()` + `stack` + per-sample feature copy per
+    /// permutation. The batched engine must reproduce it within float noise.
+    fn compute_dcam_reference(
+        model: &mut GapClassifier,
+        series: &MultivariateSeries,
+        class: usize,
+        cfg: &DcamConfig,
+    ) -> (Tensor, usize) {
+        use dcam_nn::trainer::stack;
+        let d = series.n_dims();
+        let n = series.len();
+        let mut rng = SeededRng::new(cfg.seed);
+        let mut perms: Vec<Vec<usize>> = Vec::new();
+        if cfg.include_identity {
+            perms.push((0..d).collect());
+        }
+        while perms.len() < cfg.k {
+            perms.push(rng.permutation(d));
+        }
+        let mut m_acc = Tensor::zeros(&[d, d, n]);
+        let mut contributors = 0usize;
+        for chunk in perms.chunks(cfg.batch.max(1)) {
+            let cubes: Vec<Tensor> = chunk
+                .iter()
+                .map(|p| cube::cube(&series.permute_dims(p)))
+                .collect();
+            let refs: Vec<&Tensor> = cubes.iter().collect();
+            let xb = stack(&refs);
+            let (features, logits) = model.forward_with_features(&xb);
+            let nf = features.dims()[1];
+            let k_classes = logits.dims()[1];
+            let plane = d * n;
+            for (bi, perm) in chunk.iter().enumerate() {
+                let row = &logits.data()[bi * k_classes..(bi + 1) * k_classes];
+                let correct = argmax(row) == Some(class);
+                if cfg.only_correct && !correct {
+                    continue;
+                }
+                contributors += 1;
+                let f_sample = Tensor::from_vec(
+                    features.data()[bi * nf * plane..(bi + 1) * nf * plane].to_vec(),
+                    &[1, nf, d, n],
+                )
+                .unwrap();
+                let cam_rows = crate::cam::weighted_map(&f_sample, model.class_weights(), class);
+                let mut slot_of = vec![0usize; d];
+                for (j, &dim) in perm.iter().enumerate() {
+                    slot_of[dim] = j;
+                }
+                for dim in 0..d {
+                    let j = slot_of[dim];
+                    for p in 0..d {
+                        let r = cube::idx(j, p, d);
+                        let src = &cam_rows.data()[r * n..(r + 1) * n];
+                        let dst = (dim * d + p) * n;
+                        for (acc, &v) in m_acc.data_mut()[dst..dst + n].iter_mut().zip(src) {
+                            *acc += v;
+                        }
+                    }
+                }
+            }
+        }
+        m_acc.scale_in_place(1.0 / contributors.max(1) as f32);
+        (m_acc, contributors)
+    }
+
+    #[test]
+    fn batched_engine_matches_unbatched_reference() {
+        for (d, n, k, only_correct) in [(4, 12, 7, false), (5, 9, 10, true), (3, 16, 5, false)] {
+            let s = toy_series(d, n, 11);
+            let mut m1 = toy_model(d, 13);
+            let mut m2 = toy_model(d, 13);
+            let cfg = DcamConfig {
+                k,
+                batch: 3,
+                only_correct,
+                include_identity: true,
+                seed: 21,
+            };
+            let r = compute_dcam(&mut m1, &s, 0, &cfg);
+            let (mbar_ref, contributors) = compute_dcam_reference(&mut m2, &s, 0, &cfg);
+            if contributors > 0 {
+                assert!(
+                    r.mbar.allclose(&mbar_ref, 1e-4),
+                    "mbar mismatch (d {d} n {n} k {k} only_correct {only_correct})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_correct_fallback_equals_all_permutations_run() {
+        // A fresh (untrained) model rarely classifies anything as class 3 of
+        // 4 — and the fallback must then equal an only_correct=false run
+        // without re-running any forwards.
+        let s = toy_series(4, 10, 30);
+        let mut rng = SeededRng::new(31);
+        let mut model = cnn(InputEncoding::Dcnn, 4, 4, ModelScale::Tiny, &mut rng);
+        let class = (0..4)
+            .find(|&c| {
+                let cfg = DcamConfig {
+                    k: 8,
+                    only_correct: false,
+                    ..Default::default()
+                };
+                compute_dcam(&mut model, &s, c, &cfg).ng == 0
+            })
+            .expect("some class is never predicted by the untrained model");
+        let cfg_oc = DcamConfig {
+            k: 8,
+            only_correct: true,
+            ..Default::default()
+        };
+        let cfg_all = DcamConfig {
+            k: 8,
+            only_correct: false,
+            ..Default::default()
+        };
+        let r_fallback = compute_dcam(&mut model, &s, class, &cfg_oc);
+        let r_all = compute_dcam(&mut model, &s, class, &cfg_all);
+        assert_eq!(r_fallback.ng, 0);
+        assert!(r_fallback.mbar.allclose(&r_all.mbar, 1e-5));
+        assert!(r_fallback.dcam.allclose(&r_all.dcam, 1e-5));
     }
 
     #[test]

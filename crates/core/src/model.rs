@@ -92,12 +92,18 @@ impl ArchKind {
 
     /// True for d-architectures (dCAM-capable).
     pub fn is_d_variant(self) -> bool {
-        matches!(self, ArchKind::DCnn | ArchKind::DResNet | ArchKind::DInceptionTime)
+        matches!(
+            self,
+            ArchKind::DCnn | ArchKind::DResNet | ArchKind::DInceptionTime
+        )
     }
 
     /// True for architectures with a GAP head (CAM-capable).
     pub fn has_gap_head(self) -> bool {
-        !matches!(self, ArchKind::Rnn | ArchKind::Gru | ArchKind::Lstm | ArchKind::Mtex)
+        !matches!(
+            self,
+            ArchKind::Rnn | ArchKind::Gru | ArchKind::Lstm | ArchKind::Mtex
+        )
     }
 }
 

@@ -28,7 +28,11 @@ pub struct OcclusionConfig {
 
 impl Default for OcclusionConfig {
     fn default() -> Self {
-        OcclusionConfig { window: 8, stride: 4, baseline: 0.0 }
+        OcclusionConfig {
+            window: 8,
+            stride: 4,
+            baseline: 0.0,
+        }
     }
 }
 
@@ -97,8 +101,9 @@ mod tests {
 
     fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
         let mut rng = SeededRng::new(seed);
-        let rows: Vec<Vec<f32>> =
-            (0..d).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.normal()).collect())
+            .collect();
         MultivariateSeries::from_rows(&rows)
     }
 
@@ -107,7 +112,11 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let mut model = cnn(InputEncoding::Cnn, 3, 2, ModelScale::Tiny, &mut rng);
         let s = toy_series(3, 20, 1);
-        let cfg = OcclusionConfig { window: 6, stride: 3, baseline: 0.0 };
+        let cfg = OcclusionConfig {
+            window: 6,
+            stride: 3,
+            baseline: 0.0,
+        };
         let map = occlusion_map(&mut model, &s, 0, &cfg);
         assert_eq!(map.dims(), &[3, 20]);
         assert!(map.data().iter().all(|v| v.is_finite()));
@@ -144,7 +153,11 @@ mod tests {
             &mut model,
             &s,
             0,
-            &OcclusionConfig { window: 9, stride: 1, baseline: 0.0 },
+            &OcclusionConfig {
+                window: 9,
+                stride: 1,
+                baseline: 0.0,
+            },
         );
     }
 }

@@ -82,7 +82,11 @@ pub fn train_on(clf: &mut Classifier, dataset: &Dataset, protocol: &Protocol) ->
     let mut opt = Adam::new(protocol.learning_rate);
     let history = fit(clf, &mut opt, &train_set, Some(&val_set), &cfg);
     let (val_loss, val_acc) = evaluate(clf, &val_set, protocol.batch_size);
-    TrainOutcome { history, val_acc, val_loss }
+    TrainOutcome {
+        history,
+        val_acc,
+        val_loss,
+    }
 }
 
 /// Accuracy of a trained classifier on a (test) dataset (`C-acc`, §5.1.2).
@@ -128,9 +132,12 @@ mod tests {
     #[test]
     fn dcnn_learns_type1_injections() {
         let ds = tiny_dataset();
-        let protocol = Protocol { epochs: 40, patience: 40, ..Default::default() };
-        let (_, outcome) =
-            build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+        let protocol = Protocol {
+            epochs: 40,
+            patience: 40,
+            ..Default::default()
+        };
+        let (_, outcome) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
         assert!(
             outcome.val_acc >= 0.75,
             "dCNN failed to learn Type-1 data: val_acc {}",

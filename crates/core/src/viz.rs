@@ -105,8 +105,12 @@ mod tests {
         let z = Tensor::zeros(&[2, 4]);
         let s = ascii_heatmap(&z, None);
         for line in s.lines() {
-            let body: String =
-                line.chars().skip_while(|&c| c != '|').skip(1).take(4).collect();
+            let body: String = line
+                .chars()
+                .skip_while(|&c| c != '|')
+                .skip(1)
+                .take(4)
+                .collect();
             assert_eq!(body, "    ");
         }
     }

@@ -8,8 +8,9 @@ use dcam_tensor::SeededRng;
 
 fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
     let mut rng = SeededRng::new(seed);
-    let rows: Vec<Vec<f32>> =
-        (0..d).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
     MultivariateSeries::from_rows(&rows)
 }
 
@@ -24,9 +25,30 @@ fn batching_does_not_change_the_result() {
     // pure implementation detail and must not affect the output.
     let s = toy_series(4, 12, 1);
     let mut model = toy_model(4, 2);
-    let base = DcamConfig { k: 7, only_correct: false, seed: 5, ..Default::default() };
-    let r1 = compute_dcam(&mut model, &s, 0, &DcamConfig { batch: 1, ..base.clone() });
-    let r8 = compute_dcam(&mut model, &s, 0, &DcamConfig { batch: 8, ..base.clone() });
+    let base = DcamConfig {
+        k: 7,
+        only_correct: false,
+        seed: 5,
+        ..Default::default()
+    };
+    let r1 = compute_dcam(
+        &mut model,
+        &s,
+        0,
+        &DcamConfig {
+            batch: 1,
+            ..base.clone()
+        },
+    );
+    let r8 = compute_dcam(
+        &mut model,
+        &s,
+        0,
+        &DcamConfig {
+            batch: 8,
+            ..base.clone()
+        },
+    );
     let r3 = compute_dcam(&mut model, &s, 0, &DcamConfig { batch: 3, ..base });
     assert!(r1.dcam.allclose(&r8.dcam, 1e-4));
     assert!(r1.dcam.allclose(&r3.dcam, 1e-4));
@@ -47,7 +69,12 @@ fn only_correct_fallback_when_nothing_classified() {
         &mut model,
         &s,
         0,
-        &DcamConfig { k: 6, only_correct: false, seed: 7, ..Default::default() },
+        &DcamConfig {
+            k: 6,
+            only_correct: false,
+            seed: 7,
+            ..Default::default()
+        },
     );
     let always_predicted = if probe.ng == 6 { 0 } else { 1 };
     let target = 1 - always_predicted;
@@ -55,10 +82,18 @@ fn only_correct_fallback_when_nothing_classified() {
         &mut model,
         &s,
         target,
-        &DcamConfig { k: 6, only_correct: true, seed: 7, ..Default::default() },
+        &DcamConfig {
+            k: 6,
+            only_correct: true,
+            seed: 7,
+            ..Default::default()
+        },
     );
     // Result must be non-degenerate even though ng may be 0.
-    assert!(r.dcam.data().iter().any(|&v| v != 0.0), "fallback produced a zero map");
+    assert!(
+        r.dcam.data().iter().any(|&v| v != 0.0),
+        "fallback produced a zero map"
+    );
 }
 
 #[test]
@@ -71,7 +106,12 @@ fn k_one_identity_reduces_variance_to_zero_only_for_constant_rows() {
         &mut model,
         &s,
         0,
-        &DcamConfig { k: 1, only_correct: false, include_identity: true, ..Default::default() },
+        &DcamConfig {
+            k: 1,
+            only_correct: false,
+            include_identity: true,
+            ..Default::default()
+        },
     );
     // mbar rows per dimension must be permutations of the same 3 CAM rows:
     // total mass per dimension is identical.
@@ -106,7 +146,15 @@ fn more_permutations_stabilize_the_map() {
             include_identity: false,
             ..Default::default()
         };
-        let a = compute_dcam(model, &s, 0, &DcamConfig { seed: s1, ..base.clone() });
+        let a = compute_dcam(
+            model,
+            &s,
+            0,
+            &DcamConfig {
+                seed: s1,
+                ..base.clone()
+            },
+        );
         let b = compute_dcam(model, &s, 0, &DcamConfig { seed: s2, ..base });
         a.dcam
             .data()
@@ -133,7 +181,11 @@ fn mu_is_shared_across_dimensions() {
         &mut model,
         &s,
         1,
-        &DcamConfig { k: 4, only_correct: false, ..Default::default() },
+        &DcamConfig {
+            k: 4,
+            only_correct: false,
+            ..Default::default()
+        },
     );
     for (t, &mu) in r.mu.iter().enumerate() {
         if mu == 0.0 {

@@ -21,7 +21,9 @@ pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f32 {
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let mut tp = 0usize;
@@ -64,7 +66,9 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f32 {
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     // Average ranks with tie correction.
     let mut ranks = vec![0.0f64; scores.len()];
@@ -80,8 +84,12 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f32 {
         }
         i = j;
     }
-    let pos_rank_sum: f64 =
-        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let pos_rank_sum: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
     let u = pos_rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0;
     (u / (n_pos as f64 * n_neg as f64)) as f32
 }

@@ -7,7 +7,11 @@ use dcam_tensor::Tensor;
 /// PR-AUC between a `(D, n)` attribution map and a binary `(D, n)` mask:
 /// the paper's discriminant-features accuracy `Dr-acc`.
 pub fn dr_acc(attribution: &Tensor, mask: &Tensor) -> f32 {
-    assert_eq!(attribution.dims(), mask.dims(), "attribution/mask shape mismatch");
+    assert_eq!(
+        attribution.dims(),
+        mask.dims(),
+        "attribution/mask shape mismatch"
+    );
     let labels: Vec<bool> = mask.data().iter().map(|&m| m > 0.5).collect();
     pr_auc(attribution.data(), &labels)
 }

@@ -7,7 +7,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f32 / labels.len() as f32
 }
 

@@ -11,7 +11,9 @@ pub fn rank_row(scores: &[f32]) -> Vec<f32> {
     let n = scores.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut ranks = vec![0.0f32; n];
     let mut i = 0;

@@ -9,6 +9,7 @@
 use crate::layers::Layer;
 use dcam_tensor::Tensor;
 use std::fmt;
+#[cfg(feature = "serde")]
 use std::path::Path;
 
 /// A snapshot of every trainable parameter of a model.
@@ -58,13 +59,23 @@ impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckpointError::TagMismatch { stored, expected } => {
-                write!(f, "checkpoint tag {stored:?} does not match expected {expected:?}")
+                write!(
+                    f,
+                    "checkpoint tag {stored:?} does not match expected {expected:?}"
+                )
             }
             CheckpointError::ParamCountMismatch { stored, model } => {
                 write!(f, "checkpoint has {stored} parameters, model has {model}")
             }
-            CheckpointError::ShapeMismatch { index, stored, model } => {
-                write!(f, "parameter {index}: checkpoint shape {stored:?} vs model {model:?}")
+            CheckpointError::ShapeMismatch {
+                index,
+                stored,
+                model,
+            } => {
+                write!(
+                    f,
+                    "parameter {index}: checkpoint shape {stored:?} vs model {model:?}"
+                )
             }
             CheckpointError::Io(e) => write!(f, "checkpoint IO error: {e}"),
         }
@@ -79,7 +90,11 @@ pub fn save(model: &mut dyn Layer, tag: impl Into<String>) -> Checkpoint {
     model.visit_params(&mut |p| params.push(p.value.clone()));
     let mut buffers = Vec::new();
     model.visit_buffers(&mut |b| buffers.push(b.clone()));
-    Checkpoint { tag: tag.into(), params, buffers }
+    Checkpoint {
+        tag: tag.into(),
+        params,
+        buffers,
+    }
 }
 
 /// Restores a checkpoint into a model, verifying tag and shapes first (the
@@ -184,7 +199,10 @@ mod tests {
         let err = restore(&mut m2, &ckpt, "other").unwrap_err();
         assert!(matches!(err, CheckpointError::TagMismatch { .. }));
         let after = save(&mut m2, "b");
-        assert_eq!(before.params, after.params, "model mutated on failed restore");
+        assert_eq!(
+            before.params, after.params,
+            "model mutated on failed restore"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ fn rel_err(analytic: f32, numeric: f32) -> f32 {
 /// Probe loss: sum of the layer output weighted by fixed random `r`.
 fn probe_loss(layer: &mut dyn Layer, x: &Tensor, r: &Tensor) -> f32 {
     let y = layer.forward(x, false);
-    y.data().iter().zip(r.data()).map(|(a, b)| (a * b) as f64).sum::<f64>() as f32
+    y.data()
+        .iter()
+        .zip(r.data())
+        .map(|(a, b)| (a * b) as f64)
+        .sum::<f64>() as f32
 }
 
 /// Checks a layer's parameter and input gradients at point `x`.
@@ -91,9 +95,11 @@ pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, eps: f32, seed: u64) -> Gr
         max_input_err = max_input_err.max(err);
     }
 
-    GradCheckReport { max_param_err, max_input_err }
+    GradCheckReport {
+        max_param_err,
+        max_input_err,
+    }
 }
-
 
 /// Like [`check_layer`] but probes in **train mode**, which is required for
 /// layers whose eval path differs from the differentiated train path
@@ -154,7 +160,10 @@ pub fn check_layer_train(
         let numeric = (fp - fm) / (2.0 * eps);
         max_input_err = max_input_err.max(rel_err(grad_x.data()[ei], numeric));
     }
-    GradCheckReport { max_param_err, max_input_err }
+    GradCheckReport {
+        max_param_err,
+        max_input_err,
+    }
 }
 
 fn with_param(layer: &mut dyn Layer, pi: usize, ei: usize, delta: f32) {
@@ -171,8 +180,8 @@ fn with_param(layer: &mut dyn Layer, pi: usize, ei: usize, delta: f32) {
 mod tests {
     use super::*;
     use crate::layers::{
-        BatchNorm, Conv2dRows, Dense, GlobalAvgPool, Layer, MaxPoolW, Relu, Residual,
-        Sequential, Sigmoid, Tanh,
+        BatchNorm, Conv2dRows, Dense, GlobalAvgPool, Layer, MaxPoolW, Relu, Residual, Sequential,
+        Sigmoid, Tanh,
     };
     use crate::recurrent::{Gru, Lstm, Rnn};
 
@@ -269,7 +278,10 @@ mod tests {
 
     #[test]
     fn sequential_conv_relu_gap_dense_gradients() {
-        let mut rng = SeededRng::new(7);
+        // Seed re-rolled from 7: that draw placed a pre-activation within
+        // eps of a ReLU kink, where central differences disagree with the
+        // (correct) one-sided analytic gradient by construction.
+        let mut rng = SeededRng::new(17);
         let mut features = Sequential::new()
             .push(Conv2dRows::same(2, 3, 3, &mut rng))
             .push(Relu::new())

@@ -62,7 +62,10 @@ impl Layer for ActLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cache_y.take().expect("backward without cached forward");
+        let y = self
+            .cache_y
+            .take()
+            .expect("backward without cached forward");
         y.zip_with(grad_out, |yv, gv| self.act.derivative_from_output(yv) * gv)
             .expect("activation grad shape")
     }

@@ -104,7 +104,11 @@ impl Layer for BatchNorm {
                     }
                 }
             }
-            self.cache = Some(BnCache { x_hat, inv_std, dims: [n, c, h, w] });
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std,
+                dims: [n, c, h, w],
+            });
         } else {
             for ci in 0..c {
                 let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
@@ -222,6 +226,9 @@ mod tests {
         let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1, 1, 1]).unwrap();
         let y = bn.forward(&x, true);
         // x̂ = [-1, 1] (mean 0, var 1), y = 2x̂ + 1 = [-1, 3]
-        assert!(y.allclose(&Tensor::from_vec(vec![-1.0, 3.0], &[2, 1, 1, 1]).unwrap(), 1e-2));
+        assert!(y.allclose(
+            &Tensor::from_vec(vec![-1.0, 3.0], &[2, 1, 1, 1]).unwrap(),
+            1e-2
+        ));
     }
 }

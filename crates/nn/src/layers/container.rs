@@ -79,7 +79,10 @@ pub struct Residual {
 impl Residual {
     /// Residual block with an identity shortcut.
     pub fn identity(main: Sequential) -> Self {
-        Residual { main, shortcut: Sequential::new() }
+        Residual {
+            main,
+            shortcut: Sequential::new(),
+        }
     }
 
     /// Residual block with a projection shortcut.
@@ -106,7 +109,9 @@ impl Layer for Residual {
         } else {
             self.shortcut.backward(grad_out)
         };
-        g_main.add(&g_side).expect("residual grad shapes must agree")
+        g_main
+            .add(&g_side)
+            .expect("residual grad shapes must agree")
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -164,7 +169,9 @@ mod tests {
     #[test]
     fn params_visited_across_branches() {
         let mut rng = SeededRng::new(1);
-        let main = Sequential::new().push(Dense::new(2, 2, &mut rng)).push(Relu::new());
+        let main = Sequential::new()
+            .push(Dense::new(2, 2, &mut rng))
+            .push(Relu::new());
         let shortcut = Sequential::new().push(Dense::new(2, 2, &mut rng));
         let mut res = Residual::with_shortcut(main, shortcut);
         // Two dense layers: 2*(2*2 + 2) = 12 scalars.

@@ -1,7 +1,38 @@
+use super::im2col::{col2im_acc, im2col, sample_threads, split_ranges, ConvGeom};
 use super::Layer;
 use crate::parallel::{par_accumulate, par_chunk_zip};
 use crate::{init, Param};
-use dcam_tensor::{SeededRng, Tensor};
+use dcam_tensor::{gemm_nn, gemm_nt, gemm_tn, SeededRng, Tensor};
+use std::sync::OnceLock;
+
+/// How [`Conv2dRows`] executes (forward and backward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvStrategy {
+    /// Pick per call by problem size (the default): im2col when the
+    /// product is large enough to amortize patch-matrix construction,
+    /// direct otherwise. The `DCAM_CONV_STRATEGY` environment variable
+    /// (`direct` / `im2col`) pins Auto layers globally — useful for
+    /// benchmarking the two paths against each other.
+    Auto,
+    /// The scalar sliding-window loops.
+    Direct,
+    /// im2col + packed GEMM (see [`super::im2col`]).
+    Im2col,
+}
+
+/// Auto picks im2col once the GEMM inner dimension `C_in·ℓ` reaches this.
+const IM2COL_MIN_K: usize = 12;
+/// ... and the per-sample output plane `H·W_out` reaches this.
+const IM2COL_MIN_COLS: usize = 32;
+
+fn env_strategy() -> Option<ConvStrategy> {
+    static OVERRIDE: OnceLock<Option<ConvStrategy>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("DCAM_CONV_STRATEGY").as_deref() {
+        Ok("direct") => Some(ConvStrategy::Direct),
+        Ok("im2col") => Some(ConvStrategy::Im2col),
+        _ => None,
+    })
+}
 
 /// Row-wise 2-D convolution: the single primitive behind CNN, cCNN and dCNN.
 ///
@@ -18,6 +49,11 @@ use dcam_tensor::{SeededRng, Tensor};
 /// Rows never mix: each row of the `C(T)` cube is convolved independently,
 /// exactly as §4.2 of the paper requires ("convolute over each row of C(T)
 /// independently").
+///
+/// Two execution strategies produce identical results (up to float
+/// reassociation ≤ 1e-4, enforced by `tests/conv_strategies.rs`): the
+/// direct sliding-window loops, and an im2col + packed-GEMM path with a
+/// per-layer scratch arena ([`ConvStrategy`]).
 pub struct Conv2dRows {
     weight: Param,
     bias: Param,
@@ -27,6 +63,11 @@ pub struct Conv2dRows {
     stride: usize,
     pad_left: usize,
     pad_right: usize,
+    strategy: ConvStrategy,
+    /// Patch-matrix arena for the im2col path: `threads × col_len` f32
+    /// (forward) or `threads × 2·col_len` (backward), grown on demand and
+    /// reused across batches.
+    scratch: Vec<f32>,
     cache_x: Option<Tensor>,
 }
 
@@ -46,7 +87,10 @@ impl Conv2dRows {
         assert!(c_in > 0 && c_out > 0 && len > 0 && stride > 0);
         // padding < len keeps every output tap at least partially over the
         // input, which the edge-clipping index math below relies on.
-        assert!(padding < len, "padding {padding} must be < kernel len {len}");
+        assert!(
+            padding < len,
+            "padding {padding} must be < kernel len {len}"
+        );
         Conv2dRows::with_padding(c_in, c_out, len, stride, padding, padding, rng)
     }
 
@@ -61,7 +105,10 @@ impl Conv2dRows {
         rng: &mut SeededRng,
     ) -> Self {
         assert!(c_in > 0 && c_out > 0 && len > 0 && stride > 0);
-        assert!(pad_left < len && pad_right < len, "padding must be < kernel len {len}");
+        assert!(
+            pad_left < len && pad_right < len,
+            "padding must be < kernel len {len}"
+        );
         let fan_in = c_in * len;
         let weight = Param::new(init::kaiming(&[c_out, c_in, len], fan_in, rng));
         let bias = Param::new(Tensor::zeros(&[c_out]));
@@ -74,6 +121,8 @@ impl Conv2dRows {
             stride,
             pad_left,
             pad_right,
+            strategy: ConvStrategy::Auto,
+            scratch: Vec::new(),
             cache_x: None,
         }
     }
@@ -106,20 +155,56 @@ impl Conv2dRows {
         self.len
     }
 
+    /// Pins the execution strategy (default: [`ConvStrategy::Auto`]).
+    pub fn set_strategy(&mut self, strategy: ConvStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The configured execution strategy.
+    pub fn strategy(&self) -> ConvStrategy {
+        self.strategy
+    }
+
     fn check_input(&self, x: &Tensor) -> (usize, usize, usize) {
         let d = x.dims();
         assert_eq!(d.len(), 4, "Conv2dRows expects (N, C, H, W), got {d:?}");
-        assert_eq!(d[1], self.c_in, "channel mismatch: got {}, want {}", d[1], self.c_in);
+        assert_eq!(
+            d[1], self.c_in,
+            "channel mismatch: got {}, want {}",
+            d[1], self.c_in
+        );
         (d[0], d[2], d[3])
     }
-}
 
-impl Layer for Conv2dRows {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let (n, h, w) = self.check_input(x);
-        let wo = self.out_width(w);
-        let (c_in, c_out, l, s, p) =
-            (self.c_in, self.c_out, self.len, self.stride, self.pad_left);
+    fn geom(&self, h: usize, w: usize, wo: usize) -> ConvGeom {
+        ConvGeom {
+            c_in: self.c_in,
+            l: self.len,
+            s: self.stride,
+            pad_left: self.pad_left,
+            h,
+            w,
+            wo,
+        }
+    }
+
+    /// Resolves the strategy for this call's geometry.
+    fn pick_im2col(&self, h: usize, wo: usize) -> bool {
+        let strategy = match self.strategy {
+            ConvStrategy::Auto => env_strategy().unwrap_or(ConvStrategy::Auto),
+            pinned => pinned,
+        };
+        match strategy {
+            ConvStrategy::Direct => false,
+            ConvStrategy::Im2col => true,
+            ConvStrategy::Auto => self.c_in * self.len >= IM2COL_MIN_K && h * wo >= IM2COL_MIN_COLS,
+        }
+    }
+
+    // ---- direct strategy -------------------------------------------------
+
+    fn forward_direct(&self, x: &Tensor, n: usize, h: usize, w: usize, wo: usize) -> Tensor {
+        let (c_in, c_out, l, s, p) = (self.c_in, self.c_out, self.len, self.stride, self.pad_left);
         let mut out = Tensor::zeros(&[n, c_out, h, wo]);
         let xd = x.data();
         let wd = self.weight.value.data();
@@ -155,22 +240,19 @@ impl Layer for Conv2dRows {
                 }
             }
         });
-
-        if train {
-            self.cache_x = Some(x.clone());
-        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("backward without cached forward");
-        let (n, h, w) = self.check_input(&x);
-        let god = grad_out.dims();
-        let wo = self.out_width(w);
-        assert_eq!(god, &[n, self.c_out, h, wo], "grad_out shape mismatch");
-
-        let (c_in, c_out, l, s, p) =
-            (self.c_in, self.c_out, self.len, self.stride, self.pad_left);
+    fn backward_direct(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        n: usize,
+        h: usize,
+        w: usize,
+        wo: usize,
+    ) -> Tensor {
+        let (c_in, c_out, l, s, p) = (self.c_in, self.c_out, self.len, self.stride, self.pad_left);
         let xd = x.data();
         let gd = grad_out.data();
         let wd = self.weight.value.data();
@@ -248,6 +330,188 @@ impl Layer for Conv2dRows {
         }
 
         grad_x
+    }
+
+    // ---- im2col + GEMM strategy ------------------------------------------
+
+    fn forward_im2col(&mut self, x: &Tensor, n: usize, h: usize, w: usize, wo: usize) -> Tensor {
+        let geom = self.geom(h, w, wo);
+        let col_len = geom.col_len();
+        let threads = sample_threads(n);
+        if self.scratch.len() < threads * col_len {
+            self.scratch.resize(threads * col_len, 0.0);
+        }
+        let (c_out, c_in) = (self.c_out, self.c_in);
+        let (col_rows, col_cols) = (geom.col_rows(), geom.col_cols());
+        let sample_in = c_in * h * w;
+        let sample_out = c_out * h * wo;
+        let mut out = Tensor::zeros(&[n, c_out, h, wo]);
+        let xd = x.data();
+        let wd = self.weight.value.data();
+        let bd = self.bias.value.data();
+
+        let run = |range: std::ops::Range<usize>, out_chunk: &mut [f32], cols: &mut [f32]| {
+            for (i, si) in range.enumerate() {
+                let x_sample = &xd[si * sample_in..(si + 1) * sample_in];
+                im2col(&geom, x_sample, cols);
+                let y = &mut out_chunk[i * sample_out..(i + 1) * sample_out];
+                gemm_nn(c_out, col_rows, col_cols, wd, cols, y, false);
+                for (co, &b) in bd.iter().enumerate() {
+                    if b != 0.0 {
+                        for v in &mut y[co * h * wo..(co + 1) * h * wo] {
+                            *v += b;
+                        }
+                    }
+                }
+            }
+        };
+
+        if threads <= 1 {
+            run(0..n, out.data_mut(), &mut self.scratch[..col_len]);
+        } else {
+            let ranges = split_ranges(n, threads);
+            std::thread::scope(|sc| {
+                let mut out_rest = out.data_mut();
+                let mut scratch_rest = &mut self.scratch[..];
+                for range in ranges {
+                    let (out_chunk, o_tail) = out_rest.split_at_mut(range.len() * sample_out);
+                    out_rest = o_tail;
+                    let (cols, s_tail) = scratch_rest.split_at_mut(col_len);
+                    scratch_rest = s_tail;
+                    let run = &run;
+                    sc.spawn(move || run(range, out_chunk, cols));
+                }
+            });
+        }
+        out
+    }
+
+    fn backward_im2col(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        n: usize,
+        h: usize,
+        w: usize,
+        wo: usize,
+    ) -> Tensor {
+        let geom = self.geom(h, w, wo);
+        let col_len = geom.col_len();
+        let threads = sample_threads(n);
+        if self.scratch.len() < threads * 2 * col_len {
+            self.scratch.resize(threads * 2 * col_len, 0.0);
+        }
+        let (c_out, c_in) = (self.c_out, self.c_in);
+        let (col_rows, col_cols) = (geom.col_rows(), geom.col_cols());
+        let sample_in = c_in * h * w;
+        let sample_out = c_out * h * wo;
+        let w_len = c_out * col_rows;
+        let mut grad_x = Tensor::zeros(&[n, c_in, h, w]);
+        let xd = x.data();
+        let gd = grad_out.data();
+        let wd = self.weight.value.data();
+
+        // One pass per sample serves all three gradients: the patch matrix P
+        // feeds dW += G·Pᵀ, then the same scratch pair holds dP = Wᵀ·G for
+        // the col2im scatter back onto grad_x.
+        let run = |range: std::ops::Range<usize>,
+                   gx_chunk: &mut [f32],
+                   scratch: &mut [f32]|
+         -> Vec<f32> {
+            let (p_cols, d_cols) = scratch.split_at_mut(col_len);
+            let mut acc = vec![0.0f32; w_len + c_out];
+            for (i, si) in range.enumerate() {
+                let x_sample = &xd[si * sample_in..(si + 1) * sample_in];
+                let g_sample = &gd[si * sample_out..(si + 1) * sample_out];
+                im2col(&geom, x_sample, p_cols);
+                let (aw, ab) = acc.split_at_mut(w_len);
+                gemm_nt(c_out, col_cols, col_rows, g_sample, p_cols, aw, true);
+                for (co, b) in ab.iter_mut().enumerate() {
+                    *b += g_sample[co * col_cols..(co + 1) * col_cols]
+                        .iter()
+                        .sum::<f32>();
+                }
+                gemm_tn(col_rows, c_out, col_cols, wd, g_sample, d_cols, false);
+                col2im_acc(
+                    &geom,
+                    d_cols,
+                    &mut gx_chunk[i * sample_in..(i + 1) * sample_in],
+                );
+            }
+            acc
+        };
+
+        let partials: Vec<Vec<f32>> = if threads <= 1 {
+            vec![run(
+                0..n,
+                grad_x.data_mut(),
+                &mut self.scratch[..2 * col_len],
+            )]
+        } else {
+            let ranges = split_ranges(n, threads);
+            std::thread::scope(|sc| {
+                let mut gx_rest = grad_x.data_mut();
+                let mut scratch_rest = &mut self.scratch[..];
+                let mut handles = Vec::with_capacity(ranges.len());
+                for range in ranges {
+                    let (gx_chunk, g_tail) = gx_rest.split_at_mut(range.len() * sample_in);
+                    gx_rest = g_tail;
+                    let (scratch, s_tail) = scratch_rest.split_at_mut(2 * col_len);
+                    scratch_rest = s_tail;
+                    let run = &run;
+                    handles.push(sc.spawn(move || run(range, gx_chunk, scratch)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("conv worker panicked"))
+                    .collect()
+            })
+        };
+
+        for acc in partials {
+            for (g, a) in self.weight.grad.data_mut().iter_mut().zip(&acc[..w_len]) {
+                *g += a;
+            }
+            for (g, a) in self.bias.grad.data_mut().iter_mut().zip(&acc[w_len..]) {
+                *g += a;
+            }
+        }
+        grad_x
+    }
+}
+
+impl Layer for Conv2dRows {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, h, w) = self.check_input(x);
+        let wo = self.out_width(w);
+        let out = if self.pick_im2col(h, wo) {
+            self.forward_im2col(x, n, h, w, wo)
+        } else {
+            self.forward_direct(x, n, h, w, wo)
+        };
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("backward without cached forward");
+        let (n, h, w) = self.check_input(&x);
+        let wo = self.out_width(w);
+        assert_eq!(
+            grad_out.dims(),
+            &[n, self.c_out, h, wo],
+            "grad_out shape mismatch"
+        );
+        if self.pick_im2col(h, wo) {
+            self.backward_im2col(&x, grad_out, n, h, w, wo)
+        } else {
+            self.backward_direct(&x, grad_out, n, h, w, wo)
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -345,5 +609,40 @@ mod tests {
             conv.backward(&g);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn strategies_agree_on_forward_and_gradients() {
+        // Full equivalence sweep lives in tests/conv_strategies.rs; this is
+        // the smoke check that both paths are actually wired in.
+        let mut rng = SeededRng::new(4);
+        let x = Tensor::uniform(&[3, 4, 2, 17], -1.0, 1.0, &mut rng);
+        let g = Tensor::uniform(&[3, 6, 2, 17], -1.0, 1.0, &mut rng);
+        let mut results = Vec::new();
+        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+            let mut rng_c = SeededRng::new(7);
+            let mut conv = Conv2dRows::same(4, 6, 5, &mut rng_c);
+            conv.set_strategy(strategy);
+            let y = conv.forward(&x, true);
+            let gx = conv.backward(&g);
+            results.push((y, gx, conv.weight.grad.clone(), conv.bias.grad.clone()));
+        }
+        let (y_d, gx_d, gw_d, gb_d) = &results[0];
+        let (y_i, gx_i, gw_i, gb_i) = &results[1];
+        assert!(y_d.allclose(y_i, 1e-4), "forward mismatch");
+        assert!(gx_d.allclose(gx_i, 1e-4), "grad-input mismatch");
+        assert!(gw_d.allclose(gw_i, 1e-3), "grad-weight mismatch");
+        assert!(gb_d.allclose(gb_i, 1e-3), "grad-bias mismatch");
+    }
+
+    #[test]
+    fn auto_heuristic_picks_by_size() {
+        let mut rng = SeededRng::new(5);
+        // Tiny kernel / tiny plane -> direct.
+        let small = Conv2dRows::same(1, 4, 3, &mut rng);
+        assert!(!small.pick_im2col(1, 8));
+        // Wide channel-tap product and plane -> im2col.
+        let big = Conv2dRows::same(16, 32, 3, &mut rng);
+        assert!(big.pick_im2col(16, 64));
     }
 }

@@ -20,7 +20,13 @@ impl Dense {
         assert!(in_dim > 0 && out_dim > 0);
         let weight = Param::new(init::kaiming(&[out_dim, in_dim], in_dim, rng));
         let bias = Param::new(Tensor::zeros(&[out_dim]));
-        Dense { weight, bias, in_dim, out_dim, cache_x: None }
+        Dense {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+            cache_x: None,
+        }
     }
 
     /// The `(out, in)` weight matrix; row `j` holds the weights connecting
@@ -62,13 +68,18 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("backward without cached forward");
+        let x = self
+            .cache_x
+            .take()
+            .expect("backward without cached forward");
         let n = x.dims()[0];
         assert_eq!(grad_out.dims(), &[n, self.out_dim]);
 
-        // dW = g^T x : (n,out)^T x (n,in) -> (out,in)
-        let dw = grad_out.matmul_tn(&x).expect("dense dW");
-        self.weight.grad.add_assign(&dw).expect("dW accumulate");
+        // dW += g^T x : (n,out)^T x (n,in) -> (out,in), straight into the
+        // gradient accumulator (no temporary).
+        grad_out
+            .matmul_tn_acc_into(&x, &mut self.weight.grad)
+            .expect("dense dW");
 
         // db = column sums of g
         for ni in 0..n {
@@ -96,8 +107,7 @@ mod tests {
     fn forward_matches_manual() {
         let mut rng = SeededRng::new(0);
         let mut d = Dense::new(2, 3, &mut rng);
-        d.weight.value =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        d.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
         d.bias.value = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap();
         let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
         let y = d.forward(&x, false);

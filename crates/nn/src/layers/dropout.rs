@@ -19,7 +19,11 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
-        Dropout { p, rng: Mutex::new(SeededRng::new(seed)), cache_mask: None }
+        Dropout {
+            p,
+            rng: Mutex::new(SeededRng::new(seed)),
+            cache_mask: None,
+        }
     }
 }
 
@@ -33,7 +37,9 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut rng = self.rng.lock();
         let mask = Tensor::from_vec(
-            (0..x.len()).map(|_| if rng.chance(keep) { scale } else { 0.0 }).collect(),
+            (0..x.len())
+                .map(|_| if rng.chance(keep) { scale } else { 0.0 })
+                .collect(),
             x.dims(),
         )
         .expect("mask shape");

@@ -1,0 +1,243 @@
+//! im2col + GEMM execution strategy for [`super::Conv2dRows`].
+//!
+//! The row-wise convolution is a batch of small matrix products in
+//! disguise: unrolling every kernel tap window of one sample into a
+//! `(C_in·ℓ) × (H·W_out)` patch matrix `P` (im2col) turns
+//!
+//! * the forward pass into `Y = W·P` (one GEMM per sample, `W` viewed as
+//!   `(C_out, C_in·ℓ)`),
+//! * the input gradient into `dP = Wᵀ·G` followed by the scatter-add
+//!   inverse unrolling (col2im),
+//! * the weight gradient into `dW += G·Pᵀ`,
+//!
+//! all running on the packed register-tiled GEMM of `dcam-tensor` instead
+//! of scalar loops. Patch matrices live in a per-layer scratch arena that is
+//! reused across batches, so the strategy performs no steady-state
+//! allocation beyond the output tensor itself.
+
+use dcam_tensor::thread_count;
+
+/// Geometry of one convolution application, precomputed once per call.
+#[derive(Clone, Copy)]
+pub(crate) struct ConvGeom {
+    pub c_in: usize,
+    /// Kernel temporal extent ℓ.
+    pub l: usize,
+    /// Temporal stride.
+    pub s: usize,
+    /// Left temporal padding.
+    pub pad_left: usize,
+    pub h: usize,
+    pub w: usize,
+    pub wo: usize,
+}
+
+impl ConvGeom {
+    /// Rows of the patch matrix: one per `(channel, tap)` pair.
+    pub fn col_rows(&self) -> usize {
+        self.c_in * self.l
+    }
+
+    /// Columns of the patch matrix: one per output position.
+    pub fn col_cols(&self) -> usize {
+        self.h * self.wo
+    }
+
+    /// Elements of one sample's patch matrix.
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
+    }
+}
+
+/// Unrolls one input sample `(C_in, H, W)` into the patch matrix
+/// `cols[(ci·ℓ + li), (hi·W_out + wi)] = x[ci, hi, wi·s + li − pad]`
+/// (zero where the tap falls outside the input). Every element of `cols`
+/// is written, so the scratch buffer needs no clearing between samples.
+pub(crate) fn im2col(g: &ConvGeom, x_sample: &[f32], cols: &mut [f32]) {
+    let (l, s, p, h, w, wo) = (g.l, g.s, g.pad_left, g.h, g.w, g.wo);
+    debug_assert_eq!(x_sample.len(), g.c_in * h * w);
+    debug_assert_eq!(cols.len(), g.col_len());
+    for ci in 0..g.c_in {
+        for li in 0..l {
+            let row = &mut cols[(ci * l + li) * h * wo..(ci * l + li + 1) * h * wo];
+            for hi in 0..h {
+                let x_row = &x_sample[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                let dst = &mut row[hi * wo..(hi + 1) * wo];
+                if s == 1 {
+                    // Valid tap positions map to one contiguous source run:
+                    // 0 <= wi + li - p < w. Both bounds saturate: `li` can
+                    // exceed `w + p` (kernel longer than the padded input)
+                    // and the run can be empty, in which case the whole
+                    // destination row is padding zeros.
+                    let wi_lo = p.saturating_sub(li).min(wo);
+                    let wi_hi = (w + p).saturating_sub(li).min(wo).max(wi_lo);
+                    dst[..wi_lo].fill(0.0);
+                    dst[wi_hi..].fill(0.0);
+                    if wi_lo < wi_hi {
+                        let base = wi_lo + li - p;
+                        dst[wi_lo..wi_hi].copy_from_slice(&x_row[base..base + (wi_hi - wi_lo)]);
+                    }
+                } else {
+                    for (wi, d) in dst.iter_mut().enumerate() {
+                        let src = wi * s + li;
+                        *d = if src >= p && src - p < w {
+                            x_row[src - p]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`im2col`] for gradients: scatter-adds the patch-matrix
+/// gradient back onto the input-sample gradient (`+=`, callers pass a
+/// zeroed or accumulating buffer).
+pub(crate) fn col2im_acc(g: &ConvGeom, cols: &[f32], gx_sample: &mut [f32]) {
+    let (l, s, p, h, w, wo) = (g.l, g.s, g.pad_left, g.h, g.w, g.wo);
+    debug_assert_eq!(gx_sample.len(), g.c_in * h * w);
+    debug_assert_eq!(cols.len(), g.col_len());
+    for ci in 0..g.c_in {
+        for li in 0..l {
+            let row = &cols[(ci * l + li) * h * wo..(ci * l + li + 1) * h * wo];
+            for hi in 0..h {
+                let gx_row = &mut gx_sample[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                let src = &row[hi * wo..(hi + 1) * wo];
+                if s == 1 {
+                    // Same saturated bounds as im2col: skip empty runs.
+                    let wi_lo = p.saturating_sub(li).min(wo);
+                    let wi_hi = (w + p).saturating_sub(li).min(wo).max(wi_lo);
+                    if wi_lo < wi_hi {
+                        let base = wi_lo + li - p;
+                        for (gx, v) in gx_row[base..base + (wi_hi - wi_lo)]
+                            .iter_mut()
+                            .zip(&src[wi_lo..wi_hi])
+                        {
+                            *gx += v;
+                        }
+                    }
+                } else {
+                    for (wi, &v) in src.iter().enumerate() {
+                        let idx = wi * s + li;
+                        if idx >= p && idx - p < w {
+                            gx_row[idx - p] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous near-equal ranges.
+pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for t in 0..parts {
+        let len = base + usize::from(t < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Worker threads for a batch of `n` samples.
+pub(crate) fn sample_threads(n: usize) -> usize {
+    thread_count().clamp(1, n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c_in: usize, l: usize, s: usize, p: usize, h: usize, w: usize) -> ConvGeom {
+        let wo = (w + 2 * p - l) / s + 1;
+        ConvGeom {
+            c_in,
+            l,
+            s,
+            pad_left: p,
+            h,
+            w,
+            wo,
+        }
+    }
+
+    /// Reference im2col written directly from the definition.
+    fn im2col_ref(g: &ConvGeom, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; g.col_len()];
+        for ci in 0..g.c_in {
+            for li in 0..g.l {
+                for hi in 0..g.h {
+                    for wi in 0..g.wo {
+                        let src = wi * g.s + li;
+                        let v = if src >= g.pad_left && src - g.pad_left < g.w {
+                            x[(ci * g.h + hi) * g.w + src - g.pad_left]
+                        } else {
+                            0.0
+                        };
+                        out[(ci * g.l + li) * g.h * g.wo + hi * g.wo + wi] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_paths_match_reference() {
+        for &(c_in, l, s, p, h, w) in &[
+            (1usize, 3usize, 1usize, 1usize, 1usize, 8usize),
+            (2, 4, 1, 2, 3, 10),
+            (3, 3, 2, 0, 2, 11),
+            (2, 5, 2, 3, 1, 9),
+            // Regression: kernel longer than the padded input width used to
+            // underflow `(w + p - li)` / `base` in the stride-1 fast path.
+            (2, 6, 1, 3, 2, 1),
+            (1, 6, 1, 5, 1, 2),
+        ] {
+            let g = geom(c_in, l, s, p, h, w);
+            let x: Vec<f32> = (0..c_in * h * w).map(|i| i as f32 + 1.0).collect();
+            let mut fast = vec![f32::NAN; g.col_len()];
+            im2col(&g, &x, &mut fast);
+            assert_eq!(fast, im2col_ref(&g, &x), "geom {c_in},{l},{s},{p},{h},{w}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_transpose_of_im2col() {
+        // <im2col(x), c> must equal <x, col2im(c)> — adjointness, which is
+        // exactly what the backward pass relies on.
+        let g = geom(2, 3, 1, 1, 2, 7);
+        let x: Vec<f32> = (0..g.c_in * g.h * g.w).map(|i| (i as f32).sin()).collect();
+        let c: Vec<f32> = (0..g.col_len()).map(|i| (i as f32).cos()).collect();
+        let mut px = vec![0.0; g.col_len()];
+        im2col(&g, &x, &mut px);
+        let lhs: f32 = px.iter().zip(&c).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0; x.len()];
+        col2im_acc(&g, &c, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn split_ranges_cover_everything() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+            }
+        }
+    }
+}

@@ -13,12 +13,13 @@ mod container;
 mod conv;
 mod dense;
 mod dropout;
+mod im2col;
 mod pooling;
 
 pub use activation::{Activation, Relu, Sigmoid, Tanh};
 pub use batchnorm::BatchNorm;
 pub use container::{Residual, Sequential};
-pub use conv::Conv2dRows;
+pub use conv::{Conv2dRows, ConvStrategy};
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use pooling::{GlobalAvgPool, MaxPoolW};

@@ -41,7 +41,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let [n, c, h, w] = self.cache_dims.take().expect("backward without cached forward");
+        let [n, c, h, w] = self
+            .cache_dims
+            .take()
+            .expect("backward without cached forward");
         assert_eq!(grad_out.dims(), &[n, c]);
         let plane = h * w;
         let scale = 1.0 / plane as f32;
@@ -76,7 +79,12 @@ impl MaxPoolW {
     /// Creates a max-pool with the given window, stride and symmetric padding.
     pub fn new(size: usize, stride: usize, padding: usize) -> Self {
         assert!(size > 0 && stride > 0 && padding < size);
-        MaxPoolW { size, stride, padding, cache: None }
+        MaxPoolW {
+            size,
+            stride,
+            padding,
+            cache: None,
+        }
     }
 
     /// InceptionTime's "same" max-pool: window 3, stride 1, padding 1.
@@ -149,8 +157,11 @@ mod tests {
     #[test]
     fn gap_averages_each_map() {
         let mut gap = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = gap.forward(&x, true);
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 25.0]);

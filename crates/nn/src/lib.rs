@@ -18,7 +18,7 @@
 //!
 //! Layers follow a simple contract ([`Layer`]): `forward` caches what
 //! `backward` needs, `backward` accumulates parameter gradients in place.
-//! Convolution kernels parallelize over batch samples with crossbeam.
+//! Convolution kernels parallelize over batch samples with scoped threads.
 //!
 //! # Example: train a tiny CNN
 //!

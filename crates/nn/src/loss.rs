@@ -51,20 +51,13 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     ((loss / n as f64) as f32, grad)
 }
 
-/// Predicted class per batch row (argmax of logits).
+/// Predicted class per batch row (shared lowest-index-tie-break argmax).
 pub fn predictions(logits: &Tensor) -> Vec<usize> {
     let d = logits.dims();
     assert_eq!(d.len(), 2);
     let (n, k) = (d[0], d[1]);
     (0..n)
-        .map(|ni| {
-            let row = &logits.data()[ni * k..(ni + 1) * k];
-            row.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        })
+        .map(|ni| dcam_tensor::argmax(&logits.data()[ni * k..(ni + 1) * k]).unwrap_or(0))
         .collect()
 }
 
@@ -74,8 +67,7 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, -10.0, 0.0, 10.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -10.0, 0.0, 10.0], &[2, 3]).unwrap();
         let p = softmax(&logits);
         for ni in 0..2 {
             let s: f32 = p.data()[ni * 3..(ni + 1) * 3].iter().sum();
@@ -101,8 +93,7 @@ mod tests {
 
     #[test]
     fn perfect_prediction_has_near_zero_loss() {
-        let logits =
-            Tensor::from_vec(vec![30.0, 0.0, 0.0, 0.0, 30.0, 0.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![30.0, 0.0, 0.0, 0.0, 30.0, 0.0], &[2, 3]).unwrap();
         let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
         assert!(loss < 1e-6);
         assert!(grad.data().iter().all(|g| g.abs() < 1e-6));
@@ -110,8 +101,7 @@ mod tests {
 
     #[test]
     fn grad_matches_finite_difference() {
-        let logits =
-            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.0, -0.2], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.0, -0.2], &[2, 3]).unwrap();
         let labels = [2usize, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3;
@@ -133,8 +123,7 @@ mod tests {
 
     #[test]
     fn predictions_pick_argmax() {
-        let logits =
-            Tensor::from_vec(vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0], &[2, 3]).unwrap();
         assert_eq!(predictions(&logits), vec![1, 0]);
     }
 }

@@ -31,13 +31,21 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD (`momentum = 0`).
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates SGD with classical momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum));
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -88,12 +96,28 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with standard hyperparameters.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Creates Adam with custom betas.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
-        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -161,8 +185,14 @@ mod tests {
         }
         let logits = model.forward(&x, false);
         let (final_loss, _) = softmax_cross_entropy(&logits, &labels);
-        assert!(final_loss < prev.max(1.2), "optimization diverged: {final_loss}");
-        assert!(final_loss < 1.0, "loss should drop below ln(3): {final_loss}");
+        assert!(
+            final_loss < prev.max(1.2),
+            "optimization diverged: {final_loss}"
+        );
+        assert!(
+            final_loss < 1.0,
+            "loss should drop below ln(3): {final_loss}"
+        );
     }
 
     #[test]

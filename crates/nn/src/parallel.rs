@@ -1,4 +1,4 @@
-//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//! Minimal data-parallel helpers built on `std::thread::scope`.
 //!
 //! The convolution kernels parallelize over batch samples: each sample's
 //! output (or gradient) slice is disjoint, so work splits without locking.
@@ -6,20 +6,11 @@
 //! pinned with the `DCAM_THREADS` environment variable (useful to make
 //! benchmark runs comparable).
 
-use std::sync::OnceLock;
-
-static THREADS: OnceLock<usize> = OnceLock::new();
-
-/// Number of worker threads used by the parallel helpers.
+/// Number of worker threads used by the parallel helpers — the single
+/// workspace-wide setting, shared with the GEMM row-band split so
+/// `DCAM_THREADS` governs every parallel path identically.
 pub fn thread_count() -> usize {
-    *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("DCAM_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    })
+    dcam_tensor::thread_count()
 }
 
 /// Splits `out` into consecutive `chunk_len`-sized pieces and calls
@@ -41,21 +32,21 @@ where
         }
         return;
     }
-    let mut buckets: Vec<Vec<(usize, &mut [f32])>> =
-        (0..threads).map(|_| Vec::with_capacity(n_chunks / threads + 1)).collect();
+    let mut buckets: Vec<Vec<(usize, &mut [f32])>> = (0..threads)
+        .map(|_| Vec::with_capacity(n_chunks / threads + 1))
+        .collect();
     for (i, c) in out.chunks_mut(chunk_len).enumerate() {
         buckets[i % threads].push((i, c));
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for bucket in buckets {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, c) in bucket {
                     f(i, c);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Runs `f(item, local_accumulator)` for every item in `0..n_items`,
@@ -76,10 +67,10 @@ where
         }
         return acc;
     }
-    let partials: Vec<Vec<f32>> = crossbeam::thread::scope(|s| {
+    let partials: Vec<Vec<f32>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut acc = vec![0.0f32; acc_len];
                     let mut i = t;
                     while i < n_items {
@@ -90,9 +81,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut total = vec![0.0f32; acc_len];
     for p in partials {

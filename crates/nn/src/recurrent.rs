@@ -145,8 +145,14 @@ impl Layer for Rnn {
                 .zip_with(h_next, |g, h| g * (1.0 - h * h))
                 .expect("tanh grad");
             let xt = time_slice(&cache.x, t);
-            let (gx, gh_prev) =
-                affine_backward(&dz, &xt, &cache.hs[t], &mut self.wx, &mut self.wh, &mut self.b);
+            let (gx, gh_prev) = affine_backward(
+                &dz,
+                &xt,
+                &cache.hs[t],
+                &mut self.wx,
+                &mut self.wh,
+                &mut self.b,
+            );
             scatter_time(&mut grad_x, &gx, t);
             gh = gh_prev;
         }
@@ -197,12 +203,10 @@ fn sigmoid(v: f32) -> f32 {
 impl Lstm {
     /// Creates an LSTM layer; forget-gate bias starts at 1 (standard trick).
     pub fn new(input: usize, hidden: usize, rng: &mut SeededRng) -> Self {
-        let mk_wx = |rng: &mut SeededRng| {
-            Param::new(init::xavier(&[hidden, input], input, hidden, rng))
-        };
-        let mk_wh = |rng: &mut SeededRng| {
-            Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng))
-        };
+        let mk_wx =
+            |rng: &mut SeededRng| Param::new(init::xavier(&[hidden, input], input, hidden, rng));
+        let mk_wh =
+            |rng: &mut SeededRng| Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng));
         let wx = [mk_wx(rng), mk_wx(rng), mk_wx(rng), mk_wx(rng)];
         let wh = [mk_wh(rng), mk_wh(rng), mk_wh(rng), mk_wh(rng)];
         let mut b = [
@@ -212,7 +216,14 @@ impl Lstm {
             Param::new(Tensor::zeros(&[hidden])),
         ];
         b[1].value.fill(1.0); // forget gate bias
-        Lstm { wx, wh, b, input, hidden, cache: None }
+        Lstm {
+            wx,
+            wh,
+            b,
+            input,
+            hidden,
+            cache: None,
+        }
     }
 }
 
@@ -228,10 +239,34 @@ impl Layer for Lstm {
         for t in 0..steps {
             let xt = time_slice(x, t);
             let h_prev = &hs[t];
-            let zi = affine(&xt, h_prev, &self.wx[0].value, &self.wh[0].value, &self.b[0].value);
-            let zf = affine(&xt, h_prev, &self.wx[1].value, &self.wh[1].value, &self.b[1].value);
-            let zg = affine(&xt, h_prev, &self.wx[2].value, &self.wh[2].value, &self.b[2].value);
-            let zo = affine(&xt, h_prev, &self.wx[3].value, &self.wh[3].value, &self.b[3].value);
+            let zi = affine(
+                &xt,
+                h_prev,
+                &self.wx[0].value,
+                &self.wh[0].value,
+                &self.b[0].value,
+            );
+            let zf = affine(
+                &xt,
+                h_prev,
+                &self.wx[1].value,
+                &self.wh[1].value,
+                &self.b[1].value,
+            );
+            let zg = affine(
+                &xt,
+                h_prev,
+                &self.wx[2].value,
+                &self.wh[2].value,
+                &self.b[2].value,
+            );
+            let zo = affine(
+                &xt,
+                h_prev,
+                &self.wx[3].value,
+                &self.wh[3].value,
+                &self.b[3].value,
+            );
             let i = zi.map(sigmoid);
             let f = zf.map(sigmoid);
             let g = zg.map(|v| v.tanh());
@@ -248,7 +283,12 @@ impl Layer for Lstm {
         }
         let out = hs[steps].clone();
         if train {
-            self.cache = Some(LstmCache { x: x.clone(), hs, cs, steps_cache });
+            self.cache = Some(LstmCache {
+                x: x.clone(),
+                hs,
+                cs,
+                steps_cache,
+            });
         }
         out
     }
@@ -353,12 +393,10 @@ struct GruCache {
 impl Gru {
     /// Creates a GRU layer with Xavier-initialized weights.
     pub fn new(input: usize, hidden: usize, rng: &mut SeededRng) -> Self {
-        let mk_wx = |rng: &mut SeededRng| {
-            Param::new(init::xavier(&[hidden, input], input, hidden, rng))
-        };
-        let mk_wh = |rng: &mut SeededRng| {
-            Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng))
-        };
+        let mk_wx =
+            |rng: &mut SeededRng| Param::new(init::xavier(&[hidden, input], input, hidden, rng));
+        let mk_wh =
+            |rng: &mut SeededRng| Param::new(init::xavier(&[hidden, hidden], hidden, hidden, rng));
         Gru {
             wx: [mk_wx(rng), mk_wx(rng), mk_wx(rng)],
             wh: [mk_wh(rng), mk_wh(rng), mk_wh(rng)],
@@ -386,8 +424,20 @@ impl Layer for Gru {
         for t in 0..steps {
             let xt = time_slice(x, t);
             let h_prev = &hs[t];
-            let zr = affine(&xt, h_prev, &self.wx[0].value, &self.wh[0].value, &self.bx[0].value);
-            let zz = affine(&xt, h_prev, &self.wx[1].value, &self.wh[1].value, &self.bx[1].value);
+            let zr = affine(
+                &xt,
+                h_prev,
+                &self.wx[0].value,
+                &self.wh[0].value,
+                &self.bx[0].value,
+            );
+            let zz = affine(
+                &xt,
+                h_prev,
+                &self.wx[1].value,
+                &self.wh[1].value,
+                &self.bx[1].value,
+            );
             let r = zr.map(sigmoid);
             let z = zz.map(sigmoid);
             // hh_n = Wh_n h + bh ; candidate pre-activation = Wx_n x + bx_n + r*hh_n
@@ -417,7 +467,11 @@ impl Layer for Gru {
         }
         let out = hs[steps].clone();
         if train {
-            self.cache = Some(GruCache { x: x.clone(), hs, steps_cache });
+            self.cache = Some(GruCache {
+                x: x.clone(),
+                hs,
+                steps_cache,
+            });
         }
         out
     }
@@ -521,7 +575,10 @@ mod tests {
         let x = toy_input(&mut rng);
         let y = rnn.forward(&x, false);
         assert_eq!(y.dims(), &[3, 7]);
-        assert!(y.data().iter().all(|v| v.abs() <= 1.0), "tanh bound violated");
+        assert!(
+            y.data().iter().all(|v| v.abs() <= 1.0),
+            "tanh bound violated"
+        );
     }
 
     #[test]

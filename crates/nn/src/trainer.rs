@@ -101,15 +101,26 @@ pub struct History {
 impl History {
     /// The best monitored loss value seen.
     pub fn best_loss(&self) -> f32 {
-        let series = if self.val_loss.is_empty() { &self.train_loss } else { &self.val_loss };
-        series.get(self.best_epoch).copied().unwrap_or(f32::INFINITY)
+        let series = if self.val_loss.is_empty() {
+            &self.train_loss
+        } else {
+            &self.val_loss
+        };
+        series
+            .get(self.best_epoch)
+            .copied()
+            .unwrap_or(f32::INFINITY)
     }
 
     /// Epochs needed to first reach `fraction` of the way down from the
     /// initial loss to the best loss (used by the Fig. 12(c) convergence
     /// experiment with `fraction = 0.9`).
     pub fn epochs_to_fraction_of_best(&self, fraction: f32) -> Option<usize> {
-        let series = if self.val_loss.is_empty() { &self.train_loss } else { &self.val_loss };
+        let series = if self.val_loss.is_empty() {
+            &self.train_loss
+        } else {
+            &self.val_loss
+        };
         let first = *series.first()?;
         let best = series.iter().copied().fold(f32::INFINITY, f32::min);
         let target = first - fraction * (first - best);
@@ -240,9 +251,7 @@ pub fn fit(
             train_loss
         };
         if cfg.verbose {
-            eprintln!(
-                "epoch {epoch:4}  train_loss {train_loss:.4}  monitored {monitored:.4}"
-            );
+            eprintln!("epoch {epoch:4}  train_loss {train_loss:.4}  monitored {monitored:.4}");
         }
 
         if monitored < best_loss - 1e-6 {
@@ -309,7 +318,11 @@ mod tests {
         let val = toy_set(32, 1);
         let mut model = toy_model(7);
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 60, batch_size: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 16,
+            ..Default::default()
+        };
         let history = fit(&mut model, &mut opt, &train, Some(&val), &cfg);
         let (_, acc) = evaluate(&mut model, &val, 16);
         assert!(acc > 0.9, "val accuracy {acc}");
@@ -342,7 +355,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let train = toy_set(32, 4);
-        let cfg = TrainConfig { epochs: 5, batch_size: 8, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 8,
+            patience: None,
+            ..Default::default()
+        };
         let mut m1 = toy_model(9);
         let mut m2 = toy_model(9);
         let h1 = fit(&mut m1, &mut Adam::new(0.01), &train, None, &cfg);

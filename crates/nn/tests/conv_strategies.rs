@@ -1,0 +1,95 @@
+//! Property test: the im2col+GEMM convolution strategy is numerically
+//! interchangeable with the direct sliding-window loops — forward output,
+//! grad-input, grad-weight and grad-bias all agree within 1e-4 across
+//! odd/even kernels, stride 2, and asymmetric padding. This is the guard
+//! that lets the Auto strategy switch paths by size without ever silently
+//! changing results.
+
+use dcam_nn::layers::{Conv2dRows, ConvStrategy, Layer};
+use dcam_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+/// Runs one forward+backward under the given strategy, returning
+/// (output, grad_input, grad_weight, grad_bias).
+fn run(
+    strategy: ConvStrategy,
+    c_in: usize,
+    c_out: usize,
+    len: usize,
+    stride: usize,
+    pad_left: usize,
+    pad_right: usize,
+    h: usize,
+    w: usize,
+    n: usize,
+    seed: u64,
+) -> (Tensor, Tensor, Tensor, Tensor) {
+    let mut rng = SeededRng::new(seed);
+    let mut conv =
+        Conv2dRows::with_padding(c_in, c_out, len, stride, pad_left, pad_right, &mut rng);
+    conv.set_strategy(strategy);
+    let x = Tensor::uniform(&[n, c_in, h, w], -1.0, 1.0, &mut rng);
+    let y = conv.forward(&x, true);
+    let g = Tensor::uniform(y.dims(), -1.0, 1.0, &mut SeededRng::new(seed ^ 0x5bd1e995));
+    let gx = conv.backward(&g);
+    let mut grads = Vec::new();
+    conv.visit_params(&mut |p| grads.push(p.grad.clone()));
+    let gb = grads.pop().unwrap();
+    let gw = grads.pop().unwrap();
+    (y, gx, gw, gb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn im2col_matches_direct(
+        (c_in, c_out, n) in (1usize..=6, 1usize..=8, 1usize..=4),
+        // Kernel lengths 1..=6 cover odd and even extents.
+        len in 1usize..=6,
+        stride in 1usize..=2,
+        (pl_raw, pr_raw) in (0usize..6, 0usize..6),
+        (h, w_extra) in (1usize..=4, 0usize..=20),
+        seed in any::<u64>(),
+    ) {
+        // Padding must stay below the kernel length; asymmetric on purpose.
+        let pad_left = pl_raw % len;
+        let pad_right = pr_raw % len;
+        // Input long enough for at least one kernel application.
+        let w = len.saturating_sub(pad_left + pad_right) + w_extra + 1;
+        let a = run(ConvStrategy::Direct, c_in, c_out, len, stride, pad_left, pad_right, h, w, n, seed);
+        let b = run(ConvStrategy::Im2col, c_in, c_out, len, stride, pad_left, pad_right, h, w, n, seed);
+        prop_assert!(a.0.allclose(&b.0, 1e-4), "forward mismatch (len {len} stride {stride} pad {pad_left}/{pad_right} w {w})");
+        prop_assert!(a.1.allclose(&b.1, 1e-4), "grad-input mismatch (len {len} stride {stride} pad {pad_left}/{pad_right} w {w})");
+        prop_assert!(a.2.allclose(&b.2, 1e-4), "grad-weight mismatch (len {len} stride {stride} pad {pad_left}/{pad_right} w {w})");
+        prop_assert!(a.3.allclose(&b.3, 1e-4), "grad-bias mismatch (len {len} stride {stride} pad {pad_left}/{pad_right} w {w})");
+    }
+
+    /// Stride 2 with even kernels — the configuration most likely to break
+    /// index bookkeeping — against a fixed dense grid rather than random
+    /// samples alone.
+    #[test]
+    fn stride_two_even_kernels_agree(seed in any::<u64>()) {
+        for &(len, pad_left, pad_right) in &[(4usize, 1usize, 3usize), (2, 0, 1), (6, 5, 0)] {
+            let a = run(ConvStrategy::Direct, 3, 4, len, 2, pad_left, pad_right, 2, 23, 2, seed);
+            let b = run(ConvStrategy::Im2col, 3, 4, len, 2, pad_left, pad_right, 2, 23, 2, seed);
+            prop_assert!(a.0.allclose(&b.0, 1e-4), "forward (len {len})");
+            prop_assert!(a.1.allclose(&b.1, 1e-4), "grad-input (len {len})");
+            prop_assert!(a.2.allclose(&b.2, 1e-4), "grad-weight (len {len})");
+            prop_assert!(a.3.allclose(&b.3, 1e-4), "grad-bias (len {len})");
+        }
+    }
+
+    /// Regression: a kernel longer than the padded input width (w = 1,
+    /// ℓ = 6, pads 3/5) used to panic with a usize underflow in the im2col
+    /// stride-1 fast path.
+    #[test]
+    fn kernel_longer_than_input_agrees(seed in any::<u64>()) {
+        let a = run(ConvStrategy::Direct, 2, 3, 6, 1, 3, 5, 20, 1, 1, seed);
+        let b = run(ConvStrategy::Im2col, 2, 3, 6, 1, 3, 5, 20, 1, 1, seed);
+        prop_assert!(a.0.allclose(&b.0, 1e-4), "forward");
+        prop_assert!(a.1.allclose(&b.1, 1e-4), "grad-input");
+        prop_assert!(a.2.allclose(&b.2, 1e-4), "grad-weight");
+        prop_assert!(a.3.allclose(&b.3, 1e-4), "grad-bias");
+    }
+}

@@ -113,7 +113,10 @@ pub fn from_str(text: &str) -> Result<Dataset, IoError> {
         let mut parts = line.split(';');
         let label: usize = parts
             .next()
-            .ok_or_else(|| IoError::Line { line: lineno + 1, message: "empty line".into() })?
+            .ok_or_else(|| IoError::Line {
+                line: lineno + 1,
+                message: "empty line".into(),
+            })?
             .trim()
             .parse()
             .map_err(|_| IoError::Line {
@@ -150,9 +153,8 @@ pub fn from_str(text: &str) -> Result<Dataset, IoError> {
         return Err(IoError::Header("missing '# dcam-dataset v1' magic".into()));
     }
     ds.name = name;
-    ds.n_classes = n_classes.unwrap_or_else(|| {
-        ds.labels.iter().copied().max().map(|m| m + 1).unwrap_or(0)
-    });
+    ds.n_classes =
+        n_classes.unwrap_or_else(|| ds.labels.iter().copied().max().map(|m| m + 1).unwrap_or(0));
     for &l in &ds.labels {
         if l >= ds.n_classes {
             return Err(IoError::Header(format!(
@@ -199,8 +201,14 @@ mod tests {
         assert_eq!(back.name, "toy");
         assert_eq!(back.n_classes, 2);
         assert_eq!(back.labels, ds.labels);
-        assert_eq!(back.samples[0].tensor().data(), ds.samples[0].tensor().data());
-        assert_eq!(back.samples[1].tensor().data(), ds.samples[1].tensor().data());
+        assert_eq!(
+            back.samples[0].tensor().data(),
+            ds.samples[0].tensor().data()
+        );
+        assert_eq!(
+            back.samples[1].tensor().data(),
+            ds.samples[1].tensor().data()
+        );
     }
 
     #[test]

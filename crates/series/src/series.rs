@@ -108,7 +108,9 @@ pub struct GroundTruthMask {
 impl GroundTruthMask {
     /// An all-zero mask of the given shape.
     pub fn zeros(n_dims: usize, len: usize) -> Self {
-        GroundTruthMask { data: Tensor::zeros(&[n_dims, len]) }
+        GroundTruthMask {
+            data: Tensor::zeros(&[n_dims, len]),
+        }
     }
 
     /// Marks `[start, start+len)` of dimension `dim` as discriminant.
@@ -171,7 +173,13 @@ impl Dataset {
     ) -> Self {
         assert_eq!(samples.len(), labels.len());
         let masks = vec![None; samples.len()];
-        Dataset { samples, labels, n_classes, masks, name: name.into() }
+        Dataset {
+            samples,
+            labels,
+            n_classes,
+            masks,
+            name: name.into(),
+        }
     }
 
     /// Number of instances.
@@ -210,8 +218,9 @@ impl Dataset {
             ..Default::default()
         };
         for class in 0..self.n_classes {
-            let mut idx: Vec<usize> =
-                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            let mut idx: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
             rng.shuffle(&mut idx);
             let n_train = ((idx.len() as f32) * train_frac).round() as usize;
             for (pos, &i) in idx.iter().enumerate() {
@@ -226,7 +235,9 @@ impl Dataset {
 
     /// Indices of instances belonging to `class`.
     pub fn class_indices(&self, class: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+        (0..self.len())
+            .filter(|&i| self.labels[i] == class)
+            .collect()
     }
 }
 

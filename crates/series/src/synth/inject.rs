@@ -109,7 +109,13 @@ fn pick_dims(d: usize, k: usize, rng: &mut SeededRng) -> Vec<usize> {
 }
 
 /// Picks `k` pattern start positions with pairwise distance ≥ `min_gap`.
-fn pick_positions(len: usize, pat: usize, k: usize, min_gap: usize, rng: &mut SeededRng) -> Vec<usize> {
+fn pick_positions(
+    len: usize,
+    pat: usize,
+    k: usize,
+    min_gap: usize,
+    rng: &mut SeededRng,
+) -> Vec<usize> {
     let max_start = len - pat;
     'outer: loop {
         let mut picks = Vec::with_capacity(k);
@@ -156,12 +162,15 @@ pub fn generate(cfg: &InjectConfig) -> Dataset {
         },
         cfg.n_dims
     );
-    let mut ds = Dataset { name, n_classes: 2, ..Default::default() };
+    let mut ds = Dataset {
+        name,
+        n_classes: 2,
+        ..Default::default()
+    };
 
     for class in 0..2usize {
         for _ in 0..cfg.n_per_class {
-            let rows: Vec<Vec<f32>> =
-                (0..cfg.n_dims).map(|_| background(cfg, &mut rng)).collect();
+            let rows: Vec<Vec<f32>> = (0..cfg.n_dims).map(|_| background(cfg, &mut rng)).collect();
             let mut series = MultivariateSeries::from_rows(&rows);
             let mut mask = GroundTruthMask::zeros(cfg.n_dims, cfg.series_len);
             let mut has_mask = false;

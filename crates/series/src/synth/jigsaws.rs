@@ -79,7 +79,12 @@ pub struct JigsawsConfig {
 
 impl Default for JigsawsConfig {
     fn default() -> Self {
-        JigsawsConfig { n_groups: 4, gesture_len: 24, n_per_class: [19, 10, 10], seed: 0 }
+        JigsawsConfig {
+            n_groups: 4,
+            gesture_len: 24,
+            n_per_class: [19, 10, 10],
+            seed: 0,
+        }
     }
 }
 
@@ -122,13 +127,15 @@ pub fn generate(cfg: &JigsawsConfig) -> JigsawsData {
     let len = N_GESTURES * cfg.gesture_len;
     let mut rng = SeededRng::new(cfg.seed);
 
-    let gesture_windows: Vec<(usize, usize)> =
-        (0..N_GESTURES).map(|g| (g * cfg.gesture_len, (g + 1) * cfg.gesture_len)).collect();
+    let gesture_windows: Vec<(usize, usize)> = (0..N_GESTURES)
+        .map(|g| (g * cfg.gesture_len, (g + 1) * cfg.gesture_len))
+        .collect();
 
     // Base per-gesture motion templates shared by all surgeons: each gesture
     // drives positions toward gesture-specific targets.
-    let targets: Vec<Vec<f32>> =
-        (0..N_GESTURES).map(|_| (0..d).map(|_| rng.normal()).collect()).collect();
+    let targets: Vec<Vec<f32>> = (0..N_GESTURES)
+        .map(|_| (0..d).map(|_| rng.normal()).collect())
+        .collect();
 
     let mut discriminant_dims = Vec::new();
     for g in 0..cfg.n_groups {
@@ -139,7 +146,11 @@ pub fn generate(cfg: &JigsawsConfig) -> JigsawsData {
         }
     }
 
-    let mut dataset = Dataset { name: "JIGSAWS-sim".into(), n_classes: 3, ..Default::default() };
+    let mut dataset = Dataset {
+        name: "JIGSAWS-sim".into(),
+        n_classes: 3,
+        ..Default::default()
+    };
 
     for class in 0..3usize {
         let sev = severity(class);
@@ -163,8 +174,7 @@ pub fn generate(cfg: &JigsawsConfig) -> JigsawsData {
                     if kind == SensorKind::Velocity {
                         for t in s..e {
                             row[t] = 0.4
-                                * (std::f32::consts::TAU * (t - s) as f32
-                                    / cfg.gesture_len as f32)
+                                * (std::f32::consts::TAU * (t - s) as f32 / cfg.gesture_len as f32)
                                     .sin()
                                 + 0.2 * rng.normal();
                         }
@@ -200,11 +210,17 @@ pub fn generate(cfg: &JigsawsConfig) -> JigsawsData {
             series.znormalize();
             dataset.samples.push(series);
             dataset.labels.push(class);
-            dataset.masks.push(if class == 0 { Some(mask) } else { None });
+            dataset
+                .masks
+                .push(if class == 0 { Some(mask) } else { None });
         }
     }
 
-    JigsawsData { dataset, gesture_windows, discriminant_dims }
+    JigsawsData {
+        dataset,
+        gesture_windows,
+        discriminant_dims,
+    }
 }
 
 #[cfg(test)]
@@ -267,7 +283,10 @@ mod tests {
         let (s, e) = data.gesture_windows[DISCRIMINANT_GESTURES[0]];
         let hf_energy = |series: &MultivariateSeries| -> f32 {
             let row = series.dim(grip);
-            (s + 1..e).map(|t| (row[t] - row[t - 1]).powi(2)).sum::<f32>() / (e - s - 1) as f32
+            (s + 1..e)
+                .map(|t| (row[t] - row[t - 1]).powi(2))
+                .sum::<f32>()
+                / (e - s - 1) as f32
         };
         let avg = |class: usize| -> f32 {
             let idx = ds.class_indices(class);

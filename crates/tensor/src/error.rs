@@ -50,7 +50,10 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+            TensorError::DataShapeMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "data length {data_len} does not match shape element count {shape_len}"
             ),
@@ -58,7 +61,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }
             TensorError::MatmulShape { left, right } => {
-                write!(f, "matmul requires 2-D (m,k)x(k,n) operands, got {left:?} x {right:?}")
+                write!(
+                    f,
+                    "matmul requires 2-D (m,k)x(k,n) operands, got {left:?} x {right:?}"
+                )
             }
             TensorError::ReshapeMismatch { len, target } => {
                 write!(f, "cannot reshape {len} elements into {target:?}")

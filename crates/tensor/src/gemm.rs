@@ -1,0 +1,485 @@
+//! Packed, register-tiled GEMM engine.
+//!
+//! One micro-kernel serves every matrix-product variant in the crate
+//! (`A·B`, `Aᵀ·B`, `A·Bᵀ`, overwrite or accumulate): operands are described
+//! by [`MatRef`] — a base slice plus row/column strides — so transposed
+//! views cost nothing, and both operands are repacked into contiguous
+//! panels before the arithmetic:
+//!
+//! * `B` is packed once into `NR`-column panels (`[panel][p][j]`, zero-padded
+//!   at the right edge) so the kernel's inner loads are contiguous and shared
+//!   by every row band;
+//! * `A` is packed into `MR`-row bands (`[band][p][i]`), and the panel loop
+//!   runs outermost so one `k·NR` panel of packed `B` stays hot in L1 while
+//!   every band streams past it.
+//!
+//! The kernel keeps an `MR×NR` accumulator tile in registers; `MR = 2`,
+//! `NR = 64` won an empirical sweep (8 × 16-lane FMA accumulators on
+//! AVX-512). The inner loop is dispatched once at runtime to an explicit
+//! AVX-512F or AVX2+FMA SIMD kernel when the CPU offers it, with a portable
+//! autovectorized fallback — the build itself stays at the default target
+//! ISA so float semantics outside the GEMM are unchanged. Large products
+//! are split into contiguous row bands across threads (`DCAM_THREADS` pins
+//! the count). Packing buffers are thread-local, so the single-threaded
+//! path performs no steady-state allocation; the parallel path spawns
+//! scoped workers per call (each with its own A-pack buffer), an overhead
+//! that only engages above `PAR_VOLUME` where it is well amortized.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Micro-kernel tile height (rows of `A`/`C` per band).
+pub(crate) const MR: usize = 2;
+/// Micro-kernel tile width (columns of `B`/`C` per panel).
+pub(crate) const NR: usize = 64;
+
+/// Below this `m·k·n` volume the packed path's setup costs more than it
+/// saves; a plain strided triple loop wins.
+const SMALL_VOLUME: usize = 4096;
+/// Minimum `m·k·n` volume before worker threads are spawned.
+const PAR_VOLUME: usize = 1 << 21;
+
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Worker threads used for large products: `DCAM_THREADS` if set, else the
+/// machine's available parallelism (the same convention as `dcam-nn`).
+pub fn thread_count() -> usize {
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("DCAM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// `c = a·b` (or `c += a·b` when `accumulate`) over row-major slices:
+/// `a` is `m × k`, `b` is `k × n`, `c` is `m × n`.
+///
+/// Slice-level entry point for callers that compute on sub-slices of larger
+/// buffers (the im2col convolution path) and cannot afford per-call `Tensor`
+/// wrappers; [`crate::Tensor::matmul_into`] and friends are thin wrappers
+/// over the same engine.
+pub fn gemm_nn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert!(
+        a.len() >= m * k && b.len() >= k * n && c.len() == m * n,
+        "gemm_nn shape"
+    );
+    gemm(
+        m,
+        k,
+        n,
+        MatRef::row_major(a, k),
+        MatRef::row_major(b, n),
+        c,
+        accumulate,
+    );
+}
+
+/// `c = aᵀ·b` (or `+=`) over row-major slices: `a` is stored `k × m`,
+/// `b` is `k × n`, `c` is `m × n`. No transpose is materialized.
+pub fn gemm_tn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert!(
+        a.len() >= k * m && b.len() >= k * n && c.len() == m * n,
+        "gemm_tn shape"
+    );
+    gemm(
+        m,
+        k,
+        n,
+        MatRef::transposed(a, m),
+        MatRef::row_major(b, n),
+        c,
+        accumulate,
+    );
+}
+
+/// `c = a·bᵀ` (or `+=`) over row-major slices: `a` is `m × k`, `b` is stored
+/// `n × k`, `c` is `m × n`. No transpose is materialized.
+pub fn gemm_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert!(
+        a.len() >= m * k && b.len() >= n * k && c.len() == m * n,
+        "gemm_nt shape"
+    );
+    gemm(
+        m,
+        k,
+        n,
+        MatRef::row_major(a, k),
+        MatRef::transposed(b, k),
+        c,
+        accumulate,
+    );
+}
+
+/// A strided view of a logical `rows × cols` matrix: element `(i, j)` lives
+/// at `data[i * rs + j * cs]`. Transposition is stride swapping.
+#[derive(Clone, Copy)]
+pub(crate) struct MatRef<'a> {
+    pub data: &'a [f32],
+    pub rs: usize,
+    pub cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Row-major `rows × cols` view.
+    pub fn row_major(data: &'a [f32], cols: usize) -> Self {
+        MatRef {
+            data,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// Transposed view of row-major `rows × cols` data (logical `cols × rows`).
+    pub fn transposed(data: &'a [f32], cols: usize) -> Self {
+        MatRef {
+            data,
+            rs: 1,
+            cs: cols,
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// `C = A·B` (or `C += A·B` when `accumulate`): `A` is logical `m × k`,
+/// `B` is `k × n`, `C` is row-major `m × n`.
+pub(crate) fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: MatRef,
+    b: MatRef,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    if m * k * n <= SMALL_VOLUME {
+        gemm_small(m, k, n, a, b, c, accumulate);
+        return;
+    }
+
+    PACK_B.with(|pb| {
+        let mut bp = pb.borrow_mut();
+        pack_b(k, n, b, &mut bp);
+
+        let bands = m.div_ceil(MR);
+        let threads = if 2 * m * k * n >= PAR_VOLUME {
+            thread_count().min(bands)
+        } else {
+            1
+        };
+        if threads <= 1 {
+            run_bands(0, m, k, n, a, &bp, c, accumulate);
+            return;
+        }
+        let rows_per = bands.div_ceil(threads) * MR;
+        std::thread::scope(|s| {
+            let bp: &[f32] = &bp;
+            let mut rest = c;
+            let mut i0 = 0;
+            while i0 < m {
+                let rows = rows_per.min(m - i0);
+                let (chunk, tail) = rest.split_at_mut(rows * n);
+                rest = tail;
+                s.spawn(move || run_bands(i0, rows, k, n, a, bp, chunk, accumulate));
+                i0 += rows;
+            }
+        });
+    });
+}
+
+/// Strided triple loop for products too small to amortize packing.
+fn gemm_small(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, c: &mut [f32], accumulate: bool) {
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        if !accumulate {
+            c_row.fill(0.0);
+        }
+        for p in 0..k {
+            let aip = a.at(i, p);
+            if aip == 0.0 {
+                continue;
+            }
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                *cv += aip * b.at(p, j);
+            }
+        }
+    }
+}
+
+/// Packs `B` into `NR`-wide column panels: `out[panel][p][j]`, zero-padded.
+fn pack_b(k: usize, n: usize, b: MatRef, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    out.clear();
+    out.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
+        if b.cs == 1 {
+            for p in 0..k {
+                let src = &b.data[p * b.rs + j0..p * b.rs + j0 + cols];
+                panel[p * NR..p * NR + cols].copy_from_slice(src);
+            }
+        } else {
+            for p in 0..k {
+                for jj in 0..cols {
+                    panel[p * NR + jj] = b.at(p, j0 + jj);
+                }
+            }
+        }
+    }
+}
+
+/// Processes the row bands `[i0, i0 + rows)` of `C` (passed as the `chunk`
+/// starting at row `i0`). All local bands of `A` are packed up front; the
+/// panel loop is outermost so each ~`k·NR` panel of packed `B` stays hot in
+/// L1 while every band streams past it.
+fn run_bands(
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: MatRef,
+    bp: &[f32],
+    chunk: &mut [f32],
+    accumulate: bool,
+) {
+    let panels = n.div_ceil(NR);
+    let bands = rows.div_ceil(MR);
+    PACK_A.with(|pa| {
+        let mut ap = pa.borrow_mut();
+        ap.clear();
+        ap.resize(bands * k * MR, 0.0);
+        // Pack every band of A: layout [band][p][i], zero-padded to MR rows.
+        for band in 0..bands {
+            let r0 = band * MR;
+            let band_rows = MR.min(rows - r0);
+            let dst = &mut ap[band * k * MR..(band + 1) * k * MR];
+            if a.cs == 1 {
+                for ii in 0..band_rows {
+                    let src = &a.data[(i0 + r0 + ii) * a.rs..(i0 + r0 + ii) * a.rs + k];
+                    for (p, &v) in src.iter().enumerate() {
+                        dst[p * MR + ii] = v;
+                    }
+                }
+            } else {
+                for p in 0..k {
+                    for ii in 0..band_rows {
+                        dst[p * MR + ii] = a.at(i0 + r0 + ii, p);
+                    }
+                }
+            }
+        }
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            let bpanel = &bp[jp * k * NR..(jp + 1) * k * NR];
+            for band in 0..bands {
+                let r0 = band * MR;
+                let band_rows = MR.min(rows - r0);
+                let acc = kernel(k, &ap[band * k * MR..(band + 1) * k * MR], bpanel);
+                for ii in 0..band_rows {
+                    let dst = &mut chunk[(r0 + ii) * n + j0..(r0 + ii) * n + j0 + cols];
+                    if accumulate {
+                        for (d, v) in dst.iter_mut().zip(&acc[ii][..cols]) {
+                            *d += v;
+                        }
+                    } else {
+                        dst.copy_from_slice(&acc[ii][..cols]);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// ISA variant of the micro-kernel, detected once at runtime. Explicit
+/// SIMD lives only here: the rest of the workspace keeps the compiler's
+/// default (deterministic) float semantics, while the GEMM inner loop —
+/// whose summation order is already covered by 1e-4 equivalence tests —
+/// gets FMA throughput wherever the CPU offers it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum KernelKind {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+fn kernel_kind() -> KernelKind {
+    static KIND: OnceLock<KernelKind> = OnceLock::new();
+    *KIND.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return KernelKind::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return KernelKind::Avx2;
+            }
+        }
+        KernelKind::Scalar
+    })
+}
+
+/// The register tile: `MR × NR` accumulators over packed panels.
+#[inline(always)]
+fn kernel(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    match kernel_kind() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: kernel_kind() verified the required CPU features, and the
+        // kernels only read `k·MR` / `k·NR` elements, which run_bands sized.
+        KernelKind::Avx512 => unsafe { x86::kernel_avx512(k, ap, bp, &mut acc) },
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => unsafe { x86::kernel_avx2(k, ap, bp, &mut acc) },
+        KernelKind::Scalar => kernel_scalar(k, ap, bp, &mut acc),
+    }
+    acc
+}
+
+/// Portable fallback; autovectorizes on the target's baseline ISA.
+fn kernel_scalar(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..k {
+        let ar: &[f32; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+        let br: &[f32; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        for i in 0..MR {
+            let av = ar[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += av * br[j];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// 2×64 tile as 8 zmm accumulators (4 per row), FMA over `k`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `ap`/`bp` must hold at least `k·MR` / `k·NR`
+    /// elements.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn kernel_avx512(
+        k: usize,
+        ap: &[f32],
+        bp: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+        let mut c = [[_mm512_setzero_ps(); 4]; MR];
+        let mut a_ptr = ap.as_ptr();
+        let mut b_ptr = bp.as_ptr();
+        for _ in 0..k {
+            let b0 = _mm512_loadu_ps(b_ptr);
+            let b1 = _mm512_loadu_ps(b_ptr.add(16));
+            let b2 = _mm512_loadu_ps(b_ptr.add(32));
+            let b3 = _mm512_loadu_ps(b_ptr.add(48));
+            for (i, row) in c.iter_mut().enumerate() {
+                let a = _mm512_set1_ps(*a_ptr.add(i));
+                row[0] = _mm512_fmadd_ps(a, b0, row[0]);
+                row[1] = _mm512_fmadd_ps(a, b1, row[1]);
+                row[2] = _mm512_fmadd_ps(a, b2, row[2]);
+                row[3] = _mm512_fmadd_ps(a, b3, row[3]);
+            }
+            a_ptr = a_ptr.add(MR);
+            b_ptr = b_ptr.add(NR);
+        }
+        for (i, row) in c.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                _mm512_storeu_ps(acc[i][j * 16..].as_mut_ptr(), *v);
+            }
+        }
+    }
+
+    /// AVX2 variant: the 64-wide panel is processed in two 32-wide halves
+    /// (8 ymm accumulators each) so the working tile fits 16 registers.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA; `ap`/`bp` must hold at least `k·MR` / `k·NR`
+    /// elements.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn kernel_avx2(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+        for half in 0..2 {
+            let off = half * (NR / 2);
+            let mut c = [[_mm256_setzero_ps(); 4]; MR];
+            let mut a_ptr = ap.as_ptr();
+            let mut b_ptr = bp.as_ptr().add(off);
+            for _ in 0..k {
+                let b0 = _mm256_loadu_ps(b_ptr);
+                let b1 = _mm256_loadu_ps(b_ptr.add(8));
+                let b2 = _mm256_loadu_ps(b_ptr.add(16));
+                let b3 = _mm256_loadu_ps(b_ptr.add(24));
+                for (i, row) in c.iter_mut().enumerate() {
+                    let a = _mm256_set1_ps(*a_ptr.add(i));
+                    row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+                    row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+                    row[2] = _mm256_fmadd_ps(a, b2, row[2]);
+                    row[3] = _mm256_fmadd_ps(a, b3, row[3]);
+                }
+                a_ptr = a_ptr.add(MR);
+                b_ptr = b_ptr.add(NR);
+            }
+            for (i, row) in c.iter().enumerate() {
+                for (j, v) in row.iter().enumerate() {
+                    _mm256_storeu_ps(acc[i][off + j * 8..].as_mut_ptr(), *v);
+                }
+            }
+        }
+    }
+}

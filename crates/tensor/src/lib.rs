@@ -8,8 +8,9 @@
 //! * shape manipulation (reshape, transpose-2d, axis helpers),
 //! * elementwise arithmetic and mapping,
 //! * reductions (sum/mean/max along all or one axis),
-//! * a blocked GEMM ([`Tensor::matmul`]) used by dense layers and recurrent
-//!   cells,
+//! * a packed, register-tiled, thread-parallel GEMM ([`Tensor::matmul`] and
+//!   its transposed / allocation-free `_into` variants) used by dense
+//!   layers, recurrent cells and the im2col convolution path,
 //! * seeded random number utilities shared by the whole workspace.
 //!
 //! The design intentionally avoids generic element types, broadcasting rules
@@ -28,6 +29,7 @@
 //! ```
 
 mod error;
+mod gemm;
 mod matmul;
 mod ops;
 mod rng;
@@ -35,6 +37,8 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use gemm::{gemm_nn, gemm_nt, gemm_tn, thread_count};
+pub use ops::argmax;
 pub use rng::{shuffled_indices, SeededRng};
 pub use shape::Shape;
 pub use tensor::Tensor;

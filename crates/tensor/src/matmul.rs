@@ -1,108 +1,102 @@
+use crate::gemm::{gemm, MatRef};
 use crate::{Result, Tensor, TensorError};
-
-/// Blocking factor for the GEMM micro-kernel. 64 f32 = one 256-byte strip;
-/// small enough to keep three blocks resident in L1 on any modern core.
-const BLOCK: usize = 64;
 
 impl Tensor {
     /// Matrix product of two 2-D tensors: `(m,k) x (k,n) -> (m,n)`.
     ///
-    /// Implemented as a cache-blocked i-k-j loop so the inner loop streams
-    /// both `B` and `C` rows contiguously; adequate for the dense layers and
-    /// recurrent cells in this reproduction without pulling in a BLAS.
+    /// Backed by the packed register-tiled GEMM in [`crate::gemm`]; large
+    /// products are parallelized over row bands (`DCAM_THREADS` pins the
+    /// worker count).
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        let (ld, rd) = (self.dims(), other.dims());
-        if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[0] {
-            return Err(TensorError::MatmulShape {
-                left: ld.to_vec(),
-                right: rd.to_vec(),
-            });
-        }
-        let (m, k, n) = (ld[0], ld[1], rd[1]);
+        let (m, _, n) = check_nn(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = other.data();
-        let c = out.data_mut();
-
-        for kk in (0..k).step_by(BLOCK) {
-            let k_end = (kk + BLOCK).min(k);
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for p in kk..k_end {
-                    let aik = a_row[p];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * bv;
-                    }
-                }
-            }
-        }
+        self.matmul_into(other, &mut out)?;
         Ok(out)
+    }
+
+    /// `self * other` written into `out` (no allocation): `out = self·other`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k, n) = check_nn(self, other)?;
+        check_out(out, m, n)?;
+        gemm(
+            m,
+            k,
+            n,
+            MatRef::row_major(self.data(), k),
+            MatRef::row_major(other.data(), n),
+            out.data_mut(),
+            false,
+        );
+        Ok(())
     }
 
     /// `self^T * other` for 2-D tensors without materializing the transpose:
     /// `(k,m)^T x (k,n) -> (m,n)`. Used by dense-layer weight gradients.
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        let (ld, rd) = (self.dims(), other.dims());
-        if ld.len() != 2 || rd.len() != 2 || ld[0] != rd[0] {
-            return Err(TensorError::MatmulShape {
-                left: ld.to_vec(),
-                right: rd.to_vec(),
-            });
-        }
-        let (k, m, n) = (ld[0], ld[1], rd[1]);
+        let (m, _, n) = check_tn(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = other.data();
-        let c = out.data_mut();
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &apm) in a_row.iter().enumerate() {
-                if apm == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += apm * bv;
-                }
-            }
-        }
+        self.matmul_tn_into(other, &mut out)?;
         Ok(out)
+    }
+
+    /// `self^T * other` written into `out`: `out = selfᵀ·other`.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.gemm_tn(other, out, false)
+    }
+
+    /// `self^T * other` accumulated into `out`: `out += selfᵀ·other`.
+    /// Gradient accumulation without a temporary.
+    pub fn matmul_tn_acc_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.gemm_tn(other, out, true)
+    }
+
+    fn gemm_tn(&self, other: &Tensor, out: &mut Tensor, accumulate: bool) -> Result<()> {
+        let (m, k, n) = check_tn(self, other)?;
+        check_out(out, m, n)?;
+        gemm(
+            m,
+            k,
+            n,
+            MatRef::transposed(self.data(), m),
+            MatRef::row_major(other.data(), n),
+            out.data_mut(),
+            accumulate,
+        );
+        Ok(())
     }
 
     /// `self * other^T` for 2-D tensors without materializing the transpose:
     /// `(m,k) x (n,k)^T -> (m,n)`. Used by dense-layer input gradients.
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        let (ld, rd) = (self.dims(), other.dims());
-        if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[1] {
-            return Err(TensorError::MatmulShape {
-                left: ld.to_vec(),
-                right: rd.to_vec(),
-            });
-        }
-        let (m, k, n) = (ld[0], ld[1], rd[0]);
+        let (m, _, n) = check_nt(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = other.data();
-        let c = out.data_mut();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *cv += acc;
-            }
-        }
+        self.matmul_nt_into(other, &mut out)?;
         Ok(out)
+    }
+
+    /// `self * other^T` written into `out`: `out = self·otherᵀ`.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.gemm_nt(other, out, false)
+    }
+
+    /// `self * other^T` accumulated into `out`: `out += self·otherᵀ`.
+    pub fn matmul_nt_acc_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.gemm_nt(other, out, true)
+    }
+
+    fn gemm_nt(&self, other: &Tensor, out: &mut Tensor, accumulate: bool) -> Result<()> {
+        let (m, k, n) = check_nt(self, other)?;
+        check_out(out, m, n)?;
+        gemm(
+            m,
+            k,
+            n,
+            MatRef::row_major(self.data(), k),
+            MatRef::transposed(other.data(), k),
+            out.data_mut(),
+            accumulate,
+        );
+        Ok(())
     }
 
     /// Matrix–vector product `(m,k) x (k,) -> (m,)`.
@@ -122,6 +116,49 @@ impl Tensor {
         }
         Tensor::from_vec(out, &[m])
     }
+}
+
+fn check_nn(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    let (ld, rd) = (a.dims(), b.dims());
+    if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[0] {
+        return Err(TensorError::MatmulShape {
+            left: ld.to_vec(),
+            right: rd.to_vec(),
+        });
+    }
+    Ok((ld[0], ld[1], rd[1]))
+}
+
+fn check_tn(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    let (ld, rd) = (a.dims(), b.dims());
+    if ld.len() != 2 || rd.len() != 2 || ld[0] != rd[0] {
+        return Err(TensorError::MatmulShape {
+            left: ld.to_vec(),
+            right: rd.to_vec(),
+        });
+    }
+    Ok((ld[1], ld[0], rd[1]))
+}
+
+fn check_nt(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    let (ld, rd) = (a.dims(), b.dims());
+    if ld.len() != 2 || rd.len() != 2 || ld[1] != rd[1] {
+        return Err(TensorError::MatmulShape {
+            left: ld.to_vec(),
+            right: rd.to_vec(),
+        });
+    }
+    Ok((ld[0], ld[1], rd[0]))
+}
+
+fn check_out(out: &Tensor, m: usize, n: usize) -> Result<()> {
+    if out.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            left: out.dims().to_vec(),
+            right: vec![m, n],
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -149,13 +186,33 @@ mod tests {
     #[test]
     fn matmul_matches_naive() {
         let mut rng = SeededRng::new(13);
-        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (65, 70, 33)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 7, 3),
+            (65, 70, 33),
+            (4, 16, 16),
+            (3, 100, 17),
+            (129, 65, 31),
+        ] {
             let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
             let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
             let got = a.matmul(&b).unwrap();
             let want = naive(&a, &b);
             assert!(got.allclose(&want, 1e-4), "({m},{k},{n}) mismatch");
         }
+    }
+
+    #[test]
+    fn large_matmul_matches_naive_across_thread_split() {
+        // Big enough to cross the parallel threshold: exercises the row-band
+        // partitioning and the shared packed-B panels.
+        let mut rng = SeededRng::new(14);
+        let (m, k, n) = (150, 96, 130);
+        let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let got = a.matmul(&b).unwrap();
+        assert!(got.allclose(&naive(&a, &b), 1e-3));
     }
 
     #[test]
@@ -179,21 +236,56 @@ mod tests {
     #[test]
     fn matmul_tn_equals_explicit_transpose() {
         let mut rng = SeededRng::new(21);
-        let a = Tensor::uniform(&[6, 4], -1.0, 1.0, &mut rng);
-        let b = Tensor::uniform(&[6, 5], -1.0, 1.0, &mut rng);
-        let got = a.matmul_tn(&b).unwrap();
-        let want = a.transpose2().unwrap().matmul(&b).unwrap();
-        assert!(got.allclose(&want, 1e-4));
+        for &(k, m, n) in &[(6, 4, 5), (40, 33, 29), (128, 20, 64)] {
+            let a = Tensor::uniform(&[k, m], -1.0, 1.0, &mut rng);
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let got = a.matmul_tn(&b).unwrap();
+            let want = a.transpose2().unwrap().matmul(&b).unwrap();
+            assert!(got.allclose(&want, 1e-4), "({k},{m},{n})");
+        }
     }
 
     #[test]
     fn matmul_nt_equals_explicit_transpose() {
         let mut rng = SeededRng::new(22);
-        let a = Tensor::uniform(&[6, 4], -1.0, 1.0, &mut rng);
-        let b = Tensor::uniform(&[5, 4], -1.0, 1.0, &mut rng);
-        let got = a.matmul_nt(&b).unwrap();
-        let want = a.matmul(&b.transpose2().unwrap()).unwrap();
-        assert!(got.allclose(&want, 1e-4));
+        for &(m, k, n) in &[(6, 4, 5), (33, 40, 29), (20, 128, 64)] {
+            let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::uniform(&[n, k], -1.0, 1.0, &mut rng);
+            let got = a.matmul_nt(&b).unwrap();
+            let want = a.matmul(&b.transpose2().unwrap()).unwrap();
+            assert!(got.allclose(&want, 1e-4), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_and_check_shapes() {
+        let mut rng = SeededRng::new(30);
+        let a = Tensor::uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[7, 6], -1.0, 1.0, &mut rng);
+        // Pre-filled garbage must be overwritten, not accumulated.
+        let mut out = Tensor::filled(&[5, 6], 123.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert!(out.allclose(&a.matmul(&b).unwrap(), 0.0));
+        let mut wrong = Tensor::zeros(&[6, 5]);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn acc_variants_accumulate() {
+        let mut rng = SeededRng::new(31);
+        let a = Tensor::uniform(&[6, 4], -1.0, 1.0, &mut rng); // (k=6, m=4)
+        let b = Tensor::uniform(&[6, 5], -1.0, 1.0, &mut rng); // (k=6, n=5)
+        let mut out = Tensor::filled(&[4, 5], 1.0);
+        a.matmul_tn_acc_into(&b, &mut out).unwrap();
+        let want = a.matmul_tn(&b).unwrap().map(|v| v + 1.0);
+        assert!(out.allclose(&want, 1e-5));
+
+        let c = Tensor::uniform(&[4, 6], -1.0, 1.0, &mut rng); // (m=4, k=6)
+        let d = Tensor::uniform(&[5, 6], -1.0, 1.0, &mut rng); // (n=5, k=6)
+        let mut out2 = Tensor::filled(&[4, 5], -2.0);
+        c.matmul_nt_acc_into(&d, &mut out2).unwrap();
+        let want2 = c.matmul_nt(&d).unwrap().map(|v| v - 2.0);
+        assert!(out2.allclose(&want2, 1e-5));
     }
 
     #[test]

@@ -1,5 +1,30 @@
 use crate::{Result, Tensor, TensorError};
 
+/// Index of the maximum element of a slice, with deterministic lowest-index
+/// tie-breaking; `None` when empty.
+///
+/// This is the one argmax every caller (logits → predicted class, CAM
+/// inspection, the bench harness) shares, so prediction ties can never
+/// resolve differently between the training loop and the explanation loop.
+/// NaN values are skipped; an all-NaN slice yields index 0.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    match best {
+        Some((i, _)) => Some(i),
+        None if xs.is_empty() => None,
+        None => Some(0),
+    }
+}
+
 impl Tensor {
     /// Elementwise sum of two same-shape tensors.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
@@ -87,7 +112,10 @@ impl Tensor {
 
     /// Maximum element (−∞ for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for empty tensors).
@@ -96,15 +124,9 @@ impl Tensor {
     }
 
     /// Index of the maximum element (first occurrence); `None` when empty.
+    /// Delegates to the shared [`argmax`] helper.
     pub fn argmax(&self) -> Option<usize> {
-        let mut best: Option<(usize, f32)> = None;
-        for (i, &x) in self.data().iter().enumerate() {
-            match best {
-                Some((_, b)) if x <= b => {}
-                _ => best = Some((i, x)),
-            }
-        }
-        best.map(|(i, _)| i)
+        argmax(self.data())
     }
 
     /// Population variance of all elements (0 for empty tensors).
@@ -121,7 +143,10 @@ impl Tensor {
     pub fn sum_axis2(&self, axis: usize) -> Result<Tensor> {
         let dims = self.dims();
         if dims.len() != 2 {
-            return Err(TensorError::AxisOutOfRange { axis, rank: dims.len() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: dims.len(),
+            });
         }
         let (r, c) = (dims[0], dims[1]);
         match axis {
@@ -220,6 +245,22 @@ mod tests {
         let a = t(&[3.0, 5.0, 5.0], &[3]);
         assert_eq!(a.argmax(), Some(1));
         assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+
+    #[test]
+    fn argmax_ties_break_to_lowest_index() {
+        // Exact ties — the case the shared helper must settle determinism on.
+        assert_eq!(argmax(&[1.0, 1.0, 1.0]), Some(0));
+        assert_eq!(argmax(&[0.5, 2.0, 2.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[-3.0, -3.0]), Some(0));
+    }
+
+    #[test]
+    fn argmax_handles_nan_and_empty() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f32::NAN, 1.0, 2.0]), Some(2));
+        assert_eq!(argmax(&[1.0, f32::NAN]), Some(0));
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), Some(0));
     }
 
     #[test]

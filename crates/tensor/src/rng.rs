@@ -16,7 +16,10 @@ pub struct SeededRng {
 impl SeededRng {
     /// Creates a deterministic generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        SeededRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator; useful for splitting one

@@ -13,7 +13,9 @@ pub struct Shape {
 impl Shape {
     /// Builds a shape from axis extents.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The extents of every axis.
@@ -41,7 +43,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Row-major strides (in elements) for this shape.

@@ -28,7 +28,10 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// A tensor of ones.
@@ -40,7 +43,10 @@ impl Tensor {
     pub fn filled(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// The `n`x`n` identity matrix.
@@ -62,7 +68,9 @@ impl Tensor {
     /// Gaussian random tensor with the given mean and standard deviation.
     pub fn randn(dims: &[usize], mean: f32, std: f32, rng: &mut SeededRng) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|_| rng.normal_with(mean, std)).collect();
+        let data = (0..shape.len())
+            .map(|_| rng.normal_with(mean, std))
+            .collect();
         Tensor { shape, data }
     }
 
@@ -122,7 +130,10 @@ impl Tensor {
                 target: dims.to_vec(),
             });
         }
-        Ok(Tensor { shape: target, data: self.data.clone() })
+        Ok(Tensor {
+            shape: target,
+            data: self.data.clone(),
+        })
     }
 
     /// In-place reshape (no data copy).
@@ -174,7 +185,10 @@ impl Tensor {
     pub fn row_mut(&mut self, i: usize) -> Result<&mut [f32]> {
         let dims = self.dims().to_vec();
         if dims.len() != 2 || i >= dims[0] {
-            return Err(TensorError::IndexOutOfBounds { index: vec![i], shape: dims });
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: dims,
+            });
         }
         let c = dims[1];
         Ok(&mut self.data[i * c..(i + 1) * c])

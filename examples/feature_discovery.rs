@@ -36,22 +36,29 @@ fn main() {
          class 1 injects them at the SAME timestamp.\n"
     );
 
-    let protocol = Protocol { epochs: 30, patience: 15, seed: 7, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 30,
+        patience: 15,
+        seed: 7,
+        ..Default::default()
+    };
 
     // Per-dimension baseline: cResNet + cCAM (dimension-blind by design).
-    let (mut ccnn, _) =
-        build_and_train(ArchKind::CResNet, &train_ds, ModelScale::Small, &protocol);
+    let (mut ccnn, _) = build_and_train(ArchKind::CResNet, &train_ds, ModelScale::Small, &protocol);
     let ccnn_acc = test_accuracy(&mut ccnn, &test_ds, 8);
 
     // Dimension-comparing model: dResNet + dCAM.
-    let (mut dcnn, _) =
-        build_and_train(ArchKind::DResNet, &train_ds, ModelScale::Small, &protocol);
+    let (mut dcnn, _) = build_and_train(ArchKind::DResNet, &train_ds, ModelScale::Small, &protocol);
     let dcnn_acc = test_accuracy(&mut dcnn, &test_ds, 8);
 
     println!("test C-acc:   cResNet {ccnn_acc:.2}   vs   dResNet {dcnn_acc:.2}");
 
     // Explanation quality on class-1 test instances.
-    let dcam_cfg = DcamConfig { k: 32, seed: 9, ..Default::default() };
+    let dcam_cfg = DcamConfig {
+        k: 32,
+        seed: 9,
+        ..Default::default()
+    };
     let mut ccam_scores = Vec::new();
     let mut dcam_scores = Vec::new();
     let mut random_scores = Vec::new();

@@ -41,7 +41,12 @@ fn main() {
     // RacketSports: 4 gesture classes, 6 sensors (3 gyroscope + 3
     // accelerometer axes), short series — per the UEA metadata.
     let m = meta("RacketSports").expect("archive metadata");
-    let cfg = UeaStandInConfig { n_per_class: 24, max_len: 0, max_dims: 0, seed: 9 };
+    let cfg = UeaStandInConfig {
+        n_per_class: 24,
+        max_len: 0,
+        max_dims: 0,
+        seed: 9,
+    };
     let ds = generate(m, &cfg);
     println!(
         "RacketSports stand-in: {} classes, D = {}, |T| = {}",
@@ -50,11 +55,14 @@ fn main() {
         ds.series_len()
     );
 
-    let protocol = Protocol { epochs: 40, seed: 1, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 40,
+        seed: 1,
+        ..Default::default()
+    };
 
     // Plain CNN -> univariate CAM.
-    let (mut cnn_clf, cnn_out) =
-        build_and_train(ArchKind::Cnn, &ds, ModelScale::Tiny, &protocol);
+    let (mut cnn_clf, cnn_out) = build_and_train(ArchKind::Cnn, &ds, ModelScale::Tiny, &protocol);
     // dCNN -> dCAM.
     let (mut dcnn_clf, dcnn_out) =
         build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
@@ -80,13 +88,19 @@ fn main() {
                 .unwrap();
         }
     }
-    print_map("\nCAM (CNN) — same saliency for every sensor:", &cam_broadcast);
+    print_map(
+        "\nCAM (CNN) — same saliency for every sensor:",
+        &cam_broadcast,
+    );
 
     let dcam_result = compute_dcam(
         dcnn_clf.as_gap_mut().unwrap(),
         series,
         0,
-        &DcamConfig { k: 48, ..Default::default() },
+        &DcamConfig {
+            k: 48,
+            ..Default::default()
+        },
     );
     print_map(
         &format!(
@@ -101,7 +115,11 @@ fn main() {
     // activation on the discriminant sensors.
     let per_dim_mass = |map: &Tensor| -> Vec<f32> {
         (0..d)
-            .map(|dim| (0..n).map(|t| map.at(&[dim, t]).unwrap().max(0.0)).sum::<f32>())
+            .map(|dim| {
+                (0..n)
+                    .map(|t| map.at(&[dim, t]).unwrap().max(0.0))
+                    .sum::<f32>()
+            })
             .collect()
     };
     let mass = per_dim_mass(&dcam_result.dcam);

@@ -27,8 +27,7 @@ fn ascii_heatmap(map: &Tensor, highlight: Option<&Tensor>) -> String {
         }
         out.push('|');
         if let Some(h) = highlight {
-            let marked: Vec<usize> =
-                (0..n).filter(|&t| h.at(&[dim, t]).unwrap() > 0.5).collect();
+            let marked: Vec<usize> = (0..n).filter(|&t| h.at(&[dim, t]).unwrap() > 0.5).collect();
             if let (Some(&s), Some(&e)) = (marked.first(), marked.last()) {
                 out.push_str(&format!("  <- injected [{s}..{e}]"));
             }
@@ -57,7 +56,11 @@ fn main() {
 
     // 2. Train a dCNN (the paper's architecture transformed to consume the
     //    C(T) cube) with the §5.2 protocol.
-    let protocol = Protocol { epochs: 40, patience: 40, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 40,
+        patience: 40,
+        ..Default::default()
+    };
     let (mut clf, outcome) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
     println!(
         "trained dCNN: val accuracy {:.2} after {} epochs",
@@ -67,9 +70,19 @@ fn main() {
     // 3. Explain one discriminant-class instance with dCAM.
     let idx = ds.class_indices(1)[0];
     let series = &ds.samples[idx];
-    let mask = ds.masks[idx].as_ref().expect("class-1 instances carry ground truth");
+    let mask = ds.masks[idx]
+        .as_ref()
+        .expect("class-1 instances carry ground truth");
     let gap = clf.as_gap_mut().expect("dCNN has a GAP head");
-    let result = compute_dcam(gap, series, 1, &DcamConfig { k: 32, ..Default::default() });
+    let result = compute_dcam(
+        gap,
+        series,
+        1,
+        &DcamConfig {
+            k: 32,
+            ..Default::default()
+        },
+    );
 
     println!(
         "\ndCAM for instance {idx} (class 1): ng/k = {:.2}",

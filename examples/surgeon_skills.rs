@@ -38,13 +38,24 @@ fn main() {
         ds.series_len()
     );
 
-    let protocol = Protocol { epochs: 30, seed: 2, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 30,
+        seed: 2,
+        ..Default::default()
+    };
     let (mut clf, outcome) = build_and_train(ArchKind::DCnn, ds, ModelScale::Tiny, &protocol);
-    println!("skill classifier validation accuracy: {:.2}", outcome.val_acc);
+    println!(
+        "skill classifier validation accuracy: {:.2}",
+        outcome.val_acc
+    );
 
     // Explain the novice class.
     let gap = clf.as_gap_mut().unwrap();
-    let dcam_cfg = DcamConfig { k: 16, seed: 7, ..Default::default() };
+    let dcam_cfg = DcamConfig {
+        k: 16,
+        seed: 7,
+        ..Default::default()
+    };
     let mut maps = Vec::new();
     for &i in data.dataset.class_indices(0).iter().take(6) {
         let result = compute_dcam(gap, &ds.samples[i], 0, &dcam_cfg);
@@ -60,7 +71,11 @@ fn main() {
             rank + 1,
             sensor_name(*dim),
             score,
-            if planted { "   [planted discriminant]" } else { "" }
+            if planted {
+                "   [planted discriminant]"
+            } else {
+                ""
+            }
         );
     }
 
@@ -68,8 +83,10 @@ fn main() {
     let per_window = mean_activation_per_window(&maps, &data.gesture_windows);
     let d = ds.n_dims();
     for (gi, _) in data.gesture_windows.iter().enumerate() {
-        let mean: f32 =
-            (0..d).map(|dim| per_window.at(&[dim, gi]).unwrap()).sum::<f32>() / d as f32;
+        let mean: f32 = (0..d)
+            .map(|dim| per_window.at(&[dim, gi]).unwrap())
+            .sum::<f32>()
+            / d as f32;
         let marker = if DISCRIMINANT_GESTURES.contains(&gi) {
             "  <- planted discriminant gesture"
         } else {

@@ -21,7 +21,12 @@ fn small_dataset() -> dcam_series::Dataset {
 #[test]
 fn all_thirteen_architectures_train_one_epoch() {
     let ds = small_dataset();
-    let protocol = Protocol { epochs: 1, patience: 1, seed: 1, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 1,
+        patience: 1,
+        seed: 1,
+        ..Default::default()
+    };
     for kind in ArchKind::ALL {
         let (clf, outcome) = build_and_train(kind, &ds, ModelScale::Tiny, &protocol);
         assert_eq!(outcome.history.epochs_run, 1, "{}", kind.name());
@@ -37,7 +42,11 @@ fn all_thirteen_architectures_train_one_epoch() {
 #[test]
 fn explanation_capability_matches_declared_capability() {
     let ds = small_dataset();
-    let cfg = DcamConfig { k: 3, only_correct: false, ..Default::default() };
+    let cfg = DcamConfig {
+        k: 3,
+        only_correct: false,
+        ..Default::default()
+    };
     let idx = ds.class_indices(1)[0];
     for kind in ArchKind::ALL {
         let mut clf = Classifier::for_dataset(kind, &ds, ModelScale::Tiny, 2);

@@ -23,17 +23,30 @@ fn dcam_explanation_beats_random_baseline() {
     let train_ds = type1_dataset(1);
     let test_ds = type1_dataset(901);
 
-    let protocol = Protocol { epochs: 40, patience: 15, seed: 5, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 40,
+        patience: 15,
+        seed: 5,
+        ..Default::default()
+    };
     let (mut clf, outcome) =
         build_and_train(ArchKind::DCnn, &train_ds, ModelScale::Tiny, &protocol);
-    assert!(outcome.val_acc >= 0.75, "model did not train: {}", outcome.val_acc);
+    assert!(
+        outcome.val_acc >= 0.75,
+        "model did not train: {}",
+        outcome.val_acc
+    );
 
     let acc = test_accuracy(&mut clf, &test_ds, 8);
     assert!(acc >= 0.7, "test accuracy too low: {acc}");
 
     // Explanation quality: dCAM must rank injected cells far above random.
     let gap = clf.as_gap_mut().unwrap();
-    let cfg = DcamConfig { k: 24, seed: 3, ..Default::default() };
+    let cfg = DcamConfig {
+        k: 24,
+        seed: 3,
+        ..Default::default()
+    };
     let mut scores = Vec::new();
     let mut randoms = Vec::new();
     for &i in test_ds.class_indices(1).iter().take(6) {
@@ -56,15 +69,23 @@ fn ng_ratio_tracks_model_quality() {
     // classifies most of them correctly. ng/k must reflect that gap (§5.6).
     let ds = type1_dataset(2);
     let idx = ds.class_indices(1)[0];
-    let cfg = DcamConfig { k: 16, only_correct: false, seed: 1, ..Default::default() };
+    let cfg = DcamConfig {
+        k: 16,
+        only_correct: false,
+        seed: 1,
+        ..Default::default()
+    };
 
     let mut untrained = dcam::Classifier::for_dataset(ArchKind::DCnn, &ds, ModelScale::Tiny, 3);
-    let r_untrained =
-        compute_dcam(untrained.as_gap_mut().unwrap(), &ds.samples[idx], 1, &cfg);
+    let r_untrained = compute_dcam(untrained.as_gap_mut().unwrap(), &ds.samples[idx], 1, &cfg);
 
-    let protocol = Protocol { epochs: 40, patience: 15, seed: 5, ..Default::default() };
-    let (mut trained, outcome) =
-        build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+    let protocol = Protocol {
+        epochs: 40,
+        patience: 15,
+        seed: 5,
+        ..Default::default()
+    };
+    let (mut trained, outcome) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
     assert!(outcome.val_acc > 0.75);
     let r_trained = compute_dcam(trained.as_gap_mut().unwrap(), &ds.samples[idx], 1, &cfg);
 
@@ -79,7 +100,12 @@ fn ng_ratio_tracks_model_quality() {
 #[test]
 fn training_is_reproducible_across_runs() {
     let ds = type1_dataset(3);
-    let protocol = Protocol { epochs: 6, patience: 6, seed: 9, ..Default::default() };
+    let protocol = Protocol {
+        epochs: 6,
+        patience: 6,
+        seed: 9,
+        ..Default::default()
+    };
     let (_, o1) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
     let (_, o2) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
     assert_eq!(o1.history.train_loss, o2.history.train_loss);

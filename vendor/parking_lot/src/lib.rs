@@ -1,0 +1,42 @@
+//! Offline stand-in for `parking_lot`: wraps `std::sync::Mutex` behind the
+//! `parking_lot` API shape the workspace uses (`lock()` returning the guard
+//! directly, no poisoning).
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock` never returns a `Result`: a poisoned std mutex is
+/// recovered by taking the inner value (the data is plain-old numeric state
+/// everywhere this is used).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's data model is far more general; this crate provides the
+//! slice the workspace uses: `#[derive(Serialize)]` on plain result structs
+//! plus `serde_json::to_string{,_pretty}`. Serialization goes through one
+//! in-memory [`Value`] tree instead of serde's visitor machinery.
+
+// Lets the generated `impl ::serde::Serialize` resolve inside this crate's
+// own tests as well as in downstream crates.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as f64, like JSON itself.
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Field order is preserved (insertion order of the struct definition).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as f64;
+                // JSON has no NaN/inf; serialize them as null like serde_json.
+                if v.is_finite() { Value::Number(v) } else { Value::Null }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3usize.to_value(), Value::Number(3.0));
+        assert_eq!(f32::NAN.to_value(), Value::Null);
+        assert_eq!(None::<usize>.to_value(), Value::Null);
+        assert_eq!(
+            vec![("a".to_string(), 1.0f32)].to_value(),
+            Value::Array(vec![Value::Array(vec![
+                Value::String("a".into()),
+                Value::Number(1.0)
+            ])])
+        );
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        score: f32,
+        tags: Vec<usize>,
+    }
+
+    #[test]
+    fn derive_preserves_field_order() {
+        let d = Demo {
+            name: "x".into(),
+            score: 0.5,
+            tags: vec![1, 2],
+        };
+        match d.to_value() {
+            Value::Object(fields) => {
+                let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+                assert_eq!(names, ["name", "score", "tags"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! `#[derive(Serialize)]` for the offline serde stand-in.
+//!
+//! Hand-rolled token walking instead of `syn` (unavailable offline). Scope:
+//! non-generic structs with named fields — which is every derive site in the
+//! workspace. Anything else produces a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+
+    // Scan for `struct <Name>`, skipping attributes, visibility and doc
+    // comments that precede it.
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "struct" => {
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                        _ => return Err("expected a struct name".into()),
+                    }
+                    break;
+                }
+                "enum" | "union" => {
+                    return Err(
+                        "the offline serde stand-in only derives Serialize for structs \
+                         with named fields (see vendor/serde_derive)"
+                            .into(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    let name = name.ok_or_else(|| "no struct found in derive input".to_string())?;
+
+    // The brace group holding the fields. Generic structs would put `<`
+    // punctuation before it; reject those explicitly.
+    let mut fields_group = None;
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err(
+                    "generic structs are not supported by the offline serde stand-in".into(),
+                );
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields_group = Some(g);
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                return Err(
+                    "unit/tuple structs are not supported by the offline serde stand-in".into(),
+                );
+            }
+            _ => {}
+        }
+    }
+    let group = fields_group.ok_or_else(|| "expected named struct fields".to_string())?;
+
+    let fields = parse_field_names(group.stream())?;
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    code.parse()
+        .map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the token stream inside the struct braces:
+/// `[attrs] [pub] name : Type , ...`. Types are skipped wholesale; commas
+/// inside angle brackets are not field separators.
+fn parse_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip leading attributes (`#[...]` comes through as '#' + bracket
+        // group; doc comments arrive pre-converted to attributes).
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Field name (skipping an optional `pub` / `pub(...)`).
+        let ident = loop {
+            match iter.next() {
+                None => return Ok(names),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field `{ident}`")),
+        }
+        names.push(ident);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => return Ok(names),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
