@@ -1,0 +1,69 @@
+//! Criterion panel for the cross-instance batched explanation engine:
+//! aggregate cost of explaining N ∈ {1, 4, 16} concurrent instances through
+//! one `compute_dcam_many` call vs N sequential `compute_dcam` calls.
+//! Pin `DCAM_THREADS=1` for run-to-run comparability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcam::arch::cnn;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::dcam_many::{compute_dcam_many, DcamManyConfig, DcamRequest};
+use dcam::{InputEncoding, ModelScale};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::SeededRng;
+use std::time::Duration;
+
+const DIMS: usize = 20;
+const LEN: usize = 128;
+const K: usize = 100;
+
+fn series_set(n_inst: usize) -> Vec<MultivariateSeries> {
+    (0..n_inst)
+        .map(|i| {
+            let mut rng = SeededRng::new(50 + i as u64);
+            let rows: Vec<Vec<f32>> = (0..DIMS)
+                .map(|_| (0..LEN).map(|_| rng.normal()).collect())
+                .collect();
+            MultivariateSeries::from_rows(&rows)
+        })
+        .collect()
+}
+
+fn bench_cross_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcam_cross_instance");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_millis(500));
+    let mut rng = SeededRng::new(1);
+    let mut model = cnn(InputEncoding::Dcnn, DIMS, 2, ModelScale::Tiny, &mut rng);
+    let dcam_cfg = DcamConfig {
+        k: K,
+        only_correct: false,
+        seed: 3,
+        ..Default::default()
+    };
+    let many_cfg = DcamManyConfig {
+        dcam: dcam_cfg.clone(),
+        ..Default::default()
+    };
+    for n_inst in [1usize, 4, 16] {
+        let series = series_set(n_inst);
+        group.bench_with_input(BenchmarkId::new("batched", n_inst), &n_inst, |b, _| {
+            let requests: Vec<DcamRequest<'_>> = series
+                .iter()
+                .map(|series| DcamRequest { series, class: 0 })
+                .collect();
+            b.iter(|| compute_dcam_many(&mut model, &requests, &many_cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n_inst), &n_inst, |b, _| {
+            b.iter(|| {
+                for s in &series {
+                    std::hint::black_box(compute_dcam(&mut model, s, 0, &dcam_cfg));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_instance);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Perf-smoke regression gate: compares a freshly measured
+//! `BENCH_micro.json` against the committed baseline and fails (exit 1) if
+//! any tracked metric regresses by more than the threshold.
+//!
+//! Usage:
+//! `bench_compare <baseline.json> <candidate.json> [--max-regress 0.30]`
+//!
+//! Tracked metrics (matched structurally, so reordered rows still compare):
+//!
+//! * `matmul[n].new_gflops`            — higher is better
+//! * `conv[shape].im2col_fwd_ns`       — lower is better
+//! * `conv[shape].im2col_bwd_ns`       — lower is better
+//! * `dcam.new_ms`                     — lower is better
+//! * `dcam_many[n_instances].many_ms`  — lower is better
+//!
+//! Metrics present only in the candidate are reported but not compared
+//! (new benchmarks must not fail the first run that introduces them);
+//! metrics missing from the candidate fail the gate.
+
+use serde::Value;
+use std::process::ExitCode;
+
+struct Metric {
+    name: String,
+    baseline: f64,
+    /// True when larger values are better (throughput-style metrics).
+    higher_is_better: bool,
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn number(v: &Value, key: &str) -> Option<f64> {
+    match field(v, key) {
+        Some(Value::Number(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn rows<'a>(v: &'a Value, key: &str) -> Vec<&'a Value> {
+    match field(v, key) {
+        Some(Value::Array(items)) => items.iter().collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Finds the row of `rows` whose identity fields all match `want`.
+fn matching_row<'a>(rows: &[&'a Value], want: &[(&str, f64)]) -> Option<&'a Value> {
+    rows.iter()
+        .copied()
+        .find(|row| want.iter().all(|(k, v)| number(row, k) == Some(*v)))
+}
+
+fn tracked_metrics(report: &Value) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for row in rows(report, "matmul") {
+        if let (Some(n), Some(gf)) = (number(row, "n"), number(row, "new_gflops")) {
+            out.push(Metric {
+                name: format!("matmul[{n}].new_gflops"),
+                baseline: gf,
+                higher_is_better: true,
+            });
+        }
+    }
+    for row in rows(report, "conv") {
+        let id: Vec<String> = ["c_in", "c_out", "h", "w"]
+            .iter()
+            .filter_map(|k| number(row, k).map(|v| format!("{v}")))
+            .collect();
+        let shape = id.join("x");
+        for key in ["im2col_fwd_ns", "im2col_bwd_ns"] {
+            if let Some(v) = number(row, key) {
+                out.push(Metric {
+                    name: format!("conv[{shape}].{key}"),
+                    baseline: v,
+                    higher_is_better: false,
+                });
+            }
+        }
+    }
+    if let Some(dcam) = field(report, "dcam") {
+        if let Some(v) = number(dcam, "new_ms") {
+            out.push(Metric {
+                name: "dcam.new_ms".into(),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
+    for row in rows(report, "dcam_many") {
+        if let (Some(n), Some(v)) = (number(row, "n_instances"), number(row, "many_ms")) {
+            out.push(Metric {
+                name: format!("dcam_many[{n}].many_ms"),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
+    out
+}
+
+/// Looks the metric's current value up in the candidate report by the same
+/// structural path used to enumerate it.
+fn candidate_value(report: &Value, name: &str) -> Option<f64> {
+    if let Some(rest) = name.strip_prefix("matmul[") {
+        let (n, key) = rest.split_once("].")?;
+        return number(
+            matching_row(&rows(report, "matmul"), &[("n", n.parse().ok()?)])?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("conv[") {
+        let (shape, key) = rest.split_once("].")?;
+        let dims: Vec<f64> = shape.split('x').filter_map(|v| v.parse().ok()).collect();
+        let want: Vec<(&str, f64)> = ["c_in", "c_out", "h", "w"].into_iter().zip(dims).collect();
+        return number(matching_row(&rows(report, "conv"), &want)?, key);
+    }
+    if let Some(key) = name.strip_prefix("dcam.") {
+        return number(field(report, "dcam")?, key);
+    }
+    if let Some(rest) = name.strip_prefix("dcam_many[") {
+        let (n, key) = rest.split_once("].")?;
+        return number(
+            matching_row(
+                &rows(report, "dcam_many"),
+                &[("n_instances", n.parse().ok()?)],
+            )?,
+            key,
+        );
+    }
+    None
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    serde_json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut max_regress = 0.30f64;
+    let mut files = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--max-regress" {
+            max_regress = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-regress needs a fraction, e.g. 0.30");
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--max-regress 0.30]");
+        return ExitCode::from(2);
+    };
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+
+    let mut failures = 0usize;
+    println!(
+        "{:<42} {:>12} {:>12} {:>9}  verdict (allowed regression {:.0}%)",
+        "metric",
+        "baseline",
+        "candidate",
+        "change",
+        max_regress * 100.0
+    );
+    for m in tracked_metrics(&baseline) {
+        let Some(cand) = candidate_value(&candidate, &m.name) else {
+            println!(
+                "{:<42} {:>12.3} {:>12} {:>9}  FAIL (metric missing)",
+                m.name, m.baseline, "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        // Positive change = improvement in the metric's own direction.
+        let change = if m.higher_is_better {
+            cand / m.baseline - 1.0
+        } else {
+            m.baseline / cand - 1.0
+        };
+        let regressed = change < -max_regress;
+        println!(
+            "{:<42} {:>12.3} {:>12.3} {:>+8.1}%  {}",
+            m.name,
+            m.baseline,
+            cand,
+            change * 100.0,
+            if regressed { "FAIL" } else { "ok" }
+        );
+        if regressed {
+            failures += 1;
+        }
+    }
+    // Informational: new metrics only in the candidate.
+    for m in tracked_metrics(&candidate) {
+        if candidate_value(&baseline, &m.name).is_none() {
+            println!(
+                "{:<42} {:>12} {:>12.3} {:>9}  new (not compared)",
+                m.name, "-", m.baseline, "-"
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} tracked metric(s) regressed more than {:.0}%",
+            max_regress * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: all tracked metrics within budget");
+        ExitCode::SUCCESS
+    }
+}

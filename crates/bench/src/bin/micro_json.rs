@@ -13,6 +13,7 @@
 
 use dcam::arch::cnn;
 use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::dcam_many::{compute_dcam_many, DcamManyConfig, DcamRequest};
 use dcam::{InputEncoding, ModelScale};
 use dcam_nn::layers::{Conv2dRows, ConvStrategy, Layer};
 use dcam_series::MultivariateSeries;
@@ -56,10 +57,23 @@ struct DcamRow {
 }
 
 #[derive(Serialize)]
+struct DcamManyRow {
+    n_instances: usize,
+    max_batch: usize,
+    /// One `compute_dcam_many` call over all instances.
+    many_ms: f64,
+    per_instance_ms: f64,
+    /// N sequential single-instance `compute_dcam` calls (the PR 1 path).
+    sequential_ms: f64,
+    aggregate_speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
     dcam: DcamRow,
+    dcam_many: Vec<DcamManyRow>,
 }
 
 /// Best-of-`reps` wall time per call, in seconds.
@@ -274,6 +288,71 @@ fn dcam_seed_ms() -> f64 {
     ) * 1e3
 }
 
+/// Cross-instance engine vs N sequential `compute_dcam` calls, for
+/// N ∈ {1, 4, 16} concurrent instances (same model and shape as the
+/// single-instance row; run with `DCAM_THREADS=1` for comparable numbers).
+fn bench_dcam_many() -> Vec<DcamManyRow> {
+    let mut rng = SeededRng::new(1);
+    let mut model = cnn(
+        InputEncoding::Dcnn,
+        DCAM_DIMS,
+        2,
+        ModelScale::Tiny,
+        &mut rng,
+    );
+    let dcam_cfg = DcamConfig {
+        k: DCAM_K,
+        only_correct: false,
+        seed: 3,
+        ..Default::default()
+    };
+    let many_cfg = DcamManyConfig {
+        dcam: dcam_cfg.clone(),
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for n_inst in [1usize, 4, 16] {
+        let series: Vec<MultivariateSeries> = (0..n_inst)
+            .map(|i| {
+                let mut r = SeededRng::new(50 + i as u64);
+                let dims: Vec<Vec<f32>> = (0..DCAM_DIMS)
+                    .map(|_| (0..DCAM_LEN).map(|_| r.normal()).collect())
+                    .collect();
+                MultivariateSeries::from_rows(&dims)
+            })
+            .collect();
+        let sequential = best_of(
+            || {
+                for s in &series {
+                    std::hint::black_box(compute_dcam(&mut model, s, 0, &dcam_cfg));
+                }
+            },
+            1,
+            5,
+        );
+        let requests: Vec<DcamRequest<'_>> = series
+            .iter()
+            .map(|series| DcamRequest { series, class: 0 })
+            .collect();
+        let many = best_of(
+            || {
+                std::hint::black_box(compute_dcam_many(&mut model, &requests, &many_cfg));
+            },
+            1,
+            5,
+        );
+        rows.push(DcamManyRow {
+            n_instances: n_inst,
+            max_batch: many_cfg.max_batch,
+            many_ms: many * 1e3,
+            per_instance_ms: many * 1e3 / n_inst as f64,
+            sequential_ms: sequential * 1e3,
+            aggregate_speedup: sequential / many,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--dcam-seed-only") {
@@ -306,6 +385,9 @@ fn main() {
         }
     };
 
+    eprintln!("dcam_many (cross-instance engine, N in {{1, 4, 16}}) ...");
+    let dcam_many = bench_dcam_many();
+
     let report = Report {
         matmul,
         conv,
@@ -317,6 +399,7 @@ fn main() {
             seed_ms,
             speedup: seed_ms / new_ms,
         },
+        dcam_many,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -137,6 +137,23 @@ impl GapClassifier {
         (features, logits)
     }
 
+    /// [`GapClassifier::forward_with_features`] on the allocation-free
+    /// inference path: consumes the input batch and recycles every
+    /// intermediate activation through `arena` (see
+    /// [`dcam_nn::arena::BatchArena`]). The returned feature tensor's
+    /// storage should be handed back to the arena once the caller is done
+    /// with it.
+    pub fn forward_with_features_eval(
+        &mut self,
+        x: Tensor,
+        arena: &mut dcam_nn::BatchArena,
+    ) -> (Tensor, Tensor) {
+        let features = self.features.forward_eval(x, arena);
+        let pooled = self.gap.forward(&features, false);
+        let logits = self.head.forward(&pooled, false);
+        (features, logits)
+    }
+
     /// Encodes one series and returns its logits (batch of one).
     pub fn logits_for(&mut self, series: &MultivariateSeries) -> Tensor {
         let x = self.encoding.encode(series);

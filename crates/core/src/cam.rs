@@ -44,13 +44,54 @@ pub fn weighted_map_batch(
     let wrow = &class_weights.data()[class * n_f..(class + 1) * n_f];
     out.fill(0.0);
     for bi in 0..b {
-        let f_sample = &features.data()[bi * n_f * plane..(bi + 1) * n_f * plane];
-        let o = &mut out[bi * plane..(bi + 1) * plane];
-        for (m, &wm) in wrow.iter().enumerate() {
-            for (ov, &fv) in o.iter_mut().zip(&f_sample[m * plane..(m + 1) * plane]) {
-                *ov += wm * fv;
-            }
+        weighted_map_sample(
+            &features.data()[bi * n_f * plane..(bi + 1) * n_f * plane],
+            wrow,
+            plane,
+            &mut out[bi * plane..(bi + 1) * plane],
+        );
+    }
+}
+
+/// The shared CAM inner loop: one sample's feature planes × one weight row
+/// accumulated into the (already zeroed) output plane.
+fn weighted_map_sample(f_sample: &[f32], wrow: &[f32], plane: usize, o: &mut [f32]) {
+    for (m, &wm) in wrow.iter().enumerate() {
+        for (ov, &fv) in o.iter_mut().zip(&f_sample[m * plane..(m + 1) * plane]) {
+            *ov += wm * fv;
         }
+    }
+}
+
+/// [`weighted_map_batch`] with a *per-sample* target class: sample `bi`'s
+/// map is weighted by `class_weights` row `classes[bi]`.
+///
+/// The cross-instance batched dCAM engine packs permutations of different
+/// requests — each with its own explained class — into one forward
+/// mega-batch; this is the scatter that keeps their CAMs per-request.
+pub fn weighted_map_batch_classes(
+    features: &Tensor,
+    class_weights: &Tensor,
+    classes: &[usize],
+    out: &mut [f32],
+) {
+    let d = features.dims();
+    assert_eq!(d.len(), 4, "expected (B, n_f, H, W) features");
+    let (b, n_f, h, w) = (d[0], d[1], d[2], d[3]);
+    let cw = class_weights.dims();
+    assert_eq!(cw[1], n_f, "class weights must match feature count");
+    assert_eq!(classes.len(), b, "one class per sample");
+    let plane = h * w;
+    assert_eq!(out.len(), b * plane, "output length mismatch");
+    out.fill(0.0);
+    for (bi, &class) in classes.iter().enumerate() {
+        assert!(class < cw[0], "class out of range");
+        weighted_map_sample(
+            &features.data()[bi * n_f * plane..(bi + 1) * n_f * plane],
+            &class_weights.data()[class * n_f..(class + 1) * n_f],
+            plane,
+            &mut out[bi * plane..(bi + 1) * plane],
+        );
     }
 }
 

@@ -77,6 +77,220 @@ impl DcamResult {
     }
 }
 
+/// Samples the `k` dimension permutations of one dCAM computation —
+/// identical for every engine so batched and per-instance runs agree.
+pub(crate) fn sample_perms(d: usize, cfg: &DcamConfig) -> Vec<Vec<usize>> {
+    let mut rng = SeededRng::new(cfg.seed);
+    let mut perms: Vec<Vec<usize>> = Vec::with_capacity(cfg.k);
+    if cfg.include_identity {
+        perms.push((0..d).collect());
+    }
+    while perms.len() < cfg.k {
+        perms.push(rng.permutation(d));
+    }
+    perms
+}
+
+/// Assembles one permuted cube `C(S_T)` into `dst` (`D²·n` elements) by
+/// `D²` straight row copies: `C(S_T)[p, r, t] = T^(perm[(p+r) mod D])[t]`.
+pub(crate) fn assemble_cube(sd: &[f32], d: usize, n: usize, perm: &[usize], dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), d * d * n);
+    for p in 0..d {
+        for r in 0..d {
+            let src_dim = perm[(p + r) % d];
+            let src = &sd[src_dim * n..(src_dim + 1) * n];
+            dst[(p * d + r) * n..(p * d + r + 1) * n].copy_from_slice(src);
+        }
+    }
+}
+
+/// Running `M`-transformation sums of one dCAM computation: permutations
+/// that count toward the configured result (`contrib`) and the rest, so the
+/// `contributors == 0` fallback can reuse the already-computed
+/// contributions without re-running any forward.
+pub(crate) struct MAccumulator {
+    d: usize,
+    n: usize,
+    m_contrib: Vec<f32>,
+    m_rest: Vec<f32>,
+    /// Number of permutations classified as the target class so far.
+    pub ng: usize,
+    /// Number of permutations accumulated so far.
+    pub seen: usize,
+}
+
+impl MAccumulator {
+    pub fn new(d: usize, n: usize) -> Self {
+        let plane_m = d * d * n;
+        MAccumulator {
+            d,
+            n,
+            m_contrib: vec![0.0f32; plane_m],
+            m_rest: vec![0.0f32; plane_m],
+            ng: 0,
+            seen: 0,
+        }
+    }
+
+    /// Folds one batch of per-permutation CAMs (`cam` holds `D·n` rows per
+    /// sample) into the running sums; `correct[bi]` is whether sample `bi`
+    /// was classified as the target class. The `M` re-indexing is
+    /// parallelized across the batch's permutations.
+    pub fn add_batch(
+        &mut self,
+        batch_perms: &[Vec<usize>],
+        cam: &[f32],
+        correct: &[bool],
+        only_correct: bool,
+    ) {
+        let (d, n) = (self.d, self.n);
+        let plane_m = d * d * n;
+        let bs = batch_perms.len();
+        debug_assert_eq!(cam.len(), bs * d * n);
+        debug_assert_eq!(correct.len(), bs);
+        self.ng += correct.iter().filter(|&&c| c).count();
+        self.seen += bs;
+
+        // Single-threaded (or single-sample) fast path: accumulate straight
+        // into the running sums — no thread-local temporary, no zeroing or
+        // merge pass over the 2·D²·n accumulator per batch. The scatter is
+        // grouped so each `[dim, p]` run of the (cache-exceeding) target is
+        // streamed once per *batch*, summing every sample's contribution
+        // into it, instead of once per sample.
+        if dcam_nn::thread_count() <= 1 || bs == 1 {
+            let slots: Vec<Vec<usize>> = batch_perms
+                .iter()
+                .map(|perm| {
+                    let mut slot_of = vec![0usize; d];
+                    for (j, &dim) in perm.iter().enumerate() {
+                        slot_of[dim] = j;
+                    }
+                    slot_of
+                })
+                .collect();
+            for (target, wants_contrib) in [(&mut self.m_contrib, true), (&mut self.m_rest, false)]
+            {
+                let group: Vec<usize> = (0..bs)
+                    .filter(|&bi| (correct[bi] || !only_correct) == wants_contrib)
+                    .collect();
+                if group.is_empty() {
+                    continue;
+                }
+                for dim in 0..d {
+                    for p in 0..d {
+                        let dst_base = (dim * d + p) * n;
+                        let dst = &mut target[dst_base..dst_base + n];
+                        for &bi in &group {
+                            let r = cube::idx(slots[bi][dim], p, d);
+                            let src = &cam[bi * d * n + r * n..bi * d * n + (r + 1) * n];
+                            for (t, &v) in dst.iter_mut().zip(src) {
+                                *t += v;
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        // Original dim `dim` sits in slot `j` (perm[j] = dim); at position p
+        // it appears in row (j - p) mod D. Accumulator: [contrib | rest].
+        let acc = par_accumulate(bs, 2 * plane_m, &|bi, acc| {
+            let perm = &batch_perms[bi];
+            let cam = &cam[bi * d * n..(bi + 1) * d * n];
+            let counts = correct[bi] || !only_correct;
+            let (contrib, rest) = acc.split_at_mut(plane_m);
+            let target = if counts { contrib } else { rest };
+            let mut slot_of = vec![0usize; d];
+            for (j, &dim) in perm.iter().enumerate() {
+                slot_of[dim] = j;
+            }
+            for dim in 0..d {
+                let j = slot_of[dim];
+                for p in 0..d {
+                    let r = cube::idx(j, p, d);
+                    let src = &cam[r * n..(r + 1) * n];
+                    let dst_base = (dim * d + p) * n;
+                    for (t, &v) in target[dst_base..dst_base + n].iter_mut().zip(src) {
+                        *t += v;
+                    }
+                }
+            }
+        });
+        for (m, a) in self.m_contrib.iter_mut().zip(&acc[..plane_m]) {
+            *m += a;
+        }
+        for (m, a) in self.m_rest.iter_mut().zip(&acc[plane_m..]) {
+            *m += a;
+        }
+    }
+
+    /// Merges, averages and extracts the Definition-3 map (§4.4.2–§4.4.3),
+    /// applying the all-permutations fallback when nothing contributed.
+    pub fn finalize(self, only_correct: bool, k: usize) -> DcamResult {
+        let (d, n, ng) = (self.d, self.n, self.ng);
+        let contributors = if only_correct { ng } else { self.seen };
+        // Fall back to all permutations if none were classified correctly:
+        // an all-zero M̄ would make the result meaningless and the paper's
+        // n_g proxy already signals the low quality to the caller.
+        let mut m_sum = self.m_contrib;
+        let denom = if contributors > 0 {
+            contributors
+        } else {
+            for (c, r) in m_sum.iter_mut().zip(&self.m_rest) {
+                *c += r;
+            }
+            self.seen
+        };
+
+        for m in &mut m_sum {
+            *m /= denom as f32;
+        }
+        let mbar = Tensor::from_vec(m_sum, &[d, d, n]).expect("mbar shape");
+
+        // μ(M̄)_t = Σ_{d,p} M̄[d,p,t] / (2D)  (Def. 3 / §4.4.3).
+        let mut mu = vec![0.0f32; n];
+        for dim in 0..d {
+            for p in 0..d {
+                let base = (dim * d + p) * n;
+                for (m, &v) in mu.iter_mut().zip(&mbar.data()[base..base + n]) {
+                    *m += v;
+                }
+            }
+        }
+        for m in &mut mu {
+            *m /= (2 * d) as f32;
+        }
+
+        // dCAM[d, t] = Var_p(M̄[d, ·, t]) · μ_t.
+        let mut dcam = Tensor::zeros(&[d, n]);
+        for dim in 0..d {
+            for t in 0..n {
+                let mut mean = 0.0f32;
+                for p in 0..d {
+                    mean += mbar.data()[(dim * d + p) * n + t];
+                }
+                mean /= d as f32;
+                let mut var = 0.0f32;
+                for p in 0..d {
+                    let v = mbar.data()[(dim * d + p) * n + t] - mean;
+                    var += v * v;
+                }
+                var /= d as f32;
+                dcam.data_mut()[dim * n + t] = var * mu[t];
+            }
+        }
+
+        DcamResult {
+            dcam,
+            mbar,
+            mu,
+            ng,
+            k,
+        }
+    }
+}
+
 /// Computes the dCAM of `series` for `class` with a trained d-architecture.
 ///
 /// The classifier must use the [`InputEncoding::Dcnn`] encoding (dCNN,
@@ -108,28 +322,13 @@ pub fn compute_dcam(
     assert!(cfg.k >= 1, "need at least one permutation");
     let d = series.n_dims();
     let n = series.len();
-    let mut rng = SeededRng::new(cfg.seed);
 
     // The k permutations (slot j of permutation holds original dim perm[j]).
-    let mut perms: Vec<Vec<usize>> = Vec::with_capacity(cfg.k);
-    if cfg.include_identity {
-        perms.push((0..d).collect());
-    }
-    while perms.len() < cfg.k {
-        perms.push(rng.permutation(d));
-    }
+    let perms = sample_perms(d, cfg);
 
     let sd = series.tensor().data();
-    let plane_m = d * d * n;
     let plane_cube = d * d * n;
-    // Two running sums: permutations that count toward the configured
-    // result ("contrib": the correctly classified ones, or all of them when
-    // `only_correct` is off) and the rest. Keeping both lets the
-    // `contributors == 0` fallback reuse the already-computed per-
-    // permutation contributions instead of re-running all k forwards.
-    let mut m_contrib = vec![0.0f32; plane_m];
-    let mut m_rest = vec![0.0f32; plane_m];
-    let mut ng = 0usize;
+    let mut acc = MAccumulator::new(d, n);
 
     let batch = cfg.batch.max(1);
     let mut cube_buf: Vec<f32> = Vec::new();
@@ -144,14 +343,13 @@ pub fn compute_dcam(
         // Assemble the batch of permuted cubes by row-rotation copies.
         cube_buf.resize(bs * plane_cube, 0.0);
         for (bi, perm) in batch_perms.iter().enumerate() {
-            let sample = &mut cube_buf[bi * plane_cube..(bi + 1) * plane_cube];
-            for p in 0..d {
-                for r in 0..d {
-                    let src_dim = perm[(p + r) % d];
-                    let src = &sd[src_dim * n..(src_dim + 1) * n];
-                    sample[(p * d + r) * n..(p * d + r + 1) * n].copy_from_slice(src);
-                }
-            }
+            assemble_cube(
+                sd,
+                d,
+                n,
+                perm,
+                &mut cube_buf[bi * plane_cube..(bi + 1) * plane_cube],
+            );
         }
         // Move the buffer into a Tensor for the forward pass and reclaim it
         // afterwards — no copy in either direction.
@@ -168,104 +366,12 @@ pub fn compute_dcam(
         let correct: Vec<bool> = (0..bs)
             .map(|bi| argmax(&logits.data()[bi * k_classes..(bi + 1) * k_classes]) == Some(class))
             .collect();
-        ng += correct.iter().filter(|&&c| c).count();
 
-        // M transformation, parallel over the batch's permutations: original
-        // dim `dim` sits in slot `j` (perm[j] = dim); at position p it
-        // appears in row (j - p) mod D. Accumulator layout: [contrib | rest].
-        let cam_ref: &[f32] = &cam_buf;
-        let correct_ref: &[bool] = &correct;
-        let acc = par_accumulate(bs, 2 * plane_m, &|bi, acc| {
-            let perm = &batch_perms[bi];
-            let cam = &cam_ref[bi * d * n..(bi + 1) * d * n];
-            let counts = correct_ref[bi] || !cfg.only_correct;
-            let (contrib, rest) = acc.split_at_mut(plane_m);
-            let target = if counts { contrib } else { rest };
-            let mut slot_of = vec![0usize; d];
-            for (j, &dim) in perm.iter().enumerate() {
-                slot_of[dim] = j;
-            }
-            for dim in 0..d {
-                let j = slot_of[dim];
-                for p in 0..d {
-                    let r = cube::idx(j, p, d);
-                    let src = &cam[r * n..(r + 1) * n];
-                    let dst_base = (dim * d + p) * n;
-                    for (t, &v) in target[dst_base..dst_base + n].iter_mut().zip(src) {
-                        *t += v;
-                    }
-                }
-            }
-        });
-        for (m, a) in m_contrib.iter_mut().zip(&acc[..plane_m]) {
-            *m += a;
-        }
-        for (m, a) in m_rest.iter_mut().zip(&acc[plane_m..]) {
-            *m += a;
-        }
+        acc.add_batch(batch_perms, &cam_buf, &correct, cfg.only_correct);
         start = end;
     }
 
-    let contributors = if cfg.only_correct { ng } else { perms.len() };
-    // Fall back to all permutations if none were classified correctly: an
-    // all-zero M̄ would make the result meaningless and the paper's n_g
-    // proxy already signals the low quality to the caller. The per-
-    // permutation contributions are already in `m_rest`, so no forward pass
-    // is repeated.
-    let (mut m_sum, denom) = if contributors > 0 {
-        (m_contrib, contributors)
-    } else {
-        for (c, r) in m_contrib.iter_mut().zip(&m_rest) {
-            *c += r;
-        }
-        (m_contrib, perms.len())
-    };
-
-    for m in &mut m_sum {
-        *m /= denom as f32;
-    }
-    let mbar = Tensor::from_vec(m_sum, &[d, d, n]).expect("mbar shape");
-
-    // μ(M̄)_t = Σ_{d,p} M̄[d,p,t] / (2D)  (Def. 3 / §4.4.3).
-    let mut mu = vec![0.0f32; n];
-    for dim in 0..d {
-        for p in 0..d {
-            let base = (dim * d + p) * n;
-            for (m, &v) in mu.iter_mut().zip(&mbar.data()[base..base + n]) {
-                *m += v;
-            }
-        }
-    }
-    for m in &mut mu {
-        *m /= (2 * d) as f32;
-    }
-
-    // dCAM[d, t] = Var_p(M̄[d, ·, t]) · μ_t.
-    let mut dcam = Tensor::zeros(&[d, n]);
-    for dim in 0..d {
-        for t in 0..n {
-            let mut mean = 0.0f32;
-            for p in 0..d {
-                mean += mbar.data()[(dim * d + p) * n + t];
-            }
-            mean /= d as f32;
-            let mut var = 0.0f32;
-            for p in 0..d {
-                let v = mbar.data()[(dim * d + p) * n + t] - mean;
-                var += v * v;
-            }
-            var /= d as f32;
-            dcam.data_mut()[dim * n + t] = var * mu[t];
-        }
-    }
-
-    DcamResult {
-        dcam,
-        mbar,
-        mu,
-        ng,
-        k: cfg.k,
-    }
+    acc.finalize(cfg.only_correct, cfg.k)
 }
 
 #[cfg(test)]

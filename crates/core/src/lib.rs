@@ -51,6 +51,7 @@ pub mod aggregate;
 pub mod arch;
 pub mod cam;
 pub mod dcam;
+pub mod dcam_many;
 pub mod knn;
 pub mod model;
 pub mod occlusion;
@@ -59,6 +60,9 @@ pub mod viz;
 
 pub use arch::{GapClassifier, InputEncoding, ModelScale};
 pub use dcam::{compute_dcam, DcamConfig, DcamResult};
+pub use dcam_many::{
+    compute_dcam_many, DcamBatcher, DcamBatcherConfig, DcamManyConfig, DcamRequest, Ticket,
+};
 pub use model::{ArchKind, Classifier};
 
 /// Grad-CAM support lives with the MTEX architecture; re-exported here for

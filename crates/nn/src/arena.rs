@@ -1,0 +1,155 @@
+//! Buffer arena for the allocation-free inference path.
+//!
+//! The evaluation forward of a deep net ping-pongs between a handful of
+//! activation buffers whose sizes are fixed by the largest mega-batch it
+//! serves. [`BatchArena`] keeps those buffers alive between layers and
+//! between forward calls: a layer *takes* a destination buffer, moves its
+//! (consumed) input buffer back into the arena, and the next mega-batch —
+//! or the next layer — reuses them. After the first forward at a given
+//! mega-batch size, the steady state performs no allocation and no
+//! redundant zeroing; the arena's footprint is keyed on the largest batch
+//! it has seen.
+
+/// A recycling pool of `f32` buffers shared by an inference session.
+///
+/// Buffers handed out by [`BatchArena::take`] contain arbitrary stale data;
+/// the caller contract is to fully overwrite them (every consumer in the
+/// eval path writes its complete output). [`BatchArena::give`] returns a
+/// buffer to the pool; [`BatchArena::recycle`] does the same for a spent
+/// `Tensor`.
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    free: Vec<Vec<f32>>,
+}
+
+impl BatchArena {
+    /// Maximum number of pooled buffers (see [`BatchArena::give`]).
+    pub const MAX_POOLED: usize = 16;
+
+    /// An empty arena.
+    pub fn new() -> Self {
+        BatchArena::default()
+    }
+
+    /// Hands out a buffer of exactly `len` elements with **arbitrary
+    /// contents**: the best-fitting free buffer (smallest capacity ≥ `len`),
+    /// else the largest free buffer grown to size, else a fresh allocation.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut pick: Option<usize> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            let better = match pick {
+                None => true,
+                Some(j) => {
+                    let (cp, cj) = (b.capacity(), self.free[j].capacity());
+                    if cj >= len {
+                        cp >= len && cp < cj
+                    } else {
+                        cp > cj
+                    }
+                }
+            };
+            if better {
+                pick = Some(i);
+            }
+        }
+        let mut buf = match pick {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::new(),
+        };
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    ///
+    /// The pool is capped at [`BatchArena::MAX_POOLED`] buffers: execution
+    /// paths that donate buffers without ever taking any (the direct-conv
+    /// fallback allocates its outputs itself) must not grow a long-lived
+    /// arena without bound. When full, the incoming buffer replaces the
+    /// smallest pooled one if it is larger, and is dropped otherwise.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.free.len() < Self::MAX_POOLED {
+            self.free.push(buf);
+            return;
+        }
+        if let Some(smallest) = (0..self.free.len()).min_by_key(|&i| self.free[i].capacity()) {
+            if self.free[smallest].capacity() < buf.capacity() {
+                self.free[smallest] = buf;
+            }
+        }
+    }
+
+    /// Returns a spent tensor's backing storage to the pool.
+    pub fn recycle(&mut self, t: dcam_tensor::Tensor) {
+        self.give(t.into_vec());
+    }
+
+    /// Number of buffers currently pooled (for tests/diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total pooled capacity in elements (for tests/diagnostics).
+    pub fn pooled_elems(&self) -> usize {
+        self.free.iter().map(|b| b.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_prefers_best_fit() {
+        let mut a = BatchArena::new();
+        a.give(Vec::with_capacity(100));
+        a.give(Vec::with_capacity(10));
+        let b = a.take(8);
+        assert!(
+            b.capacity() >= 8 && b.capacity() < 100,
+            "picked the big one"
+        );
+        assert_eq!(b.len(), 8);
+        assert_eq!(a.pooled(), 1);
+    }
+
+    #[test]
+    fn take_grows_largest_when_nothing_fits() {
+        let mut a = BatchArena::new();
+        a.give(Vec::with_capacity(4));
+        a.give(Vec::with_capacity(16));
+        let b = a.take(32);
+        assert_eq!(b.len(), 32);
+        // The 16-capacity buffer was grown; the 4-capacity one remains.
+        assert_eq!(a.pooled(), 1);
+        assert!(a.pooled_elems() <= 8);
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        let mut a = BatchArena::new();
+        for i in 0..3 * BatchArena::MAX_POOLED {
+            a.give(Vec::with_capacity(8 + i));
+        }
+        assert_eq!(a.pooled(), BatchArena::MAX_POOLED);
+        // The survivors are the largest donations.
+        let min_cap = 8 + 3 * BatchArena::MAX_POOLED - BatchArena::MAX_POOLED;
+        for i in 0..BatchArena::MAX_POOLED {
+            let b = a.take(1);
+            assert!(b.capacity() >= min_cap, "buffer {i} too small");
+        }
+    }
+
+    #[test]
+    fn steady_state_reuses_one_buffer() {
+        let mut a = BatchArena::new();
+        let b = a.take(64);
+        let ptr = b.as_ptr();
+        a.give(b);
+        let b2 = a.take(64);
+        assert_eq!(b2.as_ptr(), ptr, "buffer was not reused");
+    }
+}

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::arena::BatchArena;
 use crate::Param;
 use dcam_tensor::Tensor;
 
@@ -61,6 +62,13 @@ impl Layer for ActLayer {
         y
     }
 
+    fn forward_eval(&mut self, mut x: Tensor, _arena: &mut BatchArena) -> Tensor {
+        for v in x.data_mut() {
+            *v = self.act.apply(*v);
+        }
+        x
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let y = self
             .cache_y
@@ -88,6 +96,9 @@ impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         self.0.forward(x, train)
     }
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        self.0.forward_eval(x, arena)
+    }
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         self.0.backward(grad_out)
     }
@@ -111,6 +122,9 @@ impl Layer for Tanh {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         self.0.forward(x, train)
     }
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        self.0.forward_eval(x, arena)
+    }
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         self.0.backward(grad_out)
     }
@@ -133,6 +147,9 @@ impl Sigmoid {
 impl Layer for Sigmoid {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         self.0.forward(x, train)
+    }
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        self.0.forward_eval(x, arena)
     }
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         self.0.backward(grad_out)

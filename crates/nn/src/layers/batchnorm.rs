@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::arena::BatchArena;
 use crate::Param;
 use dcam_tensor::Tensor;
 
@@ -123,6 +124,29 @@ impl Layer for BatchNorm {
             }
         }
         y
+    }
+
+    fn forward_eval(&mut self, mut x: Tensor, _arena: &mut BatchArena) -> Tensor {
+        // Eval-mode normalization with running statistics, in place: the
+        // arithmetic is element-for-element identical to the `forward`
+        // eval branch, only the output buffer is the input's.
+        let [n, c, h, w] = self.check(&x);
+        let plane = h * w;
+        let gd = self.gamma.value.data();
+        let bd = self.beta.value.data();
+        let xd = x.data_mut();
+        for ci in 0..c {
+            let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+            let mean = self.running_mean[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for v in &mut xd[base..base + plane] {
+                    let xh = (*v - mean) * istd;
+                    *v = gd[ci] * xh + bd[ci];
+                }
+            }
+        }
+        x
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -1,4 +1,5 @@
 use super::Layer;
+use crate::arena::BatchArena;
 use crate::Param;
 use dcam_tensor::Tensor;
 
@@ -41,6 +42,14 @@ impl Layer for Sequential {
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        let mut cur = x;
+        for layer in &mut self.layers {
+            cur = layer.forward_eval(cur, arena);
         }
         cur
     }
@@ -100,6 +109,24 @@ impl Layer for Residual {
             self.shortcut.forward(x, train)
         };
         main.add(&side).expect("residual branch shapes must agree")
+    }
+
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        // Both branches need the input: duplicate it through the arena so
+        // the copy's storage is recycled rather than allocated per block.
+        let mut side_buf = arena.take(x.len());
+        side_buf.copy_from_slice(x.data());
+        let x_side = Tensor::from_vec(side_buf, x.dims()).expect("residual input copy");
+        let mut main = self.main.forward_eval(x, arena);
+        let side = if self.shortcut.is_empty() {
+            x_side
+        } else {
+            self.shortcut.forward_eval(x_side, arena)
+        };
+        main.add_assign(&side)
+            .expect("residual branch shapes must agree");
+        arena.recycle(side);
+        main
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -49,6 +49,11 @@ impl Layer for Dropout {
         y
     }
 
+    fn forward_eval(&mut self, x: Tensor, _arena: &mut crate::arena::BatchArena) -> Tensor {
+        // Inverted dropout is the identity at evaluation time.
+        x
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match self.cache_mask.take() {
             Some(mask) => grad_out.mul(&mask).expect("dropout grad"),

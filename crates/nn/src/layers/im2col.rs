@@ -92,6 +92,80 @@ pub(crate) fn im2col(g: &ConvGeom, x_sample: &[f32], cols: &mut [f32]) {
     }
 }
 
+/// One panel of [`im2col`] in the GEMM's packed layout: writes columns
+/// `[jp·NR, jp·NR + NR)` of the patch matrix as a `col_rows × NR` tile
+/// (zero-padded past the last real column). The fused inference path
+/// streams these panels through a single L1-resident scratch buffer inside
+/// `dcam_tensor::gemm_packed_panel_batch`, so the full patch matrix — the
+/// dominant memory traffic of the per-sample im2col strategy — never
+/// exists at all.
+pub(crate) fn im2col_panel(g: &ConvGeom, x_sample: &[f32], jp: usize, dst: &mut [f32]) {
+    let nr = dcam_tensor::GEMM_NR;
+    let (l, s, p_pad, h, w, wo) = (g.l, g.s, g.pad_left, g.h, g.w, g.wo);
+    let (k, n) = (g.col_rows(), g.col_cols());
+    debug_assert_eq!(x_sample.len(), g.c_in * h * w);
+    debug_assert_eq!(dst.len(), k * nr);
+    let j0 = jp * nr;
+    let jend = (j0 + nr).min(n);
+    debug_assert!(j0 < n, "panel index out of range");
+    let width = jend - j0;
+
+    // Decompose the panel's columns into row-of-`H` segments once — the
+    // split is identical for every one of the `k` patch rows, so the hot
+    // per-row loop below is pure clamps + memcpy (no division).
+    // At most `GEMM_NR` segments (each covers ≥ 1 column).
+    let mut segs = [(0usize, 0usize, 0usize, 0usize); dcam_tensor::GEMM_NR];
+    let mut n_segs = 0;
+    {
+        let mut j = j0;
+        while j < jend {
+            let hi = j / wo;
+            let wi_start = j % wo;
+            let seg_end = ((hi + 1) * wo).min(jend);
+            segs[n_segs] = (hi, wi_start, seg_end - j, j - j0);
+            n_segs += 1;
+            j = seg_end;
+        }
+    }
+
+    for ci in 0..g.c_in {
+        for li in 0..l {
+            let p = ci * l + li;
+            let row = &mut dst[p * nr..(p + 1) * nr];
+            row[width..].fill(0.0);
+            if s == 1 {
+                // Same saturated bounds as the row-major im2col.
+                let wi_lo = p_pad.saturating_sub(li).min(wo);
+                let wi_hi = (w + p_pad).saturating_sub(li).min(wo).max(wi_lo);
+                for &(hi, wi_start, seg, d0) in &segs[..n_segs] {
+                    let a = wi_start.max(wi_lo).min(wi_start + seg);
+                    let b = (wi_start + seg).min(wi_hi).max(a);
+                    row[d0..d0 + (a - wi_start)].fill(0.0);
+                    if a < b {
+                        let x_row = &x_sample[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                        let base = a + li - p_pad;
+                        row[d0 + (a - wi_start)..d0 + (b - wi_start)]
+                            .copy_from_slice(&x_row[base..base + (b - a)]);
+                    }
+                    row[d0 + (b - wi_start)..d0 + seg].fill(0.0);
+                }
+            } else {
+                for &(hi, wi_start, seg, d0) in &segs[..n_segs] {
+                    let x_row = &x_sample[(ci * h + hi) * w..(ci * h + hi + 1) * w];
+                    for off in 0..seg {
+                        let src = (wi_start + off) * s + li;
+                        row[d0 + off] = if src >= p_pad && src - p_pad < w {
+                            x_row[src - p_pad]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Inverse of [`im2col`] for gradients: scatter-adds the patch-matrix
 /// gradient back onto the input-sample gradient (`+=`, callers pass a
 /// zeroed or accumulating buffer).
@@ -223,6 +297,36 @@ mod tests {
         col2im_acc(&g, &c, &mut back);
         let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_panel_matches_im2col_plus_pack() {
+        use dcam_tensor::{pack_b_into, packed_b_len, GEMM_NR};
+        for &(c_in, l, s, p, h, w) in &[
+            (1usize, 3usize, 1usize, 1usize, 1usize, 8usize),
+            (2, 4, 1, 2, 3, 10),
+            (3, 3, 2, 0, 2, 11),
+            (20, 3, 1, 1, 20, 128), // dCAM-shaped: exercises panel splits
+            (2, 6, 1, 3, 2, 1),
+            (4, 5, 1, 2, 3, 23), // H-row boundaries inside a panel
+        ] {
+            let g = geom(c_in, l, s, p, h, w);
+            let x: Vec<f32> = (0..c_in * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+            let (k, n) = (g.col_rows(), g.col_cols());
+            let mut rowmajor = vec![0.0; g.col_len()];
+            im2col(&g, &x, &mut rowmajor);
+            let mut want = vec![0.0; packed_b_len(k, n)];
+            pack_b_into(k, n, &rowmajor, &mut want);
+            for jp in 0..n.div_ceil(GEMM_NR) {
+                let mut got = vec![f32::NAN; k * GEMM_NR];
+                im2col_panel(&g, &x, jp, &mut got);
+                assert_eq!(
+                    got,
+                    want[jp * k * GEMM_NR..(jp + 1) * k * GEMM_NR],
+                    "geom {c_in},{l},{s},{p},{h},{w} panel {jp}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub use dense::Dense;
 pub use dropout::Dropout;
 pub use pooling::{GlobalAvgPool, MaxPoolW};
 
+use crate::arena::BatchArena;
 use crate::Param;
 use dcam_tensor::Tensor;
 
@@ -41,6 +42,21 @@ pub trait Layer: Send {
     /// output) backward, accumulating parameter gradients and returning the
     /// gradient w.r.t. the layer input.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Evaluation-mode forward that *consumes* its input and recycles
+    /// buffers through `arena` — the allocation-free inference path used by
+    /// the batched explanation engine.
+    ///
+    /// Semantically identical to `forward(&x, false)` (layers override it
+    /// only to reuse storage: in-place activations and batch-norm, the
+    /// fused im2col+GEMM convolution); callers that still need the input
+    /// afterwards must clone it first. The default implementation falls
+    /// back to `forward` and returns the input's storage to the arena.
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        let y = self.forward(&x, false);
+        arena.recycle(x);
+        y
+    }
 
     /// Visits every trainable parameter in a construction-stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
@@ -66,6 +82,9 @@ pub trait Layer: Send {
 impl Layer for Box<dyn Layer> {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         (**self).forward(x, train)
+    }
+    fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        (**self).forward_eval(x, arena)
     }
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         (**self).backward(grad_out)

@@ -49,6 +49,7 @@
 //! assert!(history.train_loss.last().unwrap() < &0.2);
 //! ```
 
+pub mod arena;
 pub mod checkpoint;
 pub mod gradcheck;
 mod init;
@@ -60,6 +61,7 @@ mod param;
 pub mod recurrent;
 pub mod trainer;
 
+pub use arena::BatchArena;
 pub use init::{kaiming, xavier};
 pub use layers::Layer;
 pub use parallel::{par_accumulate, par_chunk_zip, thread_count};

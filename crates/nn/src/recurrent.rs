@@ -8,70 +8,86 @@
 
 use crate::layers::Layer;
 use crate::{init, Param};
-use dcam_tensor::{SeededRng, Tensor};
+use dcam_tensor::{gemm_nn, gemm_nt, gemm_tn, SeededRng, Tensor};
 
-/// Extracts time slice `t` from an `(N, D, n)` tensor as `(N, D)`.
-fn time_slice(x: &Tensor, t: usize) -> Tensor {
+/// Extracts time slice `t` from an `(N, D, n)` tensor into `out` (`N·D`,
+/// row-major `(N, D)`). The buffer is reused across every step of a
+/// forward/backward pass, so slicing allocates nothing per step.
+fn time_slice_into(x: &Tensor, t: usize, out: &mut [f32]) {
     let d = x.dims();
     let (n, feat, steps) = (d[0], d[1], d[2]);
-    let mut out = Tensor::zeros(&[n, feat]);
+    debug_assert_eq!(out.len(), n * feat);
     for ni in 0..n {
         for fi in 0..feat {
-            out.data_mut()[ni * feat + fi] = x.data()[(ni * feat + fi) * steps + t];
+            out[ni * feat + fi] = x.data()[(ni * feat + fi) * steps + t];
         }
     }
-    out
 }
 
-/// Adds an `(N, D)` gradient into slice `t` of an `(N, D, n)` gradient tensor.
-fn scatter_time(grad_x: &mut Tensor, g: &Tensor, t: usize) {
+/// Adds an `(N, D)` gradient slice into time step `t` of an `(N, D, n)`
+/// gradient tensor.
+fn scatter_time(grad_x: &mut Tensor, g: &[f32], t: usize) {
     let d = grad_x.dims();
     let (n, feat, steps) = (d[0], d[1], d[2]);
+    debug_assert_eq!(g.len(), n * feat);
     for ni in 0..n {
         for fi in 0..feat {
-            grad_x.data_mut()[(ni * feat + fi) * steps + t] += g.data()[ni * feat + fi];
+            grad_x.data_mut()[(ni * feat + fi) * steps + t] += g[ni * feat + fi];
         }
     }
 }
 
-/// `x Wx^T + h Wh^T + b` for a batch: the shared affine step of every cell.
-fn affine(x: &Tensor, h: &Tensor, wx: &Tensor, wh: &Tensor, b: &Tensor) -> Tensor {
-    let mut z = x.matmul_nt(wx).expect("x projection");
-    let zh = h.matmul_nt(wh).expect("h projection");
-    z.add_assign(&zh).expect("gate add");
-    let (n, hd) = (z.dims()[0], z.dims()[1]);
-    for ni in 0..n {
-        for k in 0..hd {
-            z.data_mut()[ni * hd + k] += b.data()[k];
+/// `z = x Wxᵀ + h Whᵀ + b` for a batch — the shared affine step of every
+/// cell, running on the slice-level GEMM entry points straight into the
+/// caller's reused `z` buffer (`nb × hidden`): zero per-step allocation.
+fn affine_into(
+    x: &[f32],
+    h: &[f32],
+    wx: &Tensor,
+    wh: &Tensor,
+    b: &Tensor,
+    nb: usize,
+    z: &mut [f32],
+) {
+    let (hd, feat) = (wx.dims()[0], wx.dims()[1]);
+    debug_assert_eq!(z.len(), nb * hd);
+    gemm_nt(nb, feat, hd, x, wx.data(), z, false);
+    gemm_nt(nb, hd, hd, h, wh.data(), z, true);
+    for row in z.chunks_mut(hd) {
+        for (v, &bv) in row.iter_mut().zip(b.data()) {
+            *v += bv;
         }
     }
-    z
 }
 
-/// Accumulates the parameter gradients of one affine step:
-/// `dWx += g^T x`, `dWh += g^T h`, `db += column-sums(g)`,
-/// and returns `(g Wx, g Wh)` — gradients flowing to `x` and `h`.
-fn affine_backward(
-    g: &Tensor,
-    x: &Tensor,
-    h: &Tensor,
+/// Accumulates the parameter gradients of one affine step —
+/// `dWx += gᵀ x`, `dWh += gᵀ h`, `db += column-sums(g)`, all straight into
+/// the parameter gradient buffers — and writes (or, with `acc`,
+/// accumulates) the input-side gradients `g·Wx` / `g·Wh` into the caller's
+/// reused `gx` / `gh` scratch.
+#[allow(clippy::too_many_arguments)]
+fn affine_backward_into(
+    g: &[f32],
+    x: &[f32],
+    h: &[f32],
     wx: &mut Param,
     wh: &mut Param,
     b: &mut Param,
-) -> (Tensor, Tensor) {
-    let dwx = g.matmul_tn(x).expect("dWx");
-    wx.grad.add_assign(&dwx).expect("dWx accumulate");
-    let dwh = g.matmul_tn(h).expect("dWh");
-    wh.grad.add_assign(&dwh).expect("dWh accumulate");
-    let (n, hd) = (g.dims()[0], g.dims()[1]);
-    for ni in 0..n {
+    nb: usize,
+    gx: &mut [f32],
+    gh: &mut [f32],
+    acc: bool,
+) {
+    let (hd, feat) = (wx.value.dims()[0], wx.value.dims()[1]);
+    gemm_tn(hd, nb, feat, g, x, wx.grad.data_mut(), true);
+    gemm_tn(hd, nb, hd, g, h, wh.grad.data_mut(), true);
+    for ni in 0..nb {
         for k in 0..hd {
-            b.grad.data_mut()[k] += g.data()[ni * hd + k];
+            b.grad.data_mut()[k] += g[ni * hd + k];
         }
     }
-    let gx = g.matmul(&wx.value).expect("gx");
-    let gh = g.matmul(&wh.value).expect("gh");
-    (gx, gh)
+    gemm_nn(nb, hd, feat, g, wx.value.data(), gx, acc);
+    gemm_nn(nb, hd, hd, g, wh.value.data(), gh, acc);
 }
 
 // ---------------------------------------------------------------------------
@@ -118,11 +134,26 @@ impl Layer for Rnn {
         assert_eq!(d.len(), 3, "Rnn expects (N, D, n), got {d:?}");
         assert_eq!(d[1], self.input, "input feature mismatch");
         let (n, steps) = (d[0], d[2]);
+        let feat = self.input;
         let mut hs = vec![Tensor::zeros(&[n, self.hidden])];
+        let mut xt = vec![0.0f32; n * feat];
+        let mut z = vec![0.0f32; n * self.hidden];
         for t in 0..steps {
-            let xt = time_slice(x, t);
-            let z = affine(&xt, &hs[t], &self.wx.value, &self.wh.value, &self.b.value);
-            hs.push(z.map(|v| v.tanh()));
+            time_slice_into(x, t, &mut xt);
+            affine_into(
+                &xt,
+                hs[t].data(),
+                &self.wx.value,
+                &self.wh.value,
+                &self.b.value,
+                n,
+                &mut z,
+            );
+            let mut h = Tensor::zeros(&[n, self.hidden]);
+            for (hv, &zv) in h.data_mut().iter_mut().zip(&z) {
+                *hv = zv.tanh();
+            }
+            hs.push(h);
         }
         let out = hs[steps].clone();
         if train {
@@ -135,26 +166,35 @@ impl Layer for Rnn {
         let cache = self.cache.take().expect("backward without cached forward");
         let d = cache.x.dims().to_vec();
         let (n, steps) = (d[0], d[2]);
+        let (feat, hd) = (self.input, self.hidden);
         let mut grad_x = Tensor::zeros(&d);
-        let mut gh = grad_out.clone();
-        assert_eq!(gh.dims(), &[n, self.hidden]);
+        assert_eq!(grad_out.dims(), &[n, hd]);
+        let mut gh = grad_out.data().to_vec();
+        let mut gh_prev = vec![0.0f32; n * hd];
+        let mut dz = vec![0.0f32; n * hd];
+        let mut xt = vec![0.0f32; n * feat];
+        let mut gx = vec![0.0f32; n * feat];
         for t in (0..steps).rev() {
             // dz = gh * (1 - h_{t+1}^2)
-            let h_next = &cache.hs[t + 1];
-            let dz = gh
-                .zip_with(h_next, |g, h| g * (1.0 - h * h))
-                .expect("tanh grad");
-            let xt = time_slice(&cache.x, t);
-            let (gx, gh_prev) = affine_backward(
+            let h_next = cache.hs[t + 1].data();
+            for ((dzv, &gv), &hv) in dz.iter_mut().zip(&gh).zip(h_next) {
+                *dzv = gv * (1.0 - hv * hv);
+            }
+            time_slice_into(&cache.x, t, &mut xt);
+            affine_backward_into(
                 &dz,
                 &xt,
-                &cache.hs[t],
+                cache.hs[t].data(),
                 &mut self.wx,
                 &mut self.wh,
                 &mut self.b,
+                n,
+                &mut gx,
+                &mut gh_prev,
+                false,
             );
             scatter_time(&mut grad_x, &gx, t);
-            gh = gh_prev;
+            std::mem::swap(&mut gh, &mut gh_prev);
         }
         grad_x
     }
@@ -233,44 +273,64 @@ impl Layer for Lstm {
         assert_eq!(d.len(), 3, "Lstm expects (N, D, n), got {d:?}");
         assert_eq!(d[1], self.input, "input feature mismatch");
         let (n, steps) = (d[0], d[2]);
-        let mut hs = vec![Tensor::zeros(&[n, self.hidden])];
-        let mut cs = vec![Tensor::zeros(&[n, self.hidden])];
+        let hd = self.hidden;
+        let mut hs = vec![Tensor::zeros(&[n, hd])];
+        let mut cs = vec![Tensor::zeros(&[n, hd])];
         let mut steps_cache = Vec::with_capacity(steps);
+        let mut xt = vec![0.0f32; n * self.input];
+        let mut z = vec![0.0f32; n * hd];
+        // Maps the reused pre-activation buffer into a fresh (cached) gate
+        // tensor; the affine products themselves never allocate.
+        let activate = |z: &[f32], tanh: bool| -> Tensor {
+            let mut out = Tensor::zeros(&[n, hd]);
+            for (o, &v) in out.data_mut().iter_mut().zip(z) {
+                *o = if tanh { v.tanh() } else { sigmoid(v) };
+            }
+            out
+        };
         for t in 0..steps {
-            let xt = time_slice(x, t);
+            time_slice_into(x, t, &mut xt);
             let h_prev = &hs[t];
-            let zi = affine(
+            affine_into(
                 &xt,
-                h_prev,
+                h_prev.data(),
                 &self.wx[0].value,
                 &self.wh[0].value,
                 &self.b[0].value,
+                n,
+                &mut z,
             );
-            let zf = affine(
+            let i = activate(&z, false);
+            affine_into(
                 &xt,
-                h_prev,
+                h_prev.data(),
                 &self.wx[1].value,
                 &self.wh[1].value,
                 &self.b[1].value,
+                n,
+                &mut z,
             );
-            let zg = affine(
+            let f = activate(&z, false);
+            affine_into(
                 &xt,
-                h_prev,
+                h_prev.data(),
                 &self.wx[2].value,
                 &self.wh[2].value,
                 &self.b[2].value,
+                n,
+                &mut z,
             );
-            let zo = affine(
+            let g = activate(&z, true);
+            affine_into(
                 &xt,
-                h_prev,
+                h_prev.data(),
                 &self.wx[3].value,
                 &self.wh[3].value,
                 &self.b[3].value,
+                n,
+                &mut z,
             );
-            let i = zi.map(sigmoid);
-            let f = zf.map(sigmoid);
-            let g = zg.map(|v| v.tanh());
-            let o = zo.map(sigmoid);
+            let o = activate(&z, false);
             let c = f
                 .mul(&cs[t])
                 .and_then(|fc| i.mul(&g).and_then(|ig| fc.add(&ig)))
@@ -296,55 +356,99 @@ impl Layer for Lstm {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.take().expect("backward without cached forward");
         let d = cache.x.dims().to_vec();
-        let steps = d[2];
+        let (n, steps) = (d[0], d[2]);
+        let (feat, hd) = (self.input, self.hidden);
         let mut grad_x = Tensor::zeros(&d);
-        let mut gh = grad_out.clone();
-        let mut gc = Tensor::zeros(gh.dims());
+        let mut gh = grad_out.data().to_vec();
+        let mut gc = vec![0.0f32; n * hd];
+        let mut gc_total = vec![0.0f32; n * hd];
+        let mut dz = vec![0.0f32; n * hd];
+        let mut xt = vec![0.0f32; n * feat];
+        let mut gx_total = vec![0.0f32; n * feat];
+        let mut gh_total = vec![0.0f32; n * hd];
         for t in (0..steps).rev() {
             let st = &cache.steps_cache[t];
-            // h = o * tanh(c)
-            let go = gh.mul(&st.tanh_c).expect("go");
-            let gtanh_c = gh.mul(&st.o).expect("gtanh_c");
-            // c grad: from h path plus carried gc
-            let mut gc_total = gtanh_c
-                .zip_with(&st.tanh_c, |g, tc| g * (1.0 - tc * tc))
-                .expect("dtanh");
-            gc_total.add_assign(&gc).expect("carry gc");
-            // c = f*c_prev + i*g
-            let gf = gc_total.mul(&cache.cs[t]).expect("gf");
-            let gi = gc_total.mul(&st.g).expect("gi");
-            let gg = gc_total.mul(&st.i).expect("gg");
-            gc = gc_total.mul(&st.f).expect("gc carry");
-            // Pre-activation grads.
-            let dzi = gi.zip_with(&st.i, |g, y| g * y * (1.0 - y)).expect("dzi");
-            let dzf = gf.zip_with(&st.f, |g, y| g * y * (1.0 - y)).expect("dzf");
-            let dzg = gg.zip_with(&st.g, |g, y| g * (1.0 - y * y)).expect("dzg");
-            let dzo = go.zip_with(&st.o, |g, y| g * y * (1.0 - y)).expect("dzo");
-
-            let xt = time_slice(&cache.x, t);
-            let h_prev = &cache.hs[t];
-            let mut gx_total: Option<Tensor> = None;
-            let mut gh_total: Option<Tensor> = None;
-            for (k, dz) in [dzi, dzf, dzg, dzo].iter().enumerate() {
-                let (gx, gh_part) = affine_backward(
-                    dz,
-                    &xt,
-                    h_prev,
-                    &mut self.wx[k],
-                    &mut self.wh[k],
-                    &mut self.b[k],
-                );
-                match &mut gx_total {
-                    Some(acc) => acc.add_assign(&gx).expect("gx sum"),
-                    None => gx_total = Some(gx),
-                }
-                match &mut gh_total {
-                    Some(acc) => acc.add_assign(&gh_part).expect("gh sum"),
-                    None => gh_total = Some(gh_part),
-                }
+            let h_prev = cache.hs[t].data();
+            time_slice_into(&cache.x, t, &mut xt);
+            // h = o·tanh(c): c grad from the h path plus the carried gc.
+            for idx in 0..n * hd {
+                let tc = st.tanh_c.data()[idx];
+                gc_total[idx] = gh[idx] * st.o.data()[idx] * (1.0 - tc * tc) + gc[idx];
             }
-            scatter_time(&mut grad_x, &gx_total.expect("gx"), t);
-            gh = gh_total.expect("gh");
+            // Gate o: dzo = (gh·tanh_c)·σ'(o).
+            for idx in 0..n * hd {
+                let y = st.o.data()[idx];
+                dz[idx] = gh[idx] * st.tanh_c.data()[idx] * y * (1.0 - y);
+            }
+            affine_backward_into(
+                &dz,
+                &xt,
+                h_prev,
+                &mut self.wx[3],
+                &mut self.wh[3],
+                &mut self.b[3],
+                n,
+                &mut gx_total,
+                &mut gh_total,
+                false,
+            );
+            // Gate i: dzi = (gc_total·g)·σ'(i).
+            for idx in 0..n * hd {
+                let y = st.i.data()[idx];
+                dz[idx] = gc_total[idx] * st.g.data()[idx] * y * (1.0 - y);
+            }
+            affine_backward_into(
+                &dz,
+                &xt,
+                h_prev,
+                &mut self.wx[0],
+                &mut self.wh[0],
+                &mut self.b[0],
+                n,
+                &mut gx_total,
+                &mut gh_total,
+                true,
+            );
+            // Gate f: dzf = (gc_total·c_prev)·σ'(f).
+            for idx in 0..n * hd {
+                let y = st.f.data()[idx];
+                dz[idx] = gc_total[idx] * cache.cs[t].data()[idx] * y * (1.0 - y);
+            }
+            affine_backward_into(
+                &dz,
+                &xt,
+                h_prev,
+                &mut self.wx[1],
+                &mut self.wh[1],
+                &mut self.b[1],
+                n,
+                &mut gx_total,
+                &mut gh_total,
+                true,
+            );
+            // Gate g: dzg = (gc_total·i)·tanh'(g).
+            for idx in 0..n * hd {
+                let y = st.g.data()[idx];
+                dz[idx] = gc_total[idx] * st.i.data()[idx] * (1.0 - y * y);
+            }
+            affine_backward_into(
+                &dz,
+                &xt,
+                h_prev,
+                &mut self.wx[2],
+                &mut self.wh[2],
+                &mut self.b[2],
+                n,
+                &mut gx_total,
+                &mut gh_total,
+                true,
+            );
+            // Carry: gc = gc_total·f.
+            for idx in 0..n * hd {
+                gc[idx] = gc_total[idx] * st.f.data()[idx];
+            }
+            scatter_time(&mut grad_x, &gx_total, t);
+            std::mem::swap(&mut gh, &mut gh_total);
         }
         grad_x
     }
@@ -419,44 +523,76 @@ impl Layer for Gru {
         assert_eq!(d.len(), 3, "Gru expects (N, D, n), got {d:?}");
         assert_eq!(d[1], self.input, "input feature mismatch");
         let (n, steps) = (d[0], d[2]);
-        let mut hs = vec![Tensor::zeros(&[n, self.hidden])];
+        let hd = self.hidden;
+        let mut hs = vec![Tensor::zeros(&[n, hd])];
         let mut steps_cache = Vec::with_capacity(steps);
+        let mut xt = vec![0.0f32; n * self.input];
+        let mut zbuf = vec![0.0f32; n * hd];
+        let activate = |z: &[f32], tanh: bool| -> Tensor {
+            let mut out = Tensor::zeros(&[n, hd]);
+            for (o, &v) in out.data_mut().iter_mut().zip(z) {
+                *o = if tanh { v.tanh() } else { sigmoid(v) };
+            }
+            out
+        };
         for t in 0..steps {
-            let xt = time_slice(x, t);
+            time_slice_into(x, t, &mut xt);
             let h_prev = &hs[t];
-            let zr = affine(
+            affine_into(
                 &xt,
-                h_prev,
+                h_prev.data(),
                 &self.wx[0].value,
                 &self.wh[0].value,
                 &self.bx[0].value,
+                n,
+                &mut zbuf,
             );
-            let zz = affine(
+            let r = activate(&zbuf, false);
+            affine_into(
                 &xt,
-                h_prev,
+                h_prev.data(),
                 &self.wx[1].value,
                 &self.wh[1].value,
                 &self.bx[1].value,
+                n,
+                &mut zbuf,
             );
-            let r = zr.map(sigmoid);
-            let z = zz.map(sigmoid);
-            // hh_n = Wh_n h + bh ; candidate pre-activation = Wx_n x + bx_n + r*hh_n
-            let mut hh_n = h_prev.matmul_nt(&self.wh[2].value).expect("hh_n");
-            let hd = self.hidden;
-            for ni in 0..n {
-                for k in 0..hd {
-                    hh_n.data_mut()[ni * hd + k] += self.bh.value.data()[k];
+            let z = activate(&zbuf, false);
+            // hh_n = Wh_n h + bh (cached for backward); candidate
+            // pre-activation = Wx_n x + bx_n + r ⊙ hh_n.
+            let mut hh_n = Tensor::zeros(&[n, hd]);
+            gemm_nt(
+                n,
+                hd,
+                hd,
+                h_prev.data(),
+                self.wh[2].value.data(),
+                hh_n.data_mut(),
+                false,
+            );
+            for row in hh_n.data_mut().chunks_mut(hd) {
+                for (v, &bv) in row.iter_mut().zip(self.bh.value.data()) {
+                    *v += bv;
                 }
             }
-            let mut zn = xt.matmul_nt(&self.wx[2].value).expect("xn");
-            for ni in 0..n {
-                for k in 0..hd {
-                    zn.data_mut()[ni * hd + k] += self.bx[2].value.data()[k];
+            gemm_nt(
+                n,
+                self.input,
+                hd,
+                &xt,
+                self.wx[2].value.data(),
+                &mut zbuf,
+                false,
+            );
+            for (row, (rr, hhr)) in zbuf
+                .chunks_mut(hd)
+                .zip(r.data().chunks(hd).zip(hh_n.data().chunks(hd)))
+            {
+                for (k, v) in row.iter_mut().enumerate() {
+                    *v += self.bx[2].value.data()[k] + rr[k] * hhr[k];
                 }
             }
-            let rhh = r.mul(&hh_n).expect("r*hh");
-            zn.add_assign(&rhh).expect("candidate preact");
-            let n_cand = zn.map(|v| v.tanh());
+            let n_cand = activate(&zbuf, true);
             // h' = (1-z)*n + z*h
             let h = n_cand
                 .zip_with(&z, |nv, zv| (1.0 - zv) * nv)
@@ -480,72 +616,89 @@ impl Layer for Gru {
         let cache = self.cache.take().expect("backward without cached forward");
         let d = cache.x.dims().to_vec();
         let (n, steps) = (d[0], d[2]);
-        let hd = self.hidden;
+        let (feat, hd) = (self.input, self.hidden);
         let mut grad_x = Tensor::zeros(&d);
-        let mut gh = grad_out.clone();
+        let mut gh = grad_out.data().to_vec();
+        let mut gh_prev = vec![0.0f32; n * hd];
+        let mut dzn = vec![0.0f32; n * hd];
+        let mut tmp = vec![0.0f32; n * hd];
+        let mut dz = vec![0.0f32; n * hd];
+        let mut xt = vec![0.0f32; n * feat];
+        let mut gx_total = vec![0.0f32; n * feat];
         for t in (0..steps).rev() {
             let st = &cache.steps_cache[t];
-            let h_prev = &cache.hs[t];
-            // h' = (1-z)*n + z*h_prev
-            let gz = gh
-                .zip_with(&st.n_cand, |g, nv| -g * nv)
-                .and_then(|a| gh.mul(h_prev).and_then(|b| a.add(&b)))
-                .expect("gz");
-            let gn = gh.zip_with(&st.z, |g, zv| g * (1.0 - zv)).expect("gn");
-            let mut gh_prev = gh.mul(&st.z).expect("gh carry");
-            // n = tanh(zn); zn = Wx_n x + bx_n + r*hh_n
-            let dzn = gn
-                .zip_with(&st.n_cand, |g, y| g * (1.0 - y * y))
-                .expect("dzn");
-            let gr = dzn.mul(&st.hh_n).expect("gr");
-            let ghh_n = dzn.mul(&st.r).expect("ghh_n");
-            // Candidate x-side params.
-            let xt = time_slice(&cache.x, t);
-            let dwx_n = dzn.matmul_tn(&xt).expect("dWx_n");
-            self.wx[2].grad.add_assign(&dwx_n).expect("acc dWx_n");
+            let h_prev = cache.hs[t].data();
+            time_slice_into(&cache.x, t, &mut xt);
+            // h' = (1-z)*n + z*h_prev: dzn = gh·(1−z)·tanh'(n); carry gh·z.
+            for idx in 0..n * hd {
+                let (zv, nv) = (st.z.data()[idx], st.n_cand.data()[idx]);
+                dzn[idx] = gh[idx] * (1.0 - zv) * (1.0 - nv * nv);
+                gh_prev[idx] = gh[idx] * zv;
+            }
+            // Candidate x-side params: dWx_n += dznᵀ·x, dbx_n += colsums,
+            // and the x-side input gradient starts gx_total.
+            gemm_tn(hd, n, feat, &dzn, &xt, self.wx[2].grad.data_mut(), true);
             for ni in 0..n {
                 for k in 0..hd {
-                    self.bx[2].grad.data_mut()[k] += dzn.data()[ni * hd + k];
+                    self.bx[2].grad.data_mut()[k] += dzn[ni * hd + k];
                 }
             }
-            let gx_n = dzn.matmul(&self.wx[2].value).expect("gx_n");
-            // Candidate h-side params (through hh_n).
-            let dwh_n = ghh_n.matmul_tn(h_prev).expect("dWh_n");
-            self.wh[2].grad.add_assign(&dwh_n).expect("acc dWh_n");
+            gemm_nn(
+                n,
+                hd,
+                feat,
+                &dzn,
+                self.wx[2].value.data(),
+                &mut gx_total,
+                false,
+            );
+            // Candidate h-side params through hh_n: ghh_n = dzn·r.
+            for idx in 0..n * hd {
+                tmp[idx] = dzn[idx] * st.r.data()[idx];
+            }
+            gemm_tn(hd, n, hd, &tmp, h_prev, self.wh[2].grad.data_mut(), true);
             for ni in 0..n {
                 for k in 0..hd {
-                    self.bh.grad.data_mut()[k] += ghh_n.data()[ni * hd + k];
+                    self.bh.grad.data_mut()[k] += tmp[ni * hd + k];
                 }
             }
-            gh_prev
-                .add_assign(&ghh_n.matmul(&self.wh[2].value).expect("gh_n"))
-                .expect("gh acc");
-            // Gate r and z pre-activations.
-            let dzr = gr.zip_with(&st.r, |g, y| g * y * (1.0 - y)).expect("dzr");
-            let dzz = gz.zip_with(&st.z, |g, y| g * y * (1.0 - y)).expect("dzz");
-            let (gx_r, gh_r) = affine_backward(
-                &dzr,
+            gemm_nn(n, hd, hd, &tmp, self.wh[2].value.data(), &mut gh_prev, true);
+            // Gate r: dzr = (dzn·hh_n)·σ'(r).
+            for idx in 0..n * hd {
+                let y = st.r.data()[idx];
+                dz[idx] = dzn[idx] * st.hh_n.data()[idx] * y * (1.0 - y);
+            }
+            affine_backward_into(
+                &dz,
                 &xt,
                 h_prev,
                 &mut self.wx[0],
                 &mut self.wh[0],
                 &mut self.bx[0],
+                n,
+                &mut gx_total,
+                &mut gh_prev,
+                true,
             );
-            let (gx_z, gh_z) = affine_backward(
-                &dzz,
+            // Gate z: gz = gh·(h_prev − n); dzz = gz·σ'(z).
+            for idx in 0..n * hd {
+                let y = st.z.data()[idx];
+                dz[idx] = gh[idx] * (h_prev[idx] - st.n_cand.data()[idx]) * y * (1.0 - y);
+            }
+            affine_backward_into(
+                &dz,
                 &xt,
                 h_prev,
                 &mut self.wx[1],
                 &mut self.wh[1],
                 &mut self.bx[1],
+                n,
+                &mut gx_total,
+                &mut gh_prev,
+                true,
             );
-            gh_prev.add_assign(&gh_r).expect("gh r");
-            gh_prev.add_assign(&gh_z).expect("gh z");
-            let mut gx_total = gx_n;
-            gx_total.add_assign(&gx_r).expect("gx r");
-            gx_total.add_assign(&gx_z).expect("gx z");
             scatter_time(&mut grad_x, &gx_total, t);
-            gh = gh_prev;
+            std::mem::swap(&mut gh, &mut gh_prev);
         }
         grad_x
     }
@@ -608,6 +761,27 @@ mod tests {
         let y = rnn.forward(&x, false);
         let y_rev = rnn.forward(&x_rev, false);
         assert!(!y.allclose(&y_rev, 1e-5), "RNN ignored sequence order");
+    }
+
+    #[test]
+    fn gradients_check_against_finite_differences() {
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let mut rnn = Rnn::new(3, 4, &mut rng);
+        assert!(
+            crate::gradcheck::check_layer(&mut rnn, &x, 1e-2, 7).passes(2e-2),
+            "RNN gradients"
+        );
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        assert!(
+            crate::gradcheck::check_layer(&mut lstm, &x, 1e-2, 8).passes(2e-2),
+            "LSTM gradients"
+        );
+        let mut gru = Gru::new(3, 4, &mut rng);
+        assert!(
+            crate::gradcheck::check_layer(&mut gru, &x, 1e-2, 9).passes(2e-2),
+            "GRU gradients"
+        );
     }
 
     #[test]

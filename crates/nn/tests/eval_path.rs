@@ -1,0 +1,93 @@
+//! The arena-based inference path (`Layer::forward_eval`) must be
+//! numerically indistinguishable from the plain evaluation forward across
+//! whole layer stacks — it is the forward the batched dCAM explanation
+//! engine runs, so any drift here becomes an explanation bug.
+
+use dcam_nn::arena::BatchArena;
+use dcam_nn::layers::{
+    BatchNorm, Conv2dRows, Dense, Dropout, GlobalAvgPool, Layer, Relu, Residual, Sequential,
+};
+use dcam_tensor::{SeededRng, Tensor};
+
+fn cnn_stack(rng: &mut SeededRng) -> Sequential {
+    let mut s = Sequential::new();
+    let mut c_in = 4;
+    for &c_out in &[6usize, 8] {
+        s.add(Box::new(Conv2dRows::same(c_in, c_out, 3, rng)));
+        s.add(Box::new(BatchNorm::new(c_out)));
+        s.add(Box::new(Relu::new()));
+        c_in = c_out;
+    }
+    s
+}
+
+#[test]
+fn sequential_eval_matches_forward() {
+    let mut rng = SeededRng::new(0);
+    let mut stack = cnn_stack(&mut rng);
+    // Burn in batch-norm running statistics so eval mode is non-trivial.
+    for i in 0..5 {
+        let xb = Tensor::uniform(&[3, 4, 4, 24], -1.0, 1.0, &mut SeededRng::new(100 + i));
+        stack.forward(&xb, true);
+        stack.zero_grads();
+    }
+    let x = Tensor::uniform(&[7, 4, 4, 24], -1.0, 1.0, &mut rng);
+    let want = stack.forward(&x, false);
+    let mut arena = BatchArena::new();
+    let got = stack.forward_eval(x.clone(), &mut arena);
+    assert_eq!(got.dims(), want.dims());
+    assert!(got.allclose(&want, 1e-5), "eval path diverged");
+    arena.recycle(got);
+
+    // Steady state: many more calls — drawing inputs from and recycling
+    // outputs to the pool, as the batched engine does — stay correct and
+    // keep the arena bounded (holds for every DCAM_CONV_STRATEGY).
+    for call in 0..8 {
+        let mut xb = arena.take(x.len());
+        xb.copy_from_slice(x.data());
+        let xt = Tensor::from_vec(xb, x.dims()).unwrap();
+        let got = stack.forward_eval(xt, &mut arena);
+        assert!(got.allclose(&want, 1e-5), "eval call {call} diverged");
+        arena.recycle(got);
+    }
+    assert!(
+        arena.pooled() <= BatchArena::MAX_POOLED,
+        "arena grew past its cap"
+    );
+}
+
+#[test]
+fn residual_and_dropout_eval_match_forward() {
+    let mut rng = SeededRng::new(1);
+    let mut main = Sequential::new();
+    main.add(Box::new(Conv2dRows::same(3, 5, 3, &mut rng)));
+    main.add(Box::new(BatchNorm::new(5)));
+    main.add(Box::new(Relu::new()));
+    let mut shortcut = Sequential::new();
+    shortcut.add(Box::new(Conv2dRows::same(3, 5, 1, &mut rng)));
+    let mut model = Sequential::new();
+    model.add(Box::new(Residual::with_shortcut(main, shortcut)));
+    model.add(Box::new(Dropout::new(0.3, 7)));
+
+    let x = Tensor::uniform(&[4, 3, 3, 19], -1.0, 1.0, &mut rng);
+    let want = model.forward(&x, false);
+    let mut arena = BatchArena::new();
+    let got = model.forward_eval(x, &mut arena);
+    assert!(got.allclose(&want, 1e-5), "residual/dropout eval diverged");
+}
+
+#[test]
+fn gap_and_dense_default_eval_path() {
+    // Layers without an override run through the default forward_eval and
+    // must still agree (and recycle their inputs).
+    let mut rng = SeededRng::new(2);
+    let mut model = Sequential::new();
+    model.add(Box::new(GlobalAvgPool::new()));
+    model.add(Box::new(Dense::new(5, 3, &mut rng)));
+    let x = Tensor::uniform(&[2, 5, 2, 9], -1.0, 1.0, &mut rng);
+    let want = model.forward(&x, false);
+    let mut arena = BatchArena::new();
+    let got = model.forward_eval(x, &mut arena);
+    assert!(got.allclose(&want, 1e-6));
+    assert!(arena.pooled() > 0, "inputs were not recycled");
+}

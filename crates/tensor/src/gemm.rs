@@ -36,6 +36,13 @@ pub(crate) const NR: usize = 64;
 /// Below this `m·k·n` volume the packed path's setup costs more than it
 /// saves; a plain strided triple loop wins.
 const SMALL_VOLUME: usize = 4096;
+/// Largest `m` served by the tall kernel: all `m` output rows held in
+/// registers so each `B` panel streams past the FMAs once (in two 32-column
+/// halves) instead of once per 2-row band. This is the shape of every
+/// convolution in the study — `m` is a small output-channel count while
+/// `n = H·W` is huge — where the band kernel's panel re-reads and per-call
+/// overheads dominate.
+const TALL_MAX: usize = 8;
 /// Minimum `m·k·n` volume before worker threads are spawned.
 const PAR_VOLUME: usize = 1 << 21;
 
@@ -142,6 +149,394 @@ pub fn gemm_nt(
         c,
         accumulate,
     );
+}
+
+/// Number of elements of a packed-panel representation of a `k × n` matrix
+/// (see [`pack_b_into`]): panels of [`GEMM_NR`] columns, zero-padded at the
+/// right edge.
+pub fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Micro-kernel panel width: the column granularity of the packed-`B`
+/// layout consumed by [`gemm_packed`] / [`gemm_packed_panel_batch`].
+pub const GEMM_NR: usize = NR;
+
+/// Packs a row-major `k × n` matrix into the panel layout the micro-kernel
+/// consumes: `out[panel][p][j]` with `NR`-column panels, zero-padded on the
+/// right edge. `out` must hold exactly [`packed_b_len`]`(k, n)` elements.
+///
+/// Callers that can produce their operand directly in this layout (the
+/// im2col patch builder in `dcam-nn`) skip this copy entirely and hand the
+/// panels straight to [`gemm_packed`].
+pub fn pack_b_into(k: usize, n: usize, b: &[f32], out: &mut [f32]) {
+    assert!(b.len() >= k * n, "pack_b_into: b too short");
+    assert_eq!(out.len(), packed_b_len(k, n), "pack_b_into: out length");
+    if !n.is_multiple_of(NR) {
+        // Only the last panel has padding columns; zero it before packing.
+        let tail = out.len() - k * NR;
+        out[tail..].fill(0.0);
+    }
+    pack_b_slice(k, n, MatRef::row_major(b, n), out);
+}
+
+/// The left operand of a matrix product, prepacked once into the
+/// `MR`-row-band layout of the micro-kernel and reusable across any number
+/// of [`gemm_packed`] / [`gemm_packed_panel_batch`] calls.
+///
+/// Packing `A` costs one pass over `m·k` elements; for weight matrices that
+/// multiply every sample of a mega-batch (the fused inference path), paying
+/// it once per batch instead of once per sample removes the dominant
+/// per-sample GEMM setup cost when `m` is small.
+#[derive(Debug, Default, Clone)]
+pub struct PackedA {
+    buf: Vec<f32>,
+    /// Column-major `[p][m]` layout for the tall kernel, filled when
+    /// `m ≤ TALL_MAX` (a handful of extra bytes for small matrices).
+    tall: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// An empty pack; call [`PackedA::pack_nn`] before use.
+    pub fn new() -> Self {
+        PackedA::default()
+    }
+
+    /// (Re)packs a row-major `m × k` matrix, reusing the internal buffer.
+    pub fn pack_nn(&mut self, m: usize, k: usize, a: &[f32]) {
+        self.pack_strided(m, k, a, k, 1);
+    }
+
+    /// (Re)packs a strided `m × k` view: element `(i, p)` at
+    /// `a[i·rs + p·cs]`. Lets callers pack sub-matrices of larger weight
+    /// tensors (one kernel tap of a convolution) without a copy first.
+    pub fn pack_strided(&mut self, m: usize, k: usize, a: &[f32], rs: usize, cs: usize) {
+        assert!(
+            m == 0 || k == 0 || a.len() > (m - 1) * rs + (k - 1) * cs,
+            "PackedA: a too short"
+        );
+        let bands = m.div_ceil(MR);
+        self.buf.clear();
+        self.buf.resize(bands * k * MR, 0.0);
+        pack_a_bands(0, m, k, MatRef { data: a, rs, cs }, &mut self.buf);
+        self.tall.clear();
+        if m <= TALL_MAX {
+            self.tall.resize(k * m, 0.0);
+            for i in 0..m {
+                for p in 0..k {
+                    self.tall[p * m + i] = a[i * rs + p * cs];
+                }
+            }
+        }
+        self.m = m;
+        self.k = k;
+    }
+
+    /// Logical row count of the packed matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Logical column count (the reduction extent) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// `c = pa · pb` (or `+=`) with both operands prepacked: `pa` via
+/// [`PackedA::pack_nn`], `pb` in the [`pack_b_into`] panel layout for a
+/// `k × n` right operand. `c` is row-major `m × n`.
+///
+/// Always single-threaded: batched callers parallelize across samples
+/// ([`gemm_packed_panel_batch`]), which beats row-band splitting when `m`
+/// small channel count.
+pub fn gemm_packed(pa: &PackedA, n: usize, pb: &[f32], c: &mut [f32], accumulate: bool) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(c.len(), m * n, "gemm_packed: c length");
+    assert_eq!(pb.len(), packed_b_len(k, n), "gemm_packed: pb length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let mut tile = [[0.0f32; NR]; TALL_MAX];
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        panel_tile(
+            pa,
+            &pb[jp * k * NR..(jp + 1) * k * NR],
+            n,
+            j0,
+            cols,
+            c,
+            accumulate,
+            &mut tile,
+        );
+    }
+}
+
+/// Computes the `m × cols` tile of one packed `B` panel into columns
+/// `[j0, j0 + cols)` of the row-major `m × n` output, picking the tall
+/// kernel when the whole column of output rows fits in registers.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn panel_tile(
+    pa: &PackedA,
+    panel: &[f32],
+    n: usize,
+    j0: usize,
+    cols: usize,
+    c: &mut [f32],
+    accumulate: bool,
+    tile: &mut [[f32; NR]; TALL_MAX],
+) {
+    let (m, k) = (pa.m, pa.k);
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = tile;
+    #[cfg(target_arch = "x86_64")]
+    if m <= TALL_MAX && kernel_kind() == KernelKind::Avx512 {
+        // SAFETY: kernel_kind() verified AVX-512F; `tall` holds k·m and
+        // `panel` holds k·NR elements. `tile` is a caller-hoisted scratch
+        // tile (its stale rows beyond `m` are never read).
+        unsafe { x86::kernel_tall_avx512(m, k, &pa.tall, panel, tile) };
+        for (ii, row) in tile.iter().enumerate().take(m) {
+            let dst = &mut c[ii * n + j0..ii * n + j0 + cols];
+            if accumulate {
+                for (d, v) in dst.iter_mut().zip(&row[..cols]) {
+                    *d += v;
+                }
+            } else {
+                dst.copy_from_slice(&row[..cols]);
+            }
+        }
+        return;
+    }
+    let bands = m.div_ceil(MR);
+    for band in 0..bands {
+        let r0 = band * MR;
+        let band_rows = MR.min(m - r0);
+        let acc = kernel(k, &pa.buf[band * k * MR..(band + 1) * k * MR], panel);
+        for ii in 0..band_rows {
+            let dst = &mut c[(r0 + ii) * n + j0..(r0 + ii) * n + j0 + cols];
+            if accumulate {
+                for (d, v) in dst.iter_mut().zip(&acc[ii][..cols]) {
+                    *d += v;
+                }
+            } else {
+                dst.copy_from_slice(&acc[ii][..cols]);
+            }
+        }
+    }
+}
+
+/// One fused GEMM per layer per mega-batch, with *panel-streamed* right
+/// operands: for each sample `bi` in `0..batch`, `fill_panel(bi, jp,
+/// panel)` writes just panel `jp` of the sample's `k × n` operand (columns
+/// `[jp·NR, jp·NR + NR)`, `k × NR` elements, zero-padded past column `n`)
+/// into a scratch buffer that never leaves L1 — the kernel consumes it for
+/// every row band before the next panel overwrites it, and
+/// `c[bi·c_stride..][..m·n]` receives `pa · B_bi`. `A` is packed once for
+/// the whole batch; samples split contiguously across [`thread_count`]
+/// workers, each owning one panel scratch. This is the entry point behind
+/// the fused im2col+GEMM inference path.
+///
+/// For operands that are *generated* (the im2col patch matrix), this
+/// removes the full-size write+read round trip of the patch through the
+/// cache hierarchy; only the `k·NR` working panel is ever resident.
+pub fn gemm_packed_panel_batch(
+    pa: &PackedA,
+    n: usize,
+    batch: usize,
+    fill_panel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+    c: &mut [f32],
+    c_stride: usize,
+    accumulate: bool,
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert!(c_stride >= m * n, "gemm_packed_panel_batch: c_stride < m·n");
+    assert!(
+        c.len() >= batch.saturating_sub(1) * c_stride + m * n || batch == 0,
+        "gemm_packed_panel_batch: c too short"
+    );
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let panels = n.div_ceil(NR);
+    let run_sample = |bi: usize, cc: &mut [f32], panel: &mut [f32]| {
+        let mut tile = [[0.0f32; NR]; TALL_MAX];
+        for jp in 0..panels {
+            fill_panel(bi, jp, panel);
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            panel_tile(pa, panel, n, j0, cols, cc, accumulate, &mut tile);
+        }
+    };
+    let threads = thread_count().min(batch);
+    if threads <= 1 {
+        PACK_B.with(|pb| {
+            let mut panel = pb.borrow_mut();
+            panel.clear();
+            panel.resize(k * NR, 0.0);
+            for bi in 0..batch {
+                run_sample(bi, &mut c[bi * c_stride..bi * c_stride + m * n], &mut panel);
+            }
+        });
+        return;
+    }
+    let per = batch.div_ceil(threads);
+    std::thread::scope(|s| {
+        let run_sample = &run_sample;
+        let mut rest = c;
+        let mut b0 = 0;
+        while b0 < batch {
+            let count = per.min(batch - b0);
+            let take = if b0 + count < batch {
+                count * c_stride
+            } else {
+                rest.len()
+            };
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || {
+                let mut panel = vec![0.0f32; k * NR];
+                for i in 0..count {
+                    run_sample(
+                        b0 + i,
+                        &mut chunk[i * c_stride..i * c_stride + m * n],
+                        &mut panel,
+                    );
+                }
+            });
+            b0 += count;
+        }
+    });
+}
+
+/// `c[·, c_off..c_off+n_eff] = pa · B` (or `+=`) where `B` is read **in
+/// place** from strided storage — row `p`, column `j` lives at
+/// `b[p·b_stride + j]` — with no packing of `B` at all. `c` is row-major
+/// `m × c_cols`.
+///
+/// This is the zero-materialization form of the im2col forward for
+/// stride-1 convolutions: each kernel tap's patch rows are just the input
+/// planes shifted along time, i.e. exactly such a strided matrix, so the
+/// tall kernel streams them straight from the input. Only the ragged last
+/// panel (and the portable non-AVX-512 fallback) goes through a small
+/// thread-local panel repack.
+pub fn gemm_packed_strided_b(
+    pa: &PackedA,
+    b: &[f32],
+    b_stride: usize,
+    n_eff: usize,
+    c: &mut [f32],
+    c_cols: usize,
+    c_off: usize,
+    accumulate: bool,
+) {
+    let (m, k) = (pa.m, pa.k);
+    if m == 0 || n_eff == 0 {
+        return;
+    }
+    assert!(
+        c_off + n_eff <= c_cols,
+        "gemm_packed_strided_b: column window"
+    );
+    assert!(
+        c.len() >= (m - 1) * c_cols + c_off + n_eff,
+        "gemm_packed_strided_b: c too short"
+    );
+    if k == 0 {
+        if !accumulate {
+            for i in 0..m {
+                c[i * c_cols + c_off..i * c_cols + c_off + n_eff].fill(0.0);
+            }
+        }
+        return;
+    }
+    assert!(
+        b.len() >= (k - 1) * b_stride + n_eff,
+        "gemm_packed_strided_b: b too short"
+    );
+
+    let full_panels = n_eff / NR;
+    let mut tile = [[0.0f32; NR]; TALL_MAX];
+    #[cfg(target_arch = "x86_64")]
+    let tall = m <= TALL_MAX && kernel_kind() == KernelKind::Avx512;
+
+    PACK_B.with(|pb| {
+        let mut panel = pb.borrow_mut();
+        panel.clear();
+        panel.resize(k * NR, 0.0);
+        for jp in 0..full_panels {
+            let j0 = jp * NR;
+            #[cfg(target_arch = "x86_64")]
+            if tall {
+                // SAFETY: kernel_kind() verified AVX-512F; row `p` reads
+                // b[p·b_stride + j0 .. + NR], within the length assert above.
+                unsafe {
+                    x86::kernel_tall_avx512_strided(m, k, &pa.tall, &b[j0..], b_stride, &mut tile)
+                };
+                write_tile_rows(&tile, m, c, c_cols, c_off + j0, NR, accumulate);
+                continue;
+            }
+            for p in 0..k {
+                panel[p * NR..(p + 1) * NR]
+                    .copy_from_slice(&b[p * b_stride + j0..p * b_stride + j0 + NR]);
+            }
+            panel_tile(pa, &panel, c_cols, c_off + j0, NR, c, accumulate, &mut tile);
+        }
+        // Ragged tail: repack zero-padded, any kernel.
+        let j0 = full_panels * NR;
+        let cols = n_eff - j0;
+        if cols > 0 {
+            for p in 0..k {
+                let row = &mut panel[p * NR..(p + 1) * NR];
+                row[cols..].fill(0.0);
+                row[..cols].copy_from_slice(&b[p * b_stride + j0..p * b_stride + j0 + cols]);
+            }
+            panel_tile(
+                pa,
+                &panel,
+                c_cols,
+                c_off + j0,
+                cols,
+                c,
+                accumulate,
+                &mut tile,
+            );
+        }
+    });
+}
+
+/// Writes (or accumulates) the first `m` rows × `cols` columns of a kernel
+/// tile into `c` at column offset `j0` (row stride `c_cols`).
+#[inline]
+fn write_tile_rows(
+    tile: &[[f32; NR]; TALL_MAX],
+    m: usize,
+    c: &mut [f32],
+    c_cols: usize,
+    j0: usize,
+    cols: usize,
+    accumulate: bool,
+) {
+    for (ii, row) in tile.iter().enumerate().take(m) {
+        let dst = &mut c[ii * c_cols + j0..ii * c_cols + j0 + cols];
+        if accumulate {
+            for (d, v) in dst.iter_mut().zip(&row[..cols]) {
+                *d += v;
+            }
+        } else {
+            dst.copy_from_slice(&row[..cols]);
+        }
+    }
 }
 
 /// A strided view of a logical `rows × cols` matrix: element `(i, j)` lives
@@ -258,6 +653,12 @@ fn pack_b(k: usize, n: usize, b: MatRef, out: &mut Vec<f32>) {
     let panels = n.div_ceil(NR);
     out.clear();
     out.resize(panels * k * NR, 0.0);
+    pack_b_slice(k, n, b, out);
+}
+
+/// [`pack_b`] body over a caller-sized slice (`panels · k · NR` elements).
+fn pack_b_slice(k: usize, n: usize, b: MatRef, out: &mut [f32]) {
+    let panels = n.div_ceil(NR);
     for jp in 0..panels {
         let j0 = jp * NR;
         let cols = NR.min(n - j0);
@@ -291,53 +692,75 @@ fn run_bands(
     chunk: &mut [f32],
     accumulate: bool,
 ) {
-    let panels = n.div_ceil(NR);
     let bands = rows.div_ceil(MR);
     PACK_A.with(|pa| {
         let mut ap = pa.borrow_mut();
         ap.clear();
         ap.resize(bands * k * MR, 0.0);
-        // Pack every band of A: layout [band][p][i], zero-padded to MR rows.
+        pack_a_bands(i0, rows, k, a, &mut ap);
+        run_panels(rows, k, n, &ap, bp, chunk, accumulate);
+    });
+}
+
+/// Packs rows `[i0, i0 + rows)` of `A` into `MR`-row bands:
+/// layout `[band][p][i]`, zero-padded to `MR` rows.
+fn pack_a_bands(i0: usize, rows: usize, k: usize, a: MatRef, ap: &mut [f32]) {
+    let bands = rows.div_ceil(MR);
+    debug_assert_eq!(ap.len(), bands * k * MR);
+    for band in 0..bands {
+        let r0 = band * MR;
+        let band_rows = MR.min(rows - r0);
+        let dst = &mut ap[band * k * MR..(band + 1) * k * MR];
+        if a.cs == 1 {
+            for ii in 0..band_rows {
+                let src = &a.data[(i0 + r0 + ii) * a.rs..(i0 + r0 + ii) * a.rs + k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * MR + ii] = v;
+                }
+            }
+        } else {
+            for p in 0..k {
+                for ii in 0..band_rows {
+                    dst[p * MR + ii] = a.at(i0 + r0 + ii, p);
+                }
+            }
+        }
+    }
+}
+
+/// The packed compute loop: `ap` bands × `bp` panels through the
+/// micro-kernel into the row-major `rows × n` chunk.
+fn run_panels(
+    rows: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    bp: &[f32],
+    chunk: &mut [f32],
+    accumulate: bool,
+) {
+    let panels = n.div_ceil(NR);
+    let bands = rows.div_ceil(MR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let bpanel = &bp[jp * k * NR..(jp + 1) * k * NR];
         for band in 0..bands {
             let r0 = band * MR;
             let band_rows = MR.min(rows - r0);
-            let dst = &mut ap[band * k * MR..(band + 1) * k * MR];
-            if a.cs == 1 {
-                for ii in 0..band_rows {
-                    let src = &a.data[(i0 + r0 + ii) * a.rs..(i0 + r0 + ii) * a.rs + k];
-                    for (p, &v) in src.iter().enumerate() {
-                        dst[p * MR + ii] = v;
+            let acc = kernel(k, &ap[band * k * MR..(band + 1) * k * MR], bpanel);
+            for ii in 0..band_rows {
+                let dst = &mut chunk[(r0 + ii) * n + j0..(r0 + ii) * n + j0 + cols];
+                if accumulate {
+                    for (d, v) in dst.iter_mut().zip(&acc[ii][..cols]) {
+                        *d += v;
                     }
-                }
-            } else {
-                for p in 0..k {
-                    for ii in 0..band_rows {
-                        dst[p * MR + ii] = a.at(i0 + r0 + ii, p);
-                    }
+                } else {
+                    dst.copy_from_slice(&acc[ii][..cols]);
                 }
             }
         }
-        for jp in 0..panels {
-            let j0 = jp * NR;
-            let cols = NR.min(n - j0);
-            let bpanel = &bp[jp * k * NR..(jp + 1) * k * NR];
-            for band in 0..bands {
-                let r0 = band * MR;
-                let band_rows = MR.min(rows - r0);
-                let acc = kernel(k, &ap[band * k * MR..(band + 1) * k * MR], bpanel);
-                for ii in 0..band_rows {
-                    let dst = &mut chunk[(r0 + ii) * n + j0..(r0 + ii) * n + j0 + cols];
-                    if accumulate {
-                        for (d, v) in dst.iter_mut().zip(&acc[ii][..cols]) {
-                            *d += v;
-                        }
-                    } else {
-                        dst.copy_from_slice(&acc[ii][..cols]);
-                    }
-                }
-            }
-        }
-    });
+    }
 }
 
 /// ISA variant of the micro-kernel, detected once at runtime. Explicit
@@ -405,8 +828,92 @@ fn kernel_scalar(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{MR, NR};
+    use super::{MR, NR, TALL_MAX};
     use std::arch::x86_64::*;
+
+    /// Tall tile: all `m ≤ TALL_MAX` output rows in registers, the panel
+    /// streamed in two 32-column halves (`m×2` zmm accumulators + 2 loads
+    /// per `k` step, so each FMA pair shares one panel load — the band
+    /// kernel re-reads the panel once per 2-row band instead).
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `ap` must hold `k·m` elements in `[p][m]` layout,
+    /// `bp` at least `k·NR`.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn kernel_tall_avx512(
+        m: usize,
+        k: usize,
+        ap: &[f32],
+        bp: &[f32],
+        acc: &mut [[f32; NR]; TALL_MAX],
+    ) {
+        debug_assert!(bp.len() >= k * NR);
+        kernel_tall_avx512_strided(m, k, ap, bp, NR, acc);
+    }
+
+    /// [`kernel_tall_avx512`] over a *strided* right operand: row `p`,
+    /// column `j` at `b[p·b_stride + j]` — reads `B` in place (shifted
+    /// input planes of a stride-1 convolution) with no packing.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `ap` must hold `k·m` elements in `[p][m]` layout
+    /// and `b` must cover `(k−1)·b_stride + NR` elements.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn kernel_tall_avx512_strided(
+        m: usize,
+        k: usize,
+        ap: &[f32],
+        b: &[f32],
+        b_stride: usize,
+        acc: &mut [[f32; NR]; TALL_MAX],
+    ) {
+        debug_assert!((1..=TALL_MAX).contains(&m));
+        debug_assert!(ap.len() >= k * m);
+        debug_assert!(k == 0 || b.len() >= (k - 1) * b_stride + NR);
+        // Monomorphize over m so the accumulator array stays in registers.
+        match m {
+            1 => tall_impl::<1>(k, ap, b, b_stride, acc),
+            2 => tall_impl::<2>(k, ap, b, b_stride, acc),
+            3 => tall_impl::<3>(k, ap, b, b_stride, acc),
+            4 => tall_impl::<4>(k, ap, b, b_stride, acc),
+            5 => tall_impl::<5>(k, ap, b, b_stride, acc),
+            6 => tall_impl::<6>(k, ap, b, b_stride, acc),
+            7 => tall_impl::<7>(k, ap, b, b_stride, acc),
+            8 => tall_impl::<8>(k, ap, b, b_stride, acc),
+            _ => unreachable!("tall kernel called with m > TALL_MAX"),
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tall_impl<const M: usize>(
+        k: usize,
+        ap: &[f32],
+        b: &[f32],
+        b_stride: usize,
+        acc: &mut [[f32; NR]; TALL_MAX],
+    ) {
+        for half in 0..2 {
+            let off = half * (NR / 2);
+            let mut c = [[_mm512_setzero_ps(); 2]; M];
+            let mut a_ptr = ap.as_ptr();
+            let mut b_ptr = b.as_ptr().add(off);
+            for _ in 0..k {
+                let b0 = _mm512_loadu_ps(b_ptr);
+                let b1 = _mm512_loadu_ps(b_ptr.add(16));
+                for (i, row) in c.iter_mut().enumerate() {
+                    let a = _mm512_set1_ps(*a_ptr.add(i));
+                    row[0] = _mm512_fmadd_ps(a, b0, row[0]);
+                    row[1] = _mm512_fmadd_ps(a, b1, row[1]);
+                }
+                a_ptr = a_ptr.add(M);
+                b_ptr = b_ptr.add(b_stride);
+            }
+            for (i, row) in c.iter().enumerate() {
+                _mm512_storeu_ps(acc[i][off..].as_mut_ptr(), row[0]);
+                _mm512_storeu_ps(acc[i][off + 16..].as_mut_ptr(), row[1]);
+            }
+        }
+    }
 
     /// 2×64 tile as 8 zmm accumulators (4 per row), FMA over `k`.
     ///
@@ -481,5 +988,207 @@ mod x86 {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 7 + 3) % 11) as f32 * scale - 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn gemm_packed_matches_gemm_nn() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 5),
+            (6, 60, 130),
+            (7, 17, 65),
+        ] {
+            let a = seq(m * k, 0.5);
+            let b = seq(k * n, 0.25);
+            let mut pa = PackedA::new();
+            pa.pack_nn(m, k, &a);
+            let mut pb = vec![0.0f32; packed_b_len(k, n)];
+            pack_b_into(k, n, &b, &mut pb);
+            let mut c = vec![f32::NAN; m * n];
+            gemm_packed(&pa, n, &pb, &mut c, false);
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut c_ref, false);
+            for (x, y) in c.iter().zip(&c_ref) {
+                assert!((x - y).abs() < 1e-4, "{m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_packed_accumulates() {
+        let (m, k, n) = (3usize, 4usize, 70usize);
+        let a = seq(m * k, 1.0);
+        let b = seq(k * n, 0.5);
+        let mut pa = PackedA::new();
+        pa.pack_nn(m, k, &a);
+        let mut pb = vec![0.0f32; packed_b_len(k, n)];
+        pack_b_into(k, n, &b, &mut pb);
+        let mut c = vec![1.0f32; m * n];
+        gemm_packed(&pa, n, &pb, &mut c, true);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - (y + 1.0)).abs() < 1e-3, "{x} vs {}", y + 1.0);
+        }
+    }
+
+    #[test]
+    fn packed_a_is_reusable_across_shapes() {
+        let mut pa = PackedA::new();
+        // Pack a big matrix first, then a smaller one: stale tail data must
+        // not leak into the second product.
+        pa.pack_nn(8, 32, &seq(8 * 32, 0.1));
+        let (m, k, n) = (3usize, 5usize, 4usize);
+        let a = seq(m * k, 0.3);
+        let b = seq(k * n, 0.7);
+        pa.pack_nn(m, k, &a);
+        assert_eq!((pa.m(), pa.k()), (m, k));
+        let mut pb = vec![0.0f32; packed_b_len(k, n)];
+        pack_b_into(k, n, &b, &mut pb);
+        let mut c = vec![0.0f32; m * n];
+        gemm_packed(&pa, n, &pb, &mut c, false);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_packed_panel_batch_matches_full_pack() {
+        let (m, k, n, batch) = (5usize, 7usize, 150usize, 3usize);
+        let a = seq(m * k, 0.3);
+        let bs: Vec<Vec<f32>> = (0..batch)
+            .map(|bi| seq(k * n, 0.2 + bi as f32 * 0.1))
+            .collect();
+        let mut pa = PackedA::new();
+        pa.pack_nn(m, k, &a);
+        let c_stride = m * n;
+        let mut c = vec![f32::NAN; batch * c_stride];
+        let bs_ref = &bs;
+        gemm_packed_panel_batch(
+            &pa,
+            n,
+            batch,
+            &|bi, jp, panel| {
+                // Extract panel jp from the row-major sample.
+                let j0 = jp * NR;
+                let cols = NR.min(n - j0);
+                for p in 0..k {
+                    let row = &mut panel[p * NR..(p + 1) * NR];
+                    row[cols..].fill(0.0);
+                    row[..cols].copy_from_slice(&bs_ref[bi][p * n + j0..p * n + j0 + cols]);
+                }
+            },
+            &mut c,
+            c_stride,
+            false,
+        );
+        for bi in 0..batch {
+            let want = naive(m, k, n, &a, &bs[bi]);
+            let got = &c[bi * c_stride..(bi + 1) * c_stride];
+            for (x, y) in got.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-3, "sample {bi}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_packed_strided_b_reads_in_place() {
+        // B rows live at stride 200 inside a larger buffer; C columns land
+        // in a window of a wider output. Covers full panels + ragged tail.
+        let (m, k, n_eff, b_stride, c_cols, c_off) =
+            (6usize, 9usize, 150usize, 200usize, 170usize, 11usize);
+        let a = seq(m * k, 0.4);
+        let big = seq((k - 1) * b_stride + n_eff + 7, 0.05);
+        let mut pa = PackedA::new();
+        pa.pack_nn(m, k, &a);
+        // Dense copy of the strided view for the reference product.
+        let mut b_dense = vec![0.0f32; k * n_eff];
+        for p in 0..k {
+            b_dense[p * n_eff..(p + 1) * n_eff]
+                .copy_from_slice(&big[p * b_stride..p * b_stride + n_eff]);
+        }
+        let want = naive(m, k, n_eff, &a, &b_dense);
+        for accumulate in [false, true] {
+            let mut c = vec![0.5f32; m * c_cols];
+            gemm_packed_strided_b(
+                &pa, &big, b_stride, n_eff, &mut c, c_cols, c_off, accumulate,
+            );
+            let base = if accumulate { 0.5 } else { 0.0 };
+            for i in 0..m {
+                for j in 0..n_eff {
+                    let got = c[i * c_cols + c_off + j];
+                    let expect = want[i * n_eff + j] + base;
+                    assert!(
+                        (got - expect).abs() < 1e-3,
+                        "acc {accumulate} ({i},{j}): {got} vs {expect}"
+                    );
+                }
+                // Columns outside the window stay untouched.
+                for j in 0..c_off {
+                    assert_eq!(c[i * c_cols + j], 0.5, "left gutter clobbered");
+                }
+                for j in c_off + n_eff..c_cols {
+                    assert_eq!(c[i * c_cols + j], 0.5, "right gutter clobbered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_strided_matches_dense_pack() {
+        // A tap of a (c_out, c_in, l) weight tensor: rs = c_in·l, cs = l.
+        let (c_out, c_in, l, li) = (4usize, 3usize, 5usize, 2usize);
+        let w = seq(c_out * c_in * l, 0.3);
+        let mut dense = vec![0.0f32; c_out * c_in];
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                dense[co * c_in + ci] = w[co * c_in * l + ci * l + li];
+            }
+        }
+        let mut pa_dense = PackedA::new();
+        pa_dense.pack_nn(c_out, c_in, &dense);
+        let mut pa_strided = PackedA::new();
+        pa_strided.pack_strided(c_out, c_in, &w[li..], c_in * l, l);
+        let b = seq(c_in * 80, 0.2);
+        let mut pb = vec![0.0f32; packed_b_len(c_in, 80)];
+        pack_b_into(c_in, 80, &b, &mut pb);
+        let (mut c1, mut c2) = (vec![0.0f32; c_out * 80], vec![0.0f32; c_out * 80]);
+        gemm_packed(&pa_dense, 80, &pb, &mut c1, false);
+        gemm_packed(&pa_strided, 80, &pb, &mut c2, false);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn pack_b_into_matches_internal_packing() {
+        let (k, n) = (5usize, 130usize); // 3 panels, ragged right edge
+        let b = seq(k * n, 0.4);
+        let mut public = vec![f32::NAN; packed_b_len(k, n)];
+        pack_b_into(k, n, &b, &mut public);
+        let mut internal = Vec::new();
+        pack_b(k, n, MatRef::row_major(&b, n), &mut internal);
+        assert_eq!(public, internal);
     }
 }

@@ -37,7 +37,10 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use gemm::{gemm_nn, gemm_nt, gemm_tn, thread_count};
+pub use gemm::{
+    gemm_nn, gemm_nt, gemm_packed, gemm_packed_panel_batch, gemm_packed_strided_b, gemm_tn,
+    pack_b_into, packed_b_len, thread_count, PackedA, GEMM_NR,
+};
 pub use ops::argmax;
 pub use rng::{shuffled_indices, SeededRng};
 pub use shape::Shape;

@@ -1,0 +1,171 @@
+//! Cross-instance batching equivalence: `compute_dcam_many` over a batch of
+//! requests must reproduce per-instance `compute_dcam` to float noise —
+//! across odd/even `D`, mixed `only_correct` outcomes (including requests
+//! whose target class is never predicted, which exercises the per-instance
+//! fallback inside a shared mega-batch), and `max_batch` both smaller and
+//! larger than the total work list.
+
+use dcam::arch::cnn;
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::dcam_many::{compute_dcam_many, DcamManyConfig, DcamRequest};
+use dcam::{InputEncoding, ModelScale};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
+    let mut rng = SeededRng::new(seed);
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+/// 1e-5 agreement relative to magnitude: the batched engine's fused forward
+/// reassociates float sums, so large maps carry proportionally large — but
+/// relatively tiny — differences.
+fn close(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(&x, &y)| (x - y).abs() <= 1e-5 * x.abs().max(y.abs()).max(1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn compute_dcam_many_matches_per_instance_compute_dcam(
+        d in 3usize..=6,                  // odd and even D
+        n in 8usize..=20,
+        k in 3usize..=9,
+        max_batch in 1usize..=64,         // smaller and larger than N·k
+        only_correct in any::<bool>(),
+        model_seed in 0u64..1000,
+        series_seed in 0u64..1000,
+        perm_seed in 0u64..1000,
+    ) {
+        let n_classes = 3;
+        let series: Vec<MultivariateSeries> =
+            (0..4).map(|i| toy_series(d, n, series_seed + i)).collect();
+        // Mixed classes: with an untrained Tiny model some of these are
+        // never predicted (ng = 0 → per-instance fallback), others are.
+        let classes = [0usize, 1, 2, 1];
+        let dcam_cfg = DcamConfig {
+            k,
+            only_correct,
+            seed: perm_seed,
+            ..Default::default()
+        };
+
+        let mut m_seq = cnn(
+            InputEncoding::Dcnn, d, n_classes, ModelScale::Tiny,
+            &mut SeededRng::new(model_seed),
+        );
+        let want: Vec<_> = series
+            .iter()
+            .zip(&classes)
+            .map(|(s, &c)| compute_dcam(&mut m_seq, s, c, &dcam_cfg))
+            .collect();
+
+        let mut m_many = cnn(
+            InputEncoding::Dcnn, d, n_classes, ModelScale::Tiny,
+            &mut SeededRng::new(model_seed),
+        );
+        let requests: Vec<DcamRequest<'_>> = series
+            .iter()
+            .zip(&classes)
+            .map(|(series, &class)| DcamRequest { series, class })
+            .collect();
+        let cfg = DcamManyConfig { dcam: dcam_cfg, max_batch };
+        let got = compute_dcam_many(&mut m_many, &requests, &cfg);
+
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g.ng, w.ng, "request {} ng", i);
+            prop_assert_eq!(g.k, w.k, "request {} k", i);
+            prop_assert!(close(&g.mbar, &w.mbar), "request {} mbar", i);
+            prop_assert!(close(&g.dcam, &w.dcam), "request {} dcam", i);
+            for (gm, wm) in g.mu.iter().zip(&w.mu) {
+                prop_assert!(
+                    (gm - wm).abs() <= 1e-5 * gm.abs().max(wm.abs()).max(1.0),
+                    "request {} mu", i
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic regression for the fallback-inside-a-shared-batch case:
+/// some requests fall back to all permutations while neighbors in the same
+/// mega-batch do not.
+#[test]
+fn mixed_fallback_outcomes_in_one_mega_batch() {
+    let (d, n, n_classes) = (4usize, 10usize, 4usize);
+    let series: Vec<MultivariateSeries> = (0..3).map(|i| toy_series(d, n, 300 + i)).collect();
+    let mut probe = cnn(
+        InputEncoding::Dcnn,
+        d,
+        n_classes,
+        ModelScale::Tiny,
+        &mut SeededRng::new(31),
+    );
+    let cfg_all = DcamConfig {
+        k: 6,
+        only_correct: false,
+        ..Default::default()
+    };
+    // Find a class the untrained model never predicts for series 1 but a
+    // class it does predict for series 0.
+    let dead = (0..n_classes)
+        .find(|&c| compute_dcam(&mut probe, &series[1], c, &cfg_all).ng == 0)
+        .expect("some class is never predicted");
+    let live = (0..n_classes)
+        .find(|&c| compute_dcam(&mut probe, &series[0], c, &cfg_all).ng > 0)
+        .expect("some class is predicted at least once");
+
+    let dcam_cfg = DcamConfig {
+        k: 6,
+        only_correct: true,
+        ..Default::default()
+    };
+    let classes = [live, dead, live];
+    let mut m_seq = cnn(
+        InputEncoding::Dcnn,
+        d,
+        n_classes,
+        ModelScale::Tiny,
+        &mut SeededRng::new(31),
+    );
+    let want: Vec<_> = series
+        .iter()
+        .zip(&classes)
+        .map(|(s, &c)| compute_dcam(&mut m_seq, s, c, &dcam_cfg))
+        .collect();
+    assert_eq!(want[1].ng, 0, "request 1 must hit the fallback");
+    assert!(want[0].ng > 0, "request 0 must not");
+
+    let mut m_many = cnn(
+        InputEncoding::Dcnn,
+        d,
+        n_classes,
+        ModelScale::Tiny,
+        &mut SeededRng::new(31),
+    );
+    let requests: Vec<DcamRequest<'_>> = series
+        .iter()
+        .zip(&classes)
+        .map(|(series, &class)| DcamRequest { series, class })
+        .collect();
+    let cfg = DcamManyConfig {
+        dcam: dcam_cfg,
+        max_batch: 7, // straddles all three requests' segments
+    };
+    let got = compute_dcam_many(&mut m_many, &requests, &cfg);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.ng, w.ng, "request {i} ng");
+        assert!(close(&g.dcam, &w.dcam), "request {i} dcam");
+        assert!(close(&g.mbar, &w.mbar), "request {i} mbar");
+    }
+}
