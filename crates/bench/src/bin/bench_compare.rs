@@ -7,11 +7,12 @@
 //!
 //! Tracked metrics (matched structurally, so reordered rows still compare):
 //!
-//! * `matmul[n].new_gflops`            — higher is better
-//! * `conv[shape].im2col_fwd_ns`       — lower is better
-//! * `conv[shape].im2col_bwd_ns`       — lower is better
-//! * `dcam.new_ms`                     — lower is better
-//! * `dcam_many[n_instances].many_ms`  — lower is better
+//! * `matmul[n].new_gflops`              — higher is better
+//! * `conv[shape].im2col_fwd_ns`         — lower is better
+//! * `conv[shape].im2col_bwd_ns`         — lower is better
+//! * `dcam.new_ms`                       — lower is better
+//! * `dcam_many[n_instances].many_ms`    — lower is better
+//! * `service[n_submitters].throughput_rps` — higher is better
 //!
 //! Metrics present only in the candidate are reported but not compared
 //! (new benchmarks must not fail the first run that introduces them);
@@ -100,6 +101,15 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             });
         }
     }
+    for row in rows(report, "service") {
+        if let (Some(n), Some(v)) = (number(row, "n_submitters"), number(row, "throughput_rps")) {
+            out.push(Metric {
+                name: format!("service[{n}].throughput_rps"),
+                baseline: v,
+                higher_is_better: true,
+            });
+        }
+    }
     out
 }
 
@@ -128,6 +138,16 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
             matching_row(
                 &rows(report, "dcam_many"),
                 &[("n_instances", n.parse().ok()?)],
+            )?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("service[") {
+        let (n, key) = rest.split_once("].")?;
+        return number(
+            matching_row(
+                &rows(report, "service"),
+                &[("n_submitters", n.parse().ok()?)],
             )?,
             key,
         );

@@ -13,7 +13,8 @@
 
 use dcam::arch::cnn;
 use dcam::dcam::{compute_dcam, DcamConfig};
-use dcam::dcam_many::{compute_dcam_many, DcamManyConfig, DcamRequest};
+use dcam::dcam_many::{compute_dcam_many, DcamBatcherConfig, DcamManyConfig, DcamRequest};
+use dcam::service::{Backpressure, DcamService, ServiceConfig};
 use dcam::{InputEncoding, ModelScale};
 use dcam_nn::layers::{Conv2dRows, ConvStrategy, Layer};
 use dcam_series::MultivariateSeries;
@@ -69,11 +70,26 @@ struct DcamManyRow {
 }
 
 #[derive(Serialize)]
+struct ServiceRow {
+    n_submitters: usize,
+    requests: usize,
+    workers: usize,
+    /// Wall time from the first submission to the last resolved future.
+    total_ms: f64,
+    /// Requests served per second of wall time.
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
     dcam: DcamRow,
     dcam_many: Vec<DcamManyRow>,
+    service: Vec<ServiceRow>,
 }
 
 /// Best-of-`reps` wall time per call, in seconds.
@@ -353,6 +369,87 @@ fn bench_dcam_many() -> Vec<DcamManyRow> {
     rows
 }
 
+/// Latency-under-load of the async explanation service: `n_submitters`
+/// threads each fire a burst of requests at a single-worker service
+/// (single worker so the numbers are comparable to the `dcam_many`
+/// rows measured with one model). Same shape as the other dCAM rows
+/// (D=20, n=128, k=100); best-of-3 wall time, with the service's own
+/// latency percentiles from the final run.
+fn bench_service() -> Vec<ServiceRow> {
+    let mut rows = Vec::new();
+    for n_submitters in [1usize, 16] {
+        let per_thread = 2usize;
+        let requests = n_submitters * per_thread;
+        let mut best_total = f64::INFINITY;
+        let mut best_stats = None;
+        for _rep in 0..3 {
+            let mut rng = SeededRng::new(1);
+            let model = cnn(
+                InputEncoding::Dcnn,
+                DCAM_DIMS,
+                2,
+                ModelScale::Tiny,
+                &mut rng,
+            );
+            let cfg = ServiceConfig {
+                batcher: DcamBatcherConfig {
+                    many: DcamManyConfig {
+                        dcam: DcamConfig {
+                            k: DCAM_K,
+                            only_correct: false,
+                            seed: 3,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                    max_pending: 8,
+                    max_wait: Some(std::time::Duration::from_millis(2)),
+                },
+                queue_capacity: 256,
+                backpressure: Backpressure::Block,
+                latency_window: 4096,
+            };
+            let service = DcamService::spawn(vec![model], cfg);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..n_submitters as u64 {
+                    let handle = service.handle();
+                    scope.spawn(move || {
+                        for r in 0..per_thread as u64 {
+                            let mut srng = SeededRng::new(50 + t * 10 + r);
+                            let dims: Vec<Vec<f32>> = (0..DCAM_DIMS)
+                                .map(|_| (0..DCAM_LEN).map(|_| srng.normal()).collect())
+                                .collect();
+                            let series = MultivariateSeries::from_rows(&dims);
+                            let future = handle.submit(&series, 0).expect("submit");
+                            std::hint::black_box(future.wait().expect("served"));
+                        }
+                    });
+                }
+            });
+            let total = start.elapsed().as_secs_f64();
+            let (_, stats) = service.shutdown();
+            assert_eq!(stats.completed as usize, requests);
+            if total < best_total {
+                best_total = total;
+                best_stats = Some(stats);
+            }
+        }
+        let stats = best_stats.expect("at least one rep");
+        rows.push(ServiceRow {
+            n_submitters,
+            requests,
+            workers: 1,
+            total_ms: best_total * 1e3,
+            throughput_rps: requests as f64 / best_total,
+            p50_ms: stats.p50_latency.as_secs_f64() * 1e3,
+            p99_ms: stats.p99_latency.as_secs_f64() * 1e3,
+            mean_batch: stats.mean_batch,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--dcam-seed-only") {
@@ -388,6 +485,9 @@ fn main() {
     eprintln!("dcam_many (cross-instance engine, N in {{1, 4, 16}}) ...");
     let dcam_many = bench_dcam_many();
 
+    eprintln!("service (async explanation service under load) ...");
+    let service = bench_service();
+
     let report = Report {
         matmul,
         conv,
@@ -400,6 +500,7 @@ fn main() {
             speedup: seed_ms / new_ms,
         },
         dcam_many,
+        service,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -47,7 +47,7 @@ pub fn cnn(
         InputEncoding::Dcnn => "dCNN",
         InputEncoding::Rnn => unreachable!(),
     };
-    GapClassifier::new(name, encoding, features, head)
+    GapClassifier::new(name, encoding, features, head).with_input_dims(n_dims)
 }
 
 #[cfg(test)]

@@ -237,7 +237,7 @@ pub fn inception_time(
         InputEncoding::Dcnn => "dInceptionTime",
         InputEncoding::Rnn => unreachable!(),
     };
-    GapClassifier::new(name, encoding, features, head)
+    GapClassifier::new(name, encoding, features, head).with_input_dims(n_dims)
 }
 
 #[cfg(test)]

@@ -88,6 +88,7 @@ pub struct GapClassifier {
     gap: GlobalAvgPool,
     head: Dense,
     name: String,
+    input_dims: Option<usize>,
 }
 
 impl GapClassifier {
@@ -104,7 +105,24 @@ impl GapClassifier {
             gap: GlobalAvgPool::new(),
             head,
             name: name.into(),
+            input_dims: None,
         }
+    }
+
+    /// Records the series dimension count `D` this classifier was built
+    /// for, enabling submit-time shape validation in the explanation
+    /// service. The architecture constructors ([`cnn`], [`resnet`],
+    /// [`inception_time`]) all set it.
+    pub fn with_input_dims(mut self, d: usize) -> Self {
+        self.input_dims = Some(d);
+        self
+    }
+
+    /// The series dimension count `D` this classifier expects, when known
+    /// (recorded by the architecture constructors; `None` for classifiers
+    /// assembled directly through [`GapClassifier::new`]).
+    pub fn input_dims(&self) -> Option<usize> {
+        self.input_dims
     }
 
     /// The input convention this classifier expects.

@@ -78,7 +78,7 @@ pub fn resnet(
         InputEncoding::Dcnn => "dResNet",
         InputEncoding::Rnn => unreachable!(),
     };
-    GapClassifier::new(name, encoding, features, head)
+    GapClassifier::new(name, encoding, features, head).with_input_dims(n_dims)
 }
 
 #[cfg(test)]

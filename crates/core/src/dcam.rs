@@ -308,6 +308,22 @@ impl MAccumulator {
 /// allocations of the original implementation are gone entirely; what
 /// remains per batch is the model forward itself plus the `M`-transform
 /// worker accumulators inside [`par_accumulate`].
+///
+/// ```
+/// use dcam::arch::{cnn, InputEncoding, ModelScale};
+/// use dcam::dcam::{compute_dcam, DcamConfig};
+/// use dcam_series::MultivariateSeries;
+/// use dcam_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut model = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+/// let series = MultivariateSeries::from_rows(&[vec![0.1; 16], vec![0.2; 16], vec![0.3; 16]]);
+/// let cfg = DcamConfig { k: 5, only_correct: false, ..Default::default() };
+/// let result = compute_dcam(&mut model, &series, 0, &cfg);
+/// assert_eq!(result.dcam.dims(), &[3, 16]);   // one row per dimension
+/// assert_eq!(result.mbar.dims(), &[3, 3, 16]); // the averaged M̄ cube
+/// assert!(result.ng <= result.k);
+/// ```
 pub fn compute_dcam(
     model: &mut GapClassifier,
     series: &MultivariateSeries,

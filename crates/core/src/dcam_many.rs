@@ -25,6 +25,7 @@ use crate::dcam::{assemble_cube, sample_perms, DcamConfig, DcamResult, MAccumula
 use dcam_nn::BatchArena;
 use dcam_series::MultivariateSeries;
 use dcam_tensor::{argmax, Tensor};
+use std::time::{Duration, Instant};
 
 /// One explanation request: explain `series` for `class`.
 #[derive(Debug, Clone, Copy)]
@@ -190,11 +191,46 @@ pub type Ticket = u64;
 /// across flushes) and hands back `(ticket, result)` pairs in submission
 /// order. [`DcamBatcher::flush`] drains whatever is pending — the
 /// "serve the stragglers" path a server runs on a timer.
+///
+/// For a serving loop that decides flushes itself (the asynchronous
+/// explanation service), [`DcamBatcher::push`] buffers without flushing
+/// and [`DcamBatcher::should_flush`] / [`DcamBatcher::next_deadline`]
+/// expose the policy, including the [`DcamBatcherConfig::max_wait`]
+/// partial-batch deadline.
+///
+/// ```
+/// use dcam::arch::{cnn, InputEncoding, ModelScale};
+/// use dcam::dcam_many::{DcamBatcher, DcamBatcherConfig, DcamManyConfig};
+/// use dcam::DcamConfig;
+/// use dcam_series::MultivariateSeries;
+/// use dcam_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut model = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+/// let cfg = DcamBatcherConfig {
+///     many: DcamManyConfig {
+///         dcam: DcamConfig { k: 4, only_correct: false, ..Default::default() },
+///         max_batch: 4,
+///     },
+///     max_pending: 2, // auto-flush every two submissions
+///     max_wait: None,
+/// };
+/// let mut batcher = DcamBatcher::new(cfg);
+/// let series = MultivariateSeries::from_rows(&[vec![0.5; 12], vec![0.1; 12], vec![0.9; 12]]);
+/// let (t0, none_yet) = batcher.submit(&mut model, &series, 0);
+/// assert!(none_yet.is_empty()); // still filling
+/// let (t1, served) = batcher.submit(&mut model, &series, 1);
+/// let tickets: Vec<_> = served.iter().map(|(t, _)| *t).collect();
+/// assert_eq!(tickets, vec![t0, t1]); // submission order
+/// ```
 pub struct DcamBatcher {
     cfg: DcamBatcherConfig,
     pending: Vec<(Ticket, MultivariateSeries, usize)>,
     arena: BatchArena,
     next_ticket: Ticket,
+    /// When the oldest buffered request was pushed — the anchor of the
+    /// [`DcamBatcherConfig::max_wait`] flush deadline.
+    first_pending_since: Option<Instant>,
 }
 
 /// Flush policy of a [`DcamBatcher`].
@@ -207,6 +243,16 @@ pub struct DcamBatcherConfig {
     /// service (lowest latency), larger values trade latency for
     /// throughput.
     pub max_pending: usize,
+    /// Flush deadline: once the oldest buffered request has waited this
+    /// long, [`DcamBatcher::should_flush`] turns true even for a partial
+    /// batch. `None` leaves flushing purely count-driven
+    /// ([`max_pending`]) / caller-driven ([`DcamBatcher::flush`]). The
+    /// batcher never flushes spontaneously — a serving loop polls
+    /// [`DcamBatcher::should_flush`] / [`DcamBatcher::next_deadline`]
+    /// (see [`crate::service::DcamService`]).
+    ///
+    /// [`max_pending`]: DcamBatcherConfig::max_pending
+    pub max_wait: Option<Duration>,
 }
 
 impl Default for DcamBatcherConfig {
@@ -214,6 +260,7 @@ impl Default for DcamBatcherConfig {
         DcamBatcherConfig {
             many: DcamManyConfig::default(),
             max_pending: 16,
+            max_wait: None,
         }
     }
 }
@@ -227,12 +274,50 @@ impl DcamBatcher {
             pending: Vec::new(),
             arena: BatchArena::new(),
             next_ticket: 0,
+            first_pending_since: None,
         }
     }
 
     /// Number of buffered, not-yet-served requests.
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Buffers one request without flushing, taking ownership of the
+    /// series (no clone). The serving loop that drives the batcher decides
+    /// when to call [`DcamBatcher::flush`], typically by polling
+    /// [`DcamBatcher::should_flush`].
+    pub fn push(&mut self, series: MultivariateSeries, class: usize) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        if self.pending.is_empty() {
+            self.first_pending_since = Some(Instant::now());
+        }
+        self.pending.push((ticket, series, class));
+        ticket
+    }
+
+    /// True once the flush policy is satisfied: [`max_pending`] requests
+    /// are buffered, or the oldest buffered request has waited
+    /// [`max_wait`] (when configured).
+    ///
+    /// [`max_pending`]: DcamBatcherConfig::max_pending
+    /// [`max_wait`]: DcamBatcherConfig::max_wait
+    pub fn should_flush(&self) -> bool {
+        if self.pending.len() >= self.cfg.max_pending {
+            return true;
+        }
+        matches!(self.next_deadline(), Some(deadline) if Instant::now() >= deadline)
+    }
+
+    /// The instant at which the [`max_wait`] policy will demand a flush:
+    /// oldest buffered request's push time + `max_wait`. `None` while the
+    /// batcher is empty or when no `max_wait` is configured. A serving
+    /// loop sleeps until this deadline when its request queue runs dry.
+    ///
+    /// [`max_wait`]: DcamBatcherConfig::max_wait
+    pub fn next_deadline(&self) -> Option<Instant> {
+        Some(self.first_pending_since? + self.cfg.max_wait?)
     }
 
     /// Buffers one request and returns its ticket, plus any results an
@@ -243,9 +328,7 @@ impl DcamBatcher {
         series: &MultivariateSeries,
         class: usize,
     ) -> (Ticket, Vec<(Ticket, DcamResult)>) {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
-        self.pending.push((ticket, series.clone(), class));
+        let ticket = self.push(series.clone(), class);
         let results = if self.pending.len() >= self.cfg.max_pending {
             self.flush(model)
         } else {
@@ -259,6 +342,7 @@ impl DcamBatcher {
     /// so mixed-length traffic still batches within each group.
     pub fn flush(&mut self, model: &mut GapClassifier) -> Vec<(Ticket, DcamResult)> {
         let pending = std::mem::take(&mut self.pending);
+        self.first_pending_since = None;
         if pending.is_empty() {
             return Vec::new();
         }
@@ -403,6 +487,7 @@ mod tests {
                 max_batch: 6,
             },
             max_pending: 3,
+            max_wait: None,
         };
         let mut batcher = DcamBatcher::new(cfg);
         let series: Vec<MultivariateSeries> = (0..3).map(|i| toy_series(d, 10, 60 + i)).collect();
@@ -432,6 +517,7 @@ mod tests {
                 max_batch: 4,
             },
             max_pending: 100,
+            max_wait: None,
         };
         let mut batcher = DcamBatcher::new(cfg.clone());
         let short = toy_series(d, 8, 70);

@@ -46,6 +46,12 @@
 //! );
 //! assert_eq!(result.dcam.dims(), &[4, 48]);
 //! ```
+//!
+//! For serving many concurrent explanation requests, see [`dcam_many`]
+//! (cross-instance batching) and [`service`] (the asynchronous explanation
+//! service built on top of it).
+
+#![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod arch;
@@ -55,6 +61,7 @@ pub mod dcam_many;
 pub mod knn;
 pub mod model;
 pub mod occlusion;
+pub mod service;
 pub mod train;
 pub mod viz;
 
@@ -64,6 +71,10 @@ pub use dcam_many::{
     compute_dcam_many, DcamBatcher, DcamBatcherConfig, DcamManyConfig, DcamRequest, Ticket,
 };
 pub use model::{ArchKind, Classifier};
+pub use service::{
+    Backpressure, DcamService, ExplanationFuture, RequestOptions, ServiceConfig, ServiceError,
+    ServiceHandle, ServiceStats,
+};
 
 /// Grad-CAM support lives with the MTEX architecture; re-exported here for
 /// discoverability.

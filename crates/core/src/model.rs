@@ -192,6 +192,17 @@ impl Classifier {
         }
     }
 
+    /// Consumes the classifier and returns the GAP model inside, if this
+    /// architecture has one — the owned-model handoff an explanation
+    /// service needs ([`crate::service::DcamService::spawn`] takes worker
+    /// models by value).
+    pub fn into_gap(self) -> Option<GapClassifier> {
+        match self {
+            Classifier::Gap(g) => Some(g),
+            _ => None,
+        }
+    }
+
     /// The MTEX classifier inside, if any.
     pub fn as_mtex_mut(&mut self) -> Option<&mut MtexCnn> {
         match self {

@@ -1,0 +1,1071 @@
+//! Asynchronous explanation service: the [`DcamBatcher`] engine behind a
+//! request queue and worker threads that own the model.
+//!
+//! [`crate::dcam_many::compute_dcam_many`] and [`DcamBatcher`] are
+//! synchronous — whoever calls `flush` runs the forwards on their own
+//! thread. A server cannot work that way: request handlers must return
+//! immediately, batches should form from *concurrent* traffic, and exactly
+//! one thread may drive a model (forwards take `&mut`). [`DcamService`]
+//! supplies that missing layer:
+//!
+//! * callers hold a cheap, cloneable [`ServiceHandle`] and submit
+//!   `(series, class?, options)` requests; each submission returns an
+//!   [`ExplanationFuture`] that resolves to `Result<DcamResult,
+//!   ServiceError>`;
+//! * requests travel through a **bounded MPSC queue** whose full-queue
+//!   behaviour is configurable ([`Backpressure`]: block, reject, or block
+//!   with a timeout);
+//! * one or more **worker threads** own a [`GapClassifier`] replica each
+//!   (replicate a trained model with [`replicate_model`]) and drive a
+//!   [`DcamBatcher`]: a flush fires when [`DcamBatcherConfig::max_pending`]
+//!   requests are buffered, when the oldest buffered request has waited
+//!   [`DcamBatcherConfig::max_wait`], or — with no `max_wait` configured —
+//!   as soon as the queue runs dry;
+//! * [`DcamService::shutdown`] closes the queue, drains every request
+//!   already submitted, joins the workers and returns the models;
+//! * [`DcamService::stats`] exposes queue depth, a batch-size histogram
+//!   and latency percentiles for the bench harness.
+//!
+//! # Example
+//!
+//! ```
+//! use dcam::arch::{cnn, InputEncoding, ModelScale};
+//! use dcam::service::{DcamService, ServiceConfig};
+//! use dcam::DcamConfig;
+//! use dcam_series::MultivariateSeries;
+//! use dcam_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let model = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+//! let mut cfg = ServiceConfig::default();
+//! cfg.batcher.many.dcam = DcamConfig { k: 4, only_correct: false, ..Default::default() };
+//!
+//! let service = DcamService::spawn(vec![model], cfg);
+//! let handle = service.handle();
+//! let series = MultivariateSeries::from_rows(&[vec![0.5; 12], vec![-0.5; 12], vec![0.1; 12]]);
+//! let future = handle.submit(&series, 1).unwrap();
+//! let result = future.wait().unwrap();
+//! assert_eq!(result.dcam.dims(), &[3, 12]);
+//! let (_models, stats) = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+use crate::arch::{GapClassifier, InputEncoding};
+use crate::dcam::DcamResult;
+use crate::dcam_many::{DcamBatcher, DcamBatcherConfig, Ticket};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::argmax;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What [`ServiceHandle::submit`] does when the request queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the submitting thread until a slot frees up (or the service
+    /// shuts down). Never loses requests; propagates load to producers.
+    Block,
+    /// Fail fast with [`ServiceError::QueueFull`]. The caller decides
+    /// whether to retry, degrade, or drop.
+    Reject,
+    /// Block up to the given duration, then fail with
+    /// [`ServiceError::SubmitTimeout`].
+    Timeout(Duration),
+}
+
+/// Per-request options of a [`ServiceHandle`] submission.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// The class whose activation map is extracted. `None` explains the
+    /// model's *predicted* class for the instance (the worker runs one
+    /// extra single-sample forward to determine it).
+    pub class: Option<usize>,
+    /// With `only_correct` dCAM semantics, a request whose `k` permutations
+    /// are *all* misclassified normally falls back to averaging every
+    /// permutation (`ng == 0` flags the low quality). Set this to turn
+    /// that fallback into a per-request [`ServiceError::OnlyCorrectMiss`]
+    /// instead.
+    pub strict_only_correct: bool,
+}
+
+/// Everything that can go wrong with one explanation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The submitted series' dimension count does not match the model's.
+    ShapeMismatch {
+        /// Dimension count the service's models were built for.
+        expected_dims: usize,
+        /// Dimension count of the submitted series.
+        got_dims: usize,
+    },
+    /// The submitted series has zero length — there is nothing to explain
+    /// (and the forward path cannot run on an empty cube).
+    EmptySeries,
+    /// The requested class index is outside the model's class range.
+    InvalidClass {
+        /// The class requested.
+        class: usize,
+        /// Number of classes the model discriminates.
+        n_classes: usize,
+    },
+    /// [`Backpressure::Reject`]: the queue was at capacity.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// [`Backpressure::Timeout`]: no queue slot freed up in time.
+    SubmitTimeout {
+        /// How long the submitter waited.
+        waited: Duration,
+    },
+    /// The service is shutting down (or already shut down); the request
+    /// was not accepted.
+    ShuttingDown,
+    /// [`RequestOptions::strict_only_correct`]: no permutation of this
+    /// instance was classified as the target class, so under
+    /// `only_correct` semantics there is no trustworthy map to return.
+    OnlyCorrectMiss {
+        /// Number of permutations evaluated.
+        k: usize,
+    },
+    /// The worker serving this request died (panicked) before producing a
+    /// result.
+    WorkerLost,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShapeMismatch {
+                expected_dims,
+                got_dims,
+            } => write!(
+                f,
+                "series has {got_dims} dimensions, the service's models expect {expected_dims}"
+            ),
+            ServiceError::EmptySeries => write!(f, "series has zero length"),
+            ServiceError::InvalidClass { class, n_classes } => {
+                write!(f, "class {class} out of range (model has {n_classes})")
+            }
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "request queue at capacity ({capacity})")
+            }
+            ServiceError::SubmitTimeout { waited } => {
+                write!(f, "no queue slot freed up within {waited:?}")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::OnlyCorrectMiss { k } => write!(
+                f,
+                "none of the {k} permutations was classified as the target class \
+                 (strict only_correct)"
+            ),
+            ServiceError::WorkerLost => write!(f, "worker thread died before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The caller's side of one in-flight explanation request.
+///
+/// A thin wrapper over a one-shot channel: [`wait`](ExplanationFuture::wait)
+/// blocks until the worker answers, [`try_get`](ExplanationFuture::try_get)
+/// polls. Dropping the future is fine — the request still runs, the answer
+/// is discarded.
+pub struct ExplanationFuture {
+    rx: mpsc::Receiver<Result<DcamResult, ServiceError>>,
+}
+
+impl ExplanationFuture {
+    /// Blocks until the request is served (or its worker dies).
+    pub fn wait(self) -> Result<DcamResult, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
+    }
+
+    /// Blocks up to `timeout`. `None` means the request is still in
+    /// flight; the future remains usable.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<DcamResult, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::WorkerLost)),
+        }
+    }
+
+    /// Non-blocking poll. `None` means the request is still in flight.
+    pub fn try_get(&self) -> Option<Result<DcamResult, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::WorkerLost)),
+        }
+    }
+}
+
+/// Configuration of a [`DcamService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine + flush policy each worker drives: dCAM semantics and
+    /// mega-batch capacity (`batcher.many`), the full-batch flush
+    /// threshold (`batcher.max_pending`) and the partial-batch flush
+    /// deadline (`batcher.max_wait`).
+    ///
+    /// `max_wait` is the latency a partial batch pays on purpose: when the
+    /// queue runs dry with requests buffered, the worker keeps waiting for
+    /// more traffic until the oldest request hits the deadline — so a lone
+    /// request on an idle service resolves after ~`max_wait`. Set
+    /// `max_wait: None` for a purely count-driven policy where workers
+    /// instead flush as soon as the queue runs dry (lowest idle latency,
+    /// but bursty-with-gaps traffic then batches poorly).
+    pub batcher: DcamBatcherConfig,
+    /// Bound of the shared request queue (requests accepted but not yet
+    /// picked up by a worker). Must be at least 1.
+    pub queue_capacity: usize,
+    /// What `submit` does when the queue is full.
+    pub backpressure: Backpressure,
+    /// How many of the most recent request latencies the stats keep for
+    /// the percentile estimates (a ring buffer; memory stays bounded no
+    /// matter how long the service runs).
+    pub latency_window: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batcher: DcamBatcherConfig {
+                max_wait: Some(Duration::from_millis(10)),
+                ..Default::default()
+            },
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
+            latency_window: 4096,
+        }
+    }
+}
+
+/// Why a worker flushed its batcher (tallied in [`ServiceStats`]).
+#[derive(Debug, Clone, Copy)]
+enum FlushReason {
+    /// `max_pending` requests were buffered.
+    Full,
+    /// The oldest buffered request hit the `max_wait` deadline.
+    Deadline,
+    /// The request queue ran dry with requests buffered.
+    QueueDrained,
+    /// The service is shutting down; leftovers were drained.
+    Shutdown,
+}
+
+/// A point-in-time snapshot of the service's counters, exposed for the
+/// bench harness and for operational monitoring.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with `Ok`.
+    pub completed: u64,
+    /// Requests answered with a per-request error.
+    pub failed: u64,
+    /// Submissions refused at the queue (full / timeout / shutting down).
+    pub rejected: u64,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Flushes triggered by a full batch (`max_pending`).
+    pub flushes_full: u64,
+    /// Flushes triggered by the `max_wait` deadline.
+    pub flushes_deadline: u64,
+    /// Flushes triggered by the queue running dry.
+    pub flushes_drained: u64,
+    /// Flushes triggered by shutdown draining.
+    pub flushes_shutdown: u64,
+    /// `hist[i]` counts flushes whose batch held `i + 1` requests; the
+    /// last bucket also absorbs anything larger.
+    pub batch_size_hist: Vec<u64>,
+    /// Mean requests per flush.
+    pub mean_batch: f64,
+    /// Median submit→answer latency over the recent window.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit→answer latency over the recent window.
+    pub p99_latency: Duration,
+    /// Mean submit→answer latency over *all* requests.
+    pub mean_latency: Duration,
+}
+
+/// Mutable half of the stats, behind the shared mutex.
+struct StatsInner {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    max_queue_depth: usize,
+    flushes_full: u64,
+    flushes_deadline: u64,
+    flushes_drained: u64,
+    flushes_shutdown: u64,
+    batch_size_hist: Vec<u64>,
+    /// Ring buffer of recent latencies (µs).
+    latencies_us: Vec<u64>,
+    latency_next: usize,
+    latency_count: u64,
+    latency_sum_us: u64,
+}
+
+impl StatsInner {
+    fn new(latency_window: usize, hist_buckets: usize) -> Self {
+        StatsInner {
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            max_queue_depth: 0,
+            flushes_full: 0,
+            flushes_deadline: 0,
+            flushes_drained: 0,
+            flushes_shutdown: 0,
+            batch_size_hist: vec![0; hist_buckets.max(1)],
+            latencies_us: Vec::with_capacity(latency_window.max(1)),
+            latency_next: 0,
+            latency_count: 0,
+            latency_sum_us: 0,
+        }
+    }
+
+    fn record_latency(&mut self, latency: Duration, window: usize) {
+        let us = latency.as_micros() as u64;
+        self.latency_count += 1;
+        self.latency_sum_us += us;
+        if self.latencies_us.len() < window.max(1) {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_next] = us;
+            self.latency_next = (self.latency_next + 1) % self.latencies_us.len();
+        }
+    }
+
+    fn record_flush(&mut self, batch: usize, reason: FlushReason) {
+        let bucket = batch.saturating_sub(1).min(self.batch_size_hist.len() - 1);
+        self.batch_size_hist[bucket] += 1;
+        match reason {
+            FlushReason::Full => self.flushes_full += 1,
+            FlushReason::Deadline => self.flushes_deadline += 1,
+            FlushReason::QueueDrained => self.flushes_drained += 1,
+            FlushReason::Shutdown => self.flushes_shutdown += 1,
+        }
+    }
+
+    fn snapshot(&self, queue_depth: usize) -> ServiceStats {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let percentile = |p: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_micros(sorted[idx])
+        };
+        let flushes: u64 = self.batch_size_hist.iter().sum();
+        let served: u64 = self
+            .batch_size_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        ServiceStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            rejected: self.rejected,
+            queue_depth,
+            max_queue_depth: self.max_queue_depth,
+            flushes_full: self.flushes_full,
+            flushes_deadline: self.flushes_deadline,
+            flushes_drained: self.flushes_drained,
+            flushes_shutdown: self.flushes_shutdown,
+            batch_size_hist: self.batch_size_hist.clone(),
+            mean_batch: if flushes == 0 {
+                0.0
+            } else {
+                served as f64 / flushes as f64
+            },
+            p50_latency: percentile(0.50),
+            p99_latency: percentile(0.99),
+            mean_latency: self
+                .latency_sum_us
+                .checked_div(self.latency_count)
+                .map_or(Duration::ZERO, Duration::from_micros),
+        }
+    }
+}
+
+/// One request as it sits in the shared queue.
+struct QueuedRequest {
+    series: MultivariateSeries,
+    opts: RequestOptions,
+    tx: mpsc::Sender<Result<DcamResult, ServiceError>>,
+    enqueued_at: Instant,
+}
+
+/// Queue state behind the mutex.
+struct QueueState {
+    queue: VecDeque<QueuedRequest>,
+    /// Set once by shutdown: no further submissions are accepted and
+    /// workers exit after draining.
+    closed: bool,
+}
+
+/// State shared between handles and workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a request is enqueued or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when a request is dequeued or the queue closes.
+    not_full: Condvar,
+    stats: Mutex<StatsInner>,
+    capacity: usize,
+    latency_window: usize,
+    expected_dims: usize,
+    n_classes: usize,
+}
+
+/// A poisoned mutex only means another thread panicked mid-update; the
+/// queue holds plain data, so keep serving instead of cascading panics.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Cheap, cloneable submission handle to a running [`DcamService`].
+///
+/// Handles stay valid after the service shuts down — submissions then fail
+/// with [`ServiceError::ShuttingDown`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    backpressure: Backpressure,
+}
+
+impl ServiceHandle {
+    /// Submits one explanation request for an explicit target class.
+    pub fn submit(
+        &self,
+        series: &MultivariateSeries,
+        class: usize,
+    ) -> Result<ExplanationFuture, ServiceError> {
+        self.submit_with(
+            series,
+            RequestOptions {
+                class: Some(class),
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Submits one explanation request with full per-request options.
+    ///
+    /// Validation (shape, non-empty series, class range) happens here, so
+    /// malformed requests fail immediately instead of poisoning a worker's
+    /// batch. The queue's [`Backpressure`] policy decides what happens
+    /// when the queue is full.
+    pub fn submit_with(
+        &self,
+        series: &MultivariateSeries,
+        opts: RequestOptions,
+    ) -> Result<ExplanationFuture, ServiceError> {
+        if series.n_dims() != self.shared.expected_dims {
+            return Err(ServiceError::ShapeMismatch {
+                expected_dims: self.shared.expected_dims,
+                got_dims: series.n_dims(),
+            });
+        }
+        if series.is_empty() {
+            return Err(ServiceError::EmptySeries);
+        }
+        if let Some(class) = opts.class {
+            if class >= self.shared.n_classes {
+                return Err(ServiceError::InvalidClass {
+                    class,
+                    n_classes: self.shared.n_classes,
+                });
+            }
+        }
+
+        let mut state = lock_ignore_poison(&self.shared.state);
+        let deadline = match self.backpressure {
+            Backpressure::Timeout(t) => Some(Instant::now() + t),
+            _ => None,
+        };
+        loop {
+            if state.closed {
+                self.count_rejected();
+                return Err(ServiceError::ShuttingDown);
+            }
+            if state.queue.len() < self.shared.capacity {
+                break;
+            }
+            match self.backpressure {
+                Backpressure::Reject => {
+                    self.count_rejected();
+                    return Err(ServiceError::QueueFull {
+                        capacity: self.shared.capacity,
+                    });
+                }
+                Backpressure::Block => {
+                    state = self
+                        .shared
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                Backpressure::Timeout(total) => {
+                    let now = Instant::now();
+                    let deadline = deadline.expect("deadline set for Timeout policy");
+                    if now >= deadline {
+                        self.count_rejected();
+                        return Err(ServiceError::SubmitTimeout { waited: total });
+                    }
+                    state = self
+                        .shared
+                        .not_full
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .0;
+                }
+            }
+        }
+        // Clone the series and allocate the result channel only once the
+        // queue has admitted the request — rejections under overload stay
+        // allocation-free.
+        let (tx, rx) = mpsc::channel();
+        state.queue.push_back(QueuedRequest {
+            series: series.clone(),
+            opts,
+            tx,
+            enqueued_at: Instant::now(),
+        });
+        let depth = state.queue.len();
+        drop(state);
+        self.shared.not_empty.notify_one();
+
+        let mut stats = lock_ignore_poison(&self.shared.stats);
+        stats.submitted += 1;
+        stats.max_queue_depth = stats.max_queue_depth.max(depth);
+        drop(stats);
+
+        Ok(ExplanationFuture { rx })
+    }
+
+    /// Number of requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        lock_ignore_poison(&self.shared.state).queue.len()
+    }
+
+    fn count_rejected(&self) {
+        lock_ignore_poison(&self.shared.stats).rejected += 1;
+    }
+}
+
+/// The running explanation service: a request queue plus worker threads
+/// that own model replicas and drive [`DcamBatcher`] flushes.
+///
+/// See the [module docs](self) for the architecture and an example.
+pub struct DcamService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<GapClassifier>>,
+    backpressure: Backpressure,
+}
+
+impl DcamService {
+    /// Starts the service with one worker thread per model in `models`.
+    ///
+    /// Every model must be a d-architecture ([`InputEncoding::Dcnn`]) with
+    /// recorded input dimensions ([`GapClassifier::input_dims`] — the
+    /// architecture constructors record them) and all models must agree on
+    /// `(D, n_classes)`. To serve one trained model from several workers,
+    /// replicate it first with [`replicate_model`].
+    ///
+    /// # Panics
+    ///
+    /// On an empty model list, a non-dCNN model, models disagreeing on
+    /// geometry, `queue_capacity == 0`, or `batcher.max_pending == 0`
+    /// (validated here, on the caller's thread, so a bad config cannot
+    /// silently kill the workers at startup).
+    pub fn spawn(mut models: Vec<GapClassifier>, cfg: ServiceConfig) -> Self {
+        assert!(!models.is_empty(), "need at least one worker model");
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
+        assert!(
+            cfg.batcher.max_pending >= 1,
+            "batcher.max_pending must be at least 1"
+        );
+        let expected_dims = models[0].input_dims().expect(
+            "model must record its input dims (use the arch constructors or with_input_dims)",
+        );
+        let n_classes = models[0].n_classes();
+        for (i, m) in models.iter().enumerate() {
+            assert_eq!(
+                m.encoding(),
+                InputEncoding::Dcnn,
+                "worker model {i}: dCAM requires a d-architecture"
+            );
+            assert_eq!(
+                (m.input_dims(), m.n_classes()),
+                (Some(expected_dims), n_classes),
+                "worker model {i}: all replicas must share (D, n_classes)"
+            );
+        }
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            stats: Mutex::new(StatsInner::new(
+                cfg.latency_window,
+                cfg.batcher.max_pending.max(1),
+            )),
+            capacity: cfg.queue_capacity,
+            latency_window: cfg.latency_window,
+            expected_dims,
+            n_classes,
+        });
+
+        let workers = models
+            .drain(..)
+            .enumerate()
+            .map(|(i, model)| {
+                let shared = Arc::clone(&shared);
+                let batcher_cfg = cfg.batcher.clone();
+                std::thread::Builder::new()
+                    .name(format!("dcam-service-{i}"))
+                    .spawn(move || worker_loop(model, shared, batcher_cfg))
+                    .expect("spawn service worker")
+            })
+            .collect();
+
+        DcamService {
+            shared,
+            workers,
+            backpressure: cfg.backpressure,
+        }
+    }
+
+    /// A new submission handle (cheap: one `Arc` clone).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+            backpressure: self.backpressure,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let depth = lock_ignore_poison(&self.shared.state).queue.len();
+        lock_ignore_poison(&self.shared.stats).snapshot(depth)
+    }
+
+    /// Graceful shutdown: stop accepting submissions, serve everything
+    /// already queued or buffered, join the workers, and hand back the
+    /// models plus the final stats. Futures of drained requests resolve
+    /// normally.
+    pub fn shutdown(mut self) -> (Vec<GapClassifier>, ServiceStats) {
+        let models = self.shutdown_impl();
+        let stats = self.stats();
+        (models, stats)
+    }
+
+    fn shutdown_impl(&mut self) -> Vec<GapClassifier> {
+        lock_ignore_poison(&self.shared.state).closed = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        self.workers
+            .drain(..)
+            .filter_map(|w| w.join().ok())
+            .collect()
+    }
+}
+
+impl Drop for DcamService {
+    /// Dropping the service without [`DcamService::shutdown`] still drains
+    /// the queue and joins the workers (the models are discarded).
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+/// What one ticket in a worker's batcher maps back to.
+struct Waiter {
+    tx: mpsc::Sender<Result<DcamResult, ServiceError>>,
+    enqueued_at: Instant,
+    strict_only_correct: bool,
+}
+
+/// What the worker decided to do after consulting the queue.
+enum Step {
+    /// A request was dequeued.
+    Got(QueuedRequest),
+    /// Flush whatever is buffered (deadline hit or queue drained).
+    Flush(FlushReason),
+    /// Queue closed and empty: drain leftovers and exit.
+    Exit,
+}
+
+fn worker_loop(
+    mut model: GapClassifier,
+    shared: Arc<Shared>,
+    batcher_cfg: DcamBatcherConfig,
+) -> GapClassifier {
+    let only_correct = batcher_cfg.many.dcam.only_correct;
+    let max_pending = batcher_cfg.max_pending.max(1);
+    let mut batcher = DcamBatcher::new(batcher_cfg);
+    let mut waiters: HashMap<Ticket, Waiter> = HashMap::new();
+
+    loop {
+        let step = {
+            let mut state = lock_ignore_poison(&shared.state);
+            loop {
+                if let Some(req) = state.queue.pop_front() {
+                    break Step::Got(req);
+                }
+                if state.closed {
+                    break Step::Exit;
+                }
+                if batcher.pending() > 0 {
+                    // Queue dry with a partial batch: wait for more traffic
+                    // only until the batch's deadline; with no max_wait
+                    // configured, serve the partial batch right away.
+                    let Some(deadline) = batcher.next_deadline() else {
+                        break Step::Flush(FlushReason::QueueDrained);
+                    };
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break Step::Flush(FlushReason::Deadline);
+                    }
+                    let (guard, timeout) = shared
+                        .not_empty
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    state = guard;
+                    if timeout.timed_out() && state.queue.is_empty() {
+                        break Step::Flush(FlushReason::Deadline);
+                    }
+                } else {
+                    state = shared
+                        .not_empty
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            }
+        };
+
+        match step {
+            Step::Got(req) => {
+                shared.not_full.notify_one();
+                let QueuedRequest {
+                    series,
+                    opts,
+                    tx,
+                    enqueued_at,
+                } = req;
+                // `None` class = explain the predicted class: resolve it
+                // with one single-sample forward before batching. Guarded
+                // like the flush: a panicking forward must fail this one
+                // request, not kill the worker (which would strand every
+                // queued future and, under Block backpressure, eventually
+                // deadlock submitters too).
+                let class = match opts.class {
+                    Some(c) => c,
+                    None => {
+                        let predicted =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                argmax(model.logits_for(&series).data()).unwrap_or(0)
+                            }));
+                        match predicted {
+                            Ok(c) => c,
+                            Err(_) => {
+                                lock_ignore_poison(&shared.stats).failed += 1;
+                                let _ = tx.send(Err(ServiceError::WorkerLost));
+                                continue;
+                            }
+                        }
+                    }
+                };
+                let ticket = batcher.push(series, class);
+                waiters.insert(
+                    ticket,
+                    Waiter {
+                        tx,
+                        enqueued_at,
+                        strict_only_correct: opts.strict_only_correct,
+                    },
+                );
+                if batcher.pending() >= max_pending {
+                    flush(
+                        &mut model,
+                        &mut batcher,
+                        &mut waiters,
+                        &shared,
+                        only_correct,
+                        FlushReason::Full,
+                    );
+                }
+            }
+            Step::Flush(reason) => {
+                flush(
+                    &mut model,
+                    &mut batcher,
+                    &mut waiters,
+                    &shared,
+                    only_correct,
+                    reason,
+                );
+            }
+            Step::Exit => {
+                if batcher.pending() > 0 {
+                    flush(
+                        &mut model,
+                        &mut batcher,
+                        &mut waiters,
+                        &shared,
+                        only_correct,
+                        FlushReason::Shutdown,
+                    );
+                }
+                return model;
+            }
+        }
+    }
+}
+
+/// Runs one batcher flush, maps tickets back to waiting futures, applies
+/// the per-request `strict_only_correct` policy and records stats. A panic
+/// inside the engine fails the affected requests instead of hanging them.
+fn flush(
+    model: &mut GapClassifier,
+    batcher: &mut DcamBatcher,
+    waiters: &mut HashMap<Ticket, Waiter>,
+    shared: &Shared,
+    only_correct: bool,
+    reason: FlushReason,
+) {
+    let batch = batcher.pending();
+    if batch == 0 {
+        return;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batcher.flush(model)));
+    let now = Instant::now();
+    let mut stats = lock_ignore_poison(&shared.stats);
+    stats.record_flush(batch, reason);
+    match outcome {
+        Ok(results) => {
+            for (ticket, result) in results {
+                let Some(waiter) = waiters.remove(&ticket) else {
+                    continue;
+                };
+                stats.record_latency(now - waiter.enqueued_at, shared.latency_window);
+                let answer = if waiter.strict_only_correct && only_correct && result.ng == 0 {
+                    stats.failed += 1;
+                    Err(ServiceError::OnlyCorrectMiss { k: result.k })
+                } else {
+                    stats.completed += 1;
+                    Ok(result)
+                };
+                // A dropped future is not an error: the caller gave up on
+                // the answer, not on the service.
+                let _ = waiter.tx.send(answer);
+            }
+        }
+        Err(_) => {
+            // The engine panicked mid-flush; every request of this batch is
+            // lost. Answer the waiters so their futures resolve.
+            for (_, waiter) in waiters.drain() {
+                stats.failed += 1;
+                let _ = waiter.tx.send(Err(ServiceError::WorkerLost));
+            }
+        }
+    }
+}
+
+/// Replicates a trained model into `n` identically-behaving instances: the
+/// original plus `n - 1` fresh constructions with the trained parameters
+/// copied in (via [`dcam_nn::checkpoint::copy_params`]). Use it to feed a
+/// multi-worker [`DcamService::spawn`] from a single training run:
+///
+/// ```
+/// use dcam::arch::{cnn, InputEncoding, ModelScale};
+/// use dcam::service::replicate_model;
+/// use dcam_tensor::SeededRng;
+///
+/// let build = || cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut SeededRng::new(9));
+/// let trained = build(); // stand-in for a real training run
+/// let models = replicate_model(trained, 3, build);
+/// assert_eq!(models.len(), 3);
+/// ```
+///
+/// # Panics
+///
+/// If `build` constructs a model whose parameter shapes differ from the
+/// trained one, or if `n == 0`.
+pub fn replicate_model(
+    mut model: GapClassifier,
+    n: usize,
+    mut build: impl FnMut() -> GapClassifier,
+) -> Vec<GapClassifier> {
+    assert!(n >= 1, "need at least one model");
+    let mut out = Vec::with_capacity(n);
+    for _ in 1..n {
+        let mut replica = build();
+        dcam_nn::checkpoint::copy_params(&mut model, &mut replica)
+            .expect("replica architecture must match the trained model");
+        out.push(replica);
+    }
+    out.push(model);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{cnn, ModelScale};
+    use crate::dcam::DcamConfig;
+    use crate::dcam_many::DcamManyConfig;
+    use dcam_tensor::SeededRng;
+
+    fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
+        let mut rng = SeededRng::new(seed);
+        let rows: Vec<Vec<f32>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.normal()).collect())
+            .collect();
+        MultivariateSeries::from_rows(&rows)
+    }
+
+    fn toy_model(d: usize, classes: usize, seed: u64) -> GapClassifier {
+        let mut rng = SeededRng::new(seed);
+        cnn(InputEncoding::Dcnn, d, classes, ModelScale::Tiny, &mut rng)
+    }
+
+    fn quick_cfg() -> ServiceConfig {
+        ServiceConfig {
+            batcher: DcamBatcherConfig {
+                many: DcamManyConfig {
+                    dcam: DcamConfig {
+                        k: 4,
+                        only_correct: false,
+                        ..Default::default()
+                    },
+                    max_batch: 4,
+                },
+                max_pending: 4,
+                max_wait: Some(Duration::from_millis(5)),
+            },
+            queue_capacity: 64,
+            backpressure: Backpressure::Block,
+            latency_window: 128,
+        }
+    }
+
+    /// The service type must stay `Send`-assemblable: models move into
+    /// worker threads, handles move into submitter threads.
+    #[test]
+    fn handle_is_send_and_clone() {
+        fn assert_send<T: Send>(_: &T) {}
+        let service = DcamService::spawn(vec![toy_model(3, 2, 1)], quick_cfg());
+        let handle = service.handle();
+        assert_send(&handle);
+        let h2 = handle.clone();
+        assert_eq!(h2.queue_depth(), 0);
+    }
+
+    #[test]
+    fn submit_validates_before_queueing() {
+        let service = DcamService::spawn(vec![toy_model(3, 2, 2)], quick_cfg());
+        let handle = service.handle();
+        let wrong_dims = toy_series(4, 10, 0);
+        assert_eq!(
+            handle.submit(&wrong_dims, 0).err(),
+            Some(ServiceError::ShapeMismatch {
+                expected_dims: 3,
+                got_dims: 4
+            })
+        );
+        let ok_series = toy_series(3, 10, 1);
+        assert_eq!(
+            handle.submit(&ok_series, 7).err(),
+            Some(ServiceError::InvalidClass {
+                class: 7,
+                n_classes: 2
+            })
+        );
+        let empty = MultivariateSeries::from_rows(&[vec![], vec![], vec![]]);
+        assert_eq!(
+            handle.submit(&empty, 0).err(),
+            Some(ServiceError::EmptySeries),
+            "a zero-length series must be refused before it can poison a batch"
+        );
+        let (_, stats) = service.shutdown();
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn zero_max_pending_panics_on_spawn_not_in_workers() {
+        let mut cfg = quick_cfg();
+        cfg.batcher.max_pending = 0;
+        let r = std::panic::catch_unwind(|| DcamService::spawn(vec![toy_model(3, 2, 8)], cfg));
+        assert!(r.is_err(), "bad config must fail the caller, not a worker");
+    }
+
+    #[test]
+    fn predicted_class_request_resolves() {
+        let service = DcamService::spawn(vec![toy_model(3, 2, 3)], quick_cfg());
+        let handle = service.handle();
+        let series = toy_series(3, 12, 2);
+        let future = handle
+            .submit_with(
+                &series,
+                RequestOptions {
+                    class: None,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let result = future.wait().unwrap();
+        assert_eq!(result.dcam.dims(), &[3, 12]);
+    }
+
+    #[test]
+    fn submits_after_shutdown_are_rejected() {
+        let service = DcamService::spawn(vec![toy_model(3, 2, 4)], quick_cfg());
+        let handle = service.handle();
+        let (models, _) = service.shutdown();
+        assert_eq!(models.len(), 1);
+        let series = toy_series(3, 10, 3);
+        assert_eq!(
+            handle.submit(&series, 0).err(),
+            Some(ServiceError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn replicate_model_produces_identical_replicas() {
+        let build = || toy_model(3, 2, 5);
+        let mut trained = toy_model(3, 2, 6); // different seed than build()
+        let series = toy_series(3, 10, 4);
+        let want = trained.logits_for(&series);
+        let models = replicate_model(trained, 3, build);
+        assert_eq!(models.len(), 3);
+        for mut m in models {
+            assert!(m.logits_for(&series).allclose(&want, 1e-6));
+        }
+    }
+}

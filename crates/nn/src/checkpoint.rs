@@ -149,6 +149,28 @@ pub fn restore(
     Ok(())
 }
 
+/// Copies every parameter and buffer of `src` into the identically
+/// constructed `dst` — the in-memory "save + restore" used to replicate a
+/// trained model across explanation-service workers. Shapes are verified
+/// first; `dst` is untouched on error.
+///
+/// ```
+/// use dcam_nn::checkpoint::copy_params;
+/// use dcam_nn::layers::{Dense, Layer};
+/// use dcam_tensor::{SeededRng, Tensor};
+///
+/// let mut trained = Dense::new(3, 2, &mut SeededRng::new(1));
+/// let mut replica = Dense::new(3, 2, &mut SeededRng::new(2));
+/// copy_params(&mut trained, &mut replica).unwrap();
+/// let x = Tensor::ones(&[1, 3]);
+/// let (a, b) = (trained.forward(&x, false), replica.forward(&x, false));
+/// assert!(a.allclose(&b, 1e-6));
+/// ```
+pub fn copy_params(src: &mut dyn Layer, dst: &mut dyn Layer) -> Result<(), CheckpointError> {
+    let snapshot = save(src, "copy");
+    restore(dst, &snapshot, "copy")
+}
+
 /// Serializes a checkpoint to a JSON file.
 #[cfg(feature = "serde")]
 pub fn save_file(checkpoint: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {

@@ -20,7 +20,9 @@ pub enum ConvStrategy {
     Auto,
     /// The scalar sliding-window loops.
     Direct,
-    /// im2col + packed GEMM (see [`super::im2col`]).
+    /// im2col + packed GEMM: every kernel-tap window is unrolled into a
+    /// patch matrix so the convolution runs as one GEMM per sample (see
+    /// the `im2col` module's docs).
     Im2col,
 }
 

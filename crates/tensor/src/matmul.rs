@@ -4,7 +4,7 @@ use crate::{Result, Tensor, TensorError};
 impl Tensor {
     /// Matrix product of two 2-D tensors: `(m,k) x (k,n) -> (m,n)`.
     ///
-    /// Backed by the packed register-tiled GEMM in [`crate::gemm`]; large
+    /// Backed by the packed register-tiled GEMM engine (`gemm.rs`); large
     /// products are parallelized over row bands (`DCAM_THREADS` pins the
     /// worker count).
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {

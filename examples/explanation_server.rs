@@ -1,23 +1,26 @@
-//! Explanation server simulation: a stream of concurrent dCAM requests is
-//! packed through [`DcamBatcher`] into shared forward mega-batches, served
-//! by the cross-instance engine, and compared against the same requests
-//! served one `compute_dcam` call at a time.
+//! Explanation server simulation on the **asynchronous** service API:
+//! concurrent client threads submit dCAM requests through cloneable
+//! [`ServiceHandle`]s, worker threads own trained model replicas and pack
+//! the traffic into shared forward mega-batches, and every result is
+//! checked against the same request served synchronously by
+//! `compute_dcam`.
 //!
 //! Run: `cargo run --release --example explanation_server`
 //! (pin `DCAM_THREADS=1` for reproducible timing splits)
 
 use dcam::dcam::{compute_dcam, DcamConfig};
-use dcam::dcam_many::{DcamBatcher, DcamBatcherConfig, DcamManyConfig, Ticket};
+use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
 use dcam::model::ArchKind;
+use dcam::service::{replicate_model, Backpressure, DcamService, ServiceConfig};
 use dcam::train::{build_and_train, Protocol};
 use dcam::{DcamResult, ModelScale};
 use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
 use dcam_series::synth::seeds::SeedKind;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     // 1. A Type-1 benchmark and a briefly trained dCNN — the model an
-    //    explanation service would hold in memory.
+    //    explanation service holds in memory.
     let mut cfg = InjectConfig::new(SeedKind::StarLight, DatasetType::Type1, 6);
     cfg.n_per_class = 24;
     cfg.series_len = 64;
@@ -30,65 +33,113 @@ fn main() {
         patience: 15,
         ..Default::default()
     };
-    let (mut clf, outcome) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
-    let model = clf.as_gap_mut().expect("dCNN has a GAP head");
+    let (clf, outcome) = build_and_train(ArchKind::DCnn, &ds, ModelScale::Tiny, &protocol);
+    let model = clf.into_gap().expect("dCNN has a GAP head");
     println!(
-        "model ready: dCNN, val accuracy {:.2} — serving dCAM requests\n",
+        "model ready: dCNN, val accuracy {:.2} — starting explanation service\n",
         outcome.val_acc
     );
 
-    // 2. The incoming request stream: every class-1 instance asks for its
-    //    dCAM. The batcher flushes whenever 8 requests are waiting; the
-    //    trailing flush serves the stragglers (a server would run it on a
-    //    timer).
+    // 2. Spin up the async service: a bounded request queue, blocking
+    //    backpressure, and one worker owning the trained model. Flushes
+    //    fire at 8 buffered requests or after 2 ms, whichever comes first.
     let dcam_cfg = DcamConfig {
         k: 32,
         only_correct: false,
         ..Default::default()
     };
-    let batcher_cfg = DcamBatcherConfig {
-        many: DcamManyConfig {
-            dcam: dcam_cfg.clone(),
-            max_batch: 8,
+    let service_cfg = ServiceConfig {
+        batcher: DcamBatcherConfig {
+            many: DcamManyConfig {
+                dcam: dcam_cfg.clone(),
+                max_batch: 8,
+            },
+            max_pending: 8,
+            max_wait: Some(Duration::from_millis(2)),
         },
-        max_pending: 8,
+        queue_capacity: 128,
+        backpressure: Backpressure::Block,
+        latency_window: 1024,
     };
-    let request_idx: Vec<usize> = ds.class_indices(1);
+    let models = replicate_model(model, 1, || unreachable!("single worker"));
+    let service = DcamService::spawn(models, service_cfg);
     println!(
-        "request stream: {} instances, flush policy: max_pending = {}, mega-batch = {} cubes",
-        request_idx.len(),
-        batcher_cfg.max_pending,
-        batcher_cfg.many.max_batch
+        "service up: {} worker(s), flush policy: max_pending = 8 or max_wait = 2 ms",
+        service.workers()
     );
 
-    let mut batcher = DcamBatcher::new(batcher_cfg);
-    let mut served: Vec<(Ticket, DcamResult)> = Vec::new();
+    // 3. The client side: 8 concurrent threads, each asking for the dCAM
+    //    of a share of the class-1 instances. Handles are cheap clones;
+    //    each submission returns a future.
+    let request_idx: Vec<usize> = ds.class_indices(1);
+    println!(
+        "request stream: {} instances from {} client threads\n",
+        request_idx.len(),
+        8
+    );
     let t_batched = Instant::now();
-    for &idx in &request_idx {
-        let (_ticket, mut done) = batcher.submit(model, &ds.samples[idx], 1);
-        if !done.is_empty() {
-            println!("  auto-flush served {} requests", done.len());
-        }
-        served.append(&mut done);
-    }
-    let mut rest = batcher.flush(model);
-    if !rest.is_empty() {
-        println!("  final flush served {} stragglers", rest.len());
-    }
-    served.append(&mut rest);
+    let served: Vec<(usize, DcamResult)> = std::thread::scope(|scope| {
+        let chunks: Vec<Vec<usize>> = request_idx
+            .chunks(request_idx.len().div_ceil(8))
+            .map(<[usize]>::to_vec)
+            .collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let handle = service.handle();
+                let ds = &ds;
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|idx| {
+                            let future = handle
+                                .submit(&ds.samples[idx], 1)
+                                .expect("service accepts the request");
+                            (idx, future.wait().expect("request served"))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
     let batched_elapsed = t_batched.elapsed();
     assert_eq!(served.len(), request_idx.len());
 
-    // 3. The same stream, served the PR 1 way: one compute_dcam per request.
+    // 4. Drain the service; get the model back for the synchronous rerun.
+    let (mut models, stats) = service.shutdown();
+    let model = &mut models[0];
+    println!(
+        "service stats: {} served, mean batch {:.1}, p50 {:.1} ms, p99 {:.1} ms, max queue depth {}",
+        stats.completed,
+        stats.mean_batch,
+        stats.p50_latency.as_secs_f64() * 1e3,
+        stats.p99_latency.as_secs_f64() * 1e3,
+        stats.max_queue_depth
+    );
+    println!(
+        "flushes: {} full, {} deadline, {} queue-drained, {} shutdown",
+        stats.flushes_full, stats.flushes_deadline, stats.flushes_drained, stats.flushes_shutdown
+    );
+
+    // 5. The same requests, served the synchronous way: one compute_dcam
+    //    call per request on a single thread.
     let t_seq = Instant::now();
-    let sequential: Vec<DcamResult> = request_idx
+    let sequential: Vec<(usize, DcamResult)> = request_idx
         .iter()
-        .map(|&idx| compute_dcam(model, &ds.samples[idx], 1, &dcam_cfg))
+        .map(|&idx| (idx, compute_dcam(model, &ds.samples[idx], 1, &dcam_cfg)))
         .collect();
     let seq_elapsed = t_seq.elapsed();
 
-    // 4. Same answers, fewer milliseconds.
-    for ((ticket, batched), single) in served.iter().zip(&sequential) {
+    // 6. Same answers, fewer milliseconds.
+    for (idx, batched) in &served {
+        let (_, single) = sequential
+            .iter()
+            .find(|(sidx, _)| sidx == idx)
+            .expect("same request set");
         let max_diff = batched
             .dcam
             .data()
@@ -98,20 +149,20 @@ fn main() {
             .fold(0.0f32, f32::max);
         assert!(
             max_diff < 1e-3,
-            "ticket {ticket}: batched and sequential dCAM disagree ({max_diff})"
+            "instance {idx}: async and sequential dCAM disagree ({max_diff})"
         );
     }
     println!(
-        "\nall {} batched results match their sequential counterparts",
+        "\nall {} async results match their sequential counterparts",
         served.len()
     );
     println!(
-        "batched engine: {:>8.1} ms total ({:.1} ms/request)",
+        "async service: {:>8.1} ms total ({:.1} ms/request aggregate)",
         batched_elapsed.as_secs_f64() * 1e3,
         batched_elapsed.as_secs_f64() * 1e3 / served.len() as f64
     );
     println!(
-        "sequential:     {:>8.1} ms total ({:.1} ms/request)",
+        "sequential:    {:>8.1} ms total ({:.1} ms/request)",
         seq_elapsed.as_secs_f64() * 1e3,
         seq_elapsed.as_secs_f64() * 1e3 / sequential.len() as f64
     );

@@ -42,9 +42,10 @@ fn knn_baselines_classify_type1() {
 
 #[test]
 #[ignore = "the Tiny CNN fits the train split but stays at chance on validation \
-            under every protocol seed tried (pre-existing underfit/overfit gap in \
-            the seed training recipe, not a regression of the fast paths); tracked \
-            as a ROADMAP open item"]
+            under every protocol seed tried (pre-existing gap in the seed training \
+            recipe, not a regression of the fast paths); tracked as the ROADMAP.md \
+            open item \"Fix the training recipe's generalization gap\" — read that \
+            item (likely suspects, protocol notes) before re-attempting"]
 fn occlusion_finds_planted_features_on_trained_model() {
     let train = dataset(2);
     let protocol = Protocol {
