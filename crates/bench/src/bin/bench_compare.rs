@@ -13,6 +13,7 @@
 //! * `dcam.new_ms`                       — lower is better
 //! * `dcam_many[n_instances].many_ms`    — lower is better
 //! * `service[n_submitters].throughput_rps` — higher is better
+//! * `server[conn_workers].throughput_rps`  — higher is better
 //!
 //! Metrics present only in the candidate are reported but not compared
 //! (new benchmarks must not fail the first run that introduces them);
@@ -110,6 +111,15 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             });
         }
     }
+    for row in rows(report, "server") {
+        if let (Some(w), Some(v)) = (number(row, "conn_workers"), number(row, "throughput_rps")) {
+            out.push(Metric {
+                name: format!("server[{w}].throughput_rps"),
+                baseline: v,
+                higher_is_better: true,
+            });
+        }
+    }
     out
 }
 
@@ -148,6 +158,16 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
             matching_row(
                 &rows(report, "service"),
                 &[("n_submitters", n.parse().ok()?)],
+            )?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("server[") {
+        let (w, key) = rest.split_once("].")?;
+        return number(
+            matching_row(
+                &rows(report, "server"),
+                &[("conn_workers", w.parse().ok()?)],
             )?,
             key,
         );

@@ -84,12 +84,28 @@ struct ServiceRow {
 }
 
 #[derive(Serialize)]
+struct ServerRow {
+    conn_workers: usize,
+    /// Persistent client connections driving the load.
+    connections: usize,
+    requests: usize,
+    /// Wall time from the first request to the last response.
+    total_ms: f64,
+    /// Requests served per second of wall time, measured at the client.
+    throughput_rps: f64,
+    /// Client-side (wire-inclusive) latency percentiles.
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
     dcam: DcamRow,
     dcam_many: Vec<DcamManyRow>,
     service: Vec<ServiceRow>,
+    server: Vec<ServerRow>,
 }
 
 /// Best-of-`reps` wall time per call, in seconds.
@@ -408,6 +424,7 @@ fn bench_service() -> Vec<ServiceRow> {
                 queue_capacity: 256,
                 backpressure: Backpressure::Block,
                 latency_window: 4096,
+                queue_policy: dcam::service::QueuePolicy::Fifo,
             };
             let service = DcamService::spawn(vec![model], cfg);
             let start = Instant::now();
@@ -445,6 +462,117 @@ fn bench_service() -> Vec<ServiceRow> {
             p50_ms: stats.p50_latency.as_secs_f64() * 1e3,
             p99_ms: stats.p99_latency.as_secs_f64() * 1e3,
             mean_batch: stats.mean_batch,
+        });
+    }
+    rows
+}
+
+/// End-to-end HTTP serving over loopback: the same single-worker service
+/// as the `service` rows behind `dcam-server`, driven by 4 persistent
+/// client connections (the in-repo `HttpClient`). `conn_workers` bounds
+/// how many requests can be in flight — and therefore batch — at once, so
+/// the 1 vs 4 rows expose what the connection pool buys. Latency
+/// percentiles are measured at the client, wire included.
+fn bench_server() -> Vec<ServerRow> {
+    use dcam_server::{explain_payload, serve, HttpClient, ServerConfig};
+
+    let connections = 4usize;
+    let per_conn = 4usize;
+    let requests = connections * per_conn;
+    let payloads: Vec<String> = (0..requests)
+        .map(|i| {
+            let mut r = SeededRng::new(50 + i as u64);
+            let dims: Vec<Vec<f32>> = (0..DCAM_DIMS)
+                .map(|_| (0..DCAM_LEN).map(|_| r.normal()).collect())
+                .collect();
+            explain_payload(&MultivariateSeries::from_rows(&dims), 0)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for conn_workers in [1usize, 4] {
+        let mut best_total = f64::INFINITY;
+        let mut best_latencies: Vec<f64> = Vec::new();
+        for _rep in 0..3 {
+            let mut rng = SeededRng::new(1);
+            let model = cnn(
+                InputEncoding::Dcnn,
+                DCAM_DIMS,
+                2,
+                ModelScale::Tiny,
+                &mut rng,
+            );
+            let cfg = ServiceConfig {
+                batcher: DcamBatcherConfig {
+                    many: DcamManyConfig {
+                        dcam: DcamConfig {
+                            k: DCAM_K,
+                            only_correct: false,
+                            seed: 3,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                    max_pending: 8,
+                    max_wait: Some(std::time::Duration::from_millis(2)),
+                },
+                queue_capacity: 256,
+                backpressure: Backpressure::Block,
+                queue_policy: dcam::service::QueuePolicy::Fifo,
+                latency_window: 4096,
+            };
+            let service = DcamService::spawn(vec![model], cfg);
+            let server = serve(
+                service,
+                ServerConfig {
+                    conn_workers,
+                    ..Default::default()
+                },
+            )
+            .expect("bind loopback listener");
+            let addr = server.addr().to_string();
+            let start = Instant::now();
+            let latencies: Vec<f64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = payloads
+                    .chunks(per_conn)
+                    .map(|chunk| {
+                        let addr = addr.clone();
+                        scope.spawn(move || {
+                            let mut client = HttpClient::connect(&addr).expect("connect");
+                            chunk
+                                .iter()
+                                .map(|body| {
+                                    let t0 = Instant::now();
+                                    let resp = client.post("/v1/explain", body).expect("request");
+                                    assert_eq!(resp.status, 200, "body: {}", resp.body);
+                                    t0.elapsed().as_secs_f64() * 1e3
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+            let total = start.elapsed().as_secs_f64();
+            server.shutdown();
+            if total < best_total {
+                best_total = total;
+                best_latencies = latencies;
+            }
+        }
+        best_latencies.sort_by(f64::total_cmp);
+        let pct = |p: f64| best_latencies[((best_latencies.len() - 1) as f64 * p).round() as usize];
+        rows.push(ServerRow {
+            conn_workers,
+            connections,
+            requests,
+            total_ms: best_total * 1e3,
+            throughput_rps: requests as f64 / best_total,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
         });
     }
     rows
@@ -488,6 +616,9 @@ fn main() {
     eprintln!("service (async explanation service under load) ...");
     let service = bench_service();
 
+    eprintln!("server (loopback HTTP, 1 and 4 connection workers) ...");
+    let server = bench_server();
+
     let report = Report {
         matmul,
         conv,
@@ -501,6 +632,7 @@ fn main() {
         },
         dcam_many,
         service,
+        server,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -320,6 +320,22 @@ impl DcamBatcher {
         Some(self.first_pending_since? + self.cfg.max_wait?)
     }
 
+    /// Drops buffered requests whose ticket fails the predicate, returning
+    /// how many were removed. The explanation service uses this to discard
+    /// cancelled requests *before* a flush, so the engine never assembles
+    /// cubes (or runs forwards) for callers that already hung up. The
+    /// `max_wait` deadline anchor is left untouched unless the batcher
+    /// empties — a surviving request can only flush earlier, never later,
+    /// than its policy promised.
+    pub fn retain(&mut self, mut keep: impl FnMut(Ticket) -> bool) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|(t, _, _)| keep(*t));
+        if self.pending.is_empty() {
+            self.first_pending_since = None;
+        }
+        before - self.pending.len()
+    }
+
     /// Buffers one request and returns its ticket, plus any results an
     /// auto-flush produced (empty while the batcher is still filling).
     pub fn submit(

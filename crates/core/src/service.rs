@@ -11,20 +11,33 @@
 //! * callers hold a cheap, cloneable [`ServiceHandle`] and submit
 //!   `(series, class?, options)` requests; each submission returns an
 //!   [`ExplanationFuture`] that resolves to `Result<DcamResult,
-//!   ServiceError>`;
-//! * requests travel through a **bounded MPSC queue** whose full-queue
+//!   ServiceError>` (plain classification requests go through
+//!   [`ServiceHandle::submit_classify`] and a [`ClassifyFuture`]);
+//! * requests travel through a **bounded queue** whose full-queue
 //!   behaviour is configurable ([`Backpressure`]: block, reject, or block
-//!   with a timeout);
+//!   with a timeout) and whose dequeue order is a pluggable
+//!   [`QueuePolicy`] (strict FIFO, or round-robin-per-tenant fairness so
+//!   one flooding tenant cannot starve the rest);
+//! * dropping a future — or calling [`ResponseFuture::cancel`] — marks the
+//!   request **cancelled**: workers skip the cube build for abandoned
+//!   requests, both when popping them off the queue and when pruning a
+//!   buffered batch right before a flush;
 //! * one or more **worker threads** own a [`GapClassifier`] replica each
 //!   (replicate a trained model with [`replicate_model`]) and drive a
 //!   [`DcamBatcher`]: a flush fires when [`DcamBatcherConfig::max_pending`]
 //!   requests are buffered, when the oldest buffered request has waited
 //!   [`DcamBatcherConfig::max_wait`], or — with no `max_wait` configured —
 //!   as soon as the queue runs dry;
+//! * with [`DcamService::spawn_with_recovery`], a worker whose engine
+//!   panics **re-spawns**: the batch in flight fails with
+//!   [`ServiceError::WorkerLost`], then the worker rebuilds its model from
+//!   a parameter checkpoint captured at spawn time, re-validates it with a
+//!   probe-forward round-trip, and rejoins the rotation;
 //! * [`DcamService::shutdown`] closes the queue, drains every request
 //!   already submitted, joins the workers and returns the models;
-//! * [`DcamService::stats`] exposes queue depth, a batch-size histogram
-//!   and latency percentiles for the bench harness.
+//! * [`DcamService::stats`] (also [`ServiceHandle::stats`]) exposes queue
+//!   depth, a batch-size histogram and latency percentiles for the bench
+//!   harness and the HTTP `/stats` endpoint.
 //!
 //! # Example
 //!
@@ -53,10 +66,13 @@
 use crate::arch::{GapClassifier, InputEncoding};
 use crate::dcam::DcamResult;
 use crate::dcam_many::{DcamBatcher, DcamBatcherConfig, Ticket};
+use dcam_nn::checkpoint::{self, Checkpoint};
 use dcam_series::MultivariateSeries;
-use dcam_tensor::argmax;
+use dcam_tensor::{argmax, SeededRng};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -76,6 +92,23 @@ pub enum Backpressure {
     Timeout(Duration),
 }
 
+/// Dequeue order of the shared request queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Strict arrival order. One flooding caller occupies the whole queue
+    /// and every later caller waits behind the flood.
+    #[default]
+    Fifo,
+    /// Round-robin across tenants ([`RequestOptions::tenant`]): workers
+    /// take one request per tenant in rotation, so a tenant submitting a
+    /// burst of `B` requests delays a competing tenant's next request by
+    /// at most one request per rotation turn, not by `B`. Requests with no
+    /// tenant share one anonymous lane (which participates in the rotation
+    /// as a single tenant). Arrival order is preserved *within* each
+    /// tenant.
+    FairPerTenant,
+}
+
 /// Per-request options of a [`ServiceHandle`] submission.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RequestOptions {
@@ -89,6 +122,17 @@ pub struct RequestOptions {
     /// that fallback into a per-request [`ServiceError::OnlyCorrectMiss`]
     /// instead.
     pub strict_only_correct: bool,
+    /// Fairness key under [`QueuePolicy::FairPerTenant`]: requests sharing
+    /// a key share one queue lane. Transports with string tenant ids hash
+    /// them into this key (see `dcam-server`). Ignored under
+    /// [`QueuePolicy::Fifo`].
+    pub tenant: Option<u64>,
+    /// Fault injection for tests and operational drills: the worker that
+    /// picks this request up panics at flush time, exactly as an engine
+    /// bug would. With [`DcamService::spawn_with_recovery`] the worker
+    /// then re-spawns; without it the batch fails and the worker keeps
+    /// serving. Transports must gate this behind an explicit opt-in.
+    pub inject_panic: bool,
 }
 
 /// Everything that can go wrong with one explanation request.
@@ -131,6 +175,9 @@ pub enum ServiceError {
         /// Number of permutations evaluated.
         k: usize,
     },
+    /// The request was cancelled (its future was dropped or
+    /// [`ResponseFuture::cancel`] was called) before a worker served it.
+    Cancelled,
     /// The worker serving this request died (panicked) before producing a
     /// result.
     WorkerLost,
@@ -162,6 +209,7 @@ impl fmt::Display for ServiceError {
                 "none of the {k} permutations was classified as the target class \
                  (strict only_correct)"
             ),
+            ServiceError::Cancelled => write!(f, "request cancelled before it was served"),
             ServiceError::WorkerLost => write!(f, "worker thread died before answering"),
         }
     }
@@ -169,25 +217,46 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// The caller's side of one in-flight explanation request.
-///
-/// A thin wrapper over a one-shot channel: [`wait`](ExplanationFuture::wait)
-/// blocks until the worker answers, [`try_get`](ExplanationFuture::try_get)
-/// polls. Dropping the future is fine — the request still runs, the answer
-/// is discarded.
-pub struct ExplanationFuture {
-    rx: mpsc::Receiver<Result<DcamResult, ServiceError>>,
+/// Result of a [`ServiceHandle::submit_classify`] request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Argmax class (lowest index wins ties).
+    pub class: usize,
+    /// Raw logits, one per class.
+    pub logits: Vec<f32>,
 }
 
-impl ExplanationFuture {
+/// The caller's side of one in-flight request: a one-shot channel plus a
+/// cancellation flag shared with the serving worker.
+///
+/// [`wait`](ResponseFuture::wait) blocks until the worker answers,
+/// [`try_get`](ResponseFuture::try_get) polls. **Dropping the future
+/// cancels the request**: a worker that has not started the engine work yet
+/// skips it entirely (tallied in [`ServiceStats::cancelled`]); work already
+/// in flight completes and its answer is discarded. Call
+/// [`cancel`](ResponseFuture::cancel) to signal abandonment while keeping
+/// the future around.
+pub struct ResponseFuture<T> {
+    rx: mpsc::Receiver<Result<T, ServiceError>>,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Future of an explanation request ([`ServiceHandle::submit`] /
+/// [`ServiceHandle::submit_with`]).
+pub type ExplanationFuture = ResponseFuture<DcamResult>;
+
+/// Future of a classification request ([`ServiceHandle::submit_classify`]).
+pub type ClassifyFuture = ResponseFuture<Classification>;
+
+impl<T> ResponseFuture<T> {
     /// Blocks until the request is served (or its worker dies).
-    pub fn wait(self) -> Result<DcamResult, ServiceError> {
+    pub fn wait(self) -> Result<T, ServiceError> {
         self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
     }
 
     /// Blocks up to `timeout`. `None` means the request is still in
     /// flight; the future remains usable.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<DcamResult, ServiceError>> {
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, ServiceError>> {
         match self.rx.recv_timeout(timeout) {
             Ok(r) => Some(r),
             Err(mpsc::RecvTimeoutError::Timeout) => None,
@@ -196,12 +265,27 @@ impl ExplanationFuture {
     }
 
     /// Non-blocking poll. `None` means the request is still in flight.
-    pub fn try_get(&self) -> Option<Result<DcamResult, ServiceError>> {
+    pub fn try_get(&self) -> Option<Result<T, ServiceError>> {
         match self.rx.try_recv() {
             Ok(r) => Some(r),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::WorkerLost)),
         }
+    }
+
+    /// Marks the request abandoned without consuming the future. Workers
+    /// that have not started the engine work for it skip it; an answer
+    /// already computed (or racing the flag) is still delivered.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Drop for ResponseFuture<T> {
+    /// Dropping the future abandons the request (see
+    /// [`cancel`](ResponseFuture::cancel)).
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Release);
     }
 }
 
@@ -226,6 +310,8 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// What `submit` does when the queue is full.
     pub backpressure: Backpressure,
+    /// Dequeue order (strict FIFO, or per-tenant round-robin fairness).
+    pub queue_policy: QueuePolicy,
     /// How many of the most recent request latencies the stats keep for
     /// the percentile estimates (a ring buffer; memory stays bounded no
     /// matter how long the service runs).
@@ -241,6 +327,7 @@ impl Default for ServiceConfig {
             },
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
+            queue_policy: QueuePolicy::Fifo,
             latency_window: 4096,
         }
     }
@@ -260,17 +347,25 @@ enum FlushReason {
 }
 
 /// A point-in-time snapshot of the service's counters, exposed for the
-/// bench harness and for operational monitoring.
+/// bench harness, the HTTP `/stats` endpoint, and operational monitoring.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
-    /// Requests accepted into the queue.
+    /// Requests accepted into the queue (explanations and classifications).
     pub submitted: u64,
-    /// Requests answered with `Ok`.
+    /// Explanation requests answered with `Ok`.
     pub completed: u64,
+    /// Classification requests answered with `Ok`.
+    pub classified: u64,
     /// Requests answered with a per-request error.
     pub failed: u64,
     /// Submissions refused at the queue (full / timeout / shutting down).
     pub rejected: u64,
+    /// Requests skipped because their caller cancelled (dropped the
+    /// future / closed the connection) before the engine work started.
+    pub cancelled: u64,
+    /// Workers rebuilt after an engine panic (checkpoint restore + probe
+    /// re-validation; only under [`DcamService::spawn_with_recovery`]).
+    pub worker_respawns: u64,
     /// Requests sitting in the queue right now.
     pub queue_depth: usize,
     /// High-water mark of the queue depth.
@@ -300,8 +395,11 @@ pub struct ServiceStats {
 struct StatsInner {
     submitted: u64,
     completed: u64,
+    classified: u64,
     failed: u64,
     rejected: u64,
+    cancelled: u64,
+    worker_respawns: u64,
     max_queue_depth: usize,
     flushes_full: u64,
     flushes_deadline: u64,
@@ -320,8 +418,11 @@ impl StatsInner {
         StatsInner {
             submitted: 0,
             completed: 0,
+            classified: 0,
             failed: 0,
             rejected: 0,
+            cancelled: 0,
+            worker_respawns: 0,
             max_queue_depth: 0,
             flushes_full: 0,
             flushes_deadline: 0,
@@ -378,8 +479,11 @@ impl StatsInner {
         ServiceStats {
             submitted: self.submitted,
             completed: self.completed,
+            classified: self.classified,
             failed: self.failed,
             rejected: self.rejected,
+            cancelled: self.cancelled,
+            worker_respawns: self.worker_respawns,
             queue_depth,
             max_queue_depth: self.max_queue_depth,
             flushes_full: self.flushes_full,
@@ -402,17 +506,108 @@ impl StatsInner {
     }
 }
 
+/// What a queued request wants from the worker, with its answer channel.
+enum RequestKind {
+    /// A dCAM explanation; batched through the [`DcamBatcher`].
+    Explain {
+        opts: RequestOptions,
+        tx: mpsc::Sender<Result<DcamResult, ServiceError>>,
+    },
+    /// A plain classification; served immediately with one forward.
+    Classify {
+        tx: mpsc::Sender<Result<Classification, ServiceError>>,
+    },
+}
+
 /// One request as it sits in the shared queue.
 struct QueuedRequest {
     series: MultivariateSeries,
-    opts: RequestOptions,
-    tx: mpsc::Sender<Result<DcamResult, ServiceError>>,
+    kind: RequestKind,
+    /// Set by the caller's future on drop/cancel; checked by workers
+    /// before any engine work happens for this request.
+    cancel: Arc<AtomicBool>,
+    tenant: Option<u64>,
     enqueued_at: Instant,
+}
+
+impl QueuedRequest {
+    /// Answers the request with an error, whatever its kind.
+    fn fail(self, err: ServiceError) {
+        match self.kind {
+            RequestKind::Explain { tx, .. } => drop(tx.send(Err(err))),
+            RequestKind::Classify { tx } => drop(tx.send(Err(err))),
+        }
+    }
+}
+
+/// Lane key of requests submitted without a tenant.
+const ANON_TENANT: u64 = u64::MAX;
+
+/// The shared request queue with its pluggable dequeue policy.
+///
+/// Both policies run on the same structure — a list of per-key lanes —
+/// so the push/pop paths stay branch-light: FIFO keeps everything in one
+/// lane, fairness keeps one lane per tenant and rotates a cursor over
+/// them. Lanes are removed as soon as they drain, so memory tracks the
+/// *live* tenant set, not every tenant ever seen.
+struct RequestQueue {
+    policy: QueuePolicy,
+    lanes: Vec<(u64, VecDeque<QueuedRequest>)>,
+    /// Round-robin cursor into `lanes` (fair mode; pinned to 0 for FIFO).
+    rr: usize,
+    len: usize,
+}
+
+impl RequestQueue {
+    fn new(policy: QueuePolicy) -> Self {
+        RequestQueue {
+            policy,
+            lanes: Vec::new(),
+            rr: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, req: QueuedRequest) {
+        let key = match self.policy {
+            QueuePolicy::Fifo => ANON_TENANT,
+            QueuePolicy::FairPerTenant => req.tenant.unwrap_or(ANON_TENANT),
+        };
+        match self.lanes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, lane)) => lane.push_back(req),
+            None => self.lanes.push((key, VecDeque::from([req]))),
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<QueuedRequest> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        if self.rr >= self.lanes.len() {
+            self.rr = 0;
+        }
+        let lane = &mut self.lanes[self.rr].1;
+        let req = lane.pop_front().expect("queue lanes are never empty");
+        self.len -= 1;
+        if lane.is_empty() {
+            // Removing the drained lane leaves `rr` pointing at the next
+            // lane in rotation.
+            self.lanes.remove(self.rr);
+        } else {
+            self.rr += 1;
+        }
+        Some(req)
+    }
 }
 
 /// Queue state behind the mutex.
 struct QueueState {
-    queue: VecDeque<QueuedRequest>,
+    queue: RequestQueue,
     /// Set once by shutdown: no further submissions are accepted and
     /// workers exit after draining.
     closed: bool,
@@ -436,6 +631,52 @@ struct Shared {
 /// queue holds plain data, so keep serving instead of cascading panics.
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Everything a worker needs to rebuild itself after an engine panic: a
+/// constructor for the architecture, the trained parameters, and a probe
+/// input/output pair to verify the checkpoint round-trip before the
+/// rebuilt model rejoins the rotation.
+struct RecoverySpec {
+    build: Box<dyn Fn() -> GapClassifier + Send + Sync>,
+    checkpoint: Checkpoint,
+    tag: String,
+    probe: MultivariateSeries,
+    probe_logits: Vec<f32>,
+}
+
+/// Probe geometry/seed for the checkpoint round-trip validation. The
+/// length is arbitrary (any valid input exercises every layer); the seed
+/// only needs to be fixed so spawn-time and respawn-time probes agree.
+const PROBE_LEN: usize = 16;
+const PROBE_SEED: u64 = 0xdca4;
+
+fn probe_series(d: usize) -> MultivariateSeries {
+    let mut rng = SeededRng::new(PROBE_SEED);
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..PROBE_LEN).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+impl RecoverySpec {
+    /// Builds a fresh model, restores the trained checkpoint into it and
+    /// verifies the probe forward reproduces the recorded logits. `None`
+    /// when any step fails — the worker must then not rejoin.
+    fn rebuild(&self) -> Option<GapClassifier> {
+        let mut fresh = catch_unwind(AssertUnwindSafe(|| (self.build)())).ok()?;
+        checkpoint::restore(&mut fresh, &self.checkpoint, &self.tag).ok()?;
+        let logits = catch_unwind(AssertUnwindSafe(|| {
+            fresh.logits_for(&self.probe).data().to_vec()
+        }))
+        .ok()?;
+        let close = logits.len() == self.probe_logits.len()
+            && logits
+                .iter()
+                .zip(&self.probe_logits)
+                .all(|(a, b)| (a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        close.then_some(fresh)
+    }
 }
 
 /// Cheap, cloneable submission handle to a running [`DcamService`].
@@ -475,6 +716,43 @@ impl ServiceHandle {
         series: &MultivariateSeries,
         opts: RequestOptions,
     ) -> Result<ExplanationFuture, ServiceError> {
+        self.validate(series)?;
+        if let Some(class) = opts.class {
+            if class >= self.shared.n_classes {
+                return Err(ServiceError::InvalidClass {
+                    class,
+                    n_classes: self.shared.n_classes,
+                });
+            }
+        }
+        let tenant = opts.tenant;
+        self.enqueue(series, tenant, |tx| RequestKind::Explain { opts, tx })
+    }
+
+    /// Submits one plain classification request: the worker answers with
+    /// the model's logits and argmax class from a single forward, without
+    /// going through the dCAM batcher. Shares the queue (and its
+    /// backpressure, fairness and cancellation semantics) with the
+    /// explanation traffic.
+    pub fn submit_classify(
+        &self,
+        series: &MultivariateSeries,
+    ) -> Result<ClassifyFuture, ServiceError> {
+        self.submit_classify_with(series, None)
+    }
+
+    /// [`submit_classify`](ServiceHandle::submit_classify) with a fairness
+    /// tenant key.
+    pub fn submit_classify_with(
+        &self,
+        series: &MultivariateSeries,
+        tenant: Option<u64>,
+    ) -> Result<ClassifyFuture, ServiceError> {
+        self.validate(series)?;
+        self.enqueue(series, tenant, |tx| RequestKind::Classify { tx })
+    }
+
+    fn validate(&self, series: &MultivariateSeries) -> Result<(), ServiceError> {
         if series.n_dims() != self.shared.expected_dims {
             return Err(ServiceError::ShapeMismatch {
                 expected_dims: self.shared.expected_dims,
@@ -484,15 +762,17 @@ impl ServiceHandle {
         if series.is_empty() {
             return Err(ServiceError::EmptySeries);
         }
-        if let Some(class) = opts.class {
-            if class >= self.shared.n_classes {
-                return Err(ServiceError::InvalidClass {
-                    class,
-                    n_classes: self.shared.n_classes,
-                });
-            }
-        }
+        Ok(())
+    }
 
+    /// Waits for a queue slot per the backpressure policy, then enqueues
+    /// the request built by `kind` and returns its future.
+    fn enqueue<T>(
+        &self,
+        series: &MultivariateSeries,
+        tenant: Option<u64>,
+        kind: impl FnOnce(mpsc::Sender<Result<T, ServiceError>>) -> RequestKind,
+    ) -> Result<ResponseFuture<T>, ServiceError> {
         let mut state = lock_ignore_poison(&self.shared.state);
         let deadline = match self.backpressure {
             Backpressure::Timeout(t) => Some(Instant::now() + t),
@@ -540,10 +820,12 @@ impl ServiceHandle {
         // queue has admitted the request — rejections under overload stay
         // allocation-free.
         let (tx, rx) = mpsc::channel();
-        state.queue.push_back(QueuedRequest {
+        let cancel = Arc::new(AtomicBool::new(false));
+        state.queue.push(QueuedRequest {
             series: series.clone(),
-            opts,
-            tx,
+            kind: kind(tx),
+            cancel: Arc::clone(&cancel),
+            tenant,
             enqueued_at: Instant::now(),
         });
         let depth = state.queue.len();
@@ -555,12 +837,35 @@ impl ServiceHandle {
         stats.max_queue_depth = stats.max_queue_depth.max(depth);
         drop(stats);
 
-        Ok(ExplanationFuture { rx })
+        Ok(ResponseFuture { rx, cancel })
+    }
+
+    /// The backpressure policy this handle submits under.
+    pub fn backpressure(&self) -> Backpressure {
+        self.backpressure
+    }
+
+    /// Returns a handle submitting under a different backpressure policy.
+    /// Per-handle only — the shared queue and every other handle are
+    /// unaffected. Transports use this to bound `Block` submissions by
+    /// their own request deadline, so a full queue cannot park a
+    /// connection worker forever.
+    pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.backpressure = backpressure;
+        self
     }
 
     /// Number of requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         lock_ignore_poison(&self.shared.state).queue.len()
+    }
+
+    /// Snapshot of the service counters (same data as
+    /// [`DcamService::stats`], reachable from transport code that only
+    /// holds a handle).
+    pub fn stats(&self) -> ServiceStats {
+        let depth = lock_ignore_poison(&self.shared.state).queue.len();
+        lock_ignore_poison(&self.shared.stats).snapshot(depth)
     }
 
     fn count_rejected(&self) {
@@ -587,13 +892,73 @@ impl DcamService {
     /// `(D, n_classes)`. To serve one trained model from several workers,
     /// replicate it first with [`replicate_model`].
     ///
+    /// A worker whose engine panics fails the batch in flight
+    /// ([`ServiceError::WorkerLost`]) and keeps serving with the same
+    /// model; use [`DcamService::spawn_with_recovery`] to have it rebuild
+    /// and re-validate the model instead.
+    ///
     /// # Panics
     ///
     /// On an empty model list, a non-dCNN model, models disagreeing on
     /// geometry, `queue_capacity == 0`, or `batcher.max_pending == 0`
     /// (validated here, on the caller's thread, so a bad config cannot
     /// silently kill the workers at startup).
-    pub fn spawn(mut models: Vec<GapClassifier>, cfg: ServiceConfig) -> Self {
+    pub fn spawn(models: Vec<GapClassifier>, cfg: ServiceConfig) -> Self {
+        Self::spawn_inner(models, cfg, None)
+    }
+
+    /// [`DcamService::spawn`] plus worker re-spawn after an engine panic.
+    ///
+    /// At spawn time the first model's trained parameters are captured in
+    /// an in-memory [`Checkpoint`] together with a probe input/output
+    /// pair. When a worker's engine panics, the batch in flight fails with
+    /// [`ServiceError::WorkerLost`] and the worker then **re-spawns**
+    /// instead of continuing with a possibly-poisoned model: it constructs
+    /// a fresh architecture with `build`, restores the checkpoint, and
+    /// re-validates the round-trip by comparing the probe forward against
+    /// the spawn-time logits. Only a model that passes rejoins the
+    /// rotation (tallied in [`ServiceStats::worker_respawns`]); a worker
+    /// whose rebuild fails exits instead of serving wrong answers.
+    ///
+    /// # Panics
+    ///
+    /// Everything [`DcamService::spawn`] panics on, plus a `build` closure
+    /// that does not reconstruct the trained architecture (the checkpoint
+    /// round-trip is validated once up front, on the caller's thread).
+    pub fn spawn_with_recovery(
+        mut models: Vec<GapClassifier>,
+        cfg: ServiceConfig,
+        build: impl Fn() -> GapClassifier + Send + Sync + 'static,
+    ) -> Self {
+        assert!(!models.is_empty(), "need at least one worker model");
+        let m0 = &mut models[0];
+        let tag = m0.name().to_string();
+        let snapshot = checkpoint::save(m0, tag.clone());
+        let d = m0.input_dims().expect(
+            "model must record its input dims (use the arch constructors or with_input_dims)",
+        );
+        let probe = probe_series(d);
+        let probe_logits = m0.logits_for(&probe).data().to_vec();
+        let spec = Arc::new(RecoverySpec {
+            build: Box::new(build),
+            checkpoint: snapshot,
+            tag,
+            probe,
+            probe_logits,
+        });
+        assert!(
+            spec.rebuild().is_some(),
+            "recovery build closure must reconstruct the trained architecture \
+             (checkpoint round-trip validation failed)"
+        );
+        Self::spawn_inner(models, cfg, Some(spec))
+    }
+
+    fn spawn_inner(
+        mut models: Vec<GapClassifier>,
+        cfg: ServiceConfig,
+        recovery: Option<Arc<RecoverySpec>>,
+    ) -> Self {
         assert!(!models.is_empty(), "need at least one worker model");
         assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
         assert!(
@@ -619,7 +984,7 @@ impl DcamService {
 
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
+                queue: RequestQueue::new(cfg.queue_policy),
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -640,9 +1005,10 @@ impl DcamService {
             .map(|(i, model)| {
                 let shared = Arc::clone(&shared);
                 let batcher_cfg = cfg.batcher.clone();
+                let recovery = recovery.clone();
                 std::thread::Builder::new()
                     .name(format!("dcam-service-{i}"))
-                    .spawn(move || worker_loop(model, shared, batcher_cfg))
+                    .spawn(move || worker_loop(model, shared, batcher_cfg, recovery))
                     .expect("spawn service worker")
             })
             .collect();
@@ -676,7 +1042,8 @@ impl DcamService {
     /// Graceful shutdown: stop accepting submissions, serve everything
     /// already queued or buffered, join the workers, and hand back the
     /// models plus the final stats. Futures of drained requests resolve
-    /// normally.
+    /// normally. (A worker that exited after a failed re-spawn has no
+    /// model to return, so the list can be shorter than the spawn list.)
     pub fn shutdown(mut self) -> (Vec<GapClassifier>, ServiceStats) {
         let models = self.shutdown_impl();
         let stats = self.stats();
@@ -709,6 +1076,7 @@ struct Waiter {
     tx: mpsc::Sender<Result<DcamResult, ServiceError>>,
     enqueued_at: Instant,
     strict_only_correct: bool,
+    cancel: Arc<AtomicBool>,
 }
 
 /// What the worker decided to do after consulting the queue.
@@ -721,31 +1089,46 @@ enum Step {
     Exit,
 }
 
+/// Everything one worker thread owns, bundled so an engine panic can swap
+/// the whole serving state out in one place.
+struct WorkerState {
+    model: GapClassifier,
+    batcher: DcamBatcher,
+    /// Armed by a request with [`RequestOptions::inject_panic`]; makes the
+    /// next flush panic inside the guarded engine region.
+    pending_fault: bool,
+}
+
 fn worker_loop(
-    mut model: GapClassifier,
+    model: GapClassifier,
     shared: Arc<Shared>,
     batcher_cfg: DcamBatcherConfig,
+    recovery: Option<Arc<RecoverySpec>>,
 ) -> GapClassifier {
     let only_correct = batcher_cfg.many.dcam.only_correct;
     let max_pending = batcher_cfg.max_pending.max(1);
-    let mut batcher = DcamBatcher::new(batcher_cfg);
+    let mut state = WorkerState {
+        model,
+        batcher: DcamBatcher::new(batcher_cfg.clone()),
+        pending_fault: false,
+    };
     let mut waiters: HashMap<Ticket, Waiter> = HashMap::new();
 
     loop {
         let step = {
-            let mut state = lock_ignore_poison(&shared.state);
+            let mut qs = lock_ignore_poison(&shared.state);
             loop {
-                if let Some(req) = state.queue.pop_front() {
+                if let Some(req) = qs.queue.pop() {
                     break Step::Got(req);
                 }
-                if state.closed {
+                if qs.closed {
                     break Step::Exit;
                 }
-                if batcher.pending() > 0 {
+                if state.batcher.pending() > 0 {
                     // Queue dry with a partial batch: wait for more traffic
                     // only until the batch's deadline; with no max_wait
                     // configured, serve the partial batch right away.
-                    let Some(deadline) = batcher.next_deadline() else {
+                    let Some(deadline) = state.batcher.next_deadline() else {
                         break Step::Flush(FlushReason::QueueDrained);
                     };
                     let now = Instant::now();
@@ -754,16 +1137,16 @@ fn worker_loop(
                     }
                     let (guard, timeout) = shared
                         .not_empty
-                        .wait_timeout(state, deadline - now)
+                        .wait_timeout(qs, deadline - now)
                         .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    state = guard;
-                    if timeout.timed_out() && state.queue.is_empty() {
+                    qs = guard;
+                    if timeout.timed_out() && qs.queue.len() == 0 {
                         break Step::Flush(FlushReason::Deadline);
                     }
                 } else {
-                    state = shared
+                    qs = shared
                         .not_empty
-                        .wait(state)
+                        .wait(qs)
                         .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
             }
@@ -772,98 +1155,201 @@ fn worker_loop(
         match step {
             Step::Got(req) => {
                 shared.not_full.notify_one();
+                // The caller abandoned the request while it sat in the
+                // queue: skip every bit of engine work for it.
+                if req.cancel.load(Ordering::Acquire) {
+                    lock_ignore_poison(&shared.stats).cancelled += 1;
+                    req.fail(ServiceError::Cancelled);
+                    continue;
+                }
                 let QueuedRequest {
                     series,
-                    opts,
-                    tx,
+                    kind,
+                    cancel,
                     enqueued_at,
+                    ..
                 } = req;
-                // `None` class = explain the predicted class: resolve it
-                // with one single-sample forward before batching. Guarded
-                // like the flush: a panicking forward must fail this one
-                // request, not kill the worker (which would strand every
-                // queued future and, under Block backpressure, eventually
-                // deadlock submitters too).
-                let class = match opts.class {
-                    Some(c) => c,
-                    None => {
-                        let predicted =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                argmax(model.logits_for(&series).data()).unwrap_or(0)
-                            }));
-                        match predicted {
-                            Ok(c) => c,
+                match kind {
+                    RequestKind::Classify { tx } => {
+                        // One guarded forward, answered immediately (no
+                        // batching: a classify is ~k× cheaper than an
+                        // explanation and never groups with the cubes).
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            state.model.logits_for(&series).data().to_vec()
+                        }));
+                        match outcome {
+                            Ok(logits) => {
+                                let class = argmax(&logits).unwrap_or(0);
+                                let mut stats = lock_ignore_poison(&shared.stats);
+                                stats.classified += 1;
+                                stats.record_latency(
+                                    Instant::now() - enqueued_at,
+                                    shared.latency_window,
+                                );
+                                drop(stats);
+                                let _ = tx.send(Ok(Classification { class, logits }));
+                            }
                             Err(_) => {
                                 lock_ignore_poison(&shared.stats).failed += 1;
                                 let _ = tx.send(Err(ServiceError::WorkerLost));
-                                continue;
+                                if !recover_worker(
+                                    &mut state,
+                                    &mut waiters,
+                                    &shared,
+                                    &recovery,
+                                    &batcher_cfg,
+                                ) {
+                                    return state.model;
+                                }
                             }
                         }
                     }
-                };
-                let ticket = batcher.push(series, class);
-                waiters.insert(
-                    ticket,
-                    Waiter {
-                        tx,
-                        enqueued_at,
-                        strict_only_correct: opts.strict_only_correct,
-                    },
-                );
-                if batcher.pending() >= max_pending {
-                    flush(
-                        &mut model,
-                        &mut batcher,
-                        &mut waiters,
-                        &shared,
-                        only_correct,
-                        FlushReason::Full,
-                    );
+                    RequestKind::Explain { opts, tx } => {
+                        if opts.inject_panic {
+                            state.pending_fault = true;
+                        }
+                        // `None` class = explain the predicted class:
+                        // resolve it with one guarded single-sample
+                        // forward before batching.
+                        let class = match opts.class {
+                            Some(c) => c,
+                            None => {
+                                let predicted = catch_unwind(AssertUnwindSafe(|| {
+                                    argmax(state.model.logits_for(&series).data()).unwrap_or(0)
+                                }));
+                                match predicted {
+                                    Ok(c) => c,
+                                    Err(_) => {
+                                        lock_ignore_poison(&shared.stats).failed += 1;
+                                        let _ = tx.send(Err(ServiceError::WorkerLost));
+                                        if !recover_worker(
+                                            &mut state,
+                                            &mut waiters,
+                                            &shared,
+                                            &recovery,
+                                            &batcher_cfg,
+                                        ) {
+                                            return state.model;
+                                        }
+                                        continue;
+                                    }
+                                }
+                            }
+                        };
+                        let ticket = state.batcher.push(series, class);
+                        waiters.insert(
+                            ticket,
+                            Waiter {
+                                tx,
+                                enqueued_at,
+                                strict_only_correct: opts.strict_only_correct,
+                                cancel,
+                            },
+                        );
+                        if state.batcher.pending() >= max_pending
+                            && !flush(
+                                &mut state,
+                                &mut waiters,
+                                &shared,
+                                only_correct,
+                                FlushReason::Full,
+                                &recovery,
+                                &batcher_cfg,
+                            )
+                        {
+                            return state.model;
+                        }
+                    }
                 }
             }
             Step::Flush(reason) => {
-                flush(
-                    &mut model,
-                    &mut batcher,
+                if !flush(
+                    &mut state,
                     &mut waiters,
                     &shared,
                     only_correct,
                     reason,
-                );
+                    &recovery,
+                    &batcher_cfg,
+                ) {
+                    return state.model;
+                }
             }
             Step::Exit => {
-                if batcher.pending() > 0 {
-                    flush(
-                        &mut model,
-                        &mut batcher,
+                if state.batcher.pending() > 0
+                    && !flush(
+                        &mut state,
                         &mut waiters,
                         &shared,
                         only_correct,
                         FlushReason::Shutdown,
-                    );
+                        &recovery,
+                        &batcher_cfg,
+                    )
+                {
+                    return state.model;
                 }
-                return model;
+                return state.model;
             }
         }
     }
 }
 
+/// Drops buffered requests whose callers cancelled (dropped their future
+/// or closed their connection) after the worker buffered them: the flush
+/// never assembles cubes for them. Tallied in [`ServiceStats::cancelled`].
+fn prune_cancelled(
+    state: &mut WorkerState,
+    waiters: &mut HashMap<Ticket, Waiter>,
+    shared: &Shared,
+) {
+    if waiters.values().all(|w| !w.cancel.load(Ordering::Acquire)) {
+        return;
+    }
+    let dropped = state.batcher.retain(|t| {
+        waiters
+            .get(&t)
+            .is_none_or(|w| !w.cancel.load(Ordering::Acquire))
+    });
+    if dropped > 0 {
+        lock_ignore_poison(&shared.stats).cancelled += dropped as u64;
+        waiters.retain(|_, w| {
+            let cancelled = w.cancel.load(Ordering::Acquire);
+            if cancelled {
+                let _ = w.tx.send(Err(ServiceError::Cancelled));
+            }
+            !cancelled
+        });
+    }
+}
+
 /// Runs one batcher flush, maps tickets back to waiting futures, applies
 /// the per-request `strict_only_correct` policy and records stats. A panic
-/// inside the engine fails the affected requests instead of hanging them.
+/// inside the engine fails the affected requests instead of hanging them,
+/// then re-spawns the worker when recovery is configured. Returns `false`
+/// when the worker could not recover and must exit.
 fn flush(
-    model: &mut GapClassifier,
-    batcher: &mut DcamBatcher,
+    state: &mut WorkerState,
     waiters: &mut HashMap<Ticket, Waiter>,
     shared: &Shared,
     only_correct: bool,
     reason: FlushReason,
-) {
-    let batch = batcher.pending();
+    recovery: &Option<Arc<RecoverySpec>>,
+    batcher_cfg: &DcamBatcherConfig,
+) -> bool {
+    prune_cancelled(state, waiters, shared);
+    let batch = state.batcher.pending();
     if batch == 0 {
-        return;
+        return true;
     }
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batcher.flush(model)));
+    let fault = std::mem::take(&mut state.pending_fault);
+    let WorkerState { model, batcher, .. } = state;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if fault {
+            panic!("injected worker fault (RequestOptions::inject_panic)");
+        }
+        batcher.flush(model)
+    }));
     let now = Instant::now();
     let mut stats = lock_ignore_poison(&shared.stats);
     stats.record_flush(batch, reason);
@@ -885,6 +1371,7 @@ fn flush(
                 // the answer, not on the service.
                 let _ = waiter.tx.send(answer);
             }
+            true
         }
         Err(_) => {
             // The engine panicked mid-flush; every request of this batch is
@@ -893,7 +1380,51 @@ fn flush(
                 stats.failed += 1;
                 let _ = waiter.tx.send(Err(ServiceError::WorkerLost));
             }
+            drop(stats);
+            recover_worker(state, waiters, shared, recovery, batcher_cfg)
         }
+    }
+}
+
+/// After an engine panic: rebuild the worker's model from the recovery
+/// checkpoint and re-validate it before it rejoins. Without a recovery
+/// spec ([`DcamService::spawn`]) the worker keeps its current model, as
+/// the pre-recovery service did. Returns `false` when the rebuild failed
+/// and the worker must exit.
+fn recover_worker(
+    state: &mut WorkerState,
+    waiters: &mut HashMap<Ticket, Waiter>,
+    shared: &Shared,
+    recovery: &Option<Arc<RecoverySpec>>,
+    batcher_cfg: &DcamBatcherConfig,
+) -> bool {
+    let Some(spec) = recovery else {
+        return true;
+    };
+    match spec.rebuild() {
+        Some(fresh) => {
+            // Replacing the batcher drops whatever it had buffered, and the
+            // fresh one reuses ticket numbers from zero — so any still-
+            // registered waiters (a classify/predicted-class panic reaches
+            // here without a flush having drained them) must resolve now,
+            // before their tickets can collide with new requests.
+            if !waiters.is_empty() {
+                let mut stats = lock_ignore_poison(&shared.stats);
+                for (_, waiter) in waiters.drain() {
+                    stats.failed += 1;
+                    let _ = waiter.tx.send(Err(ServiceError::WorkerLost));
+                }
+            }
+            // The batcher (and its arena) may hold state the panic left
+            // inconsistent; replace the whole serving state, not just the
+            // model.
+            state.model = fresh;
+            state.batcher = DcamBatcher::new(batcher_cfg.clone());
+            state.pending_fault = false;
+            lock_ignore_poison(&shared.stats).worker_respawns += 1;
+            true
+        }
+        None => false,
     }
 }
 
@@ -971,7 +1502,21 @@ mod tests {
             },
             queue_capacity: 64,
             backpressure: Backpressure::Block,
+            queue_policy: QueuePolicy::Fifo,
             latency_window: 128,
+        }
+    }
+
+    /// Builds a throwaway queued request whose channels are dropped (only
+    /// the queue mechanics are under test).
+    fn dummy_request(tenant: Option<u64>, marker: usize) -> QueuedRequest {
+        let (tx, _rx) = mpsc::channel();
+        QueuedRequest {
+            series: toy_series(1, marker + 1, 0),
+            kind: RequestKind::Classify { tx },
+            cancel: Arc::new(AtomicBool::new(false)),
+            tenant,
+            enqueued_at: Instant::now(),
         }
     }
 
@@ -994,6 +1539,13 @@ mod tests {
         let wrong_dims = toy_series(4, 10, 0);
         assert_eq!(
             handle.submit(&wrong_dims, 0).err(),
+            Some(ServiceError::ShapeMismatch {
+                expected_dims: 3,
+                got_dims: 4
+            })
+        );
+        assert_eq!(
+            handle.submit_classify(&wrong_dims).err(),
             Some(ServiceError::ShapeMismatch {
                 expected_dims: 3,
                 got_dims: 4
@@ -1044,6 +1596,24 @@ mod tests {
     }
 
     #[test]
+    fn classify_matches_direct_forward() {
+        let service = DcamService::spawn(vec![toy_model(3, 2, 11)], quick_cfg());
+        let handle = service.handle();
+        let series = toy_series(3, 12, 6);
+        let got = handle.submit_classify(&series).unwrap().wait().unwrap();
+        let mut reference = toy_model(3, 2, 11);
+        let want = reference.logits_for(&series);
+        assert_eq!(got.logits.len(), 2);
+        assert_eq!(Some(got.class), argmax(want.data()));
+        for (a, b) in got.logits.iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-6, "logits must match: {a} vs {b}");
+        }
+        let (_, stats) = service.shutdown();
+        assert_eq!(stats.classified, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
     fn submits_after_shutdown_are_rejected() {
         let service = DcamService::spawn(vec![toy_model(3, 2, 4)], quick_cfg());
         let handle = service.handle();
@@ -1067,5 +1637,61 @@ mod tests {
         for mut m in models {
             assert!(m.logits_for(&series).allclose(&want, 1e-6));
         }
+    }
+
+    #[test]
+    fn fifo_queue_ignores_tenants() {
+        let mut q = RequestQueue::new(QueuePolicy::Fifo);
+        q.push(dummy_request(Some(7), 0));
+        q.push(dummy_request(None, 1));
+        q.push(dummy_request(Some(9), 2));
+        assert_eq!(q.len(), 3);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.series.len() - 1)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2], "strict arrival order");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_tenants() {
+        let mut q = RequestQueue::new(QueuePolicy::FairPerTenant);
+        // Tenant 1 floods markers 0..4; tenant 2 and the anonymous lane
+        // each add one late request.
+        for marker in 0..4 {
+            q.push(dummy_request(Some(1), marker));
+        }
+        q.push(dummy_request(Some(2), 4));
+        q.push(dummy_request(None, 5));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.series.len() - 1)
+            .collect();
+        // One request per lane per rotation: the flood is interleaved.
+        assert_eq!(order, vec![0, 4, 5, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fair_queue_preserves_order_within_a_tenant() {
+        let mut q = RequestQueue::new(QueuePolicy::FairPerTenant);
+        for marker in 0..5 {
+            q.push(dummy_request(Some(3), marker));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.series.len() - 1)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn respawn_validation_fails_fast_on_wrong_builder() {
+        // A builder with a different architecture cannot pass the
+        // checkpoint round-trip; spawn_with_recovery must panic on the
+        // caller's thread instead of arming a broken recovery path.
+        let r = std::panic::catch_unwind(|| {
+            DcamService::spawn_with_recovery(vec![toy_model(3, 2, 12)], quick_cfg(), || {
+                toy_model(4, 2, 12)
+            })
+        });
+        assert!(r.is_err());
     }
 }

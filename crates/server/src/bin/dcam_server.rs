@@ -1,0 +1,89 @@
+//! Standalone `dcam-server` bootstrap for smoke tests and local
+//! experimentation: builds a Tiny dCNN (untrained — the maps are
+//! smoke-quality, the serving path is the real one), spins up the
+//! explanation service with worker re-spawn armed, and serves HTTP until
+//! the process is killed.
+//!
+//! ```text
+//! dcam_server [--addr 127.0.0.1:0] [--dims 3] [--classes 2] [--k 8]
+//!             [--workers 1] [--conn-workers 2] [--port-file PATH]
+//!             [--fault-injection] [--run-seconds N]
+//! ```
+//!
+//! `--port-file` writes the bound address (host:port) to a file once the
+//! listener is up — the CI smoke job uses it to find the ephemeral port.
+
+use dcam::arch::{cnn, InputEncoding, ModelScale};
+use dcam::dcam::DcamConfig;
+use dcam::service::{replicate_model, DcamService, ServiceConfig};
+use dcam_server::{serve, ServerConfig};
+use dcam_tensor::SeededRng;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dims: usize = arg_parse(&args, "--dims", 3);
+    let classes: usize = arg_parse(&args, "--classes", 2);
+    let k: usize = arg_parse(&args, "--k", 8);
+    let workers: usize = arg_parse(&args, "--workers", 1);
+    let run_seconds: u64 = arg_parse(&args, "--run-seconds", 0);
+
+    let build = move || {
+        cnn(
+            InputEncoding::Dcnn,
+            dims,
+            classes,
+            ModelScale::Tiny,
+            &mut SeededRng::new(7),
+        )
+    };
+    let mut service_cfg = ServiceConfig::default();
+    service_cfg.batcher.many.dcam = DcamConfig {
+        k,
+        only_correct: false,
+        ..Default::default()
+    };
+    let models = replicate_model(build(), workers, build);
+    let service = DcamService::spawn_with_recovery(models, service_cfg, build);
+
+    let server_cfg = ServerConfig {
+        addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        conn_workers: arg_parse(&args, "--conn-workers", 2),
+        enable_fault_injection: args.iter().any(|a| a == "--fault-injection"),
+        ..Default::default()
+    };
+    let server = serve(service, server_cfg).expect("bind listener");
+    let addr = server.addr();
+    println!("dcam-server listening on http://{addr} (D={dims}, classes={classes}, k={k})");
+    if let Some(path) = arg_value(&args, "--port-file") {
+        std::fs::write(&path, addr.to_string()).expect("write port file");
+    }
+
+    if run_seconds > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(run_seconds));
+        let (_models, service_stats, server_stats) = server.shutdown();
+        println!(
+            "drained: {} explained, {} classified, {} requests, {} 5xx",
+            service_stats.completed,
+            service_stats.classified,
+            server_stats.requests,
+            server_stats.responses_5xx
+        );
+    } else {
+        // Serve until killed (SIGTERM/SIGINT from the operator or CI).
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}

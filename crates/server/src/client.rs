@@ -1,0 +1,188 @@
+//! Minimal blocking HTTP/1.1 client for driving a [`crate::DcamServer`]
+//! from examples, integration tests, and the bench harness.
+//!
+//! One [`HttpClient`] holds one persistent (keep-alive) connection;
+//! dropping it closes the socket — which the server observes and uses to
+//! cancel whatever the connection was waiting on.
+
+use dcam_series::MultivariateSeries;
+use serde::{Serialize, Value};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Renders the minimal `POST /v1/explain` body for a series and an
+/// explicit class — the request-side counterpart of the server's wire
+/// format, shared by the example, the integration tests and the bench
+/// harness so the payload shape cannot drift between them.
+pub fn explain_payload(series: &MultivariateSeries, class: usize) -> String {
+    let rows: Vec<Vec<f32>> = (0..series.n_dims())
+        .map(|d| series.dim(d).to_vec())
+        .collect();
+    serde_json::to_string(&Value::Object(vec![
+        ("series".into(), rows.to_value()),
+        ("class".into(), Value::Number(class as f64)),
+    ]))
+    .unwrap_or_default()
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code (200, 503, ...).
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body as text (the API always answers JSON).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Value, serde_json::Error> {
+        serde_json::parse(&self.body)
+    }
+}
+
+/// A blocking keep-alive HTTP/1.1 client.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a 30 s read timeout.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with an explicit read timeout (what a `request` call will
+    /// wait for the response).
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// `GET` without a body.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Sends one request and blocks for the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nhost: dcam\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(msg.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Sends a request without waiting for the answer (used by tests that
+    /// drop the connection to exercise server-side cancellation).
+    pub fn send_only(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nhost: dcam\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(msg.as_bytes())
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        let mut tmp = [0u8; 4096];
+        let n = self.stream.read(&mut tmp)?;
+        self.buf.extend_from_slice(&tmp[..n]);
+        Ok(n)
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let body = match content_length {
+            Some(len) => {
+                let total = head_end + 4 + len;
+                while self.buf.len() < total {
+                    if self.fill()? == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        ));
+                    }
+                }
+                let body = String::from_utf8_lossy(&self.buf[head_end + 4..total]).into_owned();
+                self.buf.drain(..total);
+                body
+            }
+            // No Content-Length: the body runs to EOF (only happens with
+            // Connection: close responses).
+            None => {
+                while self.fill()? != 0 {}
+                let body = String::from_utf8_lossy(&self.buf[head_end + 4..]).into_owned();
+                self.buf.clear();
+                body
+            }
+        };
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

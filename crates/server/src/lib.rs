@@ -1,0 +1,788 @@
+//! `dcam-server` — a dependency-free HTTP/1.1 front end for the
+//! [`dcam::service`] asynchronous explanation service.
+//!
+//! The paper positions dCAM as an explanation practitioners query per
+//! instance; this crate is the network layer that makes the in-process
+//! service queryable: a hand-rolled HTTP/1.1 server on
+//! [`std::net::TcpListener`] (the build environment has no crates.io
+//! access) exposing
+//!
+//! * `POST /v1/explain` — series payload plus optional class /
+//!   `strict_only_correct` / `top_k` options, answered with the dCAM map
+//!   or a per-dimension importance summary;
+//! * `POST /v1/classify` — series payload, answered with logits and the
+//!   argmax class;
+//! * `GET /healthz` — liveness probe;
+//! * `GET /stats` — JSON dump of [`ServiceStats`] plus the server-level
+//!   counters ([`ServerStats`]).
+//!
+//! Architecture: one **accept thread** pushes connections into a bounded
+//! backlog; a pool of **connection workers** parses requests (keep-alive,
+//! `Content-Length` framing, body-size cap) and submits them through a
+//! [`ServiceHandle`]. Queue backpressure surfaces as HTTP 503 with a
+//! `Retry-After` header, per-request deadlines as 504, malformed payloads
+//! as structured 400 bodies. A client that disconnects mid-request
+//! **cancels** its explanation (the service skips the cube build), and
+//! [`DcamServer::shutdown`] performs a SIGTERM-style graceful drain:
+//! stop accepting, finish queued connections and requests, then return
+//! the models and final stats.
+//!
+//! ```no_run
+//! use dcam::arch::{cnn, InputEncoding, ModelScale};
+//! use dcam::service::{DcamService, ServiceConfig};
+//! use dcam_server::{serve, HttpClient, ServerConfig};
+//! use dcam_tensor::SeededRng;
+//!
+//! let model = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut SeededRng::new(7));
+//! let service = DcamService::spawn(vec![model], ServiceConfig::default());
+//! let server = serve(service, ServerConfig::default()).unwrap();
+//!
+//! let mut client = HttpClient::connect(&server.addr().to_string()).unwrap();
+//! let resp = client
+//!     .post("/v1/explain", r#"{"series": [[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]], "class": 1}"#)
+//!     .unwrap();
+//! assert_eq!(resp.status, 200);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod wire;
+
+pub use client::{explain_payload, HttpClient, HttpResponse};
+
+use dcam::arch::GapClassifier;
+use dcam::service::{
+    Backpressure, RequestOptions, ResponseFuture, ServiceError, ServiceHandle, ServiceStats,
+};
+use dcam::DcamService;
+use dcam_series::MultivariateSeries;
+use http::{Conn, RecvError, Request};
+use serde::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`DcamServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (read it back with
+    /// [`DcamServer::addr`]).
+    pub addr: String,
+    /// Connection-worker threads (each drives one connection at a time;
+    /// the explanation work itself happens on the service's own workers).
+    pub conn_workers: usize,
+    /// Bound on accepted-but-unclaimed connections. The accept thread
+    /// answers overflow with an immediate 503 instead of letting the
+    /// kernel queue grow unbounded.
+    pub conn_backlog: usize,
+    /// Request bodies above this get a 413 and the connection closes.
+    pub max_body_bytes: usize,
+    /// End-to-end deadline per request (parse → submit → answer). A
+    /// request that cannot be answered in time gets a 504 and its service
+    /// work is cancelled.
+    pub request_deadline: Duration,
+    /// How long an idle keep-alive connection is held open.
+    pub idle_keepalive: Duration,
+    /// Value of the `Retry-After` header on backpressure 503s, seconds.
+    pub retry_after_s: u32,
+    /// Honour the `inject_panic` fault-injection field of explain
+    /// requests (tests and ops drills only — never enable facing users).
+    pub enable_fault_injection: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            conn_workers: 2,
+            conn_backlog: 64,
+            max_body_bytes: 8 * 1024 * 1024,
+            request_deadline: Duration::from_secs(30),
+            idle_keepalive: Duration::from_secs(5),
+            retry_after_s: 1,
+            enable_fault_injection: false,
+        }
+    }
+}
+
+/// Server-level counters (the transport's half of `GET /stats`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted off the listener.
+    pub connections_accepted: u64,
+    /// Connections bounced with 503 because the backlog was full.
+    pub connections_rejected: u64,
+    /// Requests parsed off connections.
+    pub requests: u64,
+    /// Responses with status 2xx.
+    pub responses_2xx: u64,
+    /// Responses with status 4xx.
+    pub responses_4xx: u64,
+    /// Responses with status 5xx (including 503/504).
+    pub responses_5xx: u64,
+    /// 503s from service backpressure (subset of `responses_5xx`).
+    pub backpressure_503: u64,
+    /// 504s from the per-request deadline (subset of `responses_5xx`).
+    pub deadline_504: u64,
+    /// Requests whose client disconnected mid-flight; their service work
+    /// was cancelled.
+    pub disconnect_cancels: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    backpressure_503: AtomicU64,
+    deadline_504: AtomicU64,
+    disconnect_cancels: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            backpressure_503: self.backpressure_503.load(Ordering::Relaxed),
+            deadline_504: self.deadline_504.load(Ordering::Relaxed),
+            disconnect_cancels: self.disconnect_cancels.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the accept thread and the connection workers.
+struct Ctx {
+    handle: ServiceHandle,
+    cfg: ServerConfig,
+    counters: Counters,
+    shutdown: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_ready: Condvar,
+    service_workers: usize,
+}
+
+/// A running explanation server. Dropping it without
+/// [`DcamServer::shutdown`] still stops the threads and drains the
+/// service (the models are discarded).
+pub struct DcamServer {
+    service: Option<DcamService>,
+    ctx: Arc<Ctx>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Vec<JoinHandle<()>>,
+}
+
+/// Boots the HTTP front end over a running [`DcamService`]: binds
+/// `cfg.addr`, starts the accept thread and `cfg.conn_workers` connection
+/// workers, and returns immediately.
+pub fn serve(service: DcamService, cfg: ServerConfig) -> io::Result<DcamServer> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    // A Block backpressure policy would park a connection worker on a full
+    // queue with no deadline and no disconnect detection; bound it by the
+    // request deadline so overload surfaces as 503 + Retry-After instead
+    // of a hung worker. (In-process submitters keep whatever policy the
+    // service was configured with — this only rebinds the server's handle.)
+    let handle = service.handle();
+    let handle = match handle.backpressure() {
+        Backpressure::Block => {
+            handle.with_backpressure(Backpressure::Timeout(cfg.request_deadline))
+        }
+        _ => handle,
+    };
+    let ctx = Arc::new(Ctx {
+        handle,
+        cfg: cfg.clone(),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(VecDeque::new()),
+        conns_ready: Condvar::new(),
+        service_workers: service.workers(),
+    });
+    let accept_thread = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("dcam-accept".into())
+            .spawn(move || accept_loop(listener, &ctx))
+            .expect("spawn accept thread")
+    };
+    let conn_threads = (0..cfg.conn_workers.max(1))
+        .map(|i| {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("dcam-conn-{i}"))
+                .spawn(move || conn_worker(&ctx))
+                .expect("spawn connection worker")
+        })
+        .collect();
+    Ok(DcamServer {
+        service: Some(service),
+        ctx,
+        addr,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+    })
+}
+
+impl DcamServer {
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-level counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.ctx.counters.snapshot()
+    }
+
+    /// Service-level counters (same snapshot `GET /stats` serves).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.ctx.handle.stats()
+    }
+
+    /// SIGTERM-style graceful drain: stop accepting connections, let the
+    /// connection workers finish every accepted request (in-flight
+    /// keep-alive connections get `Connection: close` on their next
+    /// response), then drain the explanation service itself and return
+    /// the models plus final stats.
+    pub fn shutdown(mut self) -> (Vec<GapClassifier>, ServiceStats, ServerStats) {
+        self.stop_threads();
+        let (models, service_stats) = self
+            .service
+            .take()
+            .expect("service present until shutdown")
+            .shutdown();
+        (models, service_stats, self.ctx.counters.snapshot())
+    }
+
+    fn stop_threads(&mut self) {
+        self.ctx.shutdown.store(true, Ordering::Release);
+        self.ctx.conns_ready.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.conn_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DcamServer {
+    fn drop(&mut self) {
+        if self.service.is_some() {
+            self.stop_threads();
+            // DcamService's own Drop drains the queue and joins workers.
+            self.service.take();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: &Ctx) {
+    while !ctx.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctx.counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                let mut conns = lock(&ctx.conns);
+                if conns.len() >= ctx.cfg.conn_backlog {
+                    drop(conns);
+                    ctx.counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Answer on the accept thread: every connection worker
+                    // is busy, so nobody else will.
+                    let mut stream = stream;
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        &[("retry-after", ctx.cfg.retry_after_s.to_string())],
+                        &wire::error_body("overloaded", "connection backlog full"),
+                        true,
+                    );
+                } else {
+                    conns.push_back(stream);
+                    drop(conns);
+                    ctx.conns_ready.notify_one();
+                }
+            }
+            // Non-blocking accept: sleep briefly so shutdown stays
+            // responsive without spinning a core.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn conn_worker(ctx: &Ctx) {
+    loop {
+        let stream = {
+            let mut conns = lock(&ctx.conns);
+            loop {
+                if let Some(s) = conns.pop_front() {
+                    break Some(s);
+                }
+                // Drain semantics: accepted connections are served even
+                // after shutdown starts; only an *empty* backlog lets a
+                // worker exit.
+                if ctx.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                conns = ctx
+                    .conns_ready
+                    .wait_timeout(conns, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .0;
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(Conn::new(stream), ctx);
+    }
+}
+
+/// Whether the connection survives the response.
+enum After {
+    KeepAlive,
+    Close,
+}
+
+fn handle_connection(mut conn: Conn, ctx: &Ctx) {
+    // Short read timeout so the parse loop can poll the shutdown flag and
+    // the idle deadline between reads.
+    if conn
+        .stream()
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut idle_deadline = Instant::now() + ctx.cfg.idle_keepalive;
+    // Set once the first bytes of a request are in: a slow upload is
+    // bounded by the request deadline (then 408), never by the shorter
+    // idle-keep-alive deadline.
+    let mut receive_deadline: Option<Instant> = None;
+    loop {
+        match conn.read_request(ctx.cfg.max_body_bytes) {
+            Ok(req) => {
+                receive_deadline = None;
+                ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let want_close = req.close;
+                match route(&mut conn, &req, ctx) {
+                    After::KeepAlive if !want_close && !ctx.shutdown.load(Ordering::Acquire) => {
+                        idle_deadline = Instant::now() + ctx.cfg.idle_keepalive;
+                    }
+                    _ => return,
+                }
+            }
+            Err(RecvError::Idle) => {
+                if conn.has_partial() {
+                    let deadline = *receive_deadline
+                        .get_or_insert_with(|| Instant::now() + ctx.cfg.request_deadline);
+                    if Instant::now() >= deadline {
+                        respond(
+                            &mut conn,
+                            ctx,
+                            408,
+                            &[],
+                            &wire::error_body(
+                                "request_timeout",
+                                "request not received within the deadline",
+                            ),
+                            true,
+                        );
+                        return;
+                    }
+                } else {
+                    receive_deadline = None;
+                    if ctx.shutdown.load(Ordering::Acquire) || Instant::now() >= idle_deadline {
+                        return;
+                    }
+                }
+            }
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => return,
+            Err(RecvError::Bad(msg)) => {
+                respond(
+                    &mut conn,
+                    ctx,
+                    400,
+                    &[],
+                    &wire::error_body("bad_request", &msg),
+                    true,
+                );
+                return;
+            }
+            Err(RecvError::TooLarge { limit }) => {
+                respond(
+                    &mut conn,
+                    ctx,
+                    413,
+                    &[],
+                    &wire::error_body(
+                        "payload_too_large",
+                        &format!("request body exceeds {limit} bytes"),
+                    ),
+                    true,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Writes a response and tallies it. `close` is sticky during shutdown so
+/// drained keep-alive clients are told to go away.
+fn respond(
+    conn: &mut Conn,
+    ctx: &Ctx,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> After {
+    let close = close || ctx.shutdown.load(Ordering::Acquire);
+    ctx.counters.count_status(status);
+    match http::write_response(conn.stream(), status, extra, body, close) {
+        Ok(()) if !close => After::KeepAlive,
+        _ => After::Close,
+    }
+}
+
+fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = serde_json::to_string(&Value::Object(vec![
+                ("status".into(), Value::String("ok".into())),
+                ("workers".into(), Value::Number(ctx.service_workers as f64)),
+                (
+                    "queue_depth".into(),
+                    Value::Number(ctx.handle.queue_depth() as f64),
+                ),
+            ]))
+            .unwrap_or_default();
+            respond(conn, ctx, 200, &[], &body, false)
+        }
+        ("GET", "/stats") => {
+            let service = wire::service_stats_value(&ctx.handle.stats());
+            let s = ctx.counters.snapshot();
+            let server = Value::Object(vec![
+                (
+                    "connections_accepted".into(),
+                    Value::Number(s.connections_accepted as f64),
+                ),
+                (
+                    "connections_rejected".into(),
+                    Value::Number(s.connections_rejected as f64),
+                ),
+                ("requests".into(), Value::Number(s.requests as f64)),
+                (
+                    "responses_2xx".into(),
+                    Value::Number(s.responses_2xx as f64),
+                ),
+                (
+                    "responses_4xx".into(),
+                    Value::Number(s.responses_4xx as f64),
+                ),
+                (
+                    "responses_5xx".into(),
+                    Value::Number(s.responses_5xx as f64),
+                ),
+                (
+                    "backpressure_503".into(),
+                    Value::Number(s.backpressure_503 as f64),
+                ),
+                ("deadline_504".into(), Value::Number(s.deadline_504 as f64)),
+                (
+                    "disconnect_cancels".into(),
+                    Value::Number(s.disconnect_cancels as f64),
+                ),
+            ]);
+            let body = serde_json::to_string(&Value::Object(vec![
+                ("service".into(), service),
+                ("server".into(), server),
+            ]))
+            .unwrap_or_default();
+            respond(conn, ctx, 200, &[], &body, false)
+        }
+        ("POST", "/v1/explain") => handle_explain(conn, req, ctx),
+        ("POST", "/v1/classify") => handle_classify(conn, req, ctx),
+        (_, "/healthz" | "/stats") => respond(
+            conn,
+            ctx,
+            405,
+            &[("allow", "GET".into())],
+            &wire::error_body("method_not_allowed", "use GET"),
+            false,
+        ),
+        (_, "/v1/explain" | "/v1/classify") => respond(
+            conn,
+            ctx,
+            405,
+            &[("allow", "POST".into())],
+            &wire::error_body("method_not_allowed", "use POST"),
+            false,
+        ),
+        (_, path) => respond(
+            conn,
+            ctx,
+            404,
+            &[],
+            &wire::error_body("not_found", &format!("no route for {path}")),
+            false,
+        ),
+    }
+}
+
+fn parse_json_body(conn: &mut Conn, req: &Request, ctx: &Ctx) -> Result<Value, After> {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            return Err(respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body("bad_json", "request body is not UTF-8"),
+                false,
+            ))
+        }
+    };
+    match serde_json::parse(text) {
+        Ok(v) => Ok(v),
+        Err(e) => Err(respond(
+            conn,
+            ctx,
+            400,
+            &[],
+            &wire::error_body("bad_json", &e.to_string()),
+            false,
+        )),
+    }
+}
+
+fn tenant_key(tenant: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    tenant.hash(&mut h);
+    h.finish()
+}
+
+/// Maps a submit-time [`ServiceError`] onto an HTTP response.
+fn respond_submit_error(conn: &mut Conn, ctx: &Ctx, err: ServiceError) -> After {
+    match err {
+        ServiceError::ShapeMismatch { .. } => {
+            let body = wire::error_body("shape_mismatch", &err.to_string());
+            respond(conn, ctx, 400, &[], &body, false)
+        }
+        ServiceError::EmptySeries => {
+            let body = wire::error_body("empty_series", &err.to_string());
+            respond(conn, ctx, 400, &[], &body, false)
+        }
+        ServiceError::InvalidClass { .. } => {
+            let body = wire::error_body("invalid_class", &err.to_string());
+            respond(conn, ctx, 400, &[], &body, false)
+        }
+        ServiceError::QueueFull { .. } | ServiceError::SubmitTimeout { .. } => {
+            ctx.counters
+                .backpressure_503
+                .fetch_add(1, Ordering::Relaxed);
+            let body = wire::error_body("overloaded", &err.to_string());
+            respond(
+                conn,
+                ctx,
+                503,
+                &[("retry-after", ctx.cfg.retry_after_s.to_string())],
+                &body,
+                false,
+            )
+        }
+        ServiceError::ShuttingDown => {
+            let body = wire::error_body("shutting_down", &err.to_string());
+            respond(conn, ctx, 503, &[], &body, true)
+        }
+        other => {
+            let body = wire::error_body("internal", &other.to_string());
+            respond(conn, ctx, 500, &[], &body, false)
+        }
+    }
+}
+
+/// Outcome of awaiting a service future while watching the connection.
+enum Awaited<T> {
+    Done(Result<T, ServiceError>),
+    /// The client hung up; the future was dropped (cancelling the work)
+    /// and no response must be written.
+    Disconnected,
+    /// The per-request deadline passed; the future was dropped.
+    DeadlineExceeded,
+}
+
+/// Waits for the worker's answer while polling the socket for an early
+/// client disconnect, and enforcing the per-request deadline. Dropping
+/// the future on either exit path marks the request cancelled, which the
+/// service's workers observe before doing the cube build.
+///
+/// The answer is polled every 5 ms (pure futex wait — cheap and it bounds
+/// added response latency); the disconnect probe costs three syscalls, so
+/// it runs on a coarser interval — a hang-up is only worth noticing at
+/// the timescale of the engine work it would cancel.
+fn await_future<T>(conn: &mut Conn, ctx: &Ctx, future: ResponseFuture<T>) -> Awaited<T> {
+    const PROBE_EVERY: Duration = Duration::from_millis(50);
+    let deadline = Instant::now() + ctx.cfg.request_deadline;
+    let mut next_probe = Instant::now() + PROBE_EVERY;
+    loop {
+        if let Some(result) = future.wait_timeout(Duration::from_millis(5)) {
+            return Awaited::Done(result);
+        }
+        let now = Instant::now();
+        if now >= next_probe {
+            if conn.peer_closed() {
+                ctx.counters
+                    .disconnect_cancels
+                    .fetch_add(1, Ordering::Relaxed);
+                return Awaited::Disconnected;
+            }
+            next_probe = now + PROBE_EVERY;
+        }
+        if now >= deadline {
+            ctx.counters.deadline_504.fetch_add(1, Ordering::Relaxed);
+            return Awaited::DeadlineExceeded;
+        }
+    }
+}
+
+fn handle_explain(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    let value = match parse_json_body(conn, req, ctx) {
+        Ok(v) => v,
+        Err(after) => return after,
+    };
+    let parsed = match wire::parse_explain(&value) {
+        Ok(p) => p,
+        Err(msg) => {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body("bad_request", &msg),
+                false,
+            )
+        }
+    };
+    if parsed.inject_panic && !ctx.cfg.enable_fault_injection {
+        return respond(
+            conn,
+            ctx,
+            400,
+            &[],
+            &wire::error_body(
+                "fault_injection_disabled",
+                "this server does not honour inject_panic",
+            ),
+            false,
+        );
+    }
+    let series = MultivariateSeries::from_rows(&parsed.series);
+    let opts = RequestOptions {
+        class: parsed.class,
+        strict_only_correct: parsed.strict_only_correct,
+        tenant: parsed.tenant.as_deref().map(tenant_key),
+        inject_panic: parsed.inject_panic,
+    };
+    let future = match ctx.handle.submit_with(&series, opts) {
+        Ok(f) => f,
+        Err(e) => return respond_submit_error(conn, ctx, e),
+    };
+    match await_future(conn, ctx, future) {
+        Awaited::Done(Ok(result)) => {
+            let body = wire::explain_body(&result, parsed.summary, parsed.top_k);
+            respond(conn, ctx, 200, &[], &body, false)
+        }
+        Awaited::Done(Err(ServiceError::OnlyCorrectMiss { .. })) => {
+            let body = wire::error_body(
+                "only_correct_miss",
+                "no permutation was classified as the target class",
+            );
+            respond(conn, ctx, 422, &[], &body, false)
+        }
+        Awaited::Done(Err(e)) => {
+            let body = wire::error_body("worker_lost", &e.to_string());
+            respond(conn, ctx, 500, &[], &body, false)
+        }
+        Awaited::Disconnected => After::Close,
+        Awaited::DeadlineExceeded => {
+            let body = wire::error_body("deadline_exceeded", "request deadline exceeded");
+            respond(conn, ctx, 504, &[], &body, true)
+        }
+    }
+}
+
+fn handle_classify(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    let value = match parse_json_body(conn, req, ctx) {
+        Ok(v) => v,
+        Err(after) => return after,
+    };
+    let rows = match wire::parse_classify(&value) {
+        Ok(r) => r,
+        Err(msg) => {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body("bad_request", &msg),
+                false,
+            )
+        }
+    };
+    let series = MultivariateSeries::from_rows(&rows);
+    let tenant = value.get("tenant").and_then(Value::as_str).map(tenant_key);
+    let future = match ctx.handle.submit_classify_with(&series, tenant) {
+        Ok(f) => f,
+        Err(e) => return respond_submit_error(conn, ctx, e),
+    };
+    match await_future(conn, ctx, future) {
+        Awaited::Done(Ok(c)) => respond(conn, ctx, 200, &[], &wire::classify_body(&c), false),
+        Awaited::Done(Err(e)) => {
+            let body = wire::error_body("worker_lost", &e.to_string());
+            respond(conn, ctx, 500, &[], &body, false)
+        }
+        Awaited::Disconnected => After::Close,
+        Awaited::DeadlineExceeded => {
+            let body = wire::error_body("deadline_exceeded", "request deadline exceeded");
+            respond(conn, ctx, 504, &[], &body, true)
+        }
+    }
+}

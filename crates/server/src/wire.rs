@@ -1,0 +1,223 @@
+//! Wire format of the explanation API: JSON bodies in and out.
+//!
+//! Parsing is strict on purpose — unknown geometry, ragged rows, or
+//! non-numeric samples get a message naming the offending field, which the
+//! server wraps in a structured `{"error": {...}}` body. Responses are
+//! built as [`serde::Value`] trees and printed through the vendored
+//! `serde_json`.
+
+use dcam::dcam::DcamResult;
+use dcam::service::{Classification, ServiceStats};
+use serde::Value;
+
+/// A parsed `POST /v1/explain` body.
+#[derive(Debug, Clone)]
+pub struct ExplainRequest {
+    /// Per-dimension sample rows, `D × n`.
+    pub series: Vec<Vec<f32>>,
+    /// Target class; `None` explains the model's predicted class.
+    pub class: Option<usize>,
+    /// Turn the `only_correct` fallback into a per-request error.
+    pub strict_only_correct: bool,
+    /// Fairness key (hashed onto the service's tenant lanes).
+    pub tenant: Option<String>,
+    /// Return only the `top_k` most important dimensions (implies
+    /// `summary`).
+    pub top_k: Option<usize>,
+    /// Return the per-dimension summary instead of the full `D × n` map.
+    pub summary: bool,
+    /// Fault injection (only honoured when the server enables it).
+    pub inject_panic: bool,
+}
+
+fn series_rows(v: &Value) -> Result<Vec<Vec<f32>>, String> {
+    let rows = v
+        .get("series")
+        .ok_or("missing field \"series\"")?
+        .as_array()
+        .ok_or("\"series\" must be an array of per-dimension rows")?;
+    if rows.is_empty() {
+        return Err("\"series\" must hold at least one dimension".into());
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (d, row) in rows.iter().enumerate() {
+        let row = row
+            .as_array()
+            .ok_or_else(|| format!("series dimension {d} must be an array of numbers"))?;
+        let mut samples = Vec::with_capacity(row.len());
+        for (t, x) in row.iter().enumerate() {
+            let x = x
+                .as_f64()
+                .ok_or_else(|| format!("series[{d}][{t}] is not a number"))?;
+            samples.push(x as f32);
+        }
+        if samples.len() != out.first().map_or(samples.len(), Vec::len) {
+            return Err(format!(
+                "ragged series: dimension {d} has {} samples, dimension 0 has {}",
+                samples.len(),
+                out.first().map_or(0, Vec::len)
+            ));
+        }
+        out.push(samples);
+    }
+    Ok(out)
+}
+
+fn opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => f
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(f) => f
+            .as_bool()
+            .ok_or_else(|| format!("\"{key}\" must be a boolean")),
+    }
+}
+
+/// Parses a `POST /v1/explain` body.
+pub fn parse_explain(v: &Value) -> Result<ExplainRequest, String> {
+    let series = series_rows(v)?;
+    let tenant = match v.get("tenant") {
+        None | Some(Value::Null) => None,
+        Some(f) => Some(f.as_str().ok_or("\"tenant\" must be a string")?.to_string()),
+    };
+    let top_k = opt_usize(v, "top_k")?;
+    Ok(ExplainRequest {
+        series,
+        class: opt_usize(v, "class")?,
+        strict_only_correct: opt_bool(v, "strict_only_correct")?,
+        tenant,
+        summary: opt_bool(v, "summary")? || top_k.is_some(),
+        top_k,
+        inject_panic: opt_bool(v, "inject_panic")?,
+    })
+}
+
+/// Parses a `POST /v1/classify` body (only the series).
+pub fn parse_classify(v: &Value) -> Result<Vec<Vec<f32>>, String> {
+    series_rows(v)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn num(n: f64) -> Value {
+    Value::Number(n)
+}
+
+/// A structured error body: `{"error": {"code": ..., "message": ...}}`.
+pub fn error_body(code: &str, message: &str) -> String {
+    let v = obj(vec![(
+        "error",
+        obj(vec![
+            ("code", Value::String(code.into())),
+            ("message", Value::String(message.into())),
+        ]),
+    )]);
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// The `POST /v1/explain` success body: the full `D × n` map, or — with
+/// `summary`/`top_k` — a per-dimension importance summary (mean and max of
+/// each dimension's dCAM row, sorted by mean, descending), plus the
+/// explanation-quality proxy `ng/k` either way.
+pub fn explain_body(result: &DcamResult, summary: bool, top_k: Option<usize>) -> String {
+    let dims = result.dcam.dims();
+    let (d, n) = (dims[0], dims[1]);
+    let data = result.dcam.data();
+    let mut fields = Vec::new();
+    if summary {
+        let mut rows: Vec<(usize, f64, f64)> = (0..d)
+            .map(|dim| {
+                let row = &data[dim * n..(dim + 1) * n];
+                let mean = row.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+                let max = row.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x as f64));
+                (dim, mean, max)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows.truncate(top_k.unwrap_or(d));
+        fields.push((
+            "dims",
+            Value::Array(
+                rows.into_iter()
+                    .map(|(dim, mean, max)| {
+                        obj(vec![
+                            ("dim", num(dim as f64)),
+                            ("mean", num(mean)),
+                            ("max", num(max)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    } else {
+        fields.push((
+            "dcam",
+            Value::Array(
+                (0..d)
+                    .map(|dim| {
+                        Value::Array(
+                            data[dim * n..(dim + 1) * n]
+                                .iter()
+                                .map(|&x| num(x as f64))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    fields.push(("ng", num(result.ng as f64)));
+    fields.push(("k", num(result.k as f64)));
+    fields.push(("ng_ratio", num(result.ng_ratio() as f64)));
+    serde_json::to_string(&obj(fields)).unwrap_or_default()
+}
+
+/// The `POST /v1/classify` success body.
+pub fn classify_body(c: &Classification) -> String {
+    let v = obj(vec![
+        ("class", num(c.class as f64)),
+        (
+            "logits",
+            Value::Array(c.logits.iter().map(|&x| num(x as f64)).collect()),
+        ),
+    ]);
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// [`ServiceStats`] as a JSON tree (durations in milliseconds).
+pub fn service_stats_value(s: &ServiceStats) -> Value {
+    obj(vec![
+        ("submitted", num(s.submitted as f64)),
+        ("completed", num(s.completed as f64)),
+        ("classified", num(s.classified as f64)),
+        ("failed", num(s.failed as f64)),
+        ("rejected", num(s.rejected as f64)),
+        ("cancelled", num(s.cancelled as f64)),
+        ("worker_respawns", num(s.worker_respawns as f64)),
+        ("queue_depth", num(s.queue_depth as f64)),
+        ("max_queue_depth", num(s.max_queue_depth as f64)),
+        ("flushes_full", num(s.flushes_full as f64)),
+        ("flushes_deadline", num(s.flushes_deadline as f64)),
+        ("flushes_drained", num(s.flushes_drained as f64)),
+        ("flushes_shutdown", num(s.flushes_shutdown as f64)),
+        (
+            "batch_size_hist",
+            Value::Array(s.batch_size_hist.iter().map(|&c| num(c as f64)).collect()),
+        ),
+        ("mean_batch", num(s.mean_batch)),
+        ("p50_latency_ms", num(s.p50_latency.as_secs_f64() * 1e3)),
+        ("p99_latency_ms", num(s.p99_latency.as_secs_f64() * 1e3)),
+        ("mean_latency_ms", num(s.mean_latency.as_secs_f64() * 1e3)),
+    ])
+}

@@ -9,7 +9,8 @@ use dcam::arch::cnn;
 use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
 use dcam::service::{
-    replicate_model, Backpressure, DcamService, RequestOptions, ServiceConfig, ServiceError,
+    replicate_model, Backpressure, DcamService, QueuePolicy, RequestOptions, ServiceConfig,
+    ServiceError,
 };
 use dcam::{GapClassifier, InputEncoding, ModelScale};
 use dcam_series::MultivariateSeries;
@@ -54,6 +55,7 @@ fn service_cfg(dcam: DcamConfig, max_pending: usize, max_wait_ms: u64) -> Servic
         },
         queue_capacity: 256,
         backpressure: Backpressure::Block,
+        queue_policy: QueuePolicy::Fifo,
         latency_window: 512,
     }
 }
@@ -232,6 +234,7 @@ fn reject_backpressure_bounces_excess_load() {
         },
         queue_capacity: 2,
         backpressure: Backpressure::Reject,
+        queue_policy: QueuePolicy::Fifo,
         latency_window: 64,
     };
     let service = DcamService::spawn(vec![toy_model(d, 2, 31)], cfg);
@@ -284,6 +287,7 @@ fn timeout_backpressure_gives_up_after_deadline() {
         },
         queue_capacity: 1,
         backpressure: Backpressure::Timeout(patience),
+        queue_policy: QueuePolicy::Fifo,
         latency_window: 64,
     };
     let service = DcamService::spawn(vec![toy_model(d, 2, 37)], cfg);
@@ -330,6 +334,7 @@ fn block_backpressure_serves_everything() {
         },
         queue_capacity: 1,
         backpressure: Backpressure::Block,
+        queue_policy: QueuePolicy::Fifo,
         latency_window: 64,
     };
     let service = DcamService::spawn(vec![toy_model(d, 2, 41)], cfg);
@@ -391,6 +396,7 @@ fn strict_only_correct_miss_propagates_as_error() {
             RequestOptions {
                 class: Some(dead),
                 strict_only_correct: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -459,4 +465,139 @@ proptest! {
             prop_assert!(close(&got.mbar, &want.mbar), "job {} mbar", i);
         }
     }
+}
+
+/// Cancelling requests (dropping the future / `cancel()`) after the worker
+/// buffered them must skip the engine work entirely: the flush machinery
+/// prunes them before building any cube, so no flush is ever recorded.
+#[test]
+fn cancellation_before_flush_skips_engine_work() {
+    let dcam_cfg = DcamConfig {
+        k: 8,
+        only_correct: false,
+        ..Default::default()
+    };
+    // A long max_wait guarantees the worker buffers the requests and then
+    // sits on the flush deadline — the window in which we cancel.
+    let service = DcamService::spawn(vec![toy_model(3, 2, 31)], service_cfg(dcam_cfg, 100, 400));
+    let handle = service.handle();
+    let futures: Vec<_> = (0..3)
+        .map(|i| handle.submit(&toy_series(3, 10, 70 + i), 0).unwrap())
+        .collect();
+    // Let the worker drain the queue into its batcher.
+    std::thread::sleep(Duration::from_millis(80));
+    assert_eq!(handle.queue_depth(), 0, "worker buffered the requests");
+    for f in &futures {
+        f.cancel();
+    }
+    // The prune at the flush deadline resolves the futures as Cancelled.
+    for f in futures {
+        assert_eq!(f.wait().err(), Some(ServiceError::Cancelled));
+    }
+    let (_, stats) = service.shutdown();
+    assert_eq!(stats.cancelled, 3);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(
+        stats.flushes_full
+            + stats.flushes_deadline
+            + stats.flushes_drained
+            + stats.flushes_shutdown,
+        0,
+        "no engine flush may run for a fully-cancelled batch"
+    );
+    assert!(
+        stats.batch_size_hist.iter().all(|&c| c == 0),
+        "no batch was ever assembled"
+    );
+}
+
+/// A request cancelled while still *queued* is skipped when the worker
+/// pops it.
+#[test]
+fn cancellation_in_queue_is_skipped_on_pop() {
+    let dcam_cfg = DcamConfig {
+        k: 64,
+        only_correct: false,
+        ..Default::default()
+    };
+    // max_pending 1: the first request keeps the worker busy in a flush
+    // while the second sits in the queue and gets cancelled there.
+    let service = DcamService::spawn(vec![toy_model(4, 2, 32)], service_cfg(dcam_cfg, 1, 1));
+    let handle = service.handle();
+    let busy = handle.submit(&toy_series(4, 64, 80), 0).unwrap();
+    let doomed = handle.submit(&toy_series(4, 64, 81), 0).unwrap();
+    doomed.cancel();
+    assert!(busy.wait().is_ok());
+    assert_eq!(doomed.wait().err(), Some(ServiceError::Cancelled));
+    let (_, stats) = service.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Fairness: a tenant submitting two requests behind a 24-deep flood from
+/// a competing tenant must not wait for the whole flood. Under FIFO it
+/// would (the flood completes first); under `FairPerTenant` the rotation
+/// serves it within a couple of turns.
+#[test]
+fn fair_queue_bounds_wait_behind_a_saturating_tenant() {
+    let dcam_cfg = DcamConfig {
+        k: 16,
+        only_correct: false,
+        ..Default::default()
+    };
+    let run = |policy: QueuePolicy| -> usize {
+        let mut cfg = service_cfg(dcam_cfg.clone(), 1, 1);
+        cfg.queue_policy = policy;
+        let service = DcamService::spawn(vec![toy_model(3, 2, 33)], cfg);
+        let handle = service.handle();
+        let flood: Vec<_> = (0..24)
+            .map(|i| {
+                handle
+                    .submit_with(
+                        &toy_series(3, 64, 100 + i),
+                        RequestOptions {
+                            class: Some(0),
+                            tenant: Some(1),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let latecomers: Vec<_> = (0..2)
+            .map(|i| {
+                handle
+                    .submit_with(
+                        &toy_series(3, 64, 200 + i),
+                        RequestOptions {
+                            class: Some(1),
+                            tenant: Some(2),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for f in latecomers {
+            f.wait().expect("latecomer served");
+        }
+        // How much of the flood was already served when the late tenant
+        // finished?
+        let flood_done = flood.iter().filter(|f| f.try_get().is_some()).count();
+        drop(flood);
+        service.shutdown();
+        flood_done
+    };
+
+    let fifo_done = run(QueuePolicy::Fifo);
+    let fair_done = run(QueuePolicy::FairPerTenant);
+    assert_eq!(
+        fifo_done, 24,
+        "FIFO serves the entire flood before the late tenant"
+    );
+    assert!(
+        fair_done < 12,
+        "fair rotation must serve the late tenant well before the flood \
+         drains (flood_done = {fair_done})"
+    );
 }

@@ -24,9 +24,69 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number carried by a `Number` value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, when it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.trunc() == *n && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string carried by a `String` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool carried by a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Array` value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 /// Types convertible into a [`Value`] tree.
 pub trait Serialize {
     fn to_value(&self) -> Value;
+}
+
+/// A `Value` serializes as itself, so hand-built trees can go straight
+/// through `serde_json::to_string`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
