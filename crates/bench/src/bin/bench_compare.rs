@@ -14,6 +14,9 @@
 //! * `dcam_many[n_instances].many_ms`    — lower is better
 //! * `service[n_submitters].throughput_rps` — higher is better
 //! * `server[conn_workers].throughput_rps`  — higher is better
+//! * `registry[active_models].throughput_rps` — higher is better
+//! * `registry[active_models].swap_stall_p99_ms` — lower is better
+//!   (only on rows that measure it, i.e. a positive baseline value)
 //!
 //! Metrics present only in the candidate are reported but not compared
 //! (new benchmarks must not fail the first run that introduces them);
@@ -120,6 +123,27 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             });
         }
     }
+    for row in rows(report, "registry") {
+        let Some(m) = number(row, "active_models") else {
+            continue;
+        };
+        if let Some(v) = number(row, "throughput_rps") {
+            out.push(Metric {
+                name: format!("registry[{m}].throughput_rps"),
+                baseline: v,
+                higher_is_better: true,
+            });
+        }
+        // The baseline row reports 0 (no swap happens there); only rows
+        // that actually measure the stall are tracked.
+        if let Some(v) = number(row, "swap_stall_p99_ms").filter(|&v| v > 0.0) {
+            out.push(Metric {
+                name: format!("registry[{m}].swap_stall_p99_ms"),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
     out
 }
 
@@ -158,6 +182,16 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
             matching_row(
                 &rows(report, "service"),
                 &[("n_submitters", n.parse().ok()?)],
+            )?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("registry[") {
+        let (m, key) = rest.split_once("].")?;
+        return number(
+            matching_row(
+                &rows(report, "registry"),
+                &[("active_models", m.parse().ok()?)],
             )?,
             key,
         );

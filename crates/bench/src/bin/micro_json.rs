@@ -99,6 +99,23 @@ struct ServerRow {
 }
 
 #[derive(Serialize)]
+struct RegistryRow {
+    /// Models registered; each submitter streams at one model, so all
+    /// models' pools are loaded concurrently.
+    active_models: usize,
+    requests: usize,
+    /// Wall time from the first submission to the last resolved future.
+    total_ms: f64,
+    /// Explanations served per second of wall time, summed over models.
+    throughput_rps: f64,
+    /// p99 per-request latency observed by a submitter streaming at one
+    /// model while the *other* model is hot-swapped from a checkpoint
+    /// file twice — the stall a swap imposes on innocent traffic. Only
+    /// measured on the 2-model row (0 on the baseline).
+    swap_stall_p99_ms: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
@@ -106,6 +123,7 @@ struct Report {
     dcam_many: Vec<DcamManyRow>,
     service: Vec<ServiceRow>,
     server: Vec<ServerRow>,
+    registry: Vec<RegistryRow>,
 }
 
 /// Best-of-`reps` wall time per call, in seconds.
@@ -578,6 +596,148 @@ fn bench_server() -> Vec<ServerRow> {
     rows
 }
 
+/// Multi-model registry serving: explain throughput with 1 vs 2 active
+/// models (same shape and service config as the `service` rows; each
+/// submitter sticks to one model but resolves a fresh handle per request,
+/// exactly as the HTTP layer routes — so the 2-model row loads both pools
+/// concurrently), plus the hot-swap stall: p99 latency a submitter
+/// streaming at one model sees while the other model is swapped from a
+/// checkpoint file twice.
+fn bench_registry() -> Vec<RegistryRow> {
+    use dcam::arch::{ArchDescriptor, ArchFamily};
+    use dcam::registry::{checkpoint_model, save_checkpoint, ModelRegistry};
+
+    let desc = ArchDescriptor {
+        family: ArchFamily::Cnn,
+        encoding: InputEncoding::Dcnn,
+        dims: DCAM_DIMS,
+        classes: 2,
+        scale: ModelScale::Tiny,
+    };
+    let dir = std::env::temp_dir().join("dcam-bench-registry");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt_path = |seed: u64| {
+        let path = dir.join(format!("bench-{seed}.ckpt"));
+        save_checkpoint(&checkpoint_model(&mut desc.build(seed), &desc), &path)
+            .expect("write checkpoint");
+        path
+    };
+    let service_cfg = || ServiceConfig {
+        batcher: DcamBatcherConfig {
+            many: DcamManyConfig {
+                dcam: DcamConfig {
+                    k: DCAM_K,
+                    only_correct: false,
+                    seed: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            max_pending: 8,
+            max_wait: Some(std::time::Duration::from_millis(2)),
+        },
+        queue_capacity: 256,
+        backpressure: Backpressure::Block,
+        queue_policy: dcam::service::QueuePolicy::Fifo,
+        latency_window: 4096,
+    };
+    let series_for = |seed: u64| {
+        let mut r = SeededRng::new(seed);
+        let dims: Vec<Vec<f32>> = (0..DCAM_DIMS)
+            .map(|_| (0..DCAM_LEN).map(|_| r.normal()).collect())
+            .collect();
+        MultivariateSeries::from_rows(&dims)
+    };
+
+    let mut rows = Vec::new();
+    for active_models in [1usize, 2] {
+        let n_submitters = 2usize;
+        let per_thread = 4usize;
+        let requests = n_submitters * per_thread;
+        let mut best_total = f64::INFINITY;
+        for _rep in 0..3 {
+            let registry = ModelRegistry::new();
+            for m in 0..active_models {
+                registry
+                    .register_from_checkpoint(
+                        &format!("m{m}"),
+                        ckpt_path(1 + m as u64),
+                        service_cfg(),
+                        1,
+                    )
+                    .expect("register bench model");
+            }
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..n_submitters as u64 {
+                    let registry = &registry;
+                    scope.spawn(move || {
+                        // Each submitter sticks to one model lane, so the
+                        // 2-model row genuinely exercises both pools.
+                        let model = format!("m{}", t as usize % active_models);
+                        for r in 0..per_thread as u64 {
+                            let series = series_for(50 + t * 10 + r);
+                            let handle = registry.handle(&model).expect("resolve");
+                            let future = handle.submit(&series, 0).expect("submit");
+                            std::hint::black_box(future.wait().expect("served"));
+                        }
+                    });
+                }
+            });
+            let total = start.elapsed().as_secs_f64();
+            registry.shutdown_all();
+            best_total = best_total.min(total);
+        }
+
+        // Hot-swap stall, on the 2-model row: one submitter streams at m0
+        // while the main thread swaps m1 twice.
+        let swap_stall_p99_ms = if active_models < 2 {
+            0.0
+        } else {
+            let registry = ModelRegistry::new();
+            registry
+                .register_from_checkpoint("m0", ckpt_path(1), service_cfg(), 1)
+                .expect("register");
+            registry
+                .register_from_checkpoint("m1", ckpt_path(2), service_cfg(), 1)
+                .expect("register");
+            let swap_target = ckpt_path(3);
+            let latencies: Vec<f64> = std::thread::scope(|scope| {
+                let registry = &registry;
+                let stream = scope.spawn(move || {
+                    (0..10u64)
+                        .map(|r| {
+                            let series = series_for(200 + r);
+                            let handle = registry.handle("m0").expect("resolve");
+                            let t0 = Instant::now();
+                            let future = handle.submit(&series, 0).expect("submit");
+                            std::hint::black_box(future.wait().expect("served"));
+                            t0.elapsed().as_secs_f64() * 1e3
+                        })
+                        .collect::<Vec<f64>>()
+                });
+                for _ in 0..2 {
+                    registry.swap("m1", &swap_target).expect("swap");
+                }
+                stream.join().expect("stream thread")
+            });
+            registry.shutdown_all();
+            let mut sorted = latencies;
+            sorted.sort_by(f64::total_cmp);
+            sorted[((sorted.len() - 1) as f64 * 0.99).round() as usize]
+        };
+
+        rows.push(RegistryRow {
+            active_models,
+            requests,
+            total_ms: best_total * 1e3,
+            throughput_rps: requests as f64 / best_total,
+            swap_stall_p99_ms,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--dcam-seed-only") {
@@ -619,6 +779,9 @@ fn main() {
     eprintln!("server (loopback HTTP, 1 and 4 connection workers) ...");
     let server = bench_server();
 
+    eprintln!("registry (1 vs 2 active models, hot-swap stall) ...");
+    let registry = bench_registry();
+
     let report = Report {
         matmul,
         conv,
@@ -633,6 +796,7 @@ fn main() {
         dcam_many,
         service,
         server,
+        registry,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

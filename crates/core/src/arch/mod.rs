@@ -65,7 +65,7 @@ impl InputEncoding {
 /// Width presets: `Paper` mirrors the layer widths of §5.2, `Small` scales
 /// them down for CPU-budget experiments and tests. Relative comparisons are
 /// preserved because *every* competing architecture is scaled identically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelScale {
     /// Paper-sized layers (CNN: 64/128/256/256/256 filters, ResNet 64/64/128,
     /// InceptionTime as published).
@@ -74,6 +74,170 @@ pub enum ModelScale {
     Small,
     /// Minimal widths for unit tests.
     Tiny,
+}
+
+/// The GAP-classifier families the paper's study trains (each available in
+/// every [`InputEncoding`]); the `family=` axis of an [`ArchDescriptor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchFamily {
+    /// Five-layer CNN ([`cnn`]).
+    Cnn,
+    /// Three-block ResNet ([`resnet`]).
+    ResNet,
+    /// InceptionTime ([`inception_time`]).
+    InceptionTime,
+}
+
+/// A machine-readable recipe for reconstructing a [`GapClassifier`]
+/// architecture: which constructor to call and with what geometry.
+///
+/// Descriptors render into a compact `key=value;…` string that travels
+/// inside binary checkpoint files ([`dcam_nn::checkpoint::Checkpoint::arch`]),
+/// so a process that only has the file — the `dcam-server` model registry
+/// performing a hot swap — can rebuild the network and restore the weights
+/// into it. [`parse`](ArchDescriptor::parse) inverts
+/// [`render`](ArchDescriptor::render) exactly.
+///
+/// ```
+/// use dcam::arch::{ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
+///
+/// let desc = ArchDescriptor {
+///     family: ArchFamily::Cnn,
+///     encoding: InputEncoding::Dcnn,
+///     dims: 3,
+///     classes: 2,
+///     scale: ModelScale::Tiny,
+/// };
+/// let text = desc.render();
+/// assert_eq!(text, "family=cnn;enc=dcnn;d=3;classes=2;scale=tiny");
+/// assert_eq!(ArchDescriptor::parse(&text).unwrap(), desc);
+/// let mut model = desc.build(7);
+/// assert_eq!(model.n_classes(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchDescriptor {
+    /// Architecture family (constructor).
+    pub family: ArchFamily,
+    /// Input encoding (dCAM itself needs [`InputEncoding::Dcnn`]).
+    pub encoding: InputEncoding,
+    /// Series dimension count `D`.
+    pub dims: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Width preset.
+    pub scale: ModelScale,
+}
+
+impl ArchDescriptor {
+    /// Renders the descriptor as its canonical `key=value;…` string.
+    pub fn render(&self) -> String {
+        let family = match self.family {
+            ArchFamily::Cnn => "cnn",
+            ArchFamily::ResNet => "resnet",
+            ArchFamily::InceptionTime => "inception",
+        };
+        let enc = match self.encoding {
+            InputEncoding::Cnn => "cnn",
+            InputEncoding::Ccnn => "ccnn",
+            InputEncoding::Dcnn => "dcnn",
+            InputEncoding::Rnn => "rnn",
+        };
+        let scale = match self.scale {
+            ModelScale::Paper => "paper",
+            ModelScale::Small => "small",
+            ModelScale::Tiny => "tiny",
+        };
+        format!(
+            "family={family};enc={enc};d={};classes={};scale={scale}",
+            self.dims, self.classes
+        )
+    }
+
+    /// Parses a descriptor string. Unknown keys are rejected (a descriptor
+    /// naming features this build does not understand must not silently
+    /// build something else); the error message names the offending part.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (mut family, mut encoding, mut dims, mut classes, mut scale) =
+            (None, None, None, None, None);
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("descriptor part {part:?} is not key=value"))?;
+            match key {
+                "family" => {
+                    family = Some(match value {
+                        "cnn" => ArchFamily::Cnn,
+                        "resnet" => ArchFamily::ResNet,
+                        "inception" => ArchFamily::InceptionTime,
+                        other => return Err(format!("unknown architecture family {other:?}")),
+                    })
+                }
+                "enc" => {
+                    encoding = Some(match value {
+                        "cnn" => InputEncoding::Cnn,
+                        "ccnn" => InputEncoding::Ccnn,
+                        "dcnn" => InputEncoding::Dcnn,
+                        // Parsed so parse ∘ render is the identity on
+                        // every encoding; `build` still rejects it (the
+                        // GAP families have no RNN constructor), which
+                        // checkpoint loaders surface as a typed error.
+                        "rnn" => InputEncoding::Rnn,
+                        other => return Err(format!("unknown input encoding {other:?}")),
+                    })
+                }
+                "d" => {
+                    dims = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&d| d >= 1)
+                            .ok_or_else(|| format!("bad dimension count {value:?}"))?,
+                    )
+                }
+                "classes" => {
+                    classes = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&c| c >= 1)
+                            .ok_or_else(|| format!("bad class count {value:?}"))?,
+                    )
+                }
+                "scale" => {
+                    scale = Some(match value {
+                        "paper" => ModelScale::Paper,
+                        "small" => ModelScale::Small,
+                        "tiny" => ModelScale::Tiny,
+                        other => return Err(format!("unknown model scale {other:?}")),
+                    })
+                }
+                other => return Err(format!("unknown descriptor key {other:?}")),
+            }
+        }
+        Ok(ArchDescriptor {
+            family: family.ok_or("descriptor missing \"family\"")?,
+            encoding: encoding.ok_or("descriptor missing \"enc\"")?,
+            dims: dims.ok_or("descriptor missing \"d\"")?,
+            classes: classes.ok_or("descriptor missing \"classes\"")?,
+            scale: scale.ok_or("descriptor missing \"scale\"")?,
+        })
+    }
+
+    /// Constructs the (untrained) architecture this descriptor names. The
+    /// seed only fixes the throwaway initial weights — every use restores
+    /// a checkpoint over them.
+    pub fn build(&self, seed: u64) -> GapClassifier {
+        let mut rng = dcam_tensor::SeededRng::new(seed);
+        match self.family {
+            ArchFamily::Cnn => cnn(self.encoding, self.dims, self.classes, self.scale, &mut rng),
+            ArchFamily::ResNet => {
+                resnet(self.encoding, self.dims, self.classes, self.scale, &mut rng)
+            }
+            ArchFamily::InceptionTime => {
+                inception_time(self.encoding, self.dims, self.classes, self.scale, &mut rng)
+            }
+        }
+    }
 }
 
 /// A convolutional classifier with the `features → GAP → dense` shape every
@@ -212,6 +376,68 @@ impl Layer for GapClassifier {
 mod tests {
     use super::*;
     use dcam_tensor::SeededRng;
+
+    #[test]
+    fn arch_descriptor_parse_inverts_render() {
+        for family in [
+            ArchFamily::Cnn,
+            ArchFamily::ResNet,
+            ArchFamily::InceptionTime,
+        ] {
+            for encoding in [
+                InputEncoding::Cnn,
+                InputEncoding::Ccnn,
+                InputEncoding::Dcnn,
+                InputEncoding::Rnn, // renders and parses, but does not build
+            ] {
+                let desc = ArchDescriptor {
+                    family,
+                    encoding,
+                    dims: 4,
+                    classes: 3,
+                    scale: ModelScale::Tiny,
+                };
+                assert_eq!(ArchDescriptor::parse(&desc.render()), Ok(desc));
+            }
+        }
+    }
+
+    #[test]
+    fn arch_descriptor_rejects_garbage() {
+        for bad in [
+            "",
+            "family=cnn",
+            "family=vit;enc=dcnn;d=3;classes=2;scale=tiny",
+            "family=cnn;enc=dcnn;d=0;classes=2;scale=tiny",
+            "family=cnn;enc=dcnn;d=3;classes=2;scale=tiny;extra=1",
+            "family=cnn;enc=lstm;d=3;classes=2;scale=tiny",
+            "notakv",
+        ] {
+            assert!(ArchDescriptor::parse(bad).is_err(), "{bad:?} must fail");
+        }
+        // An RNN encoding parses (so parse ∘ render stays the identity)
+        // but cannot build a GAP classifier — the checkpoint loaders
+        // catch this panic and surface a typed error.
+        let rnn = ArchDescriptor::parse("family=cnn;enc=rnn;d=3;classes=2;scale=tiny").unwrap();
+        assert!(std::panic::catch_unwind(|| rnn.build(0)).is_err());
+    }
+
+    #[test]
+    fn arch_descriptor_builds_working_model() {
+        let desc = ArchDescriptor {
+            family: ArchFamily::Cnn,
+            encoding: InputEncoding::Dcnn,
+            dims: 3,
+            classes: 2,
+            scale: ModelScale::Tiny,
+        };
+        let mut m = desc.build(1);
+        assert_eq!(m.input_dims(), Some(3));
+        assert_eq!(m.n_classes(), 2);
+        assert_eq!(m.name(), "dCNN");
+        let s = MultivariateSeries::from_rows(&[vec![0.1; 10], vec![0.2; 10], vec![0.3; 10]]);
+        assert_eq!(m.logits_for(&s).dims(), &[1, 2]);
+    }
 
     #[test]
     fn encoding_channels() {

@@ -48,8 +48,9 @@
 //! ```
 //!
 //! For serving many concurrent explanation requests, see [`dcam_many`]
-//! (cross-instance batching) and [`service`] (the asynchronous explanation
-//! service built on top of it).
+//! (cross-instance batching), [`service`] (the asynchronous explanation
+//! service built on top of it), and [`registry`] (named, versioned model
+//! pools with checkpoint-file hot swap).
 
 #![warn(missing_docs)]
 
@@ -61,6 +62,7 @@ pub mod dcam_many;
 pub mod knn;
 pub mod model;
 pub mod occlusion;
+pub mod registry;
 pub mod service;
 pub mod train;
 pub mod viz;
@@ -71,6 +73,7 @@ pub use dcam_many::{
     compute_dcam_many, DcamBatcher, DcamBatcherConfig, DcamManyConfig, DcamRequest, Ticket,
 };
 pub use model::{ArchKind, Classifier};
+pub use registry::{ModelInfo, ModelRegistry, RegistryError};
 pub use service::{
     Backpressure, DcamService, ExplanationFuture, RequestOptions, ServiceConfig, ServiceError,
     ServiceHandle, ServiceStats,

@@ -1,0 +1,883 @@
+//! Named, versioned model serving: the [`ModelRegistry`].
+//!
+//! A [`DcamService`] is one model behind one
+//! worker pool. Production serving needs *several* — the paper trains one
+//! CNN/ResNet/InceptionTime variant per dataset, and explanations are only
+//! trustworthy relative to the model that produced them — so the registry
+//! maps **names** to independently running services:
+//!
+//! * every entry owns its own worker pool,
+//!   [`DcamBatcher`](crate::dcam_many::DcamBatcher) flush loop, queue
+//!   lanes and [`ServiceStats`] — traffic to one model never queues
+//!   behind another;
+//! * entries are **versioned**: [`ModelRegistry::swap`] loads a binary
+//!   checkpoint file ([`dcam_nn::checkpoint`]), rebuilds the architecture
+//!   from the descriptor stored in the file, probe-validates it via the
+//!   [`DcamService::spawn_with_recovery`] machinery, and only then replaces
+//!   the entry — the old workers drain gracefully *after* the name already
+//!   points at the new model, so a hot swap never turns requests away;
+//! * while one model swaps, every other model keeps serving untouched —
+//!   the registry lock is only held for map bookkeeping, never across
+//!   model construction or draining.
+//!
+//! The HTTP layer (`dcam-server`) routes per-request by model name and
+//! exposes `GET /v1/models` + `POST /v1/models/{name}/swap` on top of this
+//! module.
+//!
+//! # Example
+//!
+//! ```
+//! use dcam::arch::{ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
+//! use dcam::registry::{checkpoint_model, ModelRegistry};
+//! use dcam::service::{DcamService, ServiceConfig};
+//! use dcam::DcamConfig;
+//!
+//! let desc = ArchDescriptor {
+//!     family: ArchFamily::Cnn,
+//!     encoding: InputEncoding::Dcnn,
+//!     dims: 3,
+//!     classes: 2,
+//!     scale: ModelScale::Tiny,
+//! };
+//! let mut cfg = ServiceConfig::default();
+//! cfg.batcher.many.dcam = DcamConfig { k: 4, only_correct: false, ..Default::default() };
+//!
+//! // Persist a "trained" model, then serve it by name.
+//! let dir = std::env::temp_dir().join("dcam-registry-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("starlight.ckpt");
+//! dcam_nn::checkpoint::save_binary(&checkpoint_model(&mut desc.build(7), &desc), &path).unwrap();
+//!
+//! let registry = ModelRegistry::new();
+//! registry
+//!     .register_from_checkpoint("starlight", &path, cfg, 1)
+//!     .unwrap();
+//! assert_eq!(registry.names(), vec!["starlight".to_string()]);
+//! let handle = registry.handle("starlight").unwrap();
+//! # drop(handle);
+//! registry.shutdown_all();
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use crate::arch::{ArchDescriptor, GapClassifier};
+use crate::service::{replicate_model, DcamService, ServiceConfig, ServiceHandle, ServiceStats};
+use dcam_nn::checkpoint::{self, Checkpoint};
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
+
+/// Longest model name the registry accepts. Names travel in URL path
+/// segments and log lines; anything longer is a client bug.
+pub const MAX_MODEL_NAME: usize = 64;
+
+/// Everything that can go wrong talking to a [`ModelRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No model is registered under this name.
+    UnknownModel {
+        /// The name that was looked up.
+        name: String,
+        /// Names currently registered (sorted), for the error message.
+        known: Vec<String>,
+    },
+    /// [`ModelRegistry::register`] on a name that is already taken — use
+    /// [`ModelRegistry::swap`] to replace a live model.
+    DuplicateModel {
+        /// The contested name.
+        name: String,
+    },
+    /// The model name is not acceptable (empty, oversized, or containing
+    /// characters outside `[A-Za-z0-9._-]`).
+    InvalidName {
+        /// The offending name (possibly truncated for display).
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A request without a model name reached a registry holding several
+    /// models — the caller must say which one it means.
+    ModelRequired {
+        /// Names currently registered (sorted).
+        known: Vec<String>,
+    },
+    /// A swap tried to install a model with a different `(D, n_classes)`
+    /// than the entry serves — that would silently change the API shape
+    /// behind a name callers already depend on.
+    GeometryMismatch {
+        /// The entry being swapped.
+        name: String,
+        /// `(dims, classes)` currently served.
+        current: (usize, usize),
+        /// `(dims, classes)` of the incoming checkpoint.
+        incoming: (usize, usize),
+    },
+    /// The checkpoint could not be loaded, its architecture descriptor
+    /// could not be parsed/built, or the rebuilt model failed the
+    /// probe-forward validation.
+    Checkpoint(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownModel { name, known } => {
+                write!(f, "no model named {name:?} (registered: {known:?})")
+            }
+            RegistryError::DuplicateModel { name } => {
+                write!(f, "a model named {name:?} is already registered")
+            }
+            RegistryError::InvalidName { name, reason } => {
+                write!(f, "invalid model name {name:?}: {reason}")
+            }
+            RegistryError::ModelRequired { known } => {
+                write!(
+                    f,
+                    "several models are registered; name one of {known:?} in the request"
+                )
+            }
+            RegistryError::GeometryMismatch {
+                name,
+                current,
+                incoming,
+            } => write!(
+                f,
+                "model {name:?} serves (D={}, classes={}) but the checkpoint holds \
+                 (D={}, classes={})",
+                current.0, current.1, incoming.0, incoming.1
+            ),
+            RegistryError::Checkpoint(msg) => write!(f, "checkpoint rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Checks a model name against the registry's naming rules.
+pub fn validate_model_name(name: &str) -> Result<(), RegistryError> {
+    let invalid = |reason: &str| RegistryError::InvalidName {
+        name: name.chars().take(MAX_MODEL_NAME + 8).collect(),
+        reason: reason.to_string(),
+    };
+    if name.is_empty() {
+        return Err(invalid("name is empty"));
+    }
+    if name.len() > MAX_MODEL_NAME {
+        return Err(invalid("name exceeds 64 bytes"));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return Err(invalid("only [A-Za-z0-9._-] are allowed"));
+    }
+    Ok(())
+}
+
+/// A point-in-time description of one registered model, as listed by
+/// [`ModelRegistry::list`] (and served on `GET /v1/models`).
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registered name.
+    pub name: String,
+    /// Monotonic version: 1 at registration, +1 per successful swap.
+    pub version: u64,
+    /// Architecture descriptor string (empty when registered from an
+    /// in-memory service without one).
+    pub arch: String,
+    /// Series dimension count `D` the model expects.
+    pub dims: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Worker threads serving this model.
+    pub workers: usize,
+    /// This model's own service counters.
+    pub stats: ServiceStats,
+}
+
+/// What [`ModelRegistry::swap`] hands back once the new model serves.
+pub struct SwapOutcome {
+    /// The entry's version after the swap.
+    pub version: u64,
+    /// The drained previous generation's models.
+    pub old_models: Vec<GapClassifier>,
+    /// Final stats of the previous generation.
+    pub old_stats: ServiceStats,
+}
+
+/// One live entry: a running service plus the recipe to respawn it.
+struct Entry {
+    service: DcamService,
+    arch: String,
+    version: u64,
+    /// Spawn-time service config, reused by [`ModelRegistry::swap`] so a
+    /// swapped-in model inherits the entry's batching/queue semantics.
+    cfg: ServiceConfig,
+    workers: usize,
+    /// Accumulated counters of every drained previous generation, folded
+    /// into [`ModelInfo::stats`] so a name's counters stay monotonic
+    /// across swaps (monitoring computes rates from them).
+    retired_stats: ServiceStats,
+}
+
+/// Named, versioned model pools with graceful hot-swap. See the
+/// [module docs](self).
+///
+/// All operations take `&self`; the registry is shared behind an
+/// `Arc` between transports and operators. The internal lock guards only
+/// the name→entry map — model construction, probe validation and drains
+/// all happen outside it, so other models keep serving at full speed
+/// through a swap.
+pub struct ModelRegistry {
+    entries: Mutex<HashMap<String, Entry>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lock_entries(m: &Mutex<HashMap<String, Entry>>) -> MutexGuard<'_, HashMap<String, Entry>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a pre-spawned service under `name` (version 1).
+    ///
+    /// `arch` is the descriptor string listed for the model (may be empty
+    /// for models that never came from a checkpoint); `cfg` must be the
+    /// config the service was spawned with — a later
+    /// [`ModelRegistry::swap`] reuses it for the replacement pool.
+    pub fn register(
+        &self,
+        name: &str,
+        service: DcamService,
+        arch: impl Into<String>,
+        cfg: ServiceConfig,
+    ) -> Result<u64, RegistryError> {
+        validate_model_name(name)?;
+        let workers = service.workers();
+        let entry = Entry {
+            service,
+            arch: arch.into(),
+            version: 1,
+            cfg,
+            workers,
+            retired_stats: ServiceStats::default(),
+        };
+        let mut entries = lock_entries(&self.entries);
+        if entries.contains_key(name) {
+            // The rejected service would block this thread on drop (it
+            // drains its workers); that is correct — the caller spawned
+            // it, the caller eats the join.
+            drop(entries);
+            drop(entry);
+            return Err(RegistryError::DuplicateModel {
+                name: name.to_string(),
+            });
+        }
+        entries.insert(name.to_string(), entry);
+        Ok(1)
+    }
+
+    /// Loads a binary checkpoint file and registers it under `name`:
+    /// the architecture is rebuilt from the descriptor stored in the
+    /// file, the weights restored, the model replicated across `workers`
+    /// worker threads and probe-validated before serving (version 1).
+    pub fn register_from_checkpoint(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+        cfg: ServiceConfig,
+        workers: usize,
+    ) -> Result<u64, RegistryError> {
+        validate_model_name(name)?;
+        // Refuse a taken name before the expensive load + spawn (and the
+        // blocking drain of the rejected pool). `register` re-checks
+        // under the lock for the registration race.
+        if lock_entries(&self.entries).contains_key(name) {
+            return Err(RegistryError::DuplicateModel {
+                name: name.to_string(),
+            });
+        }
+        let (service, arch) = spawn_from_checkpoint(path, cfg.clone(), workers)?;
+        self.register(name, service, arch, cfg)
+    }
+
+    /// Removes `name` from the registry, drains its workers and returns
+    /// the models plus final stats. In-flight requests resolve normally;
+    /// new lookups fail with [`RegistryError::UnknownModel`] immediately.
+    pub fn unregister(
+        &self,
+        name: &str,
+    ) -> Result<(Vec<GapClassifier>, ServiceStats), RegistryError> {
+        let entry = {
+            let mut entries = lock_entries(&self.entries);
+            entries
+                .remove(name)
+                .ok_or_else(|| RegistryError::UnknownModel {
+                    name: name.to_string(),
+                    known: sorted_names(&entries),
+                })?
+        };
+        // Drain outside the lock: other models must keep serving while
+        // this one's workers finish.
+        Ok(entry.service.shutdown())
+    }
+
+    /// **Hot swap**: replaces the model behind `name` with the checkpoint
+    /// at `path`, without the name ever going dark.
+    ///
+    /// The sequence is: load + rebuild + probe-validate the new pool
+    /// (expensive, outside the lock, old model still serving) → verify the
+    /// geometry matches → atomically repoint the name (version + 1) →
+    /// drain the old workers (outside the lock; requests they already
+    /// accepted resolve normally). Other registry entries are untouched
+    /// throughout. On any error the entry keeps serving its current model.
+    pub fn swap(&self, name: &str, path: impl AsRef<Path>) -> Result<SwapOutcome, RegistryError> {
+        let (cfg, workers, current_geometry) = {
+            let entries = lock_entries(&self.entries);
+            let entry = entries
+                .get(name)
+                .ok_or_else(|| RegistryError::UnknownModel {
+                    name: name.to_string(),
+                    known: sorted_names(&entries),
+                })?;
+            (
+                entry.cfg.clone(),
+                entry.workers,
+                (entry.service.expected_dims(), entry.service.n_classes()),
+            )
+        };
+        let (new_service, new_arch) = spawn_from_checkpoint(path, cfg, workers)?;
+        let incoming = (new_service.expected_dims(), new_service.n_classes());
+        if incoming != current_geometry {
+            // new_service drains on drop (it served nothing).
+            return Err(RegistryError::GeometryMismatch {
+                name: name.to_string(),
+                current: current_geometry,
+                incoming,
+            });
+        }
+        let (old_service, version, pre_drain) = {
+            let mut entries = lock_entries(&self.entries);
+            let Some(entry) = entries.get_mut(name) else {
+                // Concurrently unregistered while we were building: the
+                // caller raced an operator; report the name gone.
+                return Err(RegistryError::UnknownModel {
+                    name: name.to_string(),
+                    known: sorted_names(&entries),
+                });
+            };
+            entry.version += 1;
+            entry.arch = new_arch;
+            // Fold the outgoing generation's counters into the retired
+            // totals in the SAME critical section that repoints the name:
+            // a stats scrape landing mid-drain must never see the name's
+            // counters drop (monitoring computes rates from them).
+            let pre_drain = entry.service.stats();
+            entry.retired_stats.absorb(&pre_drain);
+            let old = std::mem::replace(&mut entry.service, new_service);
+            (old, entry.version, pre_drain)
+        };
+        let (old_models, old_stats) = old_service.shutdown();
+        // The drain itself ran outside the lock, so requests the old pool
+        // answered after the snapshot are not in `pre_drain` yet — fold
+        // only that difference (the entry may have been unregistered
+        // meanwhile; then its counters go with it).
+        if let Some(entry) = lock_entries(&self.entries).get_mut(name) {
+            entry
+                .retired_stats
+                .absorb(&stats_delta(&old_stats, &pre_drain));
+        }
+        Ok(SwapOutcome {
+            version,
+            old_models,
+            old_stats,
+        })
+    }
+
+    /// A submission handle to the model currently behind `name`.
+    ///
+    /// The handle pins the *generation* it was resolved against: after a
+    /// swap, requests submitted through an old handle fail with
+    /// [`ServiceError::ShuttingDown`](crate::service::ServiceError::ShuttingDown)
+    /// once the old pool has drained — resolve a fresh handle per request
+    /// (they cost one `Arc` clone).
+    pub fn handle(&self, name: &str) -> Result<ServiceHandle, RegistryError> {
+        let entries = lock_entries(&self.entries);
+        entries
+            .get(name)
+            .map(|e| e.service.handle())
+            .ok_or_else(|| RegistryError::UnknownModel {
+                name: name.to_string(),
+                known: sorted_names(&entries),
+            })
+    }
+
+    /// Resolves an optional model name the way the HTTP API does: a named
+    /// lookup when given, otherwise the registry's single model — or the
+    /// one named `"default"` — with [`RegistryError::ModelRequired`] when
+    /// the choice is ambiguous.
+    pub fn resolve(&self, name: Option<&str>) -> Result<(String, ServiceHandle), RegistryError> {
+        if let Some(name) = name {
+            validate_model_name(name)?;
+            return Ok((name.to_string(), self.handle(name)?));
+        }
+        let entries = lock_entries(&self.entries);
+        if let Some(e) = entries.get("default") {
+            return Ok(("default".to_string(), e.service.handle()));
+        }
+        let mut it = entries.iter();
+        match (it.next(), it.next()) {
+            (Some((name, e)), None) => Ok((name.clone(), e.service.handle())),
+            (None, _) => Err(RegistryError::UnknownModel {
+                name: "<unspecified>".to_string(),
+                known: Vec::new(),
+            }),
+            _ => Err(RegistryError::ModelRequired {
+                known: sorted_names(&entries),
+            }),
+        }
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        sorted_names(&lock_entries(&self.entries))
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        lock_entries(&self.entries).len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Worker threads across all models.
+    pub fn total_workers(&self) -> usize {
+        lock_entries(&self.entries)
+            .values()
+            .map(|e| e.workers)
+            .sum()
+    }
+
+    /// Requests waiting in any model's queue right now — the cheap
+    /// liveness number (`GET /healthz`); no latency snapshots are built.
+    pub fn total_queue_depth(&self) -> usize {
+        lock_entries(&self.entries)
+            .values()
+            .map(|e| e.service.queue_depth())
+            .sum()
+    }
+
+    /// A snapshot of every registered model, sorted by name. A swapped
+    /// entry's stats include every drained previous generation, so the
+    /// counters behind a name never go backwards.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let entries = lock_entries(&self.entries);
+        let mut out: Vec<ModelInfo> = entries
+            .iter()
+            .map(|(name, e)| {
+                let mut stats = e.retired_stats.clone();
+                stats.absorb(&e.service.stats());
+                ModelInfo {
+                    name: name.clone(),
+                    version: e.version,
+                    arch: e.arch.clone(),
+                    dims: e.service.expected_dims(),
+                    n_classes: e.service.n_classes(),
+                    workers: e.workers,
+                    stats,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Drains every model (graceful: queued requests resolve first) and
+    /// returns each entry's name, models and final stats (including every
+    /// generation retired by swaps), sorted by name. The registry is left
+    /// empty but usable.
+    pub fn shutdown_all(&self) -> Vec<(String, Vec<GapClassifier>, ServiceStats)> {
+        let drained: Vec<(String, Entry)> = {
+            let mut entries = lock_entries(&self.entries);
+            entries.drain().collect()
+        };
+        let mut out: Vec<(String, Vec<GapClassifier>, ServiceStats)> = drained
+            .into_iter()
+            .map(|(name, entry)| {
+                let mut stats = entry.retired_stats.clone();
+                let (models, live) = entry.service.shutdown();
+                stats.absorb(&live);
+                (name, models, stats)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Counter-wise difference `newer − older` of two snapshots of the *same*
+/// service (the counters only ever grow, so saturating subtraction is
+/// exact). Used by [`ModelRegistry::swap`] to fold a drained generation's
+/// post-snapshot activity into the retired totals without double counting
+/// what was already folded at repoint time. Gauges keep the newer
+/// snapshot's values (`queue_depth` is 0 after a drain); the latency
+/// summary keeps the newer percentiles/mean, which
+/// [`ServiceStats::absorb`] then merges conservatively.
+fn stats_delta(newer: &ServiceStats, older: &ServiceStats) -> ServiceStats {
+    let mut batch_size_hist = newer.batch_size_hist.clone();
+    for (h, &prev) in batch_size_hist.iter_mut().zip(&older.batch_size_hist) {
+        *h = h.saturating_sub(prev);
+    }
+    ServiceStats {
+        submitted: newer.submitted.saturating_sub(older.submitted),
+        completed: newer.completed.saturating_sub(older.completed),
+        classified: newer.classified.saturating_sub(older.classified),
+        failed: newer.failed.saturating_sub(older.failed),
+        rejected: newer.rejected.saturating_sub(older.rejected),
+        cancelled: newer.cancelled.saturating_sub(older.cancelled),
+        worker_respawns: newer.worker_respawns.saturating_sub(older.worker_respawns),
+        queue_depth: newer.queue_depth,
+        max_queue_depth: newer.max_queue_depth,
+        flushes_full: newer.flushes_full.saturating_sub(older.flushes_full),
+        flushes_deadline: newer
+            .flushes_deadline
+            .saturating_sub(older.flushes_deadline),
+        flushes_drained: newer.flushes_drained.saturating_sub(older.flushes_drained),
+        flushes_shutdown: newer
+            .flushes_shutdown
+            .saturating_sub(older.flushes_shutdown),
+        batch_size_hist,
+        mean_batch: 0.0,
+        p50_latency: newer.p50_latency,
+        p99_latency: newer.p99_latency,
+        mean_latency: newer.mean_latency,
+    }
+}
+
+fn sorted_names(entries: &HashMap<String, Entry>) -> Vec<String> {
+    let mut names: Vec<String> = entries.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// Captures a model's parameters as a [`Checkpoint`] carrying the
+/// architecture descriptor, ready for [`dcam_nn::checkpoint::save_binary`].
+/// The counterpart of [`spawn_from_checkpoint`].
+pub fn checkpoint_model(model: &mut GapClassifier, desc: &ArchDescriptor) -> Checkpoint {
+    let tag = model.name().to_string();
+    checkpoint::save(model, tag).with_arch(desc.render())
+}
+
+/// Writes a checkpoint to `path` in the binary format — a
+/// registry-flavoured wrapper over [`dcam_nn::checkpoint::save_binary`] so
+/// transports need not depend on `dcam-nn` directly.
+pub fn save_checkpoint(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), RegistryError> {
+    let path = path.as_ref();
+    checkpoint::save_binary(ckpt, path)
+        .map_err(|e| RegistryError::Checkpoint(format!("{}: {e}", path.display())))
+}
+
+/// Loads a binary checkpoint file and spawns a ready-to-register
+/// [`DcamService`] from it: parse the embedded [`ArchDescriptor`], build
+/// the architecture, restore the weights (tag-checked against the built
+/// model's name), replicate across `workers` threads, and spawn with the
+/// re-spawn recovery machinery armed — which also runs the probe-forward
+/// round-trip validation before any worker serves. Every failure is a
+/// typed [`RegistryError::Checkpoint`]; the returned service is already
+/// serving (its queue is empty).
+pub fn spawn_from_checkpoint(
+    path: impl AsRef<Path>,
+    cfg: ServiceConfig,
+    workers: usize,
+) -> Result<(DcamService, String), RegistryError> {
+    let path = path.as_ref();
+    let ckpt = checkpoint::load_binary(path)
+        .map_err(|e| RegistryError::Checkpoint(format!("{}: {e}", path.display())))?;
+    if ckpt.arch.is_empty() {
+        return Err(RegistryError::Checkpoint(format!(
+            "{}: no architecture descriptor in the file",
+            path.display()
+        )));
+    }
+    let desc = ArchDescriptor::parse(&ckpt.arch)
+        .map_err(|e| RegistryError::Checkpoint(format!("{}: {e}", path.display())))?;
+    let arch = ckpt.arch.clone();
+    // Building can assert (e.g. an RNN encoding smuggled into a GAP
+    // family); surface that as a typed error, not a server crash.
+    let mut model = catch_unwind(AssertUnwindSafe(|| desc.build(0)))
+        .map_err(|_| RegistryError::Checkpoint(format!("cannot build architecture {arch:?}")))?;
+    let tag = model.name().to_string();
+    checkpoint::restore(&mut model, &ckpt, &tag)
+        .map_err(|e| RegistryError::Checkpoint(e.to_string()))?;
+    let workers = workers.max(1);
+    let spawned = catch_unwind(AssertUnwindSafe(|| {
+        let build = move || desc.build(0);
+        let models = replicate_model(model, workers, build);
+        DcamService::spawn_with_recovery(models, cfg, move || desc.build(0))
+    }))
+    .map_err(|_| {
+        RegistryError::Checkpoint(format!(
+            "restored model failed spawn-time probe validation ({arch:?})"
+        ))
+    })?;
+    Ok((spawned, arch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchFamily, InputEncoding, ModelScale};
+    use crate::dcam::DcamConfig;
+    use crate::dcam_many::{DcamBatcherConfig, DcamManyConfig};
+    use crate::service::Backpressure;
+    use std::time::Duration;
+
+    fn quick_cfg() -> ServiceConfig {
+        ServiceConfig {
+            batcher: DcamBatcherConfig {
+                many: DcamManyConfig {
+                    dcam: DcamConfig {
+                        k: 4,
+                        only_correct: false,
+                        ..Default::default()
+                    },
+                    max_batch: 4,
+                },
+                max_pending: 4,
+                max_wait: Some(Duration::from_millis(2)),
+            },
+            queue_capacity: 64,
+            backpressure: Backpressure::Block,
+            queue_policy: Default::default(),
+            latency_window: 128,
+        }
+    }
+
+    fn desc(dims: usize, classes: usize) -> ArchDescriptor {
+        ArchDescriptor {
+            family: ArchFamily::Cnn,
+            encoding: InputEncoding::Dcnn,
+            dims,
+            classes,
+            scale: ModelScale::Tiny,
+        }
+    }
+
+    fn write_ckpt(name: &str, d: &ArchDescriptor, seed: u64) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dcam-registry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{seed}.ckpt"));
+        let mut model = d.build(seed);
+        checkpoint::save_binary(&checkpoint_model(&mut model, d), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_model_name("starlight-v2.1_a").is_ok());
+        assert!(matches!(
+            validate_model_name(""),
+            Err(RegistryError::InvalidName { .. })
+        ));
+        assert!(matches!(
+            validate_model_name(&"x".repeat(65)),
+            Err(RegistryError::InvalidName { .. })
+        ));
+        assert!(matches!(
+            validate_model_name("no/slashes"),
+            Err(RegistryError::InvalidName { .. })
+        ));
+        assert!(matches!(
+            validate_model_name("no spaces"),
+            Err(RegistryError::InvalidName { .. })
+        ));
+    }
+
+    #[test]
+    fn register_list_unregister_round_trip() {
+        let registry = ModelRegistry::new();
+        let d = desc(3, 2);
+        let path = write_ckpt("a", &d, 1);
+        assert_eq!(
+            registry
+                .register_from_checkpoint("a", &path, quick_cfg(), 1)
+                .unwrap(),
+            1
+        );
+        // Duplicate name is refused.
+        assert!(matches!(
+            registry.register_from_checkpoint("a", &path, quick_cfg(), 1),
+            Err(RegistryError::DuplicateModel { .. })
+        ));
+        let infos = registry.list();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].name, "a");
+        assert_eq!(infos[0].version, 1);
+        assert_eq!((infos[0].dims, infos[0].n_classes), (3, 2));
+        assert_eq!(infos[0].arch, d.render());
+        let (models, _) = registry.unregister("a").unwrap();
+        assert_eq!(models.len(), 1);
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.unregister("a"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_rules() {
+        let registry = ModelRegistry::new();
+        assert!(matches!(
+            registry.resolve(None),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        let d = desc(3, 2);
+        let path = write_ckpt("resolve", &d, 2);
+        registry
+            .register_from_checkpoint("only", &path, quick_cfg(), 1)
+            .unwrap();
+        // One model: anonymous resolution finds it.
+        assert_eq!(registry.resolve(None).unwrap().0, "only");
+        registry
+            .register_from_checkpoint("second", &path, quick_cfg(), 1)
+            .unwrap();
+        // Two models, neither called "default": ambiguous.
+        assert!(matches!(
+            registry.resolve(None),
+            Err(RegistryError::ModelRequired { .. })
+        ));
+        registry
+            .register_from_checkpoint("default", &path, quick_cfg(), 1)
+            .unwrap();
+        assert_eq!(registry.resolve(None).unwrap().0, "default");
+        assert_eq!(registry.resolve(Some("second")).unwrap().0, "second");
+        assert!(matches!(
+            registry.resolve(Some("missing")),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        registry.shutdown_all();
+    }
+
+    #[test]
+    fn swap_bumps_version_and_changes_answers() {
+        use dcam_series::MultivariateSeries;
+        let registry = ModelRegistry::new();
+        let d = desc(3, 2);
+        let path_v1 = write_ckpt("swapv", &d, 10);
+        let path_v2 = write_ckpt("swapv", &d, 11);
+        registry
+            .register_from_checkpoint("m", &path_v1, quick_cfg(), 1)
+            .unwrap();
+        let series = MultivariateSeries::from_rows(&[vec![0.4; 12], vec![-0.2; 12], vec![0.1; 12]]);
+        let before = registry
+            .handle("m")
+            .unwrap()
+            .submit_classify(&series)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let outcome = registry.swap("m", &path_v2).unwrap();
+        assert_eq!(outcome.version, 2);
+        assert_eq!(outcome.old_models.len(), 1);
+        assert_eq!(registry.list()[0].version, 2);
+        let after = registry
+            .handle("m")
+            .unwrap()
+            .submit_classify(&series)
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Different seeds ⇒ different weights ⇒ different logits, and the
+        // new ones must equal a direct forward on the v2 checkpoint.
+        assert_ne!(before.logits, after.logits);
+        let mut reference = d.build(11);
+        let want = reference.logits_for(&series);
+        for (a, b) in after.logits.iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-6, "post-swap logits: {a} vs {b}");
+        }
+        registry.shutdown_all();
+    }
+
+    #[test]
+    fn swap_geometry_mismatch_is_rejected_and_old_model_keeps_serving() {
+        use dcam_series::MultivariateSeries;
+        let registry = ModelRegistry::new();
+        let path_3d = write_ckpt("geo3", &desc(3, 2), 20);
+        let path_4d = write_ckpt("geo4", &desc(4, 2), 21);
+        registry
+            .register_from_checkpoint("m", &path_3d, quick_cfg(), 1)
+            .unwrap();
+        assert!(matches!(
+            registry.swap("m", &path_4d),
+            Err(RegistryError::GeometryMismatch { .. })
+        ));
+        assert_eq!(registry.list()[0].version, 1, "failed swap must not bump");
+        let series = MultivariateSeries::from_rows(&[vec![0.4; 10], vec![0.2; 10], vec![0.1; 10]]);
+        registry
+            .handle("m")
+            .unwrap()
+            .submit_classify(&series)
+            .unwrap()
+            .wait()
+            .unwrap();
+        registry.shutdown_all();
+    }
+
+    #[test]
+    fn swap_and_unregister_of_unknown_names_fail_typed() {
+        let registry = ModelRegistry::new();
+        let path = write_ckpt("unk", &desc(3, 2), 30);
+        assert!(matches!(
+            registry.swap("ghost", &path),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            registry.handle("ghost"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_checkpoint_files_are_typed_errors() {
+        let dir = std::env::temp_dir().join("dcam-registry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = ModelRegistry::new();
+        // Missing file.
+        assert!(matches!(
+            registry.register_from_checkpoint("m", dir.join("absent.ckpt"), quick_cfg(), 1),
+            Err(RegistryError::Checkpoint(_))
+        ));
+        // Garbage bytes.
+        let garbage = dir.join("garbage.ckpt");
+        std::fs::write(&garbage, b"not a checkpoint at all").unwrap();
+        assert!(matches!(
+            registry.register_from_checkpoint("m", &garbage, quick_cfg(), 1),
+            Err(RegistryError::Checkpoint(_))
+        ));
+        // Valid checkpoint without a descriptor.
+        let d = desc(3, 2);
+        let mut model = d.build(1);
+        let no_arch = dir.join("noarch.ckpt");
+        checkpoint::save_binary(&checkpoint::save(&mut model, "dCNN"), &no_arch).unwrap();
+        assert!(matches!(
+            registry.register_from_checkpoint("m", &no_arch, quick_cfg(), 1),
+            Err(RegistryError::Checkpoint(_))
+        ));
+        assert!(registry.is_empty());
+    }
+}

@@ -348,7 +348,9 @@ enum FlushReason {
 
 /// A point-in-time snapshot of the service's counters, exposed for the
 /// bench harness, the HTTP `/stats` endpoint, and operational monitoring.
-#[derive(Debug, Clone)]
+/// `Default` is the all-zero snapshot of a service that has served
+/// nothing.
+#[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Requests accepted into the queue (explanations and classifications).
     pub submitted: u64,
@@ -389,6 +391,62 @@ pub struct ServiceStats {
     pub p99_latency: Duration,
     /// Mean submit→answer latency over *all* requests.
     pub mean_latency: Duration,
+}
+
+impl ServiceStats {
+    /// Folds another snapshot into this one — the aggregate view a
+    /// multi-model front end (the `dcam-server` registry) reports as its
+    /// service total, also used to combine a model's successive
+    /// generations across hot swaps. Counters, current queue depth and
+    /// the batch-size histogram add exactly; `max_queue_depth` takes the
+    /// worst of the two (two pools — or two generations of one pool —
+    /// never queue the same request twice, and a sum would report a
+    /// depth that never occurred); the latency summary is approximate
+    /// (the underlying ring buffers are gone): percentiles take the
+    /// worst of the two, the mean is weighted by each side's
+    /// answered-request count.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        let self_n = self.completed + self.classified + self.failed;
+        let other_n = other.completed + other.classified + other.failed;
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.classified += other.classified;
+        self.failed += other.failed;
+        self.rejected += other.rejected;
+        self.cancelled += other.cancelled;
+        self.worker_respawns += other.worker_respawns;
+        self.queue_depth += other.queue_depth;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.flushes_full += other.flushes_full;
+        self.flushes_deadline += other.flushes_deadline;
+        self.flushes_drained += other.flushes_drained;
+        self.flushes_shutdown += other.flushes_shutdown;
+        if self.batch_size_hist.len() < other.batch_size_hist.len() {
+            self.batch_size_hist.resize(other.batch_size_hist.len(), 0);
+        }
+        for (acc, &c) in self.batch_size_hist.iter_mut().zip(&other.batch_size_hist) {
+            *acc += c;
+        }
+        let flushes: u64 = self.batch_size_hist.iter().sum();
+        let served: u64 = self
+            .batch_size_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        self.mean_batch = if flushes == 0 {
+            0.0
+        } else {
+            served as f64 / flushes as f64
+        };
+        self.p50_latency = self.p50_latency.max(other.p50_latency);
+        self.p99_latency = self.p99_latency.max(other.p99_latency);
+        if self_n + other_n > 0 {
+            let weighted = self.mean_latency.as_secs_f64() * self_n as f64
+                + other.mean_latency.as_secs_f64() * other_n as f64;
+            self.mean_latency = Duration::from_secs_f64(weighted / (self_n + other_n) as f64);
+        }
+    }
 }
 
 /// Mutable half of the stats, behind the shared mutex.
@@ -1031,6 +1089,21 @@ impl DcamService {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        lock_ignore_poison(&self.shared.state).queue.len()
+    }
+
+    /// Series dimension count `D` every request must match.
+    pub fn expected_dims(&self) -> usize {
+        self.shared.expected_dims
+    }
+
+    /// Number of classes the served models discriminate.
+    pub fn n_classes(&self) -> usize {
+        self.shared.n_classes
     }
 
     /// Snapshot of the service counters.

@@ -5,11 +5,23 @@
 //! model's stable `visit_params` order, so a checkpoint can only be restored
 //! into an identically constructed architecture — shapes are verified on
 //! load.
+//!
+//! Two persistence formats exist:
+//!
+//! * the **versioned binary format** ([`Checkpoint::to_bytes`] /
+//!   [`Checkpoint::from_bytes`], [`save_binary`] / [`load_binary`]) — an
+//!   8-byte magic, a format-version word, an FNV-1a payload checksum, a
+//!   free-form architecture-descriptor string, and the raw `f32`
+//!   parameters. This is the format models cross process boundaries in
+//!   (the `dcam-server` model registry loads it for hot swaps). Corrupt,
+//!   truncated or future-versioned bytes surface as typed
+//!   [`CheckpointError`]s, never panics;
+//! * a JSON dump behind the `serde` feature (`save_file` / `load_file`),
+//!   kept for debugging.
 
 use crate::layers::Layer;
 use dcam_tensor::Tensor;
 use std::fmt;
-#[cfg(feature = "serde")]
 use std::path::Path;
 
 /// A snapshot of every trainable parameter of a model.
@@ -18,6 +30,12 @@ use std::path::Path;
 pub struct Checkpoint {
     /// Free-form tag (e.g. architecture name) checked on restore.
     pub tag: String,
+    /// Free-form architecture descriptor carried alongside the weights so
+    /// a loader that only has the file can rebuild the network before
+    /// restoring into it (`dcam::arch::ArchDescriptor` renders into /
+    /// parses from this). Empty when the checkpoint never leaves the
+    /// process.
+    pub arch: String,
     /// Parameter values in `visit_params` order.
     pub params: Vec<Tensor>,
     /// Non-trainable buffers (batch-norm running statistics) in
@@ -51,6 +69,28 @@ pub enum CheckpointError {
         /// Shape in the model.
         model: Vec<usize>,
     },
+    /// The bytes do not start with the checkpoint magic — whatever the
+    /// file is, it is not a dCAM checkpoint.
+    NotACheckpoint,
+    /// The checkpoint was written by a format version this build does not
+    /// understand.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// Structurally invalid bytes: truncated payload, impossible lengths,
+    /// or trailing garbage. The message names the offending section.
+    Malformed(String),
+    /// The payload checksum does not match — the bytes were corrupted
+    /// after the checkpoint was written.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum of the payload as read.
+        computed: u64,
+    },
     /// Filesystem or serialization failure.
     Io(String),
 }
@@ -77,6 +117,24 @@ impl fmt::Display for CheckpointError {
                     "parameter {index}: checkpoint shape {stored:?} vs model {model:?}"
                 )
             }
+            CheckpointError::NotACheckpoint => {
+                write!(f, "not a dCAM checkpoint (bad magic)")
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} not supported (this build reads \
+                     up to {supported})"
+                )
+            }
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: header says {stored:#018x}, \
+                     payload hashes to {computed:#018x}"
+                )
+            }
             CheckpointError::Io(e) => write!(f, "checkpoint IO error: {e}"),
         }
     }
@@ -92,9 +150,246 @@ pub fn save(model: &mut dyn Layer, tag: impl Into<String>) -> Checkpoint {
     model.visit_buffers(&mut |b| buffers.push(b.clone()));
     Checkpoint {
         tag: tag.into(),
+        arch: String::new(),
         params,
         buffers,
     }
+}
+
+/// Magic prefix of the binary checkpoint format.
+const MAGIC: &[u8; 8] = b"DCAMCKPT";
+/// Newest binary format version this build writes and reads.
+const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the payload checksum of the binary format. Not
+/// cryptographic; it exists to catch bit rot and truncation, not tampering.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounds-checked reader over the payload bytes. Every accessor returns a
+/// typed error on truncation, so malformed input can never panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                CheckpointError::Malformed(format!(
+                    "truncated while reading {what} ({n} bytes wanted, {} left)",
+                    self.bytes.len() - self.pos
+                ))
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn f32s(&mut self, what: &str) -> Result<Vec<f32>, CheckpointError> {
+        let len = self.u64(what)? as usize;
+        // Reject the length before allocating: a corrupt 2^60 length must
+        // fail with a typed error, not abort on an impossible allocation.
+        let byte_len = len.checked_mul(4).ok_or_else(|| {
+            CheckpointError::Malformed(format!("{what} length overflows ({len} elements)"))
+        })?;
+        let bytes = self.take(byte_len, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+impl Checkpoint {
+    /// Attaches an architecture-descriptor string (carried verbatim by the
+    /// binary format; see [`Checkpoint::arch`]).
+    pub fn with_arch(mut self, arch: impl Into<String>) -> Self {
+        self.arch = arch.into();
+        self
+    }
+
+    /// Serializes the checkpoint into the versioned binary format:
+    ///
+    /// ```text
+    /// magic "DCAMCKPT" | version u32 | checksum u64 | payload…
+    /// payload: tag | arch | params (shape + f32 data each) | buffers
+    /// ```
+    ///
+    /// All integers are little-endian; the checksum is FNV-1a 64 over the
+    /// payload bytes. [`Checkpoint::from_bytes`] inverts it exactly — the
+    /// `f32` bits round-trip untouched.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, &self.tag);
+        put_str(&mut payload, &self.arch);
+        put_u32(&mut payload, self.params.len() as u32);
+        for p in &self.params {
+            put_u32(&mut payload, p.dims().len() as u32);
+            for &d in p.dims() {
+                put_u64(&mut payload, d as u64);
+            }
+            put_f32s(&mut payload, p.data());
+        }
+        put_u32(&mut payload, self.buffers.len() as u32);
+        for b in &self.buffers {
+            put_f32s(&mut payload, b);
+        }
+
+        let mut out = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, fnv1a(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses the binary format written by [`Checkpoint::to_bytes`].
+    ///
+    /// Every failure mode — wrong magic, unsupported version, truncation,
+    /// impossible lengths, trailing garbage, checksum mismatch — returns
+    /// the matching [`CheckpointError`]; no input can panic this function.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::NotACheckpoint);
+        }
+        let mut cur = Cursor {
+            bytes,
+            pos: MAGIC.len(),
+        };
+        let version = cur.u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let stored = cur.u64("checksum")?;
+        let computed = fnv1a(&bytes[cur.pos..]);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+
+        let tag = cur.string("tag")?;
+        let arch = cur.string("arch descriptor")?;
+        let n_params = cur.u32("parameter count")? as usize;
+        let mut params = Vec::new();
+        for i in 0..n_params {
+            let what = format!("parameter {i}");
+            let n_dims = cur.u32(&what)? as usize;
+            if n_dims > 16 {
+                return Err(CheckpointError::Malformed(format!(
+                    "{what} claims {n_dims} axes"
+                )));
+            }
+            let mut dims = Vec::with_capacity(n_dims);
+            for _ in 0..n_dims {
+                dims.push(cur.u64(&what)? as usize);
+            }
+            // Validate the element count ourselves before handing the
+            // dims to the tensor layer: its shape product is unchecked,
+            // so crafted dims like [2^33, 2^33] would overflow (panic in
+            // debug builds, wrap in release) despite a valid checksum.
+            let len = dims
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .ok_or_else(|| {
+                    CheckpointError::Malformed(format!("{what}: shape {dims:?} overflows"))
+                })?;
+            let data = cur.f32s(&what)?;
+            if data.len() != len {
+                return Err(CheckpointError::Malformed(format!(
+                    "{what}: shape {dims:?} wants {len} values, {} stored",
+                    data.len()
+                )));
+            }
+            params.push(Tensor::from_vec(data, &dims).map_err(|e| {
+                CheckpointError::Malformed(format!("{what}: shape/data mismatch ({e:?})"))
+            })?);
+        }
+        let n_buffers = cur.u32("buffer count")? as usize;
+        let mut buffers = Vec::new();
+        for i in 0..n_buffers {
+            buffers.push(cur.f32s(&format!("buffer {i}"))?);
+        }
+        if cur.remaining() != 0 {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after the last buffer",
+                cur.remaining()
+            )));
+        }
+        Ok(Checkpoint {
+            tag,
+            arch,
+            params,
+            buffers,
+        })
+    }
+}
+
+/// Writes a checkpoint to `path` in the binary format
+/// ([`Checkpoint::to_bytes`]).
+pub fn save_binary(checkpoint: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    std::fs::write(path, checkpoint.to_bytes()).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Reads a binary checkpoint from `path` ([`Checkpoint::from_bytes`]).
+pub fn load_binary(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    Checkpoint::from_bytes(&bytes)
 }
 
 /// Restores a checkpoint into a model, verifying tag and shapes first (the
@@ -237,6 +532,121 @@ mod tests {
         assert!(matches!(
             err,
             CheckpointError::ParamCountMismatch { .. } | CheckpointError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let mut m = model(8);
+        let ckpt = save(&mut m, "bin-test").with_arch("family=toy;d=3");
+        let bytes = ckpt.to_bytes();
+        let loaded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, loaded, "binary round-trip must be bit-exact");
+        assert_eq!(loaded.arch, "family=toy;d=3");
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let dir = std::env::temp_dir().join("dcam-ckpt-bin-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut m = model(9);
+        let ckpt = save(&mut m, "bin-file").with_arch("a=b");
+        save_binary(&ckpt, &path).unwrap();
+        let loaded = load_binary(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let mut m = model(10);
+        let mut bytes = save(&mut m, "x").to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(b"nonsense"),
+            Err(CheckpointError::NotACheckpoint)
+        ));
+        assert!(matches!(
+            Checkpoint::from_bytes(&[]),
+            Err(CheckpointError::NotACheckpoint)
+        ));
+        // Future format version.
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_typed_errors() {
+        let mut m = model(11);
+        let bytes = save(&mut m, "x").to_bytes();
+        // Flip one payload byte: checksum must catch it.
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            Checkpoint::from_bytes(&corrupt),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // Truncations anywhere must error, never panic.
+        for len in 0..bytes.len() {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..len]).is_err(),
+                "truncation at {len} must be rejected"
+            );
+        }
+        // Trailing garbage invalidates the checksum.
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(Checkpoint::from_bytes(&padded).is_err());
+    }
+
+    /// A hostile writer can produce a *valid checksum* over an impossible
+    /// shape — the parser must reject the shape itself, not rely on the
+    /// checksum (whose only job is catching accidental corruption).
+    #[test]
+    fn overflowing_shape_with_valid_checksum_is_rejected() {
+        let mut payload = Vec::new();
+        put_str(&mut payload, "x"); // tag
+        put_str(&mut payload, ""); // arch
+        put_u32(&mut payload, 1); // one parameter ...
+        put_u32(&mut payload, 2); // ... with 2 axes ...
+        put_u64(&mut payload, 1u64 << 33); // ... whose product overflows
+        put_u64(&mut payload, 1u64 << 33);
+        put_u64(&mut payload, 0); // zero f32 values stored
+        put_u32(&mut payload, 0); // no buffers
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, FORMAT_VERSION);
+        put_u64(&mut bytes, fnv1a(&payload));
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed(_))
+        ));
+
+        // Same writer trick with a consistent-but-short payload: shape
+        // says 4 values, data holds 2.
+        let mut payload = Vec::new();
+        put_str(&mut payload, "x");
+        put_str(&mut payload, "");
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, 1);
+        put_u64(&mut payload, 4);
+        put_f32s(&mut payload, &[1.0, 2.0]);
+        put_u32(&mut payload, 0);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, FORMAT_VERSION);
+        put_u64(&mut bytes, fnv1a(&payload));
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed(_))
         ));
     }
 

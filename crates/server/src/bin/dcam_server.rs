@@ -1,28 +1,48 @@
 //! Standalone `dcam-server` bootstrap for smoke tests and local
-//! experimentation: builds a Tiny dCNN (untrained — the maps are
-//! smoke-quality, the serving path is the real one), spins up the
-//! explanation service with worker re-spawn armed, and serves HTTP until
-//! the process is killed.
+//! experimentation: serves one or several models over HTTP until the
+//! process is killed.
 //!
 //! ```text
-//! dcam_server [--addr 127.0.0.1:0] [--dims 3] [--classes 2] [--k 8]
-//!             [--workers 1] [--conn-workers 2] [--port-file PATH]
-//!             [--fault-injection] [--run-seconds N]
+//! # multi-model: load binary checkpoints into a registry (repeatable flag)
+//! dcam_server --model starlight=/path/a.ckpt --model shapes=/path/b.ckpt
+//!
+//! # single synthetic model (untrained Tiny dCNN, the pre-registry default)
+//! dcam_server [--dims 3] [--classes 2]
+//!
+//! # write a demo checkpoint (Tiny dCNN, random weights) and exit
+//! dcam_server --make-checkpoint /path/model.ckpt [--dims 3] [--classes 2] [--seed 7]
+//!
+//! # common flags
+//!   [--addr 127.0.0.1:0] [--k 8] [--workers 1] [--conn-workers 2]
+//!   [--port-file PATH] [--fault-injection] [--run-seconds N]
 //! ```
 //!
 //! `--port-file` writes the bound address (host:port) to a file once the
 //! listener is up — the CI smoke job uses it to find the ephemeral port.
+//! The maps of `--make-checkpoint` models are smoke-quality (untrained);
+//! the serving, registry and hot-swap paths are the real ones.
 
-use dcam::arch::{cnn, InputEncoding, ModelScale};
+use dcam::arch::{cnn, ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
 use dcam::dcam::DcamConfig;
+use dcam::registry::{checkpoint_model, ModelRegistry};
 use dcam::service::{replicate_model, DcamService, ServiceConfig};
-use dcam_server::{serve, ServerConfig};
+use dcam_server::{serve_registry, ServerConfig};
 use dcam_tensor::SeededRng;
+use std::sync::Arc;
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Every value of a repeatable flag, in order.
+fn arg_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
 fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -39,23 +59,67 @@ fn main() {
     let workers: usize = arg_parse(&args, "--workers", 1);
     let run_seconds: u64 = arg_parse(&args, "--run-seconds", 0);
 
-    let build = move || {
-        cnn(
-            InputEncoding::Dcnn,
-            dims,
-            classes,
-            ModelScale::Tiny,
-            &mut SeededRng::new(7),
-        )
+    let desc = ArchDescriptor {
+        family: ArchFamily::Cnn,
+        encoding: InputEncoding::Dcnn,
+        dims,
+        classes,
+        scale: ModelScale::Tiny,
     };
+
+    // Checkpoint-factory mode: write a binary checkpoint and exit. Lets
+    // CI (and operators trying the registry out) produce loadable model
+    // files without a training run.
+    if let Some(path) = arg_value(&args, "--make-checkpoint") {
+        let seed: u64 = arg_parse(&args, "--seed", 7);
+        let mut model = desc.build(seed);
+        let ckpt = checkpoint_model(&mut model, &desc);
+        dcam::registry::save_checkpoint(&ckpt, &path).expect("write checkpoint");
+        println!(
+            "wrote {path} ({} params, arch {})",
+            ckpt.params.len(),
+            ckpt.arch
+        );
+        return;
+    }
+
     let mut service_cfg = ServiceConfig::default();
     service_cfg.batcher.many.dcam = DcamConfig {
         k,
         only_correct: false,
         ..Default::default()
     };
-    let models = replicate_model(build(), workers, build);
-    let service = DcamService::spawn_with_recovery(models, service_cfg, build);
+
+    let registry = Arc::new(ModelRegistry::new());
+    let model_flags = arg_values(&args, "--model");
+    if model_flags.is_empty() {
+        // Legacy single-model bootstrap: a synthetic Tiny dCNN registered
+        // as "default", with worker re-spawn armed.
+        let build = move || {
+            cnn(
+                InputEncoding::Dcnn,
+                dims,
+                classes,
+                ModelScale::Tiny,
+                &mut SeededRng::new(7),
+            )
+        };
+        let models = replicate_model(build(), workers, build);
+        let service = DcamService::spawn_with_recovery(models, service_cfg.clone(), build);
+        registry
+            .register("default", service, desc.render(), service_cfg.clone())
+            .expect("register default model");
+    } else {
+        for spec in &model_flags {
+            let Some((name, path)) = spec.split_once('=') else {
+                eprintln!("--model wants name=path, got {spec:?}");
+                std::process::exit(2);
+            };
+            registry
+                .register_from_checkpoint(name, path, service_cfg.clone(), workers)
+                .unwrap_or_else(|e| panic!("cannot load model {name:?}: {e}"));
+        }
+    }
 
     let server_cfg = ServerConfig {
         addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
@@ -63,9 +127,12 @@ fn main() {
         enable_fault_injection: args.iter().any(|a| a == "--fault-injection"),
         ..Default::default()
     };
-    let server = serve(service, server_cfg).expect("bind listener");
+    let server = serve_registry(Arc::clone(&registry), server_cfg).expect("bind listener");
     let addr = server.addr();
-    println!("dcam-server listening on http://{addr} (D={dims}, classes={classes}, k={k})");
+    println!(
+        "dcam-server listening on http://{addr} (models: {:?}, k={k})",
+        registry.names()
+    );
     if let Some(path) = arg_value(&args, "--port-file") {
         std::fs::write(&path, addr.to_string()).expect("write port file");
     }

@@ -16,14 +16,27 @@ use std::time::Duration;
 /// format, shared by the example, the integration tests and the bench
 /// harness so the payload shape cannot drift between them.
 pub fn explain_payload(series: &MultivariateSeries, class: usize) -> String {
+    explain_payload_for(series, class, None)
+}
+
+/// [`explain_payload`] with an explicit registry model name (the `"model"`
+/// field of the wire format); `None` leaves routing to the server default.
+pub fn explain_payload_for(
+    series: &MultivariateSeries,
+    class: usize,
+    model: Option<&str>,
+) -> String {
     let rows: Vec<Vec<f32>> = (0..series.n_dims())
         .map(|d| series.dim(d).to_vec())
         .collect();
-    serde_json::to_string(&Value::Object(vec![
+    let mut fields = vec![
         ("series".into(), rows.to_value()),
         ("class".into(), Value::Number(class as f64)),
-    ]))
-    .unwrap_or_default()
+    ];
+    if let Some(model) = model {
+        fields.push(("model".into(), Value::String(model.into())));
+    }
+    serde_json::to_string(&Value::Object(fields)).unwrap_or_default()
 }
 
 /// One parsed HTTP response.
@@ -33,6 +46,11 @@ pub struct HttpResponse {
     pub status: u16,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
+    /// The `Retry-After` header as delta-seconds, when the server sent
+    /// one (backpressure 503s do) and it parses as a number. Callers
+    /// implementing retry loops read this instead of grepping
+    /// [`headers`](HttpResponse::headers).
+    pub retry_after: Option<u64>,
     /// Response body as text (the API always answers JSON).
     pub body: String,
 }
@@ -179,9 +197,14 @@ impl HttpClient {
                 body
             }
         };
+        let retry_after = headers
+            .iter()
+            .find(|(k, _)| k == "retry-after")
+            .and_then(|(_, v)| v.parse::<u64>().ok());
         Ok(HttpResponse {
             status,
             headers,
+            retry_after,
             body,
         })
     }

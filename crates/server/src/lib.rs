@@ -7,25 +7,39 @@
 //! [`std::net::TcpListener`] (the build environment has no crates.io
 //! access) exposing
 //!
-//! * `POST /v1/explain` — series payload plus optional class /
+//! * `POST /v1/explain` — series payload plus optional `model` / class /
 //!   `strict_only_correct` / `top_k` options, answered with the dCAM map
 //!   or a per-dimension importance summary;
-//! * `POST /v1/classify` — series payload, answered with logits and the
-//!   argmax class;
+//! * `POST /v1/classify` — series payload (plus optional `model`),
+//!   answered with logits and the argmax class;
+//! * `GET /v1/models` — every registered model: name, version,
+//!   architecture descriptor, geometry, worker count and per-model stats;
+//! * `POST /v1/models/{name}/swap` — hot-swaps the named model to a
+//!   binary checkpoint file on the server's filesystem (an operator API:
+//!   expose it only on trusted networks), without interrupting the other
+//!   models;
 //! * `GET /healthz` — liveness probe;
-//! * `GET /stats` — JSON dump of [`ServiceStats`] plus the server-level
-//!   counters ([`ServerStats`]).
+//! * `GET /stats` — JSON dump of the aggregate [`ServiceStats`] plus the
+//!   server-level counters ([`ServerStats`]).
+//!
+//! The server fronts a [`ModelRegistry`]: requests carry an optional
+//! `"model"` name, resolved per request (omitted names fall back to the
+//! single registered model, or the one literally named `"default"`).
+//! Unknown models get a structured 404, invalid names a 400.
+//! [`serve`] wraps a single [`DcamService`] into a one-entry registry
+//! under the name `"default"`; [`serve_registry`] fronts a shared,
+//! multi-model registry.
 //!
 //! Architecture: one **accept thread** pushes connections into a bounded
 //! backlog; a pool of **connection workers** parses requests (keep-alive,
-//! `Content-Length` framing, body-size cap) and submits them through a
-//! [`ServiceHandle`]. Queue backpressure surfaces as HTTP 503 with a
-//! `Retry-After` header, per-request deadlines as 504, malformed payloads
-//! as structured 400 bodies. A client that disconnects mid-request
-//! **cancels** its explanation (the service skips the cube build), and
-//! [`DcamServer::shutdown`] performs a SIGTERM-style graceful drain:
-//! stop accepting, finish queued connections and requests, then return
-//! the models and final stats.
+//! `Content-Length` framing, body-size cap) and submits them through the
+//! resolved model's [`ServiceHandle`]. Queue backpressure surfaces as
+//! HTTP 503 with a `Retry-After` header, per-request deadlines as 504,
+//! malformed payloads as structured 400 bodies. A client that disconnects
+//! mid-request **cancels** its explanation (the service skips the cube
+//! build), and [`DcamServer::shutdown`] performs a SIGTERM-style graceful
+//! drain: stop accepting, finish queued connections and requests, then
+//! drain every registered model and return the models and final stats.
 //!
 //! ```no_run
 //! use dcam::arch::{cnn, InputEncoding, ModelScale};
@@ -51,11 +65,13 @@ pub mod client;
 pub mod http;
 pub mod wire;
 
-pub use client::{explain_payload, HttpClient, HttpResponse};
+pub use client::{explain_payload, explain_payload_for, HttpClient, HttpResponse};
 
 use dcam::arch::GapClassifier;
+use dcam::registry::{ModelRegistry, RegistryError};
 use dcam::service::{
-    Backpressure, RequestOptions, ResponseFuture, ServiceError, ServiceHandle, ServiceStats,
+    Backpressure, RequestOptions, ResponseFuture, ServiceConfig, ServiceError, ServiceHandle,
+    ServiceStats,
 };
 use dcam::DcamService;
 use dcam_series::MultivariateSeries;
@@ -178,53 +194,73 @@ impl Counters {
 
 /// State shared by the accept thread and the connection workers.
 struct Ctx {
-    handle: ServiceHandle,
+    registry: Arc<ModelRegistry>,
     cfg: ServerConfig,
     counters: Counters,
     shutdown: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
     conns_ready: Condvar,
-    service_workers: usize,
 }
 
-/// A running explanation server. Dropping it without
-/// [`DcamServer::shutdown`] still stops the threads and drains the
-/// service (the models are discarded).
+impl Ctx {
+    /// Aggregate service stats across every registered model (each
+    /// model's stats include its swap-retired generations, so these
+    /// counters are monotonic for as long as the models stay registered).
+    fn aggregate_stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for info in self.registry.list() {
+            total.absorb(&info.stats);
+        }
+        total
+    }
+}
+
+/// A running explanation server.
+///
+/// Dropping it without [`DcamServer::shutdown`] stops the HTTP threads
+/// but leaves the registry's models running — a shared registry may be
+/// serving other fronts. (For a server built with [`serve`], dropping
+/// the last `Arc` then drains the wrapped service anyway.)
 pub struct DcamServer {
-    service: Option<DcamService>,
     ctx: Arc<Ctx>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Vec<JoinHandle<()>>,
+    draining: bool,
 }
 
-/// Boots the HTTP front end over a running [`DcamService`]: binds
-/// `cfg.addr`, starts the accept thread and `cfg.conn_workers` connection
-/// workers, and returns immediately.
+/// Boots the HTTP front end over a single running [`DcamService`]: the
+/// service is registered under the name `"default"` in a fresh
+/// [`ModelRegistry`] (so requests that do not name a model keep working),
+/// then served exactly like [`serve_registry`].
+///
+/// A checkpoint swap of this `"default"` entry re-spawns it with
+/// [`ServiceConfig::default`] — register through a
+/// [`ModelRegistry`] yourself to control the respawn config.
 pub fn serve(service: DcamService, cfg: ServerConfig) -> io::Result<DcamServer> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register("default", service, "", ServiceConfig::default())
+        .expect("fresh registry accepts the default model");
+    serve_registry(registry, cfg)
+}
+
+/// Boots the HTTP front end over a [`ModelRegistry`]: binds `cfg.addr`,
+/// starts the accept thread and `cfg.conn_workers` connection workers, and
+/// returns immediately. The registry may be shared — models can be
+/// registered, swapped and unregistered while the server runs, and the
+/// HTTP swap endpoint drives the same registry.
+pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Result<DcamServer> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    // A Block backpressure policy would park a connection worker on a full
-    // queue with no deadline and no disconnect detection; bound it by the
-    // request deadline so overload surfaces as 503 + Retry-After instead
-    // of a hung worker. (In-process submitters keep whatever policy the
-    // service was configured with — this only rebinds the server's handle.)
-    let handle = service.handle();
-    let handle = match handle.backpressure() {
-        Backpressure::Block => {
-            handle.with_backpressure(Backpressure::Timeout(cfg.request_deadline))
-        }
-        _ => handle,
-    };
     let ctx = Arc::new(Ctx {
-        handle,
+        registry,
         cfg: cfg.clone(),
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(VecDeque::new()),
         conns_ready: Condvar::new(),
-        service_workers: service.workers(),
     });
     let accept_thread = {
         let ctx = Arc::clone(&ctx);
@@ -243,11 +279,11 @@ pub fn serve(service: DcamService, cfg: ServerConfig) -> io::Result<DcamServer> 
         })
         .collect();
     Ok(DcamServer {
-        service: Some(service),
         ctx,
         addr,
         accept_thread: Some(accept_thread),
         conn_threads,
+        draining: false,
     })
 }
 
@@ -257,29 +293,44 @@ impl DcamServer {
         self.addr
     }
 
+    /// The model registry this server routes into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.ctx.registry
+    }
+
     /// Server-level counters.
     pub fn server_stats(&self) -> ServerStats {
         self.ctx.counters.snapshot()
     }
 
-    /// Service-level counters (same snapshot `GET /stats` serves).
+    /// Aggregate service-level counters across every registered model
+    /// (same snapshot `GET /stats` serves).
     pub fn service_stats(&self) -> ServiceStats {
-        self.ctx.handle.stats()
+        self.ctx.aggregate_stats()
     }
 
     /// SIGTERM-style graceful drain: stop accepting connections, let the
     /// connection workers finish every accepted request (in-flight
     /// keep-alive connections get `Connection: close` on their next
-    /// response), then drain the explanation service itself and return
-    /// the models plus final stats.
+    /// response), then drain every registered model and return all the
+    /// models plus the aggregate final stats. The registry is left empty.
     pub fn shutdown(mut self) -> (Vec<GapClassifier>, ServiceStats, ServerStats) {
+        self.draining = true;
         self.stop_threads();
-        let (models, service_stats) = self
-            .service
-            .take()
-            .expect("service present until shutdown")
-            .shutdown();
-        (models, service_stats, self.ctx.counters.snapshot())
+        let mut models = Vec::new();
+        let mut stats: Option<ServiceStats> = None;
+        for (_, m, s) in self.ctx.registry.shutdown_all() {
+            models.extend(m);
+            match &mut stats {
+                Some(total) => total.absorb(&s),
+                None => stats = Some(s),
+            }
+        }
+        (
+            models,
+            stats.unwrap_or_default(),
+            self.ctx.counters.snapshot(),
+        )
     }
 
     fn stop_threads(&mut self) {
@@ -295,11 +346,13 @@ impl DcamServer {
 }
 
 impl Drop for DcamServer {
+    /// Stops the HTTP threads only — the registry's models keep serving
+    /// (a shared registry may be behind other fronts; an exclusively
+    /// owned one drains when its last `Arc` drops). Call
+    /// [`DcamServer::shutdown`] to also drain the models.
     fn drop(&mut self) {
-        if self.service.is_some() {
+        if !self.draining {
             self.stop_threads();
-            // DcamService's own Drop drains the queue and joins workers.
-            self.service.take();
         }
     }
 }
@@ -482,21 +535,48 @@ fn respond(
 }
 
 fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    // Model-admin routes: `/v1/models/{name}/swap`.
+    if let Some(rest) = req.path.strip_prefix("/v1/models/") {
+        if let Some(name) = rest.strip_suffix("/swap") {
+            return if req.method == "POST" {
+                handle_swap(conn, req, ctx, name)
+            } else {
+                respond(
+                    conn,
+                    ctx,
+                    405,
+                    &[("allow", "POST".into())],
+                    &wire::error_body("method_not_allowed", "use POST"),
+                    false,
+                )
+            };
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
+            // Liveness must stay cheap: queue depths only, no latency
+            // snapshots (those are /stats and /v1/models work).
             let body = serde_json::to_string(&Value::Object(vec![
                 ("status".into(), Value::String("ok".into())),
-                ("workers".into(), Value::Number(ctx.service_workers as f64)),
+                ("models".into(), Value::Number(ctx.registry.len() as f64)),
+                (
+                    "workers".into(),
+                    Value::Number(ctx.registry.total_workers() as f64),
+                ),
                 (
                     "queue_depth".into(),
-                    Value::Number(ctx.handle.queue_depth() as f64),
+                    Value::Number(ctx.registry.total_queue_depth() as f64),
                 ),
             ]))
             .unwrap_or_default();
             respond(conn, ctx, 200, &[], &body, false)
         }
+        ("GET", "/v1/models") => {
+            let body = wire::models_body(&ctx.registry.list());
+            respond(conn, ctx, 200, &[], &body, false)
+        }
         ("GET", "/stats") => {
-            let service = wire::service_stats_value(&ctx.handle.stats());
+            let service = wire::service_stats_value(&ctx.aggregate_stats());
             let s = ctx.counters.snapshot();
             let server = Value::Object(vec![
                 (
@@ -539,7 +619,7 @@ fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
         }
         ("POST", "/v1/explain") => handle_explain(conn, req, ctx),
         ("POST", "/v1/classify") => handle_classify(conn, req, ctx),
-        (_, "/healthz" | "/stats") => respond(
+        (_, "/healthz" | "/stats" | "/v1/models") => respond(
             conn,
             ctx,
             405,
@@ -639,6 +719,69 @@ fn respond_submit_error(conn: &mut Conn, ctx: &Ctx, err: ServiceError) -> After 
     }
 }
 
+/// Maps a [`RegistryError`] onto an HTTP response.
+fn respond_registry_error(conn: &mut Conn, ctx: &Ctx, err: RegistryError) -> After {
+    let (status, code) = match &err {
+        RegistryError::UnknownModel { .. } => (404, "model_not_found"),
+        RegistryError::InvalidName { .. } => (400, "invalid_model"),
+        RegistryError::ModelRequired { .. } => (400, "model_required"),
+        RegistryError::DuplicateModel { .. } => (409, "model_exists"),
+        RegistryError::GeometryMismatch { .. } => (409, "geometry_mismatch"),
+        RegistryError::Checkpoint(_) => (422, "bad_checkpoint"),
+    };
+    let body = wire::error_body(code, &err.to_string());
+    respond(conn, ctx, status, &[], &body, false)
+}
+
+/// Resolves the model a request names (or the registry's default) into a
+/// submission handle, with the server's deadline bound applied: a `Block`
+/// backpressure policy would park a connection worker on a full queue with
+/// no deadline and no disconnect detection, so it is rebound to a timeout.
+/// (In-process submitters keep whatever policy the service was configured
+/// with — this only rebinds the transport's per-request handle.)
+fn resolve_handle(conn: &mut Conn, ctx: &Ctx, model: Option<&str>) -> Result<ServiceHandle, After> {
+    match ctx.registry.resolve(model) {
+        Ok((_, handle)) => Ok(match handle.backpressure() {
+            Backpressure::Block => {
+                handle.with_backpressure(Backpressure::Timeout(ctx.cfg.request_deadline))
+            }
+            _ => handle,
+        }),
+        Err(e) => Err(respond_registry_error(conn, ctx, e)),
+    }
+}
+
+/// `POST /v1/models/{name}/swap`: hot-swap the named model to the binary
+/// checkpoint at the path given in the body. The swap happens on this
+/// connection worker's thread — other connections (and every other model)
+/// keep being served by the remaining workers meanwhile.
+fn handle_swap(conn: &mut Conn, req: &Request, ctx: &Ctx, name: &str) -> After {
+    let value = match parse_json_body(conn, req, ctx) {
+        Ok(v) => v,
+        Err(after) => return after,
+    };
+    let Some(path) = value.get("path").and_then(Value::as_str) else {
+        return respond(
+            conn,
+            ctx,
+            400,
+            &[],
+            &wire::error_body("bad_request", "missing string field \"path\""),
+            false,
+        );
+    };
+    if let Err(e) = dcam::registry::validate_model_name(name) {
+        return respond_registry_error(conn, ctx, e);
+    }
+    match ctx.registry.swap(name, path) {
+        Ok(outcome) => {
+            let body = wire::swap_body(name, outcome.version, &outcome.old_stats);
+            respond(conn, ctx, 200, &[], &body, false)
+        }
+        Err(e) => respond_registry_error(conn, ctx, e),
+    }
+}
+
 /// Outcome of awaiting a service future while watching the connection.
 enum Awaited<T> {
     Done(Result<T, ServiceError>),
@@ -714,6 +857,10 @@ fn handle_explain(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
             false,
         );
     }
+    let handle = match resolve_handle(conn, ctx, parsed.model.as_deref()) {
+        Ok(h) => h,
+        Err(after) => return after,
+    };
     let series = MultivariateSeries::from_rows(&parsed.series);
     let opts = RequestOptions {
         class: parsed.class,
@@ -721,7 +868,7 @@ fn handle_explain(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
         tenant: parsed.tenant.as_deref().map(tenant_key),
         inject_panic: parsed.inject_panic,
     };
-    let future = match ctx.handle.submit_with(&series, opts) {
+    let future = match handle.submit_with(&series, opts) {
         Ok(f) => f,
         Err(e) => return respond_submit_error(conn, ctx, e),
     };
@@ -754,7 +901,7 @@ fn handle_classify(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
         Ok(v) => v,
         Err(after) => return after,
     };
-    let rows = match wire::parse_classify(&value) {
+    let parsed = match wire::parse_classify(&value) {
         Ok(r) => r,
         Err(msg) => {
             return respond(
@@ -767,9 +914,13 @@ fn handle_classify(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
             )
         }
     };
-    let series = MultivariateSeries::from_rows(&rows);
-    let tenant = value.get("tenant").and_then(Value::as_str).map(tenant_key);
-    let future = match ctx.handle.submit_classify_with(&series, tenant) {
+    let handle = match resolve_handle(conn, ctx, parsed.model.as_deref()) {
+        Ok(h) => h,
+        Err(after) => return after,
+    };
+    let series = MultivariateSeries::from_rows(&parsed.series);
+    let tenant = parsed.tenant.as_deref().map(tenant_key);
+    let future = match handle.submit_classify_with(&series, tenant) {
         Ok(f) => f,
         Err(e) => return respond_submit_error(conn, ctx, e),
     };

@@ -7,6 +7,7 @@
 //! `serde_json`.
 
 use dcam::dcam::DcamResult;
+use dcam::registry::ModelInfo;
 use dcam::service::{Classification, ServiceStats};
 use serde::Value;
 
@@ -15,6 +16,8 @@ use serde::Value;
 pub struct ExplainRequest {
     /// Per-dimension sample rows, `D × n`.
     pub series: Vec<Vec<f32>>,
+    /// Registry model to route to; `None` uses the server's default.
+    pub model: Option<String>,
     /// Target class; `None` explains the model's predicted class.
     pub class: Option<usize>,
     /// Turn the `only_correct` fallback into a per-request error.
@@ -82,28 +85,50 @@ fn opt_bool(v: &Value, key: &str) -> Result<bool, String> {
     }
 }
 
+fn opt_string(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("\"{key}\" must be a string")),
+    }
+}
+
 /// Parses a `POST /v1/explain` body.
 pub fn parse_explain(v: &Value) -> Result<ExplainRequest, String> {
     let series = series_rows(v)?;
-    let tenant = match v.get("tenant") {
-        None | Some(Value::Null) => None,
-        Some(f) => Some(f.as_str().ok_or("\"tenant\" must be a string")?.to_string()),
-    };
     let top_k = opt_usize(v, "top_k")?;
     Ok(ExplainRequest {
         series,
+        model: opt_string(v, "model")?,
         class: opt_usize(v, "class")?,
         strict_only_correct: opt_bool(v, "strict_only_correct")?,
-        tenant,
+        tenant: opt_string(v, "tenant")?,
         summary: opt_bool(v, "summary")? || top_k.is_some(),
         top_k,
         inject_panic: opt_bool(v, "inject_panic")?,
     })
 }
 
-/// Parses a `POST /v1/classify` body (only the series).
-pub fn parse_classify(v: &Value) -> Result<Vec<Vec<f32>>, String> {
-    series_rows(v)
+/// A parsed `POST /v1/classify` body.
+#[derive(Debug, Clone)]
+pub struct ClassifyRequest {
+    /// Per-dimension sample rows, `D × n`.
+    pub series: Vec<Vec<f32>>,
+    /// Registry model to route to; `None` uses the server's default.
+    pub model: Option<String>,
+    /// Fairness key (hashed onto the service's tenant lanes).
+    pub tenant: Option<String>,
+}
+
+/// Parses a `POST /v1/classify` body.
+pub fn parse_classify(v: &Value) -> Result<ClassifyRequest, String> {
+    Ok(ClassifyRequest {
+        series: series_rows(v)?,
+        model: opt_string(v, "model")?,
+        tenant: opt_string(v, "tenant")?,
+    })
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -191,6 +216,43 @@ pub fn classify_body(c: &Classification) -> String {
             "logits",
             Value::Array(c.logits.iter().map(|&x| num(x as f64)).collect()),
         ),
+    ]);
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// The `GET /v1/models` body: every registered model with its version,
+/// architecture descriptor, geometry and per-model stats.
+pub fn models_body(models: &[ModelInfo]) -> String {
+    let v = obj(vec![(
+        "models",
+        Value::Array(
+            models
+                .iter()
+                .map(|m| {
+                    obj(vec![
+                        ("name", Value::String(m.name.clone())),
+                        ("version", num(m.version as f64)),
+                        ("arch", Value::String(m.arch.clone())),
+                        ("dims", num(m.dims as f64)),
+                        ("classes", num(m.n_classes as f64)),
+                        ("workers", num(m.workers as f64)),
+                        ("stats", service_stats_value(&m.stats)),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// The `POST /v1/models/{name}/swap` success body: the new version plus
+/// what the drained previous generation had served.
+pub fn swap_body(name: &str, version: u64, old_stats: &ServiceStats) -> String {
+    let v = obj(vec![
+        ("name", Value::String(name.to_string())),
+        ("version", num(version as f64)),
+        ("swapped", Value::Bool(true)),
+        ("previous_generation", service_stats_value(old_stats)),
     ]);
     serde_json::to_string(&v).unwrap_or_default()
 }

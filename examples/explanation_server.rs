@@ -1,8 +1,9 @@
 //! The explanation service behind a **real HTTP server**: train a small
-//! dCNN, boot `dcam-server` on a loopback port, drive it with concurrent
-//! HTTP clients (the same minimal in-repo client the integration tests
-//! use), check every served map against a synchronous `compute_dcam`, and
-//! finish with a SIGTERM-style graceful drain.
+//! dCNN, register it by name in a [`dcam::registry::ModelRegistry`], boot
+//! `dcam-server` on a loopback port, drive it with concurrent HTTP
+//! clients (the same minimal in-repo client the integration tests use)
+//! that route by model name, check every served map against a synchronous
+//! `compute_dcam`, and finish with a SIGTERM-style graceful drain.
 //!
 //! Run: `cargo run --release --example explanation_server`
 //! (pin `DCAM_THREADS=1` for reproducible timing splits)
@@ -10,14 +11,20 @@
 use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
 use dcam::model::ArchKind;
+use dcam::registry::ModelRegistry;
 use dcam::service::{Backpressure, DcamService, QueuePolicy, ServiceConfig};
 use dcam::train::{build_and_train, Protocol};
 use dcam::ModelScale;
 use dcam_series::synth::inject::{generate, DatasetType, InjectConfig};
 use dcam_series::synth::seeds::SeedKind;
-use dcam_server::{explain_payload, serve, HttpClient, ServerConfig};
+use dcam_server::{explain_payload_for, serve_registry, HttpClient, ServerConfig};
 use serde::Value;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The name the trained model serves under — requests carry it in their
+/// `"model"` field, and `GET /v1/models` lists it.
+const MODEL_NAME: &str = "starlight-type1";
 
 fn main() {
     // 1. A Type-1 benchmark and a briefly trained dCNN — the model an
@@ -74,14 +81,24 @@ fn main() {
             &mut dcam_tensor::SeededRng::new(1),
         )
     };
-    let service = DcamService::spawn_with_recovery(vec![model], service_cfg, build);
+    let service = DcamService::spawn_with_recovery(vec![model], service_cfg.clone(), build);
 
-    // 3. The HTTP layer: loopback listener on an ephemeral port. One
+    // 3. The model registry: the trained service gets a *name* and a
+    //    version. A production deployment registers one entry per
+    //    dataset/model and hot-swaps entries as retrained checkpoints
+    //    land (`POST /v1/models/{name}/swap`) — here one entry is enough
+    //    to route by name.
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register(MODEL_NAME, service, "", service_cfg)
+        .expect("register trained model");
+
+    // 4. The HTTP layer: loopback listener on an ephemeral port. One
     //    connection worker per client connection — each worker drives one
     //    connection at a time, so this is what lets 8 requests be in
     //    flight (and batch together) simultaneously.
-    let server = serve(
-        service,
+    let server = serve_registry(
+        Arc::clone(&registry),
         ServerConfig {
             conn_workers: 8,
             ..Default::default()
@@ -92,10 +109,13 @@ fn main() {
     println!("dcam-server listening on http://{addr}");
     let mut probe = HttpClient::connect(&addr).expect("connect");
     let health = probe.get("/healthz").expect("healthz");
-    println!("GET /healthz -> {} {}\n", health.status, health.body);
+    println!("GET /healthz   -> {} {}", health.status, health.body);
+    let models = probe.get("/v1/models").expect("models");
+    println!("GET /v1/models -> {} {}\n", models.status, models.body);
 
-    // 4. The client side: 8 concurrent HTTP connections, each asking for
-    //    the dCAM of a share of the class-1 instances.
+    // 5. The client side: 8 concurrent HTTP connections, each asking for
+    //    the dCAM of a share of the class-1 instances — addressed to the
+    //    registered model by name.
     let request_idx: Vec<usize> = ds.class_indices(1);
     println!(
         "request stream: {} instances from 8 HTTP connections\n",
@@ -118,7 +138,10 @@ fn main() {
                         .into_iter()
                         .map(|idx| {
                             let resp = client
-                                .post("/v1/explain", &explain_payload(&ds.samples[idx], 1))
+                                .post(
+                                    "/v1/explain",
+                                    &explain_payload_for(&ds.samples[idx], 1, Some(MODEL_NAME)),
+                                )
                                 .expect("request");
                             assert_eq!(resp.status, 200, "body: {}", resp.body);
                             let json = resp.json().expect("json body");
@@ -144,7 +167,7 @@ fn main() {
     let http_elapsed = t_http.elapsed();
     assert_eq!(served.len(), request_idx.len());
 
-    // 5. Graceful drain, then rerun the same requests synchronously on
+    // 6. Graceful drain, then rerun the same requests synchronously on
     //    the returned model.
     let (mut models, service_stats, server_stats) = server.shutdown();
     let model = &mut models[0];
@@ -179,7 +202,7 @@ fn main() {
         .collect();
     let seq_elapsed = t_seq.elapsed();
 
-    // 6. Same answers over the wire as in process.
+    // 7. Same answers over the wire as in process.
     for (idx, over_http) in &served {
         let (_, direct) = sequential
             .iter()

@@ -1,0 +1,167 @@
+//! Property tests of the binary checkpoint format over real architectures:
+//! a round-trip through `to_bytes`/`from_bytes` must reproduce the model's
+//! forward outputs to **0 ulp** (the format stores raw `f32` bits), and no
+//! corruption of the bytes — flips, truncations, version rewrites — may
+//! ever panic the parser; they must surface as typed `CheckpointError`s.
+
+use dcam::arch::{ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
+use dcam::registry::checkpoint_model;
+use dcam_nn::checkpoint::{self, Checkpoint, CheckpointError};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
+    let mut rng = SeededRng::new(seed);
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+fn family(pick: usize) -> ArchFamily {
+    match pick % 3 {
+        0 => ArchFamily::Cnn,
+        1 => ArchFamily::ResNet,
+        _ => ArchFamily::InceptionTime,
+    }
+}
+
+fn encoding(pick: usize) -> InputEncoding {
+    match pick % 3 {
+        0 => InputEncoding::Cnn,
+        1 => InputEncoding::Ccnn,
+        _ => InputEncoding::Dcnn,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary geometry → save → to_bytes → from_bytes → restore into a
+    /// *differently initialised* twin → forwards agree to 0 ulp.
+    #[test]
+    fn binary_round_trip_reproduces_forwards_exactly(
+        family_pick in 0usize..3,
+        enc_pick in 0usize..3,
+        d in 2usize..=5,
+        classes in 2usize..=4,
+        n in 8usize..=20,
+        model_seed in 0u64..1000,
+        series_seed in 0u64..1000,
+    ) {
+        let desc = ArchDescriptor {
+            family: family(family_pick),
+            encoding: encoding(enc_pick),
+            dims: d,
+            classes,
+            scale: ModelScale::Tiny,
+        };
+        let mut trained = desc.build(model_seed);
+        let series = toy_series(d, n, series_seed);
+        let want = trained.logits_for(&series);
+
+        let bytes = checkpoint_model(&mut trained, &desc).to_bytes();
+        let loaded = Checkpoint::from_bytes(&bytes).expect("round-trip parse");
+        prop_assert_eq!(&loaded.arch, &desc.render());
+
+        // A twin with different random init: only the restored bytes can
+        // make it agree.
+        let mut twin = desc.build(model_seed.wrapping_add(1));
+        let tag = twin.name().to_string();
+        checkpoint::restore(&mut twin, &loaded, &tag).expect("restore into twin");
+        let got = twin.logits_for(&series);
+        // 0 ulp: bit-identical parameters through a deterministic forward
+        // must give bit-identical logits.
+        prop_assert_eq!(want.data(), got.data(), "forwards must match to 0 ulp");
+    }
+
+    /// No single-byte corruption, truncation or version rewrite may panic:
+    /// every one is a typed error (and never a silently-accepted parse of
+    /// payload-corrupted bytes).
+    #[test]
+    fn corrupted_bytes_are_typed_errors_never_panics(
+        model_seed in 0u64..1000,
+        flip_byte in 0usize..10_000,
+        flip_bit in 0usize..8,
+        trunc_permille in 0usize..1000,
+    ) {
+        let desc = ArchDescriptor {
+            family: ArchFamily::Cnn,
+            encoding: InputEncoding::Dcnn,
+            dims: 3,
+            classes: 2,
+            scale: ModelScale::Tiny,
+        };
+        let mut model = desc.build(model_seed);
+        let bytes = checkpoint_model(&mut model, &desc).to_bytes();
+
+        // Bit flip at an arbitrary position.
+        let mut flipped = bytes.clone();
+        let pos = flip_byte % flipped.len();
+        flipped[pos] ^= 1 << flip_bit;
+        match Checkpoint::from_bytes(&flipped) {
+            // Header flips surface as magic/version/checksum errors,
+            // payload flips as checksum mismatches.
+            Err(
+                CheckpointError::NotACheckpoint
+                | CheckpointError::UnsupportedVersion { .. }
+                | CheckpointError::ChecksumMismatch { .. }
+                | CheckpointError::Malformed(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+            Ok(_) => prop_assert!(false, "corrupted bytes parsed cleanly"),
+        }
+
+        // Truncation at an arbitrary proportion of the length.
+        let cut = bytes.len() * trunc_permille / 1000;
+        prop_assert!(
+            Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+
+        // Version rewrite.
+        let mut wrong_version = bytes;
+        wrong_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+        prop_assert!(matches!(
+            Checkpoint::from_bytes(&wrong_version),
+            Err(CheckpointError::UnsupportedVersion { found: 7, supported: 1 })
+        ));
+    }
+}
+
+/// The buffers (batch-norm running stats) round-trip too: mutate them
+/// after a forward in train mode and check the twin reproduces eval-mode
+/// outputs, which depend on the buffers.
+#[test]
+fn buffers_round_trip_through_binary_format() {
+    use dcam_nn::layers::Layer;
+    let desc = ArchDescriptor {
+        family: ArchFamily::Cnn,
+        encoding: InputEncoding::Dcnn,
+        dims: 3,
+        classes: 2,
+        scale: ModelScale::Tiny,
+    };
+    let mut model = desc.build(3);
+    // Train-mode forwards update the batch-norm running statistics.
+    let series = toy_series(3, 12, 5);
+    let x = InputEncoding::Dcnn.encode(&series);
+    let xb = x
+        .reshape(&[1, x.dims()[0], x.dims()[1], x.dims()[2]])
+        .unwrap();
+    for _ in 0..3 {
+        model.forward(&xb, true);
+    }
+    let want = model.logits_for(&series);
+
+    let bytes = checkpoint_model(&mut model, &desc).to_bytes();
+    let loaded = Checkpoint::from_bytes(&bytes).unwrap();
+    let mut twin = desc.build(99);
+    checkpoint::restore(&mut twin, &loaded, "dCNN").unwrap();
+    assert_eq!(
+        want.data(),
+        twin.logits_for(&series).data(),
+        "eval-mode logits depend on the buffers; they must round-trip to 0 ulp"
+    );
+}

@@ -1,0 +1,213 @@
+//! Integration tests of the in-process [`dcam::registry::ModelRegistry`]:
+//! requests route to the named model's own pool, answers equal sequential
+//! `compute_dcam` on that model's weights, and a hot swap of one model
+//! under sustained concurrent load on another drops nothing.
+
+use dcam::arch::{ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
+use dcam::registry::{checkpoint_model, save_checkpoint, ModelRegistry};
+use dcam::service::{Backpressure, QueuePolicy, ServiceConfig};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::SeededRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const D: usize = 3;
+const CLASSES: usize = 2;
+
+fn desc() -> ArchDescriptor {
+    ArchDescriptor {
+        family: ArchFamily::Cnn,
+        encoding: InputEncoding::Dcnn,
+        dims: D,
+        classes: CLASSES,
+        scale: ModelScale::Tiny,
+    }
+}
+
+fn dcam_cfg() -> DcamConfig {
+    DcamConfig {
+        k: 4,
+        only_correct: false,
+        seed: 9,
+        ..Default::default()
+    }
+}
+
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig {
+        batcher: DcamBatcherConfig {
+            many: DcamManyConfig {
+                dcam: dcam_cfg(),
+                max_batch: 4,
+            },
+            max_pending: 4,
+            max_wait: Some(Duration::from_millis(2)),
+        },
+        queue_capacity: 128,
+        backpressure: Backpressure::Block,
+        queue_policy: QueuePolicy::Fifo,
+        latency_window: 256,
+    }
+}
+
+fn toy_series(n: usize, seed: u64) -> MultivariateSeries {
+    let mut rng = SeededRng::new(seed);
+    let rows: Vec<Vec<f32>> = (0..D)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+fn write_ckpt(label: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("dcam-registry-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{label}-{seed}.ckpt"));
+    let d = desc();
+    save_checkpoint(&checkpoint_model(&mut d.build(seed), &d), &path).unwrap();
+    path
+}
+
+/// Same tolerance as tests/batching.rs: the engines only reassociate
+/// float sums.
+fn close(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| (x - y).abs() <= 1e-5 * x.abs().max(y.abs()).max(1.0))
+}
+
+/// Two named models answer with *their own* weights, each equal to
+/// sequential `compute_dcam` on the matching checkpoint.
+#[test]
+fn requests_route_to_the_named_model() {
+    let registry = ModelRegistry::new();
+    registry
+        .register_from_checkpoint("alpha", write_ckpt("alpha", 41), service_cfg(), 1)
+        .unwrap();
+    registry
+        .register_from_checkpoint("beta", write_ckpt("beta", 42), service_cfg(), 1)
+        .unwrap();
+
+    let series = toy_series(14, 7);
+    let from_alpha = registry
+        .handle("alpha")
+        .unwrap()
+        .submit(&series, 1)
+        .unwrap()
+        .wait()
+        .unwrap();
+    let from_beta = registry
+        .handle("beta")
+        .unwrap()
+        .submit(&series, 1)
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let mut ref_alpha = desc().build(41);
+    let mut ref_beta = desc().build(42);
+    let want_alpha = compute_dcam(&mut ref_alpha, &series, 1, &dcam_cfg());
+    let want_beta = compute_dcam(&mut ref_beta, &series, 1, &dcam_cfg());
+    assert!(
+        close(from_alpha.dcam.data(), want_alpha.dcam.data()),
+        "alpha must answer with alpha's weights"
+    );
+    assert!(
+        close(from_beta.dcam.data(), want_beta.dcam.data()),
+        "beta must answer with beta's weights"
+    );
+    assert!(
+        !close(from_alpha.dcam.data(), from_beta.dcam.data()),
+        "differently-seeded models must give different maps"
+    );
+    registry.shutdown_all();
+}
+
+/// The acceptance scenario at the registry level: a sustained stream of
+/// explanations against one model sees zero failures while the *other*
+/// model is swapped repeatedly, and the swapped model's post-swap answers
+/// equal sequential `compute_dcam` on the new weights.
+#[test]
+fn hot_swap_under_load_drops_no_requests_on_the_other_model() {
+    let registry = ModelRegistry::new();
+    registry
+        .register_from_checkpoint("steady", write_ckpt("steady", 50), service_cfg(), 1)
+        .unwrap();
+    registry
+        .register_from_checkpoint("swapped", write_ckpt("swapped", 51), service_cfg(), 1)
+        .unwrap();
+
+    let stop = AtomicBool::new(false);
+    let (served, swaps) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let registry = &registry;
+        // 3 submitters hammer "steady", resolving a fresh handle per
+        // request exactly as the HTTP layer does.
+        let submitters: Vec<_> = (0..3u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut served = 0u64;
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let series = toy_series(12, 1000 + t * 100 + i);
+                        let handle = registry.handle("steady").expect("steady stays registered");
+                        let result = handle
+                            .submit(&series, (i % CLASSES as u64) as usize)
+                            .expect("submit must never be refused")
+                            .wait()
+                            .expect("no request on the steady model may fail");
+                        assert_eq!(result.dcam.dims(), &[D, 12]);
+                        served += 1;
+                        i += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Meanwhile: swap the other model back and forth.
+        let mut swaps = 0u64;
+        for round in 0..3u64 {
+            let path = write_ckpt("swapped", 60 + round);
+            let outcome = registry.swap("swapped", &path).expect("swap succeeds");
+            assert_eq!(outcome.version, 2 + round);
+            swaps += 1;
+        }
+        stop.store(true, Ordering::Release);
+        let served: u64 = submitters.into_iter().map(|h| h.join().unwrap()).sum();
+        (served, swaps)
+    });
+    assert_eq!(swaps, 3);
+    assert!(
+        served > 0,
+        "the steady model must have served during the swaps"
+    );
+
+    // Post-swap answers come from the *final* checkpoint's weights.
+    let series = toy_series(16, 3);
+    let got = registry
+        .handle("swapped")
+        .unwrap()
+        .submit(&series, 0)
+        .unwrap()
+        .wait()
+        .unwrap();
+    let mut reference = desc().build(62); // seed of the last swap round
+    let want = compute_dcam(&mut reference, &series, 0, &dcam_cfg());
+    assert!(
+        close(got.dcam.data(), want.dcam.data()),
+        "post-swap answers must equal sequential compute_dcam on the new weights"
+    );
+
+    // Zero failures anywhere: the steady model's counters account for
+    // every submission.
+    let infos = registry.list();
+    let steady = infos.iter().find(|m| m.name == "steady").unwrap();
+    assert_eq!(steady.stats.failed, 0);
+    assert_eq!(steady.stats.rejected, 0);
+    assert_eq!(steady.stats.completed, served);
+    registry.shutdown_all();
+}

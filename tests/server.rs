@@ -1,19 +1,23 @@
 //! End-to-end loopback tests of the `dcam-server` HTTP front end: wire
 //! round-trips must equal direct `compute_dcam` calls, malformed requests
-//! must get structured 4xx bodies, overload must surface as 503 +
-//! `Retry-After`, a client disconnect must cancel its request before the
-//! engine works on it, and an injected worker panic must be survived via
-//! re-spawn.
+//! must get structured 4xx bodies (including unknown/invalid model names),
+//! overload must surface as 503 + `Retry-After`, a client disconnect must
+//! cancel its request before the engine works on it, an injected worker
+//! panic must be survived via re-spawn, and a model hot swap under load
+//! must drop nothing.
 
-use dcam::arch::cnn;
+use dcam::arch::{cnn, ArchDescriptor, ArchFamily};
 use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
+use dcam::registry::{checkpoint_model, save_checkpoint, ModelRegistry};
 use dcam::service::{Backpressure, DcamService, QueuePolicy, ServiceConfig};
 use dcam::{GapClassifier, InputEncoding, ModelScale};
 use dcam_series::MultivariateSeries;
-use dcam_server::{serve, DcamServer, HttpClient, ServerConfig};
+use dcam_server::{serve, serve_registry, DcamServer, HttpClient, ServerConfig};
 use dcam_tensor::SeededRng;
 use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
@@ -318,6 +322,51 @@ fn malformed_and_wrong_shape_requests_get_structured_4xx() {
     assert_eq!(resp.status, 400);
     assert_eq!(error_code(&resp.body), "fault_injection_disabled");
 
+    // Unknown model → structured 404.
+    let resp = client
+        .post(
+            "/v1/explain",
+            &payload(
+                &toy_series(d, 8, 0),
+                &[
+                    ("class", Value::Number(0.0)),
+                    ("model", Value::String("ghost".into())),
+                ],
+            ),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp.body), "model_not_found");
+
+    // Empty model name → 400.
+    let resp = client
+        .post(
+            "/v1/explain",
+            &payload(
+                &toy_series(d, 8, 0),
+                &[
+                    ("class", Value::Number(0.0)),
+                    ("model", Value::String(String::new())),
+                ],
+            ),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 400);
+    assert_eq!(error_code(&resp.body), "invalid_model");
+
+    // Oversized model name (> 64 bytes) → 400, on classify too.
+    let resp = client
+        .post(
+            "/v1/classify",
+            &payload(
+                &toy_series(d, 8, 0),
+                &[("model", Value::String("x".repeat(65)))],
+            ),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 400);
+    assert_eq!(error_code(&resp.body), "invalid_model");
+
     // Wrong method / unknown route.
     let resp = client.get("/v1/explain").expect("get");
     assert_eq!(resp.status, 405);
@@ -340,7 +389,7 @@ fn malformed_and_wrong_shape_requests_get_structured_4xx() {
         service_stats.submitted, 0,
         "malformed requests must never reach the queue"
     );
-    assert_eq!(server_stats.responses_4xx, 10);
+    assert_eq!(server_stats.responses_4xx, 13);
 }
 
 #[test]
@@ -380,10 +429,14 @@ fn overload_gets_503_with_retry_after() {
                     let resp = client.post("/v1/explain", &body).expect("post");
                     if resp.status == 503 {
                         assert_eq!(error_code(&resp.body), "overloaded");
-                        assert!(
-                            resp.header("retry-after").is_some(),
-                            "503 must carry Retry-After"
+                        // The client surfaces Retry-After as a typed field
+                        // (the server sends its configured default of 1 s).
+                        assert_eq!(
+                            resp.retry_after,
+                            Some(1),
+                            "503 must carry a parseable Retry-After"
                         );
+                        assert!(resp.header("retry-after").is_some());
                     }
                     resp.status
                 })
@@ -551,6 +604,300 @@ fn injected_worker_panic_respawns_and_service_recovers() {
     assert_eq!(service_stats.worker_respawns, 1);
     assert_eq!(service_stats.completed, 3);
     assert_eq!(service_stats.failed, 1);
+}
+
+fn tiny_desc(d: usize, classes: usize) -> ArchDescriptor {
+    ArchDescriptor {
+        family: ArchFamily::Cnn,
+        encoding: InputEncoding::Dcnn,
+        dims: d,
+        classes,
+        scale: ModelScale::Tiny,
+    }
+}
+
+fn write_ckpt(label: &str, desc: &ArchDescriptor, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dcam-server-registry-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{label}-{seed}.ckpt"));
+    save_checkpoint(&checkpoint_model(&mut desc.build(seed), desc), &path).unwrap();
+    path
+}
+
+/// Boots a two-model registry server (`"live"` seed 80, `"swapme"` seed
+/// 81, both D=3/2 classes) with the test's usual service config.
+/// `prefix` keeps the checkpoint files of concurrently running tests
+/// apart — tests share one temp dir and run in parallel.
+fn two_model_server(prefix: &str, dcam_cfg: DcamConfig) -> (DcamServer, Arc<ModelRegistry>) {
+    let desc = tiny_desc(3, 2);
+    let cfg = ServiceConfig {
+        batcher: DcamBatcherConfig {
+            many: DcamManyConfig {
+                dcam: dcam_cfg,
+                max_batch: 8,
+            },
+            max_pending: 4,
+            max_wait: Some(Duration::from_millis(2)),
+        },
+        queue_capacity: 256,
+        backpressure: Backpressure::Block,
+        queue_policy: QueuePolicy::Fifo,
+        latency_window: 512,
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_from_checkpoint(
+            "live",
+            write_ckpt(&format!("{prefix}-live"), &desc, 80),
+            cfg.clone(),
+            1,
+        )
+        .unwrap();
+    registry
+        .register_from_checkpoint(
+            "swapme",
+            write_ckpt(&format!("{prefix}-swapme"), &desc, 81),
+            cfg,
+            1,
+        )
+        .unwrap();
+    let server = serve_registry(
+        Arc::clone(&registry),
+        ServerConfig {
+            conn_workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    (server, registry)
+}
+
+/// `GET /v1/models` lists both models with version, geometry, arch and
+/// per-model stats; requests route by name and a missing name on a
+/// multi-model registry is a structured 400.
+#[test]
+fn models_endpoint_lists_and_requests_route_by_name() {
+    let dcam_cfg = DcamConfig {
+        k: 4,
+        only_correct: false,
+        seed: 5,
+        ..Default::default()
+    };
+    let (server, _registry) = two_model_server("list", dcam_cfg.clone());
+    let addr = server.addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    // Listing.
+    let resp = client.get("/v1/models").expect("get");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let json = resp.json().expect("json");
+    let models = json
+        .get("models")
+        .and_then(Value::as_array)
+        .expect("models");
+    assert_eq!(models.len(), 2);
+    let names: Vec<&str> = models
+        .iter()
+        .map(|m| m.get("name").and_then(Value::as_str).expect("name"))
+        .collect();
+    assert_eq!(names, vec!["live", "swapme"], "sorted by name");
+    for m in models {
+        assert_eq!(m.get("version").and_then(Value::as_usize), Some(1));
+        assert_eq!(m.get("dims").and_then(Value::as_usize), Some(3));
+        assert_eq!(m.get("classes").and_then(Value::as_usize), Some(2));
+        assert_eq!(m.get("workers").and_then(Value::as_usize), Some(1));
+        assert_eq!(
+            m.get("arch").and_then(Value::as_str),
+            Some("family=cnn;enc=dcnn;d=3;classes=2;scale=tiny")
+        );
+        assert!(m.get("stats").is_some());
+    }
+
+    // Routed explain answers match the *named* model's weights.
+    let series = toy_series(3, 12, 700);
+    for (name, seed) in [("live", 80u64), ("swapme", 81)] {
+        let resp = client
+            .post(
+                "/v1/explain",
+                &payload(
+                    &series,
+                    &[
+                        ("class", Value::Number(1.0)),
+                        ("model", Value::String(name.into())),
+                    ],
+                ),
+            )
+            .expect("post");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let got = dcam_of(&resp.json().expect("json"));
+        let mut reference = tiny_desc(3, 2).build(seed);
+        let want = compute_dcam(&mut reference, &series, 1, &dcam_cfg);
+        assert!(
+            close(&got, want.dcam.data()),
+            "model {name} must answer with its own weights"
+        );
+    }
+
+    // Two models, no "default": an anonymous request is ambiguous.
+    let resp = client
+        .post(
+            "/v1/explain",
+            &payload(&series, &[("class", Value::Number(0.0))]),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert_eq!(error_code(&resp.body), "model_required");
+
+    // Swap of a ghost model → 404; geometry-mismatched checkpoint → 409;
+    // garbage checkpoint path → 422.
+    let resp = client
+        .post("/v1/models/ghost/swap", r#"{"path": "/nonexistent"}"#)
+        .expect("post");
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp.body), "model_not_found");
+    let wrong_geo = write_ckpt("wrong-geo", &tiny_desc(5, 2), 99);
+    let resp = client
+        .post(
+            "/v1/models/live/swap",
+            &serde_json::to_string(&Value::Object(vec![(
+                "path".into(),
+                Value::String(wrong_geo.display().to_string()),
+            )]))
+            .unwrap(),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 409, "body: {}", resp.body);
+    assert_eq!(error_code(&resp.body), "geometry_mismatch");
+    let resp = client
+        .post("/v1/models/live/swap", r#"{"path": "/nonexistent"}"#)
+        .expect("post");
+    assert_eq!(resp.status, 422);
+    assert_eq!(error_code(&resp.body), "bad_checkpoint");
+
+    server.shutdown();
+}
+
+/// The acceptance-criteria e2e: while `"live"` serves a sustained stream
+/// of `/v1/explain` requests, an HTTP swap of `"swapme"` causes **zero**
+/// failed requests on `"live"`, and post-swap `"swapme"` answers equal
+/// sequential `compute_dcam` on the new weights to 1e-5 relative.
+#[test]
+fn hot_swap_under_load_fails_nothing_and_serves_new_weights() {
+    let dcam_cfg = DcamConfig {
+        k: 4,
+        only_correct: false,
+        seed: 5,
+        ..Default::default()
+    };
+    let (server, _registry) = two_model_server("hotswap", dcam_cfg.clone());
+    let addr = server.addr().to_string();
+
+    let stop = AtomicBool::new(false);
+    let new_seed = 90u64;
+    let new_ckpt = write_ckpt("swapme-v2", &tiny_desc(3, 2), new_seed);
+
+    let live_served: u64 = std::thread::scope(|scope| {
+        let stop = &stop;
+        // Two persistent connections stream explanations at "live".
+        let streams: Vec<_> = (0..2u64)
+            .map(|t| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(&addr).expect("connect");
+                    let mut served = 0u64;
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let series = toy_series(3, 12, 5000 + t * 1000 + i);
+                        let resp = client
+                            .post(
+                                "/v1/explain",
+                                &payload(
+                                    &series,
+                                    &[
+                                        ("class", Value::Number((i % 2) as f64)),
+                                        ("model", Value::String("live".into())),
+                                    ],
+                                ),
+                            )
+                            .expect("live connection must not break");
+                        assert_eq!(
+                            resp.status, 200,
+                            "no live request may fail during the swap: {}",
+                            resp.body
+                        );
+                        served += 1;
+                        i += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Let the stream establish, then swap the *other* model live.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut admin = HttpClient::connect(&addr).expect("connect");
+        let body = serde_json::to_string(&Value::Object(vec![(
+            "path".into(),
+            Value::String(new_ckpt.display().to_string()),
+        )]))
+        .unwrap();
+        let resp = admin.post("/v1/models/swapme/swap", &body).expect("swap");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let json = resp.json().expect("json");
+        assert_eq!(json.get("version").and_then(Value::as_usize), Some(2));
+
+        // Keep the load going a little past the swap, then stop.
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Release);
+        streams.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert!(
+        live_served >= 4,
+        "the stream must have kept serving through the swap (served {live_served})"
+    );
+
+    // Post-swap: "swapme" answers with the new checkpoint's weights.
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let series = toy_series(3, 12, 12345);
+    let resp = client
+        .post(
+            "/v1/explain",
+            &payload(
+                &series,
+                &[
+                    ("class", Value::Number(0.0)),
+                    ("model", Value::String("swapme".into())),
+                ],
+            ),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let got = dcam_of(&resp.json().expect("json"));
+    let mut reference = tiny_desc(3, 2).build(new_seed);
+    let want = compute_dcam(&mut reference, &series, 0, &dcam_cfg);
+    assert!(
+        close(&got, want.dcam.data()),
+        "post-swap explain must equal compute_dcam on the new weights"
+    );
+
+    // The listing reflects the bumped version; nothing failed anywhere.
+    let resp = client.get("/v1/models").expect("get");
+    let json = resp.json().expect("json");
+    let models = json
+        .get("models")
+        .and_then(Value::as_array)
+        .expect("models");
+    let swapme = models
+        .iter()
+        .find(|m| m.get("name").and_then(Value::as_str) == Some("swapme"))
+        .expect("swapme listed");
+    assert_eq!(swapme.get("version").and_then(Value::as_usize), Some(2));
+
+    let (_, service_stats, server_stats) = server.shutdown();
+    assert_eq!(service_stats.failed, 0);
+    assert_eq!(service_stats.rejected, 0);
+    assert_eq!(server_stats.responses_5xx, 0);
+    assert_eq!(server_stats.responses_4xx, 0);
 }
 
 /// Shutdown while idle returns every model and leaves consistent stats.
