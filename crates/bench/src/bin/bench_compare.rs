@@ -17,6 +17,9 @@
 //! * `registry[active_models].throughput_rps` — higher is better
 //! * `registry[active_models].swap_stall_p99_ms` — lower is better
 //!   (only on rows that measure it, i.e. a positive baseline value)
+//! * `router[shards].throughput_rps` — higher is better
+//! * `router[shards].failover_stall_p99_ms` — lower is better
+//!   (only on rows that stage a kill, i.e. a positive baseline value)
 //!
 //! Metrics present only in the candidate are reported but not compared
 //! (new benchmarks must not fail the first run that introduces them);
@@ -144,6 +147,27 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             });
         }
     }
+    for row in rows(report, "router") {
+        let Some(s) = number(row, "shards") else {
+            continue;
+        };
+        if let Some(v) = number(row, "throughput_rps") {
+            out.push(Metric {
+                name: format!("router[{s}].throughput_rps"),
+                baseline: v,
+                higher_is_better: true,
+            });
+        }
+        // The proxy-overhead baseline row reports 0 (nothing is killed
+        // there); only rows that actually stage a failover are tracked.
+        if let Some(v) = number(row, "failover_stall_p99_ms").filter(|&v| v > 0.0) {
+            out.push(Metric {
+                name: format!("router[{s}].failover_stall_p99_ms"),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
     out
 }
 
@@ -203,6 +227,13 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
                 &rows(report, "server"),
                 &[("conn_workers", w.parse().ok()?)],
             )?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("router[") {
+        let (s, key) = rest.split_once("].")?;
+        return number(
+            matching_row(&rows(report, "router"), &[("shards", s.parse().ok()?)])?,
             key,
         );
     }

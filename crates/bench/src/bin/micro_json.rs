@@ -116,6 +116,25 @@ struct RegistryRow {
 }
 
 #[derive(Serialize)]
+struct RouterRow {
+    /// Shards behind the router (1 = pure proxy overhead baseline).
+    shards: usize,
+    /// Persistent client connections driving the load.
+    connections: usize,
+    requests: usize,
+    /// Wall time from the first request to the last response.
+    total_ms: f64,
+    /// Requests served per second of wall time, measured at the client.
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// p99 client latency on the row where the primary replica is killed
+    /// mid-stream — the stall failover imposes on the unlucky requests.
+    /// Only measured on the multi-shard row (0 on the baseline).
+    failover_stall_p99_ms: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
@@ -124,6 +143,7 @@ struct Report {
     service: Vec<ServiceRow>,
     server: Vec<ServerRow>,
     registry: Vec<RegistryRow>,
+    router: Vec<RouterRow>,
 }
 
 /// Best-of-`reps` wall time per call, in seconds.
@@ -738,6 +758,163 @@ fn bench_registry() -> Vec<RegistryRow> {
     rows
 }
 
+/// Routed HTTP serving: the same explain traffic as the `server` rows,
+/// but proxied through `dcam-router`. The 1-shard row is the pure proxy
+/// overhead baseline; on the 2-shard row the model's primary replica is
+/// killed mid-stream, so the row's tail latency *is* the failover stall
+/// (every request must still answer 200 — the client asserts it).
+fn bench_router() -> Vec<RouterRow> {
+    use dcam_router::breaker::BreakerConfig;
+    use dcam_router::health::HealthConfig;
+    use dcam_router::placement::placement;
+    use dcam_router::retry::BackoffConfig;
+    use dcam_router::{serve_router, RouterConfig};
+    use dcam_server::{explain_payload, serve, DcamServer, HttpClient, ServerConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    let connections = 2usize;
+    let per_conn = 6usize;
+    let requests = connections * per_conn;
+    let payloads: Vec<String> = (0..requests)
+        .map(|i| {
+            let mut r = SeededRng::new(50 + i as u64);
+            let dims: Vec<Vec<f32>> = (0..DCAM_DIMS)
+                .map(|_| (0..DCAM_LEN).map(|_| r.normal()).collect())
+                .collect();
+            explain_payload(&MultivariateSeries::from_rows(&dims), 0)
+        })
+        .collect();
+
+    let boot_shard = || -> DcamServer {
+        let mut rng = SeededRng::new(1);
+        let model = cnn(
+            InputEncoding::Dcnn,
+            DCAM_DIMS,
+            2,
+            ModelScale::Tiny,
+            &mut rng,
+        );
+        let cfg = ServiceConfig {
+            batcher: DcamBatcherConfig {
+                many: DcamManyConfig {
+                    dcam: DcamConfig {
+                        k: DCAM_K,
+                        only_correct: false,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                max_pending: 8,
+                max_wait: Some(Duration::from_millis(2)),
+            },
+            queue_capacity: 256,
+            backpressure: Backpressure::Block,
+            queue_policy: dcam::service::QueuePolicy::Fifo,
+            latency_window: 4096,
+        };
+        let service = DcamService::spawn(vec![model], cfg);
+        serve(
+            service,
+            ServerConfig {
+                conn_workers: 2,
+                ..Default::default()
+            },
+        )
+        .expect("bind shard listener")
+    };
+
+    let mut rows = Vec::new();
+    for (n_shards, kill_primary) in [(1usize, false), (2, true)] {
+        let mut shards: Vec<DcamServer> = (0..n_shards).map(|_| boot_shard()).collect();
+        let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+        let router = serve_router(RouterConfig {
+            shards: addrs.clone(),
+            replicas: 2,
+            conn_workers: connections.max(2),
+            request_deadline: Duration::from_secs(10),
+            upstream_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(500),
+            max_attempts: 6,
+            backoff: BackoffConfig {
+                base: Duration::from_millis(5),
+                factor: 2.0,
+                max: Duration::from_millis(40),
+                jitter: 0.5,
+            },
+            health: HealthConfig {
+                probe_interval: Duration::from_millis(25),
+                probe_timeout: Duration::from_millis(250),
+                fail_threshold: 2,
+                recovery_threshold: 2,
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(300),
+            },
+            ..RouterConfig::default()
+        })
+        .expect("bind router listener");
+        let addr = router.addr().to_string();
+
+        let completed = AtomicUsize::new(0);
+        let start = Instant::now();
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
+            let completed = &completed;
+            let handles: Vec<_> = payloads
+                .chunks(per_conn)
+                .map(|chunk| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let mut client = HttpClient::connect(&addr).expect("connect");
+                        chunk
+                            .iter()
+                            .map(|body| {
+                                let t0 = Instant::now();
+                                let resp = client.post("/v1/explain", body).expect("request");
+                                assert_eq!(resp.status, 200, "body: {}", resp.body);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                t0.elapsed().as_secs_f64() * 1e3
+                            })
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            if kill_primary {
+                // Let the stream establish, then SIGKILL-style drop the
+                // primary replica; the rest of the stream rides failover.
+                while completed.load(Ordering::Relaxed) < connections {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let victim = placement("default", &addrs, 2)[0];
+                drop(shards.remove(victim));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let total = start.elapsed().as_secs_f64();
+        router.shutdown();
+
+        let mut sorted = latencies;
+        sorted.sort_by(f64::total_cmp);
+        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        rows.push(RouterRow {
+            shards: n_shards,
+            connections,
+            requests,
+            total_ms: total * 1e3,
+            throughput_rps: requests as f64 / total,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            failover_stall_p99_ms: if kill_primary { pct(0.99) } else { 0.0 },
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--dcam-seed-only") {
@@ -782,6 +959,9 @@ fn main() {
     eprintln!("registry (1 vs 2 active models, hot-swap stall) ...");
     let registry = bench_registry();
 
+    eprintln!("router (1-shard proxy overhead, 2-shard kill-mid-stream failover) ...");
+    let router = bench_router();
+
     let report = Report {
         matmul,
         conv,
@@ -797,6 +977,7 @@ fn main() {
         service,
         server,
         registry,
+        router,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

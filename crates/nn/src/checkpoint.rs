@@ -22,7 +22,7 @@
 use crate::layers::Layer;
 use dcam_tensor::Tensor;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A snapshot of every trainable parameter of a model.
 #[derive(Debug, Clone, PartialEq)]
@@ -380,10 +380,52 @@ impl Checkpoint {
     }
 }
 
+/// Writes `bytes` to `path` crash-safely: the bytes go to a fresh temp
+/// file *in the target directory* (same filesystem, so the final rename is
+/// atomic), are fsynced, and only then renamed over `path`. A writer
+/// killed at any instant leaves either the old complete file or the new
+/// complete file — never a half-written checkpoint for a later
+/// `swap` to trip on. Stray temp files from killed writers are
+/// distinguishable by their `.tmp-` infix and never parse as checkpoints
+/// under the final name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    use std::io::Write;
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Io(format!("path {} has no file name", path.display())))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    let io_err = |e: std::io::Error| CheckpointError::Io(e.to_string());
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        // Flush to disk before the rename: otherwise a crash could leave
+        // the *new* name pointing at not-yet-durable bytes.
+        f.sync_all().map_err(io_err)?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(io_err)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// Writes a checkpoint to `path` in the binary format
-/// ([`Checkpoint::to_bytes`]).
+/// ([`Checkpoint::to_bytes`]), atomically: temp file in the target
+/// directory + fsync + rename, so a crash mid-save can never leave a
+/// truncated checkpoint under the final name.
 pub fn save_binary(checkpoint: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    std::fs::write(path, checkpoint.to_bytes()).map_err(|e| CheckpointError::Io(e.to_string()))
+    write_atomic(path.as_ref(), &checkpoint.to_bytes())
 }
 
 /// Reads a binary checkpoint from `path` ([`Checkpoint::from_bytes`]).
@@ -466,11 +508,12 @@ pub fn copy_params(src: &mut dyn Layer, dst: &mut dyn Layer) -> Result<(), Check
     restore(dst, &snapshot, "copy")
 }
 
-/// Serializes a checkpoint to a JSON file.
+/// Serializes a checkpoint to a JSON file (crash-safely, like
+/// [`save_binary`]).
 #[cfg(feature = "serde")]
 pub fn save_file(checkpoint: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
     let json = serde_json::to_string(checkpoint).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    std::fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
+    write_atomic(path.as_ref(), json.as_bytes())
 }
 
 /// Loads a checkpoint from a JSON file.

@@ -1,0 +1,97 @@
+//! Standalone `dcam-router` bootstrap: fronts a fleet of running
+//! `dcam-server` shards until the process is killed.
+//!
+//! ```text
+//! dcam_router --shard 127.0.0.1:7001 --shard 127.0.0.1:7002 \
+//!     [--addr 127.0.0.1:0] [--replicas 2] [--conn-workers 2]
+//!     [--max-attempts 4] [--request-deadline-ms 30000]
+//!     [--upstream-timeout-ms 10000] [--connect-timeout-ms 2000]
+//!     [--health-interval-ms 200] [--health-timeout-ms 500]
+//!     [--health-fail-threshold 3] [--health-recovery-threshold 2]
+//!     [--breaker-failures 3] [--breaker-cooldown-ms 500]
+//!     [--admin-token TOKEN] [--port-file PATH] [--run-seconds N]
+//! ```
+//!
+//! `--shard` is repeatable — one flag per shard address. `--port-file`
+//! writes the bound address once the listener is up (the CI smoke job
+//! reads it to find the ephemeral port). `--admin-token` gates the
+//! fleet-rollout endpoint and is forwarded to the shards' swap gates.
+
+use dcam_router::breaker::BreakerConfig;
+use dcam_router::health::HealthConfig;
+use dcam_router::{serve_router, RouterConfig};
+use std::time::Duration;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Every value of a repeatable flag, in order.
+fn arg_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_ms(args: &[String], name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(arg_parse(args, name, default_ms))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shards = arg_values(&args, "--shard");
+    if shards.is_empty() {
+        eprintln!("dcam_router needs at least one --shard host:port");
+        std::process::exit(2);
+    }
+    let cfg = RouterConfig {
+        addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        shards,
+        replicas: arg_parse(&args, "--replicas", 2),
+        conn_workers: arg_parse(&args, "--conn-workers", 2),
+        max_attempts: arg_parse(&args, "--max-attempts", 4),
+        request_deadline: arg_ms(&args, "--request-deadline-ms", 30_000),
+        upstream_timeout: arg_ms(&args, "--upstream-timeout-ms", 10_000),
+        connect_timeout: arg_ms(&args, "--connect-timeout-ms", 2_000),
+        health: HealthConfig {
+            probe_interval: arg_ms(&args, "--health-interval-ms", 200),
+            probe_timeout: arg_ms(&args, "--health-timeout-ms", 500),
+            fail_threshold: arg_parse(&args, "--health-fail-threshold", 3),
+            recovery_threshold: arg_parse(&args, "--health-recovery-threshold", 2),
+        },
+        breaker: BreakerConfig {
+            failure_threshold: arg_parse(&args, "--breaker-failures", 3),
+            cooldown: arg_ms(&args, "--breaker-cooldown-ms", 500),
+        },
+        admin_token: arg_value(&args, "--admin-token"),
+        ..RouterConfig::default()
+    };
+    let n_shards = cfg.shards.len();
+    let router = serve_router(cfg).expect("bind router listener");
+    let addr = router.addr();
+    println!("dcam-router listening on http://{addr} ({n_shards} shards)");
+    if let Some(path) = arg_value(&args, "--port-file") {
+        std::fs::write(&path, addr.to_string()).expect("write port file");
+    }
+
+    let run_seconds: u64 = arg_parse(&args, "--run-seconds", 0);
+    if run_seconds > 0 {
+        std::thread::sleep(Duration::from_secs(run_seconds));
+        router.shutdown();
+    } else {
+        // Serve until killed (SIGTERM/SIGINT from the operator or CI).
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

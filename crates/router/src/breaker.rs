@@ -1,0 +1,265 @@
+//! Per-shard circuit breaker.
+//!
+//! A shard that answers every request with connect errors or 5xxs should
+//! not keep eating a connect-timeout's worth of latency from every client
+//! request routed at it. After `failure_threshold` consecutive failures
+//! the breaker **opens** and the proxy path skips the shard outright;
+//! after `cooldown` it lets exactly one trial request through
+//! (**half-open**), and that trial's outcome decides between closing the
+//! breaker and re-opening it for another cooldown.
+//!
+//! The state machine takes `now: Instant` explicitly on every transition,
+//! so unit tests drive it with synthetic clocks — no sleeps, fully
+//! deterministic.
+
+use std::time::{Duration, Instant};
+
+/// Breaker thresholds.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive proxy failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open trial.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Observable breaker state (reported on `GET /fleet`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one trial request is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name for wire reporting.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// The circuit breaker for one shard.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    consecutive_failures: u32,
+    /// `Some` while open or half-open: when the breaker tripped.
+    opened_at: Option<Instant>,
+    /// A half-open trial request is currently in flight.
+    trial_inflight: bool,
+    /// Times the breaker has opened (monotonic, for /fleet).
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            consecutive_failures: 0,
+            opened_at: None,
+            trial_inflight: false,
+            opens: 0,
+        }
+    }
+
+    /// The state as of `now` (an open breaker whose cooldown has elapsed
+    /// reports half-open).
+    pub fn state(&self, now: Instant) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if self.trial_inflight || now.duration_since(at) >= self.cfg.cooldown => {
+                BreakerState::HalfOpen
+            }
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Whether a request would currently be admitted, without acquiring
+    /// the half-open trial slot. Used when ranking candidate replicas.
+    pub fn would_allow(&self, now: Instant) -> bool {
+        match self.opened_at {
+            None => true,
+            Some(at) => !self.trial_inflight && now.duration_since(at) >= self.cfg.cooldown,
+        }
+    }
+
+    /// Admits or rejects one request. Half-open admission claims the
+    /// single trial slot — concurrent callers get `false` until the trial
+    /// resolves via [`CircuitBreaker::on_success`] /
+    /// [`CircuitBreaker::on_failure`].
+    pub fn try_acquire(&mut self, now: Instant) -> bool {
+        match self.opened_at {
+            None => true,
+            Some(at) => {
+                if !self.trial_inflight && now.duration_since(at) >= self.cfg.cooldown {
+                    self.trial_inflight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful proxied request: closes the breaker and
+    /// clears the failure streak.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.trial_inflight = false;
+    }
+
+    /// Reports a failed proxied request. A failed half-open trial
+    /// re-opens immediately; in the closed state the breaker opens once
+    /// the streak reaches the threshold.
+    pub fn on_failure(&mut self, now: Instant) {
+        if self.trial_inflight {
+            self.trial_inflight = false;
+            self.opened_at = Some(now);
+            self.opens += 1;
+            return;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.opened_at.is_none() && self.consecutive_failures >= self.cfg.failure_threshold {
+            self.opened_at = Some(now);
+            self.opens += 1;
+        }
+    }
+
+    /// Forces the breaker closed — used when the health checker observes
+    /// a shard recover, so the first real request is not burned on a
+    /// half-open dance against a known-good shard.
+    pub fn reset(&mut self) {
+        self.on_success();
+    }
+
+    /// Current consecutive-failure streak.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Times the breaker has opened since construction.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(500),
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let t0 = Instant::now();
+        let mut b = breaker();
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed, "below threshold");
+        assert!(b.try_acquire(t0));
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert!(!b.try_acquire(t0), "open breaker rejects");
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let t0 = Instant::now();
+        let mut b = breaker();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn half_open_after_cooldown_single_trial() {
+        let t0 = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let before = t0 + Duration::from_millis(499);
+        let after = t0 + Duration::from_millis(500);
+        assert!(!b.try_acquire(before), "still cooling down");
+        assert!(b.would_allow(after));
+        assert!(b.try_acquire(after), "cooldown elapsed: one trial admitted");
+        assert_eq!(b.state(after), BreakerState::HalfOpen);
+        assert!(!b.try_acquire(after), "second concurrent trial rejected");
+        assert!(!b.would_allow(after), "trial slot is taken");
+    }
+
+    #[test]
+    fn half_open_success_closes() {
+        let t0 = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let trial_at = t0 + Duration::from_millis(500);
+        assert!(b.try_acquire(trial_at));
+        b.on_success();
+        assert_eq!(b.state(trial_at), BreakerState::Closed);
+        assert!(b.try_acquire(trial_at));
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_for_another_cooldown() {
+        let t0 = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let trial_at = t0 + Duration::from_millis(500);
+        assert!(b.try_acquire(trial_at));
+        b.on_failure(trial_at);
+        assert_eq!(b.state(trial_at), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(
+            !b.try_acquire(trial_at + Duration::from_millis(499)),
+            "new cooldown counts from the failed trial"
+        );
+        assert!(b.try_acquire(trial_at + Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn reset_closes_an_open_breaker() {
+        let t0 = Instant::now();
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        assert_eq!(b.state(t0), BreakerState::Open);
+        b.reset();
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        assert!(b.try_acquire(t0));
+    }
+}

@@ -1,0 +1,236 @@
+//! Active shard health checking: the state machine behind the router's
+//! per-shard prober threads.
+//!
+//! Each shard gets one checker thread probing `GET /healthz` on an
+//! interval. The state machine is hysteretic in both directions:
+//! `fail_threshold` *consecutive* probe failures mark a shard down (one
+//! dropped packet must not evict a healthy replica), and
+//! `recovery_threshold` consecutive successes mark it up again (a shard
+//! flapping during startup must not receive traffic between crashes).
+//! The machine itself is pure — probe outcomes go in, transitions come
+//! out — so tests drive it without sockets or sleeps.
+
+use std::time::Duration;
+
+/// Prober tuning.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Time between probes of one shard.
+    pub probe_interval: Duration,
+    /// Per-probe budget (connect + request + response).
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures that mark a shard down.
+    pub fail_threshold: u32,
+    /// Consecutive probe successes that mark a down shard up again.
+    pub recovery_threshold: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(500),
+            fail_threshold: 3,
+            recovery_threshold: 2,
+        }
+    }
+}
+
+/// What one probe observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// `/healthz` answered 200.
+    Ok,
+    /// Connect failure, timeout, or a non-200 answer.
+    Failed,
+}
+
+/// A state transition worth acting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTransition {
+    /// No state change.
+    None,
+    /// The shard just crossed the failure threshold: stop routing to it.
+    WentDown,
+    /// The shard just crossed the recovery threshold: route to it again
+    /// (the router also resets its circuit breaker on this edge).
+    Recovered,
+}
+
+/// Health state of one shard as seen by its prober.
+#[derive(Debug)]
+pub struct HealthState {
+    up: bool,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// Total probes sent (for /fleet).
+    probes: u64,
+    /// Total failed probes (for /fleet).
+    probe_failures: u64,
+}
+
+impl Default for HealthState {
+    /// Shards start **up**: the fleet is taken at the operator's word at
+    /// boot, and the first failed probes (or proxied requests, via the
+    /// breaker) demote a shard that is actually dead. Starting down would
+    /// make every cold boot a `fail_threshold * probe_interval` outage.
+    fn default() -> Self {
+        HealthState {
+            up: true,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            probes: 0,
+            probe_failures: 0,
+        }
+    }
+}
+
+impl HealthState {
+    /// Whether the shard currently receives traffic.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Current consecutive probe-failure streak.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Total probes sent.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Total failed probes.
+    pub fn probe_failures(&self) -> u64 {
+        self.probe_failures
+    }
+
+    /// Folds one probe outcome into the state.
+    pub fn on_probe(&mut self, cfg: &HealthConfig, outcome: ProbeOutcome) -> HealthTransition {
+        self.probes += 1;
+        match outcome {
+            ProbeOutcome::Ok => {
+                self.consecutive_failures = 0;
+                self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+                if !self.up && self.consecutive_successes >= cfg.recovery_threshold.max(1) {
+                    self.up = true;
+                    HealthTransition::Recovered
+                } else {
+                    HealthTransition::None
+                }
+            }
+            ProbeOutcome::Failed => {
+                self.probe_failures += 1;
+                self.consecutive_successes = 0;
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.up && self.consecutive_failures >= cfg.fail_threshold.max(1) {
+                    self.up = false;
+                    HealthTransition::WentDown
+                } else {
+                    HealthTransition::None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            fail_threshold: 3,
+            recovery_threshold: 2,
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn starts_up_and_needs_consecutive_failures_to_go_down() {
+        let c = cfg();
+        let mut h = HealthState::default();
+        assert!(h.is_up());
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Failed), HealthTransition::None);
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Ok), HealthTransition::None);
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Failed), HealthTransition::None);
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Failed), HealthTransition::None);
+        assert!(h.is_up(), "streak was broken by the success");
+        assert_eq!(
+            h.on_probe(&c, ProbeOutcome::Failed),
+            HealthTransition::WentDown
+        );
+        assert!(!h.is_up());
+    }
+
+    #[test]
+    fn recovery_needs_consecutive_successes() {
+        let c = cfg();
+        let mut h = HealthState::default();
+        for _ in 0..3 {
+            h.on_probe(&c, ProbeOutcome::Failed);
+        }
+        assert!(!h.is_up());
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Ok), HealthTransition::None);
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Failed), HealthTransition::None);
+        assert!(!h.is_up(), "flap broke the recovery streak");
+        assert_eq!(h.on_probe(&c, ProbeOutcome::Ok), HealthTransition::None);
+        assert_eq!(
+            h.on_probe(&c, ProbeOutcome::Ok),
+            HealthTransition::Recovered
+        );
+        assert!(h.is_up());
+    }
+
+    #[test]
+    fn transitions_fire_exactly_once_per_edge() {
+        let c = cfg();
+        let mut h = HealthState::default();
+        for _ in 0..3 {
+            h.on_probe(&c, ProbeOutcome::Failed);
+        }
+        assert_eq!(
+            h.on_probe(&c, ProbeOutcome::Failed),
+            HealthTransition::None,
+            "already down: no repeated WentDown"
+        );
+        for _ in 0..2 {
+            h.on_probe(&c, ProbeOutcome::Ok);
+        }
+        assert_eq!(
+            h.on_probe(&c, ProbeOutcome::Ok),
+            HealthTransition::None,
+            "already up: no repeated Recovered"
+        );
+    }
+
+    #[test]
+    fn counters_track_probe_history() {
+        let c = cfg();
+        let mut h = HealthState::default();
+        h.on_probe(&c, ProbeOutcome::Ok);
+        h.on_probe(&c, ProbeOutcome::Failed);
+        h.on_probe(&c, ProbeOutcome::Ok);
+        assert_eq!(h.probes(), 3);
+        assert_eq!(h.probe_failures(), 1);
+    }
+
+    #[test]
+    fn zero_thresholds_are_clamped_to_one() {
+        let c = HealthConfig {
+            fail_threshold: 0,
+            recovery_threshold: 0,
+            ..HealthConfig::default()
+        };
+        let mut h = HealthState::default();
+        assert_eq!(
+            h.on_probe(&c, ProbeOutcome::Failed),
+            HealthTransition::WentDown
+        );
+        assert_eq!(
+            h.on_probe(&c, ProbeOutcome::Ok),
+            HealthTransition::Recovered
+        );
+    }
+}

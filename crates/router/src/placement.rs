@@ -1,0 +1,139 @@
+//! Model → shard placement by rendezvous (highest-random-weight) hashing.
+//!
+//! Every router instance — and the operator script that decides which
+//! `--model name=path` flags each shard boots with — computes the same
+//! pure function of `(model name, shard address list)`, so placement
+//! needs no coordination service and no shared state. Rendezvous hashing
+//! has the property the fleet needs for robustness: removing one shard
+//! from the list only remaps the models that shard hosted (their
+//! replacement is the next-highest-scoring shard), and every other
+//! model's replica set is untouched.
+
+/// FNV-1a 64-bit hash (the same dependency-free hash the checkpoint
+/// format uses for its payload checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: FNV-1a avalanches poorly (near-identical keys —
+/// shard addresses differing in one port digit — land in the same region
+/// of the u64 space, which collapses the rendezvous ranking onto one
+/// shard), so the raw hash is pushed through a strong bit mixer.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Rendezvous score of one `(shard, model)` pair.
+fn score(shard: &str, model: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(shard.len() + model.len() + 1);
+    bytes.extend_from_slice(shard.as_bytes());
+    // Separator outside UTF-8 so ("ab", "c") and ("a", "bc") differ.
+    bytes.push(0xff);
+    bytes.extend_from_slice(model.as_bytes());
+    mix64(fnv1a(&bytes))
+}
+
+/// The replica set for `model` over `shards`: indices of the
+/// `min(replicas, shards.len())` highest-scoring shards, best first. The
+/// order is the failover order — the head is the model's "home" shard,
+/// later entries absorb its traffic when it is down.
+pub fn placement<S: AsRef<str>>(model: &str, shards: &[S], replicas: usize) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (score(s.as_ref(), model), i))
+        .collect();
+    // Descending by score; index breaks exact-score ties deterministically.
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.truncate(replicas.max(1).min(shards.len()));
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHARDS: [&str; 4] = [
+        "127.0.0.1:7001",
+        "127.0.0.1:7002",
+        "127.0.0.1:7003",
+        "127.0.0.1:7004",
+    ];
+
+    #[test]
+    fn placement_is_deterministic_and_distinct() {
+        for model in ["alpha", "beta", "default", "x"] {
+            let a = placement(model, &SHARDS, 2);
+            let b = placement(model, &SHARDS, 2);
+            assert_eq!(a, b, "same inputs, same placement");
+            assert_eq!(a.len(), 2);
+            assert_ne!(a[0], a[1], "replicas land on distinct shards");
+        }
+    }
+
+    #[test]
+    fn replicas_clamped_to_fleet_size() {
+        assert_eq!(placement("m", &SHARDS[..2], 5).len(), 2);
+        assert_eq!(placement("m", &SHARDS, 0).len(), 1, "at least one");
+    }
+
+    /// The rendezvous property: dropping one shard only remaps models
+    /// whose replica set contained it — everyone else keeps their exact
+    /// placement (with indices shifted to the smaller list).
+    #[test]
+    fn removing_a_shard_only_remaps_its_own_models() {
+        let removed = 2usize;
+        let survivors: Vec<&str> = SHARDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, s)| *s)
+            .collect();
+        // Map old index → new index in the survivor list.
+        let new_index = |old: usize| -> usize { old - usize::from(old > removed) };
+        for m in 0..200 {
+            let model = format!("model-{m}");
+            let before = placement(&model, &SHARDS, 2);
+            let after = placement(&model, &survivors, 2);
+            if !before.contains(&removed) {
+                let expected: Vec<usize> = before.iter().map(|&i| new_index(i)).collect();
+                assert_eq!(
+                    after, expected,
+                    "model {model} did not host shard {removed}, its placement must not move"
+                );
+            } else {
+                // The surviving replica stays in the set.
+                for &i in before.iter().filter(|&&i| i != removed) {
+                    assert!(
+                        after.contains(&new_index(i)),
+                        "model {model}: surviving replica must be retained"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Models spread over the fleet instead of piling on one shard.
+    #[test]
+    fn load_spreads_across_shards() {
+        let mut homes = [0usize; 4];
+        for m in 0..400 {
+            homes[placement(&format!("model-{m}"), &SHARDS, 2)[0]] += 1;
+        }
+        for (i, &count) in homes.iter().enumerate() {
+            assert!(
+                count > 40,
+                "shard {i} homes {count}/400 models — distribution collapsed: {homes:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Retry pacing: exponential backoff with full-range jitter.
+//!
+//! The delay schedule is a pure function of `(config, attempt, rng)` so
+//! tests can assert the exact sequence with a seeded RNG and no sleeps.
+//! Jitter matters in a fleet: when a shard dies, every router worker that
+//! was mid-request fails over at the same instant; un-jittered backoff
+//! keeps them synchronized and they hammer the surviving replica in
+//! waves.
+
+use std::time::Duration;
+
+/// Backoff schedule parameters.
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: f64,
+    /// Ceiling on the un-jittered delay.
+    pub max: Duration,
+    /// Fraction of the delay randomized away: the final delay is uniform
+    /// in `[delay * (1 - jitter), delay]`. `0.0` disables jitter.
+    pub jitter: f64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(25),
+            factor: 2.0,
+            max: Duration::from_millis(400),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// The un-jittered delay before retry number `attempt` (0-based):
+    /// `min(base * factor^attempt, max)`.
+    pub fn raw_delay(&self, attempt: u32) -> Duration {
+        let factor = self.factor.max(1.0).powi(attempt.min(30) as i32);
+        let ms = self.base.as_secs_f64() * 1e3 * factor;
+        Duration::from_secs_f64((ms / 1e3).min(self.max.as_secs_f64()))
+    }
+
+    /// The jittered delay before retry number `attempt`, drawn from
+    /// `rng`: uniform in `[raw * (1 - jitter), raw]`.
+    pub fn delay(&self, attempt: u32, rng: &mut XorShift64) -> Duration {
+        let raw = self.raw_delay(attempt).as_secs_f64();
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let lo = raw * (1.0 - jitter);
+        Duration::from_secs_f64(lo + (raw - lo) * rng.next_f64())
+    }
+}
+
+/// Tiny xorshift64 PRNG — the vendored `rand` shim is seeded-determinism
+/// oriented too, but backoff only needs a few uniform draws per failure
+/// and keeping the router dependency-light keeps it reusable.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator; a zero seed is remapped (xorshift fixes on 0).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the full f64 mantissa range.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(10),
+            factor: 2.0,
+            max: Duration::from_millis(100),
+            jitter: 0.5,
+        }
+    }
+
+    #[test]
+    fn raw_schedule_doubles_then_caps() {
+        let c = cfg();
+        let ms: Vec<u128> = (0..6).map(|a| c.raw_delay(a).as_millis()).collect();
+        assert_eq!(ms, vec![10, 20, 40, 80, 100, 100]);
+    }
+
+    #[test]
+    fn jittered_delay_stays_in_band_and_is_deterministic() {
+        let c = cfg();
+        let mut rng_a = XorShift64::new(42);
+        let mut rng_b = XorShift64::new(42);
+        for attempt in 0..8 {
+            let d = c.delay(attempt, &mut rng_a);
+            assert_eq!(d, c.delay(attempt, &mut rng_b), "same seed, same delay");
+            let raw = c.raw_delay(attempt);
+            assert!(d <= raw, "jitter never exceeds the raw delay");
+            assert!(
+                d.as_secs_f64() >= raw.as_secs_f64() * 0.5 - 1e-9,
+                "jitter floor is raw * (1 - jitter)"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_raw_schedule() {
+        let c = BackoffConfig {
+            jitter: 0.0,
+            ..cfg()
+        };
+        let mut rng = XorShift64::new(7);
+        for attempt in 0..6 {
+            assert_eq!(c.delay(attempt, &mut rng), c.raw_delay(attempt));
+        }
+    }
+
+    #[test]
+    fn different_seeds_desynchronize() {
+        let c = cfg();
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let delays_a: Vec<Duration> = (0..4).map(|i| c.delay(i, &mut a)).collect();
+        let delays_b: Vec<Duration> = (0..4).map(|i| c.delay(i, &mut b)).collect();
+        assert_ne!(delays_a, delays_b, "two routers must not retry in lockstep");
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let c = cfg();
+        assert_eq!(c.raw_delay(1_000_000), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn rng_survives_zero_seed() {
+        let mut rng = XorShift64::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -15,7 +15,12 @@
 //! # common flags
 //!   [--addr 127.0.0.1:0] [--k 8] [--workers 1] [--conn-workers 2]
 //!   [--port-file PATH] [--fault-injection] [--run-seconds N]
+//!   [--admin-token TOKEN]
 //! ```
+//!
+//! `--admin-token` gates the `POST /v1/models/{name}/swap` operator
+//! endpoint behind a matching `X-Admin-Token` header (401 without one,
+//! 403 on mismatch).
 //!
 //! `--port-file` writes the bound address (host:port) to a file once the
 //! listener is up — the CI smoke job uses it to find the ephemeral port.
@@ -125,6 +130,7 @@ fn main() {
         addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
         conn_workers: arg_parse(&args, "--conn-workers", 2),
         enable_fault_injection: args.iter().any(|a| a == "--fault-injection"),
+        admin_token: arg_value(&args, "--admin-token"),
         ..Default::default()
     };
     let server = serve_registry(Arc::clone(&registry), server_cfg).expect("bind listener");

@@ -1,5 +1,12 @@
 //! Minimal blocking HTTP/1.1 client for driving a [`crate::DcamServer`]
-//! from examples, integration tests, and the bench harness.
+//! from examples, integration tests, the bench harness — and the
+//! `dcam-router` fleet tier, which needs to tell *why* a shard request
+//! failed: a connect failure means the shard process is gone (fail over
+//! immediately), a read timeout means it is alive but slow (fail over and
+//! let the circuit breaker decide), a parse failure means the bytes are
+//! garbage. Every failure is therefore a typed [`ClientError`], and every
+//! request is bounded by a connect timeout plus an overall per-request
+//! deadline — a client call can never hang on a dead or wedged server.
 //!
 //! One [`HttpClient`] holds one persistent (keep-alive) connection;
 //! dropping it closes the socket — which the server observes and uses to
@@ -7,9 +14,10 @@
 
 use dcam_series::MultivariateSeries;
 use serde::{Serialize, Value};
+use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Renders the minimal `POST /v1/explain` body for a series and an
 /// explicit class — the request-side counterpart of the server's wire
@@ -37,6 +45,92 @@ pub fn explain_payload_for(
         fields.push(("model".into(), Value::String(model.into())));
     }
     serde_json::to_string(&Value::Object(fields)).unwrap_or_default()
+}
+
+/// Why a client request failed. The variants split along the axis a
+/// routing tier cares about: [`ClientError::is_connect`] failures mean
+/// the server is *unreachable* (down, refusing, or unresolvable — safe to
+/// fail over instantly), the rest mean it was reached but did not answer
+/// usefully in time.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect did not complete within the connect timeout — the
+    /// server machine is there but the process is not answering SYNs.
+    ConnectTimeout {
+        /// The connect timeout that elapsed.
+        after: Duration,
+    },
+    /// TCP connect failed outright (refused, unreachable, bad address).
+    Connect(io::Error),
+    /// Connected and sent, but the full response did not arrive within
+    /// the per-request deadline — the server is alive but slow or wedged.
+    ReadTimeout {
+        /// Time spent waiting before giving up.
+        after: Duration,
+    },
+    /// Socket failure mid-exchange (reset, broken pipe, EOF mid-response):
+    /// the connection is unusable, but the server may still be fine on a
+    /// fresh one.
+    Io(io::Error),
+    /// The response bytes do not parse as HTTP.
+    Malformed(String),
+}
+
+impl ClientError {
+    /// True for failures that mean the server was never reached (connect
+    /// refused / timed out / unresolvable): the strongest "server down"
+    /// signal a client sees, and the router's cue to fail over without
+    /// burning backoff budget.
+    pub fn is_connect(&self) -> bool {
+        matches!(
+            self,
+            ClientError::ConnectTimeout { .. } | ClientError::Connect(_)
+        )
+    }
+
+    /// True when the request ran out of time waiting for the response.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ClientError::ReadTimeout { .. })
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::ConnectTimeout { after } => {
+                write!(f, "connect timed out after {after:?}")
+            }
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::ReadTimeout { after } => {
+                write!(f, "no full response within {after:?}")
+            }
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Malformed(msg) => write!(f, "malformed response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Timeouts of an [`HttpClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Default end-to-end budget per request (send + wait + read); a
+    /// request that cannot finish in time fails with
+    /// [`ClientError::ReadTimeout`]. Overridable per call with
+    /// [`HttpClient::request_with_deadline`].
+    pub request_deadline: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(30),
+        }
+    }
 }
 
 /// One parsed HTTP response.
@@ -71,54 +165,127 @@ impl HttpResponse {
     }
 }
 
-/// A blocking keep-alive HTTP/1.1 client.
+/// A blocking keep-alive HTTP/1.1 client with bounded connect and
+/// per-request deadlines.
 pub struct HttpClient {
     stream: TcpStream,
+    cfg: ClientConfig,
     buf: Vec<u8>,
 }
 
 impl HttpClient {
-    /// Connects with a 30 s read timeout.
-    pub fn connect(addr: &str) -> io::Result<Self> {
-        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    /// Connects with the default timeouts ([`ClientConfig::default`]).
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// Connects with an explicit read timeout (what a `request` call will
-    /// wait for the response).
-    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_nodelay(true)?;
+    /// Connects with an explicit per-request deadline and the default
+    /// connect timeout.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Self, ClientError> {
+        Self::connect_with(
+            addr,
+            ClientConfig {
+                request_deadline: timeout,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connects with explicit timeouts. The connect itself is bounded by
+    /// `cfg.connect_timeout` — a dead or blackholed address fails with a
+    /// typed error instead of hanging in the kernel's connect retry.
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> Result<Self, ClientError> {
+        let sock_addr = addr
+            .to_socket_addrs()
+            .map_err(ClientError::Connect)?
+            .next()
+            .ok_or_else(|| {
+                ClientError::Connect(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("address {addr:?} resolves to nothing"),
+                ))
+            })?;
+        let stream = TcpStream::connect_timeout(&sock_addr, cfg.connect_timeout).map_err(|e| {
+            if e.kind() == io::ErrorKind::TimedOut || e.kind() == io::ErrorKind::WouldBlock {
+                ClientError::ConnectTimeout {
+                    after: cfg.connect_timeout,
+                }
+            } else {
+                ClientError::Connect(e)
+            }
+        })?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
         Ok(HttpClient {
             stream,
+            cfg,
             buf: Vec::new(),
         })
     }
 
     /// `GET` without a body.
-    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse, ClientError> {
         self.request("GET", path, None)
     }
 
     /// `POST` with a JSON body.
-    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+    pub fn post(&mut self, path: &str, body: &str) -> Result<HttpResponse, ClientError> {
         self.request("POST", path, Some(body))
     }
 
-    /// Sends one request and blocks for the response.
+    /// Sends one request and blocks for the response, bounded by the
+    /// configured request deadline.
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> io::Result<HttpResponse> {
+    ) -> Result<HttpResponse, ClientError> {
+        self.request_headers_deadline(method, path, body, &[], self.cfg.request_deadline)
+    }
+
+    /// [`HttpClient::request`] with an explicit end-to-end deadline for
+    /// this one call (the router passes its remaining per-request budget).
+    pub fn request_with_deadline(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        deadline: Duration,
+    ) -> Result<HttpResponse, ClientError> {
+        self.request_headers_deadline(method, path, body, &[], deadline)
+    }
+
+    /// Full-control request: extra headers plus an explicit deadline.
+    pub fn request_headers_deadline(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+        deadline: Duration,
+    ) -> Result<HttpResponse, ClientError> {
+        let start = Instant::now();
         let body = body.unwrap_or("");
-        let msg = format!(
-            "{method} {path} HTTP/1.1\r\nhost: dcam\r\ncontent-length: {}\r\n\r\n{body}",
-            body.len()
-        );
-        self.stream.write_all(msg.as_bytes())?;
-        self.read_response()
+        let mut msg = format!("{method} {path} HTTP/1.1\r\nhost: dcam\r\n");
+        for (name, value) in extra_headers {
+            msg.push_str(name);
+            msg.push_str(": ");
+            msg.push_str(value);
+            msg.push_str("\r\n");
+        }
+        msg.push_str(&format!("content-length: {}\r\n\r\n{body}", body.len()));
+        self.stream
+            .set_write_timeout(Some(deadline))
+            .map_err(ClientError::Io)?;
+        self.stream
+            .write_all(msg.as_bytes())
+            .map_err(|e| match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ClientError::ReadTimeout {
+                    after: start.elapsed(),
+                },
+                _ => ClientError::Io(e),
+            })?;
+        self.read_response(start, deadline)
     }
 
     /// Sends a request without waiting for the answer (used by tests that
@@ -131,23 +298,51 @@ impl HttpClient {
         self.stream.write_all(msg.as_bytes())
     }
 
-    fn fill(&mut self) -> io::Result<usize> {
+    /// One bounded read into the carry buffer. `Ok(0)` is EOF.
+    fn fill(&mut self, start: Instant, deadline: Duration) -> Result<usize, ClientError> {
+        let remaining = deadline
+            .checked_sub(start.elapsed())
+            .filter(|r| !r.is_zero())
+            .ok_or(ClientError::ReadTimeout {
+                after: start.elapsed(),
+            })?;
+        self.stream
+            .set_read_timeout(Some(remaining))
+            .map_err(ClientError::Io)?;
         let mut tmp = [0u8; 4096];
-        let n = self.stream.read(&mut tmp)?;
-        self.buf.extend_from_slice(&tmp[..n]);
-        Ok(n)
+        match self.stream.read(&mut tmp) {
+            Ok(n) => {
+                self.buf.extend_from_slice(&tmp[..n]);
+                Ok(n)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                Err(ClientError::ReadTimeout {
+                    after: start.elapsed(),
+                })
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
     }
 
-    fn read_response(&mut self) -> io::Result<HttpResponse> {
+    fn read_response(
+        &mut self,
+        start: Instant,
+        deadline: Duration,
+    ) -> Result<HttpResponse, ClientError> {
         let head_end = loop {
             if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
                 break i;
             }
-            if self.fill()? == 0 {
-                return Err(io::Error::new(
+            if self.fill(start, deadline)? == 0 {
+                return Err(ClientError::Io(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed before response head",
-                ));
+                )));
             }
         };
         let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
@@ -157,12 +352,7 @@ impl HttpClient {
             .split_ascii_whitespace()
             .nth(1)
             .and_then(|s| s.parse::<u16>().ok())
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("malformed status line {status_line:?}"),
-                )
-            })?;
+            .ok_or_else(|| ClientError::Malformed(format!("status line {status_line:?}")))?;
         let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
@@ -177,11 +367,11 @@ impl HttpClient {
             Some(len) => {
                 let total = head_end + 4 + len;
                 while self.buf.len() < total {
-                    if self.fill()? == 0 {
-                        return Err(io::Error::new(
+                    if self.fill(start, deadline)? == 0 {
+                        return Err(ClientError::Io(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
                             "connection closed mid-body",
-                        ));
+                        )));
                     }
                 }
                 let body = String::from_utf8_lossy(&self.buf[head_end + 4..total]).into_owned();
@@ -191,7 +381,7 @@ impl HttpClient {
             // No Content-Length: the body runs to EOF (only happens with
             // Connection: close responses).
             None => {
-                while self.fill()? != 0 {}
+                while self.fill(start, deadline)? != 0 {}
                 let body = String::from_utf8_lossy(&self.buf[head_end + 4..]).into_owned();
                 self.buf.clear();
                 body

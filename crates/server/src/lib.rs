@@ -65,7 +65,9 @@ pub mod client;
 pub mod http;
 pub mod wire;
 
-pub use client::{explain_payload, explain_payload_for, HttpClient, HttpResponse};
+pub use client::{
+    explain_payload, explain_payload_for, ClientConfig, ClientError, HttpClient, HttpResponse,
+};
 
 use dcam::arch::GapClassifier;
 use dcam::registry::{ModelRegistry, RegistryError};
@@ -86,6 +88,29 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Test- and drill-only fault injection switches for one server. Shared
+/// by handle ([`ServerConfig::faults`] is an `Arc`), so a chaos test can
+/// flip a running shard into a failure mode — sick health checks, erroring
+/// or stalling request handlers, failing swaps — and back, without
+/// restarting it. All switches default to off and cost one relaxed atomic
+/// load on the paths they guard.
+#[derive(Debug, Default)]
+pub struct ServerFaults {
+    /// `GET /healthz` answers 500 — the shard looks sick to a router's
+    /// health checker while everything else still works.
+    pub fail_healthz: AtomicBool,
+    /// `POST /v1/explain` and `/v1/classify` answer 500 without touching
+    /// the service — a shard whose serving path is broken.
+    pub fail_requests: AtomicBool,
+    /// Every request handler sleeps this many milliseconds before doing
+    /// anything — a wedged or overloaded shard (drives client/router
+    /// timeouts deterministically).
+    pub stall_ms: AtomicU64,
+    /// `POST /v1/models/{name}/swap` answers 500 before the registry is
+    /// touched — for rollout abort drills.
+    pub fail_swap: AtomicBool,
+}
 
 /// Configuration of a [`DcamServer`].
 #[derive(Debug, Clone)]
@@ -113,6 +138,13 @@ pub struct ServerConfig {
     /// Honour the `inject_panic` fault-injection field of explain
     /// requests (tests and ops drills only — never enable facing users).
     pub enable_fault_injection: bool,
+    /// When set, `POST /v1/models/{name}/swap` — the operator API that
+    /// loads server-side files — requires a matching `X-Admin-Token`
+    /// header: missing token → structured 401, wrong token → 403. `None`
+    /// leaves the endpoint open (trusted-network deployments only).
+    pub admin_token: Option<String>,
+    /// Fault-injection switches, shared with tests/drills via the `Arc`.
+    pub faults: Arc<ServerFaults>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +158,8 @@ impl Default for ServerConfig {
             idle_keepalive: Duration::from_secs(5),
             retry_after_s: 1,
             enable_fault_injection: false,
+            admin_token: None,
+            faults: Arc::new(ServerFaults::default()),
         }
     }
 }
@@ -535,6 +569,34 @@ fn respond(
 }
 
 fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    // Fault injection: a stalled shard stalls on *every* route, before any
+    // of them get to answer.
+    let stall = ctx.cfg.faults.stall_ms.load(Ordering::Relaxed);
+    if stall > 0 {
+        std::thread::sleep(Duration::from_millis(stall));
+    }
+    if ctx.cfg.faults.fail_healthz.load(Ordering::Relaxed) && req.path == "/healthz" {
+        return respond(
+            conn,
+            ctx,
+            500,
+            &[],
+            &wire::error_body("unhealthy", "health check failing (injected fault)"),
+            false,
+        );
+    }
+    if ctx.cfg.faults.fail_requests.load(Ordering::Relaxed)
+        && matches!(req.path.as_str(), "/v1/explain" | "/v1/classify")
+    {
+        return respond(
+            conn,
+            ctx,
+            500,
+            &[],
+            &wire::error_body("injected_failure", "request path failing (injected fault)"),
+            false,
+        );
+    }
     // Model-admin routes: `/v1/models/{name}/swap`.
     if let Some(rest) = req.path.strip_prefix("/v1/models/") {
         if let Some(name) = rest.strip_suffix("/swap") {
@@ -673,6 +735,15 @@ fn parse_json_body(conn: &mut Conn, req: &Request, ctx: &Ctx) -> Result<Value, A
     }
 }
 
+/// Length-leaking but content-constant-time byte comparison: enough to
+/// stop a byte-at-a-time timing oracle on the admin token.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
 fn tenant_key(tenant: &str) -> u64 {
     let mut h = DefaultHasher::new();
     tenant.hash(&mut h);
@@ -756,6 +827,46 @@ fn resolve_handle(conn: &mut Conn, ctx: &Ctx, model: Option<&str>) -> Result<Ser
 /// connection worker's thread — other connections (and every other model)
 /// keep being served by the remaining workers meanwhile.
 fn handle_swap(conn: &mut Conn, req: &Request, ctx: &Ctx, name: &str) -> After {
+    // Operator gate: swap loads server-side files, so when an admin token
+    // is configured the request must present it before anything is parsed.
+    if let Some(expected) = ctx.cfg.admin_token.as_deref() {
+        match req.header("x-admin-token") {
+            None => {
+                return respond(
+                    conn,
+                    ctx,
+                    401,
+                    &[],
+                    &wire::error_body(
+                        "unauthorized",
+                        "this operator endpoint requires the X-Admin-Token header",
+                    ),
+                    false,
+                )
+            }
+            Some(got) if !constant_time_eq(got.as_bytes(), expected.as_bytes()) => {
+                return respond(
+                    conn,
+                    ctx,
+                    403,
+                    &[],
+                    &wire::error_body("forbidden", "X-Admin-Token does not match"),
+                    false,
+                )
+            }
+            Some(_) => {}
+        }
+    }
+    if ctx.cfg.faults.fail_swap.load(Ordering::Relaxed) {
+        return respond(
+            conn,
+            ctx,
+            500,
+            &[],
+            &wire::error_body("injected_failure", "swap failing (injected fault)"),
+            false,
+        );
+    }
     let value = match parse_json_body(conn, req, ctx) {
         Ok(v) => v,
         Err(after) => return after,

@@ -165,3 +165,69 @@ fn buffers_round_trip_through_binary_format() {
         "eval-mode logits depend on the buffers; they must round-trip to 0 ulp"
     );
 }
+
+/// Crash-safety of `save_binary`: the write goes to a temp file that is
+/// atomically renamed into place, so a crash mid-write can never leave a
+/// half-written checkpoint under the real name — and if one somehow
+/// appears (simulated here by writing a truncated byte string directly),
+/// loading it is a typed `CheckpointError`, never a panic.
+#[test]
+fn save_binary_is_atomic_and_partial_writes_load_as_typed_errors() {
+    let desc = ArchDescriptor {
+        family: ArchFamily::Cnn,
+        encoding: InputEncoding::Dcnn,
+        dims: 3,
+        classes: 2,
+        scale: ModelScale::Tiny,
+    };
+    let ckpt = checkpoint_model(&mut desc.build(7), &desc);
+    let dir = std::env::temp_dir().join("dcam-ckpt-atomic-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.ckpt");
+
+    // Normal save → load round-trips, and the directory holds no temp
+    // residue (the `.{name}.tmp-*` staging file was renamed away).
+    checkpoint::save_binary(&ckpt, &path).unwrap();
+    let loaded = checkpoint::load_binary(&path).unwrap();
+    assert_eq!(loaded.params.len(), ckpt.params.len());
+    // Overwriting an existing checkpoint goes through the same rename.
+    checkpoint::save_binary(&ckpt, &path).unwrap();
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp-"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp staging files must not survive a save: {leftovers:?}"
+    );
+
+    // A simulated crash mid-write: a checkpoint file holding only a
+    // prefix of the real bytes. Loading must be a typed error.
+    let bytes = ckpt.to_bytes();
+    for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+        let partial = dir.join(format!("partial-{cut}.ckpt"));
+        std::fs::write(&partial, &bytes[..cut]).unwrap();
+        match checkpoint::load_binary(&partial) {
+            Err(
+                CheckpointError::NotACheckpoint
+                | CheckpointError::Malformed(_)
+                | CheckpointError::ChecksumMismatch { .. }
+                | CheckpointError::Io(_),
+            ) => {}
+            other => panic!("truncation at {cut} must be a typed error, got {other:?}"),
+        }
+    }
+
+    // An unwritable destination (the path is a directory) is a typed Io
+    // error from the staging write, not a panic — and the "checkpoint"
+    // (the directory) is untouched.
+    let blocked = dir.join("blocked.ckpt");
+    std::fs::create_dir_all(&blocked).unwrap();
+    match checkpoint::save_binary(&ckpt, &blocked) {
+        Err(CheckpointError::Io(_)) => {}
+        other => panic!("saving onto a directory must be Io error, got {other:?}"),
+    }
+    assert!(blocked.is_dir(), "failed save must leave the target alone");
+}

@@ -927,3 +927,101 @@ fn graceful_shutdown_returns_models() {
     assert_eq!(models.len(), 1);
     assert_eq!(server_stats.responses_2xx, 2);
 }
+
+/// The admin-token gate on the swap operator endpoint: with a token
+/// configured, a missing `X-Admin-Token` header is a structured 401, a
+/// wrong one a 403 (and neither swaps anything); the right token swaps.
+/// Read-only and inference endpoints stay open.
+#[test]
+fn swap_endpoint_honours_admin_token() {
+    let dcam_cfg = DcamConfig {
+        k: 4,
+        only_correct: false,
+        seed: 5,
+        ..Default::default()
+    };
+    let desc = tiny_desc(3, 2);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_from_checkpoint(
+            "guarded",
+            write_ckpt("token-guarded", &desc, 70),
+            service_cfg(dcam_cfg, 4, 2),
+            1,
+        )
+        .unwrap();
+    let server = serve_registry(
+        Arc::clone(&registry),
+        ServerConfig {
+            admin_token: Some("s3cret".into()),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let new_ckpt = write_ckpt("token-v2", &desc, 71);
+    let body = serde_json::to_string(&Value::Object(vec![(
+        "path".into(),
+        Value::String(new_ckpt.display().to_string()),
+    )]))
+    .unwrap();
+
+    // Missing token: 401, nothing swapped.
+    let resp = client.post("/v1/models/guarded/swap", &body).expect("post");
+    assert_eq!(resp.status, 401, "body: {}", resp.body);
+    assert_eq!(error_code(&resp.body), "unauthorized");
+
+    // Wrong token: 403, nothing swapped.
+    let resp = client
+        .request_headers_deadline(
+            "POST",
+            "/v1/models/guarded/swap",
+            Some(&body),
+            &[("x-admin-token", "wrong")],
+            Duration::from_secs(5),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 403, "body: {}", resp.body);
+    assert_eq!(error_code(&resp.body), "forbidden");
+
+    // The model is still on version 1 and inference stayed open.
+    let resp = client.get("/v1/models").expect("get");
+    let versions: Vec<usize> = resp
+        .json()
+        .expect("json")
+        .get("models")
+        .and_then(Value::as_array)
+        .expect("models")
+        .iter()
+        .filter_map(|m| m.get("version").and_then(Value::as_usize))
+        .collect();
+    assert_eq!(versions, vec![1], "failed auth must not swap");
+    let series = toy_series(3, 12, 9);
+    let resp = client
+        .post(
+            "/v1/explain",
+            &payload(&series, &[("class", Value::Number(0.0))]),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 200, "inference needs no token: {}", resp.body);
+
+    // The right token swaps.
+    let resp = client
+        .request_headers_deadline(
+            "POST",
+            "/v1/models/guarded/swap",
+            Some(&body),
+            &[("x-admin-token", "s3cret")],
+            Duration::from_secs(5),
+        )
+        .expect("post");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(
+        resp.json()
+            .expect("json")
+            .get("version")
+            .and_then(Value::as_usize),
+        Some(2)
+    );
+}
