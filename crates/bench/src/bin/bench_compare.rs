@@ -90,6 +90,25 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             }
         }
     }
+    for row in rows(report, "conv_long") {
+        let Some(w) = number(row, "w") else {
+            continue;
+        };
+        if let Some(v) = number(row, "fft_fwd_us") {
+            out.push(Metric {
+                name: format!("conv_long[{w}].fft_fwd_us"),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+        if let Some(v) = number(row, "fft_bwd_us") {
+            out.push(Metric {
+                name: format!("conv_long[{w}].fft_bwd_us"),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
     if let Some(dcam) = field(report, "dcam") {
         if let Some(v) = number(dcam, "new_ms") {
             out.push(Metric {
@@ -186,6 +205,13 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
         let dims: Vec<f64> = shape.split('x').filter_map(|v| v.parse().ok()).collect();
         let want: Vec<(&str, f64)> = ["c_in", "c_out", "h", "w"].into_iter().zip(dims).collect();
         return number(matching_row(&rows(report, "conv"), &want)?, key);
+    }
+    if let Some(rest) = name.strip_prefix("conv_long[") {
+        let (w, key) = rest.split_once("].")?;
+        return number(
+            matching_row(&rows(report, "conv_long"), &[("w", w.parse().ok()?)])?,
+            key,
+        );
     }
     if let Some(key) = name.strip_prefix("dcam.") {
         return number(field(report, "dcam")?, key);

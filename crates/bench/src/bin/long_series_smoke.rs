@@ -1,0 +1,134 @@
+//! Long-series smoke check: an explanation computed under the fft
+//! convolution strategy must rank dimensions the same way the direct
+//! sliding-window strategy does.
+//!
+//! The fft path reassociates every inner product through the frequency
+//! domain, so bit-identical CAMs are off the table — but dCAM's *product*
+//! is a per-dimension importance ranking, and that must be invariant to
+//! execution strategy. This binary generates the EigenWorms stand-in at
+//! n = 16384 (the UEA archive's canonically long dataset, the workload the
+//! fft strategy exists for), re-runs itself as two child processes with
+//! `DCAM_CONV_STRATEGY=fft` and `=direct` (the env override is latched
+//! once per process, so separate processes are the honest way to compare
+//! pins), and asserts the top-k per-dimension rankings agree.
+//!
+//! CI runs this from the `long-series-smoke` job; locally:
+//! `cargo run --release -p dcam-bench --bin long_series_smoke`.
+
+use dcam::arch::{cnn, InputEncoding, ModelScale};
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam_series::synth::uea;
+use dcam_tensor::SeededRng;
+
+/// Dimensions whose ranking must agree between the two strategies. All 6
+/// EigenWorms dimensions are ranked; the comparison stops at 3 because the
+/// trailing ranks separate near-zero importance scores whose order is
+/// legitimately float-noise.
+const TOP_K: usize = 3;
+const SERIES_LEN: usize = 16384;
+const DIMS: usize = 6;
+
+/// Child mode: one explanation under whatever `DCAM_CONV_STRATEGY` the
+/// parent pinned; prints the per-dimension importance scores.
+fn explain() {
+    let meta = uea::meta("EigenWorms").expect("EigenWorms stand-in metadata");
+    let data = uea::generate(
+        meta,
+        &uea::UeaStandInConfig {
+            n_per_class: 1,
+            max_len: SERIES_LEN,
+            max_dims: DIMS,
+            seed: 7,
+        },
+    );
+    let series = &data.samples[0];
+    assert_eq!((series.n_dims(), series.len()), (DIMS, SERIES_LEN));
+
+    // Both children build from the same seed, so the weights are
+    // identical and only the convolution strategy differs.
+    let mut model = cnn(
+        InputEncoding::Dcnn,
+        DIMS,
+        data.n_classes,
+        ModelScale::Tiny,
+        &mut SeededRng::new(42),
+    );
+    let cfg = DcamConfig {
+        k: 4,
+        only_correct: false,
+        seed: 9,
+        ..Default::default()
+    };
+    let result = compute_dcam(&mut model, series, data.labels[0], &cfg);
+    let (d, n) = (DIMS, SERIES_LEN);
+    assert_eq!(result.dcam.dims(), &[d, n]);
+    let scores: Vec<String> = (0..d)
+        .map(|row| {
+            let s: f32 = result.dcam.data()[row * n..(row + 1) * n]
+                .iter()
+                .map(|v| v.abs())
+                .sum::<f32>()
+                / n as f32;
+            format!("{s:.6e}")
+        })
+        .collect();
+    println!("{}", scores.join(" "));
+}
+
+fn run_child(strategy: &str) -> Vec<f32> {
+    let out = std::process::Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--explain")
+        .env("DCAM_CONV_STRATEGY", strategy)
+        .output()
+        .expect("spawn child explain process");
+    assert!(
+        out.status.success(),
+        "child explain under {strategy} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let scores: Vec<f32> = text
+        .split_whitespace()
+        .map(|t| t.parse().expect("score"))
+        .collect();
+    assert_eq!(
+        scores.len(),
+        DIMS,
+        "child under {strategy} printed {text:?}"
+    );
+    scores
+}
+
+/// Dimension indices sorted by descending importance.
+fn ranking(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    idx
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--explain") {
+        explain();
+        return;
+    }
+    eprintln!("long-series smoke: n = {SERIES_LEN}, D = {DIMS}, EigenWorms stand-in");
+    let fft = run_child("fft");
+    let direct = run_child("direct");
+    let rank_fft = ranking(&fft);
+    let rank_direct = ranking(&direct);
+    eprintln!("fft    scores {fft:?} ranking {rank_fft:?}");
+    eprintln!("direct scores {direct:?} ranking {rank_direct:?}");
+    assert_eq!(
+        &rank_fft[..TOP_K],
+        &rank_direct[..TOP_K],
+        "top-{TOP_K} per-dimension rankings diverged between fft and direct"
+    );
+    // The scores themselves must agree too, not just their order.
+    for (i, (f, d)) in fft.iter().zip(&direct).enumerate() {
+        assert!(
+            (f - d).abs() <= 1e-3 * f.abs().max(d.abs()).max(1e-6),
+            "dimension {i}: fft score {f} vs direct {d}"
+        );
+    }
+    println!("long-series smoke OK: top-{TOP_K} rankings agree");
+}

@@ -48,6 +48,25 @@ struct ConvRow {
 }
 
 #[derive(Serialize)]
+struct ConvLongRow {
+    c_in: usize,
+    c_out: usize,
+    w: usize,
+    kernel: usize,
+    im2col_fwd_us: f64,
+    fft_fwd_us: f64,
+    /// im2col time over fft time (> 1 means fft is faster).
+    fwd_speedup: f64,
+    im2col_bwd_us: f64,
+    fft_bwd_us: f64,
+    bwd_speedup: f64,
+    /// What `ConvStrategy::Auto` resolves to at this geometry — the
+    /// measured crossover made visible, so a heuristic-constant change
+    /// that flips a row shows up in the report diff.
+    auto_strategy: String,
+}
+
+#[derive(Serialize)]
 struct DcamRow {
     dims: usize,
     series_len: usize,
@@ -138,6 +157,7 @@ struct RouterRow {
 struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
+    conv_long: Vec<ConvLongRow>,
     dcam: DcamRow,
     dcam_many: Vec<DcamManyRow>,
     service: Vec<ServiceRow>,
@@ -250,6 +270,51 @@ fn bench_conv() -> Vec<ConvRow> {
             direct_bwd_ns: times[1] * 1e9,
             im2col_bwd_ns: times[3] * 1e9,
             bwd_speedup: times[1] / times[3],
+        });
+    }
+    rows
+}
+
+/// Long-series convolutions (EigenWorms-like D = 6) where the fft strategy
+/// earns its keep: im2col vs fft at a fixed kernel across series lengths
+/// spanning the measured crossover. The `auto_strategy` column records what
+/// `ConvStrategy::Auto` actually picks, pinning the heuristic to the data.
+fn bench_conv_long() -> Vec<ConvLongRow> {
+    let mut rng = SeededRng::new(13);
+    let (c_in, c_out, h, kernel) = (6usize, 8usize, 1usize, 63usize);
+    let mut rows = Vec::new();
+    for &w in &[1024usize, 8192, 32768] {
+        let x = Tensor::uniform(&[1, c_in, h, w], -1.0, 1.0, &mut rng);
+        let mut times = Vec::new(); // [im2col fwd, im2col bwd, fft fwd, fft bwd]
+        for strategy in [ConvStrategy::Im2col, ConvStrategy::Fft] {
+            let mut conv = Conv2dRows::same(c_in, c_out, kernel, &mut SeededRng::new(5));
+            conv.set_strategy(strategy);
+            let y = conv.forward(&x, false);
+            let fwd = best_of(|| drop(conv.forward(&x, false)), 3, 7);
+            let bwd = best_of(
+                || {
+                    let _ = conv.forward(&x, true);
+                    drop(conv.backward(&y));
+                },
+                2,
+                5,
+            );
+            times.push(fwd);
+            times.push(bwd);
+        }
+        let auto = Conv2dRows::same(c_in, c_out, kernel, &mut SeededRng::new(5));
+        rows.push(ConvLongRow {
+            c_in,
+            c_out,
+            w,
+            kernel,
+            im2col_fwd_us: times[0] * 1e6,
+            fft_fwd_us: times[2] * 1e6,
+            fwd_speedup: times[0] / times[2],
+            im2col_bwd_us: times[1] * 1e6,
+            fft_bwd_us: times[3] * 1e6,
+            bwd_speedup: times[1] / times[3],
+            auto_strategy: format!("{:?}", auto.resolved_strategy(h, w)).to_lowercase(),
         });
     }
     rows
@@ -928,6 +993,8 @@ fn main() {
     let matmul = bench_matmul();
     eprintln!("conv ...");
     let conv = bench_conv();
+    eprintln!("conv_long (im2col vs fft) ...");
+    let conv_long = bench_conv_long();
 
     eprintln!("dcam (new engine) ...");
     let new_ms = dcam_ms();
@@ -965,6 +1032,7 @@ fn main() {
     let report = Report {
         matmul,
         conv,
+        conv_long,
         dcam: DcamRow {
             dims: DCAM_DIMS,
             series_len: DCAM_LEN,

@@ -158,6 +158,14 @@ impl Layer for InceptionModule {
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
         self.bn.visit_buffers(f);
     }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2dRows)) {
+        self.bottleneck.visit_convs(f);
+        for c in &mut self.convs {
+            c.visit_convs(f);
+        }
+        self.pool_conv.visit_convs(f);
+    }
 }
 
 struct Plan {

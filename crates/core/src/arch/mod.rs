@@ -23,7 +23,7 @@ pub use mtex::{GradCamMaps, MtexCnn};
 pub use recurrent::{recurrent, RecurrentCell, RecurrentClassifier};
 pub use resnet::resnet;
 
-use dcam_nn::layers::{Dense, GlobalAvgPool, Layer, Sequential};
+use dcam_nn::layers::{ConvStrategy, Dense, GlobalAvgPool, Layer, Sequential};
 use dcam_nn::Param;
 use dcam_series::{cube, MultivariateSeries};
 use dcam_tensor::Tensor;
@@ -336,6 +336,30 @@ impl GapClassifier {
         (features, logits)
     }
 
+    /// Pins every convolution in the feature extractor to `strategy`
+    /// (e.g. for A/B benchmarking or to rule out a path); pass
+    /// [`ConvStrategy::Auto`] to restore per-geometry selection.
+    pub fn set_conv_strategy(&mut self, strategy: ConvStrategy) {
+        self.features
+            .visit_convs(&mut |conv| conv.set_strategy(strategy));
+    }
+
+    /// The execution strategy each convolution would resolve to for an
+    /// input plane of `h` rows × `w` samples — `Auto` (and the
+    /// `DCAM_CONV_STRATEGY` override) already applied, so the permutation
+    /// engine's callers can see which kernels a long-series explanation
+    /// actually runs. Layers are visited in feature-extractor order.
+    ///
+    /// Note `(h, w)` describes the plane *entering each layer*: the GAP
+    /// architectures here are all stride-1/"same", so one `(h, w)` holds
+    /// for the whole stack.
+    pub fn resolved_conv_strategies(&mut self, h: usize, w: usize) -> Vec<ConvStrategy> {
+        let mut out = Vec::new();
+        self.features
+            .visit_convs(&mut |conv| out.push(conv.resolved_strategy(h, w)));
+        out
+    }
+
     /// Encodes one series and returns its logits (batch of one).
     pub fn logits_for(&mut self, series: &MultivariateSeries) -> Tensor {
         let x = self.encoding.encode(series);
@@ -369,6 +393,10 @@ impl Layer for GapClassifier {
         self.features.visit_buffers(f);
         self.gap.visit_buffers(f);
         self.head.visit_buffers(f);
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut dcam_nn::layers::Conv2dRows)) {
+        self.features.visit_convs(f);
     }
 }
 
@@ -420,6 +448,45 @@ mod tests {
         // catch this panic and surface a typed error.
         let rnn = ArchDescriptor::parse("family=cnn;enc=rnn;d=3;classes=2;scale=tiny").unwrap();
         assert!(std::panic::catch_unwind(|| rnn.build(0)).is_err());
+    }
+
+    #[test]
+    fn auto_strategy_surfaces_fft_on_long_series() {
+        // InceptionTime/Small carries a 15-tap branch kernel — past the
+        // fft heuristic's tap floor — so on a long series the Auto
+        // resolution visible through `resolved_conv_strategies` must
+        // include the fft path, while a short series stays on O(W·ℓ)
+        // paths throughout.
+        let mut rng = SeededRng::new(3);
+        let mut m = inception_time(InputEncoding::Dcnn, 3, 2, ModelScale::Small, &mut rng);
+        let long = m.resolved_conv_strategies(3, 32768);
+        let short = m.resolved_conv_strategies(3, 128);
+        assert_eq!(long.len(), short.len());
+        assert!(!long.is_empty());
+        match std::env::var("DCAM_CONV_STRATEGY").as_deref() {
+            // Under the CI matrix's global pin the heuristic is not
+            // reachable; every layer must report the pinned strategy.
+            Ok(v) if v != "auto" => {
+                let pinned = ConvStrategy::parse(v);
+                assert!(long.iter().chain(&short).all(|&s| s == pinned));
+            }
+            _ => {
+                assert!(
+                    long.contains(&ConvStrategy::Fft),
+                    "long series must route at least one conv to fft: {long:?}"
+                );
+                assert!(
+                    !short.contains(&ConvStrategy::Fft),
+                    "short series must not use fft: {short:?}"
+                );
+            }
+        }
+        // A per-layer pin outranks both the heuristic and the env override.
+        m.set_conv_strategy(ConvStrategy::Direct);
+        assert!(m
+            .resolved_conv_strategies(3, 32768)
+            .iter()
+            .all(|&s| s == ConvStrategy::Direct));
     }
 
     #[test]

@@ -244,6 +244,14 @@ impl Layer for Classifier {
             Classifier::Mtex(m) => m.visit_buffers(f),
         }
     }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut dcam_nn::layers::Conv2dRows)) {
+        match self {
+            Classifier::Gap(m) => m.visit_convs(f),
+            Classifier::Recurrent(m) => m.visit_convs(f),
+            Classifier::Mtex(m) => m.visit_convs(f),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! Cross-instance batching is convolution-strategy-invariant: the same
+//! requests through `compute_dcam_many` produce the same explanations (to
+//! float noise) whether every conv runs direct sliding windows, im2col+GEMM
+//! or the overlap-save fft path. This is what entitles `ConvStrategy::Auto`
+//! (and the `DCAM_CONV_STRATEGY` override the CI matrix pins) to switch
+//! execution paths underneath the serving engine without anyone noticing.
+
+use dcam::arch::{cnn, GapClassifier, InputEncoding, ModelScale};
+use dcam::dcam::DcamConfig;
+use dcam::dcam_many::{compute_dcam_many, DcamManyConfig, DcamRequest};
+use dcam_nn::layers::ConvStrategy;
+use dcam_series::MultivariateSeries;
+use dcam_tensor::{SeededRng, Tensor};
+
+fn toy_series(d: usize, n: usize, seed: u64) -> MultivariateSeries {
+    let mut rng = SeededRng::new(seed);
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+fn toy_model(d: usize, classes: usize, seed: u64) -> GapClassifier {
+    let mut rng = SeededRng::new(seed);
+    cnn(InputEncoding::Dcnn, d, classes, ModelScale::Tiny, &mut rng)
+}
+
+/// Relative 1e-4 agreement with an absolute floor — the fft path
+/// reassociates every sum through the frequency domain, so exact equality
+/// is out, but the dCAM rankings the paper's metrics depend on require
+/// agreement far tighter than this.
+fn close(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: shape mismatch");
+    for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-4 * x.abs().max(y.abs()).max(1.0),
+            "{what}: mismatch at flat index {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn compute_dcam_many_is_strategy_invariant() {
+    let d = 4;
+    let n = 96;
+    let series: Vec<MultivariateSeries> = (0..3).map(|i| toy_series(d, n, 60 + i)).collect();
+    let classes = [0usize, 1, 0];
+    let requests: Vec<DcamRequest<'_>> = series
+        .iter()
+        .zip(&classes)
+        .map(|(series, &class)| DcamRequest { series, class })
+        .collect();
+    let cfg = DcamManyConfig {
+        dcam: DcamConfig {
+            k: 6,
+            only_correct: false,
+            seed: 11,
+            ..Default::default()
+        },
+        // Misaligned with k so mega-batches span request boundaries.
+        max_batch: 4,
+    };
+
+    let mut baseline = toy_model(d, 2, 9);
+    baseline.set_conv_strategy(ConvStrategy::Direct);
+    let want = compute_dcam_many(&mut baseline, &requests, &cfg);
+
+    for strategy in [ConvStrategy::Im2col, ConvStrategy::Fft] {
+        // Identical weights (same seed), different execution path.
+        let mut model = toy_model(d, 2, 9);
+        model.set_conv_strategy(strategy);
+        let got = compute_dcam_many(&mut model, &requests, &cfg);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            close(&g.dcam, &w.dcam, &format!("{strategy:?} request {i}: dcam"));
+            close(&g.mbar, &w.mbar, &format!("{strategy:?} request {i}: mbar"));
+            assert_eq!(g.ng, w.ng, "{strategy:?} request {i}: ng");
+        }
+    }
+}

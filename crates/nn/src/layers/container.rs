@@ -73,6 +73,12 @@ impl Layer for Sequential {
             layer.visit_buffers(f);
         }
     }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut crate::layers::Conv2dRows)) {
+        for layer in &mut self.layers {
+            layer.visit_convs(f);
+        }
+    }
 }
 
 /// A residual block: `y = main(x) + shortcut(x)`.
@@ -149,6 +155,11 @@ impl Layer for Residual {
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
         self.main.visit_buffers(f);
         self.shortcut.visit_buffers(f);
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut crate::layers::Conv2dRows)) {
+        self.main.visit_convs(f);
+        self.shortcut.visit_convs(f);
     }
 }
 

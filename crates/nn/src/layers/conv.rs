@@ -1,3 +1,4 @@
+use super::conv_fft::{FftConv, FftGeom};
 use super::im2col::{col2im_acc, im2col, im2col_panel, sample_threads, split_ranges, ConvGeom};
 use super::Layer;
 use crate::arena::BatchArena;
@@ -12,11 +13,12 @@ use std::sync::OnceLock;
 /// How [`Conv2dRows`] executes (forward and backward).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConvStrategy {
-    /// Pick per call by problem size (the default): im2col when the
-    /// product is large enough to amortize patch-matrix construction,
-    /// direct otherwise. The `DCAM_CONV_STRATEGY` environment variable
-    /// (`direct` / `im2col`) pins Auto layers globally — useful for
-    /// benchmarking the two paths against each other.
+    /// Pick per call by problem size (the default): fft once the series is
+    /// long enough for O(W log W) to win, im2col when the product is large
+    /// enough to amortize patch-matrix construction, direct otherwise. The
+    /// `DCAM_CONV_STRATEGY` environment variable (`direct` / `im2col` /
+    /// `fft`) pins Auto layers globally — useful for benchmarking the
+    /// paths against each other; unknown values panic at first use.
     Auto,
     /// The scalar sliding-window loops.
     Direct,
@@ -24,19 +26,57 @@ pub enum ConvStrategy {
     /// patch matrix so the convolution runs as one GEMM per sample (see
     /// the `im2col` module's docs).
     Im2col,
+    /// Frequency-domain convolution: per-row real-input FFTs, pointwise
+    /// multiply against per-layer kernel spectra, inverse transform (see
+    /// the `conv_fft` module's docs). O(W log W) instead of O(W·ℓ) — the
+    /// long-series strategy.
+    Fft,
+}
+
+impl ConvStrategy {
+    /// Parses a `DCAM_CONV_STRATEGY` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on anything other than `auto`, `direct`, `im2col` or `fft` —
+    /// a misspelled strategy in a CI matrix or benchmark script must fail
+    /// loudly, not silently fall back to Auto.
+    pub fn parse(value: &str) -> ConvStrategy {
+        match value {
+            "auto" => ConvStrategy::Auto,
+            "direct" => ConvStrategy::Direct,
+            "im2col" => ConvStrategy::Im2col,
+            "fft" => ConvStrategy::Fft,
+            other => panic!(
+                "unknown DCAM_CONV_STRATEGY value {other:?}: expected one of \
+                 auto | direct | im2col | fft"
+            ),
+        }
+    }
 }
 
 /// Auto picks im2col once the GEMM inner dimension `C_in·ℓ` reaches this.
 const IM2COL_MIN_K: usize = 12;
 /// ... and the per-sample output plane `H·W_out` reaches this.
 const IM2COL_MIN_COLS: usize = 32;
+/// Auto never picks fft below this many kernel taps: the overlap-save
+/// driver does ~log₂B ≈ 10 butterfly multiply-adds per sample regardless
+/// of ℓ, so im2col's ℓ multiply-adds stay cheaper for short kernels at any
+/// series length.
+const FFT_MIN_LEN: usize = 13;
+/// …and above it, picks fft once `(ℓ − FFT_MIN_LEN) · W_out` reaches this.
+/// The measured crossover (AVX2 host, see PERF.md) tracks
+/// `ℓ ≈ 13 + 36000/W` closely from W = 1024 through 32768: the excess taps
+/// over the butterfly cost must amortize the transform's fixed per-call
+/// overhead, which shrinks relative to im2col as the series grows.
+const FFT_MIN_WORK: usize = 36_000;
 
 fn env_strategy() -> Option<ConvStrategy> {
     static OVERRIDE: OnceLock<Option<ConvStrategy>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| match std::env::var("DCAM_CONV_STRATEGY").as_deref() {
-        Ok("direct") => Some(ConvStrategy::Direct),
-        Ok("im2col") => Some(ConvStrategy::Im2col),
-        _ => None,
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("DCAM_CONV_STRATEGY")
+            .ok()
+            .map(|v| ConvStrategy::parse(&v))
     })
 }
 
@@ -56,10 +96,11 @@ fn env_strategy() -> Option<ConvStrategy> {
 /// exactly as §4.2 of the paper requires ("convolute over each row of C(T)
 /// independently").
 ///
-/// Two execution strategies produce identical results (up to float
+/// Three execution strategies produce identical results (up to float
 /// reassociation ≤ 1e-4, enforced by `tests/conv_strategies.rs`): the
-/// direct sliding-window loops, and an im2col + packed-GEMM path with a
-/// per-layer scratch arena ([`ConvStrategy`]).
+/// direct sliding-window loops, an im2col + packed-GEMM path with a
+/// per-layer scratch arena, and a frequency-domain fft path for long
+/// series ([`ConvStrategy`]).
 pub struct Conv2dRows {
     weight: Param,
     bias: Param,
@@ -81,6 +122,10 @@ pub struct Conv2dRows {
     /// Per-tap `(c_out × c_in)` weight slices prepacked for the shift-GEMM
     /// eval path; repacked per call like `packed_w`.
     packed_taps: Vec<PackedA>,
+    /// Transform plan, kernel spectra and scratch for the fft strategy;
+    /// kernel spectra are recomputed per call like `packed_w`, so they can
+    /// never go stale across optimizer steps.
+    fft: FftConv,
     cache_x: Option<Tensor>,
 }
 
@@ -138,6 +183,7 @@ impl Conv2dRows {
             scratch: Vec::new(),
             packed_w: PackedA::new(),
             packed_taps: Vec::new(),
+            fft: FftConv::new(),
             cache_x: None,
         }
     }
@@ -203,17 +249,112 @@ impl Conv2dRows {
         }
     }
 
-    /// Resolves the strategy for this call's geometry.
-    fn pick_im2col(&self, h: usize, wo: usize) -> bool {
+    /// Resolves the strategy for this call's geometry; never returns
+    /// [`ConvStrategy::Auto`].
+    fn resolve(&self, h: usize, wo: usize) -> ConvStrategy {
         let strategy = match self.strategy {
             ConvStrategy::Auto => env_strategy().unwrap_or(ConvStrategy::Auto),
             pinned => pinned,
         };
         match strategy {
-            ConvStrategy::Direct => false,
-            ConvStrategy::Im2col => true,
-            ConvStrategy::Auto => self.c_in * self.len >= IM2COL_MIN_K && h * wo >= IM2COL_MIN_COLS,
+            ConvStrategy::Auto => {
+                if self.len > FFT_MIN_LEN && (self.len - FFT_MIN_LEN) * wo >= FFT_MIN_WORK {
+                    ConvStrategy::Fft
+                } else if self.c_in * self.len >= IM2COL_MIN_K && h * wo >= IM2COL_MIN_COLS {
+                    ConvStrategy::Im2col
+                } else {
+                    ConvStrategy::Direct
+                }
+            }
+            pinned => pinned,
         }
+    }
+
+    /// The execution strategy this layer would use for an input of `h`
+    /// rows and temporal length `w` — [`ConvStrategy::Auto`] (and the
+    /// `DCAM_CONV_STRATEGY` override) resolved against the layer's size
+    /// heuristic. Lets callers (benchmarks, the explanation engine's
+    /// introspection endpoints) see which path a geometry actually takes.
+    pub fn resolved_strategy(&self, h: usize, w: usize) -> ConvStrategy {
+        self.resolve(h, self.out_width(w))
+    }
+
+    fn fft_geom(&self, h: usize, w: usize, wo: usize) -> FftGeom {
+        FftGeom {
+            c_in: self.c_in,
+            c_out: self.c_out,
+            l: self.len,
+            s: self.stride,
+            pl: self.pad_left,
+            h,
+            w,
+            wo,
+        }
+    }
+
+    // ---- fft strategy ----------------------------------------------------
+
+    fn forward_fft(&mut self, x: &Tensor, n: usize, h: usize, w: usize, wo: usize) -> Tensor {
+        let geom = self.fft_geom(h, w, wo);
+        let mut out = Tensor::zeros(&[n, self.c_out, h, wo]);
+        self.fft.forward(
+            &geom,
+            n,
+            self.weight.value.data(),
+            self.bias.value.data(),
+            x.data(),
+            out.data_mut(),
+        );
+        out
+    }
+
+    /// The fft strategy on the allocation-free inference path: same driver
+    /// as [`Self::forward_fft`], output drawn from — and input returned
+    /// to — `arena`. The transform plan and kernel spectra live in the
+    /// layer, so steady-state serving allocates nothing.
+    fn forward_eval_fft(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        let (n, h, w) = self.check_input(&x);
+        let wo = self.out_width(w);
+        let geom = self.fft_geom(h, w, wo);
+        let mut out_buf = arena.take(n * self.c_out * h * wo);
+        self.fft.forward(
+            &geom,
+            n,
+            self.weight.value.data(),
+            self.bias.value.data(),
+            x.data(),
+            &mut out_buf,
+        );
+        let dims = [n, self.c_out, h, wo];
+        arena.recycle(x);
+        Tensor::from_vec(out_buf, &dims).expect("conv eval shape")
+    }
+
+    fn backward_fft(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        n: usize,
+        h: usize,
+        w: usize,
+        wo: usize,
+    ) -> Tensor {
+        let geom = self.fft_geom(h, w, wo);
+        let mut grad_x = Tensor::zeros(&[n, self.c_in, h, w]);
+        let Conv2dRows {
+            fft, weight, bias, ..
+        } = self;
+        fft.backward(
+            &geom,
+            n,
+            weight.value.data(),
+            x.data(),
+            grad_out.data(),
+            grad_x.data_mut(),
+            weight.grad.data_mut(),
+            bias.grad.data_mut(),
+        );
+        grad_x
     }
 
     // ---- direct strategy -------------------------------------------------
@@ -646,10 +787,10 @@ impl Layer for Conv2dRows {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (n, h, w) = self.check_input(x);
         let wo = self.out_width(w);
-        let out = if self.pick_im2col(h, wo) {
-            self.forward_im2col(x, n, h, w, wo)
-        } else {
-            self.forward_direct(x, n, h, w, wo)
+        let out = match self.resolve(h, wo) {
+            ConvStrategy::Im2col => self.forward_im2col(x, n, h, w, wo),
+            ConvStrategy::Fft => self.forward_fft(x, n, h, w, wo),
+            _ => self.forward_direct(x, n, h, w, wo),
         };
         if train {
             self.cache_x = Some(x.clone());
@@ -660,16 +801,20 @@ impl Layer for Conv2dRows {
     fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
         let (_, h, w) = self.check_input(&x);
         let wo = self.out_width(w);
-        if self.pick_im2col(h, wo) {
-            if self.stride == 1 && wo == w && w >= self.len {
-                self.forward_eval_taps(x, arena)
-            } else {
-                self.forward_eval_fused(x, arena)
+        match self.resolve(h, wo) {
+            ConvStrategy::Im2col => {
+                if self.stride == 1 && wo == w && w >= self.len {
+                    self.forward_eval_taps(x, arena)
+                } else {
+                    self.forward_eval_fused(x, arena)
+                }
             }
-        } else {
-            let y = self.forward(&x, false);
-            arena.recycle(x);
-            y
+            ConvStrategy::Fft => self.forward_eval_fft(x, arena),
+            _ => {
+                let y = self.forward(&x, false);
+                arena.recycle(x);
+                y
+            }
         }
     }
 
@@ -685,16 +830,20 @@ impl Layer for Conv2dRows {
             &[n, self.c_out, h, wo],
             "grad_out shape mismatch"
         );
-        if self.pick_im2col(h, wo) {
-            self.backward_im2col(&x, grad_out, n, h, w, wo)
-        } else {
-            self.backward_direct(&x, grad_out, n, h, w, wo)
+        match self.resolve(h, wo) {
+            ConvStrategy::Im2col => self.backward_im2col(&x, grad_out, n, h, w, wo),
+            ConvStrategy::Fft => self.backward_fft(&x, grad_out, n, h, w, wo),
+            _ => self.backward_direct(&x, grad_out, n, h, w, wo),
         }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2dRows)) {
+        f(self);
     }
 }
 
@@ -737,7 +886,10 @@ mod tests {
     #[test]
     fn rows_do_not_mix() {
         // With two rows, zeroing one row of input must zero that output row
-        // only (bias set to zero).
+        // only (bias set to zero). Tolerance instead of exact zero: the fft
+        // strategy packs two real rows per complex transform, and the
+        // Hermitian split of an all-zero row paired with a nonzero one
+        // leaves ~1e-19 cancellation residue — noise, not leakage.
         let mut rng = SeededRng::new(1);
         let mut conv = Conv2dRows::same(1, 1, 3, &mut rng);
         conv.bias.value.fill(0.0);
@@ -747,8 +899,11 @@ mod tests {
         }
         let y = conv.forward(&x, false);
         for w in 0..6 {
-            assert_eq!(y.at(&[0, 0, 0, w]).unwrap(), 0.0, "row 0 leaked");
-            assert_ne!(y.at(&[0, 0, 1, w]).unwrap(), 0.0, "row 1 lost signal");
+            assert!(y.at(&[0, 0, 0, w]).unwrap().abs() < 1e-6, "row 0 leaked");
+            assert!(
+                y.at(&[0, 0, 1, w]).unwrap().abs() > 1e-3,
+                "row 1 lost signal"
+            );
         }
     }
 
@@ -797,7 +952,11 @@ mod tests {
         let x = Tensor::uniform(&[3, 4, 2, 17], -1.0, 1.0, &mut rng);
         let g = Tensor::uniform(&[3, 6, 2, 17], -1.0, 1.0, &mut rng);
         let mut results = Vec::new();
-        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+        for strategy in [
+            ConvStrategy::Direct,
+            ConvStrategy::Im2col,
+            ConvStrategy::Fft,
+        ] {
             let mut rng_c = SeededRng::new(7);
             let mut conv = Conv2dRows::same(4, 6, 5, &mut rng_c);
             conv.set_strategy(strategy);
@@ -806,11 +965,12 @@ mod tests {
             results.push((y, gx, conv.weight.grad.clone(), conv.bias.grad.clone()));
         }
         let (y_d, gx_d, gw_d, gb_d) = &results[0];
-        let (y_i, gx_i, gw_i, gb_i) = &results[1];
-        assert!(y_d.allclose(y_i, 1e-4), "forward mismatch");
-        assert!(gx_d.allclose(gx_i, 1e-4), "grad-input mismatch");
-        assert!(gw_d.allclose(gw_i, 1e-3), "grad-weight mismatch");
-        assert!(gb_d.allclose(gb_i, 1e-3), "grad-bias mismatch");
+        for (name, (y, gx, gw, gb)) in ["im2col", "fft"].iter().zip(&results[1..]) {
+            assert!(y_d.allclose(y, 1e-4), "{name} forward mismatch");
+            assert!(gx_d.allclose(gx, 1e-4), "{name} grad-input mismatch");
+            assert!(gw_d.allclose(gw, 1e-3), "{name} grad-weight mismatch");
+            assert!(gb_d.allclose(gb, 1e-3), "{name} grad-bias mismatch");
+        }
     }
 
     #[test]
@@ -818,7 +978,11 @@ mod tests {
         use crate::arena::BatchArena;
         let mut rng = SeededRng::new(11);
         let x = Tensor::uniform(&[5, 4, 3, 33], -1.0, 1.0, &mut rng);
-        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+        for strategy in [
+            ConvStrategy::Direct,
+            ConvStrategy::Im2col,
+            ConvStrategy::Fft,
+        ] {
             let mut conv = Conv2dRows::same(4, 6, 5, &mut SeededRng::new(7));
             conv.bias.value = Tensor::uniform(&[6], -0.5, 0.5, &mut rng);
             conv.set_strategy(strategy);
@@ -876,23 +1040,57 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let small = Conv2dRows::same(1, 4, 3, &mut rng);
         let big = Conv2dRows::same(16, 32, 3, &mut rng);
+        let long = Conv2dRows::same(1, 8, 63, &mut rng);
         match std::env::var("DCAM_CONV_STRATEGY").as_deref() {
             // The CI matrix pins Auto layers globally; the heuristic is not
             // reachable then — assert the pin wins for every geometry.
             Ok("direct") => {
-                assert!(!small.pick_im2col(1, 8));
-                assert!(!big.pick_im2col(16, 64));
+                for conv in [&small, &big, &long] {
+                    assert_eq!(conv.resolve(1, 64), ConvStrategy::Direct);
+                }
             }
             Ok("im2col") => {
-                assert!(small.pick_im2col(1, 8));
-                assert!(big.pick_im2col(16, 64));
+                for conv in [&small, &big, &long] {
+                    assert_eq!(conv.resolve(1, 64), ConvStrategy::Im2col);
+                }
+            }
+            Ok("fft") => {
+                for conv in [&small, &big, &long] {
+                    assert_eq!(conv.resolve(1, 64), ConvStrategy::Fft);
+                }
             }
             _ => {
                 // Tiny kernel / tiny plane -> direct; wide channel-tap
-                // product and plane -> im2col.
-                assert!(!small.pick_im2col(1, 8));
-                assert!(big.pick_im2col(16, 64));
+                // product and plane -> im2col; long series with a long
+                // kernel -> fft.
+                assert_eq!(small.resolve(1, 8), ConvStrategy::Direct);
+                assert_eq!(big.resolve(16, 64), ConvStrategy::Im2col);
+                assert_eq!(long.resolved_strategy(1, 32768), ConvStrategy::Fft);
+                // ...but the same long kernel on a short series stays on
+                // the O(W·ℓ) paths.
+                assert_ne!(long.resolved_strategy(1, 128), ConvStrategy::Fft);
             }
+        }
+    }
+
+    #[test]
+    fn strategy_parser_accepts_known_values() {
+        assert_eq!(ConvStrategy::parse("auto"), ConvStrategy::Auto);
+        assert_eq!(ConvStrategy::parse("direct"), ConvStrategy::Direct);
+        assert_eq!(ConvStrategy::parse("im2col"), ConvStrategy::Im2col);
+        assert_eq!(ConvStrategy::parse("fft"), ConvStrategy::Fft);
+    }
+
+    #[test]
+    fn strategy_parser_panics_on_unknown_values() {
+        for bad in ["ffft", "IM2COL", "winograd", ""] {
+            let result = std::panic::catch_unwind(|| ConvStrategy::parse(bad));
+            let err = result.expect_err("parse must reject {bad:?}");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("unknown DCAM_CONV_STRATEGY") && msg.contains("im2col"),
+                "panic message must name the variable and the valid values, got {msg:?}"
+            );
         }
     }
 }

@@ -1,0 +1,628 @@
+//! The `fft` convolution strategy: O(W log B) row convolutions for
+//! long-series workloads, via overlap-save block transforms.
+//!
+//! Every other strategy in this crate (direct, im2col+GEMM, shift-GEMM) does
+//! O(W·ℓ) work per output row; once series run into the tens of thousands of
+//! samples the FFT identity `conv(x, k) = IFFT(FFT(x) · FFT(k̃))` wins
+//! decisively. A single full-length transform would be O(W log W) on paper
+//! but memory-bound in practice — every radix-2 stage streams the whole
+//! multi-megabyte lane buffer through the cache hierarchy. The driver here
+//! uses **overlap-save** instead: the series is cut into segments of a
+//! fixed, cache-resident block length `B ≫ ℓ`, each segment is convolved
+//! circularly against the kernel spectra, and the `ℓ − 1` leading samples of
+//! every block (contaminated by wraparound) are discarded by reading the
+//! inverse transform at offset `ℓ − 1`. Work drops to O(W log B) with every
+//! transform buffer sized to fit L1/L2, and when the series is short the
+//! block length clamps to the full transform length, so the same code path
+//! serves every geometry.
+//!
+//! One `Conv2dRows` forward becomes:
+//!
+//! 1. stage all `C_in·H` input rows into overlapping `B`-long segments
+//!    (zero-clipped at the series edges, which also implements the layer's
+//!    left/right padding),
+//! 2. one batched real-input FFT over all segments of all rows ([`FftPlan`]
+//!    advances [`dcam_tensor::FFT_LANES`] transforms together),
+//! 3. per-(out-channel, in-channel) pointwise multiply-accumulates against
+//!    the kernel spectra — computed **once per call** for the whole batch,
+//!    like the prepacked GEMM weights, so the permutation engine's ~100
+//!    near-identical cubes per explanation all reuse them,
+//! 4. one batched inverse FFT whose offset/stride read (`t0 = ℓ−1`, step
+//!    `stride`) drops each block's wraparound head and subsamples strided
+//!    convolutions straight out of the frequency domain.
+//!
+//! The backward pass runs through the same transforms: `grad_x` is the
+//! plain convolution of the (zero-upsampled, for stride > 1) output
+//! gradient with the kernel, and `grad_w` is a correlation — a conjugate
+//! multiply in the frequency domain — accumulated **in the frequency
+//! domain** across all blocks, rows and samples, so the whole batch pays a
+//! single extra inverse transform per (c_out, c_in) pair. Correctness of
+//! the block/offset arithmetic is pinned to the direct path by
+//! `tests/conv_strategies.rs` across strides, asymmetric padding and
+//! non-power-of-two lengths.
+
+use super::im2col::{sample_threads, split_ranges};
+use dcam_tensor::{next_pow2, spectra_mul_acc, spectra_mul_conj_acc, FftPlan, FftScratch};
+
+/// Geometry of one fft-strategy convolution call.
+#[derive(Clone, Copy)]
+pub(super) struct FftGeom {
+    pub c_in: usize,
+    pub c_out: usize,
+    /// Kernel temporal extent ℓ.
+    pub l: usize,
+    /// Stride.
+    pub s: usize,
+    /// Left padding.
+    pub pl: usize,
+    /// Rows per channel plane.
+    pub h: usize,
+    /// Input temporal length.
+    pub w: usize,
+    /// Output temporal length.
+    pub wo: usize,
+}
+
+impl FftGeom {
+    /// Overlap-save block (= transform) length: big enough to amortize the
+    /// `ℓ − 1` overlap (≥ 4ℓ) while staying cache-resident, clamped to the
+    /// full-length transform when the series itself is short. The full
+    /// length covers the longer of the forward linear convolution
+    /// (`w + ℓ − 1`) and the upsampled-gradient convolution
+    /// (`(wo−1)·s + ℓ`).
+    fn block_len(&self) -> usize {
+        let full = next_pow2((self.w + self.l - 1).max((self.wo - 1) * self.s + self.l));
+        next_pow2((4 * self.l).max(1024)).min(full)
+    }
+
+    /// Length of the zero-upsampled output gradient (`= wo` when s == 1).
+    fn gu_len(&self) -> usize {
+        (self.wo - 1) * self.s + 1
+    }
+}
+
+/// Stage overlap-save segments: destination row `(r, j)` receives
+/// `src_row(r)[j·step + off .. j·step + off + seg]`, zero-filled wherever
+/// the window falls outside `[0, src_len)` — which is exactly how the
+/// convolution treats samples beyond the series edges (padding).
+#[allow(clippy::too_many_arguments)]
+fn stage_blocks(
+    src: &[f32],
+    rows: usize,
+    src_len: usize,
+    nb: usize,
+    step: usize,
+    off: isize,
+    seg: usize,
+    dst: &mut [f32],
+) {
+    for r in 0..rows {
+        let s_row = &src[r * src_len..(r + 1) * src_len];
+        for j in 0..nb {
+            let d = &mut dst[(r * nb + j) * seg..(r * nb + j + 1) * seg];
+            let start = (j * step) as isize + off;
+            d.fill(0.0);
+            let lo = (-start).max(0) as usize;
+            let hi = (src_len as isize - start).clamp(0, seg as isize) as usize;
+            if lo < hi {
+                let sbase = (start + lo as isize) as usize;
+                d[lo..hi].copy_from_slice(&s_row[sbase..sbase + (hi - lo)]);
+            }
+        }
+    }
+}
+
+/// Stage overlap-save segments of the *zero-upsampled* output gradient
+/// (`gu[q] = g[q/s]` when `s | q`, else 0) without materializing it:
+/// destination row `(r, j)` covers `gu[j·step + off .. + seg]`.
+#[allow(clippy::too_many_arguments)]
+fn stage_upsampled(
+    g: &[f32],
+    rows: usize,
+    wo: usize,
+    s: usize,
+    nb: usize,
+    step: usize,
+    off: isize,
+    seg: usize,
+    dst: &mut [f32],
+) {
+    for r in 0..rows {
+        let g_row = &g[r * wo..(r + 1) * wo];
+        for j in 0..nb {
+            let d = &mut dst[(r * nb + j) * seg..(r * nb + j + 1) * seg];
+            let start = (j * step) as isize + off;
+            d.fill(0.0);
+            // Scatter gu indices q = wi·s with q − start ∈ [0, seg).
+            let wi_lo = if start <= 0 {
+                0
+            } else {
+                (start as usize).div_ceil(s)
+            };
+            let last = start + seg as isize - 1;
+            if last < 0 {
+                continue;
+            }
+            let wi_hi = (last as usize / s + 1).min(wo);
+            for wi in wi_lo..wi_hi {
+                d[(wi as isize * s as isize - start) as usize] = g_row[wi];
+            }
+        }
+    }
+}
+
+/// Per-thread transform state: FFT lane buffers, segment staging, the
+/// spectra of the rows this thread is working on, and the time-domain
+/// landing strip for inverse transforms (whose uniform block rows are then
+/// copied into the caller's ragged output rows).
+#[derive(Default)]
+struct ThreadScratch {
+    fft: FftScratch,
+    stage: Vec<f32>,
+    x_re: Vec<f32>,
+    x_im: Vec<f32>,
+    y_re: Vec<f32>,
+    y_im: Vec<f32>,
+    /// Per-thread frequency-domain weight-gradient accumulators,
+    /// `c_out·c_in × bins` (backward only).
+    w_re: Vec<f32>,
+    w_im: Vec<f32>,
+    time: Vec<f32>,
+}
+
+fn grow(buf: &mut Vec<f32>, need: usize) {
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+}
+
+/// The fft-strategy execution state owned by one `Conv2dRows`.
+///
+/// Holds the cached transform plan for the layer's geometry, the kernel
+/// spectra (recomputed each call, like the prepacked GEMM weights, so they
+/// can never go stale across optimizer steps), per-thread scratch, and the
+/// reduced frequency-domain weight-gradient accumulators.
+pub(super) struct FftConv {
+    plan: Option<FftPlan>,
+    /// Spectra of the *time-reversed* kernels, `c_out·c_in × bins`
+    /// (forward: product = sliding dot product).
+    k_re: Vec<f32>,
+    k_im: Vec<f32>,
+    /// Spectra of the kernels as-is (backward `grad_x`: plain convolution
+    /// with the upsampled output gradient).
+    kf_re: Vec<f32>,
+    kf_im: Vec<f32>,
+    /// Cross-thread reduction of the per-thread `w_re`/`w_im` partials.
+    wacc_re: Vec<f32>,
+    wacc_im: Vec<f32>,
+    scratch: Vec<ThreadScratch>,
+}
+
+impl FftConv {
+    pub(super) fn new() -> Self {
+        FftConv {
+            plan: None,
+            k_re: Vec::new(),
+            k_im: Vec::new(),
+            kf_re: Vec::new(),
+            kf_im: Vec::new(),
+            wacc_re: Vec::new(),
+            wacc_im: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn ensure_plan(&mut self, m: usize) {
+        if self.plan.as_ref().map(FftPlan::len) != Some(m) {
+            self.plan = Some(FftPlan::new(m));
+        }
+    }
+
+    fn ensure_threads(&mut self, threads: usize) {
+        while self.scratch.len() < threads {
+            self.scratch.push(ThreadScratch::default());
+        }
+    }
+
+    /// Forward convolution of `n` samples into `out` (`n × c_out·h·wo`,
+    /// fully overwritten).
+    pub(super) fn forward(
+        &mut self,
+        g: &FftGeom,
+        n: usize,
+        weight: &[f32],
+        bias: &[f32],
+        x: &[f32],
+        out: &mut [f32],
+    ) {
+        let m = g.block_len();
+        self.ensure_plan(m);
+        let threads = sample_threads(n);
+        self.ensure_threads(threads.max(1));
+        let bins = m / 2 + 1;
+        let k_rows = g.c_out * g.c_in;
+        grow(&mut self.k_re, k_rows * bins);
+        grow(&mut self.k_im, k_rows * bins);
+        let plan = self.plan.as_ref().expect("plan ensured above");
+        plan.real_spectra_into(
+            weight,
+            k_rows,
+            g.l,
+            true,
+            &mut self.k_re,
+            &mut self.k_im,
+            &mut self.scratch[0].fft,
+        );
+
+        // Block j of an output row covers wi ∈ [j·vo, (j+1)·vo); its input
+        // segment starts at j·vo·s − pad_left and the block's valid samples
+        // sit at circular positions (wi − j·vo)·s + ℓ − 1.
+        let vo = (m - g.l) / g.s + 1;
+        let nb = g.wo.div_ceil(vo);
+        let sample_in = g.c_in * g.h * g.w;
+        let sample_out = g.c_out * g.h * g.wo;
+        let (k_re, k_im) = (&self.k_re, &self.k_im);
+        let geom = *g;
+
+        let run = |range: std::ops::Range<usize>, out_chunk: &mut [f32], ts: &mut ThreadScratch| {
+            let g = &geom;
+            let x_rows = g.c_in * g.h * nb;
+            let y_rows = g.c_out * g.h * nb;
+            grow(&mut ts.stage, x_rows * m);
+            grow(&mut ts.x_re, x_rows * bins);
+            grow(&mut ts.x_im, x_rows * bins);
+            grow(&mut ts.y_re, y_rows * bins);
+            grow(&mut ts.y_im, y_rows * bins);
+            grow(&mut ts.time, y_rows * vo);
+            for (i, si) in range.enumerate() {
+                let xs = &x[si * sample_in..(si + 1) * sample_in];
+                stage_blocks(
+                    xs,
+                    g.c_in * g.h,
+                    g.w,
+                    nb,
+                    vo * g.s,
+                    -(g.pl as isize),
+                    m,
+                    &mut ts.stage,
+                );
+                plan.real_spectra_into(
+                    &ts.stage,
+                    x_rows,
+                    m,
+                    false,
+                    &mut ts.x_re,
+                    &mut ts.x_im,
+                    &mut ts.fft,
+                );
+                ts.y_re[..y_rows * bins].fill(0.0);
+                ts.y_im[..y_rows * bins].fill(0.0);
+                for co in 0..g.c_out {
+                    for ci in 0..g.c_in {
+                        let ko = (co * g.c_in + ci) * bins;
+                        let (kr, ki) = (&k_re[ko..ko + bins], &k_im[ko..ko + bins]);
+                        for hi in 0..g.h {
+                            // All nb blocks of a (channel, row) pair are
+                            // contiguous; the kernel spectrum repeats.
+                            for j in 0..nb {
+                                let xo = ((ci * g.h + hi) * nb + j) * bins;
+                                let yo = ((co * g.h + hi) * nb + j) * bins;
+                                spectra_mul_acc(
+                                    &ts.x_re[xo..xo + bins],
+                                    &ts.x_im[xo..xo + bins],
+                                    kr,
+                                    ki,
+                                    &mut ts.y_re[yo..yo + bins],
+                                    &mut ts.y_im[yo..yo + bins],
+                                );
+                            }
+                        }
+                    }
+                }
+                plan.real_inverse_into(
+                    &ts.y_re,
+                    &ts.y_im,
+                    y_rows,
+                    &mut ts.time,
+                    vo,
+                    g.l - 1,
+                    g.s,
+                    &mut ts.fft,
+                );
+                let y = &mut out_chunk[i * sample_out..(i + 1) * sample_out];
+                for row in 0..g.c_out * g.h {
+                    let dst = &mut y[row * g.wo..(row + 1) * g.wo];
+                    for j in 0..nb {
+                        let take = vo.min(g.wo - j * vo);
+                        dst[j * vo..j * vo + take]
+                            .copy_from_slice(&ts.time[(row * nb + j) * vo..][..take]);
+                    }
+                }
+                for (co, &b) in bias.iter().enumerate() {
+                    if b != 0.0 {
+                        for v in &mut y[co * g.h * g.wo..(co + 1) * g.h * g.wo] {
+                            *v += b;
+                        }
+                    }
+                }
+            }
+        };
+
+        if threads <= 1 {
+            run(0..n, &mut out[..n * sample_out], &mut self.scratch[0]);
+        } else {
+            let ranges = split_ranges(n, threads);
+            std::thread::scope(|sc| {
+                let mut out_rest = &mut out[..n * sample_out];
+                let mut ts_iter = self.scratch.iter_mut();
+                for range in ranges {
+                    let (out_chunk, tail) = out_rest.split_at_mut(range.len() * sample_out);
+                    out_rest = tail;
+                    let ts = ts_iter.next().expect("scratch sized to thread count");
+                    let run = &run;
+                    sc.spawn(move || run(range, out_chunk, ts));
+                }
+            });
+        }
+    }
+
+    /// Backward pass: writes the input gradient into `gx` (`n × c_in·h·w`,
+    /// fully overwritten) and **accumulates** into the weight and bias
+    /// gradients.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn backward(
+        &mut self,
+        g: &FftGeom,
+        n: usize,
+        weight: &[f32],
+        x: &[f32],
+        grad_out: &[f32],
+        gx: &mut [f32],
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) {
+        let m = g.block_len();
+        self.ensure_plan(m);
+        let threads = sample_threads(n);
+        self.ensure_threads(threads.max(1));
+        let bins = m / 2 + 1;
+        let k_rows = g.c_out * g.c_in;
+        grow(&mut self.kf_re, k_rows * bins);
+        grow(&mut self.kf_im, k_rows * bins);
+        let plan = self.plan.as_ref().expect("plan ensured above");
+        plan.real_spectra_into(
+            weight,
+            k_rows,
+            g.l,
+            false,
+            &mut self.kf_re,
+            &mut self.kf_im,
+            &mut self.scratch[0].fft,
+        );
+
+        // Chunk length for both backward products (stride-1 block output).
+        let c_len = m - g.l + 1;
+        let gu_len = g.gu_len();
+        // grad_w: chunk j correlates gu[j·c .. j·c + c] against the input
+        // segment starting at j·c − pad_left; lags 0..ℓ land at circular
+        // positions 0..ℓ un-aliased because the chunk support is ≤ c.
+        let nbw = gu_len.div_ceil(c_len);
+        // grad_x: block j covers gx[j·c .. (j+1)·c); its gu segment starts
+        // at j·c + pad_left − (ℓ − 1).
+        let nbx = g.w.div_ceil(c_len);
+        let nb_max = nbw.max(nbx);
+        let sample_in = g.c_in * g.h * g.w;
+        let sample_out = g.c_out * g.h * g.wo;
+        let (kf_re, kf_im) = (&self.kf_re, &self.kf_im);
+        let geom = *g;
+
+        // Per-range worker: returns the bias-gradient partial; the
+        // weight-gradient partial stays in the thread's frequency-domain
+        // accumulator (`ts.w_re`/`ts.w_im`) for the cross-thread reduction.
+        let run = |range: std::ops::Range<usize>,
+                   gx_chunk: &mut [f32],
+                   ts: &mut ThreadScratch|
+         -> Vec<f32> {
+            let g = &geom;
+            let in_rows = g.c_in * g.h;
+            let out_rows = g.c_out * g.h;
+            grow(&mut ts.stage, in_rows.max(out_rows) * nb_max * m);
+            grow(&mut ts.x_re, in_rows * nb_max * bins);
+            grow(&mut ts.x_im, in_rows * nb_max * bins);
+            grow(&mut ts.y_re, out_rows * nb_max * bins);
+            grow(&mut ts.y_im, out_rows * nb_max * bins);
+            grow(&mut ts.w_re, k_rows * bins);
+            grow(&mut ts.w_im, k_rows * bins);
+            grow(&mut ts.time, in_rows * nbx * c_len);
+            ts.w_re[..k_rows * bins].fill(0.0);
+            ts.w_im[..k_rows * bins].fill(0.0);
+            let mut bias_acc = vec![0.0f32; g.c_out];
+            for (i, si) in range.enumerate() {
+                let xs = &x[si * sample_in..(si + 1) * sample_in];
+                let gs = &grad_out[si * sample_out..(si + 1) * sample_out];
+                for (co, b) in bias_acc.iter_mut().enumerate() {
+                    *b += gs[co * g.h * g.wo..(co + 1) * g.h * g.wo]
+                        .iter()
+                        .sum::<f32>();
+                }
+                // --- grad_w: X_seg · conj(Gu_chunk), accumulated in the
+                // frequency domain across chunks, rows and samples.
+                stage_blocks(
+                    xs,
+                    in_rows,
+                    g.w,
+                    nbw,
+                    c_len,
+                    -(g.pl as isize),
+                    m,
+                    &mut ts.stage,
+                );
+                plan.real_spectra_into(
+                    &ts.stage,
+                    in_rows * nbw,
+                    m,
+                    false,
+                    &mut ts.x_re,
+                    &mut ts.x_im,
+                    &mut ts.fft,
+                );
+                stage_upsampled(gs, out_rows, g.wo, g.s, nbw, c_len, 0, c_len, &mut ts.stage);
+                plan.real_spectra_into(
+                    &ts.stage,
+                    out_rows * nbw,
+                    c_len,
+                    false,
+                    &mut ts.y_re,
+                    &mut ts.y_im,
+                    &mut ts.fft,
+                );
+                for co in 0..g.c_out {
+                    for ci in 0..g.c_in {
+                        let wo_off = (co * g.c_in + ci) * bins;
+                        let wr = &mut ts.w_re[wo_off..wo_off + bins];
+                        let wi_ = &mut ts.w_im[wo_off..wo_off + bins];
+                        for hi in 0..g.h {
+                            for j in 0..nbw {
+                                let xo = ((ci * g.h + hi) * nbw + j) * bins;
+                                let yo = ((co * g.h + hi) * nbw + j) * bins;
+                                spectra_mul_conj_acc(
+                                    &ts.x_re[xo..xo + bins],
+                                    &ts.x_im[xo..xo + bins],
+                                    &ts.y_re[yo..yo + bins],
+                                    &ts.y_im[yo..yo + bins],
+                                    wr,
+                                    wi_,
+                                );
+                            }
+                        }
+                    }
+                }
+                // --- grad_x: Gu_block · K_fwd (plain convolution of the
+                // upsampled gradient with the kernel), read at offset ℓ−1.
+                stage_upsampled(
+                    gs,
+                    out_rows,
+                    g.wo,
+                    g.s,
+                    nbx,
+                    c_len,
+                    g.pl as isize - (g.l as isize - 1),
+                    m,
+                    &mut ts.stage,
+                );
+                plan.real_spectra_into(
+                    &ts.stage,
+                    out_rows * nbx,
+                    m,
+                    false,
+                    &mut ts.y_re,
+                    &mut ts.y_im,
+                    &mut ts.fft,
+                );
+                ts.x_re[..in_rows * nbx * bins].fill(0.0);
+                ts.x_im[..in_rows * nbx * bins].fill(0.0);
+                for co in 0..g.c_out {
+                    for ci in 0..g.c_in {
+                        let ko = (co * g.c_in + ci) * bins;
+                        let (kr, ki) = (&kf_re[ko..ko + bins], &kf_im[ko..ko + bins]);
+                        for hi in 0..g.h {
+                            for j in 0..nbx {
+                                let yo = ((co * g.h + hi) * nbx + j) * bins;
+                                let xo = ((ci * g.h + hi) * nbx + j) * bins;
+                                spectra_mul_acc(
+                                    &ts.y_re[yo..yo + bins],
+                                    &ts.y_im[yo..yo + bins],
+                                    kr,
+                                    ki,
+                                    &mut ts.x_re[xo..xo + bins],
+                                    &mut ts.x_im[xo..xo + bins],
+                                );
+                            }
+                        }
+                    }
+                }
+                plan.real_inverse_into(
+                    &ts.x_re,
+                    &ts.x_im,
+                    in_rows * nbx,
+                    &mut ts.time,
+                    c_len,
+                    g.l - 1,
+                    1,
+                    &mut ts.fft,
+                );
+                let gx_sample = &mut gx_chunk[i * sample_in..(i + 1) * sample_in];
+                for row in 0..in_rows {
+                    let dst = &mut gx_sample[row * g.w..(row + 1) * g.w];
+                    for j in 0..nbx {
+                        let take = c_len.min(g.w - j * c_len);
+                        dst[j * c_len..j * c_len + take]
+                            .copy_from_slice(&ts.time[(row * nbx + j) * c_len..][..take]);
+                    }
+                }
+            }
+            bias_acc
+        };
+
+        let used_threads;
+        let bias_partials: Vec<Vec<f32>> = if threads <= 1 {
+            used_threads = 1;
+            vec![run(0..n, &mut gx[..n * sample_in], &mut self.scratch[0])]
+        } else {
+            let ranges = split_ranges(n, threads);
+            used_threads = ranges.len();
+            std::thread::scope(|sc| {
+                let mut gx_rest = &mut gx[..n * sample_in];
+                let mut ts_iter = self.scratch.iter_mut();
+                let mut handles = Vec::with_capacity(ranges.len());
+                for range in ranges {
+                    let (gx_chunk, tail) = gx_rest.split_at_mut(range.len() * sample_in);
+                    gx_rest = tail;
+                    let ts = ts_iter.next().expect("scratch sized to thread count");
+                    let run = &run;
+                    handles.push(sc.spawn(move || run(range, gx_chunk, ts)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fft conv worker panicked"))
+                    .collect()
+            })
+        };
+
+        for partial in &bias_partials {
+            for (acc, p) in gb.iter_mut().zip(partial) {
+                *acc += p;
+            }
+        }
+
+        // Reduce the frequency-domain weight partials, then pay ONE inverse
+        // transform per (c_out, c_in) pair for the whole batch; the ℓ taps
+        // are the correlation's lags 0..ℓ.
+        grow(&mut self.wacc_re, k_rows * bins);
+        grow(&mut self.wacc_im, k_rows * bins);
+        self.wacc_re[..k_rows * bins].fill(0.0);
+        self.wacc_im[..k_rows * bins].fill(0.0);
+        for ts in &self.scratch[..used_threads] {
+            for (acc, p) in self.wacc_re[..k_rows * bins].iter_mut().zip(&ts.w_re) {
+                *acc += p;
+            }
+            for (acc, p) in self.wacc_im[..k_rows * bins].iter_mut().zip(&ts.w_im) {
+                *acc += p;
+            }
+        }
+        let mut w_taps = vec![0.0f32; k_rows * g.l];
+        plan.real_inverse_into(
+            &self.wacc_re,
+            &self.wacc_im,
+            k_rows,
+            &mut w_taps,
+            g.l,
+            0,
+            1,
+            &mut self.scratch[0].fft,
+        );
+        for (acc, t) in gw.iter_mut().zip(&w_taps) {
+            *acc += t;
+        }
+    }
+}

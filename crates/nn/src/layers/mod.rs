@@ -11,6 +11,7 @@ mod activation;
 mod batchnorm;
 mod container;
 mod conv;
+mod conv_fft;
 mod dense;
 mod dropout;
 mod im2col;
@@ -66,6 +67,13 @@ pub trait Layer: Send {
     /// model's checkpoint but receive no gradients.
     fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
 
+    /// Visits every convolution layer in a construction-stable order.
+    /// Containers forward the visitor; non-convolution leaves ignore it.
+    /// Model-level tooling uses this to pin or inspect convolution
+    /// execution strategies (e.g. the long-series `fft` path) without
+    /// knowing the network's structure.
+    fn visit_convs(&mut self, _f: &mut dyn FnMut(&mut Conv2dRows)) {}
+
     /// Zeroes all accumulated parameter gradients.
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
@@ -94,5 +102,8 @@ impl Layer for Box<dyn Layer> {
     }
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
         (**self).visit_buffers(f)
+    }
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2dRows)) {
+        (**self).visit_convs(f)
     }
 }

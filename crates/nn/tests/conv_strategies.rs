@@ -1,8 +1,11 @@
-//! Property test: the im2col+GEMM convolution strategy is numerically
-//! interchangeable with the direct sliding-window loops — forward output,
-//! grad-input, grad-weight and grad-bias all agree within 1e-4 across
-//! odd/even kernels, stride 2, and asymmetric padding. This is the guard
-//! that lets the Auto strategy switch paths by size without ever silently
+//! Property tests: the im2col+GEMM and fft convolution strategies are
+//! numerically interchangeable with the direct sliding-window loops —
+//! forward output, grad-input, grad-weight and grad-bias all agree within
+//! 1e-4 (absolute for the GEMM path, relative for the fft path, whose
+//! long-series sums grow with W) across odd/even kernels, k = 1 degenerate
+//! kernels, stride 2, asymmetric padding, and non-power-of-two series
+//! lengths (the transform's zero-padding path). This is the guard that
+//! lets the Auto strategy switch paths by size without ever silently
 //! changing results.
 
 use dcam_nn::layers::{Conv2dRows, ConvStrategy, Layer};
@@ -39,6 +42,20 @@ fn run(
     (y, gx, gw, gb)
 }
 
+/// Elementwise `|a − b| ≤ 1e-4 · (1 + max(|a|, |b|))` — a relative check
+/// with an absolute floor, so fft results stay pinned to the direct path
+/// even where long-series reductions grow the magnitudes far beyond 1.
+fn close_rel(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what} shape mismatch");
+    for (i, (&x, &y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        let tol = 1e-4 * (1.0 + x.abs().max(y.abs()));
+        assert!(
+            (x - y).abs() <= tol,
+            "{what} mismatch at flat index {i}: {x} vs {y}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -65,6 +82,54 @@ proptest! {
         prop_assert!(a.3.allclose(&b.3, 1e-4), "grad-bias mismatch (len {len} stride {stride} pad {pad_left}/{pad_right} w {w})");
     }
 
+    /// The fft strategy against the direct path over the same arbitrary
+    /// geometry grid: (channels, kernel length incl. the k = 1 degenerate
+    /// case, stride, asymmetric padding, rows, width). Width is whatever
+    /// the generator produces — almost never a power of two, so the
+    /// transform's zero-padding path is always exercised.
+    #[test]
+    fn fft_matches_direct(
+        (c_in, c_out, n) in (1usize..=6, 1usize..=8, 1usize..=4),
+        len in 1usize..=6,
+        stride in 1usize..=2,
+        (pl_raw, pr_raw) in (0usize..6, 0usize..6),
+        (h, w_extra) in (1usize..=4, 0usize..=20),
+        seed in any::<u64>(),
+    ) {
+        let pad_left = pl_raw % len;
+        let pad_right = pr_raw % len;
+        let w = len.saturating_sub(pad_left + pad_right) + w_extra + 1;
+        let a = run(ConvStrategy::Direct, c_in, c_out, len, stride, pad_left, pad_right, h, w, n, seed);
+        let b = run(ConvStrategy::Fft, c_in, c_out, len, stride, pad_left, pad_right, h, w, n, seed);
+        let ctx = format!("(len {len} stride {stride} pad {pad_left}/{pad_right} w {w})");
+        close_rel(&a.0, &b.0, &format!("fft forward {ctx}"));
+        close_rel(&a.1, &b.1, &format!("fft grad-input {ctx}"));
+        close_rel(&a.2, &b.2, &format!("fft grad-weight {ctx}"));
+        close_rel(&a.3, &b.3, &format!("fft grad-bias {ctx}"));
+    }
+
+    /// Long, non-power-of-two series — the geometry the fft strategy
+    /// exists for (and where its transform padding is largest). Fewer
+    /// random cases, bigger shapes.
+    #[test]
+    fn fft_matches_direct_on_long_series(
+        wi in 0usize..4,
+        li in 0usize..4,
+        stride in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let w = [997usize, 1200, 1536, 2000][wi];
+        let len = [1usize, 15, 33, 64][li];
+        let pad = (len - 1) / 2;
+        let a = run(ConvStrategy::Direct, 2, 3, len, stride, pad, pad, 2, w, 2, seed);
+        let b = run(ConvStrategy::Fft, 2, 3, len, stride, pad, pad, 2, w, 2, seed);
+        let ctx = format!("(w {w} len {len} stride {stride})");
+        close_rel(&a.0, &b.0, &format!("fft forward {ctx}"));
+        close_rel(&a.1, &b.1, &format!("fft grad-input {ctx}"));
+        close_rel(&a.2, &b.2, &format!("fft grad-weight {ctx}"));
+        close_rel(&a.3, &b.3, &format!("fft grad-bias {ctx}"));
+    }
+
     /// Stride 2 with even kernels — the configuration most likely to break
     /// index bookkeeping — against a fixed dense grid rather than random
     /// samples alone.
@@ -77,19 +142,27 @@ proptest! {
             prop_assert!(a.1.allclose(&b.1, 1e-4), "grad-input (len {len})");
             prop_assert!(a.2.allclose(&b.2, 1e-4), "grad-weight (len {len})");
             prop_assert!(a.3.allclose(&b.3, 1e-4), "grad-bias (len {len})");
+            let c = run(ConvStrategy::Fft, 3, 4, len, 2, pad_left, pad_right, 2, 23, 2, seed);
+            close_rel(&a.0, &c.0, &format!("fft forward (len {len})"));
+            close_rel(&a.1, &c.1, &format!("fft grad-input (len {len})"));
+            close_rel(&a.2, &c.2, &format!("fft grad-weight (len {len})"));
+            close_rel(&a.3, &c.3, &format!("fft grad-bias (len {len})"));
         }
     }
 
     /// Regression: a kernel longer than the padded input width (w = 1,
     /// ℓ = 6, pads 3/5) used to panic with a usize underflow in the im2col
-    /// stride-1 fast path.
+    /// stride-1 fast path; the fft path must survive the same degenerate
+    /// geometry.
     #[test]
     fn kernel_longer_than_input_agrees(seed in any::<u64>()) {
         let a = run(ConvStrategy::Direct, 2, 3, 6, 1, 3, 5, 20, 1, 1, seed);
-        let b = run(ConvStrategy::Im2col, 2, 3, 6, 1, 3, 5, 20, 1, 1, seed);
-        prop_assert!(a.0.allclose(&b.0, 1e-4), "forward");
-        prop_assert!(a.1.allclose(&b.1, 1e-4), "grad-input");
-        prop_assert!(a.2.allclose(&b.2, 1e-4), "grad-weight");
-        prop_assert!(a.3.allclose(&b.3, 1e-4), "grad-bias");
+        for (name, strategy) in [("im2col", ConvStrategy::Im2col), ("fft", ConvStrategy::Fft)] {
+            let b = run(strategy, 2, 3, 6, 1, 3, 5, 20, 1, 1, seed);
+            close_rel(&a.0, &b.0, &format!("{name} forward"));
+            close_rel(&a.1, &b.1, &format!("{name} grad-input"));
+            close_rel(&a.2, &b.2, &format!("{name} grad-weight"));
+            close_rel(&a.3, &b.3, &format!("{name} grad-bias"));
+        }
     }
 }

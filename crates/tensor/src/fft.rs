@@ -1,0 +1,706 @@
+//! A dependency-free real-input FFT for the long-series convolution path.
+//!
+//! The transform is an iterative radix-2 Cooley–Tukey FFT over a **lane
+//! batch**: [`FFT_LANES`] independent transforms advance together in a
+//! structure-of-arrays layout (`buf[i * FFT_LANES + lane]`), so every
+//! butterfly's inner loop is a fixed-width slab of 8 floats that the
+//! autovectorizer turns into one AVX2 FMA pair. On top of that, real input
+//! rows are packed **two per complex transform** (one as the real part, one
+//! as the imaginary part) and separated afterwards via Hermitian symmetry,
+//! which halves the transform count and lets the convolution driver keep
+//! only the non-redundant half-spectrum of `m/2 + 1` bins per row.
+//!
+//! The module deliberately exposes a narrow, allocation-free API shaped for
+//! `dcam-nn`'s convolution layers:
+//!
+//! * [`FftPlan::new`] precomputes bit-reversal and twiddle tables for one
+//!   power-of-two length (one plan per conv geometry, cached in the layer),
+//! * [`FftPlan::real_spectra_into`] turns a batch of contiguous real rows
+//!   (optionally time-reversed, for convolution kernels) into half-spectra,
+//! * [`FftPlan::real_inverse_into`] turns half-spectra back into real rows,
+//!   reading the circular result at a caller-chosen offset and stride so
+//!   padding and strided convolutions need no extra copy,
+//! * [`spectra_mul_acc`] / [`spectra_mul_conj_acc`] are the pointwise
+//!   frequency-domain multiply-accumulates (convolution resp. correlation).
+//!
+//! All scratch lives in a caller-owned [`FftScratch`] so repeated calls on
+//! the hot path allocate nothing, matching the arena discipline of the GEMM
+//! machinery in this crate.
+
+use std::sync::OnceLock;
+
+/// Number of transforms advanced together per FFT call.
+///
+/// Eight `f32` lanes fill one AVX2 `ymm` register exactly; the lane loops
+/// below are written over fixed-size `[f32; FFT_LANES]` slabs so the
+/// compiler unrolls and vectorizes them without intrinsics.
+pub const FFT_LANES: usize = 8;
+
+/// Smallest power of two `>= n` (and `>= 2`).
+///
+/// Convolution drivers use `next_pow2(out_len + kernel_len - 1)` as the
+/// transform length: that is long enough that circular wraparound never
+/// contaminates the linear-convolution samples actually read back.
+pub fn next_pow2(n: usize) -> usize {
+    n.max(2).next_power_of_two()
+}
+
+/// Precomputed tables for one power-of-two transform length.
+///
+/// A plan is immutable after construction and shared freely across threads;
+/// per-call state lives in [`FftScratch`].
+pub struct FftPlan {
+    m: usize,
+    bitrev: Vec<u32>,
+    /// `tw[j] = exp(-2πi · j / m)` for `j < m/2` (forward sign; the inverse
+    /// transform negates the imaginary part on the fly).
+    tw_re: Vec<f32>,
+    tw_im: Vec<f32>,
+}
+
+impl FftPlan {
+    /// Build a plan for transform length `m`, which must be a power of two
+    /// `>= 2`.
+    pub fn new(m: usize) -> Self {
+        assert!(
+            m >= 2 && m.is_power_of_two(),
+            "FftPlan length must be a power of two >= 2, got {m}"
+        );
+        let bits = m.trailing_zeros();
+        let mut bitrev = vec![0u32; m];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - bits);
+        }
+        let half = m / 2;
+        let mut tw_re = vec![0.0f32; half];
+        let mut tw_im = vec![0.0f32; half];
+        for j in 0..half {
+            let ang = -2.0 * std::f64::consts::PI * (j as f64) / (m as f64);
+            tw_re[j] = ang.cos() as f32;
+            tw_im[j] = ang.sin() as f32;
+        }
+        FftPlan {
+            m,
+            bitrev,
+            tw_re,
+            tw_im,
+        }
+    }
+
+    /// The transform length `m`.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Always false (`m >= 2`); present for clippy's `len`-without-`is_empty`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of non-redundant half-spectrum bins per real row: `m/2 + 1`.
+    pub fn bins(&self) -> usize {
+        self.m / 2 + 1
+    }
+
+    /// Forward/inverse transform of [`FFT_LANES`] interleaved complex rows.
+    ///
+    /// `re`/`im` hold `m * FFT_LANES` floats in lane-interleaved layout.
+    /// The inverse applies the `1/m` scale itself.
+    fn transform(&self, re: &mut [f32], im: &mut [f32], inverse: bool) {
+        debug_assert_eq!(re.len(), self.m * FFT_LANES);
+        debug_assert_eq!(im.len(), self.m * FFT_LANES);
+        match simd_level() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: simd_level() verified AVX2+FMA at runtime.
+            SimdLevel::Avx2Fma => unsafe { transform_avx2(self, re, im, inverse) },
+            SimdLevel::Scalar => transform_generic(self, re, im, inverse),
+        }
+    }
+
+    /// Half-spectra of a batch of real rows.
+    ///
+    /// `src` holds `rows` contiguous rows of `row_len <= m` floats each;
+    /// every row is implicitly zero-padded to the transform length. With
+    /// `reversed` set, each row is read back-to-front while loading — the
+    /// convolution driver uses this for kernel taps, because multiplying by
+    /// the spectrum of the *time-reversed* kernel turns circular
+    /// convolution into the sliding dot product the conv layer defines.
+    ///
+    /// `spec_re`/`spec_im` receive `rows * self.bins()` floats, row-major
+    /// (`row * bins + bin`). Rows are packed two per complex transform and
+    /// separated by Hermitian symmetry, so the cost is `rows/2` transforms.
+    pub fn real_spectra_into(
+        &self,
+        src: &[f32],
+        rows: usize,
+        row_len: usize,
+        reversed: bool,
+        spec_re: &mut [f32],
+        spec_im: &mut [f32],
+        scratch: &mut FftScratch,
+    ) {
+        let m = self.m;
+        let bins = self.bins();
+        assert!(row_len <= m, "row_len {row_len} exceeds plan length {m}");
+        assert!(src.len() >= rows * row_len);
+        assert!(spec_re.len() >= rows * bins && spec_im.len() >= rows * bins);
+        scratch.ensure(m);
+        let (re, im) = scratch.lanes(m);
+        // 2 real rows per lane slot -> 2*FFT_LANES rows per batched call.
+        let mut row0 = 0;
+        while row0 < rows {
+            let pairs = ((rows - row0).div_ceil(2)).min(FFT_LANES);
+            re.fill(0.0);
+            im.fill(0.0);
+            for p in 0..pairs {
+                let ra = row0 + 2 * p;
+                let a = &src[ra * row_len..(ra + 1) * row_len];
+                if reversed {
+                    for (t, &v) in a.iter().rev().enumerate() {
+                        re[t * FFT_LANES + p] = v;
+                    }
+                } else {
+                    for (t, &v) in a.iter().enumerate() {
+                        re[t * FFT_LANES + p] = v;
+                    }
+                }
+                if ra + 1 < rows {
+                    let b = &src[(ra + 1) * row_len..(ra + 2) * row_len];
+                    if reversed {
+                        for (t, &v) in b.iter().rev().enumerate() {
+                            im[t * FFT_LANES + p] = v;
+                        }
+                    } else {
+                        for (t, &v) in b.iter().enumerate() {
+                            im[t * FFT_LANES + p] = v;
+                        }
+                    }
+                }
+            }
+            self.transform(re, im, false);
+            // Unpack: with x = a + i·b, Hermitian symmetry gives
+            //   A[k] = (Z[k] + conj(Z[m-k])) / 2,
+            //   B[k] = (Z[k] - conj(Z[m-k])) / (2i).
+            for p in 0..pairs {
+                let ra = row0 + 2 * p;
+                let has_b = ra + 1 < rows;
+                for b in 0..bins {
+                    let mb = (m - b) & (m - 1);
+                    let zr = re[b * FFT_LANES + p];
+                    let zi = im[b * FFT_LANES + p];
+                    let zrm = re[mb * FFT_LANES + p];
+                    let zim = im[mb * FFT_LANES + p];
+                    spec_re[ra * bins + b] = 0.5 * (zr + zrm);
+                    spec_im[ra * bins + b] = 0.5 * (zi - zim);
+                    if has_b {
+                        spec_re[(ra + 1) * bins + b] = 0.5 * (zi + zim);
+                        spec_im[(ra + 1) * bins + b] = 0.5 * (zrm - zr);
+                    }
+                }
+            }
+            row0 += 2 * pairs;
+        }
+    }
+
+    /// Inverse of [`Self::real_spectra_into`]: half-spectra back to real
+    /// rows, sampled from the circular result.
+    ///
+    /// For each row, output element `t` is the inverse transform's value at
+    /// circular index `(t0 + t * stride) mod m`. Convolution drivers use
+    /// `t0` to skip the kernel warm-up / padding region and `stride` to
+    /// subsample strided convolutions straight out of the frequency domain;
+    /// the weight-gradient path uses a `t0` near `m` to read the wrapped
+    /// negative-lag taps of a circular correlation.
+    ///
+    /// `out` receives `rows * out_row_len` floats, row-major.
+    #[allow(clippy::too_many_arguments)]
+    pub fn real_inverse_into(
+        &self,
+        spec_re: &[f32],
+        spec_im: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        out_row_len: usize,
+        t0: usize,
+        stride: usize,
+        scratch: &mut FftScratch,
+    ) {
+        let m = self.m;
+        let bins = self.bins();
+        assert!(stride >= 1 && t0 < m);
+        assert!(spec_re.len() >= rows * bins && spec_im.len() >= rows * bins);
+        assert!(out.len() >= rows * out_row_len);
+        scratch.ensure(m);
+        let (re, im) = scratch.lanes(m);
+        let mut row0 = 0;
+        while row0 < rows {
+            let pairs = ((rows - row0).div_ceil(2)).min(FFT_LANES);
+            re.fill(0.0);
+            im.fill(0.0);
+            // Re-pack two real rows a, b into one complex spectrum
+            // Z = A + i·B (the exact inverse of the unpack above):
+            //   Z[k]     = (A_re - B_im) + i (A_im + B_re)   for k <= m/2,
+            //   Z[m - k] = (A_re + B_im) + i (B_re - A_im)   for 0 < k < m/2.
+            for p in 0..pairs {
+                let ra = row0 + 2 * p;
+                let sa_re = &spec_re[ra * bins..ra * bins + bins];
+                let sa_im = &spec_im[ra * bins..ra * bins + bins];
+                let has_b = ra + 1 < rows;
+                for k in 0..bins {
+                    let (ar, ai) = (sa_re[k], sa_im[k]);
+                    let (br, bi) = if has_b {
+                        (spec_re[(ra + 1) * bins + k], spec_im[(ra + 1) * bins + k])
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    re[k * FFT_LANES + p] = ar - bi;
+                    im[k * FFT_LANES + p] = ai + br;
+                    if k > 0 && k < m / 2 {
+                        let mk = m - k;
+                        re[mk * FFT_LANES + p] = ar + bi;
+                        im[mk * FFT_LANES + p] = br - ai;
+                    }
+                }
+            }
+            self.transform(re, im, true);
+            for p in 0..pairs {
+                let ra = row0 + 2 * p;
+                let oa = &mut out[ra * out_row_len..(ra + 1) * out_row_len];
+                for (t, slot) in oa.iter_mut().enumerate() {
+                    let idx = (t0 + t * stride) % m;
+                    *slot = re[idx * FFT_LANES + p];
+                }
+                if ra + 1 < rows {
+                    let ob = &mut out[(ra + 1) * out_row_len..(ra + 2) * out_row_len];
+                    for (t, slot) in ob.iter_mut().enumerate() {
+                        let idx = (t0 + t * stride) % m;
+                        *slot = im[idx * FFT_LANES + p];
+                    }
+                }
+            }
+            row0 += 2 * pairs;
+        }
+    }
+}
+
+/// Caller-owned scratch for the lane-interleaved transform buffers.
+///
+/// One scratch per thread; `ensure` grows it to a plan's length and further
+/// calls with the same or smaller plans allocate nothing.
+#[derive(Default)]
+pub struct FftScratch {
+    re: Vec<f32>,
+    im: Vec<f32>,
+}
+
+impl FftScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, m: usize) {
+        let need = m * FFT_LANES;
+        if self.re.len() < need {
+            self.re.resize(need, 0.0);
+            self.im.resize(need, 0.0);
+        }
+    }
+
+    fn lanes(&mut self, m: usize) -> (&mut [f32], &mut [f32]) {
+        let need = m * FFT_LANES;
+        (&mut self.re[..need], &mut self.im[..need])
+    }
+}
+
+/// `y += x · k` over half-spectra: the frequency-domain form of convolution.
+///
+/// All six slices hold the same number of bins (possibly several rows
+/// concatenated — the operation is elementwise).
+pub fn spectra_mul_acc(
+    xr: &[f32],
+    xi: &[f32],
+    kr: &[f32],
+    ki: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_level() verified AVX2+FMA at runtime.
+        SimdLevel::Avx2Fma => unsafe { mul_acc_avx2(xr, xi, kr, ki, yr, yi) },
+        SimdLevel::Scalar => mul_acc_generic(xr, xi, kr, ki, yr, yi),
+    }
+}
+
+/// `y += x · conj(k)` over half-spectra: the frequency-domain form of
+/// correlation, used by the backward passes.
+pub fn spectra_mul_conj_acc(
+    xr: &[f32],
+    xi: &[f32],
+    kr: &[f32],
+    ki: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_level() verified AVX2+FMA at runtime.
+        SimdLevel::Avx2Fma => unsafe { mul_conj_acc_avx2(xr, xi, kr, ki, yr, yi) },
+        SimdLevel::Scalar => mul_conj_acc_generic(xr, xi, kr, ki, yr, yi),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SimdLevel {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+}
+
+fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdLevel::Avx2Fma;
+            }
+        }
+        SimdLevel::Scalar
+    })
+}
+
+/// The butterfly network. `#[inline(always)]` so the `target_feature`
+/// wrappers below re-compile this body with AVX2+FMA enabled and the
+/// fixed-width lane loops vectorize; the plain call compiles against the
+/// baseline ISA.
+#[inline(always)]
+fn transform_generic(plan: &FftPlan, re: &mut [f32], im: &mut [f32], inverse: bool) {
+    let m = plan.m;
+    const L: usize = FFT_LANES;
+    // Bit-reversal permutation of whole lane rows.
+    for i in 0..m {
+        let j = plan.bitrev[i] as usize;
+        if i < j {
+            for t in 0..L {
+                re.swap(i * L + t, j * L + t);
+                im.swap(i * L + t, j * L + t);
+            }
+        }
+    }
+    let mut half = 1;
+    while half < m {
+        let step = (m / 2) / half;
+        for base in (0..m).step_by(2 * half) {
+            for k in 0..half {
+                let wr = plan.tw_re[k * step];
+                let wi = if inverse {
+                    -plan.tw_im[k * step]
+                } else {
+                    plan.tw_im[k * step]
+                };
+                let i0 = (base + k) * L;
+                let j0 = i0 + half * L;
+                let (re_lo, re_hi) = re.split_at_mut(j0);
+                let (im_lo, im_hi) = im.split_at_mut(j0);
+                let ru: &mut [f32; L] = (&mut re_lo[i0..i0 + L]).try_into().unwrap();
+                let rv: &mut [f32; L] = (&mut re_hi[..L]).try_into().unwrap();
+                let iu: &mut [f32; L] = (&mut im_lo[i0..i0 + L]).try_into().unwrap();
+                let iv: &mut [f32; L] = (&mut im_hi[..L]).try_into().unwrap();
+                for t in 0..L {
+                    let tr = wr * rv[t] - wi * iv[t];
+                    let ti = wr * iv[t] + wi * rv[t];
+                    rv[t] = ru[t] - tr;
+                    iv[t] = iu[t] - ti;
+                    ru[t] += tr;
+                    iu[t] += ti;
+                }
+            }
+        }
+        half *= 2;
+    }
+    if inverse {
+        let scale = 1.0 / m as f32;
+        for v in re.iter_mut() {
+            *v *= scale;
+        }
+        for v in im.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+#[inline(always)]
+fn mul_acc_generic(xr: &[f32], xi: &[f32], kr: &[f32], ki: &[f32], yr: &mut [f32], yi: &mut [f32]) {
+    let n = yr.len();
+    let (xr, xi) = (&xr[..n], &xi[..n]);
+    let (kr, ki) = (&kr[..n], &ki[..n]);
+    let yi = &mut yi[..n];
+    for b in 0..n {
+        yr[b] += xr[b] * kr[b] - xi[b] * ki[b];
+        yi[b] += xr[b] * ki[b] + xi[b] * kr[b];
+    }
+}
+
+#[inline(always)]
+fn mul_conj_acc_generic(
+    xr: &[f32],
+    xi: &[f32],
+    kr: &[f32],
+    ki: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    let n = yr.len();
+    let (xr, xi) = (&xr[..n], &xi[..n]);
+    let (kr, ki) = (&kr[..n], &ki[..n]);
+    let yi = &mut yi[..n];
+    for b in 0..n {
+        yr[b] += xr[b] * kr[b] + xi[b] * ki[b];
+        yi[b] += xi[b] * kr[b] - xr[b] * ki[b];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn transform_avx2(plan: &FftPlan, re: &mut [f32], im: &mut [f32], inverse: bool) {
+    transform_generic(plan, re, im, inverse);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mul_acc_avx2(
+    xr: &[f32],
+    xi: &[f32],
+    kr: &[f32],
+    ki: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    mul_acc_generic(xr, xi, kr, ki, yr, yi);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mul_conj_acc_avx2(
+    xr: &[f32],
+    xi: &[f32],
+    kr: &[f32],
+    ki: &[f32],
+    yr: &mut [f32],
+    yi: &mut [f32],
+) {
+    mul_conj_acc_generic(xr, xi, kr, ki, yr, yi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    /// Reference DFT of one real row, zero-padded to `m`.
+    fn naive_rdft(x: &[f32], m: usize) -> (Vec<f64>, Vec<f64>) {
+        let bins = m / 2 + 1;
+        let mut re = vec![0.0f64; bins];
+        let mut im = vec![0.0f64; bins];
+        for b in 0..bins {
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (b as f64) * (t as f64) / (m as f64);
+                re[b] += v as f64 * ang.cos();
+                im[b] += v as f64 * ang.sin();
+            }
+        }
+        (re, im)
+    }
+
+    fn rand_vec(rng: &mut SeededRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn real_spectra_match_naive_dft() {
+        let mut rng = SeededRng::new(7);
+        for &(m, rows, row_len) in &[
+            (8usize, 1usize, 5usize),
+            (16, 3, 16),
+            (32, 8, 20),
+            (64, 17, 33),
+        ] {
+            let plan = FftPlan::new(m);
+            let bins = plan.bins();
+            let src = rand_vec(&mut rng, rows * row_len);
+            let mut sre = vec![0.0f32; rows * bins];
+            let mut sim = vec![0.0f32; rows * bins];
+            let mut scratch = FftScratch::new();
+            plan.real_spectra_into(&src, rows, row_len, false, &mut sre, &mut sim, &mut scratch);
+            for r in 0..rows {
+                let (nre, nim) = naive_rdft(&src[r * row_len..(r + 1) * row_len], m);
+                for b in 0..bins {
+                    assert!(
+                        (sre[r * bins + b] as f64 - nre[b]).abs() < 1e-4,
+                        "re mismatch m={m} row={r} bin={b}"
+                    );
+                    assert!(
+                        (sim[r * bins + b] as f64 - nim[b]).abs() < 1e-4,
+                        "im mismatch m={m} row={r} bin={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_rows_match_naive_dft_of_reversed_input() {
+        let mut rng = SeededRng::new(11);
+        let (m, rows, row_len) = (32, 5, 9);
+        let plan = FftPlan::new(m);
+        let bins = plan.bins();
+        let src = rand_vec(&mut rng, rows * row_len);
+        let mut sre = vec![0.0f32; rows * bins];
+        let mut sim = vec![0.0f32; rows * bins];
+        let mut scratch = FftScratch::new();
+        plan.real_spectra_into(&src, rows, row_len, true, &mut sre, &mut sim, &mut scratch);
+        for r in 0..rows {
+            let rev: Vec<f32> = src[r * row_len..(r + 1) * row_len]
+                .iter()
+                .rev()
+                .copied()
+                .collect();
+            let (nre, nim) = naive_rdft(&rev, m);
+            for b in 0..bins {
+                assert!((sre[r * bins + b] as f64 - nre[b]).abs() < 1e-4);
+                assert!((sim[r * bins + b] as f64 - nim[b]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_roundtrips() {
+        let mut rng = SeededRng::new(3);
+        for &(m, rows) in &[(8usize, 2usize), (16, 7), (128, 19)] {
+            let plan = FftPlan::new(m);
+            let bins = plan.bins();
+            let src = rand_vec(&mut rng, rows * m);
+            let mut sre = vec![0.0f32; rows * bins];
+            let mut sim = vec![0.0f32; rows * bins];
+            let mut out = vec![0.0f32; rows * m];
+            let mut scratch = FftScratch::new();
+            plan.real_spectra_into(&src, rows, m, false, &mut sre, &mut sim, &mut scratch);
+            plan.real_inverse_into(&sre, &sim, rows, &mut out, m, 0, 1, &mut scratch);
+            for (a, b) in src.iter().zip(out.iter()) {
+                assert!((a - b).abs() < 1e-4, "roundtrip m={m}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_offset_and_stride_subsample_the_circular_result() {
+        let mut rng = SeededRng::new(5);
+        let (m, rows) = (64, 3);
+        let plan = FftPlan::new(m);
+        let bins = plan.bins();
+        let src = rand_vec(&mut rng, rows * m);
+        let mut sre = vec![0.0f32; rows * bins];
+        let mut sim = vec![0.0f32; rows * bins];
+        let mut scratch = FftScratch::new();
+        plan.real_spectra_into(&src, rows, m, false, &mut sre, &mut sim, &mut scratch);
+        let (t0, stride, out_len) = (61usize, 3usize, 10usize);
+        let mut out = vec![0.0f32; rows * out_len];
+        plan.real_inverse_into(
+            &sre,
+            &sim,
+            rows,
+            &mut out,
+            out_len,
+            t0,
+            stride,
+            &mut scratch,
+        );
+        for r in 0..rows {
+            for t in 0..out_len {
+                let want = src[r * m + (t0 + t * stride) % m];
+                let got = out[r * out_len + t];
+                assert!((want - got).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_linear_convolution_matches_naive() {
+        // The full driver recipe end to end: spectrum of the signal times
+        // spectrum of the time-reversed kernel, read at offset l-1, equals
+        // the valid sliding dot product.
+        let mut rng = SeededRng::new(9);
+        for &(n, l) in &[(20usize, 4usize), (37, 7), (64, 1), (50, 15)] {
+            let w = n - l + 1; // valid positions, stride 1, no padding
+            let m = next_pow2(n);
+            let plan = FftPlan::new(m);
+            let bins = plan.bins();
+            let x = rand_vec(&mut rng, n);
+            let k = rand_vec(&mut rng, l);
+            let mut xs_re = vec![0.0f32; bins];
+            let mut xs_im = vec![0.0f32; bins];
+            let mut ks_re = vec![0.0f32; bins];
+            let mut ks_im = vec![0.0f32; bins];
+            let mut scratch = FftScratch::new();
+            plan.real_spectra_into(&x, 1, n, false, &mut xs_re, &mut xs_im, &mut scratch);
+            plan.real_spectra_into(&k, 1, l, true, &mut ks_re, &mut ks_im, &mut scratch);
+            let mut ys_re = vec![0.0f32; bins];
+            let mut ys_im = vec![0.0f32; bins];
+            spectra_mul_acc(&xs_re, &xs_im, &ks_re, &ks_im, &mut ys_re, &mut ys_im);
+            let mut y = vec![0.0f32; w];
+            plan.real_inverse_into(&ys_re, &ys_im, 1, &mut y, w, l - 1, 1, &mut scratch);
+            for wi in 0..w {
+                let want: f32 = (0..l).map(|j| x[wi + j] * k[j]).sum();
+                assert!(
+                    (want - y[wi]).abs() < 1e-4,
+                    "conv n={n} l={l} wi={wi}: {want} vs {}",
+                    y[wi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fft_correlation_via_conj_matches_naive() {
+        // Correlation (the grad_w recipe): X(f)·conj(G(f)) read at lag 0..l.
+        let mut rng = SeededRng::new(13);
+        let (n, l) = (30usize, 5usize);
+        let w = n - l + 1;
+        let m = next_pow2(n);
+        let plan = FftPlan::new(m);
+        let bins = plan.bins();
+        let x = rand_vec(&mut rng, n);
+        let g = rand_vec(&mut rng, w);
+        let mut xs_re = vec![0.0f32; bins];
+        let mut xs_im = vec![0.0f32; bins];
+        let mut gs_re = vec![0.0f32; bins];
+        let mut gs_im = vec![0.0f32; bins];
+        let mut scratch = FftScratch::new();
+        plan.real_spectra_into(&x, 1, n, false, &mut xs_re, &mut xs_im, &mut scratch);
+        plan.real_spectra_into(&g, 1, w, false, &mut gs_re, &mut gs_im, &mut scratch);
+        let mut cs_re = vec![0.0f32; bins];
+        let mut cs_im = vec![0.0f32; bins];
+        spectra_mul_conj_acc(&xs_re, &xs_im, &gs_re, &gs_im, &mut cs_re, &mut cs_im);
+        let mut c = vec![0.0f32; l];
+        plan.real_inverse_into(&cs_re, &cs_im, 1, &mut c, l, 0, 1, &mut scratch);
+        for lag in 0..l {
+            let want: f32 = (0..w).map(|t| x[t + lag] * g[t]).sum();
+            assert!((want - c[lag]).abs() < 1e-4, "corr lag={lag}");
+        }
+    }
+
+    #[test]
+    fn next_pow2_covers_edges() {
+        assert_eq!(next_pow2(0), 2);
+        assert_eq!(next_pow2(1), 2);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(17), 32);
+        assert_eq!(next_pow2(1 << 14), 1 << 14);
+        assert_eq!(next_pow2((1 << 14) + 1), 1 << 15);
+    }
+}

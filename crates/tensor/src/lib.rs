@@ -11,6 +11,9 @@
 //! * a packed, register-tiled, thread-parallel GEMM ([`Tensor::matmul`] and
 //!   its transposed / allocation-free `_into` variants) used by dense
 //!   layers, recurrent cells and the im2col convolution path,
+//! * a lane-batched, real-input radix-2 FFT ([`FftPlan`]) with caller-owned
+//!   scratch ([`FftScratch`]), the substrate of the long-series `fft`
+//!   convolution strategy in `dcam-nn`,
 //! * seeded random number utilities shared by the whole workspace.
 //!
 //! The design intentionally avoids generic element types, broadcasting rules
@@ -29,6 +32,7 @@
 //! ```
 
 mod error;
+mod fft;
 mod gemm;
 mod matmul;
 mod ops;
@@ -37,6 +41,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use fft::{next_pow2, spectra_mul_acc, spectra_mul_conj_acc, FftPlan, FftScratch, FFT_LANES};
 pub use gemm::{
     gemm_nn, gemm_nt, gemm_packed, gemm_packed_panel_batch, gemm_packed_strided_b, gemm_tn,
     pack_b_into, packed_b_len, thread_count, PackedA, GEMM_NR,
