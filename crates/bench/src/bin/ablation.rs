@@ -148,7 +148,8 @@ fn main() {
                 &recombine(&r_correct.mbar, &r_correct.mu, false, false),
                 mask.tensor(),
             ));
-            let occ = occlusion_map(gap, series, 1, &OcclusionConfig::default());
+            let occ = occlusion_map(gap, series, 1, &OcclusionConfig::default())
+                .expect("default occlusion window fits the benchmark series");
             scores[5].1.push(dr_acc(&occ, mask.tensor()));
             scores[6].1.push(dr_acc_random(mask.tensor()));
         }

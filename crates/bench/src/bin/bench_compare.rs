@@ -12,6 +12,8 @@
 //! * `conv[shape].im2col_bwd_ns`         — lower is better
 //! * `dcam.new_ms`                       — lower is better
 //! * `dcam_many[n_instances].many_ms`    — lower is better
+//! * `eval[n_instances].harness_ms`      — lower is better
+//! * `eval[n_instances].batched_classify_ms` — lower is better
 //! * `service[n_submitters].throughput_rps` — higher is better
 //! * `server[conn_workers].throughput_rps`  — higher is better
 //! * `registry[active_models].throughput_rps` — higher is better
@@ -127,6 +129,20 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             });
         }
     }
+    for row in rows(report, "eval") {
+        let Some(n) = number(row, "n_instances") else {
+            continue;
+        };
+        for key in ["harness_ms", "batched_classify_ms"] {
+            if let Some(v) = number(row, key) {
+                out.push(Metric {
+                    name: format!("eval[{n}].{key}"),
+                    baseline: v,
+                    higher_is_better: false,
+                });
+            }
+        }
+    }
     for row in rows(report, "service") {
         if let (Some(n), Some(v)) = (number(row, "n_submitters"), number(row, "throughput_rps")) {
             out.push(Metric {
@@ -223,6 +239,13 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
                 &rows(report, "dcam_many"),
                 &[("n_instances", n.parse().ok()?)],
             )?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("eval[") {
+        let (n, key) = rest.split_once("].")?;
+        return number(
+            matching_row(&rows(report, "eval"), &[("n_instances", n.parse().ok()?)])?,
             key,
         );
     }

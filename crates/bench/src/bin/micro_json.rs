@@ -89,6 +89,26 @@ struct DcamManyRow {
 }
 
 #[derive(Serialize)]
+struct EvalRow {
+    n_instances: usize,
+    /// Explanation methods compared (the default harness: dcam + random).
+    methods: usize,
+    /// Masked-fraction grid points per curve.
+    grid_points: usize,
+    /// One full faithfulness run: attributions, then a deletion and an
+    /// insertion sweep per method, every point re-classifying all
+    /// instances through `classify_many`.
+    harness_ms: f64,
+    /// Instance re-classifications per second across the harness run.
+    reclass_per_s: f64,
+    /// N single-instance classification calls (the unbatched path).
+    sequential_classify_ms: f64,
+    /// One `classify_many` call over all N instances.
+    batched_classify_ms: f64,
+    classify_speedup: f64,
+}
+
+#[derive(Serialize)]
 struct ServiceRow {
     n_submitters: usize,
     requests: usize,
@@ -160,6 +180,7 @@ struct Report {
     conv_long: Vec<ConvLongRow>,
     dcam: DcamRow,
     dcam_many: Vec<DcamManyRow>,
+    eval: Vec<EvalRow>,
     service: Vec<ServiceRow>,
     server: Vec<ServerRow>,
     registry: Vec<RegistryRow>,
@@ -483,6 +504,70 @@ fn bench_dcam_many() -> Vec<DcamManyRow> {
             per_instance_ms: many * 1e3 / n_inst as f64,
             sequential_ms: sequential * 1e3,
             aggregate_speedup: sequential / many,
+        });
+    }
+    rows
+}
+
+/// Faithfulness-harness throughput on the planted fixture: a full
+/// deletion/insertion evaluation (default methods and grid) end to end,
+/// plus the batched-vs-sequential re-classification comparison that is
+/// the harness's hot path.
+fn bench_eval() -> Vec<EvalRow> {
+    use dcam::dcam_many::DcamManyConfig as ManyCfg;
+    use dcam::{classify_many, planted_dataset, planted_model, PlantedSpec};
+    use dcam_eval::{run_harness, HarnessConfig, LocalBackend};
+
+    let mut rows = Vec::new();
+    for per_class in [8usize, 32] {
+        let spec = PlantedSpec {
+            per_class,
+            ..Default::default()
+        };
+        let mut model = planted_model(&spec);
+        let data = planted_dataset(&spec);
+        let cfg = HarnessConfig::default();
+        let harness = best_of(
+            || {
+                let mut backend = LocalBackend::new(&mut model);
+                std::hint::black_box(
+                    run_harness(&mut backend, &data.samples, &data.labels, &cfg, None)
+                        .expect("harness on the planted fixture"),
+                );
+            },
+            1,
+            5,
+        );
+        // Base classification plus one full-dataset re-classification per
+        // (method × direction × grid point).
+        let grid_points = cfg.k_grid.len();
+        let reclassifications = data.samples.len() * (1 + cfg.methods.len() * 2 * grid_points);
+        let sequential = best_of(
+            || {
+                for s in &data.samples {
+                    std::hint::black_box(classify_many(&mut model, std::slice::from_ref(s), 1));
+                }
+            },
+            1,
+            5,
+        );
+        let max_batch = ManyCfg::default().max_batch;
+        let batched = best_of(
+            || {
+                std::hint::black_box(classify_many(&mut model, &data.samples, max_batch));
+            },
+            1,
+            5,
+        );
+        rows.push(EvalRow {
+            n_instances: data.samples.len(),
+            methods: cfg.methods.len(),
+            grid_points,
+            harness_ms: harness * 1e3,
+            reclass_per_s: reclassifications as f64 / harness,
+            sequential_classify_ms: sequential * 1e3,
+            batched_classify_ms: batched * 1e3,
+            classify_speedup: sequential / batched,
         });
     }
     rows
@@ -1017,6 +1102,9 @@ fn main() {
     eprintln!("dcam_many (cross-instance engine, N in {{1, 4, 16}}) ...");
     let dcam_many = bench_dcam_many();
 
+    eprintln!("eval (faithfulness harness on the planted fixture) ...");
+    let eval = bench_eval();
+
     eprintln!("service (async explanation service under load) ...");
     let service = bench_service();
 
@@ -1042,6 +1130,7 @@ fn main() {
             speedup: seed_ms / new_ms,
         },
         dcam_many,
+        eval,
         service,
         server,
         registry,

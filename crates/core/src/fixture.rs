@@ -1,0 +1,222 @@
+//! Deterministic planted-weights classifier and dataset for
+//! explanation-quality tests.
+//!
+//! Training-based fixtures made explanation tests hostage to the training
+//! recipe (see the ROADMAP's generalization-gap item): a run that fails to
+//! converge says nothing about the attribution method under test. This
+//! module instead *constructs* a dCNN-shaped [`GapClassifier`] whose
+//! weights are planted analytically, paired with a synthetic dataset it
+//! classifies perfectly by design:
+//!
+//! * class-1 instances carry one additive bump of `amplitude` over
+//!   `bump_len` samples of a single dimension (recorded in the instance's
+//!   [`GroundTruthMask`]); class-0 instances are pure low-σ noise;
+//! * the model's conv channel 1 is a moving-average filter reading only
+//!   cube position `p = 0` — row `r` of the C(T) cube at position 0 holds
+//!   dimension `r` itself, so after ReLU + GAP the feature `f₁` is (up to
+//!   noise) `bump_len·amplitude/(D·n)` for class 1 and ≈ 0 for class 0;
+//! * conv channel 0 has zero weights and bias [`PlantedSpec::threshold`],
+//!   so after ReLU + GAP it is a constant `f₀ = threshold`; the dense head
+//!   is the identity, making the decision exactly `f₁ > threshold`.
+//!
+//! Because every cube row reads its own dimension and GAP sums over all
+//! rows, the decision is invariant under dCAM's row permutations: all
+//! permutations of a correctly-classified instance stay correctly
+//! classified (`ng == k`), which keeps dCAM's statistics full-rank and the
+//! fixture deterministic end to end. Zeroing bump cells monotonically
+//! lowers `f₁` (ReLU of a moving average is monotone in each positive
+//! input), which is what makes deletion curves on this fixture provably
+//! monotone — the property `tests/eval_faithfulness.rs` leans on.
+
+use crate::arch::{GapClassifier, InputEncoding};
+use dcam_nn::layers::Layer;
+use dcam_nn::layers::{Conv2dRows, Dense, Relu, Sequential};
+use dcam_series::{Dataset, GroundTruthMask, MultivariateSeries};
+use dcam_tensor::SeededRng;
+
+/// Geometry and signal parameters shared by [`planted_model`] and
+/// [`planted_dataset`].
+#[derive(Debug, Clone)]
+pub struct PlantedSpec {
+    /// Series dimensions `D`.
+    pub dims: usize,
+    /// Series length `n`.
+    pub len: usize,
+    /// Moving-average kernel length of the planted conv filter.
+    pub kernel: usize,
+    /// Length of the class-1 discriminant bump.
+    pub bump_len: usize,
+    /// Additive amplitude of the bump.
+    pub amplitude: f32,
+    /// Standard deviation of the background noise.
+    pub noise: f32,
+    /// Instances generated per class.
+    pub per_class: usize,
+    /// Seed driving noise and bump placement.
+    pub seed: u64,
+}
+
+impl Default for PlantedSpec {
+    fn default() -> Self {
+        PlantedSpec {
+            dims: 4,
+            len: 32,
+            kernel: 4,
+            bump_len: 8,
+            amplitude: 2.0,
+            noise: 0.04,
+            per_class: 8,
+            seed: 7,
+        }
+    }
+}
+
+impl PlantedSpec {
+    /// The decision threshold planted into feature 0: half the GAP
+    /// response a full-coverage bump produces in feature 1.
+    pub fn threshold(&self) -> f32 {
+        0.5 * (self.bump_len as f32) * self.amplitude / ((self.dims * self.len) as f32)
+    }
+}
+
+/// Builds the planted two-class dCNN classifier described in the module
+/// docs. No training is involved: the weights are closed-form.
+pub fn planted_model(spec: &PlantedSpec) -> GapClassifier {
+    assert!(spec.dims >= 1 && spec.len >= spec.kernel && spec.kernel >= 1);
+    let mut rng = SeededRng::new(spec.seed);
+    let features = Sequential::new()
+        .push(Conv2dRows::same(spec.dims, 2, spec.kernel, &mut rng))
+        .push(Relu::new());
+    let head = Dense::new(2, 2, &mut rng);
+    let mut model = GapClassifier::new("planted-dCNN", InputEncoding::Dcnn, features, head)
+        .with_input_dims(spec.dims);
+
+    // visit_params order is construction-stable: conv weight [2, D, ℓ],
+    // conv bias [2], head weight [2, 2], head bias [2].
+    let (d, l, c0) = (spec.dims, spec.kernel, spec.threshold());
+    let mut slot = 0usize;
+    model.visit_params(&mut |p| {
+        let data = p.value.data_mut();
+        match slot {
+            0 => {
+                // Channel 1 = moving average of input channel p = 0 only;
+                // channel 0 reads nothing.
+                data.fill(0.0);
+                for li in 0..l {
+                    data[d * l + li] = 1.0 / l as f32;
+                }
+            }
+            1 => {
+                data[0] = c0;
+                data[1] = 0.0;
+            }
+            2 => data.copy_from_slice(&[1.0, 0.0, 0.0, 1.0]),
+            3 => data.fill(0.0),
+            _ => unreachable!("planted model has exactly four parameter tensors"),
+        }
+        slot += 1;
+    });
+    model
+}
+
+/// Generates the matching dataset: `2·per_class` instances, labels
+/// alternating 0/1, class-1 bumps placed on dimension `i % D` at a seeded
+/// random start kept `kernel` samples away from both edges (so the
+/// moving-average response is full-coverage), with ground-truth masks on
+/// every class-1 instance.
+pub fn planted_dataset(spec: &PlantedSpec) -> Dataset {
+    assert!(
+        spec.len >= spec.bump_len + 2 * spec.kernel,
+        "series too short to place an interior bump"
+    );
+    let mut rng = SeededRng::new(spec.seed.wrapping_add(1));
+    let mut samples = Vec::with_capacity(2 * spec.per_class);
+    let mut labels = Vec::with_capacity(2 * spec.per_class);
+    let mut masks = Vec::with_capacity(2 * spec.per_class);
+    for i in 0..2 * spec.per_class {
+        let label = i % 2;
+        let mut rows: Vec<Vec<f32>> = (0..spec.dims)
+            .map(|_| (0..spec.len).map(|_| spec.noise * rng.normal()).collect())
+            .collect();
+        if label == 1 {
+            let dim = (i / 2) % spec.dims;
+            let start = rng.range(spec.kernel, spec.len - spec.bump_len - spec.kernel + 1);
+            for t in start..start + spec.bump_len {
+                rows[dim][t] += spec.amplitude;
+            }
+            let mut mask = GroundTruthMask::zeros(spec.dims, spec.len);
+            mask.mark(dim, start, spec.bump_len);
+            masks.push(Some(mask));
+        } else {
+            masks.push(None);
+        }
+        samples.push(MultivariateSeries::from_rows(&rows));
+        labels.push(label);
+    }
+    let mut ds = Dataset::new("planted", samples, labels, 2);
+    ds.masks = masks;
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_tensor::argmax;
+
+    #[test]
+    fn planted_model_classifies_planted_dataset_perfectly() {
+        let spec = PlantedSpec::default();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        for (s, &label) in ds.samples.iter().zip(&ds.labels) {
+            let logits = model.logits_for(s);
+            assert_eq!(
+                argmax(logits.data()).unwrap(),
+                label,
+                "misclassified a planted instance: logits {:?}",
+                logits.data()
+            );
+        }
+    }
+
+    #[test]
+    fn feature_zero_is_the_constant_threshold() {
+        let spec = PlantedSpec::default();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        for s in &ds.samples {
+            let logits = model.logits_for(s);
+            assert!(
+                (logits.data()[0] - spec.threshold()).abs() < 1e-6,
+                "logit 0 drifted from the planted threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_is_row_permutation_invariant() {
+        let spec = PlantedSpec::default();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut rng = SeededRng::new(11);
+        for (s, &label) in ds.samples.iter().zip(&ds.labels).take(6) {
+            let perm = rng.permutation(spec.dims);
+            let shuffled = s.permute_dims(&perm);
+            let logits = model.logits_for(&shuffled);
+            assert_eq!(argmax(logits.data()).unwrap(), label);
+        }
+    }
+
+    #[test]
+    fn masks_cover_exactly_the_bump() {
+        let spec = PlantedSpec::default();
+        let ds = planted_dataset(&spec);
+        for (i, mask) in ds.masks.iter().enumerate() {
+            if ds.labels[i] == 1 {
+                assert_eq!(mask.as_ref().unwrap().positives(), spec.bump_len);
+            } else {
+                assert!(mask.is_none());
+            }
+        }
+    }
+}

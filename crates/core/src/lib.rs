@@ -57,8 +57,10 @@
 pub mod aggregate;
 pub mod arch;
 pub mod cam;
+pub mod classify;
 pub mod dcam;
 pub mod dcam_many;
+pub mod fixture;
 pub mod knn;
 pub mod model;
 pub mod occlusion;
@@ -68,15 +70,18 @@ pub mod train;
 pub mod viz;
 
 pub use arch::{GapClassifier, InputEncoding, ModelScale};
+pub use classify::{classify_many, classify_many_with_arena};
 pub use dcam::{compute_dcam, DcamConfig, DcamResult};
 pub use dcam_many::{
     compute_dcam_many, DcamBatcher, DcamBatcherConfig, DcamManyConfig, DcamRequest, Ticket,
 };
+pub use fixture::{planted_dataset, planted_model, PlantedSpec};
 pub use model::{ArchKind, Classifier};
+pub use occlusion::{OcclusionConfig, OcclusionError};
 pub use registry::{ModelInfo, ModelRegistry, RegistryError};
 pub use service::{
-    Backpressure, DcamService, ExplanationFuture, RequestOptions, ServiceConfig, ServiceError,
-    ServiceHandle, ServiceStats,
+    Backpressure, Classification, DcamService, ExplanationFuture, RequestOptions, ServiceConfig,
+    ServiceError, ServiceHandle, ServiceStats,
 };
 
 /// Grad-CAM support lives with the MTEX architecture; re-exported here for

@@ -13,6 +13,7 @@ use crate::arch::GapClassifier;
 use dcam_nn::layers::Layer;
 use dcam_series::MultivariateSeries;
 use dcam_tensor::Tensor;
+use std::fmt;
 
 /// Occlusion configuration.
 #[derive(Debug, Clone)]
@@ -36,44 +37,91 @@ impl Default for OcclusionConfig {
     }
 }
 
-/// Computes the occlusion saliency map `(D, n)` of `series` for `class`.
+/// Rejected occlusion configuration.
 ///
-/// Every cell accumulates the score drop of each window covering it,
-/// normalized by its coverage count, so interior cells are not favoured
-/// over boundary cells.
-pub fn occlusion_map(
-    model: &mut GapClassifier,
-    series: &MultivariateSeries,
-    class: usize,
-    cfg: &OcclusionConfig,
-) -> Tensor {
-    assert!(cfg.window >= 1 && cfg.stride >= 1);
-    let d = series.n_dims();
-    let n = series.len();
-    assert!(cfg.window <= n, "occlusion window longer than the series");
+/// Served eval jobs map these to structured `400` responses instead of
+/// tearing down a worker with a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcclusionError {
+    /// `window` or `stride` was zero.
+    DegenerateConfig,
+    /// The window does not fit in the series.
+    WindowTooLong {
+        /// Configured window length.
+        window: usize,
+        /// Length of the series it was applied to.
+        len: usize,
+    },
+}
 
-    let base_score = class_score(model, series, class);
+impl fmt::Display for OcclusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OcclusionError::DegenerateConfig => {
+                write!(f, "occlusion window and stride must be at least 1")
+            }
+            OcclusionError::WindowTooLong { window, len } => write!(
+                f,
+                "occlusion window ({window}) longer than the series ({len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OcclusionError {}
+
+/// The `[start, end)` windows occlusion slides over one dimension of a
+/// length-`n` series, shared between [`occlusion_map`] and the harness's
+/// batched re-scoring path.
+pub fn occlusion_spans(
+    n: usize,
+    cfg: &OcclusionConfig,
+) -> Result<Vec<(usize, usize)>, OcclusionError> {
+    if cfg.window == 0 || cfg.stride == 0 {
+        return Err(OcclusionError::DegenerateConfig);
+    }
+    if cfg.window > n {
+        return Err(OcclusionError::WindowTooLong {
+            window: cfg.window,
+            len: n,
+        });
+    }
+    let mut spans = Vec::new();
+    let mut start = 0;
+    loop {
+        let end = (start + cfg.window).min(n);
+        spans.push((start, end));
+        if end == n {
+            return Ok(spans);
+        }
+        start += cfg.stride;
+    }
+}
+
+/// Assembles the `(D, n)` saliency map from pre-computed window scores.
+///
+/// `scores[dim * spans.len() + w]` must hold the class score of the series
+/// with window `spans[w]` of dimension `dim` occluded; this lets callers
+/// that batch the occluded forwards (the eval harness via `classify_many`)
+/// reuse the exact per-cell accumulation of [`occlusion_map`]: every cell
+/// averages the score drop of the windows covering it.
+pub fn occlusion_map_from_scores(
+    base_score: f32,
+    scores: &[f32],
+    d: usize,
+    n: usize,
+    spans: &[(usize, usize)],
+) -> Tensor {
+    assert_eq!(scores.len(), d * spans.len(), "one score per (dim, window)");
     let mut acc = Tensor::zeros(&[d, n]);
     let mut coverage = vec![0u32; d * n];
-
     for dim in 0..d {
-        let mut start = 0;
-        loop {
-            let end = (start + cfg.window).min(n);
-            // Occlude [start, end) of `dim`.
-            let mut occluded = series.clone();
-            for v in &mut occluded.dim_mut(dim)[start..end] {
-                *v = cfg.baseline;
-            }
-            let drop = base_score - class_score(model, &occluded, class);
+        for (w, &(start, end)) in spans.iter().enumerate() {
+            let drop = base_score - scores[dim * spans.len() + w];
             for t in start..end {
                 acc.data_mut()[dim * n + t] += drop;
                 coverage[dim * n + t] += 1;
             }
-            if end == n {
-                break;
-            }
-            start += cfg.stride;
         }
     }
     for (v, &c) in acc.data_mut().iter_mut().zip(&coverage) {
@@ -82,6 +130,41 @@ pub fn occlusion_map(
         }
     }
     acc
+}
+
+/// Computes the occlusion saliency map `(D, n)` of `series` for `class`.
+///
+/// Every cell accumulates the score drop of each window covering it,
+/// normalized by its coverage count, so interior cells are not favoured
+/// over boundary cells.
+///
+/// # Errors
+///
+/// Returns [`OcclusionError`] when the window is degenerate or longer than
+/// the series.
+pub fn occlusion_map(
+    model: &mut GapClassifier,
+    series: &MultivariateSeries,
+    class: usize,
+    cfg: &OcclusionConfig,
+) -> Result<Tensor, OcclusionError> {
+    let d = series.n_dims();
+    let n = series.len();
+    let spans = occlusion_spans(n, cfg)?;
+
+    let base_score = class_score(model, series, class);
+    let mut scores = Vec::with_capacity(d * spans.len());
+    for dim in 0..d {
+        for &(start, end) in &spans {
+            // Occlude [start, end) of `dim`.
+            let mut occluded = series.clone();
+            for v in &mut occluded.dim_mut(dim)[start..end] {
+                *v = cfg.baseline;
+            }
+            scores.push(class_score(model, &occluded, class));
+        }
+    }
+    Ok(occlusion_map_from_scores(base_score, &scores, d, n, &spans))
 }
 
 fn class_score(model: &mut GapClassifier, series: &MultivariateSeries, class: usize) -> f32 {
@@ -117,7 +200,7 @@ mod tests {
             stride: 3,
             baseline: 0.0,
         };
-        let map = occlusion_map(&mut model, &s, 0, &cfg);
+        let map = occlusion_map(&mut model, &s, 0, &cfg).unwrap();
         assert_eq!(map.dims(), &[3, 20]);
         assert!(map.data().iter().all(|v| v.is_finite()));
     }
@@ -130,7 +213,7 @@ mod tests {
         let mut model = cnn(InputEncoding::Cnn, 2, 2, ModelScale::Tiny, &mut rng);
         model.visit_params(&mut |p| p.value.fill(0.0));
         let s = toy_series(2, 16, 3);
-        let map = occlusion_map(&mut model, &s, 0, &OcclusionConfig::default());
+        let map = occlusion_map(&mut model, &s, 0, &OcclusionConfig::default()).unwrap();
         assert!(map.data().iter().all(|&v| v.abs() < 1e-6));
     }
 
@@ -139,17 +222,16 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let mut model = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
         let s = toy_series(3, 16, 5);
-        let map = occlusion_map(&mut model, &s, 1, &OcclusionConfig::default());
+        let map = occlusion_map(&mut model, &s, 1, &OcclusionConfig::default()).unwrap();
         assert_eq!(map.dims(), &[3, 16]);
     }
 
     #[test]
-    #[should_panic(expected = "window longer")]
     fn rejects_oversized_window() {
         let mut rng = SeededRng::new(6);
         let mut model = cnn(InputEncoding::Cnn, 2, 2, ModelScale::Tiny, &mut rng);
         let s = toy_series(2, 8, 7);
-        occlusion_map(
+        let err = occlusion_map(
             &mut model,
             &s,
             0,
@@ -158,6 +240,41 @@ mod tests {
                 stride: 1,
                 baseline: 0.0,
             },
+        )
+        .unwrap_err();
+        assert_eq!(err, OcclusionError::WindowTooLong { window: 9, len: 8 });
+        assert!(err.to_string().contains("longer than the series"));
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        assert_eq!(
+            occlusion_spans(
+                8,
+                &OcclusionConfig {
+                    window: 4,
+                    stride: 0,
+                    baseline: 0.0
+                }
+            )
+            .unwrap_err(),
+            OcclusionError::DegenerateConfig
         );
+    }
+
+    #[test]
+    fn spans_tile_the_series() {
+        let spans = occlusion_spans(10, &OcclusionConfig::default()).unwrap();
+        assert_eq!(spans, vec![(0, 8), (4, 10)]);
+        let full = occlusion_spans(
+            5,
+            &OcclusionConfig {
+                window: 5,
+                stride: 2,
+                baseline: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(full, vec![(0, 5)]);
     }
 }

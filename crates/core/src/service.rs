@@ -248,6 +248,10 @@ pub type ExplanationFuture = ResponseFuture<DcamResult>;
 /// Future of a classification request ([`ServiceHandle::submit_classify`]).
 pub type ClassifyFuture = ResponseFuture<Classification>;
 
+/// Future of a batched classification request
+/// ([`ServiceHandle::submit_classify_many`]).
+pub type ClassifyManyFuture = ResponseFuture<Vec<Classification>>;
+
 impl<T> ResponseFuture<T> {
     /// Blocks until the request is served (or its worker dies).
     pub fn wait(self) -> Result<T, ServiceError> {
@@ -575,6 +579,14 @@ enum RequestKind {
     Classify {
         tx: mpsc::Sender<Result<Classification, ServiceError>>,
     },
+    /// A batched re-classification (the eval harness's masking sweeps);
+    /// served in one `classify_many` pass through the mega-batch engine.
+    /// The first series rides in [`QueuedRequest::series`]; `rest` holds
+    /// the remainder, so the whole batch occupies one queue slot.
+    ClassifyMany {
+        rest: Vec<MultivariateSeries>,
+        tx: mpsc::Sender<Result<Vec<Classification>, ServiceError>>,
+    },
 }
 
 /// One request as it sits in the shared queue.
@@ -594,6 +606,7 @@ impl QueuedRequest {
         match self.kind {
             RequestKind::Explain { tx, .. } => drop(tx.send(Err(err))),
             RequestKind::Classify { tx } => drop(tx.send(Err(err))),
+            RequestKind::ClassifyMany { tx, .. } => drop(tx.send(Err(err))),
         }
     }
 }
@@ -808,6 +821,29 @@ impl ServiceHandle {
     ) -> Result<ClassifyFuture, ServiceError> {
         self.validate(series)?;
         self.enqueue(series, tenant, |tx| RequestKind::Classify { tx })
+    }
+
+    /// Submits a whole batch for re-classification in one request.
+    ///
+    /// The batch occupies a single queue slot and is served by one worker
+    /// in one `classify_many` pass through the mega-batch engine, so a
+    /// masking sweep of the eval harness costs one queue round-trip per
+    /// masking level instead of one per instance. Every series is
+    /// validated up front; results come back in submission order.
+    pub fn submit_classify_many(
+        &self,
+        batch: &[MultivariateSeries],
+        tenant: Option<u64>,
+    ) -> Result<ClassifyManyFuture, ServiceError> {
+        let (first, rest) = batch.split_first().ok_or(ServiceError::EmptySeries)?;
+        for series in batch {
+            self.validate(series)?;
+        }
+        let rest = rest.to_vec();
+        self.enqueue(first, tenant, move |tx| RequestKind::ClassifyMany {
+            rest,
+            tx,
+        })
     }
 
     fn validate(&self, series: &MultivariateSeries) -> Result<(), ServiceError> {
@@ -1261,6 +1297,43 @@ fn worker_loop(
                                 );
                                 drop(stats);
                                 let _ = tx.send(Ok(Classification { class, logits }));
+                            }
+                            Err(_) => {
+                                lock_ignore_poison(&shared.stats).failed += 1;
+                                let _ = tx.send(Err(ServiceError::WorkerLost));
+                                if !recover_worker(
+                                    &mut state,
+                                    &mut waiters,
+                                    &shared,
+                                    &recovery,
+                                    &batcher_cfg,
+                                ) {
+                                    return state.model;
+                                }
+                            }
+                        }
+                    }
+                    RequestKind::ClassifyMany { rest, tx } => {
+                        // Reassemble the batch (first instance rides the
+                        // queue slot) and serve it in one guarded
+                        // mega-batch pass.
+                        let mut all = Vec::with_capacity(1 + rest.len());
+                        all.push(series);
+                        all.extend(rest);
+                        let max_batch = batcher_cfg.many.max_batch.max(1);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            crate::classify::classify_many(&mut state.model, &all, max_batch)
+                        }));
+                        match outcome {
+                            Ok(results) => {
+                                let mut stats = lock_ignore_poison(&shared.stats);
+                                stats.classified += results.len() as u64;
+                                stats.record_latency(
+                                    Instant::now() - enqueued_at,
+                                    shared.latency_window,
+                                );
+                                drop(stats);
+                                let _ = tx.send(Ok(results));
                             }
                             Err(_) => {
                                 lock_ignore_poison(&shared.stats).failed += 1;

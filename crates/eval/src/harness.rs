@@ -1,0 +1,547 @@
+//! The perturbation-based explanation-faithfulness harness.
+//!
+//! For each explanation method, the harness computes one attribution map
+//! per instance, ranks the `(dimension, time)` cells, and sweeps a grid of
+//! masked fractions: the **deletion** curve masks the top-k cells and
+//! re-classifies (a faithful explanation makes accuracy collapse fast —
+//! lower AUC is better), the **insertion** curve reveals only the top-k
+//! cells over a fully-masked baseline (faithful explanations restore
+//! accuracy fast — higher AUC is better). Every masking level re-classifies
+//! the whole dataset in one [`EvalBackend::classify`] call, so the sweep
+//! rides the mega-batch engine instead of paying per-instance forwards.
+//!
+//! The harness is backend-generic: [`LocalBackend`] runs in-process against
+//! a `GapClassifier`, [`ServiceBackend`] runs through a live
+//! [`ServiceHandle`] (the `/v1/eval` endpoint's path). Both drive the same
+//! batching shape, which is what lets the served report match the
+//! in-process one to float tolerance.
+
+use crate::masking::{apply_mask, MaskStrategy};
+use crate::perturb::{cells_at, rank_cells, Curve, CurvePoint};
+use dcam::classify::classify_many_with_arena;
+use dcam::dcam::compute_dcam;
+use dcam::knn::{series_distance, Distance};
+use dcam::occlusion::{occlusion_map_from_scores, occlusion_spans, OcclusionConfig};
+use dcam::{Classification, DcamConfig, DcamManyConfig, GapClassifier, ServiceHandle};
+use dcam_nn::BatchArena;
+use dcam_series::MultivariateSeries;
+use dcam_tensor::{SeededRng, Tensor};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// An explanation method the harness can compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainerKind {
+    /// The paper's dimension-wise CAM.
+    Dcam,
+    /// Sliding-window occlusion saliency (re-scored through the backend,
+    /// so it batches like everything else).
+    Occlusion,
+    /// Nearest-unlike-neighbour contrast: `|T − NUN(T)|` per cell.
+    Knn,
+    /// Seeded uniform-random attribution — the floor every real method
+    /// must beat.
+    Random,
+}
+
+impl ExplainerKind {
+    /// Wire name (`"dcam"` / `"occlusion"` / `"knn"` / `"random"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplainerKind::Dcam => "dcam",
+            ExplainerKind::Occlusion => "occlusion",
+            ExplainerKind::Knn => "knn",
+            ExplainerKind::Random => "random",
+        }
+    }
+
+    /// Parses a wire name; `None` for unknown methods.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dcam" => Some(ExplainerKind::Dcam),
+            "occlusion" => Some(ExplainerKind::Occlusion),
+            "knn" => Some(ExplainerKind::Knn),
+            "random" => Some(ExplainerKind::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Classification + attribution provider the harness runs against.
+///
+/// Errors are surfaced as strings: the harness aborts the job with the
+/// first failure (jobs are cheap to resubmit; partial reports are not
+/// comparable).
+pub trait EvalBackend {
+    /// Classifies a batch, results in submission order.
+    fn classify(&mut self, batch: &[MultivariateSeries]) -> Result<Vec<Classification>, String>;
+    /// The dCAM attribution map `(D, n)` of one series for `class`.
+    fn dcam_map(&mut self, series: &MultivariateSeries, class: usize) -> Result<Tensor, String>;
+}
+
+/// In-process backend over a mutable classifier.
+pub struct LocalBackend<'a> {
+    model: &'a mut GapClassifier,
+    dcam: DcamConfig,
+    max_batch: usize,
+    arena: BatchArena,
+}
+
+impl<'a> LocalBackend<'a> {
+    /// Wraps a classifier with the default dCAM config and the mega-batch
+    /// capacity the service workers use — matching the service's batching
+    /// exactly is what keeps served and local reports comparable.
+    pub fn new(model: &'a mut GapClassifier) -> Self {
+        LocalBackend {
+            model,
+            dcam: DcamConfig::default(),
+            max_batch: DcamManyConfig::default().max_batch,
+            arena: BatchArena::new(),
+        }
+    }
+
+    /// Overrides the dCAM configuration.
+    pub fn with_dcam(mut self, dcam: DcamConfig) -> Self {
+        self.dcam = dcam;
+        self
+    }
+}
+
+impl EvalBackend for LocalBackend<'_> {
+    fn classify(&mut self, batch: &[MultivariateSeries]) -> Result<Vec<Classification>, String> {
+        Ok(classify_many_with_arena(
+            self.model,
+            batch,
+            self.max_batch,
+            &mut self.arena,
+        ))
+    }
+
+    fn dcam_map(&mut self, series: &MultivariateSeries, class: usize) -> Result<Tensor, String> {
+        Ok(compute_dcam(self.model, series, class, &self.dcam).dcam)
+    }
+}
+
+/// Backend over a live explanation service: classification goes through
+/// [`ServiceHandle::submit_classify_many`] (one bounded-queue slot per
+/// masking level), attribution through the dCAM batcher.
+pub struct ServiceBackend {
+    handle: ServiceHandle,
+    tenant: Option<u64>,
+}
+
+impl ServiceBackend {
+    /// Wraps a service handle; `tenant` keys the fair-queue lane.
+    pub fn new(handle: ServiceHandle, tenant: Option<u64>) -> Self {
+        ServiceBackend { handle, tenant }
+    }
+}
+
+impl EvalBackend for ServiceBackend {
+    fn classify(&mut self, batch: &[MultivariateSeries]) -> Result<Vec<Classification>, String> {
+        self.handle
+            .submit_classify_many(batch, self.tenant)
+            .map_err(|e| e.to_string())?
+            .wait()
+            .map_err(|e| e.to_string())
+    }
+
+    fn dcam_map(&mut self, series: &MultivariateSeries, class: usize) -> Result<Tensor, String> {
+        Ok(self
+            .handle
+            .submit(series, class)
+            .map_err(|e| e.to_string())?
+            .wait()
+            .map_err(|e| e.to_string())?
+            .dcam)
+    }
+}
+
+/// Harness parameters.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Methods to compare.
+    pub methods: Vec<ExplainerKind>,
+    /// Masked-fraction grid; `0.0` is inserted when missing and the grid
+    /// is swept in ascending order.
+    pub k_grid: Vec<f32>,
+    /// How masked cells are replaced.
+    pub strategy: MaskStrategy,
+    /// Window geometry for [`ExplainerKind::Occlusion`].
+    pub occlusion: OcclusionConfig,
+    /// Seed for [`ExplainerKind::Random`] attributions.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            methods: vec![ExplainerKind::Dcam, ExplainerKind::Random],
+            k_grid: vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.5],
+            strategy: MaskStrategy::Zero,
+            occlusion: OcclusionConfig::default(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-method result: both curves and their AUCs.
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    /// The method evaluated.
+    pub method: ExplainerKind,
+    /// Accuracy vs fraction *masked* (top-k deleted). Lower AUC = more
+    /// faithful attribution.
+    pub deletion: Curve,
+    /// Accuracy vs fraction *revealed* over a fully-masked baseline.
+    /// Higher AUC = more faithful attribution.
+    pub insertion: Curve,
+    /// AUC of `deletion`.
+    pub deletion_auc: f32,
+    /// AUC of `insertion`.
+    pub insertion_auc: f32,
+}
+
+/// The harness's output for one dataset.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Number of instances evaluated.
+    pub n_instances: usize,
+    /// Unperturbed accuracy of the classifier on the dataset.
+    pub base_accuracy: f32,
+    /// One report per requested method, in request order.
+    pub methods: Vec<MethodReport>,
+}
+
+fn check_cancel(cancel: Option<&AtomicBool>) -> Result<(), String> {
+    if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+        Err("cancelled".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs the full comparison: one attribution pass plus one deletion and
+/// one insertion sweep per method, with the whole dataset re-classified in
+/// a single backend call per masking level.
+///
+/// `cancel` is polled between stages (per attribution batch and per
+/// masking level); a set flag aborts with `Err("cancelled")`.
+///
+/// # Errors
+///
+/// Returns the first backend failure, invalid-input description, or
+/// `"cancelled"`.
+pub fn run_harness(
+    backend: &mut dyn EvalBackend,
+    samples: &[MultivariateSeries],
+    labels: &[usize],
+    cfg: &HarnessConfig,
+    cancel: Option<&AtomicBool>,
+) -> Result<EvalReport, String> {
+    if samples.is_empty() {
+        return Err("no instances to evaluate".to_string());
+    }
+    if samples.len() != labels.len() {
+        return Err(format!(
+            "{} instances but {} labels",
+            samples.len(),
+            labels.len()
+        ));
+    }
+    if cfg.methods.is_empty() {
+        return Err("no methods requested".to_string());
+    }
+    let mut grid = cfg.k_grid.clone();
+    if grid
+        .iter()
+        .any(|f| !f.is_finite() || !(0.0..=1.0).contains(f))
+    {
+        return Err("k_grid fractions must lie in [0, 1]".to_string());
+    }
+    if !grid.contains(&0.0) {
+        grid.push(0.0);
+    }
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+    grid.dedup();
+
+    check_cancel(cancel)?;
+    let base = backend.classify(samples)?;
+    let correct = base
+        .iter()
+        .zip(labels)
+        .filter(|(c, &l)| c.class == l)
+        .count();
+    let base_accuracy = correct as f32 / samples.len() as f32;
+
+    let mut methods = Vec::with_capacity(cfg.methods.len());
+    for &method in &cfg.methods {
+        check_cancel(cancel)?;
+        let rankings = attribution_rankings(backend, samples, labels, &base, method, cfg)?;
+
+        let mut deletion = Curve::default();
+        let mut insertion = Curve::default();
+        for &frac in &grid {
+            check_cancel(cancel)?;
+            deletion.points.push(CurvePoint {
+                frac,
+                accuracy: sweep_accuracy(backend, samples, labels, &rankings, frac, cfg, false)?,
+            });
+            insertion.points.push(CurvePoint {
+                frac,
+                accuracy: sweep_accuracy(backend, samples, labels, &rankings, frac, cfg, true)?,
+            });
+        }
+        let deletion_auc = deletion.auc();
+        let insertion_auc = insertion.auc();
+        methods.push(MethodReport {
+            method,
+            deletion,
+            insertion,
+            deletion_auc,
+            insertion_auc,
+        });
+    }
+
+    Ok(EvalReport {
+        n_instances: samples.len(),
+        base_accuracy,
+        methods,
+    })
+}
+
+/// Per-instance cell rankings for one method.
+fn attribution_rankings(
+    backend: &mut dyn EvalBackend,
+    samples: &[MultivariateSeries],
+    labels: &[usize],
+    base: &[Classification],
+    method: ExplainerKind,
+    cfg: &HarnessConfig,
+) -> Result<Vec<Vec<usize>>, String> {
+    let maps: Vec<Tensor> = match method {
+        ExplainerKind::Dcam => {
+            let mut maps = Vec::with_capacity(samples.len());
+            for (s, &l) in samples.iter().zip(labels) {
+                maps.push(backend.dcam_map(s, l)?);
+            }
+            maps
+        }
+        ExplainerKind::Occlusion => occlusion_maps(backend, samples, labels, base, cfg)?,
+        ExplainerKind::Knn => samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let nun = nearest_unlike_neighbour(samples, labels, i)
+                    .ok_or_else(|| "knn attribution needs at least two classes".to_string())?;
+                let diff: Vec<f32> = s
+                    .tensor()
+                    .data()
+                    .iter()
+                    .zip(samples[nun].tensor().data())
+                    .map(|(a, b)| (a - b).abs())
+                    .collect();
+                Tensor::from_vec(diff, s.tensor().dims()).map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?,
+        ExplainerKind::Random => samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut rng =
+                    SeededRng::new(cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let cells = (0..s.n_dims() * s.len()).map(|_| rng.uniform()).collect();
+                Tensor::from_vec(cells, &[s.n_dims(), s.len()]).map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(maps.iter().map(rank_cells).collect())
+}
+
+/// Occlusion attribution re-scored through the backend: all occluded
+/// variants of all instances go out as one classification batch.
+fn occlusion_maps(
+    backend: &mut dyn EvalBackend,
+    samples: &[MultivariateSeries],
+    labels: &[usize],
+    base: &[Classification],
+    cfg: &HarnessConfig,
+) -> Result<Vec<Tensor>, String> {
+    let mut variants = Vec::new();
+    let mut layout = Vec::with_capacity(samples.len()); // (spans, d, n) per instance
+    for s in samples {
+        let spans = occlusion_spans(s.len(), &cfg.occlusion).map_err(|e| e.to_string())?;
+        for dim in 0..s.n_dims() {
+            for &(start, end) in &spans {
+                let mut occluded = s.clone();
+                for v in &mut occluded.dim_mut(dim)[start..end] {
+                    *v = cfg.occlusion.baseline;
+                }
+                variants.push(occluded);
+            }
+        }
+        layout.push((spans, s.n_dims(), s.len()));
+    }
+    let scored = backend.classify(&variants)?;
+    let mut maps = Vec::with_capacity(samples.len());
+    let mut offset = 0;
+    for (i, (spans, d, n)) in layout.iter().enumerate() {
+        let label = labels[i];
+        let base_score = *base[i]
+            .logits
+            .get(label)
+            .ok_or_else(|| format!("label {label} out of range for the model's classes"))?;
+        let count = d * spans.len();
+        let scores: Vec<f32> = scored[offset..offset + count]
+            .iter()
+            .map(|c| c.logits[label])
+            .collect();
+        offset += count;
+        maps.push(occlusion_map_from_scores(
+            base_score, &scores, *d, *n, spans,
+        ));
+    }
+    Ok(maps)
+}
+
+/// Index of the nearest (Euclidean) instance with a different label.
+fn nearest_unlike_neighbour(
+    samples: &[MultivariateSeries],
+    labels: &[usize],
+    i: usize,
+) -> Option<usize> {
+    let mut best: Option<(f32, usize)> = None;
+    for (j, s) in samples.iter().enumerate() {
+        if labels[j] == labels[i]
+            || s.n_dims() != samples[i].n_dims()
+            || s.len() != samples[i].len()
+        {
+            continue;
+        }
+        let dist = series_distance(&samples[i], s, Distance::Euclidean);
+        if best.is_none_or(|(d, _)| dist < d) {
+            best = Some((dist, j));
+        }
+    }
+    best.map(|(_, j)| j)
+}
+
+/// Accuracy of the backend at one masking level. Deletion masks the top-k
+/// cells; insertion (`reveal = true`) masks everything *except* the top-k.
+fn sweep_accuracy(
+    backend: &mut dyn EvalBackend,
+    samples: &[MultivariateSeries],
+    labels: &[usize],
+    rankings: &[Vec<usize>],
+    frac: f32,
+    cfg: &HarnessConfig,
+    reveal: bool,
+) -> Result<f32, String> {
+    let masked: Vec<MultivariateSeries> = samples
+        .iter()
+        .zip(rankings)
+        .map(|(s, ranking)| {
+            let total = s.n_dims() * s.len();
+            let k = cells_at(frac, total);
+            let mut flags = vec![reveal; total];
+            for &cell in &ranking[..k] {
+                flags[cell] = !reveal;
+            }
+            apply_mask(s, &flags, cfg.strategy)
+        })
+        .collect();
+    let classified = backend.classify(&masked)?;
+    let correct = classified
+        .iter()
+        .zip(labels)
+        .filter(|(c, &l)| c.class == l)
+        .count();
+    Ok(correct as f32 / samples.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam::{planted_dataset, planted_model, PlantedSpec};
+
+    #[test]
+    fn local_harness_on_planted_fixture_is_sane() {
+        let spec = PlantedSpec {
+            per_class: 4,
+            ..Default::default()
+        };
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        let cfg = HarnessConfig {
+            methods: vec![ExplainerKind::Random],
+            k_grid: vec![0.0, 0.5],
+            ..Default::default()
+        };
+        let report = run_harness(&mut backend, &ds.samples, &ds.labels, &cfg, None).unwrap();
+        assert_eq!(report.n_instances, 8);
+        assert!((report.base_accuracy - 1.0).abs() < 1e-6);
+        assert_eq!(report.methods.len(), 1);
+        let del = &report.methods[0].deletion;
+        assert_eq!(del.points[0].frac, 0.0);
+        assert!((del.points[0].accuracy - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_flag_aborts() {
+        let spec = PlantedSpec {
+            per_class: 2,
+            ..Default::default()
+        };
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        let cancel = AtomicBool::new(true);
+        let err = run_harness(
+            &mut backend,
+            &ds.samples,
+            &ds.labels,
+            &HarnessConfig::default(),
+            Some(&cancel),
+        )
+        .unwrap_err();
+        assert_eq!(err, "cancelled");
+    }
+
+    #[test]
+    fn rejects_bad_grid_and_empty_input() {
+        let spec = PlantedSpec {
+            per_class: 2,
+            ..Default::default()
+        };
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        let bad = HarnessConfig {
+            k_grid: vec![1.5],
+            ..Default::default()
+        };
+        assert!(
+            run_harness(&mut backend, &ds.samples, &ds.labels, &bad, None)
+                .unwrap_err()
+                .contains("k_grid")
+        );
+        assert!(
+            run_harness(&mut backend, &[], &[], &HarnessConfig::default(), None)
+                .unwrap_err()
+                .contains("no instances")
+        );
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in [
+            ExplainerKind::Dcam,
+            ExplainerKind::Occlusion,
+            ExplainerKind::Knn,
+            ExplainerKind::Random,
+        ] {
+            assert_eq!(ExplainerKind::parse(m.name()), Some(m));
+        }
+        assert_eq!(ExplainerKind::parse("gradients"), None);
+    }
+}

@@ -2,13 +2,28 @@
 //! (`C-acc`), discriminant-feature accuracy (`Dr-acc` = PR-AUC against the
 //! ground-truth mask), ROC-AUC, average-rank tables and the harmonic
 //! `F(Type 1, Type 2)` score — everything §5.1.2 of the paper measures.
+//!
+//! On top of the mask-based metrics sits the perturbation-based
+//! *faithfulness* harness (Serramazza et al. 2023): [`masking`] turns a
+//! ranked cell set into a perturbed series, [`perturb`] builds
+//! deletion/insertion curves, and [`harness`] compares explanation methods
+//! end to end — locally or through a live explanation service.
 
 mod auc;
 mod drattr;
+pub mod harness;
+pub mod masking;
 mod metrics;
+pub mod perturb;
 mod ranking;
 
 pub use auc::{pr_auc, random_pr_auc, roc_auc};
 pub use drattr::{dr_acc, dr_acc_random, dr_acc_univariate};
+pub use harness::{
+    run_harness, EvalBackend, EvalReport, ExplainerKind, HarnessConfig, LocalBackend, MethodReport,
+    ServiceBackend,
+};
+pub use masking::{apply_mask, MaskStrategy};
 pub use metrics::{accuracy, confusion_matrix, harmonic_f};
+pub use perturb::{cells_at, rank_cells, Curve, CurvePoint};
 pub use ranking::{average_ranks, rank_row};

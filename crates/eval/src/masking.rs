@@ -1,0 +1,144 @@
+//! Masking strategies turning a cell set into a perturbed series.
+//!
+//! Faithfulness evaluation replaces the top-attributed cells and watches
+//! the classifier's accuracy; *how* the cells are replaced matters
+//! (Serramazza et al. 2023 compare several). Three strategies cover the
+//! spectrum from crudest to most in-distribution:
+//!
+//! * [`MaskStrategy::Zero`] — constant 0 (the neutral value for
+//!   z-normalized series, and what the occlusion baseline uses);
+//! * [`MaskStrategy::DimMean`] — the masked dimension's own mean, which
+//!   preserves each dimension's DC level;
+//! * [`MaskStrategy::LocalInterp`] — linear interpolation from the
+//!   surviving neighbours, which keeps the series continuous and is the
+//!   hardest perturbation for a classifier to notice.
+
+use dcam_nn::masking::{fill_masked, interp_masked};
+use dcam_series::MultivariateSeries;
+
+/// How masked cells are replaced. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskStrategy {
+    /// Replace with constant `0.0`.
+    Zero,
+    /// Replace with the dimension's mean over the *original* series.
+    DimMean,
+    /// Linearly interpolate each masked run from its surviving
+    /// neighbours (edge runs extend as constants; a fully masked
+    /// dimension falls back to `0.0`).
+    LocalInterp,
+}
+
+impl MaskStrategy {
+    /// Wire name (`"zero"` / `"dim_mean"` / `"interp"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaskStrategy::Zero => "zero",
+            MaskStrategy::DimMean => "dim_mean",
+            MaskStrategy::LocalInterp => "interp",
+        }
+    }
+
+    /// Parses a wire name; `None` for unknown strategies.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "zero" => Some(MaskStrategy::Zero),
+            "dim_mean" => Some(MaskStrategy::DimMean),
+            "interp" => Some(MaskStrategy::LocalInterp),
+            _ => None,
+        }
+    }
+}
+
+/// Returns `series` with every cell whose row-major flag in `masked` is
+/// set replaced per `strategy`. `masked` has `D·n` entries, dimension 0
+/// first. An all-false mask returns an exact copy — the k = 0 invariant
+/// the harness property tests lean on.
+///
+/// # Panics
+///
+/// Panics when `masked.len() != D·n`.
+pub fn apply_mask(
+    series: &MultivariateSeries,
+    masked: &[bool],
+    strategy: MaskStrategy,
+) -> MultivariateSeries {
+    let (d, n) = (series.n_dims(), series.len());
+    assert_eq!(masked.len(), d * n, "mask/series shape mismatch");
+    let mut out = series.clone();
+    for j in 0..d {
+        let flags = &masked[j * n..(j + 1) * n];
+        match strategy {
+            MaskStrategy::Zero => fill_masked(out.dim_mut(j), flags, 0.0),
+            MaskStrategy::DimMean => {
+                let mean = series.dim(j).iter().sum::<f32>() / n as f32;
+                fill_masked(out.dim_mut(j), flags, mean);
+            }
+            MaskStrategy::LocalInterp => interp_masked(out.dim_mut(j), flags),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> MultivariateSeries {
+        MultivariateSeries::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![-1.0, -2.0, -3.0, -4.0]])
+    }
+
+    #[test]
+    fn empty_mask_is_identity_for_every_strategy() {
+        let s = series();
+        let none = vec![false; 8];
+        for strat in [
+            MaskStrategy::Zero,
+            MaskStrategy::DimMean,
+            MaskStrategy::LocalInterp,
+        ] {
+            assert_eq!(apply_mask(&s, &none, strat), s, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn zero_strategy_zeroes_cells() {
+        let s = series();
+        let mut m = vec![false; 8];
+        m[1] = true; // dim 0, t = 1
+        let out = apply_mask(&s, &m, MaskStrategy::Zero);
+        assert_eq!(out.dim(0), &[1.0, 0.0, 3.0, 4.0]);
+        assert_eq!(out.dim(1), s.dim(1));
+    }
+
+    #[test]
+    fn dim_mean_uses_each_dimensions_own_mean() {
+        let s = series();
+        let mut m = vec![false; 8];
+        m[0] = true; // dim 0, t = 0 → mean 2.5
+        m[4] = true; // dim 1, t = 0 → mean −2.5
+        let out = apply_mask(&s, &m, MaskStrategy::DimMean);
+        assert_eq!(out.dim(0)[0], 2.5);
+        assert_eq!(out.dim(1)[0], -2.5);
+    }
+
+    #[test]
+    fn interp_bridges_within_each_dimension() {
+        let s = MultivariateSeries::from_rows(&[vec![0.0, 5.0, 4.0], vec![1.0, 1.0, 1.0]]);
+        let m = vec![false, true, false, false, false, false];
+        let out = apply_mask(&s, &m, MaskStrategy::LocalInterp);
+        assert_eq!(out.dim(0), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for strat in [
+            MaskStrategy::Zero,
+            MaskStrategy::DimMean,
+            MaskStrategy::LocalInterp,
+        ] {
+            assert_eq!(MaskStrategy::parse(strat.name()), Some(strat));
+        }
+        assert_eq!(MaskStrategy::parse("nope"), None);
+    }
+}

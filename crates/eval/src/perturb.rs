@@ -1,0 +1,175 @@
+//! Deletion/insertion curves: ranking cells by attribution and measuring
+//! accuracy as a function of the masked (or revealed) fraction.
+
+use dcam_tensor::Tensor;
+
+/// Flat row-major cell indices of a `(D, n)` attribution map, highest
+/// attribution first. Ties (and NaNs, which sort last) break towards the
+/// lower index so rankings are total and deterministic.
+pub fn rank_cells(attribution: &Tensor) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..attribution.data().len()).collect();
+    let vals = attribution.data();
+    idx.sort_by(|&a, &b| {
+        vals[b]
+            .partial_cmp(&vals[a])
+            .unwrap_or_else(|| vals[a].is_nan().cmp(&vals[b].is_nan()))
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Number of cells a grid fraction selects out of `total` (rounded to the
+/// nearest cell, clamped to the map).
+pub fn cells_at(frac: f32, total: usize) -> usize {
+    ((frac * total as f32).round() as usize).min(total)
+}
+
+/// One measured point of a deletion or insertion curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Fraction of cells masked (deletion) or revealed (insertion).
+    pub frac: f32,
+    /// Classifier accuracy over the evaluated instances at this fraction.
+    pub accuracy: f32,
+}
+
+/// An accuracy-vs-fraction curve, points in ascending `frac` order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Curve {
+    /// The measured points.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// Trapezoidal area under the curve, normalized by the fraction span
+    /// so a constant curve's AUC equals that constant. A single-point
+    /// curve returns its accuracy.
+    pub fn auc(&self) -> f32 {
+        match self.points.len() {
+            0 => 0.0,
+            1 => self.points[0].accuracy,
+            _ => {
+                let span = self.points.last().unwrap().frac - self.points[0].frac;
+                if span <= 0.0 {
+                    return self.points[0].accuracy;
+                }
+                let mut area = 0.0;
+                for w in self.points.windows(2) {
+                    area += 0.5 * (w[0].accuracy + w[1].accuracy) * (w[1].frac - w[0].frac);
+                }
+                area / span
+            }
+        }
+    }
+
+    /// Accuracy at the first point whose `frac` is at least `frac`
+    /// (`None` past the end): the "accuracy drop at k" lookup.
+    pub fn accuracy_at(&self, frac: f32) -> Option<f32> {
+        self.points
+            .iter()
+            .find(|p| p.frac >= frac - 1e-6)
+            .map(|p| p.accuracy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_descending_with_index_tie_break() {
+        let t = Tensor::from_vec(vec![0.5, 2.0, 0.5, -1.0], &[2, 2]).unwrap();
+        assert_eq!(rank_cells(&t), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn nan_cells_rank_last() {
+        let t = Tensor::from_vec(vec![f32::NAN, 1.0, 0.0], &[1, 3]).unwrap();
+        assert_eq!(rank_cells(&t), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cells_at_rounds_and_clamps() {
+        assert_eq!(cells_at(0.0, 100), 0);
+        assert_eq!(cells_at(0.5, 10), 5);
+        assert_eq!(cells_at(0.24, 10), 2);
+        assert_eq!(cells_at(1.5, 10), 10);
+    }
+
+    #[test]
+    fn constant_curve_auc_is_the_constant() {
+        let c = Curve {
+            points: vec![
+                CurvePoint {
+                    frac: 0.0,
+                    accuracy: 0.75,
+                },
+                CurvePoint {
+                    frac: 0.5,
+                    accuracy: 0.75,
+                },
+                CurvePoint {
+                    frac: 1.0,
+                    accuracy: 0.75,
+                },
+            ],
+        };
+        assert!((c.auc() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faster_drop_means_lower_auc() {
+        let fast = Curve {
+            points: vec![
+                CurvePoint {
+                    frac: 0.0,
+                    accuracy: 1.0,
+                },
+                CurvePoint {
+                    frac: 0.2,
+                    accuracy: 0.5,
+                },
+                CurvePoint {
+                    frac: 1.0,
+                    accuracy: 0.5,
+                },
+            ],
+        };
+        let slow = Curve {
+            points: vec![
+                CurvePoint {
+                    frac: 0.0,
+                    accuracy: 1.0,
+                },
+                CurvePoint {
+                    frac: 0.8,
+                    accuracy: 1.0,
+                },
+                CurvePoint {
+                    frac: 1.0,
+                    accuracy: 0.5,
+                },
+            ],
+        };
+        assert!(fast.auc() < slow.auc());
+    }
+
+    #[test]
+    fn accuracy_at_finds_the_grid_point() {
+        let c = Curve {
+            points: vec![
+                CurvePoint {
+                    frac: 0.0,
+                    accuracy: 1.0,
+                },
+                CurvePoint {
+                    frac: 0.3,
+                    accuracy: 0.6,
+                },
+            ],
+        };
+        assert_eq!(c.accuracy_at(0.3), Some(0.6));
+        assert_eq!(c.accuracy_at(0.1), Some(0.6));
+        assert_eq!(c.accuracy_at(0.9), None);
+    }
+}

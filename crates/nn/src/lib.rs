@@ -14,7 +14,9 @@
 //! * [`optim`] — Adam and SGD;
 //! * [`trainer`] — mini-batch training with validation-based early stopping;
 //! * [`gradcheck`] — finite-difference verification used by the test suite
-//!   to validate every analytic backward pass.
+//!   to validate every analytic backward pass;
+//! * [`masking`] — slice-level perturbation kernels (constant fill, linear
+//!   interpolation) behind the explanation-faithfulness harness.
 //!
 //! Layers follow a simple contract ([`Layer`]): `forward` caches what
 //! `backward` needs, `backward` accumulates parameter gradients in place.
@@ -55,6 +57,7 @@ pub mod gradcheck;
 mod init;
 pub mod layers;
 pub mod loss;
+pub mod masking;
 pub mod optim;
 mod parallel;
 mod param;

@@ -1,0 +1,115 @@
+//! Slice-level perturbation kernels for the explanation-faithfulness
+//! harness (Serramazza et al. 2023): replace masked samples of one series
+//! row with a neutral value, or bridge them by linear interpolation from
+//! the surviving neighbours.
+//!
+//! The kernels operate on raw `&mut [f32]` rows plus a parallel `&[bool]`
+//! mask so they stay independent of any series container; `dcam-eval`
+//! applies them per dimension of an owned series when building the masked
+//! re-classification sweeps.
+
+/// Replaces every sample with `masked[t] == true` by `value`.
+///
+/// # Panics
+///
+/// Panics when `row` and `masked` disagree on length.
+pub fn fill_masked(row: &mut [f32], masked: &[bool], value: f32) {
+    assert_eq!(row.len(), masked.len(), "mask/row length mismatch");
+    for (x, &m) in row.iter_mut().zip(masked) {
+        if m {
+            *x = value;
+        }
+    }
+}
+
+/// Replaces every masked run by linear interpolation between the nearest
+/// surviving samples on each side.
+///
+/// Runs touching the row's start (or end) have only one surviving
+/// neighbour and extend it as a constant; a fully masked row falls back
+/// to `0.0` (there is nothing left to interpolate from).
+///
+/// # Panics
+///
+/// Panics when `row` and `masked` disagree on length.
+pub fn interp_masked(row: &mut [f32], masked: &[bool]) {
+    assert_eq!(row.len(), masked.len(), "mask/row length mismatch");
+    let n = row.len();
+    let mut t = 0;
+    while t < n {
+        if !masked[t] {
+            t += 1;
+            continue;
+        }
+        // Masked run [t, end).
+        let mut end = t;
+        while end < n && masked[end] {
+            end += 1;
+        }
+        let left = (t > 0).then(|| row[t - 1]);
+        let right = (end < n).then(|| row[end]);
+        match (left, right) {
+            (Some(a), Some(b)) => {
+                // Interpolate strictly between the two anchors: position
+                // t-1 holds `a`, position `end` holds `b`.
+                let span = (end - (t - 1)) as f32;
+                for (i, x) in row[t..end].iter_mut().enumerate() {
+                    let frac = (i + 1) as f32 / span;
+                    *x = a + (b - a) * frac;
+                }
+            }
+            (Some(a), None) => row[t..end].fill(a),
+            (None, Some(b)) => row[t..end].fill(b),
+            (None, None) => row[t..end].fill(0.0),
+        }
+        t = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_replaces_only_masked_cells() {
+        let mut row = [1.0, 2.0, 3.0, 4.0];
+        fill_masked(&mut row, &[false, true, true, false], -1.0);
+        assert_eq!(row, [1.0, -1.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn fill_with_empty_mask_is_identity() {
+        let mut row = [0.5, -0.5, 2.0];
+        let orig = row;
+        fill_masked(&mut row, &[false; 3], 9.0);
+        assert_eq!(row, orig);
+    }
+
+    #[test]
+    fn interp_bridges_interior_run() {
+        let mut row = [0.0, 9.0, 9.0, 9.0, 4.0];
+        interp_masked(&mut row, &[false, true, true, true, false]);
+        assert_eq!(row, [0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn interp_extends_edges_as_constants() {
+        let mut row = [7.0, 7.0, 2.0, 8.0, 8.0];
+        interp_masked(&mut row, &[true, true, false, true, true]);
+        assert_eq!(row, [2.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn interp_fully_masked_row_zeroes() {
+        let mut row = [3.0, 4.0, 5.0];
+        interp_masked(&mut row, &[true; 3]);
+        assert_eq!(row, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn interp_two_separate_runs() {
+        let mut row = [0.0, 9.0, 2.0, 9.0, 9.0, 8.0];
+        interp_masked(&mut row, &[false, true, false, true, true, false]);
+        assert_eq!(row, [0.0, 1.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+}

@@ -1,0 +1,290 @@
+//! `dcam_eval` — perturbation-based explanation-faithfulness runner over
+//! the deterministic planted-weights fixture.
+//!
+//! ```text
+//! # in-process: run the harness locally and print the JSON report
+//! dcam_eval [--methods dcam,random] [--k-grid 0,0.05,0.1,0.2,0.3,0.5]
+//!           [--mask zero|dim_mean|interp] [--seed N]
+//!
+//! # served: submit the same dataset as a /v1/eval job and poll it
+//! dcam_eval --addr HOST:PORT [--model NAME] [--poll-seconds 120]
+//!
+//! # served + cross-check: also run locally and require the served
+//! # report to match the in-process one to 1e-5 relative
+//! dcam_eval --addr HOST:PORT --model planted --compare-local
+//!
+//! # gate (either mode): exit 1 unless dCAM's deletion AUC beats the
+//! # random-ranking baseline's
+//! dcam_eval --assert-dcam-beats-random
+//! ```
+//!
+//! The served modes expect the server to host the same fixture model
+//! (`dcam_server --planted NAME`); `--compare-local` is what the CI smoke
+//! job runs to pin the served pipeline to the in-process harness.
+
+use dcam::{planted_dataset, planted_model, PlantedSpec};
+use dcam_eval::{
+    run_harness, EvalReport, ExplainerKind, HarnessConfig, LocalBackend, MaskStrategy,
+};
+use dcam_server::wire::{eval_report_from_value, eval_report_value};
+use dcam_server::HttpClient;
+use serde::Value;
+use std::time::{Duration, Instant};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dcam_eval: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_config(args: &[String]) -> HarnessConfig {
+    let mut cfg = HarnessConfig::default();
+    if let Some(methods) = arg_value(args, "--methods") {
+        cfg.methods = methods
+            .split(',')
+            .map(|m| {
+                ExplainerKind::parse(m.trim())
+                    .unwrap_or_else(|| fail(&format!("unknown method {m:?}")))
+            })
+            .collect();
+    }
+    if let Some(grid) = arg_value(args, "--k-grid") {
+        cfg.k_grid = grid
+            .split(',')
+            .map(|f| {
+                f.trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad k-grid fraction {f:?}")))
+            })
+            .collect();
+    }
+    if let Some(mask) = arg_value(args, "--mask") {
+        cfg.strategy =
+            MaskStrategy::parse(&mask).unwrap_or_else(|| fail(&format!("unknown mask {mask:?}")));
+    }
+    if let Some(seed) = arg_value(args, "--seed") {
+        cfg.seed = seed
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("bad seed {seed:?}")));
+    }
+    cfg
+}
+
+fn run_local(cfg: &HarnessConfig) -> EvalReport {
+    let spec = PlantedSpec::default();
+    let mut model = planted_model(&spec);
+    let data = planted_dataset(&spec);
+    let mut backend = LocalBackend::new(&mut model);
+    run_harness(&mut backend, &data.samples, &data.labels, cfg, None)
+        .unwrap_or_else(|e| fail(&format!("harness failed: {e}")))
+}
+
+/// The `POST /v1/eval` body for the planted dataset under `cfg`.
+fn submit_body(cfg: &HarnessConfig, model: Option<&str>) -> String {
+    let data = planted_dataset(&PlantedSpec::default());
+    let series = Value::Array(
+        data.samples
+            .iter()
+            .map(|s| {
+                Value::Array(
+                    (0..s.n_dims())
+                        .map(|j| {
+                            Value::Array(
+                                s.dim(j).iter().map(|&x| Value::Number(x as f64)).collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let labels = Value::Array(
+        data.labels
+            .iter()
+            .map(|&l| Value::Number(l as f64))
+            .collect(),
+    );
+    let methods = Value::Array(
+        cfg.methods
+            .iter()
+            .map(|m| Value::String(m.name().into()))
+            .collect(),
+    );
+    let k_grid = Value::Array(
+        cfg.k_grid
+            .iter()
+            .map(|&f| Value::Number(f as f64))
+            .collect(),
+    );
+    let mut fields = vec![
+        ("series".to_string(), series),
+        ("labels".to_string(), labels),
+        ("methods".to_string(), methods),
+        ("k_grid".to_string(), k_grid),
+        (
+            "mask".to_string(),
+            Value::String(cfg.strategy.name().into()),
+        ),
+        ("seed".to_string(), Value::Number(cfg.seed as f64)),
+    ];
+    if let Some(m) = model {
+        fields.push(("model".to_string(), Value::String(m.into())));
+    }
+    serde_json::to_string(&Value::Object(fields)).unwrap_or_default()
+}
+
+fn run_served(addr: &str, cfg: &HarnessConfig, args: &[String]) -> EvalReport {
+    let addr = addr.trim_start_matches("http://").trim_end_matches('/');
+    let model = arg_value(args, "--model");
+    let poll_seconds: u64 = arg_value(args, "--poll-seconds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let mut client = HttpClient::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let resp = client
+        .post("/v1/eval", &submit_body(cfg, model.as_deref()))
+        .unwrap_or_else(|e| fail(&format!("submit failed: {e}")));
+    if resp.status != 202 {
+        fail(&format!("submit answered {}: {}", resp.status, resp.body));
+    }
+    let id = resp
+        .json()
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_usize))
+        .unwrap_or_else(|| fail("submit response carried no job id"));
+    let deadline = Instant::now() + Duration::from_secs(poll_seconds);
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let resp = client
+            .get(&format!("/v1/eval/{id}"))
+            .unwrap_or_else(|e| fail(&format!("poll failed: {e}")));
+        if resp.status != 200 {
+            fail(&format!("poll answered {}: {}", resp.status, resp.body));
+        }
+        let v = resp
+            .json()
+            .unwrap_or_else(|e| fail(&format!("poll body is not JSON: {e}")));
+        match v.get("status").and_then(Value::as_str).unwrap_or("") {
+            "done" => {
+                let report = v
+                    .get("report")
+                    .unwrap_or_else(|| fail("done job carried no report"));
+                return eval_report_from_value(report)
+                    .unwrap_or_else(|e| fail(&format!("bad served report: {e}")));
+            }
+            "failed" => fail(&format!(
+                "job failed: {}",
+                v.get("error").and_then(Value::as_str).unwrap_or("unknown")
+            )),
+            "cancelled" => fail("job was cancelled"),
+            _ if Instant::now() >= deadline => fail("poll deadline exceeded"),
+            _ => {}
+        }
+    }
+}
+
+fn rel_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// `None` when the reports agree to 1e-5 relative; otherwise what differs.
+fn report_mismatch(served: &EvalReport, local: &EvalReport) -> Option<String> {
+    if served.n_instances != local.n_instances {
+        return Some("instance counts differ".into());
+    }
+    if !rel_close(served.base_accuracy, local.base_accuracy) {
+        return Some(format!(
+            "base accuracy differs: served {} vs local {}",
+            served.base_accuracy, local.base_accuracy
+        ));
+    }
+    if served.methods.len() != local.methods.len() {
+        return Some("method counts differ".into());
+    }
+    for (s, l) in served.methods.iter().zip(&local.methods) {
+        if s.method != l.method {
+            return Some(format!("method order differs at {}", s.method.name()));
+        }
+        for (which, sa, la) in [
+            ("deletion AUC", s.deletion_auc, l.deletion_auc),
+            ("insertion AUC", s.insertion_auc, l.insertion_auc),
+        ] {
+            if !rel_close(sa, la) {
+                return Some(format!(
+                    "{} {which} differs: served {sa} vs local {la}",
+                    s.method.name()
+                ));
+            }
+        }
+        for (which, sc, lc) in [
+            ("deletion", &s.deletion, &l.deletion),
+            ("insertion", &s.insertion, &l.insertion),
+        ] {
+            if sc.points.len() != lc.points.len() {
+                return Some(format!("{} {which} grids differ", s.method.name()));
+            }
+            for (sp, lp) in sc.points.iter().zip(&lc.points) {
+                if !rel_close(sp.frac, lp.frac) || !rel_close(sp.accuracy, lp.accuracy) {
+                    return Some(format!(
+                        "{} {which} curve differs at frac {}: served {} vs local {}",
+                        s.method.name(),
+                        sp.frac,
+                        sp.accuracy,
+                        lp.accuracy
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn auc_of(report: &EvalReport, kind: ExplainerKind) -> Option<f32> {
+    report
+        .methods
+        .iter()
+        .find(|m| m.method == kind)
+        .map(|m| m.deletion_auc)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = parse_config(&args);
+    let report = match arg_value(&args, "--addr") {
+        Some(addr) => {
+            let served = run_served(&addr, &cfg, &args);
+            if args.iter().any(|a| a == "--compare-local") {
+                let local = run_local(&cfg);
+                if let Some(diff) = report_mismatch(&served, &local) {
+                    eprintln!("dcam_eval: served report diverges from local: {diff}");
+                    std::process::exit(1);
+                }
+                println!("served report matches the in-process harness to 1e-5 rel");
+            }
+            served
+        }
+        None => run_local(&cfg),
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&eval_report_value(&report)).unwrap_or_default()
+    );
+    if args.iter().any(|a| a == "--assert-dcam-beats-random") {
+        let (Some(dcam), Some(random)) = (
+            auc_of(&report, ExplainerKind::Dcam),
+            auc_of(&report, ExplainerKind::Random),
+        ) else {
+            fail("--assert-dcam-beats-random needs both dcam and random in --methods");
+        };
+        if dcam >= random {
+            eprintln!("dcam_eval: dCAM deletion AUC {dcam} does not beat random baseline {random}");
+            std::process::exit(1);
+        }
+        println!("dCAM deletion AUC {dcam} beats random baseline {random}");
+    }
+}

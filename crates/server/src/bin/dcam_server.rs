@@ -9,6 +9,10 @@
 //! # single synthetic model (untrained Tiny dCNN, the pre-registry default)
 //! dcam_server [--dims 3] [--classes 2]
 //!
+//! # deterministic planted-weights fixture model (see dcam::fixture) —
+//! # what the eval smoke test evaluates against
+//! dcam_server --planted planted
+//!
 //! # write a demo checkpoint (Tiny dCNN, random weights) and exit
 //! dcam_server --make-checkpoint /path/model.ckpt [--dims 3] [--classes 2] [--seed 7]
 //!
@@ -31,6 +35,7 @@ use dcam::arch::{cnn, ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
 use dcam::dcam::DcamConfig;
 use dcam::registry::{checkpoint_model, ModelRegistry};
 use dcam::service::{replicate_model, DcamService, ServiceConfig};
+use dcam::{planted_model, PlantedSpec};
 use dcam_server::{serve_registry, ServerConfig};
 use dcam_tensor::SeededRng;
 use std::sync::Arc;
@@ -97,7 +102,18 @@ fn main() {
 
     let registry = Arc::new(ModelRegistry::new());
     let model_flags = arg_values(&args, "--model");
-    if model_flags.is_empty() {
+    let planted = arg_value(&args, "--planted");
+    if let Some(name) = &planted {
+        // Deterministic planted-weights fixture: perfect classifier on its
+        // own synthetic dataset, no training — the eval smoke target.
+        let build = || planted_model(&PlantedSpec::default());
+        let models = replicate_model(build(), workers, build);
+        let service = DcamService::spawn_with_recovery(models, service_cfg.clone(), build);
+        registry
+            .register(name, service, "planted(dCNN)", service_cfg.clone())
+            .unwrap_or_else(|e| panic!("cannot register planted model {name:?}: {e}"));
+    }
+    if model_flags.is_empty() && planted.is_none() {
         // Legacy single-model bootstrap: a synthetic Tiny dCNN registered
         // as "default", with worker re-spawn armed.
         let build = move || {

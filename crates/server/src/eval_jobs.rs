@@ -1,0 +1,284 @@
+//! Background evaluation jobs for `POST /v1/eval`.
+//!
+//! A faithfulness evaluation re-classifies every instance once per
+//! (method × grid-point) — far too slow for a request/response cycle, so
+//! the server runs it as a *job*: submit returns an id immediately, a
+//! dedicated runner thread drains the queue through the model's own
+//! [`ServiceHandle`](dcam::service::ServiceHandle) (the perturbed
+//! batches ride the same bounded queues
+//! and mega-batch engine as live traffic), and clients poll
+//! `GET /v1/eval/{id}` for the report. `DELETE` cancels: a queued job
+//! flips straight to `Cancelled`; a running one gets its cancel flag set
+//! and the harness bails between sweep stages.
+//!
+//! The store is a single mutex-guarded deque with a condvar for the
+//! runner — jobs are few and coarse (seconds each), so contention is not
+//! a concern. Finished jobs are retained (bounded) so reports stay
+//! pollable after completion; the oldest finished reports are evicted
+//! first once the retention bound fills.
+
+use crate::wire::EvalRequest;
+use dcam_eval::EvalReport;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Where a submitted evaluation job is in its lifecycle.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting for the runner thread.
+    Queued,
+    /// The runner is sweeping curves for it right now.
+    Running,
+    /// Finished; the report is ready.
+    Done(EvalReport),
+    /// The harness (or model resolution) failed.
+    Failed(String),
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The wire name of this status.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done(_) | JobStatus::Failed(_) | JobStatus::Cancelled
+        )
+    }
+}
+
+struct Job {
+    id: u64,
+    /// Taken by the runner when the job starts; `None` afterwards.
+    spec: Option<EvalRequest>,
+    status: JobStatus,
+    cancel: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct JobsState {
+    jobs: VecDeque<Job>,
+    next_id: u64,
+}
+
+/// The job store shared by the HTTP handlers and the runner thread.
+pub struct EvalJobs {
+    state: Mutex<JobsState>,
+    ready: Condvar,
+    /// Bound on queued + running jobs; submits beyond it get a 503.
+    capacity: usize,
+}
+
+/// How many finished jobs stay pollable before the oldest is evicted.
+const RETAINED_FINISHED: usize = 64;
+
+impl EvalJobs {
+    /// A store admitting at most `capacity` unfinished jobs at a time.
+    pub fn new(capacity: usize) -> Self {
+        EvalJobs {
+            state: Mutex::new(JobsState::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobsState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues a job; `None` means the store is at capacity.
+    pub fn submit(&self, spec: EvalRequest) -> Option<u64> {
+        let mut st = self.lock();
+        let active = st.jobs.iter().filter(|j| !j.status.is_finished()).count();
+        if active >= self.capacity {
+            return None;
+        }
+        // Evict the oldest finished reports beyond the retention bound.
+        while st.jobs.len() >= self.capacity + RETAINED_FINISHED {
+            let Some(pos) = st.jobs.iter().position(|j| j.status.is_finished()) else {
+                break;
+            };
+            st.jobs.remove(pos);
+        }
+        st.next_id += 1;
+        let id = st.next_id;
+        st.jobs.push_back(Job {
+            id,
+            spec: Some(spec),
+            status: JobStatus::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+        });
+        drop(st);
+        self.ready.notify_one();
+        Some(id)
+    }
+
+    /// Snapshot of a job's status; `None` for unknown ids.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let st = self.lock();
+        st.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .map(|j| j.status.clone())
+    }
+
+    /// Cancels a job: queued jobs flip to `Cancelled` immediately, running
+    /// jobs get their cancel flag raised (the runner records `Cancelled`
+    /// when the harness bails). Returns the status *after* the call, or
+    /// `None` for unknown ids. Cancelling a finished job is a no-op.
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let mut st = self.lock();
+        let job = st.jobs.iter_mut().find(|j| j.id == id)?;
+        match job.status {
+            JobStatus::Queued => {
+                job.spec = None;
+                job.status = JobStatus::Cancelled;
+            }
+            JobStatus::Running => job.cancel.store(true, Ordering::Release),
+            _ => {}
+        }
+        Some(job.status.clone())
+    }
+
+    /// Blocks until a queued job is available (marking it `Running` and
+    /// handing its spec + cancel flag to the caller) or `shutdown` is
+    /// raised (`None`). The wait polls the shutdown flag every 50 ms so a
+    /// stopping server never waits on a quiet queue.
+    pub fn next_job(&self, shutdown: &AtomicBool) -> Option<(u64, EvalRequest, Arc<AtomicBool>)> {
+        let mut st = self.lock();
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(job) = st
+                .jobs
+                .iter_mut()
+                .find(|j| matches!(j.status, JobStatus::Queued))
+            {
+                job.status = JobStatus::Running;
+                let spec = job.spec.take().expect("queued job keeps its spec");
+                return Some((job.id, spec, Arc::clone(&job.cancel)));
+            }
+            st = self
+                .ready
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Records a running job's outcome. The harness reports cancellation
+    /// as the error string `"cancelled"`; that (or a raised cancel flag)
+    /// records `Cancelled` rather than `Failed`.
+    pub fn finish(&self, id: u64, result: Result<EvalReport, String>) {
+        let mut st = self.lock();
+        if let Some(job) = st.jobs.iter_mut().find(|j| j.id == id) {
+            job.status = match result {
+                Ok(report) => JobStatus::Done(report),
+                Err(msg) if msg == "cancelled" || job.cancel.load(Ordering::Acquire) => {
+                    JobStatus::Cancelled
+                }
+                Err(msg) => JobStatus::Failed(msg),
+            };
+        }
+    }
+
+    /// Wakes the runner thread (used alongside raising the shutdown flag)
+    /// and cancels every unfinished job so a mid-flight harness bails at
+    /// its next stage boundary instead of stalling the join.
+    pub fn notify_shutdown(&self) {
+        let mut st = self.lock();
+        for job in st.jobs.iter_mut() {
+            match job.status {
+                JobStatus::Queued => {
+                    job.spec = None;
+                    job.status = JobStatus::Cancelled;
+                }
+                JobStatus::Running => job.cancel.store(true, Ordering::Release),
+                _ => {}
+            }
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam_eval::HarnessConfig;
+
+    fn spec() -> EvalRequest {
+        EvalRequest {
+            model: None,
+            series_list: vec![vec![vec![0.0; 4]; 2]],
+            labels: vec![0],
+            config: HarnessConfig::default(),
+        }
+    }
+
+    #[test]
+    fn submit_take_finish_roundtrip() {
+        let jobs = EvalJobs::new(2);
+        let id = jobs.submit(spec()).unwrap();
+        assert!(matches!(jobs.status(id), Some(JobStatus::Queued)));
+        let shutdown = AtomicBool::new(false);
+        let (took, _spec, _cancel) = jobs.next_job(&shutdown).unwrap();
+        assert_eq!(took, id);
+        assert!(matches!(jobs.status(id), Some(JobStatus::Running)));
+        jobs.finish(
+            id,
+            Ok(EvalReport {
+                n_instances: 1,
+                base_accuracy: 1.0,
+                methods: vec![],
+            }),
+        );
+        assert!(matches!(jobs.status(id), Some(JobStatus::Done(_))));
+    }
+
+    #[test]
+    fn capacity_rejects_and_frees_up() {
+        let jobs = EvalJobs::new(1);
+        let id = jobs.submit(spec()).unwrap();
+        assert!(jobs.submit(spec()).is_none());
+        jobs.cancel(id);
+        assert!(jobs.submit(spec()).is_some());
+    }
+
+    #[test]
+    fn cancel_queued_is_immediate_and_cancel_running_raises_flag() {
+        let jobs = EvalJobs::new(2);
+        let a = jobs.submit(spec()).unwrap();
+        let b = jobs.submit(spec()).unwrap();
+        assert!(matches!(jobs.cancel(a), Some(JobStatus::Cancelled)));
+        let shutdown = AtomicBool::new(false);
+        let (took, _spec, cancel) = jobs.next_job(&shutdown).unwrap();
+        assert_eq!(took, b);
+        assert!(matches!(jobs.cancel(b), Some(JobStatus::Running)));
+        assert!(cancel.load(Ordering::Acquire));
+        jobs.finish(b, Err("cancelled".into()));
+        assert!(matches!(jobs.status(b), Some(JobStatus::Cancelled)));
+    }
+
+    #[test]
+    fn unknown_ids_are_none_and_shutdown_unblocks() {
+        let jobs = EvalJobs::new(1);
+        assert!(jobs.status(99).is_none());
+        assert!(jobs.cancel(99).is_none());
+        let shutdown = AtomicBool::new(true);
+        assert!(jobs.next_job(&shutdown).is_none());
+    }
+}

@@ -18,6 +18,11 @@
 //!   binary checkpoint file on the server's filesystem (an operator API:
 //!   expose it only on trusted networks), without interrupting the other
 //!   models;
+//! * `POST /v1/eval` — submits a perturbation-based
+//!   explanation-faithfulness job (instances + labels + methods + k-grid)
+//!   and answers 202 with a job id; `GET /v1/eval/{id}` polls its status
+//!   and, once done, the per-method deletion/insertion report;
+//!   `DELETE /v1/eval/{id}` cancels a queued or running job;
 //! * `GET /healthz` — liveness probe;
 //! * `GET /stats` — JSON dump of the aggregate [`ServiceStats`] plus the
 //!   server-level counters ([`ServerStats`]).
@@ -62,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod eval_jobs;
 pub mod http;
 pub mod wire;
 
@@ -70,13 +76,16 @@ pub use client::{
 };
 
 use dcam::arch::GapClassifier;
+use dcam::occlusion::occlusion_spans;
 use dcam::registry::{ModelRegistry, RegistryError};
 use dcam::service::{
     Backpressure, RequestOptions, ResponseFuture, ServiceConfig, ServiceError, ServiceHandle,
     ServiceStats,
 };
 use dcam::DcamService;
+use dcam_eval::{run_harness, EvalReport, ExplainerKind, ServiceBackend};
 use dcam_series::MultivariateSeries;
+use eval_jobs::{EvalJobs, JobStatus};
 use http::{Conn, RecvError, Request};
 use serde::Value;
 use std::collections::hash_map::DefaultHasher;
@@ -145,6 +154,11 @@ pub struct ServerConfig {
     pub admin_token: Option<String>,
     /// Fault-injection switches, shared with tests/drills via the `Arc`.
     pub faults: Arc<ServerFaults>,
+    /// Bound on unfinished `/v1/eval` jobs (queued + running); submits
+    /// beyond it get a 503. Evaluation re-classifies every instance once
+    /// per method × grid point, so the bound keeps a burst of submits
+    /// from pinning the runner thread for minutes.
+    pub eval_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -160,6 +174,7 @@ impl Default for ServerConfig {
             enable_fault_injection: false,
             admin_token: None,
             faults: Arc::new(ServerFaults::default()),
+            eval_capacity: 4,
         }
     }
 }
@@ -234,6 +249,7 @@ struct Ctx {
     shutdown: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
     conns_ready: Condvar,
+    eval: EvalJobs,
 }
 
 impl Ctx {
@@ -260,6 +276,7 @@ pub struct DcamServer {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Vec<JoinHandle<()>>,
+    eval_thread: Option<JoinHandle<()>>,
     draining: bool,
 }
 
@@ -295,7 +312,15 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(VecDeque::new()),
         conns_ready: Condvar::new(),
+        eval: EvalJobs::new(cfg.eval_capacity),
     });
+    let eval_thread = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("dcam-eval-runner".into())
+            .spawn(move || eval_runner(&ctx))
+            .expect("spawn eval runner thread")
+    };
     let accept_thread = {
         let ctx = Arc::clone(&ctx);
         std::thread::Builder::new()
@@ -317,6 +342,7 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
         addr,
         accept_thread: Some(accept_thread),
         conn_threads,
+        eval_thread: Some(eval_thread),
         draining: false,
     })
 }
@@ -370,10 +396,14 @@ impl DcamServer {
     fn stop_threads(&mut self) {
         self.ctx.shutdown.store(true, Ordering::Release);
         self.ctx.conns_ready.notify_all();
+        self.ctx.eval.notify_shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         for t in self.conn_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.eval_thread.take() {
             let _ = t.join();
         }
     }
@@ -596,6 +626,45 @@ fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
             &wire::error_body("injected_failure", "request path failing (injected fault)"),
             false,
         );
+    }
+    // Eval-job routes: `/v1/eval` and `/v1/eval/{id}`.
+    if let Some(rest) = req.path.strip_prefix("/v1/eval/") {
+        let Ok(id) = rest.parse::<u64>() else {
+            return respond(
+                conn,
+                ctx,
+                404,
+                &[],
+                &wire::error_body("unknown_job", &format!("no eval job \"{rest}\"")),
+                false,
+            );
+        };
+        return match req.method.as_str() {
+            "GET" => handle_eval_status(conn, ctx, id),
+            "DELETE" => handle_eval_cancel(conn, ctx, id),
+            _ => respond(
+                conn,
+                ctx,
+                405,
+                &[("allow", "GET, DELETE".into())],
+                &wire::error_body("method_not_allowed", "use GET or DELETE"),
+                false,
+            ),
+        };
+    }
+    if req.path == "/v1/eval" {
+        return if req.method == "POST" {
+            handle_eval_submit(conn, req, ctx)
+        } else {
+            respond(
+                conn,
+                ctx,
+                405,
+                &[("allow", "POST".into())],
+                &wire::error_body("method_not_allowed", "use POST"),
+                false,
+            )
+        };
     }
     // Model-admin routes: `/v1/models/{name}/swap`.
     if let Some(rest) = req.path.strip_prefix("/v1/models/") {
@@ -1005,6 +1074,206 @@ fn handle_explain(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
             respond(conn, ctx, 504, &[], &body, true)
         }
     }
+}
+
+/// `POST /v1/eval`: validate the job against the target model's geometry,
+/// enqueue it, answer 202 with the job id. Validation happens here — not
+/// in the runner — so a bad request is a structured 400 at submit time
+/// instead of a `failed` job discovered on the first poll.
+fn handle_eval_submit(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    let value = match parse_json_body(conn, req, ctx) {
+        Ok(v) => v,
+        Err(after) => return after,
+    };
+    let parsed = match wire::parse_eval(&value) {
+        Ok(p) => p,
+        Err(msg) => {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body("bad_request", &msg),
+                false,
+            )
+        }
+    };
+    let name = match ctx.registry.resolve(parsed.model.as_deref()) {
+        Ok((name, _)) => name,
+        Err(e) => return respond_registry_error(conn, ctx, e),
+    };
+    if let Some(info) = ctx.registry.list().into_iter().find(|m| m.name == name) {
+        for (i, rows) in parsed.series_list.iter().enumerate() {
+            if rows.len() != info.dims {
+                return respond(
+                    conn,
+                    ctx,
+                    400,
+                    &[],
+                    &wire::error_body(
+                        "shape_mismatch",
+                        &format!(
+                            "instance {i} has {} dimensions, model \"{name}\" expects {}",
+                            rows.len(),
+                            info.dims
+                        ),
+                    ),
+                    false,
+                );
+            }
+        }
+        if let Some((i, &l)) = parsed
+            .labels
+            .iter()
+            .enumerate()
+            .find(|(_, &l)| l >= info.n_classes)
+        {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body(
+                    "invalid_class",
+                    &format!(
+                        "labels[{i}] = {l} but model \"{name}\" has {} classes",
+                        info.n_classes
+                    ),
+                ),
+                false,
+            );
+        }
+    }
+    if parsed.config.methods.contains(&ExplainerKind::Occlusion) {
+        for (i, rows) in parsed.series_list.iter().enumerate() {
+            let n = rows.first().map(Vec::len).unwrap_or(0);
+            if let Err(e) = occlusion_spans(n, &parsed.config.occlusion) {
+                return respond(
+                    conn,
+                    ctx,
+                    400,
+                    &[],
+                    &wire::error_body("bad_occlusion_window", &format!("instance {i}: {e}")),
+                    false,
+                );
+            }
+        }
+    }
+    match ctx.eval.submit(parsed) {
+        Some(id) => respond(
+            conn,
+            ctx,
+            202,
+            &[],
+            &wire::eval_submitted_body(id, "queued"),
+            false,
+        ),
+        None => {
+            ctx.counters
+                .backpressure_503
+                .fetch_add(1, Ordering::Relaxed);
+            respond(
+                conn,
+                ctx,
+                503,
+                &[("retry-after", ctx.cfg.retry_after_s.to_string())],
+                &wire::error_body("overloaded", "eval job queue is full"),
+                false,
+            )
+        }
+    }
+}
+
+/// `GET /v1/eval/{id}`: job status, plus the report once done or the
+/// failure message once failed.
+fn handle_eval_status(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
+    match ctx.eval.status(id) {
+        None => respond(
+            conn,
+            ctx,
+            404,
+            &[],
+            &wire::error_body("unknown_job", &format!("no eval job {id}")),
+            false,
+        ),
+        Some(status) => {
+            let body = match &status {
+                JobStatus::Done(report) => {
+                    wire::eval_status_body(id, status.name(), Some(report), None)
+                }
+                JobStatus::Failed(msg) => {
+                    wire::eval_status_body(id, status.name(), None, Some(msg))
+                }
+                _ => wire::eval_status_body(id, status.name(), None, None),
+            };
+            respond(conn, ctx, 200, &[], &body, false)
+        }
+    }
+}
+
+/// `DELETE /v1/eval/{id}`: cancel a queued or running job (idempotent on
+/// finished ones); answers with the status after the cancel took effect.
+fn handle_eval_cancel(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
+    match ctx.eval.cancel(id) {
+        None => respond(
+            conn,
+            ctx,
+            404,
+            &[],
+            &wire::error_body("unknown_job", &format!("no eval job {id}")),
+            false,
+        ),
+        Some(status) => respond(
+            conn,
+            ctx,
+            200,
+            &[],
+            &wire::eval_submitted_body(id, status.name()),
+            false,
+        ),
+    }
+}
+
+/// The eval runner thread: drains the job queue one job at a time,
+/// re-resolving the target model per job (a swap between submit and run
+/// evaluates the new generation — exactly what live traffic would see).
+fn eval_runner(ctx: &Ctx) {
+    while let Some((id, spec, cancel)) = ctx.eval.next_job(&ctx.shutdown) {
+        let result = run_eval_job(ctx, spec, &cancel);
+        ctx.eval.finish(id, result);
+    }
+}
+
+fn run_eval_job(
+    ctx: &Ctx,
+    spec: wire::EvalRequest,
+    cancel: &AtomicBool,
+) -> Result<EvalReport, String> {
+    let (_name, handle) = ctx
+        .registry
+        .resolve(spec.model.as_deref())
+        .map_err(|e| e.to_string())?;
+    // Same deadline rebind as `resolve_handle`: the runner must never park
+    // forever on a full queue either.
+    let handle = match handle.backpressure() {
+        Backpressure::Block => {
+            handle.with_backpressure(Backpressure::Timeout(ctx.cfg.request_deadline))
+        }
+        _ => handle,
+    };
+    let samples: Vec<MultivariateSeries> = spec
+        .series_list
+        .iter()
+        .map(|rows| MultivariateSeries::from_rows(rows))
+        .collect();
+    let mut backend = ServiceBackend::new(handle, None);
+    run_harness(
+        &mut backend,
+        &samples,
+        &spec.labels,
+        &spec.config,
+        Some(cancel),
+    )
 }
 
 fn handle_classify(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {

@@ -7,8 +7,12 @@
 //! `serde_json`.
 
 use dcam::dcam::DcamResult;
+use dcam::occlusion::OcclusionConfig;
 use dcam::registry::ModelInfo;
 use dcam::service::{Classification, ServiceStats};
+use dcam_eval::{
+    Curve, CurvePoint, EvalReport, ExplainerKind, HarnessConfig, MaskStrategy, MethodReport,
+};
 use serde::Value;
 
 /// A parsed `POST /v1/explain` body.
@@ -255,6 +259,249 @@ pub fn swap_body(name: &str, version: u64, old_stats: &ServiceStats) -> String {
         ("previous_generation", service_stats_value(old_stats)),
     ]);
     serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// A parsed `POST /v1/eval` body.
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    /// Registry model to evaluate; `None` uses the server's default.
+    pub model: Option<String>,
+    /// Instances, each `D × n` rows.
+    pub series_list: Vec<Vec<Vec<f32>>>,
+    /// True label per instance.
+    pub labels: Vec<usize>,
+    /// Harness parameters assembled from the optional body fields.
+    pub config: HarnessConfig,
+}
+
+/// Parses a `POST /v1/eval` body: `series` (array of instances), `labels`,
+/// plus optional `model`, `methods`, `k_grid`, `mask`,
+/// `occlusion: {window, stride, baseline}` and `seed` overriding the
+/// [`HarnessConfig`] defaults.
+pub fn parse_eval(v: &Value) -> Result<EvalRequest, String> {
+    let instances = v
+        .get("series")
+        .ok_or("missing field \"series\"")?
+        .as_array()
+        .ok_or("\"series\" must be an array of instances")?;
+    if instances.is_empty() {
+        return Err("\"series\" must hold at least one instance".into());
+    }
+    let mut series_list = Vec::with_capacity(instances.len());
+    for (i, inst) in instances.iter().enumerate() {
+        let wrapped = Value::Object(vec![("series".into(), inst.clone())]);
+        let rows = series_rows(&wrapped).map_err(|e| format!("instance {i}: {e}"))?;
+        series_list.push(rows);
+    }
+    let labels_v = v
+        .get("labels")
+        .ok_or("missing field \"labels\"")?
+        .as_array()
+        .ok_or("\"labels\" must be an array of class indices")?;
+    let mut labels = Vec::with_capacity(labels_v.len());
+    for (i, l) in labels_v.iter().enumerate() {
+        labels.push(
+            l.as_usize()
+                .ok_or_else(|| format!("labels[{i}] is not a non-negative integer"))?,
+        );
+    }
+    if labels.len() != series_list.len() {
+        return Err(format!(
+            "{} instances but {} labels",
+            series_list.len(),
+            labels.len()
+        ));
+    }
+
+    let mut config = HarnessConfig::default();
+    if let Some(m) = v.get("methods") {
+        let arr = m
+            .as_array()
+            .ok_or("\"methods\" must be an array of names")?;
+        let mut methods = Vec::with_capacity(arr.len());
+        for name in arr {
+            let name = name.as_str().ok_or("\"methods\" entries must be strings")?;
+            methods.push(
+                ExplainerKind::parse(name).ok_or_else(|| format!("unknown method \"{name}\""))?,
+            );
+        }
+        if methods.is_empty() {
+            return Err("\"methods\" must not be empty".into());
+        }
+        config.methods = methods;
+    }
+    if let Some(g) = v.get("k_grid") {
+        let arr = g
+            .as_array()
+            .ok_or("\"k_grid\" must be an array of fractions")?;
+        let mut grid = Vec::with_capacity(arr.len());
+        for f in arr {
+            let f = f.as_f64().ok_or("\"k_grid\" entries must be numbers")? as f32;
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err("k_grid fractions must lie in [0, 1]".into());
+            }
+            grid.push(f);
+        }
+        config.k_grid = grid;
+    }
+    if let Some(mask) = opt_string(v, "mask")? {
+        config.strategy = MaskStrategy::parse(&mask)
+            .ok_or_else(|| format!("unknown mask strategy \"{mask}\""))?;
+    }
+    if let Some(occ) = v.get("occlusion") {
+        let mut cfg = OcclusionConfig::default();
+        if let Some(w) = opt_usize(occ, "window")? {
+            cfg.window = w;
+        }
+        if let Some(s) = opt_usize(occ, "stride")? {
+            cfg.stride = s;
+        }
+        if let Some(b) = occ.get("baseline") {
+            cfg.baseline =
+                b.as_f64()
+                    .ok_or("\"occlusion.baseline\" must be a number")? as f32;
+        }
+        config.occlusion = cfg;
+    }
+    if let Some(seed) = opt_usize(v, "seed")? {
+        config.seed = seed as u64;
+    }
+    Ok(EvalRequest {
+        model: opt_string(v, "model")?,
+        series_list,
+        labels,
+        config,
+    })
+}
+
+fn curve_value(c: &Curve) -> Value {
+    Value::Array(
+        c.points
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("frac", num(p.frac as f64)),
+                    ("accuracy", num(p.accuracy as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// An [`EvalReport`] as a JSON tree (the `report` field of
+/// `GET /v1/eval/{id}`).
+pub fn eval_report_value(r: &EvalReport) -> Value {
+    obj(vec![
+        ("n_instances", num(r.n_instances as f64)),
+        ("base_accuracy", num(r.base_accuracy as f64)),
+        (
+            "methods",
+            Value::Array(
+                r.methods
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("method", Value::String(m.method.name().into())),
+                            ("deletion_auc", num(m.deletion_auc as f64)),
+                            ("insertion_auc", num(m.insertion_auc as f64)),
+                            ("deletion", curve_value(&m.deletion)),
+                            ("insertion", curve_value(&m.insertion)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn curve_from_value(v: &Value) -> Result<Curve, String> {
+    let arr = v.as_array().ok_or("curve must be an array")?;
+    let mut points = Vec::with_capacity(arr.len());
+    for p in arr {
+        points.push(CurvePoint {
+            frac: p
+                .get("frac")
+                .and_then(Value::as_f64)
+                .ok_or("curve point missing \"frac\"")? as f32,
+            accuracy: p
+                .get("accuracy")
+                .and_then(Value::as_f64)
+                .ok_or("curve point missing \"accuracy\"")? as f32,
+        });
+    }
+    Ok(Curve { points })
+}
+
+/// Parses the JSON produced by [`eval_report_value`] back into an
+/// [`EvalReport`] — the client half of the eval API (used by `dcam_eval`
+/// to compare a served report against a local run).
+pub fn eval_report_from_value(v: &Value) -> Result<EvalReport, String> {
+    let methods_v = v
+        .get("methods")
+        .and_then(Value::as_array)
+        .ok_or("report missing \"methods\"")?;
+    let mut methods = Vec::with_capacity(methods_v.len());
+    for m in methods_v {
+        let name = m
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or("method entry missing \"method\"")?;
+        methods.push(MethodReport {
+            method: ExplainerKind::parse(name)
+                .ok_or_else(|| format!("unknown method \"{name}\" in report"))?,
+            deletion: curve_from_value(m.get("deletion").ok_or("missing \"deletion\"")?)?,
+            insertion: curve_from_value(m.get("insertion").ok_or("missing \"insertion\"")?)?,
+            deletion_auc: m
+                .get("deletion_auc")
+                .and_then(Value::as_f64)
+                .ok_or("missing \"deletion_auc\"")? as f32,
+            insertion_auc: m
+                .get("insertion_auc")
+                .and_then(Value::as_f64)
+                .ok_or("missing \"insertion_auc\"")? as f32,
+        });
+    }
+    Ok(EvalReport {
+        n_instances: v
+            .get("n_instances")
+            .and_then(Value::as_usize)
+            .ok_or("report missing \"n_instances\"")?,
+        base_accuracy: v
+            .get("base_accuracy")
+            .and_then(Value::as_f64)
+            .ok_or("report missing \"base_accuracy\"")? as f32,
+        methods,
+    })
+}
+
+/// The `POST /v1/eval` accepted body.
+pub fn eval_submitted_body(id: u64, status: &str) -> String {
+    let v = obj(vec![
+        ("id", num(id as f64)),
+        ("status", Value::String(status.into())),
+    ]);
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// The `GET /v1/eval/{id}` body: status plus — once finished — the report
+/// or the failure message.
+pub fn eval_status_body(
+    id: u64,
+    status: &str,
+    report: Option<&EvalReport>,
+    error: Option<&str>,
+) -> String {
+    let mut fields = vec![
+        ("id", num(id as f64)),
+        ("status", Value::String(status.into())),
+    ];
+    if let Some(r) = report {
+        fields.push(("report", eval_report_value(r)));
+    }
+    if let Some(e) = error {
+        fields.push(("error", Value::String(e.into())));
+    }
+    serde_json::to_string(&obj(fields)).unwrap_or_default()
 }
 
 /// [`ServiceStats`] as a JSON tree (durations in milliseconds).

@@ -1,0 +1,88 @@
+//! Pins the mega-batch `classify_many` path to the batch-of-one
+//! reference forward (`GapClassifier::logits_for`) to 1e-5 relative,
+//! property-tested across conv strategies (direct / im2col / fft), batch
+//! capacities and mixed series lengths (which exercise the by-geometry
+//! grouping).
+//!
+//! Thread counts cannot vary in-process — `DCAM_THREADS` is latched once
+//! per process by the GEMM pool — so that axis is covered by the CI test
+//! matrix re-running this whole suite under different `DCAM_THREADS`
+//! values, not by cases here.
+
+use dcam::arch::cnn;
+use dcam::{
+    classify_many, planted_dataset, planted_model, DcamManyConfig, InputEncoding, ModelScale,
+    PlantedSpec,
+};
+use dcam_nn::layers::ConvStrategy;
+use dcam_series::MultivariateSeries;
+use dcam_tensor::{argmax, SeededRng};
+use proptest::prelude::*;
+
+fn rel_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn random_series(rng: &mut SeededRng, d: usize, n: usize) -> MultivariateSeries {
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every conv strategy, mega-batched logits equal the
+    /// per-instance reference forward to 1e-5 relative and the argmax
+    /// class is identical, regardless of batch capacity or how mixed
+    /// series lengths split into geometry groups.
+    #[test]
+    fn matches_per_instance_forwards_across_conv_strategies(
+        seed in any::<u64>(),
+        d in 2usize..5,
+        classes in 2usize..4,
+        max_batch in 1usize..9,
+        lens in (3usize..9, any::<u64>()).prop_map(|(count, seed)| {
+            let mut rng = SeededRng::new(seed);
+            (0..count).map(|_| rng.range(12, 40)).collect::<Vec<usize>>()
+        }),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut model = cnn(InputEncoding::Dcnn, d, classes, ModelScale::Tiny, &mut rng);
+        let batch: Vec<MultivariateSeries> = lens
+            .iter()
+            .map(|&n| random_series(&mut rng, d, n))
+            .collect();
+        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col, ConvStrategy::Fft] {
+            model.set_conv_strategy(strategy);
+            let many = classify_many(&mut model, &batch, max_batch);
+            prop_assert_eq!(many.len(), batch.len());
+            for (s, c) in batch.iter().zip(&many) {
+                let solo = model.logits_for(s);
+                prop_assert_eq!(c.class, argmax(solo.data()).unwrap());
+                for (a, b) in c.logits.iter().zip(solo.data()) {
+                    prop_assert!(
+                        rel_close(*a, *b),
+                        "{:?}: batched logit {} vs reference {}",
+                        strategy, a, b
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The planted fixture stays perfectly classified through the mega-batch
+/// path with the service's own batch capacity — the configuration every
+/// eval job re-classifies under.
+#[test]
+fn planted_fixture_is_perfect_through_classify_many() {
+    let spec = PlantedSpec::default();
+    let mut model = planted_model(&spec);
+    let ds = planted_dataset(&spec);
+    let cls = classify_many(&mut model, &ds.samples, DcamManyConfig::default().max_batch);
+    for (c, &label) in cls.iter().zip(&ds.labels) {
+        assert_eq!(c.class, label);
+    }
+}

@@ -1,0 +1,258 @@
+//! Faithfulness-harness acceptance tests on the deterministic
+//! planted-weights fixture (`dcam::fixture`): dCAM must beat the
+//! random-ranking floor on both perturbation curves, and the harness
+//! invariants the fixture makes provable — k = 0 masking is a no-op,
+//! oracle-ranked deletion is monotone non-increasing, a random ranking
+//! tracks the hypergeometric expectation built from the same prevalence
+//! `dr_acc_random` reports — hold under property testing.
+
+use dcam::{classify_many, planted_dataset, planted_model, PlantedSpec};
+use dcam_eval::{
+    apply_mask, cells_at, dr_acc_random, rank_cells, run_harness, ExplainerKind, HarnessConfig,
+    LocalBackend, MaskStrategy,
+};
+use dcam_series::MultivariateSeries;
+use dcam_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn rel_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// The acceptance-criteria e2e: on the planted fixture every real method
+/// is compared in one run, the classifier starts perfect, and dCAM's
+/// deletion/insertion AUCs beat the random-ranking baseline's.
+#[test]
+fn dcam_beats_random_ranking_on_planted_fixture() {
+    let spec = PlantedSpec::default();
+    let mut model = planted_model(&spec);
+    let ds = planted_dataset(&spec);
+    let mut backend = LocalBackend::new(&mut model);
+    let cfg = HarnessConfig {
+        methods: vec![
+            ExplainerKind::Dcam,
+            ExplainerKind::Occlusion,
+            ExplainerKind::Knn,
+            ExplainerKind::Random,
+        ],
+        ..Default::default()
+    };
+    let report = run_harness(&mut backend, &ds.samples, &ds.labels, &cfg, None).unwrap();
+
+    assert_eq!(report.n_instances, 2 * spec.per_class);
+    assert!(
+        rel_close(report.base_accuracy, 1.0),
+        "planted fixture must start perfectly classified, got {}",
+        report.base_accuracy
+    );
+    assert_eq!(report.methods.len(), cfg.methods.len());
+    for m in &report.methods {
+        // Each curve spans the full grid and anchors at the unperturbed
+        // accuracy for frac = 0.
+        assert_eq!(m.deletion.points.len(), cfg.k_grid.len());
+        assert_eq!(m.insertion.points.len(), cfg.k_grid.len());
+        assert_eq!(m.deletion.points[0].frac, 0.0);
+        assert!(rel_close(
+            m.deletion.points[0].accuracy,
+            report.base_accuracy
+        ));
+    }
+
+    let method = |kind: ExplainerKind| {
+        report
+            .methods
+            .iter()
+            .find(|m| m.method == kind)
+            .unwrap_or_else(|| panic!("missing {} report", kind.name()))
+    };
+    let dcam = method(ExplainerKind::Dcam);
+    let random = method(ExplainerKind::Random);
+    assert!(
+        dcam.deletion_auc < random.deletion_auc,
+        "dCAM deletion AUC {} does not beat random {}",
+        dcam.deletion_auc,
+        random.deletion_auc
+    );
+    assert!(
+        dcam.insertion_auc > random.insertion_auc,
+        "dCAM insertion AUC {} does not beat random {}",
+        dcam.insertion_auc,
+        random.insertion_auc
+    );
+}
+
+/// `ln C(n, r)` — exact enough in f64 for the tiny counts involved.
+fn ln_choose(n: usize, r: usize) -> f64 {
+    (1..=r)
+        .map(|i| ((n - r + i) as f64).ln() - (i as f64).ln())
+        .sum()
+}
+
+/// `P(X <= x_max)` for `X ~ Hypergeometric(total, m, k)`: bump cells hit
+/// when `k` of `total` cells are masked uniformly at random.
+fn hyper_cdf(total: usize, m: usize, k: usize, x_max: usize) -> f64 {
+    (0..=x_max.min(m).min(k))
+        .filter(|&x| k - x <= total - m)
+        .map(|x| (ln_choose(m, x) + ln_choose(total - m, k - x) - ln_choose(total, k)).exp())
+        .sum()
+}
+
+/// An uninformed (random-ranking) attribution's deletion curve must track
+/// the closed-form expectation derived from the bump prevalence — the same
+/// rate `dr_acc_random` reports for the ground-truth masks.
+///
+/// A class-1 instance flips only once the random draw covers at least half
+/// its `m`-cell bump (x > m/2 definitely flips; x = m/2 lands exactly on
+/// the planted threshold and is decided by the noise), so the expected
+/// accuracy at `k` masked cells is bracketed by
+/// `0.5 + 0.5·P(x <= m/2 - 1)` and `0.5 + 0.5·P(x <= m/2)` with `x`
+/// hypergeometric. The measured mean over seeds must land in that band.
+#[test]
+fn random_ranking_deletion_curve_matches_dr_acc_random_expectation() {
+    let spec = PlantedSpec::default();
+    let ds = planted_dataset(&spec);
+    let total = spec.dims * spec.len;
+    let m = spec.bump_len;
+
+    // dr_acc_random is exactly the mask prevalence the hypergeometric
+    // expectation below is parameterised by.
+    for mask in ds.masks.iter().flatten() {
+        assert!(rel_close(
+            dr_acc_random(mask.tensor()),
+            m as f32 / total as f32
+        ));
+    }
+
+    let grid = vec![0.0f32, 0.1, 0.25, 0.5];
+    let seeds: Vec<u64> = (0..12u64).map(|s| 0x0dd ^ (s.wrapping_mul(7919))).collect();
+    let mut sums = vec![0.0f64; grid.len()];
+    for &seed in &seeds {
+        let mut model = planted_model(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        let cfg = HarnessConfig {
+            methods: vec![ExplainerKind::Random],
+            k_grid: grid.clone(),
+            strategy: MaskStrategy::Zero,
+            seed,
+            ..Default::default()
+        };
+        let report = run_harness(&mut backend, &ds.samples, &ds.labels, &cfg, None).unwrap();
+        let del = &report.methods[0].deletion;
+        assert_eq!(del.points.len(), grid.len());
+        for (j, p) in del.points.iter().enumerate() {
+            assert_eq!(p.frac, grid[j]);
+            sums[j] += p.accuracy as f64;
+        }
+    }
+
+    let tol = 0.1; // statistical slack over 12 seeds × 8 class-1 instances
+    for (j, &frac) in grid.iter().enumerate() {
+        let mean = sums[j] / seeds.len() as f64;
+        let k = cells_at(frac, total);
+        let lo = 0.5 + 0.5 * hyper_cdf(total, m, k, m / 2 - 1) - tol;
+        let hi = 0.5 + 0.5 * hyper_cdf(total, m, k, m / 2) + tol;
+        assert!(
+            mean >= lo && mean <= hi,
+            "random deletion accuracy at frac {frac}: measured {mean:.3}, expected in [{lo:.3}, {hi:.3}]"
+        );
+    }
+}
+
+fn random_series(rng: &mut SeededRng, d: usize, n: usize) -> MultivariateSeries {
+    let rows: Vec<Vec<f32>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.normal()).collect())
+        .collect();
+    MultivariateSeries::from_rows(&rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Masking k = 0 cells never changes predictions: an all-false mask
+    /// is an exact copy under every strategy, so the logits are
+    /// bit-identical — and frac 0.0 selects zero cells to begin with.
+    #[test]
+    fn masking_zero_cells_never_changes_predictions(
+        seed in any::<u64>(),
+        d in 1usize..5,
+        n in 8usize..40,
+    ) {
+        prop_assert_eq!(cells_at(0.0, d * n), 0);
+        let mut model = planted_model(&PlantedSpec {
+            dims: d,
+            len: n,
+            ..Default::default()
+        });
+        let mut rng = SeededRng::new(seed);
+        let s = random_series(&mut rng, d, n);
+        let none = vec![false; d * n];
+        for strategy in [MaskStrategy::Zero, MaskStrategy::DimMean, MaskStrategy::LocalInterp] {
+            let masked = apply_mask(&s, &none, strategy);
+            let batch = [s.clone(), masked];
+            let cls = classify_many(&mut model, &batch, 2);
+            prop_assert_eq!(cls[0].class, cls[1].class, "{}", strategy.name());
+            prop_assert_eq!(&cls[0].logits, &cls[1].logits, "{}", strategy.name());
+        }
+    }
+
+    /// Deletion curves are monotone non-increasing in k on the planted
+    /// fixture: under the oracle ranking (ground-truth mask first) with
+    /// zero masking, each extra masked cell can only lower the bump
+    /// feature (ReLU of a moving average is monotone in each positive
+    /// input), and class-0 instances never flip. The interpolating
+    /// strategies would reconstruct the bump from its neighbours, so the
+    /// guarantee is specific to `MaskStrategy::Zero`.
+    #[test]
+    fn planted_deletion_curve_is_monotone_in_k(
+        grid in (1usize..8, any::<u64>()).prop_map(|(len, seed)| {
+            let mut rng = SeededRng::new(seed);
+            (0..len).map(|_| rng.uniform()).collect::<Vec<f32>>()
+        }),
+        per_class in 2usize..5,
+    ) {
+        let spec = PlantedSpec { per_class, ..Default::default() };
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let rankings: Vec<Vec<usize>> = ds
+            .samples
+            .iter()
+            .zip(&ds.masks)
+            .map(|(s, mask)| match mask {
+                Some(m) => rank_cells(m.tensor()),
+                None => (0..s.n_dims() * s.len()).collect(),
+            })
+            .collect();
+
+        let mut grid = grid;
+        grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f32::INFINITY;
+        for &frac in &grid {
+            let masked: Vec<MultivariateSeries> = ds
+                .samples
+                .iter()
+                .zip(&rankings)
+                .map(|(s, ranking)| {
+                    let total = s.n_dims() * s.len();
+                    let k = cells_at(frac, total);
+                    let mut flags = vec![false; total];
+                    for &cell in &ranking[..k] {
+                        flags[cell] = true;
+                    }
+                    apply_mask(s, &flags, MaskStrategy::Zero)
+                })
+                .collect();
+            let cls = classify_many(&mut model, &masked, 8);
+            let correct = cls
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(c, &l)| c.class == l)
+                .count();
+            let acc = correct as f32 / ds.samples.len() as f32;
+            prop_assert!(
+                acc <= prev + 1e-6,
+                "accuracy rose from {prev} to {acc} at frac {frac}"
+            );
+            prev = acc;
+        }
+    }
+}
