@@ -1,0 +1,123 @@
+//! DBA — DTW barycenter averaging (Petitjean et al. 2011).
+//!
+//! A barycenter under DTW cannot be computed coordinate-wise, so DBA
+//! iterates: align every member to the *current* barycenter along its
+//! optimal warping path, pool the member samples that landed on each
+//! barycenter position, replace the position with the pool's mean, and
+//! repeat until the within-set cost stops improving (or an iteration cap
+//! fires). Each update is the exact minimiser of the sum of squared
+//! alignment costs *for the fixed alignments*, which is why one DBA step
+//! can never increase `Σ DTW²(member, barycenter)` — the invariant the
+//! proptests hold the implementation to.
+
+use crate::dtw::{dtw_distance, dtw_path};
+
+/// Σ over members of the *squared* DTW distance to `center` — the
+/// objective DBA descends.
+pub fn total_sq_cost(center: &[f32], members: &[&[f32]], band: Option<usize>) -> f32 {
+    members
+        .iter()
+        .map(|m| {
+            let d = dtw_distance(center, m, band);
+            d * d
+        })
+        .sum()
+}
+
+/// One DBA update: DTW-align every member to `center`, average the
+/// aligned columns. Positions no member aligns to (impossible with a
+/// connected band, but cheap to guard) keep their current value.
+pub fn dba_step(center: &[f32], members: &[&[f32]], band: Option<usize>) -> Vec<f32> {
+    let mut sums = vec![0.0f64; center.len()];
+    let mut counts = vec![0u32; center.len()];
+    for member in members {
+        for (ci, mj) in dtw_path(center, member, band) {
+            sums[ci] += member[mj] as f64;
+            counts[ci] += 1;
+        }
+    }
+    center
+        .iter()
+        .zip(sums.iter().zip(&counts))
+        .map(|(&old, (&s, &c))| if c == 0 { old } else { (s / c as f64) as f32 })
+        .collect()
+}
+
+/// Iterated DBA from `init`: runs up to `max_iters` update steps,
+/// stopping early once an iteration improves the objective by less than
+/// `tol` (relative). Returns the barycenter and its final `Σ DTW²` cost.
+///
+/// A step that would *increase* the cost (float noise at convergence) is
+/// rejected and iteration stops, so the returned cost is monotone in the
+/// number of iterations by construction.
+pub fn dba_barycenter(
+    init: &[f32],
+    members: &[&[f32]],
+    band: Option<usize>,
+    max_iters: usize,
+    tol: f32,
+) -> (Vec<f32>, f32) {
+    let mut center = init.to_vec();
+    let mut cost = total_sq_cost(&center, members, band);
+    if members.is_empty() {
+        return (center, cost);
+    }
+    for _ in 0..max_iters {
+        let next = dba_step(&center, members, band);
+        let next_cost = total_sq_cost(&next, members, band);
+        if next_cost > cost {
+            break;
+        }
+        let improved = cost - next_cost;
+        center = next;
+        cost = next_cost;
+        if improved <= tol * cost.max(1e-12) {
+            break;
+        }
+    }
+    (center, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barycenter_of_identical_members_is_the_member() {
+        let m = [0.3f32, -0.5, 1.0, 0.2];
+        let members = [&m[..], &m[..], &m[..]];
+        let init = [0.0f32, 0.0, 0.0, 0.0];
+        let (center, cost) = dba_barycenter(&init, &members, None, 10, 0.0);
+        for (c, v) in center.iter().zip(&m) {
+            assert!((c - v).abs() < 1e-5, "center {center:?}");
+        }
+        assert!(cost < 1e-8);
+    }
+
+    #[test]
+    fn each_step_is_nonincreasing() {
+        let a = [0.0f32, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let b = [0.0f32, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let c = [0.0f32, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let members = [&a[..], &b[..], &c[..]];
+        let mut center = vec![0.5f32; 6];
+        let mut cost = total_sq_cost(&center, &members, None);
+        for _ in 0..5 {
+            center = dba_step(&center, &members, None);
+            let next = total_sq_cost(&center, &members, None);
+            assert!(
+                next <= cost + 1e-6,
+                "DBA step increased cost: {cost} -> {next}"
+            );
+            cost = next;
+        }
+    }
+
+    #[test]
+    fn empty_member_set_returns_init() {
+        let init = [1.0f32, 2.0];
+        let (center, cost) = dba_barycenter(&init, &[], None, 5, 0.0);
+        assert_eq!(center, init.to_vec());
+        assert_eq!(cost, 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Dynamic time warping over `f32` sequences — the distance the whole
+//! analytics subsystem is built on.
+//!
+//! The implementation is a two-row dynamic program over *squared* local
+//! costs; [`dtw_distance`] reports the square root of the optimal
+//! accumulated cost so the value degrades gracefully to the Euclidean
+//! norm when the optimal path is the diagonal. A Sakoe–Chiba band bounds
+//! how far the warping path may stray from the diagonal: `band: None` is
+//! the unconstrained distance, and any radius wide enough to cover a full
+//! row degenerates to it exactly (a property the proptests pin).
+//!
+//! [`dtw_distance_abandoning`] adds early abandoning for nearest-centroid
+//! searches: once every cell of a DP row exceeds the caller's running
+//! best, no completion of the path can beat it, so the scan bails with
+//! `f32::INFINITY`.
+
+/// Effective half-width of the Sakoe–Chiba corridor for lengths `n × m`.
+///
+/// A band narrower than `|n − m|` cannot reach the `(n, m)` corner at
+/// all, so the radius is clamped up to keep every banded distance finite.
+fn effective_radius(n: usize, m: usize, band: Option<usize>) -> Option<usize> {
+    band.map(|r| r.max(n.abs_diff(m)))
+}
+
+/// The columns of row `i` inside the corridor, as a half-open range.
+fn row_span(i: usize, n: usize, m: usize, radius: Option<usize>) -> (usize, usize) {
+    match radius {
+        None => (0, m),
+        Some(r) => {
+            // Centre the corridor on the stretched diagonal j ≈ i·m/n.
+            let centre = if n <= 1 { 0 } else { i * (m - 1) / (n - 1) };
+            (centre.saturating_sub(r), (centre + r + 1).min(m))
+        }
+    }
+}
+
+/// DTW distance between `a` and `b` under an optional Sakoe–Chiba band.
+///
+/// Returns the square root of the minimal accumulated squared cost.
+/// Empty inputs are at distance 0 from everything (there is nothing to
+/// align), matching the convention of the clustering layer which never
+/// produces them.
+pub fn dtw_distance(a: &[f32], b: &[f32], band: Option<usize>) -> f32 {
+    dtw_distance_abandoning(a, b, band, f32::INFINITY)
+}
+
+/// DTW distance that gives up early: if every alignment prefix already
+/// exceeds `best`, returns `f32::INFINITY` without finishing the table.
+///
+/// `best` is a *distance* (same units as the return value); pass
+/// `f32::INFINITY` to disable abandoning.
+pub fn dtw_distance_abandoning(a: &[f32], b: &[f32], band: Option<usize>, best: f32) -> f32 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let radius = effective_radius(n, m, band);
+    let cutoff = if best.is_finite() {
+        best * best
+    } else {
+        f32::INFINITY
+    };
+
+    // prev[j] = optimal squared cost ending at (i-1, j); INFINITY outside
+    // the corridor.
+    let mut prev = vec![f32::INFINITY; m];
+    let mut curr = vec![f32::INFINITY; m];
+    for i in 0..n {
+        let (lo, hi) = row_span(i, n, m, radius);
+        curr[..m].fill(f32::INFINITY);
+        let mut row_min = f32::INFINITY;
+        for j in lo..hi {
+            let d = a[i] - b[j];
+            let step = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if i > 0 { prev[j] } else { f32::INFINITY };
+                let left = if j > lo { curr[j - 1] } else { f32::INFINITY };
+                let diag = if i > 0 && j > 0 {
+                    prev[j - 1]
+                } else {
+                    f32::INFINITY
+                };
+                up.min(left).min(diag)
+            };
+            let cost = step + d * d;
+            curr[j] = cost;
+            row_min = row_min.min(cost);
+        }
+        if row_min > cutoff {
+            return f32::INFINITY;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1].sqrt()
+}
+
+/// The optimal warping path between `a` and `b` as `(i, j)` index pairs
+/// in ascending order, ending at `(n-1, m-1)`.
+///
+/// Used by DBA to know which member samples align to each barycenter
+/// position. Builds the full table (no abandoning — the caller needs the
+/// path, not just the cost).
+pub fn dtw_path(a: &[f32], b: &[f32], band: Option<usize>) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let radius = effective_radius(n, m, band);
+    let mut table = vec![f32::INFINITY; n * m];
+    for i in 0..n {
+        let (lo, hi) = row_span(i, n, m, radius);
+        for j in lo..hi {
+            let d = a[i] - b[j];
+            let step = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if i > 0 {
+                    table[(i - 1) * m + j]
+                } else {
+                    f32::INFINITY
+                };
+                let left = if j > 0 {
+                    table[i * m + j - 1]
+                } else {
+                    f32::INFINITY
+                };
+                let diag = if i > 0 && j > 0 {
+                    table[(i - 1) * m + j - 1]
+                } else {
+                    f32::INFINITY
+                };
+                up.min(left).min(diag)
+            };
+            table[i * m + j] = step + d * d;
+        }
+    }
+    // Walk back from the corner, always taking the cheapest predecessor
+    // (diagonal preferred on ties so paths stay short).
+    let mut path = vec![(n - 1, m - 1)];
+    let (mut i, mut j) = (n - 1, m - 1);
+    while i > 0 || j > 0 {
+        let diag = if i > 0 && j > 0 {
+            table[(i - 1) * m + j - 1]
+        } else {
+            f32::INFINITY
+        };
+        let up = if i > 0 {
+            table[(i - 1) * m + j]
+        } else {
+            f32::INFINITY
+        };
+        let left = if j > 0 {
+            table[i * m + j - 1]
+        } else {
+            f32::INFINITY
+        };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    #[test]
+    fn identical_series_are_at_zero() {
+        let a = [0.5f32, -1.0, 2.0, 0.0];
+        assert_eq!(dtw_distance(&a, &a, None), 0.0);
+        assert_eq!(dtw_distance(&a, &a, Some(1)), 0.0);
+    }
+
+    #[test]
+    fn shifted_bump_is_cheaper_under_dtw_than_euclid() {
+        // The same bump at two offsets: DTW warps it away, Euclid pays.
+        let mut a = vec![0.0f32; 16];
+        let mut b = vec![0.0f32; 16];
+        for t in 4..8 {
+            a[t] = 1.0;
+            b[t + 3] = 1.0;
+        }
+        let dtw = dtw_distance(&a, &b, None);
+        assert!(dtw < euclid(&a, &b) * 0.5, "dtw {dtw} vs euclid");
+    }
+
+    #[test]
+    fn band_at_least_length_matches_unconstrained() {
+        let a = [0.1f32, 0.9, 0.3, -0.7, 0.2, 0.0];
+        let b = [0.0f32, 0.8, 0.5, -0.2, 0.1, 0.4];
+        let free = dtw_distance(&a, &b, None);
+        let banded = dtw_distance(&a, &b, Some(a.len()));
+        assert!((free - banded).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abandoning_matches_or_bails() {
+        let a = [0.0f32, 1.0, 0.0, 1.0];
+        let b = [1.0f32, 0.0, 1.0, 0.0];
+        let exact = dtw_distance(&a, &b, None);
+        assert_eq!(dtw_distance_abandoning(&a, &b, None, exact + 1.0), exact);
+        assert_eq!(
+            dtw_distance_abandoning(&a, &b, None, exact * 0.5),
+            f32::INFINITY
+        );
+    }
+
+    #[test]
+    fn unequal_lengths_stay_finite_under_a_tight_band() {
+        let a = [0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [0.0f32, 3.5, 7.0];
+        assert!(dtw_distance(&a, &b, Some(0)).is_finite());
+    }
+
+    #[test]
+    fn path_is_monotone_and_spans_both_series() {
+        let a = [0.0f32, 0.2, 1.0, 0.1];
+        let b = [0.1f32, 1.1, 0.9, 0.0, 0.05];
+        let path = dtw_path(&a, &b, None);
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (a.len() - 1, b.len() - 1));
+        for w in path.windows(2) {
+            let (di, dj) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            assert!(di <= 1 && dj <= 1 && di + dj >= 1);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! k-means under DTW with DBA centroid updates.
+//!
+//! Assignment uses [`dtw_distance_abandoning`] against the running best
+//! so most centroid comparisons bail after a few DP rows; updates run
+//! [`dba_barycenter`] per cluster. Seeding is k-means++-style: the first
+//! centroid is a seeded-uniform pick, each later one is drawn with
+//! probability proportional to its squared DTW distance from the nearest
+//! centroid chosen so far — spread-out seeds, fully deterministic given
+//! [`KmeansConfig::seed`].
+
+use crate::dba::dba_barycenter;
+use crate::dtw::{dtw_distance, dtw_distance_abandoning};
+use dcam_tensor::SeededRng;
+
+/// Parameters for [`dtw_kmeans`].
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    /// Number of clusters (clamped to the number of rows).
+    pub k: usize,
+    /// Cap on assignment/update rounds.
+    pub max_iters: usize,
+    /// DBA update steps per round.
+    pub dba_iters: usize,
+    /// Sakoe–Chiba radius for every DTW in the run (`None` = unbanded).
+    pub band: Option<usize>,
+    /// Relative improvement below which DBA stops early.
+    pub tol: f32,
+    /// Seed for centroid initialisation.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            k: 2,
+            max_iters: 10,
+            dba_iters: 3,
+            band: None,
+            tol: 1e-4,
+            seed: 0xd7a0_5eed,
+        }
+    }
+}
+
+/// Output of one [`dtw_kmeans`] run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// One DBA barycenter per cluster (clusters ordered by seeding).
+    pub centroids: Vec<Vec<f32>>,
+    /// `assignments[i]` = centroid index of row `i`.
+    pub assignments: Vec<usize>,
+    /// Σ over rows of the squared DTW distance to the assigned centroid.
+    pub inertia: f32,
+    /// Assignment/update rounds actually run.
+    pub iterations: usize,
+}
+
+/// Index of the nearest centroid and its distance, early-abandoning on
+/// the running best.
+fn nearest(row: &[f32], centroids: &[Vec<f32>], band: Option<usize>) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dtw_distance_abandoning(row, centroid, band, best.1);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++-style seeding: squared-DTW-weighted draws on a seeded RNG.
+fn seed_centroids(rows: &[Vec<f32>], k: usize, band: Option<usize>, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    let mut centroids = vec![rows[rng.index(rows.len())].clone()];
+    // dist_sq[i] = squared DTW distance of row i to its nearest centroid.
+    let mut dist_sq: Vec<f32> = rows
+        .iter()
+        .map(|r| {
+            let d = dtw_distance(r, &centroids[0], band);
+            d * d
+        })
+        .collect();
+    while centroids.len() < k {
+        let total: f32 = dist_sq.iter().sum();
+        let pick = if total <= 0.0 {
+            // All rows coincide with a centroid; any choice is as good.
+            rng.index(rows.len())
+        } else {
+            let mut target = rng.uniform() * total;
+            let mut chosen = rows.len() - 1;
+            for (i, &w) in dist_sq.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(rows[pick].clone());
+        for (i, r) in rows.iter().enumerate() {
+            let d = dtw_distance(r, centroids.last().expect("just pushed"), band);
+            dist_sq[i] = dist_sq[i].min(d * d);
+        }
+    }
+    centroids
+}
+
+/// Clusters `rows` into `cfg.k` groups under DTW.
+///
+/// Runs until assignments stabilise or `cfg.max_iters` rounds pass.
+/// Empty clusters are re-seeded with the row farthest from its centroid,
+/// so every returned centroid has at least one member. Panics on an
+/// empty `rows` slice (callers gate on non-empty pools).
+pub fn dtw_kmeans(rows: &[Vec<f32>], cfg: &KmeansConfig) -> KmeansResult {
+    assert!(!rows.is_empty(), "dtw_kmeans needs at least one row");
+    let k = cfg.k.max(1).min(rows.len());
+    let mut centroids = seed_centroids(rows, k, cfg.band, cfg.seed);
+    let mut assignments = vec![0usize; rows.len()];
+    let mut iterations = 0usize;
+    for _round in 0..cfg.max_iters.max(1) {
+        iterations += 1;
+        // Assignment.
+        let mut changed = false;
+        let mut dists = vec![0.0f32; rows.len()];
+        for (i, row) in rows.iter().enumerate() {
+            let (c, d) = nearest(row, &centroids, cfg.band);
+            if assignments[i] != c {
+                assignments[i] = c;
+                changed = true;
+            }
+            dists[i] = d;
+        }
+        // Re-seed empty clusters with the worst-fitted row.
+        for c in 0..k {
+            if assignments.contains(&c) {
+                continue;
+            }
+            let (worst, _) = dists
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("rows is non-empty");
+            centroids[c] = rows[worst].clone();
+            assignments[worst] = c;
+            dists[worst] = 0.0;
+            changed = true;
+        }
+        // Update: DBA per cluster, initialised at the current centroid.
+        for c in 0..k {
+            let members: Vec<&[f32]> = rows
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == c)
+                .map(|(r, _)| r.as_slice())
+                .collect();
+            let (center, _) =
+                dba_barycenter(&centroids[c], &members, cfg.band, cfg.dba_iters, cfg.tol);
+            centroids[c] = center;
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+    let inertia = rows
+        .iter()
+        .zip(&assignments)
+        .map(|(r, &c)| {
+            let d = dtw_distance(r, &centroids[c], cfg.band);
+            d * d
+        })
+        .sum();
+    KmeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        // Cluster A: early bump; cluster B: late bump (with jitter in
+        // position, which DTW absorbs).
+        let mut rows = Vec::new();
+        for shift in 0..4usize {
+            let mut r = vec![0.0f32; 16];
+            for t in 2 + shift..6 + shift {
+                r[t] = 1.0;
+            }
+            rows.push(r);
+            let mut r = vec![0.0f32; 16];
+            for t in 9 + shift.min(2)..13 + shift.min(2) {
+                r[t] = 1.0;
+            }
+            rows.push(r);
+        }
+        rows
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let rows = two_blobs();
+        // A band is what makes bump *position* matter: unconstrained DTW
+        // warps any shift away for free, banded DTW only shifts within
+        // the corridor — intra-blob jitter aligns, inter-blob offset
+        // cannot.
+        let cfg = KmeansConfig {
+            band: Some(3),
+            ..Default::default()
+        };
+        let res = dtw_kmeans(&rows, &cfg);
+        // Even indices are blob A, odd are blob B: assignments must split
+        // exactly along that parity.
+        let a = res.assignments[0];
+        for (i, &c) in res.assignments.iter().enumerate() {
+            assert_eq!(c == a, i % 2 == 0, "assignments {:?}", res.assignments);
+        }
+        assert!(res.inertia.is_finite());
+    }
+
+    #[test]
+    fn deterministic_under_a_fixed_seed() {
+        let rows = two_blobs();
+        let cfg = KmeansConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let a = dtw_kmeans(&rows, &cfg);
+        let b = dtw_kmeans(&rows, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_clamps_to_row_count_and_no_cluster_is_empty() {
+        let rows = vec![vec![0.0f32; 4], vec![1.0f32; 4]];
+        let cfg = KmeansConfig {
+            k: 5,
+            ..Default::default()
+        };
+        let res = dtw_kmeans(&rows, &cfg);
+        assert_eq!(res.centroids.len(), 2);
+        for c in 0..res.centroids.len() {
+            assert!(res.assignments.contains(&c));
+        }
+    }
+}

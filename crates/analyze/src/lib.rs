@@ -1,0 +1,35 @@
+//! Explanation analytics over dCAM maps: DTW/DBA motif mining.
+//!
+//! The request/response explainer answers *"why this instance?"*; this
+//! crate answers the dataset-scale question the paper's discussion
+//! raises — *which dimensions and intervals discriminate a class?* It
+//! batch-explains a labeled dataset through the same
+//! [`EvalBackend`](dcam_eval::EvalBackend) machinery the faithfulness
+//! harness uses, pools the dCAM activation rows per (class, dimension),
+//! clusters them under dynamic time warping, and reports the cluster
+//! barycenters plus the (dimension, interval) windows where a class's
+//! activation stands out most against the rest.
+//!
+//! Layers, bottom up:
+//!
+//! * [`dtw`] — banded DTW distance with early abandoning, plus the
+//!   warping path needed by averaging;
+//! * [`dba`] — Petitjean-style DTW barycenter averaging;
+//! * [`kmeans`] — seeded, deterministic DTW k-means with DBA updates;
+//! * [`pipeline`] — the dataset-to-[`MotifReport`] mining run, cancel
+//!   flag polled at stage boundaries so `/v1/analyze` jobs stay
+//!   cancellable.
+
+#![warn(missing_docs)]
+
+pub mod dba;
+pub mod dtw;
+pub mod kmeans;
+pub mod pipeline;
+
+pub use dba::{dba_barycenter, dba_step, total_sq_cost};
+pub use dtw::{dtw_distance, dtw_distance_abandoning, dtw_path};
+pub use kmeans::{dtw_kmeans, KmeansConfig, KmeansResult};
+pub use pipeline::{
+    mine_motifs, AnalyzeConfig, ClassMotifs, Cluster, DimClusters, MotifReport, MotifWindow,
+};

@@ -1,0 +1,447 @@
+//! The mining pipeline: labeled dataset → dCAM maps → per-(class,
+//! dimension) DTW k-means → [`MotifReport`].
+//!
+//! All model access goes through [`dcam_eval::EvalBackend`], the same
+//! abstraction the faithfulness harness uses: [`LocalBackend`] runs the
+//! mega-batch engine in-process, [`ServiceBackend`] drives a live
+//! explanation service — and because both sides execute this exact
+//! pipeline over the same batching shape, a served `/v1/analyze` report
+//! matches the local one to float tolerance.
+//!
+//! `cancel` is polled at stage boundaries (after classification, per
+//! explained instance, per clustered dimension), so a cancelled job or a
+//! shutting-down server bails within one stage rather than running the
+//! mining to completion.
+//!
+//! [`LocalBackend`]: dcam_eval::LocalBackend
+//! [`ServiceBackend`]: dcam_eval::ServiceBackend
+
+use crate::kmeans::{dtw_kmeans, KmeansConfig};
+use dcam_eval::EvalBackend;
+use dcam_series::MultivariateSeries;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Parameters of one mining run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeConfig {
+    /// Clusters per (class, dimension) activation pool.
+    pub clusters: usize,
+    /// Cap on k-means assignment/update rounds.
+    pub kmeans_iters: usize,
+    /// DBA update steps per k-means round.
+    pub dba_iters: usize,
+    /// Sakoe–Chiba radius for every DTW; `None` = unconstrained.
+    pub band: Option<usize>,
+    /// Length of the discriminative windows mined from the barycenters.
+    pub window: usize,
+    /// How many top windows each class reports.
+    pub top_windows: usize,
+    /// Relative DBA improvement below which iteration stops.
+    pub tol: f32,
+    /// Seed for the (deterministic) k-means initialisation.
+    pub seed: u64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            clusters: 2,
+            kmeans_iters: 8,
+            dba_iters: 3,
+            band: None,
+            window: 8,
+            top_windows: 5,
+            tol: 1e-4,
+            seed: 0xa11a_175e,
+        }
+    }
+}
+
+/// One cluster of per-dimension activation profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// DBA barycenter of the member profiles (length `n`).
+    pub barycenter: Vec<f32>,
+    /// How many profiles the cluster absorbed.
+    pub members: usize,
+    /// Σ squared DTW distance of the members to the barycenter.
+    pub inertia: f32,
+}
+
+/// Clustering of one dimension's activation profiles within a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimClusters {
+    /// The series dimension the profiles came from.
+    pub dim: usize,
+    /// Clusters ordered by descending member count (ties by index).
+    pub clusters: Vec<Cluster>,
+}
+
+/// A discriminative (dimension, interval) window: where this class's
+/// dCAM activation stands out most against the other classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotifWindow {
+    /// Series dimension.
+    pub dim: usize,
+    /// Window start (inclusive).
+    pub start: usize,
+    /// Window length.
+    pub len: usize,
+    /// Mean barycenter activation in the window minus the other classes'
+    /// mean activation there — higher means more class-specific.
+    pub score: f32,
+}
+
+/// Everything mined for one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMotifs {
+    /// The class label.
+    pub class: usize,
+    /// Instances of this class in the dataset.
+    pub n_instances: usize,
+    /// Per-dimension clusterings, one entry per series dimension.
+    pub dims: Vec<DimClusters>,
+    /// Top discriminative windows, descending score.
+    pub windows: Vec<MotifWindow>,
+}
+
+/// The mining pipeline's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotifReport {
+    /// Total instances analysed.
+    pub n_instances: usize,
+    /// Series dimensions `D`.
+    pub dims: usize,
+    /// Series length `n`.
+    pub len: usize,
+    /// Classifier accuracy on the dataset (diagnostic: motifs from a
+    /// model that cannot classify the data are noise).
+    pub base_accuracy: f32,
+    /// One entry per class present in `labels`, ascending class order.
+    pub classes: Vec<ClassMotifs>,
+}
+
+fn check_cancel(cancel: Option<&AtomicBool>) -> Result<(), String> {
+    if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+        Err("cancelled".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+/// Per-(class, dim) k-means seed: decorrelated from `cfg.seed` so two
+/// pools never share an initialisation stream.
+fn pool_seed(base: u64, class: usize, dim: usize) -> u64 {
+    let mix = ((class as u64) << 32) | dim as u64;
+    base ^ mix.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Mean of a window of `row`.
+fn window_mean(row: &[f32], start: usize, len: usize) -> f32 {
+    row[start..start + len].iter().sum::<f32>() / len as f32
+}
+
+/// Mines discriminative motifs from a labeled dataset.
+///
+/// Stages: (1) classify everything in one mega-batch call and record the
+/// base accuracy; (2) one dCAM map per instance, explained at its label;
+/// (3) per class and per dimension, DTW-k-means the pooled activation
+/// rows into [`Cluster`]s; (4) rank (dimension, interval) windows by the
+/// dominant barycenter's contrast against the other classes' mean
+/// activation.
+///
+/// # Errors
+///
+/// Returns the first backend failure, an invalid-input description, or
+/// `"cancelled"` if the cancel flag was raised at a stage boundary.
+pub fn mine_motifs(
+    backend: &mut dyn EvalBackend,
+    samples: &[MultivariateSeries],
+    labels: &[usize],
+    cfg: &AnalyzeConfig,
+    cancel: Option<&AtomicBool>,
+) -> Result<MotifReport, String> {
+    if samples.is_empty() {
+        return Err("no instances to analyze".to_string());
+    }
+    if samples.len() != labels.len() {
+        return Err(format!(
+            "{} instances but {} labels",
+            samples.len(),
+            labels.len()
+        ));
+    }
+    let (d, n) = (samples[0].n_dims(), samples[0].len());
+    if samples.iter().any(|s| s.n_dims() != d || s.len() != n) {
+        return Err("all instances must share one (dims, len) geometry".to_string());
+    }
+    if cfg.clusters == 0 {
+        return Err("clusters must be at least 1".to_string());
+    }
+    if cfg.window == 0 || cfg.window > n {
+        return Err(format!(
+            "window must lie in [1, {n}] for series of length {n}"
+        ));
+    }
+
+    // Stage 1: classification (one mega-batch call).
+    check_cancel(cancel)?;
+    let classified = backend.classify(samples)?;
+    let correct = classified
+        .iter()
+        .zip(labels)
+        .filter(|(c, &l)| c.class == l)
+        .count();
+    let base_accuracy = correct as f32 / samples.len() as f32;
+
+    // Stage 2: one dCAM map per instance, at its own label.
+    let mut maps = Vec::with_capacity(samples.len());
+    for (s, &l) in samples.iter().zip(labels) {
+        check_cancel(cancel)?;
+        let map = backend.dcam_map(s, l)?;
+        if map.dims() != [d, n] {
+            return Err(format!(
+                "backend returned a {:?} map for a ({d}, {n}) series",
+                map.dims()
+            ));
+        }
+        maps.push(map);
+    }
+
+    // Class-mean activation profiles, used as the contrast baseline.
+    let mut classes: Vec<usize> = labels.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut class_mean: Vec<Vec<Vec<f32>>> = Vec::with_capacity(classes.len());
+    for &c in &classes {
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let mut mean = vec![vec![0.0f32; n]; d];
+        for &i in &members {
+            let data = maps[i].data();
+            for dim in 0..d {
+                for (t, v) in mean[dim].iter_mut().enumerate() {
+                    *v += data[dim * n + t];
+                }
+            }
+        }
+        for row in &mut mean {
+            for v in row.iter_mut() {
+                *v /= members.len() as f32;
+            }
+        }
+        class_mean.push(mean);
+    }
+
+    // Stages 3–4, per class.
+    let mut out_classes = Vec::with_capacity(classes.len());
+    for (ci, &c) in classes.iter().enumerate() {
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let mut dims_out = Vec::with_capacity(d);
+        let mut candidates: Vec<MotifWindow> = Vec::new();
+        for dim in 0..d {
+            check_cancel(cancel)?;
+            let rows: Vec<Vec<f32>> = members
+                .iter()
+                .map(|&i| maps[i].data()[dim * n..(dim + 1) * n].to_vec())
+                .collect();
+            let km = dtw_kmeans(
+                &rows,
+                &KmeansConfig {
+                    k: cfg.clusters,
+                    max_iters: cfg.kmeans_iters,
+                    dba_iters: cfg.dba_iters,
+                    band: cfg.band,
+                    tol: cfg.tol,
+                    seed: pool_seed(cfg.seed, c, dim),
+                },
+            );
+            let mut clusters: Vec<Cluster> = km
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(k, centroid)| {
+                    let member_ids: Vec<usize> = (0..rows.len())
+                        .filter(|&i| km.assignments[i] == k)
+                        .collect();
+                    let inertia = member_ids
+                        .iter()
+                        .map(|&i| {
+                            let dd = crate::dtw::dtw_distance(&rows[i], centroid, cfg.band);
+                            dd * dd
+                        })
+                        .sum();
+                    Cluster {
+                        barycenter: centroid.clone(),
+                        members: member_ids.len(),
+                        inertia,
+                    }
+                })
+                .collect();
+            clusters.sort_by_key(|c| std::cmp::Reverse(c.members));
+
+            // Window candidates from the dominant barycenter, contrasted
+            // against the other classes' mean activation on this dim.
+            let own = &clusters[0].barycenter;
+            for start in 0..=n - cfg.window {
+                let own_mean = window_mean(own, start, cfg.window);
+                let mut other = 0.0f32;
+                let mut other_n = 0usize;
+                for (oj, _) in classes.iter().enumerate() {
+                    if oj != ci {
+                        other += window_mean(&class_mean[oj][dim], start, cfg.window);
+                        other_n += 1;
+                    }
+                }
+                let contrast = if other_n == 0 {
+                    own_mean
+                } else {
+                    own_mean - other / other_n as f32
+                };
+                candidates.push(MotifWindow {
+                    dim,
+                    start,
+                    len: cfg.window,
+                    score: contrast,
+                });
+            }
+            dims_out.push(DimClusters { dim, clusters });
+        }
+
+        // Greedy non-overlap selection: best windows first, skipping any
+        // that overlap an accepted window on the same dimension.
+        check_cancel(cancel)?;
+        candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let mut windows: Vec<MotifWindow> = Vec::new();
+        for w in candidates {
+            if windows.len() >= cfg.top_windows {
+                break;
+            }
+            let overlaps = windows
+                .iter()
+                .any(|v| v.dim == w.dim && w.start < v.start + v.len && v.start < w.start + w.len);
+            if !overlaps {
+                windows.push(w);
+            }
+        }
+
+        out_classes.push(ClassMotifs {
+            class: c,
+            n_instances: members.len(),
+            dims: dims_out,
+            windows,
+        });
+    }
+
+    Ok(MotifReport {
+        n_instances: samples.len(),
+        dims: d,
+        len: n,
+        base_accuracy,
+        classes: out_classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcam::{planted_dataset, planted_model, PlantedSpec};
+    use dcam_eval::LocalBackend;
+
+    fn pinned_spec() -> PlantedSpec {
+        PlantedSpec {
+            per_class: 4,
+            bump_dim: Some(2),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn planted_dim_tops_the_class1_ranking() {
+        let spec = pinned_spec();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        let report = mine_motifs(
+            &mut backend,
+            &ds.samples,
+            &ds.labels,
+            &AnalyzeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.n_instances, 8);
+        assert!((report.base_accuracy - 1.0).abs() < 1e-6);
+        let class1 = report.classes.iter().find(|c| c.class == 1).unwrap();
+        assert_eq!(
+            class1.windows[0].dim, 2,
+            "planted dimension must dominate: {:?}",
+            class1.windows
+        );
+    }
+
+    #[test]
+    fn cancelled_flag_aborts() {
+        let spec = pinned_spec();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        let cancel = AtomicBool::new(true);
+        let err = mine_motifs(
+            &mut backend,
+            &ds.samples,
+            &ds.labels,
+            &AnalyzeConfig::default(),
+            Some(&cancel),
+        )
+        .unwrap_err();
+        assert_eq!(err, "cancelled");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let spec = pinned_spec();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let mut backend = LocalBackend::new(&mut model);
+        assert!(
+            mine_motifs(&mut backend, &[], &[], &AnalyzeConfig::default(), None)
+                .unwrap_err()
+                .contains("no instances")
+        );
+        let bad = AnalyzeConfig {
+            window: 0,
+            ..Default::default()
+        };
+        assert!(
+            mine_motifs(&mut backend, &ds.samples, &ds.labels, &bad, None)
+                .unwrap_err()
+                .contains("window")
+        );
+        assert!(mine_motifs(
+            &mut backend,
+            &ds.samples,
+            &ds.labels[..1],
+            &AnalyzeConfig::default(),
+            None
+        )
+        .unwrap_err()
+        .contains("labels"));
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let spec = pinned_spec();
+        let mut model = planted_model(&spec);
+        let ds = planted_dataset(&spec);
+        let cfg = AnalyzeConfig::default();
+        let a = {
+            let mut backend = LocalBackend::new(&mut model);
+            mine_motifs(&mut backend, &ds.samples, &ds.labels, &cfg, None).unwrap()
+        };
+        let b = {
+            let mut backend = LocalBackend::new(&mut model);
+            mine_motifs(&mut backend, &ds.samples, &ds.labels, &cfg, None).unwrap()
+        };
+        assert_eq!(a, b);
+    }
+}

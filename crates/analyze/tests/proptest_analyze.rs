@@ -1,0 +1,180 @@
+//! Property-based tests of the analytics primitives: DTW metric
+//! behaviour, band degeneration, early abandoning, the DBA descent
+//! invariant and k-means determinism.
+
+use dcam_analyze::{
+    dba_step, dtw_distance, dtw_distance_abandoning, dtw_kmeans, dtw_path, total_sq_cost,
+    KmeansConfig,
+};
+use dcam_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn series(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SeededRng::new(seed);
+    (0..len).map(|_| rng.uniform() * 4.0 - 2.0).collect()
+}
+
+fn euclid(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DTW of a series with itself is exactly zero (the diagonal path is
+    /// admissible under any band and accumulates no cost).
+    #[test]
+    fn dtw_zero_on_identical((l, s) in (1usize..32, any::<u64>()), r in 0usize..5) {
+        let a = series(l, s);
+        prop_assert_eq!(dtw_distance(&a, &a, None), 0.0);
+        prop_assert_eq!(dtw_distance(&a, &a, Some(r)), 0.0);
+    }
+
+    /// DTW is symmetric — unbanded for any length pair, banded for equal
+    /// lengths (where the corridor itself is symmetric).
+    #[test]
+    fn dtw_is_symmetric(
+        (la, lb, sa, sb) in (1usize..24, 1usize..24, any::<u64>(), any::<u64>()),
+        r in 0usize..6,
+    ) {
+        let a = series(la, sa);
+        let b = series(lb, sb);
+        let ab = dtw_distance(&a, &b, None);
+        let ba = dtw_distance(&b, &a, None);
+        prop_assert!((ab - ba).abs() <= 1e-4 * (1.0 + ab.abs()));
+        let c = series(la, sb.wrapping_add(1));
+        let ac = dtw_distance(&a, &c, Some(r));
+        let ca = dtw_distance(&c, &a, Some(r));
+        prop_assert!((ac - ca).abs() <= 1e-4 * (1.0 + ac.abs()));
+    }
+
+    /// A band wide enough to cover every row degenerates to the
+    /// unconstrained distance exactly.
+    #[test]
+    fn full_band_matches_unconstrained(
+        (la, lb, sa, sb) in (1usize..24, 1usize..24, any::<u64>(), any::<u64>()),
+    ) {
+        let a = series(la, sa);
+        let b = series(lb, sb);
+        let free = dtw_distance(&a, &b, None);
+        let banded = dtw_distance(&a, &b, Some(la.max(lb)));
+        prop_assert!((free - banded).abs() <= 1e-5 * (1.0 + free));
+    }
+
+    /// On equal-length series the diagonal is one admissible alignment,
+    /// so DTW never exceeds the Euclidean norm — banded or not.
+    #[test]
+    fn dtw_bounded_by_euclid(
+        (l, sa, sb) in (1usize..32, any::<u64>(), any::<u64>()),
+        r in 0usize..6,
+    ) {
+        let a = series(l, sa);
+        let b = series(l, sb);
+        let e = euclid(&a, &b);
+        for band in [None, Some(r)] {
+            let d = dtw_distance(&a, &b, band);
+            prop_assert!(d <= e * (1.0 + 1e-5) + 1e-6, "dtw {d} > euclid {e}");
+        }
+    }
+
+    /// Early abandoning is exact when the cutoff clears the true distance
+    /// and never under-reports: any finite result IS the true distance.
+    #[test]
+    fn abandoning_is_exact_or_infinite(
+        (la, lb, sa, sb) in (1usize..20, 1usize..20, any::<u64>(), any::<u64>()),
+        cut in 0.0f32..3.0,
+    ) {
+        let a = series(la, sa);
+        let b = series(lb, sb);
+        let d = dtw_distance(&a, &b, None);
+        prop_assert_eq!(dtw_distance_abandoning(&a, &b, None, d * 1.5 + 0.1), d);
+        let bailed = dtw_distance_abandoning(&a, &b, None, cut);
+        prop_assert!(bailed == d || bailed.is_infinite());
+    }
+
+    /// The backtracked warping path realises the optimal cost: its
+    /// accumulated squared local costs equal the squared DTW distance.
+    #[test]
+    fn path_cost_matches_distance(
+        (la, lb, sa, sb) in (1usize..20, 1usize..20, any::<u64>(), any::<u64>()),
+        r in 0usize..6,
+    ) {
+        let a = series(la, sa);
+        let b = series(lb, sb);
+        for band in [None, Some(r)] {
+            let d = dtw_distance(&a, &b, band);
+            let sum: f32 = dtw_path(&a, &b, band)
+                .iter()
+                .map(|&(i, j)| (a[i] - b[j]) * (a[i] - b[j]))
+                .sum();
+            prop_assert!(
+                (sum.sqrt() - d).abs() <= 1e-3 * (1.0 + d),
+                "path cost {} vs distance {d}", sum.sqrt()
+            );
+        }
+    }
+
+    /// One DBA update never increases `Σ DTW²` — the Petitjean descent
+    /// invariant, banded or not.
+    #[test]
+    fn dba_step_is_nonincreasing(
+        (l, n, seed) in (2usize..16, 1usize..6, any::<u64>()),
+        r in 0usize..5,
+    ) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| series(l, seed ^ (i as u64).wrapping_mul(0x9e37_79b9)))
+            .collect();
+        let members: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        for band in [None, Some(r)] {
+            let mut center = series(l, seed.wrapping_add(17));
+            let mut cost = total_sq_cost(&center, &members, band);
+            for _ in 0..3 {
+                center = dba_step(&center, &members, band);
+                let next = total_sq_cost(&center, &members, band);
+                prop_assert!(
+                    next <= cost * (1.0 + 1e-4) + 1e-5,
+                    "DBA step increased cost {cost} -> {next}"
+                );
+                cost = next;
+            }
+        }
+    }
+
+    /// k-means is a pure function of (rows, config): the same seed
+    /// reproduces assignments, centroids and inertia bit-for-bit, and the
+    /// reported inertia is the cost of the reported assignment.
+    #[test]
+    fn kmeans_is_deterministic_and_consistent(
+        (l, n, seed, kseed) in (4usize..12, 2usize..9, any::<u64>(), any::<u64>()),
+    ) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| series(l, seed ^ (i as u64).wrapping_mul(0x517c_c1b7)))
+            .collect();
+        let cfg = KmeansConfig {
+            k: 2,
+            max_iters: 4,
+            dba_iters: 2,
+            band: Some(2),
+            tol: 1e-4,
+            seed: kseed,
+        };
+        let a = dtw_kmeans(&rows, &cfg);
+        let b = dtw_kmeans(&rows, &cfg);
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        prop_assert_eq!(&a.centroids, &b.centroids);
+        prop_assert_eq!(a.inertia, b.inertia);
+        let recomputed: f32 = rows
+            .iter()
+            .zip(&a.assignments)
+            .map(|(row, &c)| {
+                let d = dtw_distance(row, &a.centroids[c], cfg.band);
+                d * d
+            })
+            .sum();
+        prop_assert!((a.inertia - recomputed).abs() <= 1e-4 * (1.0 + recomputed));
+    }
+}

@@ -14,6 +14,9 @@
 //! * `dcam_many[n_instances].many_ms`    — lower is better
 //! * `eval[n_instances].harness_ms`      — lower is better
 //! * `eval[n_instances].batched_classify_ms` — lower is better
+//! * `analyze[series_len].dtw_pairs_per_s` — higher is better
+//! * `analyze[series_len].dba_iter_ms`   — lower is better
+//! * `analyze[series_len].mine_ms`       — lower is better
 //! * `service[n_submitters].throughput_rps` — higher is better
 //! * `server[conn_workers].throughput_rps`  — higher is better
 //! * `registry[active_models].throughput_rps` — higher is better
@@ -143,6 +146,27 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             }
         }
     }
+    for row in rows(report, "analyze") {
+        let Some(l) = number(row, "series_len") else {
+            continue;
+        };
+        if let Some(v) = number(row, "dtw_pairs_per_s") {
+            out.push(Metric {
+                name: format!("analyze[{l}].dtw_pairs_per_s"),
+                baseline: v,
+                higher_is_better: true,
+            });
+        }
+        for key in ["dba_iter_ms", "mine_ms"] {
+            if let Some(v) = number(row, key) {
+                out.push(Metric {
+                    name: format!("analyze[{l}].{key}"),
+                    baseline: v,
+                    higher_is_better: false,
+                });
+            }
+        }
+    }
     for row in rows(report, "service") {
         if let (Some(n), Some(v)) = (number(row, "n_submitters"), number(row, "throughput_rps")) {
             out.push(Metric {
@@ -246,6 +270,13 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
         let (n, key) = rest.split_once("].")?;
         return number(
             matching_row(&rows(report, "eval"), &[("n_instances", n.parse().ok()?)])?,
+            key,
+        );
+    }
+    if let Some(rest) = name.strip_prefix("analyze[") {
+        let (l, key) = rest.split_once("].")?;
+        return number(
+            matching_row(&rows(report, "analyze"), &[("series_len", l.parse().ok()?)])?,
             key,
         );
     }

@@ -109,6 +109,21 @@ struct EvalRow {
 }
 
 #[derive(Serialize)]
+struct AnalyzeRow {
+    series_len: usize,
+    /// Activation profiles in the pool the DTW/DBA primitives run over.
+    n_series: usize,
+    /// Unconstrained all-pairs DTW throughput over the pool.
+    dtw_pairs_per_s: f64,
+    /// One Petitjean DBA update of a barycenter against the whole pool.
+    dba_iter_ms: f64,
+    /// End-to-end `mine_motifs` on the pinned-dim planted fixture at this
+    /// series length (16 instances, 4 dims, k = 8 dCAM — the same shape
+    /// the analyze endpoint serves), dCAM map extraction included.
+    mine_ms: f64,
+}
+
+#[derive(Serialize)]
 struct ServiceRow {
     n_submitters: usize,
     requests: usize,
@@ -181,6 +196,7 @@ struct Report {
     dcam: DcamRow,
     dcam_many: Vec<DcamManyRow>,
     eval: Vec<EvalRow>,
+    analyze: Vec<AnalyzeRow>,
     service: Vec<ServiceRow>,
     server: Vec<ServerRow>,
     registry: Vec<RegistryRow>,
@@ -568,6 +584,79 @@ fn bench_eval() -> Vec<EvalRow> {
             sequential_classify_ms: sequential * 1e3,
             batched_classify_ms: batched * 1e3,
             classify_speedup: sequential / batched,
+        });
+    }
+    rows
+}
+
+/// Analytics-subsystem hot paths: all-pairs DTW throughput and one DBA
+/// barycenter update over a pool of random activation profiles, plus the
+/// full `mine_motifs` pipeline on the pinned-dim planted fixture under
+/// the serving-side dCAM config (k = 8, every permutation kept).
+fn bench_analyze() -> Vec<AnalyzeRow> {
+    use dcam::{planted_dataset, planted_model, PlantedSpec};
+    use dcam_analyze::{dba_step, dtw_distance, mine_motifs, AnalyzeConfig};
+    use dcam_eval::LocalBackend;
+
+    let mut rows = Vec::new();
+    for &len in &[32usize, 128] {
+        let n_series = 16usize;
+        let pool: Vec<Vec<f32>> = (0..n_series)
+            .map(|i| {
+                let mut r = SeededRng::new(90 + i as u64);
+                (0..len).map(|_| r.normal()).collect()
+            })
+            .collect();
+        let pairs = n_series * (n_series - 1) / 2;
+        let dtw = best_of(
+            || {
+                for i in 0..n_series {
+                    for j in (i + 1)..n_series {
+                        std::hint::black_box(dtw_distance(&pool[i], &pool[j], None));
+                    }
+                }
+            },
+            1,
+            7,
+        );
+        let members: Vec<&[f32]> = pool.iter().map(|r| r.as_slice()).collect();
+        let center = pool[0].clone();
+        let dba = best_of(|| drop(dba_step(&center, &members, None)), 1, 7);
+
+        let spec = PlantedSpec {
+            len,
+            bump_dim: Some(2),
+            ..Default::default()
+        };
+        let mut model = planted_model(&spec);
+        let data = planted_dataset(&spec);
+        let cfg = AnalyzeConfig {
+            kmeans_iters: 4,
+            dba_iters: 2,
+            ..Default::default()
+        };
+        let dcam = DcamConfig {
+            k: 8,
+            only_correct: false,
+            ..Default::default()
+        };
+        let mine = best_of(
+            || {
+                let mut backend = LocalBackend::new(&mut model).with_dcam(dcam.clone());
+                std::hint::black_box(
+                    mine_motifs(&mut backend, &data.samples, &data.labels, &cfg, None)
+                        .expect("mining the planted fixture"),
+                );
+            },
+            1,
+            3,
+        );
+        rows.push(AnalyzeRow {
+            series_len: len,
+            n_series,
+            dtw_pairs_per_s: pairs as f64 / dtw,
+            dba_iter_ms: dba * 1e3,
+            mine_ms: mine * 1e3,
         });
     }
     rows
@@ -1105,6 +1194,9 @@ fn main() {
     eprintln!("eval (faithfulness harness on the planted fixture) ...");
     let eval = bench_eval();
 
+    eprintln!("analyze (DTW/DBA primitives and motif mining) ...");
+    let analyze = bench_analyze();
+
     eprintln!("service (async explanation service under load) ...");
     let service = bench_service();
 
@@ -1131,6 +1223,7 @@ fn main() {
         },
         dcam_many,
         eval,
+        analyze,
         service,
         server,
         registry,

@@ -54,6 +54,11 @@ pub struct PlantedSpec {
     pub per_class: usize,
     /// Seed driving noise and bump placement.
     pub seed: u64,
+    /// Pins every class-1 bump to one dimension instead of rotating
+    /// `(i / 2) % dims` across instances — what the motif-mining
+    /// acceptance tests need, since a single informative dimension must
+    /// dominate the ranking.
+    pub bump_dim: Option<usize>,
 }
 
 impl Default for PlantedSpec {
@@ -67,6 +72,7 @@ impl Default for PlantedSpec {
             noise: 0.04,
             per_class: 8,
             seed: 7,
+            bump_dim: None,
         }
     }
 }
@@ -120,10 +126,10 @@ pub fn planted_model(spec: &PlantedSpec) -> GapClassifier {
 }
 
 /// Generates the matching dataset: `2·per_class` instances, labels
-/// alternating 0/1, class-1 bumps placed on dimension `i % D` at a seeded
-/// random start kept `kernel` samples away from both edges (so the
-/// moving-average response is full-coverage), with ground-truth masks on
-/// every class-1 instance.
+/// alternating 0/1, class-1 bumps placed on dimension `(i / 2) % D` (or
+/// [`PlantedSpec::bump_dim`] when pinned) at a seeded random start kept
+/// `kernel` samples away from both edges (so the moving-average response
+/// is full-coverage), with ground-truth masks on every class-1 instance.
 pub fn planted_dataset(spec: &PlantedSpec) -> Dataset {
     assert!(
         spec.len >= spec.bump_len + 2 * spec.kernel,
@@ -139,7 +145,8 @@ pub fn planted_dataset(spec: &PlantedSpec) -> Dataset {
             .map(|_| (0..spec.len).map(|_| spec.noise * rng.normal()).collect())
             .collect();
         if label == 1 {
-            let dim = (i / 2) % spec.dims;
+            let dim = spec.bump_dim.unwrap_or((i / 2) % spec.dims);
+            assert!(dim < spec.dims, "bump_dim out of range");
             let start = rng.range(spec.kernel, spec.len - spec.bump_len - spec.kernel + 1);
             for t in start..start + spec.bump_len {
                 rows[dim][t] += spec.amplitude;

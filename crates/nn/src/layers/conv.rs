@@ -123,9 +123,14 @@ pub struct Conv2dRows {
     /// eval path; repacked per call like `packed_w`.
     packed_taps: Vec<PackedA>,
     /// Transform plan, kernel spectra and scratch for the fft strategy;
-    /// kernel spectra are recomputed per call like `packed_w`, so they can
-    /// never go stale across optimizer steps.
+    /// kernel spectra are cached across calls keyed on `weight_version`,
+    /// so mega-batches between weight mutations reuse them.
     fft: FftConv,
+    /// Bumped on every [`Layer::visit_params`] call — the choke point all
+    /// external weight mutation (optimizer steps, checkpoint restores,
+    /// `copy_params`) flows through — so version-keyed caches like the fft
+    /// kernel spectra can never go stale.
+    weight_version: u64,
     cache_x: Option<Tensor>,
 }
 
@@ -184,6 +189,7 @@ impl Conv2dRows {
             packed_w: PackedA::new(),
             packed_taps: Vec::new(),
             fft: FftConv::new(),
+            weight_version: 0,
             cache_x: None,
         }
     }
@@ -300,6 +306,7 @@ impl Conv2dRows {
         self.fft.forward(
             &geom,
             n,
+            self.weight_version,
             self.weight.value.data(),
             self.bias.value.data(),
             x.data(),
@@ -320,6 +327,7 @@ impl Conv2dRows {
         self.fft.forward(
             &geom,
             n,
+            self.weight_version,
             self.weight.value.data(),
             self.bias.value.data(),
             x.data(),
@@ -341,12 +349,14 @@ impl Conv2dRows {
     ) -> Tensor {
         let geom = self.fft_geom(h, w, wo);
         let mut grad_x = Tensor::zeros(&[n, self.c_in, h, w]);
+        let version = self.weight_version;
         let Conv2dRows {
             fft, weight, bias, ..
         } = self;
         fft.backward(
             &geom,
             n,
+            version,
             weight.value.data(),
             x.data(),
             grad_out.data(),
@@ -838,6 +848,10 @@ impl Layer for Conv2dRows {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Assume the visitor mutates: optimizer steps, checkpoint restores
+        // and `copy_params` all arrive here, and a spurious bump only costs
+        // one spectra recompute on the next fft-strategy call.
+        self.weight_version = self.weight_version.wrapping_add(1);
         f(&mut self.weight);
         f(&mut self.bias);
     }
@@ -1033,6 +1047,29 @@ mod tests {
         let mut arena = BatchArena::new();
         let got = conv.forward_eval(x, &mut arena);
         assert!(got.allclose(&want, 1e-5));
+    }
+
+    #[test]
+    fn fft_kernel_spectra_cache_tracks_weight_mutations() {
+        use crate::arena::BatchArena;
+        let mut rng = SeededRng::new(21);
+        let x = Tensor::uniform(&[2, 3, 2, 40], -1.0, 1.0, &mut rng);
+        let mut conv = Conv2dRows::same(3, 4, 5, &mut SeededRng::new(22));
+        conv.set_strategy(ConvStrategy::Fft);
+        let mut arena = BatchArena::new();
+        let y1 = conv.forward_eval(x.clone(), &mut arena);
+        // Unchanged weights: the cached spectra are reused bit-for-bit.
+        let y2 = conv.forward_eval(x.clone(), &mut arena);
+        assert_eq!(y1.data(), y2.data(), "cached call must be deterministic");
+        // Mutating params through visit_params — the optimizer / checkpoint
+        // / copy_params path — must invalidate the cache.
+        conv.visit_params(&mut |p| p.value.scale_in_place(2.0));
+        let y3 = conv.forward_eval(x.clone(), &mut arena);
+        let mut fresh = Conv2dRows::same(3, 4, 5, &mut SeededRng::new(22));
+        fresh.visit_params(&mut |p| p.value.scale_in_place(2.0));
+        fresh.set_strategy(ConvStrategy::Fft);
+        let want = fresh.forward(&x, false);
+        assert!(y3.allclose(&want, 1e-5), "stale kernel spectra were served");
     }
 
     #[test]

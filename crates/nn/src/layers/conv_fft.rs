@@ -24,9 +24,11 @@
 //! 2. one batched real-input FFT over all segments of all rows ([`FftPlan`]
 //!    advances [`dcam_tensor::FFT_LANES`] transforms together),
 //! 3. per-(out-channel, in-channel) pointwise multiply-accumulates against
-//!    the kernel spectra — computed **once per call** for the whole batch,
-//!    like the prepacked GEMM weights, so the permutation engine's ~100
-//!    near-identical cubes per explanation all reuse them,
+//!    the kernel spectra — cached across calls keyed on the layer's weight
+//!    version and the transform length, so the permutation engine's
+//!    mega-batches (and every batch between optimizer steps) reuse them;
+//!    any weight mutation through `visit_params` bumps the version and
+//!    forces a recompute,
 //! 4. one batched inverse FFT whose offset/stride read (`t0 = ℓ−1`, step
 //!    `stride`) drops each block's wraparound head and subsamples strided
 //!    convolutions straight out of the frequency domain.
@@ -179,19 +181,26 @@ fn grow(buf: &mut Vec<f32>, need: usize) {
 /// The fft-strategy execution state owned by one `Conv2dRows`.
 ///
 /// Holds the cached transform plan for the layer's geometry, the kernel
-/// spectra (recomputed each call, like the prepacked GEMM weights, so they
-/// can never go stale across optimizer steps), per-thread scratch, and the
-/// reduced frequency-domain weight-gradient accumulators.
+/// spectra (cached across calls, keyed on the owning layer's weight version
+/// and the transform length — every external weight mutation flows through
+/// `visit_params`, which bumps the version, so the cache can never go stale
+/// across optimizer steps, checkpoint loads or `copy_params`), per-thread
+/// scratch, and the reduced frequency-domain weight-gradient accumulators.
 pub(super) struct FftConv {
     plan: Option<FftPlan>,
     /// Spectra of the *time-reversed* kernels, `c_out·c_in × bins`
     /// (forward: product = sliding dot product).
     k_re: Vec<f32>,
     k_im: Vec<f32>,
+    /// `(weight_version, transform_len)` the forward spectra were computed
+    /// under; `None` until the first call.
+    k_key: Option<(u64, usize)>,
     /// Spectra of the kernels as-is (backward `grad_x`: plain convolution
     /// with the upsampled output gradient).
     kf_re: Vec<f32>,
     kf_im: Vec<f32>,
+    /// `(weight_version, transform_len)` key for the backward spectra.
+    kf_key: Option<(u64, usize)>,
     /// Cross-thread reduction of the per-thread `w_re`/`w_im` partials.
     wacc_re: Vec<f32>,
     wacc_im: Vec<f32>,
@@ -204,8 +213,10 @@ impl FftConv {
             plan: None,
             k_re: Vec::new(),
             k_im: Vec::new(),
+            k_key: None,
             kf_re: Vec::new(),
             kf_im: Vec::new(),
+            kf_key: None,
             wacc_re: Vec::new(),
             wacc_im: Vec::new(),
             scratch: Vec::new(),
@@ -225,11 +236,15 @@ impl FftConv {
     }
 
     /// Forward convolution of `n` samples into `out` (`n × c_out·h·wo`,
-    /// fully overwritten).
+    /// fully overwritten). `version` is the owning layer's weight version:
+    /// the kernel spectra are reused across calls while it (and the
+    /// transform length) stay unchanged.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn forward(
         &mut self,
         g: &FftGeom,
         n: usize,
+        version: u64,
         weight: &[f32],
         bias: &[f32],
         x: &[f32],
@@ -241,18 +256,21 @@ impl FftConv {
         self.ensure_threads(threads.max(1));
         let bins = m / 2 + 1;
         let k_rows = g.c_out * g.c_in;
-        grow(&mut self.k_re, k_rows * bins);
-        grow(&mut self.k_im, k_rows * bins);
         let plan = self.plan.as_ref().expect("plan ensured above");
-        plan.real_spectra_into(
-            weight,
-            k_rows,
-            g.l,
-            true,
-            &mut self.k_re,
-            &mut self.k_im,
-            &mut self.scratch[0].fft,
-        );
+        if self.k_key != Some((version, m)) {
+            grow(&mut self.k_re, k_rows * bins);
+            grow(&mut self.k_im, k_rows * bins);
+            plan.real_spectra_into(
+                weight,
+                k_rows,
+                g.l,
+                true,
+                &mut self.k_re,
+                &mut self.k_im,
+                &mut self.scratch[0].fft,
+            );
+            self.k_key = Some((version, m));
+        }
 
         // Block j of an output row covers wi ∈ [j·vo, (j+1)·vo); its input
         // segment starts at j·vo·s − pad_left and the block's valid samples
@@ -374,6 +392,7 @@ impl FftConv {
         &mut self,
         g: &FftGeom,
         n: usize,
+        version: u64,
         weight: &[f32],
         x: &[f32],
         grad_out: &[f32],
@@ -387,18 +406,21 @@ impl FftConv {
         self.ensure_threads(threads.max(1));
         let bins = m / 2 + 1;
         let k_rows = g.c_out * g.c_in;
-        grow(&mut self.kf_re, k_rows * bins);
-        grow(&mut self.kf_im, k_rows * bins);
         let plan = self.plan.as_ref().expect("plan ensured above");
-        plan.real_spectra_into(
-            weight,
-            k_rows,
-            g.l,
-            false,
-            &mut self.kf_re,
-            &mut self.kf_im,
-            &mut self.scratch[0].fft,
-        );
+        if self.kf_key != Some((version, m)) {
+            grow(&mut self.kf_re, k_rows * bins);
+            grow(&mut self.kf_im, k_rows * bins);
+            plan.real_spectra_into(
+                weight,
+                k_rows,
+                g.l,
+                false,
+                &mut self.kf_re,
+                &mut self.kf_im,
+                &mut self.scratch[0].fft,
+            );
+            self.kf_key = Some((version, m));
+        }
 
         // Chunk length for both backward products (stride-1 block output).
         let c_len = m - g.l + 1;

@@ -1,0 +1,326 @@
+//! `dcam_analyze` — DTW/DBA motif mining over dCAM maps, on the
+//! deterministic planted-weights fixture.
+//!
+//! ```text
+//! # in-process: mine the pinned-dim planted dataset and print the report
+//! dcam_analyze [--bump-dim N] [--clusters K] [--band R] [--window W]
+//!              [--top-windows T] [--seed S]
+//!
+//! # served: submit the same dataset as a /v1/analyze job and poll it
+//! dcam_analyze --addr HOST:PORT [--model NAME] [--poll-seconds 120]
+//!
+//! # served + cross-check: also mine locally and require the served
+//! # report to match the in-process pipeline to 1e-5 relative
+//! # (--k/--only-correct must mirror the server's dCAM config; the
+//! # defaults match a plain `dcam_server` boot)
+//! dcam_analyze --addr HOST:PORT --model planted --compare-local
+//!
+//! # gate (either mode): exit 1 unless class 1's top-ranked motif window
+//! # lies on the given dimension
+//! dcam_analyze --assert-top-dim 2
+//! ```
+//!
+//! The dataset is generated client-side with the class-1 bump pinned to
+//! `--bump-dim` (default 2), so the served modes work against a plain
+//! `dcam_server --planted NAME` — the planted *model* does not depend on
+//! where the bumps sit, only the dataset does. `--compare-local` is what
+//! the CI smoke job runs to pin the served pipeline to the in-process
+//! one.
+
+use dcam::dcam::DcamConfig;
+use dcam::{planted_dataset, planted_model, PlantedSpec};
+use dcam_analyze::{mine_motifs, AnalyzeConfig, MotifReport};
+use dcam_eval::LocalBackend;
+use dcam_server::wire::{motif_report_from_value, motif_report_value};
+use dcam_server::HttpClient;
+use serde::Value;
+use std::time::{Duration, Instant};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    arg_value(args, name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("bad value {v:?} for {name}")))
+    })
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dcam_analyze: {msg}");
+    std::process::exit(2);
+}
+
+fn fixture_spec(args: &[String]) -> PlantedSpec {
+    PlantedSpec {
+        bump_dim: Some(arg_parse(args, "--bump-dim").unwrap_or(2)),
+        ..Default::default()
+    }
+}
+
+fn parse_config(args: &[String]) -> AnalyzeConfig {
+    let mut cfg = AnalyzeConfig::default();
+    if let Some(k) = arg_parse(args, "--clusters") {
+        cfg.clusters = k;
+    }
+    if let Some(i) = arg_parse(args, "--kmeans-iters") {
+        cfg.kmeans_iters = i;
+    }
+    if let Some(i) = arg_parse(args, "--dba-iters") {
+        cfg.dba_iters = i;
+    }
+    cfg.band = arg_parse(args, "--band");
+    if let Some(w) = arg_parse(args, "--window") {
+        cfg.window = w;
+    }
+    if let Some(t) = arg_parse(args, "--top-windows") {
+        cfg.top_windows = t;
+    }
+    if let Some(s) = arg_parse(args, "--seed") {
+        cfg.seed = s;
+    }
+    cfg
+}
+
+fn run_local(spec: &PlantedSpec, cfg: &AnalyzeConfig, args: &[String]) -> MotifReport {
+    let mut model = planted_model(spec);
+    let data = planted_dataset(spec);
+    // Mirror the serving-side dCAM config (`dcam_server` defaults to
+    // k = 8, only_correct = false): `--compare-local` is a bit-level
+    // parity check, so both sides must draw the same permutations.
+    let dcam = DcamConfig {
+        k: arg_parse(args, "--k").unwrap_or(8),
+        only_correct: args.iter().any(|a| a == "--only-correct"),
+        ..Default::default()
+    };
+    let mut backend = LocalBackend::new(&mut model).with_dcam(dcam);
+    mine_motifs(&mut backend, &data.samples, &data.labels, cfg, None)
+        .unwrap_or_else(|e| fail(&format!("mining failed: {e}")))
+}
+
+/// The `POST /v1/analyze` body for the pinned-dim planted dataset.
+fn submit_body(spec: &PlantedSpec, cfg: &AnalyzeConfig, model: Option<&str>) -> String {
+    let data = planted_dataset(spec);
+    let series = Value::Array(
+        data.samples
+            .iter()
+            .map(|s| {
+                Value::Array(
+                    (0..s.n_dims())
+                        .map(|j| {
+                            Value::Array(
+                                s.dim(j).iter().map(|&x| Value::Number(x as f64)).collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let labels = Value::Array(
+        data.labels
+            .iter()
+            .map(|&l| Value::Number(l as f64))
+            .collect(),
+    );
+    let mut fields = vec![
+        ("series".to_string(), series),
+        ("labels".to_string(), labels),
+        ("clusters".to_string(), Value::Number(cfg.clusters as f64)),
+        (
+            "kmeans_iters".to_string(),
+            Value::Number(cfg.kmeans_iters as f64),
+        ),
+        ("dba_iters".to_string(), Value::Number(cfg.dba_iters as f64)),
+        ("window".to_string(), Value::Number(cfg.window as f64)),
+        (
+            "top_windows".to_string(),
+            Value::Number(cfg.top_windows as f64),
+        ),
+        ("tol".to_string(), Value::Number(cfg.tol as f64)),
+        ("seed".to_string(), Value::Number(cfg.seed as f64)),
+    ];
+    if let Some(b) = cfg.band {
+        fields.push(("band".to_string(), Value::Number(b as f64)));
+    }
+    if let Some(m) = model {
+        fields.push(("model".to_string(), Value::String(m.into())));
+    }
+    serde_json::to_string(&Value::Object(fields)).unwrap_or_default()
+}
+
+fn run_served(addr: &str, spec: &PlantedSpec, cfg: &AnalyzeConfig, args: &[String]) -> MotifReport {
+    let addr = addr.trim_start_matches("http://").trim_end_matches('/');
+    let model = arg_value(args, "--model");
+    let poll_seconds: u64 = arg_parse(args, "--poll-seconds").unwrap_or(120);
+    let mut client = HttpClient::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let resp = client
+        .post("/v1/analyze", &submit_body(spec, cfg, model.as_deref()))
+        .unwrap_or_else(|e| fail(&format!("submit failed: {e}")));
+    if resp.status != 202 {
+        fail(&format!("submit answered {}: {}", resp.status, resp.body));
+    }
+    let id = resp
+        .json()
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_usize))
+        .unwrap_or_else(|| fail("submit response carried no job id"));
+    let deadline = Instant::now() + Duration::from_secs(poll_seconds);
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let resp = client
+            .get(&format!("/v1/analyze/{id}"))
+            .unwrap_or_else(|e| fail(&format!("poll failed: {e}")));
+        if resp.status != 200 {
+            fail(&format!("poll answered {}: {}", resp.status, resp.body));
+        }
+        let v = resp
+            .json()
+            .unwrap_or_else(|e| fail(&format!("poll body is not JSON: {e}")));
+        match v.get("status").and_then(Value::as_str).unwrap_or("") {
+            "done" => {
+                let report = v
+                    .get("report")
+                    .unwrap_or_else(|| fail("done job carried no report"));
+                return motif_report_from_value(report)
+                    .unwrap_or_else(|e| fail(&format!("bad served report: {e}")));
+            }
+            "failed" => fail(&format!(
+                "job failed: {}",
+                v.get("error").and_then(Value::as_str).unwrap_or("unknown")
+            )),
+            "cancelled" => fail("job was cancelled"),
+            _ if Instant::now() >= deadline => fail("poll deadline exceeded"),
+            _ => {}
+        }
+    }
+}
+
+fn rel_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// `None` when the reports agree to 1e-5 relative; otherwise what differs.
+fn report_mismatch(served: &MotifReport, local: &MotifReport) -> Option<String> {
+    if served.n_instances != local.n_instances
+        || served.dims != local.dims
+        || served.len != local.len
+    {
+        return Some("dataset geometry differs".into());
+    }
+    if !rel_close(served.base_accuracy, local.base_accuracy) {
+        return Some(format!(
+            "base accuracy differs: served {} vs local {}",
+            served.base_accuracy, local.base_accuracy
+        ));
+    }
+    if served.classes.len() != local.classes.len() {
+        return Some("class counts differ".into());
+    }
+    for (s, l) in served.classes.iter().zip(&local.classes) {
+        if s.class != l.class || s.n_instances != l.n_instances {
+            return Some(format!("class {} membership differs", l.class));
+        }
+        if s.windows.len() != l.windows.len() {
+            return Some(format!("class {} window counts differ", l.class));
+        }
+        for (sw, lw) in s.windows.iter().zip(&l.windows) {
+            if sw.dim != lw.dim || sw.start != lw.start || sw.len != lw.len {
+                return Some(format!(
+                    "class {} window placement differs: served ({}, {}) vs local ({}, {})",
+                    l.class, sw.dim, sw.start, lw.dim, lw.start
+                ));
+            }
+            if !rel_close(sw.score, lw.score) {
+                return Some(format!(
+                    "class {} window score differs: served {} vs local {}",
+                    l.class, sw.score, lw.score
+                ));
+            }
+        }
+        if s.dims.len() != l.dims.len() {
+            return Some(format!("class {} dim counts differ", l.class));
+        }
+        for (sd, ld) in s.dims.iter().zip(&l.dims) {
+            if sd.dim != ld.dim || sd.clusters.len() != ld.clusters.len() {
+                return Some(format!(
+                    "class {} dim {} clustering shape differs",
+                    l.class, ld.dim
+                ));
+            }
+            for (sc, lc) in sd.clusters.iter().zip(&ld.clusters) {
+                if sc.members != lc.members {
+                    return Some(format!(
+                        "class {} dim {} cluster membership differs",
+                        l.class, ld.dim
+                    ));
+                }
+                if !rel_close(sc.inertia, lc.inertia) {
+                    return Some(format!(
+                        "class {} dim {} inertia differs: served {} vs local {}",
+                        l.class, ld.dim, sc.inertia, lc.inertia
+                    ));
+                }
+                for (sb, lb) in sc.barycenter.iter().zip(&lc.barycenter) {
+                    if !rel_close(*sb, *lb) {
+                        return Some(format!(
+                            "class {} dim {} barycenter differs: served {} vs local {}",
+                            l.class, ld.dim, sb, lb
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = fixture_spec(&args);
+    let cfg = parse_config(&args);
+    let report = match arg_value(&args, "--addr") {
+        Some(addr) => {
+            let served = run_served(&addr, &spec, &cfg, &args);
+            if args.iter().any(|a| a == "--compare-local") {
+                let local = run_local(&spec, &cfg, &args);
+                if let Some(diff) = report_mismatch(&served, &local) {
+                    eprintln!("dcam_analyze: served report diverges from local: {diff}");
+                    std::process::exit(1);
+                }
+                println!("served report matches the in-process pipeline to 1e-5 rel");
+            }
+            served
+        }
+        None => run_local(&spec, &cfg, &args),
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&motif_report_value(&report)).unwrap_or_default()
+    );
+    if let Some(expect) = arg_parse::<usize>(&args, "--assert-top-dim") {
+        let Some(class1) = report.classes.iter().find(|c| c.class == 1) else {
+            fail("report has no class 1");
+        };
+        match class1.windows.first() {
+            Some(top) if top.dim == expect => {
+                println!(
+                    "top motif window for class 1 lies on dimension {} (score {})",
+                    top.dim, top.score
+                );
+            }
+            Some(top) => {
+                eprintln!(
+                    "dcam_analyze: top motif window lies on dimension {}, expected {expect}",
+                    top.dim
+                );
+                std::process::exit(1);
+            }
+            None => fail("class 1 reported no windows"),
+        }
+    }
+}

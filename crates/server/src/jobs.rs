@@ -1,45 +1,49 @@
-//! Background evaluation jobs for `POST /v1/eval`.
+//! Generic background-job machinery shared by `POST /v1/eval` and
+//! `POST /v1/analyze`.
 //!
-//! A faithfulness evaluation re-classifies every instance once per
-//! (method × grid-point) — far too slow for a request/response cycle, so
-//! the server runs it as a *job*: submit returns an id immediately, a
-//! dedicated runner thread drains the queue through the model's own
-//! [`ServiceHandle`](dcam::service::ServiceHandle) (the perturbed
-//! batches ride the same bounded queues
-//! and mega-batch engine as live traffic), and clients poll
-//! `GET /v1/eval/{id}` for the report. `DELETE` cancels: a queued job
-//! flips straight to `Cancelled`; a running one gets its cancel flag set
-//! and the harness bails between sweep stages.
+//! Both endpoints run work far too slow for a request/response cycle —
+//! a faithfulness evaluation re-classifies every instance once per
+//! (method × grid-point), a motif-mining run explains and clusters a
+//! whole dataset — so the server runs them as *jobs*: submit returns an
+//! id immediately, a dedicated runner thread drains the queue through
+//! the model's own [`ServiceHandle`](dcam::service::ServiceHandle) (the
+//! batches ride the same bounded queues and mega-batch engine as live
+//! traffic), and clients poll `GET .../{id}` for the result. `DELETE`
+//! cancels: a queued job flips straight to `Cancelled`; a running one
+//! gets its cancel flag set and the work bails at its next stage
+//! boundary.
 //!
-//! The store is a single mutex-guarded deque with a condvar for the
-//! runner — jobs are few and coarse (seconds each), so contention is not
-//! a concern. Finished jobs are retained (bounded) so reports stay
-//! pollable after completion; the oldest finished reports are evicted
-//! first once the retention bound fills.
+//! [`JobStore`] is generic over the spec submitted (`S`) and the report
+//! produced (`R`), so `/v1/eval` and `/v1/analyze` share one lifecycle
+//! implementation instead of two copy-pasted stores. Each store is a
+//! single mutex-guarded deque with a condvar for its runner — jobs are
+//! few and coarse (seconds each), so contention is not a concern.
+//! Finished jobs are retained (bounded) so reports stay pollable after
+//! completion; the oldest finished reports are evicted first once the
+//! retention bound fills. Per-store lifecycle counters
+//! ([`JobStore::counters`]) feed the `jobs` object of `GET /stats`.
 
-use crate::wire::EvalRequest;
-use dcam_eval::EvalReport;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// Where a submitted evaluation job is in its lifecycle.
+/// Where a submitted job is in its lifecycle.
 #[derive(Debug, Clone)]
-pub enum JobStatus {
+pub enum JobStatus<R> {
     /// Waiting for the runner thread.
     Queued,
-    /// The runner is sweeping curves for it right now.
+    /// The runner is working on it right now.
     Running,
     /// Finished; the report is ready.
-    Done(EvalReport),
-    /// The harness (or model resolution) failed.
+    Done(R),
+    /// The work (or model resolution) failed.
     Failed(String),
     /// Cancelled before completion.
     Cancelled,
 }
 
-impl JobStatus {
+impl<R> JobStatus<R> {
     /// The wire name of this status.
     pub fn name(&self) -> &'static str {
         match self {
@@ -59,47 +63,90 @@ impl JobStatus {
     }
 }
 
-struct Job {
-    id: u64,
-    /// Taken by the runner when the job starts; `None` afterwards.
-    spec: Option<EvalRequest>,
-    status: JobStatus,
-    cancel: Arc<AtomicBool>,
+/// Monotonic lifecycle counters of one job store, as served by
+/// `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounters {
+    /// Jobs accepted by [`JobStore::submit`] (capacity bounces excluded).
+    pub submitted: u64,
+    /// Jobs that finished with a report.
+    pub done: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+    /// Jobs cancelled before completion (client `DELETE` or shutdown).
+    pub cancelled: u64,
 }
 
 #[derive(Default)]
-struct JobsState {
-    jobs: VecDeque<Job>,
+struct CounterCells {
+    submitted: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+struct Job<S, R> {
+    id: u64,
+    /// Taken by the runner when the job starts; `None` afterwards.
+    spec: Option<S>,
+    status: JobStatus<R>,
+    cancel: Arc<AtomicBool>,
+}
+
+struct JobsState<S, R> {
+    jobs: VecDeque<Job<S, R>>,
     next_id: u64,
 }
 
-/// The job store shared by the HTTP handlers and the runner thread.
-pub struct EvalJobs {
-    state: Mutex<JobsState>,
+impl<S, R> Default for JobsState<S, R> {
+    fn default() -> Self {
+        JobsState {
+            jobs: VecDeque::new(),
+            next_id: 0,
+        }
+    }
+}
+
+/// A bounded job table shared by the HTTP handlers and one runner
+/// thread, generic over the job spec `S` and report `R`.
+pub struct JobStore<S, R> {
+    state: Mutex<JobsState<S, R>>,
     ready: Condvar,
     /// Bound on queued + running jobs; submits beyond it get a 503.
     capacity: usize,
+    counters: CounterCells,
 }
 
 /// How many finished jobs stay pollable before the oldest is evicted.
 const RETAINED_FINISHED: usize = 64;
 
-impl EvalJobs {
+impl<S, R: Clone> JobStore<S, R> {
     /// A store admitting at most `capacity` unfinished jobs at a time.
     pub fn new(capacity: usize) -> Self {
-        EvalJobs {
+        JobStore {
             state: Mutex::new(JobsState::default()),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            counters: CounterCells::default(),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, JobsState> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobsState<S, R>> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Snapshot of the store's lifecycle counters.
+    pub fn counters(&self) -> JobCounters {
+        JobCounters {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            done: self.counters.done.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+        }
+    }
+
     /// Enqueues a job; `None` means the store is at capacity.
-    pub fn submit(&self, spec: EvalRequest) -> Option<u64> {
+    pub fn submit(&self, spec: S) -> Option<u64> {
         let mut st = self.lock();
         let active = st.jobs.iter().filter(|j| !j.status.is_finished()).count();
         if active >= self.capacity {
@@ -121,12 +168,13 @@ impl EvalJobs {
             cancel: Arc::new(AtomicBool::new(false)),
         });
         drop(st);
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.ready.notify_one();
         Some(id)
     }
 
     /// Snapshot of a job's status; `None` for unknown ids.
-    pub fn status(&self, id: u64) -> Option<JobStatus> {
+    pub fn status(&self, id: u64) -> Option<JobStatus<R>> {
         let st = self.lock();
         st.jobs
             .iter()
@@ -136,15 +184,16 @@ impl EvalJobs {
 
     /// Cancels a job: queued jobs flip to `Cancelled` immediately, running
     /// jobs get their cancel flag raised (the runner records `Cancelled`
-    /// when the harness bails). Returns the status *after* the call, or
+    /// when the work bails). Returns the status *after* the call, or
     /// `None` for unknown ids. Cancelling a finished job is a no-op.
-    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+    pub fn cancel(&self, id: u64) -> Option<JobStatus<R>> {
         let mut st = self.lock();
         let job = st.jobs.iter_mut().find(|j| j.id == id)?;
         match job.status {
             JobStatus::Queued => {
                 job.spec = None;
                 job.status = JobStatus::Cancelled;
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             }
             JobStatus::Running => job.cancel.store(true, Ordering::Release),
             _ => {}
@@ -156,7 +205,7 @@ impl EvalJobs {
     /// handing its spec + cancel flag to the caller) or `shutdown` is
     /// raised (`None`). The wait polls the shutdown flag every 50 ms so a
     /// stopping server never waits on a quiet queue.
-    pub fn next_job(&self, shutdown: &AtomicBool) -> Option<(u64, EvalRequest, Arc<AtomicBool>)> {
+    pub fn next_job(&self, shutdown: &AtomicBool) -> Option<(u64, S, Arc<AtomicBool>)> {
         let mut st = self.lock();
         loop {
             if shutdown.load(Ordering::Acquire) {
@@ -179,25 +228,32 @@ impl EvalJobs {
         }
     }
 
-    /// Records a running job's outcome. The harness reports cancellation
-    /// as the error string `"cancelled"`; that (or a raised cancel flag)
+    /// Records a running job's outcome. The work reports cancellation as
+    /// the error string `"cancelled"`; that (or a raised cancel flag)
     /// records `Cancelled` rather than `Failed`.
-    pub fn finish(&self, id: u64, result: Result<EvalReport, String>) {
+    pub fn finish(&self, id: u64, result: Result<R, String>) {
         let mut st = self.lock();
         if let Some(job) = st.jobs.iter_mut().find(|j| j.id == id) {
             job.status = match result {
-                Ok(report) => JobStatus::Done(report),
+                Ok(report) => {
+                    self.counters.done.fetch_add(1, Ordering::Relaxed);
+                    JobStatus::Done(report)
+                }
                 Err(msg) if msg == "cancelled" || job.cancel.load(Ordering::Acquire) => {
+                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                     JobStatus::Cancelled
                 }
-                Err(msg) => JobStatus::Failed(msg),
+                Err(msg) => {
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    JobStatus::Failed(msg)
+                }
             };
         }
     }
 
     /// Wakes the runner thread (used alongside raising the shutdown flag)
-    /// and cancels every unfinished job so a mid-flight harness bails at
-    /// its next stage boundary instead of stalling the join.
+    /// and cancels every unfinished job so mid-flight work bails at its
+    /// next stage boundary instead of stalling the join.
     pub fn notify_shutdown(&self) {
         let mut st = self.lock();
         for job in st.jobs.iter_mut() {
@@ -205,6 +261,7 @@ impl EvalJobs {
                 JobStatus::Queued => {
                     job.spec = None;
                     job.status = JobStatus::Cancelled;
+                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                 }
                 JobStatus::Running => job.cancel.store(true, Ordering::Release),
                 _ => {}
@@ -218,49 +275,44 @@ impl EvalJobs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcam_eval::HarnessConfig;
 
-    fn spec() -> EvalRequest {
-        EvalRequest {
-            model: None,
-            series_list: vec![vec![vec![0.0; 4]; 2]],
-            labels: vec![0],
-            config: HarnessConfig::default(),
-        }
+    // The store is spec/report-agnostic; string specs and u32 reports
+    // exercise the lifecycle without dragging the wire types in.
+    type Store = JobStore<String, u32>;
+
+    fn spec() -> String {
+        "job".to_string()
     }
 
     #[test]
     fn submit_take_finish_roundtrip() {
-        let jobs = EvalJobs::new(2);
+        let jobs = Store::new(2);
         let id = jobs.submit(spec()).unwrap();
         assert!(matches!(jobs.status(id), Some(JobStatus::Queued)));
         let shutdown = AtomicBool::new(false);
         let (took, _spec, _cancel) = jobs.next_job(&shutdown).unwrap();
         assert_eq!(took, id);
         assert!(matches!(jobs.status(id), Some(JobStatus::Running)));
-        jobs.finish(
-            id,
-            Ok(EvalReport {
-                n_instances: 1,
-                base_accuracy: 1.0,
-                methods: vec![],
-            }),
-        );
-        assert!(matches!(jobs.status(id), Some(JobStatus::Done(_))));
+        jobs.finish(id, Ok(7));
+        assert!(matches!(jobs.status(id), Some(JobStatus::Done(7))));
+        let c = jobs.counters();
+        assert_eq!((c.submitted, c.done, c.failed, c.cancelled), (1, 1, 0, 0));
     }
 
     #[test]
     fn capacity_rejects_and_frees_up() {
-        let jobs = EvalJobs::new(1);
+        let jobs = Store::new(1);
         let id = jobs.submit(spec()).unwrap();
         assert!(jobs.submit(spec()).is_none());
         jobs.cancel(id);
         assert!(jobs.submit(spec()).is_some());
+        // The bounced submit is not counted.
+        assert_eq!(jobs.counters().submitted, 2);
     }
 
     #[test]
     fn cancel_queued_is_immediate_and_cancel_running_raises_flag() {
-        let jobs = EvalJobs::new(2);
+        let jobs = Store::new(2);
         let a = jobs.submit(spec()).unwrap();
         let b = jobs.submit(spec()).unwrap();
         assert!(matches!(jobs.cancel(a), Some(JobStatus::Cancelled)));
@@ -271,14 +323,27 @@ mod tests {
         assert!(cancel.load(Ordering::Acquire));
         jobs.finish(b, Err("cancelled".into()));
         assert!(matches!(jobs.status(b), Some(JobStatus::Cancelled)));
+        assert_eq!(jobs.counters().cancelled, 2);
     }
 
     #[test]
     fn unknown_ids_are_none_and_shutdown_unblocks() {
-        let jobs = EvalJobs::new(1);
+        let jobs = Store::new(1);
         assert!(jobs.status(99).is_none());
         assert!(jobs.cancel(99).is_none());
         let shutdown = AtomicBool::new(true);
         assert!(jobs.next_job(&shutdown).is_none());
+    }
+
+    #[test]
+    fn failed_jobs_count_as_failed_not_cancelled() {
+        let jobs = Store::new(1);
+        let id = jobs.submit(spec()).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let _ = jobs.next_job(&shutdown).unwrap();
+        jobs.finish(id, Err("model exploded".into()));
+        assert!(matches!(jobs.status(id), Some(JobStatus::Failed(_))));
+        let c = jobs.counters();
+        assert_eq!((c.failed, c.cancelled), (1, 0));
     }
 }

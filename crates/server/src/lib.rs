@@ -23,6 +23,12 @@
 //!   and answers 202 with a job id; `GET /v1/eval/{id}` polls its status
 //!   and, once done, the per-method deletion/insertion report;
 //!   `DELETE /v1/eval/{id}` cancels a queued or running job;
+//! * `POST /v1/analyze` — submits a motif-mining job (instances plus
+//!   labels plus clustering parameters) that batch-explains the dataset
+//!   and clusters the per-(class, dimension) dCAM activation rows under
+//!   DTW; same job lifecycle as `/v1/eval` (202 + id,
+//!   `GET /v1/analyze/{id}` polls, `DELETE /v1/analyze/{id}` cancels at
+//!   a stage boundary);
 //! * `GET /healthz` — liveness probe;
 //! * `GET /stats` — JSON dump of the aggregate [`ServiceStats`] plus the
 //!   server-level counters ([`ServerStats`]).
@@ -67,8 +73,8 @@
 #![warn(missing_docs)]
 
 pub mod client;
-pub mod eval_jobs;
 pub mod http;
+pub mod jobs;
 pub mod wire;
 
 pub use client::{
@@ -83,10 +89,11 @@ use dcam::service::{
     ServiceStats,
 };
 use dcam::DcamService;
+use dcam_analyze::{mine_motifs, MotifReport};
 use dcam_eval::{run_harness, EvalReport, ExplainerKind, ServiceBackend};
 use dcam_series::MultivariateSeries;
-use eval_jobs::{EvalJobs, JobStatus};
 use http::{Conn, RecvError, Request};
+use jobs::{JobStatus, JobStore};
 use serde::Value;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
@@ -159,6 +166,11 @@ pub struct ServerConfig {
     /// per method × grid point, so the bound keeps a burst of submits
     /// from pinning the runner thread for minutes.
     pub eval_capacity: usize,
+    /// Bound on unfinished `/v1/analyze` jobs (queued + running). Mining
+    /// explains every instance and then clusters per (class, dimension),
+    /// so a single job already saturates the runner — the bound is small
+    /// by default.
+    pub analyze_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -175,6 +187,7 @@ impl Default for ServerConfig {
             admin_token: None,
             faults: Arc::new(ServerFaults::default()),
             eval_capacity: 4,
+            analyze_capacity: 2,
         }
     }
 }
@@ -249,7 +262,8 @@ struct Ctx {
     shutdown: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
     conns_ready: Condvar,
-    eval: EvalJobs,
+    eval: JobStore<wire::EvalRequest, EvalReport>,
+    analyze: JobStore<wire::AnalyzeRequest, MotifReport>,
 }
 
 impl Ctx {
@@ -277,6 +291,7 @@ pub struct DcamServer {
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Vec<JoinHandle<()>>,
     eval_thread: Option<JoinHandle<()>>,
+    analyze_thread: Option<JoinHandle<()>>,
     draining: bool,
 }
 
@@ -312,7 +327,8 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(VecDeque::new()),
         conns_ready: Condvar::new(),
-        eval: EvalJobs::new(cfg.eval_capacity),
+        eval: JobStore::new(cfg.eval_capacity),
+        analyze: JobStore::new(cfg.analyze_capacity),
     });
     let eval_thread = {
         let ctx = Arc::clone(&ctx);
@@ -320,6 +336,13 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
             .name("dcam-eval-runner".into())
             .spawn(move || eval_runner(&ctx))
             .expect("spawn eval runner thread")
+    };
+    let analyze_thread = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("dcam-analyze-runner".into())
+            .spawn(move || analyze_runner(&ctx))
+            .expect("spawn analyze runner thread")
     };
     let accept_thread = {
         let ctx = Arc::clone(&ctx);
@@ -343,6 +366,7 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
         accept_thread: Some(accept_thread),
         conn_threads,
         eval_thread: Some(eval_thread),
+        analyze_thread: Some(analyze_thread),
         draining: false,
     })
 }
@@ -397,6 +421,7 @@ impl DcamServer {
         self.ctx.shutdown.store(true, Ordering::Release);
         self.ctx.conns_ready.notify_all();
         self.ctx.eval.notify_shutdown();
+        self.ctx.analyze.notify_shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -404,6 +429,9 @@ impl DcamServer {
             let _ = t.join();
         }
         if let Some(t) = self.eval_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.analyze_thread.take() {
             let _ = t.join();
         }
     }
@@ -666,6 +694,45 @@ fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
             )
         };
     }
+    // Analyze-job routes: `/v1/analyze` and `/v1/analyze/{id}`.
+    if let Some(rest) = req.path.strip_prefix("/v1/analyze/") {
+        let Ok(id) = rest.parse::<u64>() else {
+            return respond(
+                conn,
+                ctx,
+                404,
+                &[],
+                &wire::error_body("unknown_job", &format!("no analyze job \"{rest}\"")),
+                false,
+            );
+        };
+        return match req.method.as_str() {
+            "GET" => handle_analyze_status(conn, ctx, id),
+            "DELETE" => handle_analyze_cancel(conn, ctx, id),
+            _ => respond(
+                conn,
+                ctx,
+                405,
+                &[("allow", "GET, DELETE".into())],
+                &wire::error_body("method_not_allowed", "use GET or DELETE"),
+                false,
+            ),
+        };
+    }
+    if req.path == "/v1/analyze" {
+        return if req.method == "POST" {
+            handle_analyze_submit(conn, req, ctx)
+        } else {
+            respond(
+                conn,
+                ctx,
+                405,
+                &[("allow", "POST".into())],
+                &wire::error_body("method_not_allowed", "use POST"),
+                false,
+            )
+        };
+    }
     // Model-admin routes: `/v1/models/{name}/swap`.
     if let Some(rest) = req.path.strip_prefix("/v1/models/") {
         if let Some(name) = rest.strip_suffix("/swap") {
@@ -741,9 +808,20 @@ fn route(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
                     Value::Number(s.disconnect_cancels as f64),
                 ),
             ]);
+            let jobs = Value::Object(vec![
+                (
+                    "eval".into(),
+                    wire::job_counters_value(&ctx.eval.counters()),
+                ),
+                (
+                    "analyze".into(),
+                    wire::job_counters_value(&ctx.analyze.counters()),
+                ),
+            ]);
             let body = serde_json::to_string(&Value::Object(vec![
                 ("service".into(), service),
                 ("server".into(), server),
+                ("jobs".into(), jobs),
             ]))
             .unwrap_or_default();
             respond(conn, ctx, 200, &[], &body, false)
@@ -1165,7 +1243,7 @@ fn handle_eval_submit(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
             ctx,
             202,
             &[],
-            &wire::eval_submitted_body(id, "queued"),
+            &wire::job_submitted_body(id, "queued"),
             false,
         ),
         None => {
@@ -1228,7 +1306,7 @@ fn handle_eval_cancel(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
             ctx,
             200,
             &[],
-            &wire::eval_submitted_body(id, status.name()),
+            &wire::job_submitted_body(id, status.name()),
             false,
         ),
     }
@@ -1268,6 +1346,206 @@ fn run_eval_job(
         .collect();
     let mut backend = ServiceBackend::new(handle, None);
     run_harness(
+        &mut backend,
+        &samples,
+        &spec.labels,
+        &spec.config,
+        Some(cancel),
+    )
+}
+
+/// `POST /v1/analyze`: validate the mining job against the target model's
+/// geometry, enqueue it, answer 202 with the job id. Like `/v1/eval`,
+/// validation happens at submit time so bad requests are structured 400s
+/// rather than `failed` jobs discovered on the first poll.
+fn handle_analyze_submit(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
+    let value = match parse_json_body(conn, req, ctx) {
+        Ok(v) => v,
+        Err(after) => return after,
+    };
+    let parsed = match wire::parse_analyze(&value) {
+        Ok(p) => p,
+        Err(msg) => {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body("bad_request", &msg),
+                false,
+            )
+        }
+    };
+    let name = match ctx.registry.resolve(parsed.model.as_deref()) {
+        Ok((name, _)) => name,
+        Err(e) => return respond_registry_error(conn, ctx, e),
+    };
+    // The pipeline needs one shared geometry: enforce it here (mining a
+    // ragged dataset is a submit error, not a runtime failure).
+    let n0 = parsed.series_list[0].first().map(Vec::len).unwrap_or(0);
+    for (i, rows) in parsed.series_list.iter().enumerate() {
+        let n = rows.first().map(Vec::len).unwrap_or(0);
+        if rows.len() != parsed.series_list[0].len() || n != n0 {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body(
+                    "shape_mismatch",
+                    &format!("instance {i} does not share instance 0's (dims, len) geometry"),
+                ),
+                false,
+            );
+        }
+    }
+    if let Some(info) = ctx.registry.list().into_iter().find(|m| m.name == name) {
+        if parsed.series_list[0].len() != info.dims {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body(
+                    "shape_mismatch",
+                    &format!(
+                        "instances have {} dimensions, model \"{name}\" expects {}",
+                        parsed.series_list[0].len(),
+                        info.dims
+                    ),
+                ),
+                false,
+            );
+        }
+        if let Some((i, &l)) = parsed
+            .labels
+            .iter()
+            .enumerate()
+            .find(|(_, &l)| l >= info.n_classes)
+        {
+            return respond(
+                conn,
+                ctx,
+                400,
+                &[],
+                &wire::error_body(
+                    "invalid_class",
+                    &format!(
+                        "labels[{i}] = {l} but model \"{name}\" has {} classes",
+                        info.n_classes
+                    ),
+                ),
+                false,
+            );
+        }
+    }
+    match ctx.analyze.submit(parsed) {
+        Some(id) => respond(
+            conn,
+            ctx,
+            202,
+            &[],
+            &wire::job_submitted_body(id, "queued"),
+            false,
+        ),
+        None => {
+            ctx.counters
+                .backpressure_503
+                .fetch_add(1, Ordering::Relaxed);
+            respond(
+                conn,
+                ctx,
+                503,
+                &[("retry-after", ctx.cfg.retry_after_s.to_string())],
+                &wire::error_body("overloaded", "analyze job queue is full"),
+                false,
+            )
+        }
+    }
+}
+
+/// `GET /v1/analyze/{id}`: job status, plus the motif report once done or
+/// the failure message once failed.
+fn handle_analyze_status(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
+    match ctx.analyze.status(id) {
+        None => respond(
+            conn,
+            ctx,
+            404,
+            &[],
+            &wire::error_body("unknown_job", &format!("no analyze job {id}")),
+            false,
+        ),
+        Some(status) => {
+            let body = match &status {
+                JobStatus::Done(report) => {
+                    wire::analyze_status_body(id, status.name(), Some(report), None)
+                }
+                JobStatus::Failed(msg) => {
+                    wire::analyze_status_body(id, status.name(), None, Some(msg))
+                }
+                _ => wire::analyze_status_body(id, status.name(), None, None),
+            };
+            respond(conn, ctx, 200, &[], &body, false)
+        }
+    }
+}
+
+/// `DELETE /v1/analyze/{id}`: cancel a queued or running job (idempotent
+/// on finished ones); answers with the status after the cancel took
+/// effect.
+fn handle_analyze_cancel(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
+    match ctx.analyze.cancel(id) {
+        None => respond(
+            conn,
+            ctx,
+            404,
+            &[],
+            &wire::error_body("unknown_job", &format!("no analyze job {id}")),
+            false,
+        ),
+        Some(status) => respond(
+            conn,
+            ctx,
+            200,
+            &[],
+            &wire::job_submitted_body(id, status.name()),
+            false,
+        ),
+    }
+}
+
+/// The analyze runner thread: same shape as [`eval_runner`] — one job at
+/// a time, model re-resolved per job.
+fn analyze_runner(ctx: &Ctx) {
+    while let Some((id, spec, cancel)) = ctx.analyze.next_job(&ctx.shutdown) {
+        let result = run_analyze_job(ctx, spec, &cancel);
+        ctx.analyze.finish(id, result);
+    }
+}
+
+fn run_analyze_job(
+    ctx: &Ctx,
+    spec: wire::AnalyzeRequest,
+    cancel: &AtomicBool,
+) -> Result<MotifReport, String> {
+    let (_name, handle) = ctx
+        .registry
+        .resolve(spec.model.as_deref())
+        .map_err(|e| e.to_string())?;
+    let handle = match handle.backpressure() {
+        Backpressure::Block => {
+            handle.with_backpressure(Backpressure::Timeout(ctx.cfg.request_deadline))
+        }
+        _ => handle,
+    };
+    let samples: Vec<MultivariateSeries> = spec
+        .series_list
+        .iter()
+        .map(|rows| MultivariateSeries::from_rows(rows))
+        .collect();
+    let mut backend = ServiceBackend::new(handle, None);
+    mine_motifs(
         &mut backend,
         &samples,
         &spec.labels,

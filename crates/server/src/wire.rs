@@ -6,10 +6,12 @@
 //! built as [`serde::Value`] trees and printed through the vendored
 //! `serde_json`.
 
+use crate::jobs::JobCounters;
 use dcam::dcam::DcamResult;
 use dcam::occlusion::OcclusionConfig;
 use dcam::registry::ModelInfo;
 use dcam::service::{Classification, ServiceStats};
+use dcam_analyze::{AnalyzeConfig, ClassMotifs, Cluster, DimClusters, MotifReport, MotifWindow};
 use dcam_eval::{
     Curve, CurvePoint, EvalReport, ExplainerKind, HarnessConfig, MaskStrategy, MethodReport,
 };
@@ -474,8 +476,9 @@ pub fn eval_report_from_value(v: &Value) -> Result<EvalReport, String> {
     })
 }
 
-/// The `POST /v1/eval` accepted body.
-pub fn eval_submitted_body(id: u64, status: &str) -> String {
+/// The accepted/cancelled body shared by the job endpoints
+/// (`POST /v1/eval`, `POST /v1/analyze` and their `DELETE`s).
+pub fn job_submitted_body(id: u64, status: &str) -> String {
     let v = obj(vec![
         ("id", num(id as f64)),
         ("status", Value::String(status.into())),
@@ -502,6 +505,329 @@ pub fn eval_status_body(
         fields.push(("error", Value::String(e.into())));
     }
     serde_json::to_string(&obj(fields)).unwrap_or_default()
+}
+
+/// A parsed `POST /v1/analyze` body.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRequest {
+    /// Registry model to mine against; `None` uses the server's default.
+    pub model: Option<String>,
+    /// Instances, each `D × n` rows.
+    pub series_list: Vec<Vec<Vec<f32>>>,
+    /// True label per instance.
+    pub labels: Vec<usize>,
+    /// Mining parameters assembled from the optional body fields.
+    pub config: AnalyzeConfig,
+}
+
+/// Parses a `POST /v1/analyze` body: `series` (array of instances) and
+/// `labels`, plus optional `model`, `clusters`, `kmeans_iters`,
+/// `dba_iters`, `band`, `window`, `top_windows`, `tol` and `seed`
+/// overriding the [`AnalyzeConfig`] defaults.
+pub fn parse_analyze(v: &Value) -> Result<AnalyzeRequest, String> {
+    let instances = v
+        .get("series")
+        .ok_or("missing field \"series\"")?
+        .as_array()
+        .ok_or("\"series\" must be an array of instances")?;
+    if instances.is_empty() {
+        return Err("\"series\" must hold at least one instance".into());
+    }
+    let mut series_list = Vec::with_capacity(instances.len());
+    for (i, inst) in instances.iter().enumerate() {
+        let wrapped = Value::Object(vec![("series".into(), inst.clone())]);
+        let rows = series_rows(&wrapped).map_err(|e| format!("instance {i}: {e}"))?;
+        series_list.push(rows);
+    }
+    let labels_v = v
+        .get("labels")
+        .ok_or("missing field \"labels\"")?
+        .as_array()
+        .ok_or("\"labels\" must be an array of class indices")?;
+    let mut labels = Vec::with_capacity(labels_v.len());
+    for (i, l) in labels_v.iter().enumerate() {
+        labels.push(
+            l.as_usize()
+                .ok_or_else(|| format!("labels[{i}] is not a non-negative integer"))?,
+        );
+    }
+    if labels.len() != series_list.len() {
+        return Err(format!(
+            "{} instances but {} labels",
+            series_list.len(),
+            labels.len()
+        ));
+    }
+
+    let mut config = AnalyzeConfig::default();
+    if let Some(c) = opt_usize(v, "clusters")? {
+        if c == 0 {
+            return Err("\"clusters\" must be at least 1".into());
+        }
+        config.clusters = c;
+    }
+    if let Some(i) = opt_usize(v, "kmeans_iters")? {
+        config.kmeans_iters = i;
+    }
+    if let Some(i) = opt_usize(v, "dba_iters")? {
+        config.dba_iters = i;
+    }
+    config.band = opt_usize(v, "band")?;
+    if let Some(w) = opt_usize(v, "window")? {
+        let n = series_list[0].first().map(Vec::len).unwrap_or(0);
+        if w == 0 || w > n {
+            return Err(format!(
+                "\"window\" must lie in [1, {n}] for series of length {n}"
+            ));
+        }
+        config.window = w;
+    } else {
+        // The default window must fit the submitted series.
+        let n = series_list[0].first().map(Vec::len).unwrap_or(0);
+        config.window = config.window.min(n.max(1));
+    }
+    if let Some(t) = opt_usize(v, "top_windows")? {
+        config.top_windows = t;
+    }
+    if let Some(t) = v.get("tol") {
+        config.tol = t.as_f64().ok_or("\"tol\" must be a number")? as f32;
+    }
+    if let Some(seed) = opt_usize(v, "seed")? {
+        config.seed = seed as u64;
+    }
+    Ok(AnalyzeRequest {
+        model: opt_string(v, "model")?,
+        series_list,
+        labels,
+        config,
+    })
+}
+
+fn motif_window_value(w: &MotifWindow) -> Value {
+    obj(vec![
+        ("dim", num(w.dim as f64)),
+        ("start", num(w.start as f64)),
+        ("len", num(w.len as f64)),
+        ("score", num(w.score as f64)),
+    ])
+}
+
+/// A [`MotifReport`] as a JSON tree (the `report` field of
+/// `GET /v1/analyze/{id}`).
+pub fn motif_report_value(r: &MotifReport) -> Value {
+    obj(vec![
+        ("n_instances", num(r.n_instances as f64)),
+        ("dims", num(r.dims as f64)),
+        ("len", num(r.len as f64)),
+        ("base_accuracy", num(r.base_accuracy as f64)),
+        (
+            "classes",
+            Value::Array(
+                r.classes
+                    .iter()
+                    .map(|c| {
+                        obj(vec![
+                            ("class", num(c.class as f64)),
+                            ("n_instances", num(c.n_instances as f64)),
+                            (
+                                "dims",
+                                Value::Array(
+                                    c.dims
+                                        .iter()
+                                        .map(|dc| {
+                                            obj(vec![
+                                                ("dim", num(dc.dim as f64)),
+                                                (
+                                                    "clusters",
+                                                    Value::Array(
+                                                        dc.clusters
+                                                            .iter()
+                                                            .map(|cl| {
+                                                                obj(vec![
+                                                                    (
+                                                                        "barycenter",
+                                                                        Value::Array(
+                                                                            cl.barycenter
+                                                                                .iter()
+                                                                                .map(|&x| {
+                                                                                    num(x as f64)
+                                                                                })
+                                                                                .collect(),
+                                                                        ),
+                                                                    ),
+                                                                    (
+                                                                        "members",
+                                                                        num(cl.members as f64),
+                                                                    ),
+                                                                    (
+                                                                        "inertia",
+                                                                        num(cl.inertia as f64),
+                                                                    ),
+                                                                ])
+                                                            })
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "windows",
+                                Value::Array(c.windows.iter().map(motif_window_value).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn motif_window_from_value(v: &Value) -> Result<MotifWindow, String> {
+    Ok(MotifWindow {
+        dim: v
+            .get("dim")
+            .and_then(Value::as_usize)
+            .ok_or("window missing \"dim\"")?,
+        start: v
+            .get("start")
+            .and_then(Value::as_usize)
+            .ok_or("window missing \"start\"")?,
+        len: v
+            .get("len")
+            .and_then(Value::as_usize)
+            .ok_or("window missing \"len\"")?,
+        score: v
+            .get("score")
+            .and_then(Value::as_f64)
+            .ok_or("window missing \"score\"")? as f32,
+    })
+}
+
+/// Parses the JSON produced by [`motif_report_value`] back into a
+/// [`MotifReport`] — the client half of the analyze API (used by
+/// `dcam_analyze` to compare a served report against a local run).
+pub fn motif_report_from_value(v: &Value) -> Result<MotifReport, String> {
+    let classes_v = v
+        .get("classes")
+        .and_then(Value::as_array)
+        .ok_or("report missing \"classes\"")?;
+    let mut classes = Vec::with_capacity(classes_v.len());
+    for c in classes_v {
+        let dims_v = c
+            .get("dims")
+            .and_then(Value::as_array)
+            .ok_or("class entry missing \"dims\"")?;
+        let mut dims = Vec::with_capacity(dims_v.len());
+        for dc in dims_v {
+            let clusters_v = dc
+                .get("clusters")
+                .and_then(Value::as_array)
+                .ok_or("dim entry missing \"clusters\"")?;
+            let mut clusters = Vec::with_capacity(clusters_v.len());
+            for cl in clusters_v {
+                let bary_v = cl
+                    .get("barycenter")
+                    .and_then(Value::as_array)
+                    .ok_or("cluster missing \"barycenter\"")?;
+                let mut barycenter = Vec::with_capacity(bary_v.len());
+                for x in bary_v {
+                    barycenter.push(x.as_f64().ok_or("barycenter entries must be numbers")? as f32);
+                }
+                clusters.push(Cluster {
+                    barycenter,
+                    members: cl
+                        .get("members")
+                        .and_then(Value::as_usize)
+                        .ok_or("cluster missing \"members\"")?,
+                    inertia: cl
+                        .get("inertia")
+                        .and_then(Value::as_f64)
+                        .ok_or("cluster missing \"inertia\"")? as f32,
+                });
+            }
+            dims.push(DimClusters {
+                dim: dc
+                    .get("dim")
+                    .and_then(Value::as_usize)
+                    .ok_or("dim entry missing \"dim\"")?,
+                clusters,
+            });
+        }
+        let windows_v = c
+            .get("windows")
+            .and_then(Value::as_array)
+            .ok_or("class entry missing \"windows\"")?;
+        let mut windows = Vec::with_capacity(windows_v.len());
+        for w in windows_v {
+            windows.push(motif_window_from_value(w)?);
+        }
+        classes.push(ClassMotifs {
+            class: c
+                .get("class")
+                .and_then(Value::as_usize)
+                .ok_or("class entry missing \"class\"")?,
+            n_instances: c
+                .get("n_instances")
+                .and_then(Value::as_usize)
+                .ok_or("class entry missing \"n_instances\"")?,
+            dims,
+            windows,
+        });
+    }
+    Ok(MotifReport {
+        n_instances: v
+            .get("n_instances")
+            .and_then(Value::as_usize)
+            .ok_or("report missing \"n_instances\"")?,
+        dims: v
+            .get("dims")
+            .and_then(Value::as_usize)
+            .ok_or("report missing \"dims\"")?,
+        len: v
+            .get("len")
+            .and_then(Value::as_usize)
+            .ok_or("report missing \"len\"")?,
+        base_accuracy: v
+            .get("base_accuracy")
+            .and_then(Value::as_f64)
+            .ok_or("report missing \"base_accuracy\"")? as f32,
+        classes,
+    })
+}
+
+/// The `GET /v1/analyze/{id}` body: status plus — once finished — the
+/// report or the failure message.
+pub fn analyze_status_body(
+    id: u64,
+    status: &str,
+    report: Option<&MotifReport>,
+    error: Option<&str>,
+) -> String {
+    let mut fields = vec![
+        ("id", num(id as f64)),
+        ("status", Value::String(status.into())),
+    ];
+    if let Some(r) = report {
+        fields.push(("report", motif_report_value(r)));
+    }
+    if let Some(e) = error {
+        fields.push(("error", Value::String(e.into())));
+    }
+    serde_json::to_string(&obj(fields)).unwrap_or_default()
+}
+
+/// One job store's [`JobCounters`] as a JSON tree (the per-endpoint
+/// entries of the `jobs` object in `GET /stats`).
+pub fn job_counters_value(c: &JobCounters) -> Value {
+    obj(vec![
+        ("submitted", num(c.submitted as f64)),
+        ("done", num(c.done as f64)),
+        ("failed", num(c.failed as f64)),
+        ("cancelled", num(c.cancelled as f64)),
+    ])
 }
 
 /// [`ServiceStats`] as a JSON tree (durations in milliseconds).
