@@ -114,10 +114,28 @@ fn tracked_metrics(report: &Value) -> Vec<Metric> {
             });
         }
     }
+    if let Some(gemm_i8) = field(report, "gemm_i8") {
+        if let Some(v) = number(gemm_i8, "i8_us") {
+            out.push(Metric {
+                name: "gemm_i8.i8_us".into(),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
     if let Some(dcam) = field(report, "dcam") {
         if let Some(v) = number(dcam, "new_ms") {
             out.push(Metric {
                 name: "dcam.new_ms".into(),
+                baseline: v,
+                higher_is_better: false,
+            });
+        }
+    }
+    if let Some(dcam_int8) = field(report, "dcam_int8") {
+        if let Some(v) = number(dcam_int8, "int8_ms") {
+            out.push(Metric {
+                name: "dcam_int8.int8_ms".into(),
                 baseline: v,
                 higher_is_better: false,
             });
@@ -253,8 +271,14 @@ fn candidate_value(report: &Value, name: &str) -> Option<f64> {
             key,
         );
     }
+    if let Some(key) = name.strip_prefix("gemm_i8.") {
+        return number(field(report, "gemm_i8")?, key);
+    }
     if let Some(key) = name.strip_prefix("dcam.") {
         return number(field(report, "dcam")?, key);
+    }
+    if let Some(key) = name.strip_prefix("dcam_int8.") {
+        return number(field(report, "dcam_int8")?, key);
     }
     if let Some(rest) = name.strip_prefix("dcam_many[") {
         let (n, key) = rest.split_once("].")?;

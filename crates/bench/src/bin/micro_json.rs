@@ -77,6 +77,31 @@ struct DcamRow {
 }
 
 #[derive(Serialize)]
+struct GemmI8Row {
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Activation quantization + packed int8 GEMM + dequantization — the
+    /// full per-call cost the int8 serving path pays.
+    i8_us: f64,
+    /// The f32 packed GEMM at the same geometry.
+    f32_us: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct DcamInt8Row {
+    dims: usize,
+    series_len: usize,
+    k: usize,
+    /// Model scale of the row (int8 targets the bigger-than-Tiny models).
+    scale: String,
+    f32_ms: f64,
+    int8_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct DcamManyRow {
     n_instances: usize,
     max_batch: usize,
@@ -193,7 +218,9 @@ struct Report {
     matmul: Vec<MatmulRow>,
     conv: Vec<ConvRow>,
     conv_long: Vec<ConvLongRow>,
+    gemm_i8: GemmI8Row,
     dcam: DcamRow,
+    dcam_int8: DcamInt8Row,
     dcam_many: Vec<DcamManyRow>,
     eval: Vec<EvalRow>,
     analyze: Vec<AnalyzeRow>,
@@ -460,6 +487,112 @@ fn dcam_seed_ms() -> f64 {
     ) * 1e3
 }
 
+/// Int8 GEMM vs the f32 packed GEMM at one dense-layer-like geometry. The
+/// int8 side pays the activation quantization and the dequantization on
+/// every call — the end-to-end per-layer cost of serving quantized.
+fn bench_gemm_i8() -> GemmI8Row {
+    use dcam_tensor::{
+        activation_scale, dequantize_row, k_groups, qgemm_i32, quantize_transpose_into,
+        QuantizedWeights,
+    };
+    let (m, k, n) = (64usize, 256usize, 512usize);
+    let mut rng = SeededRng::new(4);
+    let w = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let x = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let f32_us = best_of(|| drop(w.matmul(&x).unwrap()), 4, 5) * 1e6;
+
+    let wd = w.data().to_vec();
+    let qw = QuantizedWeights::from_rows(m, k, |i, p| wd[i * k + p]);
+    // The packer wants n rows of k (the right operand transposed).
+    let xt: Vec<f32> = {
+        let xd = x.data();
+        (0..n * k).map(|i| xd[(i % k) * n + i / k]).collect()
+    };
+    let s_a = activation_scale(1.0);
+    let mut b = vec![0u8; k_groups(k) * n * 4];
+    let mut acc = vec![0i32; m * n];
+    let mut out = vec![0f32; m * n];
+    let i8_us = best_of(
+        || {
+            quantize_transpose_into(&xt, n, k, 1.0 / s_a, &mut b);
+            qgemm_i32(&qw, &b, n * 4, 0, n, &mut acc, n, false);
+            for i in 0..m {
+                dequantize_row(
+                    &acc[i * n..(i + 1) * n],
+                    qw.corr()[i],
+                    qw.scales()[i] * s_a,
+                    0.0,
+                    &mut out[i * n..(i + 1) * n],
+                );
+            }
+            std::hint::black_box(&out);
+        },
+        4,
+        5,
+    ) * 1e6;
+    GemmI8Row {
+        m,
+        k,
+        n,
+        i8_us,
+        f32_us,
+        speedup: f32_us / i8_us,
+    }
+}
+
+/// Single-instance dCAM at the Small model scale, f32 vs the quantized
+/// int8 serving path (identical weights; the int8 twin is calibrated on
+/// the bench series). The acceptance row for the quantized inference
+/// path: the k permuted C(T) cubes forwarded per explanation are where
+/// the int8 conv kernels earn their keep.
+fn bench_dcam_int8() -> DcamInt8Row {
+    let rows: Vec<Vec<f32>> = {
+        let mut rng = SeededRng::new(1);
+        (0..DCAM_DIMS)
+            .map(|_| (0..DCAM_LEN).map(|_| rng.normal()).collect())
+            .collect()
+    };
+    let series = MultivariateSeries::from_rows(&rows);
+    let build = || {
+        let mut rng = SeededRng::new(9);
+        cnn(
+            InputEncoding::Dcnn,
+            DCAM_DIMS,
+            2,
+            ModelScale::Small,
+            &mut rng,
+        )
+    };
+    let mut f32_model = build();
+    let mut int8_model = build();
+    int8_model.calibrate_int8_on(std::slice::from_ref(&series));
+    let cfg = DcamConfig {
+        k: DCAM_K,
+        only_correct: false,
+        seed: 3,
+        ..Default::default()
+    };
+    let f32_ms = best_of(
+        || drop(compute_dcam(&mut f32_model, &series, 0, &cfg)),
+        1,
+        3,
+    ) * 1e3;
+    let int8_ms = best_of(
+        || drop(compute_dcam(&mut int8_model, &series, 0, &cfg)),
+        1,
+        3,
+    ) * 1e3;
+    DcamInt8Row {
+        dims: DCAM_DIMS,
+        series_len: DCAM_LEN,
+        k: DCAM_K,
+        scale: "small".into(),
+        f32_ms,
+        int8_ms,
+        speedup: f32_ms / int8_ms,
+    }
+}
+
 /// Cross-instance engine vs N sequential `compute_dcam` calls, for
 /// N ∈ {1, 4, 16} concurrent instances (same model and shape as the
 /// single-instance row; run with `DCAM_THREADS=1` for comparable numbers).
@@ -702,6 +835,7 @@ fn bench_service() -> Vec<ServiceRow> {
                 backpressure: Backpressure::Block,
                 latency_window: 4096,
                 queue_policy: dcam::service::QueuePolicy::Fifo,
+                precision: dcam_nn::Precision::F32,
             };
             let service = DcamService::spawn(vec![model], cfg);
             let start = Instant::now();
@@ -797,6 +931,7 @@ fn bench_server() -> Vec<ServerRow> {
                 backpressure: Backpressure::Block,
                 queue_policy: dcam::service::QueuePolicy::Fifo,
                 latency_window: 4096,
+                precision: dcam_nn::Precision::F32,
             };
             let service = DcamService::spawn(vec![model], cfg);
             let server = serve(
@@ -899,6 +1034,7 @@ fn bench_registry() -> Vec<RegistryRow> {
         backpressure: Backpressure::Block,
         queue_policy: dcam::service::QueuePolicy::Fifo,
         latency_window: 4096,
+        precision: dcam_nn::Precision::F32,
     };
     let series_for = |seed: u64| {
         let mut r = SeededRng::new(seed);
@@ -1052,6 +1188,7 @@ fn bench_router() -> Vec<RouterRow> {
             backpressure: Backpressure::Block,
             queue_policy: dcam::service::QueuePolicy::Fifo,
             latency_window: 4096,
+            precision: dcam_nn::Precision::F32,
         };
         let service = DcamService::spawn(vec![model], cfg);
         serve(
@@ -1170,6 +1307,9 @@ fn main() {
     eprintln!("conv_long (im2col vs fft) ...");
     let conv_long = bench_conv_long();
 
+    eprintln!("gemm_i8 (packed int8 GEMM vs f32) ...");
+    let gemm_i8 = bench_gemm_i8();
+
     eprintln!("dcam (new engine) ...");
     let new_ms = dcam_ms();
     eprintln!("dcam (seed loop, direct conv, child process) ...");
@@ -1187,6 +1327,9 @@ fn main() {
             dcam_seed_ms()
         }
     };
+
+    eprintln!("dcam_int8 (Small model, f32 vs int8 serving path) ...");
+    let dcam_int8 = bench_dcam_int8();
 
     eprintln!("dcam_many (cross-instance engine, N in {{1, 4, 16}}) ...");
     let dcam_many = bench_dcam_many();
@@ -1213,6 +1356,7 @@ fn main() {
         matmul,
         conv,
         conv_long,
+        gemm_i8,
         dcam: DcamRow {
             dims: DCAM_DIMS,
             series_len: DCAM_LEN,
@@ -1221,6 +1365,7 @@ fn main() {
             seed_ms,
             speedup: seed_ms / new_ms,
         },
+        dcam_int8,
         dcam_many,
         eval,
         analyze,

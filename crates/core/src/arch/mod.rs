@@ -24,7 +24,7 @@ pub use recurrent::{recurrent, RecurrentCell, RecurrentClassifier};
 pub use resnet::resnet;
 
 use dcam_nn::layers::{ConvStrategy, Dense, GlobalAvgPool, Layer, Sequential};
-use dcam_nn::Param;
+use dcam_nn::{Param, Precision};
 use dcam_series::{cube, MultivariateSeries};
 use dcam_tensor::Tensor;
 
@@ -253,6 +253,7 @@ pub struct GapClassifier {
     head: Dense,
     name: String,
     input_dims: Option<usize>,
+    precision: Precision,
 }
 
 impl GapClassifier {
@@ -270,6 +271,7 @@ impl GapClassifier {
             head,
             name: name.into(),
             input_dims: None,
+            precision: Precision::F32,
         }
     }
 
@@ -360,6 +362,92 @@ impl GapClassifier {
         out
     }
 
+    /// Selects the inference precision for every quantization-capable
+    /// layer. Switching to [`Precision::Int8`] only takes effect once
+    /// activation scales exist — either from a
+    /// [`calibrate_int8`](GapClassifier::calibrate_int8) pass or a
+    /// checkpoint restore; until then the model keeps serving f32 answers.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.visit_quant(&mut |q| q.precision = precision);
+    }
+
+    /// The selected inference precision (see
+    /// [`set_precision`](GapClassifier::set_precision)).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// True when every quantization-capable layer carries a calibrated
+    /// activation scale, i.e. the int8 path can engage.
+    pub fn is_calibrated(&mut self) -> bool {
+        let mut any = false;
+        let mut all = true;
+        self.visit_quant(&mut |q| {
+            any = true;
+            all &= q.act_scale.is_some();
+        });
+        any && all
+    }
+
+    /// Calibrates the int8 path on a representative encoded batch `x`
+    /// (shape `(N, …)` in this classifier's input encoding) and switches
+    /// the model to [`Precision::Int8`]: one f32 recording forward latches
+    /// each layer's per-tensor activation scale.
+    pub fn calibrate_int8(&mut self, x: &Tensor) {
+        self.visit_quant(&mut |q| {
+            q.precision = Precision::Int8;
+            q.calibrating = true;
+            q.absmax = 0.0;
+        });
+        let _ = self.forward(x, false);
+        self.visit_quant(&mut |q| q.finish_calibration());
+        self.precision = Precision::Int8;
+    }
+
+    /// [`calibrate_int8`](GapClassifier::calibrate_int8) on a slice of
+    /// representative series, encoded and stacked with this classifier's
+    /// input encoding. Panics on an empty slice.
+    pub fn calibrate_int8_on(&mut self, series: &[MultivariateSeries]) {
+        assert!(!series.is_empty(), "calibration needs at least one series");
+        let mut data = Vec::new();
+        let mut per_sample_dims = Vec::new();
+        for s in series {
+            let x = self.encoding.encode(s);
+            per_sample_dims = x.dims().to_vec();
+            data.extend_from_slice(x.data());
+        }
+        let mut dims = vec![series.len()];
+        dims.extend_from_slice(&per_sample_dims);
+        let xb = Tensor::from_vec(data, &dims).expect("calibration batch");
+        self.calibrate_int8(&xb);
+    }
+
+    /// [`calibrate_int8`](GapClassifier::calibrate_int8) on a seeded
+    /// synthetic batch — the fallback when no representative data is
+    /// available (e.g. a served model switched to int8 without a
+    /// calibration set). Values are standard-normal, matching z-normalized
+    /// series; the same `(series_len, seed)` always produces the same
+    /// scales, so replicas calibrated independently agree.
+    ///
+    /// Requires the classifier to know its input dimension count
+    /// ([`GapClassifier::input_dims`]); panics otherwise.
+    pub fn calibrate_int8_synthetic(&mut self, series_len: usize, seed: u64) {
+        let d = self
+            .input_dims
+            .expect("synthetic calibration needs input_dims");
+        let mut rng = dcam_tensor::SeededRng::new(seed);
+        let samples: Vec<MultivariateSeries> = (0..4)
+            .map(|_| {
+                let rows: Vec<Vec<f32>> = (0..d)
+                    .map(|_| (0..series_len).map(|_| rng.normal()).collect())
+                    .collect();
+                MultivariateSeries::from_rows(&rows)
+            })
+            .collect();
+        self.calibrate_int8_on(&samples);
+    }
+
     /// Encodes one series and returns its logits (batch of one).
     pub fn logits_for(&mut self, series: &MultivariateSeries) -> Tensor {
         let x = self.encoding.encode(series);
@@ -397,6 +485,11 @@ impl Layer for GapClassifier {
 
     fn visit_convs(&mut self, f: &mut dyn FnMut(&mut dcam_nn::layers::Conv2dRows)) {
         self.features.visit_convs(f);
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dcam_nn::QuantState)) {
+        self.features.visit_quant(f);
+        self.head.visit_quant(f);
     }
 }
 
@@ -504,6 +597,36 @@ mod tests {
         assert_eq!(m.name(), "dCNN");
         let s = MultivariateSeries::from_rows(&[vec![0.1; 10], vec![0.2; 10], vec![0.3; 10]]);
         assert_eq!(m.logits_for(&s).dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn int8_logits_track_f32_after_calibration() {
+        let mut rng = SeededRng::new(11);
+        let mut m = cnn(InputEncoding::Dcnn, 3, 2, ModelScale::Tiny, &mut rng);
+        let s = MultivariateSeries::from_rows(&[
+            (0..24).map(|i| (i as f32 * 0.4).sin()).collect(),
+            (0..24).map(|i| (i as f32 * 0.15).cos()).collect(),
+            (0..24)
+                .map(|i| if i % 5 == 0 { 0.8 } else { -0.2 })
+                .collect(),
+        ]);
+        let want = m.logits_for(&s);
+        assert_eq!(m.precision(), Precision::F32);
+        assert!(!m.is_calibrated());
+
+        m.calibrate_int8_synthetic(24, 7);
+        assert_eq!(m.precision(), Precision::Int8);
+        assert!(m.is_calibrated());
+        let got = m.logits_for(&s);
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 0.15, "int8 logit {a} vs f32 {b}");
+        }
+
+        // Switching back to f32 restores exact agreement; the calibrated
+        // scales stay latched for a later int8 re-engage.
+        m.set_precision(Precision::F32);
+        assert!(m.logits_for(&s).allclose(&want, 1e-6));
+        assert!(m.is_calibrated());
     }
 
     #[test]

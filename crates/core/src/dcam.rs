@@ -347,7 +347,7 @@ pub fn compute_dcam(
     let mut acc = MAccumulator::new(d, n);
 
     let batch = cfg.batch.max(1);
-    let mut cube_buf: Vec<f32> = Vec::new();
+    let mut arena = dcam_nn::BatchArena::default();
     let mut cam_buf: Vec<f32> = Vec::new();
 
     let mut start = 0;
@@ -356,8 +356,10 @@ pub fn compute_dcam(
         let batch_perms = &perms[start..end];
         let bs = end - start;
 
-        // Assemble the batch of permuted cubes by row-rotation copies.
-        cube_buf.resize(bs * plane_cube, 0.0);
+        // Assemble the batch of permuted cubes by row-rotation copies into
+        // an arena buffer (fully overwritten, so arbitrary contents are
+        // fine) that the eval forward recycles layer by layer.
+        let mut cube_buf = arena.take(bs * plane_cube);
         for (bi, perm) in batch_perms.iter().enumerate() {
             assemble_cube(
                 sd,
@@ -367,12 +369,11 @@ pub fn compute_dcam(
                 &mut cube_buf[bi * plane_cube..(bi + 1) * plane_cube],
             );
         }
-        // Move the buffer into a Tensor for the forward pass and reclaim it
-        // afterwards — no copy in either direction.
-        let xb = Tensor::from_vec(std::mem::take(&mut cube_buf), &[bs, d, d, n])
-            .expect("cube batch shape");
-        let (features, logits) = model.forward_with_features(&xb);
-        cube_buf = xb.into_vec();
+        let xb = Tensor::from_vec(cube_buf, &[bs, d, d, n]).expect("cube batch shape");
+        // The allocation-free inference path: reuses pooled buffers across
+        // batches and is the path where a `Precision::Int8` model's
+        // quantized convolution kernels engage.
+        let (features, logits) = model.forward_with_features_eval(xb, &mut arena);
         let k_classes = logits.dims()[1];
 
         // Row-wise CAMs of the whole batch, read from features in place.
@@ -384,6 +385,7 @@ pub fn compute_dcam(
             .collect();
 
         acc.add_batch(batch_perms, &cam_buf, &correct, cfg.only_correct);
+        arena.recycle(features);
         start = end;
     }
 

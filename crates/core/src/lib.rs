@@ -75,6 +75,7 @@ pub use dcam::{compute_dcam, DcamConfig, DcamResult};
 pub use dcam_many::{
     compute_dcam_many, DcamBatcher, DcamBatcherConfig, DcamManyConfig, DcamRequest, Ticket,
 };
+pub use dcam_nn::Precision;
 pub use fixture::{planted_dataset, planted_model, PlantedSpec};
 pub use model::{ArchKind, Classifier};
 pub use occlusion::{OcclusionConfig, OcclusionError};

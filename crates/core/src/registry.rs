@@ -62,6 +62,7 @@
 use crate::arch::{ArchDescriptor, GapClassifier};
 use crate::service::{replicate_model, DcamService, ServiceConfig, ServiceHandle, ServiceStats};
 use dcam_nn::checkpoint::{self, Checkpoint};
+use dcam_nn::Precision;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -192,6 +193,8 @@ pub struct ModelInfo {
     pub n_classes: usize,
     /// Worker threads serving this model.
     pub workers: usize,
+    /// Inference precision the model's workers serve at.
+    pub precision: Precision,
     /// This model's own service counters.
     pub stats: ServiceStats,
 }
@@ -499,6 +502,7 @@ impl ModelRegistry {
                     dims: e.service.expected_dims(),
                     n_classes: e.service.n_classes(),
                     workers: e.workers,
+                    precision: e.service.precision(),
                     stats,
                 }
             })
@@ -665,6 +669,7 @@ mod tests {
             backpressure: Backpressure::Block,
             queue_policy: Default::default(),
             latency_window: 128,
+            precision: Precision::F32,
         }
     }
 

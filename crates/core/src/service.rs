@@ -67,6 +67,7 @@ use crate::arch::{GapClassifier, InputEncoding};
 use crate::dcam::DcamResult;
 use crate::dcam_many::{DcamBatcher, DcamBatcherConfig, Ticket};
 use dcam_nn::checkpoint::{self, Checkpoint};
+use dcam_nn::Precision;
 use dcam_series::MultivariateSeries;
 use dcam_tensor::{argmax, SeededRng};
 use std::collections::{HashMap, VecDeque};
@@ -320,6 +321,13 @@ pub struct ServiceConfig {
     /// the percentile estimates (a ring buffer; memory stays bounded no
     /// matter how long the service runs).
     pub latency_window: usize,
+    /// Inference precision the worker models serve at. With
+    /// [`Precision::Int8`], spawn calibrates any model that does not
+    /// already carry activation scales (deterministic synthetic batch, so
+    /// independently calibrated replicas agree) and switches every replica
+    /// to the quantized path. The `DCAM_PRECISION` environment variable
+    /// (`f32` / `int8`, read once per process) overrides this field.
+    pub precision: Precision,
 }
 
 impl Default for ServiceConfig {
@@ -333,6 +341,7 @@ impl Default for ServiceConfig {
             backpressure: Backpressure::Block,
             queue_policy: QueuePolicy::Fifo,
             latency_window: 4096,
+            precision: Precision::F32,
         }
     }
 }
@@ -696,6 +705,9 @@ struct Shared {
     latency_window: usize,
     expected_dims: usize,
     n_classes: usize,
+    /// Effective inference precision (config field with the
+    /// `DCAM_PRECISION` override applied) every worker model serves at.
+    precision: Precision,
 }
 
 /// A poisoned mutex only means another thread panicked mid-update; the
@@ -714,6 +726,10 @@ struct RecoverySpec {
     tag: String,
     probe: MultivariateSeries,
     probe_logits: Vec<f32>,
+    /// Effective serving precision, re-applied to a rebuilt model *after*
+    /// the probe validation (which always runs f32, matching the
+    /// spawn-time probe capture).
+    precision: Precision,
 }
 
 /// Probe geometry/seed for the checkpoint round-trip validation. The
@@ -721,6 +737,43 @@ struct RecoverySpec {
 /// only needs to be fixed so spawn-time and respawn-time probes agree.
 const PROBE_LEN: usize = 16;
 const PROBE_SEED: u64 = 0xdca4;
+
+/// Synthetic-calibration geometry/seed for int8 serving without a caller
+/// supplied calibration set. Fixed so every replica — including workers
+/// rebuilt after a panic — latches identical activation scales.
+const CALIB_LEN: usize = 64;
+const CALIB_SEED: u64 = 0xdcac;
+
+/// The `DCAM_PRECISION` override (`f32` / `int8`), read once per process.
+/// Panics on an unknown value — a typo must not silently serve the wrong
+/// precision.
+fn precision_pin() -> Option<Precision> {
+    use std::sync::OnceLock;
+    static PIN: OnceLock<Option<Precision>> = OnceLock::new();
+    *PIN.get_or_init(|| match std::env::var("DCAM_PRECISION") {
+        Ok(v) => Some(
+            Precision::parse(&v)
+                .unwrap_or_else(|| panic!("DCAM_PRECISION={v:?} is not \"f32\" or \"int8\"")),
+        ),
+        Err(_) => None,
+    })
+}
+
+/// The precision a service configured with `cfg_precision` actually
+/// serves at (the environment pin outranks the config).
+fn effective_precision(cfg_precision: Precision) -> Precision {
+    precision_pin().unwrap_or(cfg_precision)
+}
+
+/// Puts `model` into serving shape for `precision`: int8 models without
+/// calibrated scales get the deterministic synthetic calibration pass,
+/// then the precision is selected on every quantization-capable layer.
+fn apply_precision(model: &mut GapClassifier, precision: Precision) {
+    if precision == Precision::Int8 && !model.is_calibrated() {
+        model.calibrate_int8_synthetic(CALIB_LEN, CALIB_SEED);
+    }
+    model.set_precision(precision);
+}
 
 fn probe_series(d: usize) -> MultivariateSeries {
     let mut rng = SeededRng::new(PROBE_SEED);
@@ -746,7 +799,17 @@ impl RecoverySpec {
                 .iter()
                 .zip(&self.probe_logits)
                 .all(|(a, b)| (a - b).abs() <= 1e-4 * b.abs().max(1.0));
-        close.then_some(fresh)
+        if !close {
+            return None;
+        }
+        // Precision is selected only after the f32 probe validated the
+        // round-trip (the probe pair was captured before any quantization,
+        // so comparing it under int8 would reject healthy rebuilds).
+        catch_unwind(AssertUnwindSafe(move || {
+            apply_precision(&mut fresh, self.precision);
+            fresh
+        }))
+        .ok()
     }
 }
 
@@ -1032,13 +1095,19 @@ impl DcamService {
             "model must record its input dims (use the arch constructors or with_input_dims)",
         );
         let probe = probe_series(d);
+        // Probe in f32 regardless of the serving precision: the rebuild
+        // validation compares against these logits before re-quantizing.
+        let saved_precision = m0.precision();
+        m0.set_precision(Precision::F32);
         let probe_logits = m0.logits_for(&probe).data().to_vec();
+        m0.set_precision(saved_precision);
         let spec = Arc::new(RecoverySpec {
             build: Box::new(build),
             checkpoint: snapshot,
             tag,
             probe,
             probe_logits,
+            precision: effective_precision(cfg.precision),
         });
         assert!(
             spec.rebuild().is_some(),
@@ -1075,6 +1144,10 @@ impl DcamService {
                 "worker model {i}: all replicas must share (D, n_classes)"
             );
         }
+        let precision = effective_precision(cfg.precision);
+        for m in models.iter_mut() {
+            apply_precision(m, precision);
+        }
 
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
@@ -1091,6 +1164,7 @@ impl DcamService {
             latency_window: cfg.latency_window,
             expected_dims,
             n_classes,
+            precision,
         });
 
         let workers = models
@@ -1140,6 +1214,13 @@ impl DcamService {
     /// Number of classes the served models discriminate.
     pub fn n_classes(&self) -> usize {
         self.shared.n_classes
+    }
+
+    /// The inference precision the worker models serve at
+    /// ([`ServiceConfig::precision`] with the `DCAM_PRECISION` override
+    /// applied).
+    pub fn precision(&self) -> Precision {
+        self.shared.precision
     }
 
     /// Snapshot of the service counters.
@@ -1650,6 +1731,7 @@ mod tests {
             backpressure: Backpressure::Block,
             queue_policy: QueuePolicy::Fifo,
             latency_window: 128,
+            precision: Precision::F32,
         }
     }
 
@@ -1713,6 +1795,68 @@ mod tests {
         );
         let (_, stats) = service.shutdown();
         assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn int8_service_serves_and_reports_precision() {
+        let mut cfg = quick_cfg();
+        cfg.precision = Precision::Int8;
+        // The DCAM_PRECISION pin outranks the config; under a pinned run
+        // the service must report the pinned precision instead.
+        let expected = match std::env::var("DCAM_PRECISION").as_deref() {
+            Ok(v) => Precision::parse(v).unwrap(),
+            Err(_) => Precision::Int8,
+        };
+        let service = DcamService::spawn(vec![toy_model(3, 2, 21)], cfg);
+        assert_eq!(service.precision(), expected);
+        let handle = service.handle();
+        let series = toy_series(3, 16, 5);
+        let classify = handle.submit_classify(&series).unwrap().wait().unwrap();
+        assert_eq!(classify.logits.len(), 2);
+        assert!(classify.logits.iter().all(|l| l.is_finite()));
+        let explain = handle.submit(&series, 0).unwrap().wait().unwrap();
+        assert_eq!(explain.dcam.dims(), &[3, 16]);
+        assert!(explain.dcam.data().iter().all(|v| v.is_finite()));
+        service.shutdown();
+    }
+
+    /// An int8 service's logits must track the f32 service's on the same
+    /// model within quantization error — the serving-level version of the
+    /// layer tests.
+    #[test]
+    fn int8_service_logits_track_f32_service() {
+        if std::env::var("DCAM_PRECISION").is_ok() {
+            // Both spawns would serve the pinned precision; the
+            // comparison below needs one of each.
+            return;
+        }
+        let series = toy_series(3, 20, 9);
+        let f32_service = DcamService::spawn(vec![toy_model(3, 2, 22)], quick_cfg());
+        let f32_logits = f32_service
+            .handle()
+            .submit_classify(&series)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .logits;
+        f32_service.shutdown();
+
+        let mut cfg = quick_cfg();
+        cfg.precision = Precision::Int8;
+        let int8_service = DcamService::spawn(vec![toy_model(3, 2, 22)], cfg);
+        let int8_logits = int8_service
+            .handle()
+            .submit_classify(&series)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .logits;
+        int8_service.shutdown();
+
+        assert_eq!(f32_logits.len(), int8_logits.len());
+        for (a, b) in int8_logits.iter().zip(&f32_logits) {
+            assert!((a - b).abs() < 0.2, "int8 logit {a} vs f32 {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Int8 serving parity on the planted fixture: under every convolution
+//! strategy the quantized model must rank the same top dimension per
+//! instance as its f32 twin, and its deletion/insertion faithfulness
+//! AUCs must agree within 0.02 — the acceptance bound for shipping the
+//! quantized path.
+
+use dcam::dcam::{compute_dcam, DcamConfig};
+use dcam::{planted_dataset, planted_model, GapClassifier, PlantedSpec, Precision};
+use dcam_eval::{run_harness, ExplainerKind, HarnessConfig, LocalBackend};
+use dcam_nn::layers::ConvStrategy;
+
+fn spec() -> PlantedSpec {
+    PlantedSpec {
+        bump_dim: Some(2),
+        ..Default::default()
+    }
+}
+
+/// The planted model in f32, and a twin calibrated on the fixture's own
+/// dataset and switched to int8.
+fn twins() -> (GapClassifier, GapClassifier) {
+    let f32_model = planted_model(&spec());
+    let mut int8_model = planted_model(&spec());
+    let data = planted_dataset(&spec());
+    int8_model.calibrate_int8_on(&data.samples);
+    assert_eq!(int8_model.precision(), Precision::Int8);
+    (f32_model, int8_model)
+}
+
+fn dcam_cfg() -> DcamConfig {
+    DcamConfig {
+        k: 8,
+        only_correct: false,
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// The dimension with the largest mean dCAM importance.
+fn top_dim(model: &mut GapClassifier, series: &dcam_series::MultivariateSeries) -> usize {
+    let r = compute_dcam(model, series, 1, &dcam_cfg());
+    let dims = r.dcam.dims();
+    let (d, n) = (dims[0], dims[1]);
+    let data = r.dcam.data();
+    (0..d)
+        .max_by(|&a, &b| {
+            let ma: f32 = data[a * n..(a + 1) * n].iter().sum();
+            let mb: f32 = data[b * n..(b + 1) * n].iter().sum();
+            ma.total_cmp(&mb)
+        })
+        .expect("at least one dimension")
+}
+
+#[test]
+fn int8_top_dimension_matches_f32_across_conv_strategies() {
+    let data = planted_dataset(&spec());
+    for strategy in [
+        ConvStrategy::Direct,
+        ConvStrategy::Im2col,
+        ConvStrategy::Fft,
+    ] {
+        let (mut f32_model, mut int8_model) = twins();
+        f32_model.set_conv_strategy(strategy);
+        int8_model.set_conv_strategy(strategy);
+        for (s, &label) in data.samples.iter().zip(&data.labels) {
+            if label != 1 {
+                continue; // only class 1 carries a planted bump
+            }
+            let want = top_dim(&mut f32_model, s);
+            let got = top_dim(&mut int8_model, s);
+            assert_eq!(
+                got, want,
+                "top dCAM dimension diverged under {strategy:?} (f32 {want}, int8 {got})"
+            );
+        }
+    }
+}
+
+#[test]
+fn int8_faithfulness_aucs_within_acceptance_bound() {
+    let data = planted_dataset(&spec());
+    let cfg = HarnessConfig {
+        methods: vec![ExplainerKind::Dcam],
+        ..Default::default()
+    };
+    let (mut f32_model, mut int8_model) = twins();
+    let f32_report = {
+        let mut backend = LocalBackend::new(&mut f32_model);
+        run_harness(&mut backend, &data.samples, &data.labels, &cfg, None)
+            .expect("f32 harness runs")
+    };
+    let int8_report = {
+        let mut backend = LocalBackend::new(&mut int8_model);
+        run_harness(&mut backend, &data.samples, &data.labels, &cfg, None)
+            .expect("int8 harness runs")
+    };
+    let (f, q) = (&f32_report.methods[0], &int8_report.methods[0]);
+    assert!(
+        (f.deletion_auc - q.deletion_auc).abs() <= 0.02,
+        "deletion AUC drifted: f32 {} vs int8 {}",
+        f.deletion_auc,
+        q.deletion_auc
+    );
+    assert!(
+        (f.insertion_auc - q.insertion_auc).abs() <= 0.02,
+        "insertion AUC drifted: f32 {} vs int8 {}",
+        f.insertion_auc,
+        q.insertion_auc
+    );
+}

@@ -41,6 +41,13 @@ pub struct Checkpoint {
     /// Non-trainable buffers (batch-norm running statistics) in
     /// `visit_buffers` order.
     pub buffers: Vec<Vec<f32>>,
+    /// Calibrated int8 activation scales in `visit_quant` order, one per
+    /// quantization-capable layer; `0.0` encodes "no scale calibrated".
+    /// Empty for models that never calibrated — such checkpoints are
+    /// written in binary format version 1, byte-identical to pre-quant
+    /// builds; a non-empty vector bumps the written version to 2.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub quant: Vec<f32>,
 }
 
 /// Errors from checkpoint restore / IO.
@@ -58,6 +65,14 @@ pub enum CheckpointError {
         /// Parameters in the checkpoint.
         stored: usize,
         /// Parameters in the model.
+        model: usize,
+    },
+    /// The checkpoint carries int8 activation scales for a different
+    /// number of quantization-capable layers than the model has.
+    QuantCountMismatch {
+        /// Scales in the checkpoint.
+        stored: usize,
+        /// Quantization-capable layers in the model.
         model: usize,
     },
     /// A parameter's shape differs.
@@ -107,6 +122,13 @@ impl fmt::Display for CheckpointError {
             CheckpointError::ParamCountMismatch { stored, model } => {
                 write!(f, "checkpoint has {stored} parameters, model has {model}")
             }
+            CheckpointError::QuantCountMismatch { stored, model } => {
+                write!(
+                    f,
+                    "checkpoint has {stored} activation scales, model has {model} \
+                     quantization-capable layers"
+                )
+            }
             CheckpointError::ShapeMismatch {
                 index,
                 stored,
@@ -143,23 +165,44 @@ impl fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 /// Captures a checkpoint from a model.
+///
+/// Calibrated int8 activation scales (if any layer carries one) are
+/// captured alongside the weights, so restoring the checkpoint into a
+/// fresh replica reproduces the quantized model without re-calibrating.
 pub fn save(model: &mut dyn Layer, tag: impl Into<String>) -> Checkpoint {
     let mut params = Vec::new();
     model.visit_params(&mut |p| params.push(p.value.clone()));
     let mut buffers = Vec::new();
     model.visit_buffers(&mut |b| buffers.push(b.clone()));
+    let mut quant = Vec::new();
+    let mut any_scale = false;
+    model.visit_quant(&mut |q| {
+        let s = q.act_scale.unwrap_or(0.0);
+        any_scale |= s != 0.0;
+        quant.push(s);
+    });
+    if !any_scale {
+        // Never-calibrated models keep the version-1 byte layout.
+        quant.clear();
+    }
     Checkpoint {
         tag: tag.into(),
         arch: String::new(),
         params,
         buffers,
+        quant,
     }
 }
 
 /// Magic prefix of the binary checkpoint format.
 const MAGIC: &[u8; 8] = b"DCAMCKPT";
-/// Newest binary format version this build writes and reads.
-const FORMAT_VERSION: u32 = 1;
+/// Version written for checkpoints without quantization scales — the
+/// original layout, still produced so non-quantized checkpoints stay
+/// readable by older builds.
+const FORMAT_V1: u32 = 1;
+/// Newest binary format version this build writes and reads. Version 2
+/// appends the int8 activation-scale section after the buffers.
+const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash — the payload checksum of the binary format. Not
 /// cryptographic; it exists to catch bit rot and truncation, not tampering.
@@ -266,12 +309,15 @@ impl Checkpoint {
     ///
     /// ```text
     /// magic "DCAMCKPT" | version u32 | checksum u64 | payload…
-    /// payload: tag | arch | params (shape + f32 data each) | buffers
+    /// payload v1: tag | arch | params (shape + f32 data each) | buffers
+    /// payload v2: …v1 | quant scales (f32s)
     /// ```
     ///
     /// All integers are little-endian; the checksum is FNV-1a 64 over the
     /// payload bytes. [`Checkpoint::from_bytes`] inverts it exactly — the
-    /// `f32` bits round-trip untouched.
+    /// `f32` bits round-trip untouched. Checkpoints without quantization
+    /// scales are written as version 1 (byte-identical to pre-quant
+    /// builds); a calibrated model's scales append a version-2 section.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         put_str(&mut payload, &self.tag);
@@ -288,10 +334,16 @@ impl Checkpoint {
         for b in &self.buffers {
             put_f32s(&mut payload, b);
         }
+        let version = if self.quant.is_empty() {
+            FORMAT_V1
+        } else {
+            put_f32s(&mut payload, &self.quant);
+            FORMAT_VERSION
+        };
 
         let mut out = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, version);
         put_u64(&mut out, fnv1a(&payload));
         out.extend_from_slice(&payload);
         out
@@ -311,7 +363,7 @@ impl Checkpoint {
             pos: MAGIC.len(),
         };
         let version = cur.u32("format version")?;
-        if version != FORMAT_VERSION {
+        if version == 0 || version > FORMAT_VERSION {
             return Err(CheckpointError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -365,9 +417,17 @@ impl Checkpoint {
         for i in 0..n_buffers {
             buffers.push(cur.f32s(&format!("buffer {i}"))?);
         }
+        // The quant section only exists in version 2; parsing it
+        // structurally (rather than "whatever bytes remain") keeps the
+        // trailing-garbage check meaningful for both versions.
+        let quant = if version >= 2 {
+            cur.f32s("quant scales")?
+        } else {
+            Vec::new()
+        };
         if cur.remaining() != 0 {
             return Err(CheckpointError::Malformed(format!(
-                "{} trailing bytes after the last buffer",
+                "{} trailing bytes after the last section",
                 cur.remaining()
             )));
         }
@@ -376,6 +436,7 @@ impl Checkpoint {
             arch,
             params,
             buffers,
+            quant,
         })
     }
 }
@@ -473,6 +534,16 @@ pub fn restore(
             model: n_buffers,
         });
     }
+    if !checkpoint.quant.is_empty() {
+        let mut n_quant = 0;
+        model.visit_quant(&mut |_| n_quant += 1);
+        if n_quant != checkpoint.quant.len() {
+            return Err(CheckpointError::QuantCountMismatch {
+                stored: checkpoint.quant.len(),
+                model: n_quant,
+            });
+        }
+    }
     let mut idx = 0;
     model.visit_params(&mut |p| {
         p.value = checkpoint.params[idx].clone();
@@ -483,6 +554,18 @@ pub fn restore(
         b.clone_from(&checkpoint.buffers[bidx]);
         bidx += 1;
     });
+    if !checkpoint.quant.is_empty() {
+        // Restore calibrated activation scales (0.0 = none for that
+        // layer). Precision selection stays with the caller — scales
+        // alone do not switch a model to int8.
+        let mut qidx = 0;
+        model.visit_quant(&mut |q| {
+            let s = checkpoint.quant[qidx];
+            q.act_scale = (s != 0.0).then_some(s);
+            q.calibrating = false;
+            qidx += 1;
+        });
+    }
     Ok(())
 }
 
@@ -691,6 +774,61 @@ mod tests {
             Checkpoint::from_bytes(&bytes),
             Err(CheckpointError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn uncalibrated_models_still_write_version_1() {
+        let mut m = model(12);
+        let bytes = save(&mut m, "v1").to_bytes();
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        assert_eq!(version, 1, "no quant scales must keep the v1 layout");
+        let loaded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert!(loaded.quant.is_empty());
+    }
+
+    #[test]
+    fn quant_scales_round_trip_as_version_2() {
+        let mut m = model(13);
+        // Calibrate both dense layers so save() captures their scales.
+        m.visit_quant(&mut |q| {
+            q.calibrating = true;
+            q.record(2.5);
+            q.finish_calibration();
+        });
+        let ckpt = save(&mut m, "v2");
+        assert_eq!(ckpt.quant.len(), 2);
+        assert!(ckpt.quant.iter().all(|&s| s > 0.0));
+        let bytes = ckpt.to_bytes();
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        assert_eq!(version, 2);
+        let loaded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, loaded, "v2 round-trip must be bit-exact");
+
+        // Restoring into a fresh replica reproduces the scales.
+        let mut replica = model(14);
+        restore(&mut replica, &loaded, "v2").unwrap();
+        let mut scales = Vec::new();
+        replica.visit_quant(&mut |q| scales.push(q.act_scale));
+        assert_eq!(scales.len(), 2);
+        for (got, want) in scales.iter().zip(&ckpt.quant) {
+            assert_eq!(got.unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn quant_count_mismatch_rejected_without_mutation() {
+        let mut m = model(15);
+        let mut ckpt = save(&mut m, "q");
+        ckpt.quant = vec![1.0, 2.0, 3.0]; // model has 2 quant layers
+        let mut target = model(16);
+        let before = save(&mut target, "q");
+        let err = restore(&mut target, &ckpt, "q").unwrap_err();
+        assert!(matches!(err, CheckpointError::QuantCountMismatch { .. }));
+        let after = save(&mut target, "q");
+        assert_eq!(
+            before.params, after.params,
+            "model mutated on failed restore"
+        );
     }
 
     #[cfg(feature = "serde")]

@@ -79,6 +79,12 @@ impl Layer for Sequential {
             layer.visit_convs(f);
         }
     }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut crate::quant::QuantState)) {
+        for layer in &mut self.layers {
+            layer.visit_quant(f);
+        }
+    }
 }
 
 /// A residual block: `y = main(x) + shortcut(x)`.
@@ -160,6 +166,11 @@ impl Layer for Residual {
     fn visit_convs(&mut self, f: &mut dyn FnMut(&mut crate::layers::Conv2dRows)) {
         self.main.visit_convs(f);
         self.shortcut.visit_convs(f);
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut crate::quant::QuantState)) {
+        self.main.visit_quant(f);
+        self.shortcut.visit_quant(f);
     }
 }
 

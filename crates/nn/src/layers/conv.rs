@@ -3,10 +3,12 @@ use super::im2col::{col2im_acc, im2col, im2col_panel, sample_threads, split_rang
 use super::Layer;
 use crate::arena::BatchArena;
 use crate::parallel::{par_accumulate, par_chunk_zip};
+use crate::quant::QuantState;
 use crate::{init, Param};
 use dcam_tensor::{
-    gemm_nn, gemm_nt, gemm_packed_panel_batch, gemm_packed_strided_b, gemm_tn, PackedA, SeededRng,
-    Tensor,
+    dequantize_row, gemm_nn, gemm_nt, gemm_packed_panel_batch, gemm_packed_strided_b, gemm_tn,
+    k_groups, qgemm_i32, quantize_lane_into, weight_scale, PackedA, QuantizedWeights, SeededRng,
+    Tensor, ACT_ZERO_POINT,
 };
 use std::sync::OnceLock;
 
@@ -132,6 +134,31 @@ pub struct Conv2dRows {
     /// kernel spectra can never go stale.
     weight_version: u64,
     cache_x: Option<Tensor>,
+    /// Precision selection and calibrated activation scale for the int8
+    /// inference path (see [`crate::quant`]).
+    quant: QuantState,
+    /// Per-tap quantized weights for the int8 path, keyed on
+    /// `weight_version` like the fft spectra cache.
+    qweights: Option<QuantConv>,
+    /// Interleaved quantized-activation scratch for the int8 path (one
+    /// sample's padded planes), grown on demand. The arena pools only
+    /// f32 storage, so the byte/i32 scratch lives with the layer.
+    qx: Vec<u8>,
+    /// i32 accumulator scratch (`c_out × w`, one output row at a time).
+    qacc: Vec<i32>,
+}
+
+/// Per-tap quantized weights with the per-output-channel scale shared
+/// across taps — the invariant that lets all ℓ taps accumulate into one
+/// i32 buffer before a single dequantization.
+struct QuantConv {
+    taps: Vec<QuantizedWeights>,
+    /// Per-output-channel zero-point corrections, summed over taps.
+    corr: Vec<i32>,
+    /// Per-output-channel weight scales (computed over the full `c_in·ℓ`
+    /// row).
+    scales: Vec<f32>,
+    version: u64,
 }
 
 impl Conv2dRows {
@@ -191,6 +218,10 @@ impl Conv2dRows {
             fft: FftConv::new(),
             weight_version: 0,
             cache_x: None,
+            quant: QuantState::default(),
+            qweights: None,
+            qx: Vec::new(),
+            qacc: Vec::new(),
         }
     }
 
@@ -699,6 +730,131 @@ impl Conv2dRows {
         Tensor::from_vec(out_buf, &[n, c_out, h, w]).expect("conv eval shape")
     }
 
+    /// True when this call should take the quantized kernels: the int8
+    /// path is engaged ([`QuantState::engaged`]) and the geometry is a
+    /// stride-1 "same" convolution — `pad_left + pad_right + 1 == len`
+    /// makes the padded width equal `w + ℓ − 1`, so every output column
+    /// reads ℓ consecutive padded columns and the whole layer runs as ℓ
+    /// offset walks over one interleaved buffer. Every convolution in the
+    /// study's architectures satisfies this; a layer that does not simply
+    /// stays f32 (mixed precision is sound because the int8 path
+    /// dequantizes at layer boundaries anyway).
+    fn int8_eligible(&self, w: usize) -> bool {
+        self.quant.engaged()
+            && self.stride == 1
+            && self.pad_left + self.pad_right + 1 == self.len
+            && w >= self.len
+    }
+
+    /// Quantizes the weights for the int8 path: per-output-channel
+    /// symmetric scales over the **full** `c_in·ℓ` row, then one packed
+    /// `c_out × c_in` matrix per kernel tap sharing those scales.
+    fn quantize_weights(&self) -> QuantConv {
+        let (c_out, c_in, l) = (self.c_out, self.c_in, self.len);
+        let wd = self.weight.value.data();
+        let scales: Vec<f32> = (0..c_out)
+            .map(|co| {
+                let row = &wd[co * c_in * l..(co + 1) * c_in * l];
+                weight_scale(row.iter().fold(0.0f32, |a, v| a.max(v.abs())))
+            })
+            .collect();
+        let taps: Vec<QuantizedWeights> = (0..l)
+            .map(|li| {
+                QuantizedWeights::from_rows_with_scales(c_out, c_in, &scales, |co, ci| {
+                    wd[(co * c_in + ci) * l + li]
+                })
+            })
+            .collect();
+        let corr: Vec<i32> = (0..c_out)
+            .map(|co| taps.iter().map(|t| t.corr()[co]).sum())
+            .collect();
+        QuantConv {
+            taps,
+            corr,
+            scales,
+            version: self.weight_version,
+        }
+    }
+
+    /// Quantized inference forward: quantize each sample's planes once
+    /// into a zero-point-padded interleaved byte buffer, run one
+    /// [`qgemm_i32`] per kernel tap per `H`-row into a shared i32
+    /// accumulator (taps differ only in their column offset into the same
+    /// buffer), then dequantize + bias into the arena-backed f32 output.
+    ///
+    /// Unlike the f32 taps path there are no row-boundary corrections:
+    /// each `H`-row gets its own padded columns (value = zero point ⇒
+    /// exactly zero contribution), so a tap shift can never read a
+    /// neighbor row's values.
+    fn forward_eval_int8(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
+        let (n, h, w) = self.check_input(&x);
+        debug_assert_eq!(self.out_width(w), w);
+        let (c_out, c_in, l, pl) = (self.c_out, self.c_in, self.len, self.pad_left);
+        let s_act = self
+            .quant
+            .act_scale
+            .expect("int8 path requires calibration");
+        let inv_s = 1.0 / s_act;
+        if self
+            .qweights
+            .as_ref()
+            .is_none_or(|q| q.version != self.weight_version)
+        {
+            self.qweights = Some(self.quantize_weights());
+        }
+        let hw = h * w;
+        let g4 = k_groups(c_in);
+        let wp = w + l - 1; // pl + pr + 1 == l ⇒ padded width
+        let qx_len = g4 * h * wp * 4;
+        self.qx.clear();
+        self.qx.resize(qx_len, ACT_ZERO_POINT as u8);
+        self.qacc.resize(c_out * w, 0);
+        let mut out_buf = arena.take(n * c_out * hw);
+        let xd = x.data();
+        let bd = self.bias.value.data();
+        let qc = self.qweights.as_ref().expect("just built");
+        for si in 0..n {
+            let xs = &xd[si * c_in * hw..(si + 1) * c_in * hw];
+            if si > 0 {
+                self.qx.fill(ACT_ZERO_POINT as u8);
+            }
+            for ci in 0..c_in {
+                let (g, lane) = (ci / 4, ci % 4);
+                for hi in 0..h {
+                    let src = &xs[ci * hw + hi * w..ci * hw + hi * w + w];
+                    let base = ((g * h + hi) * wp + pl) * 4 + lane;
+                    quantize_lane_into(src, inv_s, &mut self.qx[base..]);
+                }
+            }
+            let y = &mut out_buf[si * c_out * hw..(si + 1) * c_out * hw];
+            for hi in 0..h {
+                for (li, tap) in qc.taps.iter().enumerate() {
+                    qgemm_i32(
+                        tap,
+                        &self.qx[hi * wp * 4..],
+                        h * wp * 4,
+                        li,
+                        w,
+                        &mut self.qacc,
+                        w,
+                        li != 0,
+                    );
+                }
+                for co in 0..c_out {
+                    dequantize_row(
+                        &self.qacc[co * w..(co + 1) * w],
+                        qc.corr[co],
+                        qc.scales[co] * s_act,
+                        bd[co],
+                        &mut y[co * hw + hi * w..co * hw + hi * w + w],
+                    );
+                }
+            }
+        }
+        arena.recycle(x);
+        Tensor::from_vec(out_buf, &[n, c_out, h, w]).expect("conv int8 eval shape")
+    }
+
     fn backward_im2col(
         &mut self,
         x: &Tensor,
@@ -796,6 +952,10 @@ impl Conv2dRows {
 impl Layer for Conv2dRows {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (n, h, w) = self.check_input(x);
+        if self.quant.calibrating && !train {
+            self.quant
+                .record(x.data().iter().fold(0.0f32, |a, v| a.max(v.abs())));
+        }
         let wo = self.out_width(w);
         let out = match self.resolve(h, wo) {
             ConvStrategy::Im2col => self.forward_im2col(x, n, h, w, wo),
@@ -810,6 +970,13 @@ impl Layer for Conv2dRows {
 
     fn forward_eval(&mut self, x: Tensor, arena: &mut BatchArena) -> Tensor {
         let (_, h, w) = self.check_input(&x);
+        if self.quant.calibrating {
+            self.quant
+                .record(x.data().iter().fold(0.0f32, |a, v| a.max(v.abs())));
+        }
+        if self.int8_eligible(w) {
+            return self.forward_eval_int8(x, arena);
+        }
         let wo = self.out_width(w);
         match self.resolve(h, wo) {
             ConvStrategy::Im2col => {
@@ -858,6 +1025,10 @@ impl Layer for Conv2dRows {
 
     fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2dRows)) {
         f(self);
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut QuantState)) {
+        f(&mut self.quant);
     }
 }
 
@@ -1009,6 +1180,62 @@ mod tests {
             let got2 = conv.forward_eval(x.clone(), &mut arena);
             assert!(got2.allclose(&want, 1e-5), "{strategy:?} second call");
         }
+    }
+
+    #[test]
+    fn int8_eval_tracks_f32_within_quantization_error() {
+        use crate::arena::BatchArena;
+        use crate::quant::Precision;
+        let mut rng = SeededRng::new(21);
+        // Odd and even kernels, multi-row planes, multi-sample batch.
+        for len in [3usize, 4, 5] {
+            let x = Tensor::uniform(&[3, 5, 4, 19], -1.2, 1.2, &mut rng);
+            let mut conv = Conv2dRows::same(5, 7, len, &mut SeededRng::new(13));
+            conv.bias.value = Tensor::uniform(&[7], -0.3, 0.3, &mut rng);
+            let want = conv.forward(&x, false);
+
+            conv.visit_quant(&mut |q| {
+                q.precision = Precision::Int8;
+                q.calibrating = true;
+            });
+            let mut arena = BatchArena::new();
+            let _ = conv.forward_eval(x.clone(), &mut arena);
+            conv.visit_quant(&mut |q| q.finish_calibration());
+            assert!(conv.int8_eligible(19), "same conv must be eligible");
+
+            let got = conv.forward_eval(x.clone(), &mut arena);
+            assert_eq!(got.dims(), want.dims());
+            let worst = got
+                .data()
+                .iter()
+                .zip(want.data())
+                .fold(0.0f32, |a, (x, y)| a.max((x - y).abs()));
+            assert!(worst < 0.08, "len={len}: worst abs error {worst}");
+            // Steady state reuses the quantized weights + scratch.
+            let got2 = conv.forward_eval(x.clone(), &mut arena);
+            assert!(
+                got2.allclose(&got, 0.0),
+                "len={len}: int8 must be deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_path_disengages_for_non_same_geometry() {
+        use crate::quant::Precision;
+        let mut rng = SeededRng::new(22);
+        // Strided conv: not eligible, silently stays f32.
+        let mut conv = Conv2dRows::new(3, 4, 5, 2, 2, &mut SeededRng::new(5));
+        conv.visit_quant(&mut |q| {
+            q.precision = Precision::Int8;
+            q.act_scale = Some(0.01);
+        });
+        assert!(!conv.int8_eligible(32));
+        let x = Tensor::uniform(&[2, 3, 3, 32], -1.0, 1.0, &mut rng);
+        let want = conv.forward(&x, false);
+        let mut arena = crate::arena::BatchArena::new();
+        let got = conv.forward_eval(x, &mut arena);
+        assert!(got.allclose(&want, 1e-5));
     }
 
     #[test]

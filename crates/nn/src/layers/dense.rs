@@ -1,6 +1,10 @@
 use super::Layer;
+use crate::quant::QuantState;
 use crate::{init, Param};
-use dcam_tensor::{SeededRng, Tensor};
+use dcam_tensor::{
+    dequantize_row, k_groups, qgemm_i32, quantize_transpose_into, QuantizedWeights, SeededRng,
+    Tensor,
+};
 
 /// Fully connected layer: `(N, in) -> (N, out)`, `y = x W^T + b`.
 ///
@@ -12,6 +16,21 @@ pub struct Dense {
     in_dim: usize,
     out_dim: usize,
     cache_x: Option<Tensor>,
+    /// Bumped on every [`Layer::visit_params`] call (the choke point all
+    /// external weight mutation flows through) so the quantized-weight
+    /// cache can never go stale — same idiom as the convolution's
+    /// fft-spectra cache key.
+    weight_version: u64,
+    /// Precision selection and calibrated activation scale for the int8
+    /// inference path (see [`crate::quant`]).
+    quant: QuantState,
+    /// Quantized weights for the int8 path, keyed on `weight_version`.
+    qweights: Option<(QuantizedWeights, u64)>,
+    /// Interleaved quantized-activation scratch (the arena pools only f32
+    /// storage).
+    qx: Vec<u8>,
+    /// i32 accumulator scratch.
+    qacc: Vec<i32>,
 }
 
 impl Dense {
@@ -26,6 +45,11 @@ impl Dense {
             in_dim,
             out_dim,
             cache_x: None,
+            weight_version: 0,
+            quant: QuantState::default(),
+            qweights: None,
+            qx: Vec::new(),
+            qacc: Vec::new(),
         }
     }
 
@@ -44,6 +68,52 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.out_dim
     }
+
+    /// Quantized eval forward: `W` per-output-row symmetric, `x`
+    /// quantize-transposed into one column per sample, exact i32
+    /// accumulation, dequantize + bias into the f32 output. Same result
+    /// contract as the convolution's int8 path: quantization error only,
+    /// no accumulation error.
+    fn forward_int8(&mut self, x: &Tensor, n: usize) -> Tensor {
+        let (out_dim, in_dim) = (self.out_dim, self.in_dim);
+        let s_act = self
+            .quant
+            .act_scale
+            .expect("int8 path requires calibration");
+        if self
+            .qweights
+            .as_ref()
+            .is_none_or(|(_, v)| *v != self.weight_version)
+        {
+            let wd = self.weight.value.data();
+            self.qweights = Some((
+                QuantizedWeights::from_rows(out_dim, in_dim, |i, p| wd[i * in_dim + p]),
+                self.weight_version,
+            ));
+        }
+        let (qw, _) = self.qweights.as_ref().expect("just built");
+        self.qx.resize(k_groups(in_dim) * n * 4, 0);
+        quantize_transpose_into(x.data(), n, in_dim, 1.0 / s_act, &mut self.qx);
+        self.qacc.resize(out_dim * n, 0);
+        qgemm_i32(qw, &self.qx, n * 4, 0, n, &mut self.qacc, n, false);
+        let bd = self.bias.value.data();
+        let mut y = Tensor::zeros(&[n, out_dim]);
+        let yd = y.data_mut();
+        let mut row = vec![0.0f32; n];
+        for i in 0..out_dim {
+            dequantize_row(
+                &self.qacc[i * n..(i + 1) * n],
+                qw.corr()[i],
+                qw.scales()[i] * s_act,
+                bd[i],
+                &mut row,
+            );
+            for (j, &v) in row.iter().enumerate() {
+                yd[j * out_dim + i] = v;
+            }
+        }
+        y
+    }
 }
 
 impl Layer for Dense {
@@ -52,6 +122,16 @@ impl Layer for Dense {
         assert_eq!(d.len(), 2, "Dense expects (N, in), got {d:?}");
         assert_eq!(d[1], self.in_dim, "feature mismatch");
         let n = d[0];
+        if !train {
+            // The eval path hooks `forward` (not `forward_eval`) because
+            // model heads call `forward(x, false)` directly.
+            if self.quant.calibrating {
+                self.quant
+                    .record(x.data().iter().fold(0.0f32, |a, v| a.max(v.abs())));
+            } else if self.quant.engaged() {
+                return self.forward_int8(x, n);
+            }
+        }
         // y = x (out,in)^T -> use matmul_nt: (n,in) x (out,in)^T
         let mut y = x.matmul_nt(&self.weight.value).expect("dense matmul");
         let bd = self.bias.value.data().to_vec();
@@ -94,14 +174,23 @@ impl Layer for Dense {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Assume the visitor mutates (optimizer steps, checkpoint
+        // restores, `copy_params`): a spurious bump only costs one
+        // re-quantization on the next int8 call.
+        self.weight_version = self.weight_version.wrapping_add(1);
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut QuantState)) {
+        f(&mut self.quant);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::quant::Precision;
 
     #[test]
     fn forward_matches_manual() {
@@ -146,5 +235,38 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let mut d = Dense::new(7, 3, &mut rng);
         assert_eq!(d.param_count(), 7 * 3 + 3);
+    }
+
+    #[test]
+    fn int8_forward_tracks_f32() {
+        let mut rng = SeededRng::new(3);
+        let mut d = Dense::new(12, 4, &mut rng);
+        let x = Tensor::uniform(&[5, 12], -1.5, 1.5, &mut rng);
+        let want = d.forward(&x, false);
+
+        // Calibrate on the same batch, then switch to int8.
+        d.visit_quant(&mut |q| {
+            q.precision = Precision::Int8;
+            q.calibrating = true;
+        });
+        let _ = d.forward(&x, false);
+        d.visit_quant(&mut |q| q.finish_calibration());
+        let got = d.forward(&x, false);
+        assert_eq!(got.dims(), want.dims());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+
+        // Weight mutation through visit_params invalidates the cache.
+        d.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v = -*v;
+            }
+        });
+        let flipped = d.forward(&x, false);
+        for (a, b) in flipped.data().iter().zip(want.data()) {
+            // y = −Wx − b; with zero bias this is exactly −y.
+            assert!((a + b).abs() < 0.05, "{a} vs {b}");
+        }
     }
 }

@@ -74,6 +74,14 @@ pub trait Layer: Send {
     /// knowing the network's structure.
     fn visit_convs(&mut self, _f: &mut dyn FnMut(&mut Conv2dRows)) {}
 
+    /// Visits the quantization state of every quantization-capable layer
+    /// (convolution and dense) in a construction-stable order. Containers
+    /// forward the visitor; other leaves ignore it. Model-level tooling
+    /// uses this to select [`Precision`](crate::quant::Precision), drive
+    /// calibration passes, and read or restore activation scales — see
+    /// [`crate::quant`].
+    fn visit_quant(&mut self, _f: &mut dyn FnMut(&mut crate::quant::QuantState)) {}
+
     /// Zeroes all accumulated parameter gradients.
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
@@ -105,5 +113,8 @@ impl Layer for Box<dyn Layer> {
     }
     fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2dRows)) {
         (**self).visit_convs(f)
+    }
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut crate::quant::QuantState)) {
+        (**self).visit_quant(f)
     }
 }

@@ -61,6 +61,7 @@ pub mod masking;
 pub mod optim;
 mod parallel;
 mod param;
+pub mod quant;
 pub mod recurrent;
 pub mod trainer;
 
@@ -69,3 +70,4 @@ pub use init::{kaiming, xavier};
 pub use layers::Layer;
 pub use parallel::{par_accumulate, par_chunk_zip, thread_count};
 pub use param::Param;
+pub use quant::{Precision, QuantState};

@@ -1,0 +1,95 @@
+//! Inference precision selection and per-layer quantization state.
+//!
+//! The int8 path keeps f32 as the storage and training format: weights
+//! stay f32 `Param`s, and quantized copies are derived on demand (keyed on
+//! the layer's weight version, so optimizer steps and checkpoint restores
+//! invalidate them). What *persists* per layer is only this module's
+//! [`QuantState`]: the selected [`Precision`] plus the calibrated
+//! per-tensor activation scale. Calibration is a recording pass — set
+//! [`QuantState::calibrating`], run f32 forwards over a representative
+//! batch so each layer tracks its input absolute maximum, then latch the
+//! scales with [`QuantState::finish_calibration`].
+
+use std::fmt;
+
+/// Numeric precision of a model's inference path. Training always runs
+/// f32; `Int8` only changes `forward_eval` (and the eval-mode dense
+/// forward), quantizing per layer and dequantizing at layer boundaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full-precision float path (the accuracy oracle).
+    #[default]
+    F32,
+    /// Quantized path: per-output-channel 7-bit symmetric weights,
+    /// per-tensor unsigned 8-bit activations, exact i32 accumulation.
+    Int8,
+}
+
+impl Precision {
+    /// Parses `"f32"` / `"int8"` (the CLI / env / wire spelling).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire spelling (`"f32"` / `"int8"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-layer quantization state, visited through
+/// [`Layer::visit_quant`](crate::layers::Layer::visit_quant).
+#[derive(Clone, Debug, Default)]
+pub struct QuantState {
+    /// Selected inference precision. The quantized path additionally
+    /// requires a calibrated [`QuantState::act_scale`] before it engages,
+    /// so a model switched to `Int8` without calibration keeps serving
+    /// f32 answers instead of garbage.
+    pub precision: Precision,
+    /// When set, eval-mode forwards record the input absolute maximum
+    /// into [`QuantState::absmax`] and stay on the f32 path.
+    pub calibrating: bool,
+    /// Largest input magnitude observed during the current calibration
+    /// pass.
+    pub absmax: f32,
+    /// Calibrated per-tensor activation scale (`absmax / 127`); `None`
+    /// until a calibration pass or checkpoint restore provides one.
+    pub act_scale: Option<f32>,
+}
+
+impl QuantState {
+    /// True when the quantized kernels should run: precision is `Int8`,
+    /// an activation scale has been calibrated, and this is not a
+    /// calibration (recording) pass.
+    pub fn engaged(&self) -> bool {
+        self.precision == Precision::Int8 && !self.calibrating && self.act_scale.is_some()
+    }
+
+    /// Folds one observed input magnitude into the calibration record.
+    #[inline]
+    pub fn record(&mut self, absmax: f32) {
+        if absmax > self.absmax {
+            self.absmax = absmax;
+        }
+    }
+
+    /// Ends a calibration pass, latching the recorded maximum into the
+    /// activation scale.
+    pub fn finish_calibration(&mut self) {
+        self.calibrating = false;
+        self.act_scale = Some(dcam_tensor::activation_scale(self.absmax));
+    }
+}

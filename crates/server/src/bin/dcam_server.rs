@@ -3,14 +3,16 @@
 //! process is killed.
 //!
 //! ```text
-//! # multi-model: load binary checkpoints into a registry (repeatable flag)
-//! dcam_server --model starlight=/path/a.ckpt --model shapes=/path/b.ckpt
+//! # multi-model: load binary checkpoints into a registry (repeatable
+//! # flag; a ",precision=int8" suffix serves that model quantized)
+//! dcam_server --model starlight=/path/a.ckpt --model shapes=/path/b.ckpt,precision=int8
 //!
 //! # single synthetic model (untrained Tiny dCNN, the pre-registry default)
 //! dcam_server [--dims 3] [--classes 2]
 //!
 //! # deterministic planted-weights fixture model (see dcam::fixture) —
-//! # what the eval smoke test evaluates against
+//! # what the eval smoke test evaluates against; with --precision int8 it
+//! # is calibrated on its own planted dataset before serving
 //! dcam_server --planted planted
 //!
 //! # write a demo checkpoint (Tiny dCNN, random weights) and exit
@@ -19,12 +21,20 @@
 //! # common flags
 //!   [--addr 127.0.0.1:0] [--k 8] [--workers 1] [--conn-workers 2]
 //!   [--port-file PATH] [--fault-injection] [--run-seconds N]
-//!   [--admin-token TOKEN]
+//!   [--admin-token TOKEN] [--precision f32|int8] [--jobs-dir PATH]
 //! ```
 //!
 //! `--admin-token` gates the `POST /v1/models/{name}/swap` operator
 //! endpoint behind a matching `X-Admin-Token` header (401 without one,
 //! 403 on mismatch).
+//!
+//! `--precision int8` serves every model loaded by this process through
+//! the quantized int8 inference path (checkpointed activation scales are
+//! used when present; models without scales are calibrated before
+//! serving). A per-model `,precision=` suffix on `--model` overrides it.
+//!
+//! `--jobs-dir` persists finished `/v1/eval` and `/v1/analyze` reports to
+//! disk so they survive a restart (see `ServerConfig::jobs_dir`).
 //!
 //! `--port-file` writes the bound address (host:port) to a file once the
 //! listener is up — the CI smoke job uses it to find the ephemeral port.
@@ -35,7 +45,7 @@ use dcam::arch::{cnn, ArchDescriptor, ArchFamily, InputEncoding, ModelScale};
 use dcam::dcam::DcamConfig;
 use dcam::registry::{checkpoint_model, ModelRegistry};
 use dcam::service::{replicate_model, DcamService, ServiceConfig};
-use dcam::{planted_model, PlantedSpec};
+use dcam::{planted_dataset, planted_model, PlantedSpec, Precision};
 use dcam_server::{serve_registry, ServerConfig};
 use dcam_tensor::SeededRng;
 use std::sync::Arc;
@@ -59,6 +69,13 @@ fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
     arg_value(args, name)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn parse_precision(s: &str) -> Precision {
+    Precision::parse(s).unwrap_or_else(|| {
+        eprintln!("precision wants f32|int8, got {s:?}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -93,7 +110,13 @@ fn main() {
         return;
     }
 
-    let mut service_cfg = ServiceConfig::default();
+    let precision = arg_value(&args, "--precision")
+        .map(|p| parse_precision(&p))
+        .unwrap_or_default();
+    let mut service_cfg = ServiceConfig {
+        precision,
+        ..ServiceConfig::default()
+    };
     service_cfg.batcher.many.dcam = DcamConfig {
         k,
         only_correct: false,
@@ -107,7 +130,17 @@ fn main() {
         // Deterministic planted-weights fixture: perfect classifier on its
         // own synthetic dataset, no training — the eval smoke target.
         let build = || planted_model(&PlantedSpec::default());
-        let models = replicate_model(build(), workers, build);
+        let mut models = replicate_model(build(), workers, build);
+        if precision == Precision::Int8 {
+            // Calibrate on the fixture's own dataset: representative
+            // activations give tighter scales than the synthetic fallback
+            // the service would otherwise fall back to.
+            let ds = planted_dataset(&PlantedSpec::default());
+            let calib = &ds.samples[..ds.samples.len().min(16)];
+            for m in models.iter_mut() {
+                m.calibrate_int8_on(calib);
+            }
+        }
         let service = DcamService::spawn_with_recovery(models, service_cfg.clone(), build);
         registry
             .register(name, service, "planted(dCNN)", service_cfg.clone())
@@ -132,12 +165,31 @@ fn main() {
             .expect("register default model");
     } else {
         for spec in &model_flags {
-            let Some((name, path)) = spec.split_once('=') else {
-                eprintln!("--model wants name=path, got {spec:?}");
+            let Some((name, rest)) = spec.split_once('=') else {
+                eprintln!("--model wants name=path[,precision=f32|int8], got {spec:?}");
                 std::process::exit(2);
             };
+            let mut cfg = service_cfg.clone();
+            let path = match rest.split_once(',') {
+                Some((path, opts)) => {
+                    for opt in opts.split(',') {
+                        match opt.split_once('=') {
+                            Some(("precision", p)) => cfg.precision = parse_precision(p),
+                            _ => {
+                                eprintln!(
+                                    "unknown --model option {opt:?} \
+                                     (supported: precision=f32|int8)"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                    path
+                }
+                None => rest,
+            };
             registry
-                .register_from_checkpoint(name, path, service_cfg.clone(), workers)
+                .register_from_checkpoint(name, path, cfg, workers)
                 .unwrap_or_else(|e| panic!("cannot load model {name:?}: {e}"));
         }
     }
@@ -147,6 +199,7 @@ fn main() {
         conn_workers: arg_parse(&args, "--conn-workers", 2),
         enable_fault_injection: args.iter().any(|a| a == "--fault-injection"),
         admin_token: arg_value(&args, "--admin-token"),
+        jobs_dir: arg_value(&args, "--jobs-dir").map(std::path::PathBuf::from),
         ..Default::default()
     };
     let server = serve_registry(Arc::clone(&registry), server_cfg).expect("bind listener");

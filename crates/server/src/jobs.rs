@@ -251,6 +251,15 @@ impl<S, R: Clone> JobStore<S, R> {
         }
     }
 
+    /// Raises the id counter so future submits allocate ids strictly
+    /// greater than `id`. Used when persisted job reports are reloaded at
+    /// boot: a fresh store must never hand out an id that already names a
+    /// report on disk.
+    pub fn reserve_through(&self, id: u64) {
+        let mut st = self.lock();
+        st.next_id = st.next_id.max(id);
+    }
+
     /// Wakes the runner thread (used alongside raising the shutdown flag)
     /// and cancels every unfinished job so mid-flight work bails at its
     /// next stage boundary instead of stalling the join.
@@ -333,6 +342,16 @@ mod tests {
         assert!(jobs.cancel(99).is_none());
         let shutdown = AtomicBool::new(true);
         assert!(jobs.next_job(&shutdown).is_none());
+    }
+
+    #[test]
+    fn reserve_through_floors_future_ids() {
+        let jobs = Store::new(2);
+        jobs.reserve_through(41);
+        assert_eq!(jobs.submit(spec()), Some(42));
+        // Reserving below the counter never rolls ids backwards.
+        jobs.reserve_through(3);
+        assert_eq!(jobs.submit(spec()), Some(43));
     }
 
     #[test]

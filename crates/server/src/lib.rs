@@ -99,7 +99,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -171,6 +173,15 @@ pub struct ServerConfig {
     /// so a single job already saturates the runner — the bound is small
     /// by default.
     pub analyze_capacity: usize,
+    /// When set, every finished `/v1/eval` and `/v1/analyze` report is
+    /// also written to this directory as `eval-{id}.json` /
+    /// `analyze-{id}.json` (unique temp file + atomic rename, the same
+    /// idiom as checkpoint saves) and survives a restart: `GET` answers
+    /// for ids the in-memory store no longer knows fall back to the
+    /// persisted report, and fresh job ids are reserved past anything
+    /// already on disk so an old report is never shadowed. `None` keeps
+    /// reports in memory only.
+    pub jobs_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -188,6 +199,7 @@ impl Default for ServerConfig {
             faults: Arc::new(ServerFaults::default()),
             eval_capacity: 4,
             analyze_capacity: 2,
+            jobs_dir: None,
         }
     }
 }
@@ -320,6 +332,15 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let eval = JobStore::new(cfg.eval_capacity);
+    let analyze = JobStore::new(cfg.analyze_capacity);
+    if let Some(dir) = cfg.jobs_dir.as_deref() {
+        // A bad jobs directory should fail boot loudly, not surface as
+        // silently non-durable reports later.
+        std::fs::create_dir_all(dir)?;
+        eval.reserve_through(max_persisted_id(dir, "eval"));
+        analyze.reserve_through(max_persisted_id(dir, "analyze"));
+    }
     let ctx = Arc::new(Ctx {
         registry,
         cfg: cfg.clone(),
@@ -327,8 +348,8 @@ pub fn serve_registry(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> io::Re
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(VecDeque::new()),
         conns_ready: Condvar::new(),
-        eval: JobStore::new(cfg.eval_capacity),
-        analyze: JobStore::new(cfg.analyze_capacity),
+        eval,
+        analyze,
     });
     let eval_thread = {
         let ctx = Arc::clone(&ctx);
@@ -1262,18 +1283,84 @@ fn handle_eval_submit(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
     }
 }
 
+/// The on-disk location of a persisted job report.
+fn report_path(dir: &Path, kind: &str, id: u64) -> PathBuf {
+    dir.join(format!("{kind}-{id}.json"))
+}
+
+/// The highest job id with a persisted `{kind}-{id}.json` report in
+/// `dir` (0 when there is none). Foreign files are ignored — the
+/// directory is operator-owned and a stray file must not stop boot.
+fn max_persisted_id(dir: &Path, kind: &str) -> u64 {
+    let prefix = format!("{kind}-");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix(&prefix)?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Writes a finished job's rendered `GET` body to
+/// `{dir}/{kind}-{id}.json` through a unique temp file and an atomic
+/// rename, so a crash mid-write can never leave a half-written report
+/// where [`read_persisted_report`] would find it. Persistence failures
+/// are logged and swallowed — the in-memory report still serves.
+fn persist_report(dir: &Path, kind: &str, id: u64, body: &str) {
+    let path = report_path(dir, kind, id);
+    let tmp = dir.join(format!(".{kind}-{id}.json.tmp-{}", std::process::id()));
+    let write = || -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &path)
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        eprintln!(
+            "dcam-server: cannot persist {kind} job {id} to {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// A persisted report's body, verbatim — the fallback when the in-memory
+/// store no longer knows the id (server restart, or eviction past the
+/// retention bound).
+fn read_persisted_report(dir: &Path, kind: &str, id: u64) -> Option<String> {
+    std::fs::read_to_string(report_path(dir, kind, id)).ok()
+}
+
 /// `GET /v1/eval/{id}`: job status, plus the report once done or the
-/// failure message once failed.
+/// failure message once failed. Ids unknown to the in-memory store fall
+/// back to a report persisted under [`ServerConfig::jobs_dir`].
 fn handle_eval_status(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
     match ctx.eval.status(id) {
-        None => respond(
-            conn,
-            ctx,
-            404,
-            &[],
-            &wire::error_body("unknown_job", &format!("no eval job {id}")),
-            false,
-        ),
+        None => match ctx
+            .cfg
+            .jobs_dir
+            .as_deref()
+            .and_then(|dir| read_persisted_report(dir, "eval", id))
+        {
+            Some(body) => respond(conn, ctx, 200, &[], &body, false),
+            None => respond(
+                conn,
+                ctx,
+                404,
+                &[],
+                &wire::error_body("unknown_job", &format!("no eval job {id}")),
+                false,
+            ),
+        },
         Some(status) => {
             let body = match &status {
                 JobStatus::Done(report) => {
@@ -1318,6 +1405,10 @@ fn handle_eval_cancel(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
 fn eval_runner(ctx: &Ctx) {
     while let Some((id, spec, cancel)) = ctx.eval.next_job(&ctx.shutdown) {
         let result = run_eval_job(ctx, spec, &cancel);
+        if let (Some(dir), Ok(report)) = (ctx.cfg.jobs_dir.as_deref(), &result) {
+            let body = wire::eval_status_body(id, "done", Some(report), None);
+            persist_report(dir, "eval", id, &body);
+        }
         ctx.eval.finish(id, result);
     }
 }
@@ -1465,17 +1556,26 @@ fn handle_analyze_submit(conn: &mut Conn, req: &Request, ctx: &Ctx) -> After {
 }
 
 /// `GET /v1/analyze/{id}`: job status, plus the motif report once done or
-/// the failure message once failed.
+/// the failure message once failed. Ids unknown to the in-memory store
+/// fall back to a report persisted under [`ServerConfig::jobs_dir`].
 fn handle_analyze_status(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
     match ctx.analyze.status(id) {
-        None => respond(
-            conn,
-            ctx,
-            404,
-            &[],
-            &wire::error_body("unknown_job", &format!("no analyze job {id}")),
-            false,
-        ),
+        None => match ctx
+            .cfg
+            .jobs_dir
+            .as_deref()
+            .and_then(|dir| read_persisted_report(dir, "analyze", id))
+        {
+            Some(body) => respond(conn, ctx, 200, &[], &body, false),
+            None => respond(
+                conn,
+                ctx,
+                404,
+                &[],
+                &wire::error_body("unknown_job", &format!("no analyze job {id}")),
+                false,
+            ),
+        },
         Some(status) => {
             let body = match &status {
                 JobStatus::Done(report) => {
@@ -1520,6 +1620,10 @@ fn handle_analyze_cancel(conn: &mut Conn, ctx: &Ctx, id: u64) -> After {
 fn analyze_runner(ctx: &Ctx) {
     while let Some((id, spec, cancel)) = ctx.analyze.next_job(&ctx.shutdown) {
         let result = run_analyze_job(ctx, spec, &cancel);
+        if let (Some(dir), Ok(report)) = (ctx.cfg.jobs_dir.as_deref(), &result) {
+            let body = wire::analyze_status_body(id, "done", Some(report), None);
+            persist_report(dir, "analyze", id, &body);
+        }
         ctx.analyze.finish(id, result);
     }
 }

@@ -227,7 +227,8 @@ pub fn classify_body(c: &Classification) -> String {
 }
 
 /// The `GET /v1/models` body: every registered model with its version,
-/// architecture descriptor, geometry and per-model stats.
+/// architecture descriptor, geometry, serving precision and per-model
+/// stats.
 pub fn models_body(models: &[ModelInfo]) -> String {
     let v = obj(vec![(
         "models",
@@ -242,6 +243,7 @@ pub fn models_body(models: &[ModelInfo]) -> String {
                         ("dims", num(m.dims as f64)),
                         ("classes", num(m.n_classes as f64)),
                         ("workers", num(m.workers as f64)),
+                        ("precision", Value::String(m.precision.as_str().into())),
                         ("stats", service_stats_value(&m.stats)),
                     ])
                 })

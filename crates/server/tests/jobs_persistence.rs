@@ -1,0 +1,180 @@
+//! Acceptance tests for job-report persistence (`ServerConfig::jobs_dir`)
+//! and the `precision` field of `GET /v1/models`: a finished `/v1/analyze`
+//! report written by the runner must survive a server restart verbatim,
+//! restored ids must never be reused by fresh submissions, and the models
+//! listing must advertise the precision the service actually serves at.
+
+use dcam::service::ServiceConfig;
+use dcam::{planted_dataset, planted_model, DcamService, PlantedSpec, Precision};
+use dcam_server::{serve, DcamServer, HttpClient, ServerConfig};
+use serde::Value;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn boot(server_cfg: ServerConfig) -> DcamServer {
+    let service = DcamService::spawn(
+        vec![planted_model(&PlantedSpec::default())],
+        ServiceConfig::default(),
+    );
+    serve(service, server_cfg).expect("server boots on an ephemeral port")
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcam-jobs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A cheap `POST /v1/analyze` body over the planted dataset: one cluster,
+/// one refinement iteration — the lifecycle is under test, not the mining.
+fn analyze_body() -> String {
+    let data = planted_dataset(&PlantedSpec::default());
+    let series = Value::Array(
+        data.samples
+            .iter()
+            .map(|s| {
+                Value::Array(
+                    (0..s.n_dims())
+                        .map(|j| {
+                            Value::Array(
+                                s.dim(j).iter().map(|&x| Value::Number(x as f64)).collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let labels = Value::Array(
+        data.labels
+            .iter()
+            .map(|&l| Value::Number(l as f64))
+            .collect(),
+    );
+    serde_json::to_string(&Value::Object(vec![
+        ("series".to_string(), series),
+        ("labels".to_string(), labels),
+        ("clusters".to_string(), Value::Number(1.0)),
+        ("kmeans_iters".to_string(), Value::Number(1.0)),
+        ("dba_iters".to_string(), Value::Number(1.0)),
+        ("top_windows".to_string(), Value::Number(1.0)),
+    ]))
+    .expect("body serializes")
+}
+
+fn job_id(v: &Value) -> u64 {
+    v.get("id")
+        .and_then(Value::as_usize)
+        .expect("submit response carries an id") as u64
+}
+
+/// Polls `GET /v1/analyze/{id}` until the job reaches a terminal status.
+fn poll_until_terminal(client: &mut HttpClient, id: u64) -> (String, Value) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client
+            .get(&format!("/v1/analyze/{id}"))
+            .expect("poll succeeds");
+        assert_eq!(resp.status, 200, "poll body: {}", resp.body);
+        let v = resp.json().expect("poll body is JSON");
+        let status = v
+            .get("status")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        match status.as_str() {
+            "done" | "failed" | "cancelled" => return (status, v),
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+#[test]
+fn finished_reports_survive_restart() {
+    let dir = fresh_dir("restart");
+    let cfg = ServerConfig {
+        jobs_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+
+    // First server lifetime: run one analyze job to completion.
+    let server = boot(cfg.clone());
+    let mut client = HttpClient::connect(&server.addr().to_string()).expect("connect");
+    let resp = client.post("/v1/analyze", &analyze_body()).expect("submit");
+    assert_eq!(resp.status, 202, "submit body: {}", resp.body);
+    let id = job_id(&resp.json().expect("submit body is JSON"));
+    let (status, first) = poll_until_terminal(&mut client, id);
+    assert_eq!(status, "done", "first run: {first:?}");
+    drop(client);
+    server.shutdown();
+    assert!(
+        dir.join(format!("analyze-{id}.json")).exists(),
+        "finished report must be on disk after shutdown"
+    );
+
+    // Second lifetime over the same directory: the report is still
+    // pollable, ids move past it, unknown ids still 404.
+    let server = boot(cfg);
+    let mut client = HttpClient::connect(&server.addr().to_string()).expect("connect");
+    let resp = client
+        .get(&format!("/v1/analyze/{id}"))
+        .expect("restored poll succeeds");
+    assert_eq!(resp.status, 200, "restored body: {}", resp.body);
+    let restored = resp.json().expect("restored body is JSON");
+    assert_eq!(restored.get("status").and_then(Value::as_str), Some("done"));
+    assert_eq!(
+        restored.get("report"),
+        first.get("report"),
+        "restored report must match what the first server served"
+    );
+    let resp = client
+        .post("/v1/analyze", &analyze_body())
+        .expect("fresh submit succeeds");
+    assert_eq!(resp.status, 202, "fresh submit body: {}", resp.body);
+    let id2 = job_id(&resp.json().expect("fresh submit body is JSON"));
+    assert!(
+        id2 > id,
+        "fresh ids must be reserved past persisted ones ({id2} vs {id})"
+    );
+    let resp = client
+        .get("/v1/analyze/999999")
+        .expect("unknown id answers");
+    assert_eq!(resp.status, 404);
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn models_body_reports_serving_precision() {
+    let service_cfg = ServiceConfig {
+        precision: Precision::Int8,
+        ..ServiceConfig::default()
+    };
+    let service = DcamService::spawn(vec![planted_model(&PlantedSpec::default())], service_cfg);
+    let server = serve(service, ServerConfig::default()).expect("server boots");
+    // What the registry says the service serves at (respects a
+    // DCAM_PRECISION pin, so the assertion is pin-tolerant).
+    let expected = server.registry().list()[0].precision.as_str().to_string();
+    let mut client = HttpClient::connect(&server.addr().to_string()).expect("connect");
+    let resp = client.get("/v1/models").expect("models listing");
+    assert_eq!(resp.status, 200, "models body: {}", resp.body);
+    let v = resp.json().expect("models body is JSON");
+    let models = v
+        .get("models")
+        .and_then(Value::as_array)
+        .expect("models array");
+    assert_eq!(
+        models[0].get("precision").and_then(Value::as_str),
+        Some(expected.as_str())
+    );
+    if std::env::var("DCAM_PRECISION").is_err() {
+        assert_eq!(expected, "int8", "unpinned: the spawn config decides");
+    }
+    drop(client);
+    server.shutdown();
+}

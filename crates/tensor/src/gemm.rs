@@ -301,11 +301,16 @@ fn panel_tile(
     #[cfg(not(target_arch = "x86_64"))]
     let _ = tile;
     #[cfg(target_arch = "x86_64")]
-    if m <= TALL_MAX && kernel_kind() == KernelKind::Avx512 {
-        // SAFETY: kernel_kind() verified AVX-512F; `tall` holds k·m and
+    if m <= TALL_MAX && kernel_kind() != KernelKind::Scalar {
+        // SAFETY: kernel_kind() verified the ISA; `tall` holds k·m and
         // `panel` holds k·NR elements. `tile` is a caller-hoisted scratch
         // tile (its stale rows beyond `m` are never read).
-        unsafe { x86::kernel_tall_avx512(m, k, &pa.tall, panel, tile) };
+        unsafe {
+            match kernel_kind() {
+                KernelKind::Avx512 => x86::kernel_tall_avx512(m, k, &pa.tall, panel, tile),
+                _ => x86::kernel_tall_avx2(m, k, &pa.tall, panel, tile),
+            }
+        };
         for (ii, row) in tile.iter().enumerate().take(m) {
             let dst = &mut c[ii * n + j0..ii * n + j0 + cols];
             if accumulate {
@@ -468,7 +473,7 @@ pub fn gemm_packed_strided_b(
     let full_panels = n_eff / NR;
     let mut tile = [[0.0f32; NR]; TALL_MAX];
     #[cfg(target_arch = "x86_64")]
-    let tall = m <= TALL_MAX && kernel_kind() == KernelKind::Avx512;
+    let tall = m <= TALL_MAX && kernel_kind() != KernelKind::Scalar;
 
     PACK_B.with(|pb| {
         let mut panel = pb.borrow_mut();
@@ -478,10 +483,27 @@ pub fn gemm_packed_strided_b(
             let j0 = jp * NR;
             #[cfg(target_arch = "x86_64")]
             if tall {
-                // SAFETY: kernel_kind() verified AVX-512F; row `p` reads
+                // SAFETY: kernel_kind() verified the ISA; row `p` reads
                 // b[p·b_stride + j0 .. + NR], within the length assert above.
                 unsafe {
-                    x86::kernel_tall_avx512_strided(m, k, &pa.tall, &b[j0..], b_stride, &mut tile)
+                    match kernel_kind() {
+                        KernelKind::Avx512 => x86::kernel_tall_avx512_strided(
+                            m,
+                            k,
+                            &pa.tall,
+                            &b[j0..],
+                            b_stride,
+                            &mut tile,
+                        ),
+                        _ => x86::kernel_tall_avx2_strided(
+                            m,
+                            k,
+                            &pa.tall,
+                            &b[j0..],
+                            b_stride,
+                            &mut tile,
+                        ),
+                    }
                 };
                 write_tile_rows(&tile, m, c, c_cols, c_off + j0, NR, accumulate);
                 continue;
@@ -777,19 +799,42 @@ enum KernelKind {
     Avx512,
 }
 
+/// Detects the f32 kernel tier once per process. `DCAM_GEMM_KERNEL`
+/// (`scalar` | `avx2` | `avx512`) pins the choice for A/B runs and CI;
+/// pinning a kernel the CPU cannot execute panics rather than silently
+/// falling back.
 fn kernel_kind() -> KernelKind {
     static KIND: OnceLock<KernelKind> = OnceLock::new();
     *KIND.get_or_init(|| {
         #[cfg(target_arch = "x86_64")]
         {
-            if std::arch::is_x86_feature_detected!("avx512f") {
+            let avx512 = std::arch::is_x86_feature_detected!("avx512f");
+            let avx2 = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            if let Ok(pin) = std::env::var("DCAM_GEMM_KERNEL") {
+                return match pin.as_str() {
+                    "scalar" => KernelKind::Scalar,
+                    "avx2" if avx2 => KernelKind::Avx2,
+                    "avx512" if avx512 => KernelKind::Avx512,
+                    other => panic!(
+                        "DCAM_GEMM_KERNEL={other:?} is not available on this CPU \
+                         (expected one of scalar|avx2|avx512, supported here)"
+                    ),
+                };
+            }
+            if avx512 {
                 return KernelKind::Avx512;
             }
-            if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
+            if avx2 {
                 return KernelKind::Avx2;
             }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        if let Ok(pin) = std::env::var("DCAM_GEMM_KERNEL") {
+            assert_eq!(
+                pin, "scalar",
+                "DCAM_GEMM_KERNEL={pin:?} is not available on this target"
+            );
         }
         KernelKind::Scalar
     })
@@ -915,6 +960,89 @@ mod x86 {
         }
     }
 
+    /// Quarter-width AVX2 variant of the tall tile for non-AVX-512 boxes:
+    /// the 64-column panel is processed in four 16-column quarter passes,
+    /// each keeping all `m ≤ TALL_MAX` output rows register-resident
+    /// (`m×2` ymm accumulators + 2 panel loads per `k` step).
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA; `ap` must hold `k·m` elements in `[p][m]`
+    /// layout, `bp` at least `k·NR`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn kernel_tall_avx2(
+        m: usize,
+        k: usize,
+        ap: &[f32],
+        bp: &[f32],
+        acc: &mut [[f32; NR]; TALL_MAX],
+    ) {
+        debug_assert!(bp.len() >= k * NR);
+        kernel_tall_avx2_strided(m, k, ap, bp, NR, acc);
+    }
+
+    /// [`kernel_tall_avx2`] over a *strided* right operand — the AVX2
+    /// counterpart of [`kernel_tall_avx512_strided`], streaming shifted
+    /// input planes in place.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA; `ap` must hold `k·m` elements in `[p][m]`
+    /// layout and `b` must cover `(k−1)·b_stride + NR` elements.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn kernel_tall_avx2_strided(
+        m: usize,
+        k: usize,
+        ap: &[f32],
+        b: &[f32],
+        b_stride: usize,
+        acc: &mut [[f32; NR]; TALL_MAX],
+    ) {
+        debug_assert!((1..=TALL_MAX).contains(&m));
+        debug_assert!(ap.len() >= k * m);
+        debug_assert!(k == 0 || b.len() >= (k - 1) * b_stride + NR);
+        match m {
+            1 => tall_avx2_impl::<1>(k, ap, b, b_stride, acc),
+            2 => tall_avx2_impl::<2>(k, ap, b, b_stride, acc),
+            3 => tall_avx2_impl::<3>(k, ap, b, b_stride, acc),
+            4 => tall_avx2_impl::<4>(k, ap, b, b_stride, acc),
+            5 => tall_avx2_impl::<5>(k, ap, b, b_stride, acc),
+            6 => tall_avx2_impl::<6>(k, ap, b, b_stride, acc),
+            7 => tall_avx2_impl::<7>(k, ap, b, b_stride, acc),
+            8 => tall_avx2_impl::<8>(k, ap, b, b_stride, acc),
+            _ => unreachable!("tall kernel called with m > TALL_MAX"),
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tall_avx2_impl<const M: usize>(
+        k: usize,
+        ap: &[f32],
+        b: &[f32],
+        b_stride: usize,
+        acc: &mut [[f32; NR]; TALL_MAX],
+    ) {
+        for quarter in 0..4 {
+            let off = quarter * (NR / 4);
+            let mut c = [[_mm256_setzero_ps(); 2]; M];
+            let mut a_ptr = ap.as_ptr();
+            let mut b_ptr = b.as_ptr().add(off);
+            for _ in 0..k {
+                let b0 = _mm256_loadu_ps(b_ptr);
+                let b1 = _mm256_loadu_ps(b_ptr.add(8));
+                for (i, row) in c.iter_mut().enumerate() {
+                    let a = _mm256_set1_ps(*a_ptr.add(i));
+                    row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+                    row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+                }
+                a_ptr = a_ptr.add(M);
+                b_ptr = b_ptr.add(b_stride);
+            }
+            for (i, row) in c.iter().enumerate() {
+                _mm256_storeu_ps(acc[i][off..].as_mut_ptr(), row[0]);
+                _mm256_storeu_ps(acc[i][off + 8..].as_mut_ptr(), row[1]);
+            }
+        }
+    }
+
     /// 2×64 tile as 8 zmm accumulators (4 per row), FMA over `k`.
     ///
     /// # Safety
@@ -1011,6 +1139,62 @@ mod tests {
         (0..len)
             .map(|i| ((i * 7 + 3) % 11) as f32 * scale - 2.0)
             .collect()
+    }
+
+    /// Property sweep for the quarter-width AVX2 tall kernel: every
+    /// `m ≤ TALL_MAX`, ragged and panel-aligned `k`, against the naive
+    /// reference, in both the packed-panel and strided-B forms. Runs
+    /// wherever the CPU has AVX2 (including AVX-512 boxes, where the
+    /// dispatcher would normally pick the 512-bit variant).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn tall_avx2_kernel_matches_portable() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        for m in 1..=TALL_MAX {
+            for &k in &[1usize, 2, 7, 16, 33] {
+                let a = seq(m * k, 0.3);
+                let b = seq(k * NR, 0.17);
+                let mut pa = PackedA::new();
+                pa.pack_nn(m, k, &a);
+                let want = naive(m, k, NR, &a, &b);
+
+                let mut tile = [[0.0f32; NR]; TALL_MAX];
+                // SAFETY: AVX2+FMA verified above; extents match.
+                unsafe { x86::kernel_tall_avx2(m, k, &pa.tall, &b, &mut tile) };
+                for i in 0..m {
+                    for j in 0..NR {
+                        let (x, y) = (tile[i][j], want[i * NR + j]);
+                        assert!(
+                            (x - y).abs() < 1e-3,
+                            "panel m={m} k={k} ({i},{j}): {x} vs {y}"
+                        );
+                    }
+                }
+
+                // Strided form: B rows spaced wider than NR.
+                let stride = NR + 5;
+                let mut bs = vec![0.0f32; (k - 1) * stride + NR + 8];
+                for p in 0..k {
+                    bs[p * stride..p * stride + NR].copy_from_slice(&b[p * NR..(p + 1) * NR]);
+                }
+                let mut tile = [[0.0f32; NR]; TALL_MAX];
+                // SAFETY: AVX2+FMA verified above; bs covers (k−1)·stride+NR.
+                unsafe { x86::kernel_tall_avx2_strided(m, k, &pa.tall, &bs, stride, &mut tile) };
+                for i in 0..m {
+                    for j in 0..NR {
+                        let (x, y) = (tile[i][j], want[i * NR + j]);
+                        assert!(
+                            (x - y).abs() < 1e-3,
+                            "strided m={m} k={k} ({i},{j}): {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod fft;
 mod gemm;
 mod matmul;
 mod ops;
+mod qgemm;
 mod rng;
 mod shape;
 mod tensor;
@@ -47,6 +48,10 @@ pub use gemm::{
     pack_b_into, packed_b_len, thread_count, PackedA, GEMM_NR,
 };
 pub use ops::argmax;
+pub use qgemm::{
+    activation_scale, dequantize_row, k_groups, qgemm_i32, quantize_activation, quantize_lane_into,
+    quantize_transpose_into, weight_scale, QuantizedWeights, ACT_QMAX, ACT_ZERO_POINT, WEIGHT_QMAX,
+};
 pub use rng::{shuffled_indices, SeededRng};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,0 +1,953 @@
+//! Packed int8 GEMM with exact i32 accumulation — the kernel substrate of
+//! the `Precision::Int8` inference path.
+//!
+//! # Number format
+//!
+//! * **Weights** are quantized symmetrically per output row to 7 bits:
+//!   `q = round(w / s_w)` clamped to `[-WEIGHT_QMAX, WEIGHT_QMAX]` with
+//!   `s_w = absmax_row / WEIGHT_QMAX`. Seven bits (±63) instead of eight is
+//!   deliberate: the AVX2/AVX-512BW kernels pair-sum `u8·i8` products into
+//!   i16 lanes via `maddubs`, which **saturates** — but
+//!   `255·63·2 = 32130 < i16::MAX`, so with 7-bit weights no pair sum can
+//!   ever saturate and every kernel (VNNI, AVX-512BW, AVX2, scalar)
+//!   computes the same exact i32 accumulator, bit for bit. That exactness
+//!   is what the cross-kernel property tests pin.
+//! * **Activations** are quantized per tensor to unsigned 8 bits with a
+//!   fixed zero point of [`ACT_ZERO_POINT`] (128):
+//!   `q = round(x / s_a) + 128` clamped to `[0, 255]`, `s_a = absmax /`
+//!   [`ACT_QMAX`]. The unsigned encoding is what `maddubs` / `vpdpbusd`
+//!   want on the left operand; the constant zero point is removed after
+//!   the GEMM with the precomputed per-row weight sums ([`QuantizedWeights::corr`]):
+//!   `real ≈ (acc − 128·corr_i) · s_w_i · s_a`.
+//!
+//! # Memory layout
+//!
+//! The right operand is stored **k-group interleaved**: consecutive groups
+//! of 4 k-indices are interleaved along columns, so the byte for group
+//! `g`, column `j`, lane `t` (k-index `4g+t`) lives at
+//! `b[g·b_gstride + (b_off + j)·4 + t]`. A 32-byte load then covers 8
+//! columns × 4 k-lanes — exactly one `maddubs`+`madd` step — and a column
+//! *offset* walks the same buffer for every tap of a stride-1 convolution
+//! without re-packing. Weights are packed row-major `[m][k4·4]` with
+//! zero-padded lanes past `k`, so ragged `k` needs no masking anywhere.
+
+use std::sync::OnceLock;
+
+/// Zero point of the unsigned 8-bit activation encoding. Real zero maps to
+/// this byte value; padding bytes use it too so padded columns dequantize
+/// to exactly 0 contribution.
+pub const ACT_ZERO_POINT: i32 = 128;
+
+/// Largest quantized activation magnitude: `s_a = absmax / ACT_QMAX`.
+pub const ACT_QMAX: f32 = 127.0;
+
+/// Largest quantized weight magnitude (7-bit symmetric). See the module
+/// docs for why this is 63 and not 127: it buys saturation-free `maddubs`
+/// pair sums and therefore bit-identical results across every kernel.
+pub const WEIGHT_QMAX: f32 = 63.0;
+
+/// Per-row symmetric weight scale for a row with the given absolute
+/// maximum. Zero rows get scale 0 (they quantize and dequantize to 0).
+pub fn weight_scale(absmax: f32) -> f32 {
+    if absmax > 0.0 {
+        absmax / WEIGHT_QMAX
+    } else {
+        0.0
+    }
+}
+
+/// Per-tensor activation scale for a tensor with the given absolute
+/// maximum. An all-zero calibration tensor gets scale 1 so the path stays
+/// well-defined.
+pub fn activation_scale(absmax: f32) -> f32 {
+    if absmax > 0.0 {
+        absmax / ACT_QMAX
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes one activation to the unsigned zero-point-128 encoding.
+/// `inv_scale` is `1 / s_a`. Round-to-nearest with ties to even — the
+/// rounding mode of the SSE/AVX `cvtps` conversion, so the scalar and
+/// SIMD quantizers produce bit-identical bytes — clamped to the full
+/// `[0, 255]` byte range.
+#[inline]
+pub fn quantize_activation(x: f32, inv_scale: f32) -> u8 {
+    let q = (x * inv_scale).round_ties_even() + ACT_ZERO_POINT as f32;
+    q.clamp(0.0, 255.0) as u8
+}
+
+/// Number of interleaved k-groups (4 k-indices each) for a depth of `k`.
+pub fn k_groups(k: usize) -> usize {
+    k.div_ceil(4)
+}
+
+/// Quantizes `x[j]` into lane 0 of consecutive interleaved columns:
+/// `out[4j] = quantize(x[j])`. Callers address a specific `(group, column,
+/// lane)` start by slicing `out` — this is the primitive the convolution
+/// path uses to scatter one channel's time row into the interleaved
+/// activation buffer.
+pub fn quantize_lane_into(x: &[f32], inv_scale: f32, out: &mut [u8]) {
+    assert!(
+        x.is_empty() || out.len() > (x.len() - 1) * 4,
+        "quantize_lane_into: out too short"
+    );
+    let mut j = 0;
+    #[cfg(target_arch = "x86_64")]
+    if quant_avx2() {
+        // SAFETY: quant_avx2() verified AVX2; the kernel only touches
+        // whole 32-byte spans it bounds-checks itself and returns how far
+        // it got.
+        j = unsafe { x86::quantize_lane_avx2(x, inv_scale, out) };
+    }
+    for (jj, &v) in x.iter().enumerate().skip(j) {
+        out[jj * 4] = quantize_activation(v, inv_scale);
+    }
+}
+
+/// Quantizes a row-major `rows × k` matrix into the **transposed**
+/// interleaved layout used as a GEMM right operand with `n = rows`
+/// columns: input row `j`, feature `p` lands at
+/// `out[(⌊p/4⌋·rows + j)·4 + p mod 4]`. Lane padding past `k` is filled
+/// with the zero point. This is the dense-layer entry: `y = W·xᵀ` with one
+/// column per sample. `out` must hold exactly `k_groups(k)·rows·4` bytes.
+pub fn quantize_transpose_into(x: &[f32], rows: usize, k: usize, inv_scale: f32, out: &mut [u8]) {
+    assert_eq!(x.len(), rows * k, "quantize_transpose_into: x shape");
+    assert_eq!(
+        out.len(),
+        k_groups(k) * rows * 4,
+        "quantize_transpose_into: out shape"
+    );
+    out.fill(ACT_ZERO_POINT as u8);
+    for j in 0..rows {
+        let xr = &x[j * k..(j + 1) * k];
+        let mut p = 0;
+        #[cfg(target_arch = "x86_64")]
+        if quant_avx2() {
+            // SAFETY: quant_avx2() verified AVX2; the kernel writes exact
+            // 4-byte group words for whole 8-feature blocks and returns
+            // how far it got.
+            p = unsafe { x86::quantize_transpose_avx2(xr, rows, j, inv_scale, out) };
+        }
+        for (pp, &v) in xr.iter().enumerate().skip(p) {
+            out[((pp / 4) * rows + j) * 4 + (pp % 4)] = quantize_activation(v, inv_scale);
+        }
+    }
+}
+
+/// Dequantizes one accumulator row: `out[j] = (acc[j] − 128·corr)·scale +
+/// bias`, where `corr` is the row's quantized-weight sum and `scale` the
+/// product of the row's weight scale and the activation scale.
+pub fn dequantize_row(acc: &[i32], corr: i32, scale: f32, bias: f32, out: &mut [f32]) {
+    debug_assert!(out.len() >= acc.len());
+    let zc = ACT_ZERO_POINT * corr;
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = (a - zc) as f32 * scale + bias;
+    }
+}
+
+/// Per-output-row symmetrically quantized weights, packed for
+/// [`qgemm_i32`]: row-major `[m][k_groups·4]` i8 bytes with zero-padded
+/// lanes past `k`, plus the per-row dequantization scales and quantized
+/// row sums (the zero-point correction terms).
+#[derive(Clone, Debug, Default)]
+pub struct QuantizedWeights {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    corr: Vec<i32>,
+    m: usize,
+    k: usize,
+}
+
+impl QuantizedWeights {
+    /// Quantizes an `m × k` weight matrix read through the accessor
+    /// `at(row, p)`, computing each row's symmetric scale from its own
+    /// absolute maximum.
+    pub fn from_rows(m: usize, k: usize, mut at: impl FnMut(usize, usize) -> f32) -> Self {
+        let scales: Vec<f32> = (0..m)
+            .map(|i| {
+                let mut absmax = 0.0f32;
+                for p in 0..k {
+                    absmax = absmax.max(at(i, p).abs());
+                }
+                weight_scale(absmax)
+            })
+            .collect();
+        Self::from_rows_with_scales(m, k, &scales, at)
+    }
+
+    /// Like [`QuantizedWeights::from_rows`] but with caller-supplied
+    /// per-row scales. The convolution path uses this to quantize each
+    /// kernel tap as its own `m × c_in` matrix while every tap of a row
+    /// shares the scale computed over the row's **full** `c_in·ℓ` extent —
+    /// a requirement for accumulating taps in one i32 buffer.
+    ///
+    /// # Panics
+    ///
+    /// If `scales.len() != m`.
+    pub fn from_rows_with_scales(
+        m: usize,
+        k: usize,
+        scales: &[f32],
+        mut at: impl FnMut(usize, usize) -> f32,
+    ) -> Self {
+        assert_eq!(scales.len(), m, "from_rows_with_scales: scale count");
+        let k4 = k_groups(k);
+        let mut data = vec![0i8; m * k4 * 4];
+        let mut corr = vec![0i32; m];
+        for i in 0..m {
+            let s = scales[i];
+            if s <= 0.0 {
+                continue;
+            }
+            let inv = 1.0 / s;
+            let row = &mut data[i * k4 * 4..(i + 1) * k4 * 4];
+            let mut sum = 0i32;
+            for (p, slot) in row.iter_mut().enumerate().take(k) {
+                let q = (at(i, p) * inv).round().clamp(-WEIGHT_QMAX, WEIGHT_QMAX) as i8;
+                *slot = q;
+                sum += q as i32;
+            }
+            corr[i] = sum;
+        }
+        QuantizedWeights {
+            data,
+            scales: scales.to_vec(),
+            corr,
+            m,
+            k,
+        }
+    }
+
+    /// Number of output rows.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Logical depth (before lane padding).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-row dequantization scales (`s_w`).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-row sums of the quantized weights — the zero-point correction
+    /// terms subtracted (×128) at dequantization.
+    pub fn corr(&self) -> &[i32] {
+        &self.corr
+    }
+
+    /// The dequantized value of weight `(row, p)` — what the int8 path
+    /// effectively computes with. Test/diagnostic accessor.
+    pub fn dequantized(&self, row: usize, p: usize) -> f32 {
+        assert!(row < self.m && p < self.k, "dequantized: out of range");
+        self.data[row * k_groups(self.k) * 4 + p] as f32 * self.scales[row]
+    }
+}
+
+/// `acc[i·acc_stride + j] (+)= Σ_p B[p][j]·W[i][p]` over the interleaved
+/// right operand described in the module docs: group `g`, column `j`, lane
+/// `t` at `b[g·b_gstride + (b_off + j)·4 + t]`. All kernels produce the
+/// same exact i32 result (see module docs). `accumulate = false`
+/// overwrites, `true` adds — the convolution path runs one call per kernel
+/// tap into a shared accumulator, varying only `b_off`.
+///
+/// # Panics
+///
+/// On out-of-bounds `b`/`acc` extents for the requested geometry.
+pub fn qgemm_i32(
+    qw: &QuantizedWeights,
+    b: &[u8],
+    b_gstride: usize,
+    b_off: usize,
+    n: usize,
+    acc: &mut [i32],
+    acc_stride: usize,
+    accumulate: bool,
+) {
+    let (m, k4) = (qw.m, k_groups(qw.k));
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(acc_stride >= n, "qgemm_i32: acc_stride < n");
+    assert!(
+        acc.len() >= (m - 1) * acc_stride + n,
+        "qgemm_i32: acc too short"
+    );
+    if k4 == 0 {
+        if !accumulate {
+            for i in 0..m {
+                acc[i * acc_stride..i * acc_stride + n].fill(0);
+            }
+        }
+        return;
+    }
+    assert!(
+        b.len() >= (k4 - 1) * b_gstride + (b_off + n) * 4,
+        "qgemm_i32: b too short"
+    );
+    match qkernel_kind() {
+        #[cfg(target_arch = "x86_64")]
+        QKernelKind::Avx512Vnni => {
+            let n_blk = n - n % 16;
+            if n_blk > 0 {
+                // SAFETY: qkernel_kind() verified AVX-512VNNI (+BW); the
+                // extents were asserted above and the kernel only touches
+                // whole 16-column blocks below n_blk.
+                unsafe {
+                    x86::qgemm_vnni(
+                        m, k4, &qw.data, b, b_gstride, b_off, n_blk, acc, acc_stride, accumulate,
+                    )
+                };
+            }
+            tail_scalar(
+                qw, b, b_gstride, b_off, n, n_blk, acc, acc_stride, accumulate,
+            );
+        }
+        #[cfg(target_arch = "x86_64")]
+        QKernelKind::Avx512Bw => {
+            let n_blk = n - n % 16;
+            if n_blk > 0 {
+                // SAFETY: qkernel_kind() verified AVX-512BW; extents
+                // asserted above.
+                unsafe {
+                    x86::qgemm_avx512bw(
+                        m, k4, &qw.data, b, b_gstride, b_off, n_blk, acc, acc_stride, accumulate,
+                    )
+                };
+            }
+            tail_scalar(
+                qw, b, b_gstride, b_off, n, n_blk, acc, acc_stride, accumulate,
+            );
+        }
+        #[cfg(target_arch = "x86_64")]
+        QKernelKind::Avx2 => {
+            let n_blk = n - n % 8;
+            if n_blk > 0 {
+                // SAFETY: qkernel_kind() verified AVX2; extents asserted
+                // above.
+                unsafe {
+                    x86::qgemm_avx2(
+                        m, k4, &qw.data, b, b_gstride, b_off, n_blk, acc, acc_stride, accumulate,
+                    )
+                };
+            }
+            tail_scalar(
+                qw, b, b_gstride, b_off, n, n_blk, acc, acc_stride, accumulate,
+            );
+        }
+        QKernelKind::Scalar => {
+            qgemm_scalar(
+                m, k4, &qw.data, b, b_gstride, b_off, n, acc, acc_stride, accumulate,
+            );
+        }
+    }
+}
+
+/// Finishes the ragged column tail `[n_blk, n)` with the scalar kernel.
+#[allow(clippy::too_many_arguments)]
+fn tail_scalar(
+    qw: &QuantizedWeights,
+    b: &[u8],
+    b_gstride: usize,
+    b_off: usize,
+    n: usize,
+    n_blk: usize,
+    acc: &mut [i32],
+    acc_stride: usize,
+    accumulate: bool,
+) {
+    if n_blk < n {
+        qgemm_scalar(
+            qw.m,
+            k_groups(qw.k),
+            &qw.data,
+            b,
+            b_gstride,
+            b_off + n_blk,
+            n - n_blk,
+            &mut acc[n_blk..],
+            acc_stride,
+            accumulate,
+        );
+    }
+}
+
+/// Portable reference kernel: plain i32 arithmetic, no saturation — the
+/// exact result every SIMD kernel must reproduce.
+#[allow(clippy::too_many_arguments)]
+fn qgemm_scalar(
+    m: usize,
+    k4: usize,
+    wdata: &[i8],
+    b: &[u8],
+    b_gstride: usize,
+    b_off: usize,
+    n: usize,
+    acc: &mut [i32],
+    acc_stride: usize,
+    accumulate: bool,
+) {
+    for i in 0..m {
+        let wrow = &wdata[i * k4 * 4..(i + 1) * k4 * 4];
+        let arow = &mut acc[i * acc_stride..i * acc_stride + n];
+        for (j, slot) in arow.iter_mut().enumerate() {
+            let mut s = 0i32;
+            for g in 0..k4 {
+                let bb = &b[g * b_gstride + (b_off + j) * 4..][..4];
+                let wb = &wrow[g * 4..g * 4 + 4];
+                for t in 0..4 {
+                    s += bb[t] as i32 * wb[t] as i32;
+                }
+            }
+            if accumulate {
+                *slot += s;
+            } else {
+                *slot = s;
+            }
+        }
+    }
+}
+
+/// ISA variant of the int8 micro-kernel, detected once at runtime — the
+/// same dispatch shape as the f32 GEMM's kernel selection, with one extra
+/// tier for AVX-512 VNNI (`vpdpbusd`, fusing `maddubs`+`madd`+`add` into
+/// one instruction). `DCAM_QGEMM_KERNEL=scalar|avx2|avx512|vnni` pins the
+/// choice for A/B runs and CI; pinning a kernel the CPU cannot execute
+/// panics rather than silently falling back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum QKernelKind {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512Bw,
+    #[cfg(target_arch = "x86_64")]
+    Avx512Vnni,
+}
+
+fn qkernel_kind() -> QKernelKind {
+    static KIND: OnceLock<QKernelKind> = OnceLock::new();
+    *KIND.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let vnni = std::arch::is_x86_feature_detected!("avx512vnni")
+                && std::arch::is_x86_feature_detected!("avx512bw");
+            let bw = std::arch::is_x86_feature_detected!("avx512bw");
+            let avx2 = std::arch::is_x86_feature_detected!("avx2");
+            if let Ok(pin) = std::env::var("DCAM_QGEMM_KERNEL") {
+                let kind = match pin.as_str() {
+                    "scalar" => QKernelKind::Scalar,
+                    "avx2" if avx2 => QKernelKind::Avx2,
+                    "avx512" if bw => QKernelKind::Avx512Bw,
+                    "vnni" if vnni => QKernelKind::Avx512Vnni,
+                    other => panic!(
+                        "DCAM_QGEMM_KERNEL={other:?} is not available on this CPU \
+                         (expected one of scalar|avx2|avx512|vnni, supported here)"
+                    ),
+                };
+                return kind;
+            }
+            if vnni {
+                return QKernelKind::Avx512Vnni;
+            }
+            if bw {
+                return QKernelKind::Avx512Bw;
+            }
+            if avx2 {
+                return QKernelKind::Avx2;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        if let Ok(pin) = std::env::var("DCAM_QGEMM_KERNEL") {
+            assert_eq!(
+                pin, "scalar",
+                "DCAM_QGEMM_KERNEL={pin:?} is not available on this target"
+            );
+        }
+        QKernelKind::Scalar
+    })
+}
+
+/// Whether the activation quantizers take their AVX2 fast path. Tied to
+/// [`qkernel_kind`] so `DCAM_QGEMM_KERNEL=scalar` pins the whole int8
+/// pipeline — GEMM *and* quantization — to the portable code.
+#[cfg(target_arch = "x86_64")]
+fn quant_avx2() -> bool {
+    static SIMD: OnceLock<bool> = OnceLock::new();
+    *SIMD.get_or_init(|| {
+        qkernel_kind() != QKernelKind::Scalar && std::arch::is_x86_feature_detected!("avx2")
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::ACT_ZERO_POINT;
+    use std::arch::x86_64::*;
+
+    /// Quantizes 8 activations to 8 zero-point-128 bytes held in the low
+    /// byte of each i32 lane, clamped to `[0, 255]`. `cvtps` rounds
+    /// nearest-ties-even — exactly [`super::quantize_activation`].
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline(always)]
+    unsafe fn quantize8(x: *const f32, inv: __m256) -> __m256i {
+        let q = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(x), inv));
+        let q = _mm256_add_epi32(q, _mm256_set1_epi32(ACT_ZERO_POINT));
+        _mm256_min_epi32(
+            _mm256_max_epi32(q, _mm256_setzero_si256()),
+            _mm256_set1_epi32(255),
+        )
+    }
+
+    /// AVX2 body of [`super::quantize_lane_into`]: quantizes 8 values per
+    /// step and merges them into byte 0 of 8 consecutive interleaved
+    /// columns with one 32-byte read-modify-write (the other three lane
+    /// bytes are preserved). Returns the count of elements handled; the
+    /// caller finishes the ragged tail (and any block whose 32-byte span
+    /// would overrun `out`) with the scalar quantizer.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_lane_avx2(x: &[f32], inv_scale: f32, out: &mut [u8]) -> usize {
+        let inv = _mm256_set1_ps(inv_scale);
+        let keep = _mm256_set1_epi32(!0xFF);
+        let mut j = 0;
+        while j + 8 <= x.len() && j * 4 + 32 <= out.len() {
+            let q = quantize8(x.as_ptr().add(j), inv);
+            let dst = out.as_mut_ptr().add(j * 4);
+            let old = _mm256_loadu_si256(dst as *const __m256i);
+            let merged = _mm256_or_si256(_mm256_and_si256(old, keep), q);
+            _mm256_storeu_si256(dst as *mut __m256i, merged);
+            j += 8;
+        }
+        j
+    }
+
+    /// AVX2 body of one input row of [`super::quantize_transpose_into`]:
+    /// quantizes 8 consecutive features (two whole k-groups), packs them
+    /// to 8 bytes and stores one exact 4-byte group word per group at
+    /// `out[(g·rows + j)·4]`. Returns the count of features handled; the
+    /// caller finishes the ragged tail scalar.
+    ///
+    /// # Safety
+    /// Requires AVX2; `out` must hold `k_groups(k)·rows·4` bytes (asserted
+    /// by the caller).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_transpose_avx2(
+        xr: &[f32],
+        rows: usize,
+        j: usize,
+        inv_scale: f32,
+        out: &mut [u8],
+    ) -> usize {
+        let inv = _mm256_set1_ps(inv_scale);
+        let base = out.as_mut_ptr();
+        let mut p = 0;
+        while p + 8 <= xr.len() {
+            let q = quantize8(xr.as_ptr().add(p), inv);
+            let w16 = _mm_packus_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
+            let w8 = _mm_packus_epi16(w16, w16);
+            let both = _mm_cvtsi128_si64(w8) as u64;
+            let g = p / 4;
+            (base.add((g * rows + j) * 4) as *mut u32).write_unaligned(both as u32);
+            (base.add(((g + 1) * rows + j) * 4) as *mut u32).write_unaligned((both >> 32) as u32);
+            p += 8;
+        }
+        p
+    }
+
+    #[inline(always)]
+    unsafe fn store256(dst: *mut i32, v: __m256i, accumulate: bool) {
+        if accumulate {
+            let prev = _mm256_loadu_si256(dst as *const __m256i);
+            _mm256_storeu_si256(dst as *mut __m256i, _mm256_add_epi32(prev, v));
+        } else {
+            _mm256_storeu_si256(dst as *mut __m256i, v);
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn store512(dst: *mut i32, v: __m512i, accumulate: bool) {
+        if accumulate {
+            let prev = _mm512_loadu_si512(dst as *const __m512i);
+            _mm512_storeu_si512(dst as *mut __m512i, _mm512_add_epi32(prev, v));
+        } else {
+            _mm512_storeu_si512(dst as *mut __m512i, v);
+        }
+    }
+
+    /// `maddubs`+`madd` kernel over 8-column blocks (32-byte loads = 8
+    /// columns × 4 interleaved k-lanes), two blocks per iteration for ILP.
+    ///
+    /// # Safety
+    /// Requires AVX2; `n` must be a multiple of 8 and all extents must
+    /// satisfy the bounds asserted by the caller ([`super::qgemm_i32`]).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn qgemm_avx2(
+        m: usize,
+        k4: usize,
+        wdata: &[i8],
+        b: &[u8],
+        b_gstride: usize,
+        b_off: usize,
+        n: usize,
+        acc: &mut [i32],
+        acc_stride: usize,
+        accumulate: bool,
+    ) {
+        let ones = _mm256_set1_epi16(1);
+        let bbase = b.as_ptr().add(b_off * 4);
+        for i in 0..m {
+            let wrow = wdata.as_ptr().add(i * k4 * 4);
+            let arow = acc.as_mut_ptr().add(i * acc_stride);
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut s0 = _mm256_setzero_si256();
+                let mut s1 = _mm256_setzero_si256();
+                for g in 0..k4 {
+                    let bg = bbase.add(g * b_gstride + j * 4);
+                    let b0 = _mm256_loadu_si256(bg as *const __m256i);
+                    let b1 = _mm256_loadu_si256(bg.add(32) as *const __m256i);
+                    let w = _mm256_set1_epi32((wrow.add(g * 4) as *const i32).read_unaligned());
+                    s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(_mm256_maddubs_epi16(b0, w), ones));
+                    s1 = _mm256_add_epi32(s1, _mm256_madd_epi16(_mm256_maddubs_epi16(b1, w), ones));
+                }
+                store256(arow.add(j), s0, accumulate);
+                store256(arow.add(j + 8), s1, accumulate);
+                j += 16;
+            }
+            if j + 8 <= n {
+                let mut s0 = _mm256_setzero_si256();
+                for g in 0..k4 {
+                    let bg = bbase.add(g * b_gstride + j * 4);
+                    let b0 = _mm256_loadu_si256(bg as *const __m256i);
+                    let w = _mm256_set1_epi32((wrow.add(g * 4) as *const i32).read_unaligned());
+                    s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(_mm256_maddubs_epi16(b0, w), ones));
+                }
+                store256(arow.add(j), s0, accumulate);
+            }
+        }
+    }
+
+    /// 512-bit `maddubs`+`madd` kernel: 16-column blocks, two per
+    /// iteration.
+    ///
+    /// # Safety
+    /// Requires AVX-512BW; `n` must be a multiple of 16 and extents must
+    /// satisfy the caller's bounds.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512bw")]
+    pub(super) unsafe fn qgemm_avx512bw(
+        m: usize,
+        k4: usize,
+        wdata: &[i8],
+        b: &[u8],
+        b_gstride: usize,
+        b_off: usize,
+        n: usize,
+        acc: &mut [i32],
+        acc_stride: usize,
+        accumulate: bool,
+    ) {
+        let ones = _mm512_set1_epi16(1);
+        let bbase = b.as_ptr().add(b_off * 4);
+        for i in 0..m {
+            let wrow = wdata.as_ptr().add(i * k4 * 4);
+            let arow = acc.as_mut_ptr().add(i * acc_stride);
+            let mut j = 0;
+            while j + 32 <= n {
+                let mut s0 = _mm512_setzero_si512();
+                let mut s1 = _mm512_setzero_si512();
+                for g in 0..k4 {
+                    let bg = bbase.add(g * b_gstride + j * 4);
+                    let b0 = _mm512_loadu_si512(bg as *const __m512i);
+                    let b1 = _mm512_loadu_si512(bg.add(64) as *const __m512i);
+                    let w = _mm512_set1_epi32((wrow.add(g * 4) as *const i32).read_unaligned());
+                    s0 = _mm512_add_epi32(s0, _mm512_madd_epi16(_mm512_maddubs_epi16(b0, w), ones));
+                    s1 = _mm512_add_epi32(s1, _mm512_madd_epi16(_mm512_maddubs_epi16(b1, w), ones));
+                }
+                store512(arow.add(j), s0, accumulate);
+                store512(arow.add(j + 16), s1, accumulate);
+                j += 32;
+            }
+            if j + 16 <= n {
+                let mut s0 = _mm512_setzero_si512();
+                for g in 0..k4 {
+                    let bg = bbase.add(g * b_gstride + j * 4);
+                    let b0 = _mm512_loadu_si512(bg as *const __m512i);
+                    let w = _mm512_set1_epi32((wrow.add(g * 4) as *const i32).read_unaligned());
+                    s0 = _mm512_add_epi32(s0, _mm512_madd_epi16(_mm512_maddubs_epi16(b0, w), ones));
+                }
+                store512(arow.add(j), s0, accumulate);
+            }
+        }
+    }
+
+    /// VNNI kernel: `vpdpbusd` fuses the whole u8·i8 dot-accumulate into
+    /// one instruction per 16-column block per k-group.
+    ///
+    /// # Safety
+    /// Requires AVX-512VNNI; `n` must be a multiple of 16 and extents must
+    /// satisfy the caller's bounds.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512vnni,avx512bw")]
+    pub(super) unsafe fn qgemm_vnni(
+        m: usize,
+        k4: usize,
+        wdata: &[i8],
+        b: &[u8],
+        b_gstride: usize,
+        b_off: usize,
+        n: usize,
+        acc: &mut [i32],
+        acc_stride: usize,
+        accumulate: bool,
+    ) {
+        let bbase = b.as_ptr().add(b_off * 4);
+        for i in 0..m {
+            let wrow = wdata.as_ptr().add(i * k4 * 4);
+            let arow = acc.as_mut_ptr().add(i * acc_stride);
+            let mut j = 0;
+            while j + 32 <= n {
+                let mut s0 = _mm512_setzero_si512();
+                let mut s1 = _mm512_setzero_si512();
+                for g in 0..k4 {
+                    let bg = bbase.add(g * b_gstride + j * 4);
+                    let b0 = _mm512_loadu_si512(bg as *const __m512i);
+                    let b1 = _mm512_loadu_si512(bg.add(64) as *const __m512i);
+                    let w = _mm512_set1_epi32((wrow.add(g * 4) as *const i32).read_unaligned());
+                    s0 = _mm512_dpbusd_epi32(s0, b0, w);
+                    s1 = _mm512_dpbusd_epi32(s1, b1, w);
+                }
+                store512(arow.add(j), s0, accumulate);
+                store512(arow.add(j + 16), s1, accumulate);
+                j += 32;
+            }
+            if j + 16 <= n {
+                let mut s0 = _mm512_setzero_si512();
+                for g in 0..k4 {
+                    let bg = bbase.add(g * b_gstride + j * 4);
+                    let b0 = _mm512_loadu_si512(bg as *const __m512i);
+                    let w = _mm512_set1_epi32((wrow.add(g * 4) as *const i32).read_unaligned());
+                    s0 = _mm512_dpbusd_epi32(s0, b0, w);
+                }
+                store512(arow.add(j), s0, accumulate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 7 + 3) % 11) as f32 * scale - 2.0)
+            .collect()
+    }
+
+    /// Independent i32 reference from the quantized operands themselves.
+    fn naive_i32(
+        qw: &QuantizedWeights,
+        b: &[u8],
+        b_gstride: usize,
+        b_off: usize,
+        n: usize,
+    ) -> Vec<i32> {
+        let (m, k4) = (qw.m(), k_groups(qw.k()));
+        let mut acc = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0i32;
+                for g in 0..k4 {
+                    for t in 0..4 {
+                        s += b[g * b_gstride + (b_off + j) * 4 + t] as i32
+                            * qw.data[i * k4 * 4 + g * 4 + t] as i32;
+                    }
+                }
+                acc[i * n + j] = s;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn dispatched_kernel_is_bit_identical_to_reference() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 5),
+            (3, 7, 16),
+            (5, 13, 33),
+            (8, 36, 130),
+            (17, 96, 67),
+        ] {
+            let w = seq(m * k, 0.03);
+            let x = seq(k * n, 0.11);
+            let qw = QuantizedWeights::from_rows(m, k, |i, p| w[i * k + p]);
+            let s_a = activation_scale(x.iter().fold(0.0f32, |a, v| a.max(v.abs())));
+            let mut b = vec![0u8; k_groups(k) * n * 4];
+            quantize_transpose_into(
+                // transpose: build the k × n operand from x stored k-major
+                &(0..n * k)
+                    .map(|i| x[(i % k) * n + i / k])
+                    .collect::<Vec<_>>(),
+                n,
+                k,
+                1.0 / s_a,
+                &mut b,
+            );
+            let mut acc = vec![0i32; m * n];
+            qgemm_i32(&qw, &b, n * 4, 0, n, &mut acc, n, false);
+            assert_eq!(acc, naive_i32(&qw, &b, n * 4, 0, n), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn accumulated_taps_match_single_call() {
+        // Two "taps" accumulated into one buffer == the concatenated-k
+        // single call, exactly — the convolution path's contract.
+        let (m, k, n) = (4usize, 8usize, 21usize);
+        let w = seq(m * 2 * k, 0.05);
+        let scales: Vec<f32> = (0..m)
+            .map(|i| {
+                let absmax = (0..2 * k).fold(0.0f32, |a, p| a.max(w[i * 2 * k + p].abs()));
+                weight_scale(absmax)
+            })
+            .collect();
+        let full =
+            QuantizedWeights::from_rows_with_scales(m, 2 * k, &scales, |i, p| w[i * 2 * k + p]);
+        let tap0 = QuantizedWeights::from_rows_with_scales(m, k, &scales, |i, p| w[i * 2 * k + p]);
+        let tap1 =
+            QuantizedWeights::from_rows_with_scales(m, k, &scales, |i, p| w[i * 2 * k + k + p]);
+
+        let x = seq(2 * k * n, 0.2);
+        let mut b = vec![0u8; k_groups(2 * k) * n * 4];
+        let xt: Vec<f32> = (0..n * 2 * k)
+            .map(|i| x[(i % (2 * k)) * n + i / (2 * k)])
+            .collect();
+        let s_a = activation_scale(x.iter().fold(0.0f32, |a, v| a.max(v.abs())));
+        quantize_transpose_into(&xt, n, 2 * k, 1.0 / s_a, &mut b);
+
+        let mut want = vec![0i32; m * n];
+        qgemm_i32(&full, &b, n * 4, 0, n, &mut want, n, false);
+
+        // k = 8 → tap0 covers groups 0..2, tap1 groups 2..4 of the same
+        // interleaved buffer.
+        let mut got = vec![0i32; m * n];
+        qgemm_i32(&tap0, &b, n * 4, 0, n, &mut got, n, false);
+        qgemm_i32(
+            &tap1,
+            &b[k_groups(k) * n * 4..],
+            n * 4,
+            0,
+            n,
+            &mut got,
+            n,
+            true,
+        );
+        assert_eq!(got, want);
+
+        // Tap correction sums add up the same way.
+        let corr_sum: Vec<i32> = tap0
+            .corr()
+            .iter()
+            .zip(tap1.corr())
+            .map(|(a, b)| a + b)
+            .collect();
+        assert_eq!(corr_sum, full.corr());
+    }
+
+    #[test]
+    fn column_offset_walks_the_buffer() {
+        // b_off shifts the read window exactly like slicing the columns.
+        let (m, k, n) = (3usize, 4usize, 24usize);
+        let w = seq(m * k, 0.07);
+        let qw = QuantizedWeights::from_rows(m, k, |i, p| w[i * k + p]);
+        let cols = n + 6;
+        let x: Vec<f32> = seq(cols * k, 0.13);
+        let xt: Vec<f32> = (0..cols * k).map(|i| x[(i % k) * cols + i / k]).collect();
+        let mut b = vec![0u8; k_groups(k) * cols * 4];
+        quantize_transpose_into(&xt, cols, k, 2.0, &mut b);
+        for off in [0usize, 1, 5] {
+            let mut with_off = vec![0i32; m * n];
+            qgemm_i32(&qw, &b, cols * 4, off, n, &mut with_off, n, false);
+            assert_eq!(with_off, naive_i32(&qw, &b, cols * 4, off, n), "off={off}");
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_tracks_f32_within_quantization_error() {
+        let (m, k, n) = (6usize, 48usize, 40usize);
+        let w = seq(m * k, 0.021);
+        let x = seq(k * n, 0.33);
+        let mut c_ref = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c_ref[i * n + j] += w[i * k + p] * x[p * n + j];
+                }
+            }
+        }
+        let qw = QuantizedWeights::from_rows(m, k, |i, p| w[i * k + p]);
+        let absmax = x.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let s_a = activation_scale(absmax);
+        let xt: Vec<f32> = (0..n * k).map(|i| x[(i % k) * n + i / k]).collect();
+        let mut b = vec![0u8; k_groups(k) * n * 4];
+        quantize_transpose_into(&xt, n, k, 1.0 / s_a, &mut b);
+        let mut acc = vec![0i32; m * n];
+        qgemm_i32(&qw, &b, n * 4, 0, n, &mut acc, n, false);
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            dequantize_row(
+                &acc[i * n..(i + 1) * n],
+                qw.corr()[i],
+                qw.scales()[i] * s_a,
+                0.0,
+                &mut c[i * n..(i + 1) * n],
+            );
+        }
+        // Error bound: k terms, each off by at most half an activation
+        // step times |w| plus half a weight step times |x|.
+        for (i, (got, want)) in c.iter().zip(&c_ref).enumerate() {
+            let row = i / n;
+            let bound = k as f32
+                * (0.5 * s_a * (WEIGHT_QMAX * qw.scales()[row]) + 0.5 * qw.scales()[row] * absmax)
+                + 1e-3;
+            assert!(
+                (got - want).abs() <= bound,
+                "cell {i}: {got} vs {want} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_round_trip_error_is_bounded_per_row() {
+        let (m, k) = (5usize, 37usize);
+        let w = seq(m * k, 0.017);
+        let qw = QuantizedWeights::from_rows(m, k, |i, p| w[i * k + p]);
+        for i in 0..m {
+            let s = qw.scales()[i];
+            for p in 0..k {
+                let err = (qw.dequantized(i, p) - w[i * k + p]).abs();
+                assert!(err <= 0.5 * s + 1e-7, "({i},{p}): err {err} > {}", 0.5 * s);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero_scale() {
+        let qw = QuantizedWeights::from_rows(2, 4, |i, p| if i == 0 { 0.0 } else { p as f32 });
+        assert_eq!(qw.scales()[0], 0.0);
+        assert_eq!(qw.corr()[0], 0);
+        assert_eq!(qw.dequantized(0, 2), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the int8 quantization helpers: per-channel
+//! quantize→dequantize round-trips must stay within half a quantization
+//! step, and the packed int8 GEMM must track the f32 product of the
+//! dequantized operands it effectively computes with.
+
+use dcam_tensor::{
+    activation_scale, dequantize_row, k_groups, qgemm_i32, quantize_activation,
+    quantize_transpose_into, QuantizedWeights, SeededRng, ACT_ZERO_POINT,
+};
+use proptest::prelude::*;
+
+fn values(n: usize, amp: f32, seed: u64) -> Vec<f32> {
+    let mut rng = SeededRng::new(seed);
+    (0..n).map(|_| (rng.uniform() * 2.0 - 1.0) * amp).collect()
+}
+
+fn absmax(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |a, v| a.max(v.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-channel weight round-trip: every weight survives quantization
+    /// to within half its row's quantization step `s_w/2`.
+    #[test]
+    fn weight_roundtrip_within_half_step(
+        m in 1usize..=12,
+        k in 1usize..=40,
+        amp in 0.05f32..4.0,
+        seed in any::<u64>(),
+    ) {
+        let w = values(m * k, amp, seed);
+        let qw = QuantizedWeights::from_rows(m, k, |i, p| w[i * k + p]);
+        for i in 0..m {
+            let half_step = qw.scales()[i] * 0.5;
+            for p in 0..k {
+                let err = (w[i * k + p] - qw.dequantized(i, p)).abs();
+                prop_assert!(
+                    err <= half_step + 1e-6,
+                    "row {i} tap {p}: err {err} > {half_step}"
+                );
+            }
+        }
+    }
+
+    /// Activation round-trip: any value inside the calibrated range
+    /// dequantizes to within half the activation step `s_a/2`.
+    #[test]
+    fn activation_roundtrip_within_half_step(
+        n in 1usize..=256,
+        amp in 0.05f32..8.0,
+        seed in any::<u64>(),
+    ) {
+        let x = values(n, amp, seed);
+        let s = activation_scale(absmax(&x));
+        for &v in &x {
+            let q = quantize_activation(v, 1.0 / s);
+            let deq = (q as i32 - ACT_ZERO_POINT) as f32 * s;
+            prop_assert!(
+                (v - deq).abs() <= s * 0.5 + 1e-6,
+                "value {v}: dequantized {deq} with step {s}"
+            );
+        }
+    }
+
+    /// The packed int8 GEMM plus dequantization equals the f32 product of
+    /// the dequantized operands — the quantization error is entirely in
+    /// the per-value round-trips bounded above, never in the accumulation.
+    #[test]
+    fn qgemm_is_exact_over_dequantized_operands(
+        m in 1usize..=8,
+        k in 1usize..=24,
+        n in 1usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let w = values(m * k, 1.5, seed);
+        let x = values(k * n, 2.5, seed.wrapping_add(1));
+        let qw = QuantizedWeights::from_rows(m, k, |i, p| w[i * k + p]);
+        let s_a = activation_scale(absmax(&x));
+        // x is stored k-major (k × n); the packer wants n rows of k.
+        let xt: Vec<f32> = (0..n * k).map(|i| x[(i % k) * n + i / k]).collect();
+        let mut b = vec![0u8; k_groups(k) * n * 4];
+        quantize_transpose_into(&xt, n, k, 1.0 / s_a, &mut b);
+        let mut acc = vec![0i32; m * n];
+        qgemm_i32(&qw, &b, n * 4, 0, n, &mut acc, n, false);
+        for i in 0..m {
+            let mut out = vec![0f32; n];
+            dequantize_row(
+                &acc[i * n..(i + 1) * n],
+                qw.corr()[i],
+                qw.scales()[i] * s_a,
+                0.0,
+                &mut out,
+            );
+            for j in 0..n {
+                let want: f32 = (0..k)
+                    .map(|p| {
+                        let dq_a = (b[(p / 4) * n * 4 + j * 4 + (p % 4)] as i32
+                            - ACT_ZERO_POINT) as f32
+                            * s_a;
+                        qw.dequantized(i, p) * dq_a
+                    })
+                    .sum();
+                prop_assert!(
+                    (out[j] - want).abs() <= 1e-3 * (1.0 + want.abs()),
+                    "({i},{j}): int8 {} vs dequantized reference {want}",
+                    out[j]
+                );
+            }
+        }
+    }
+}

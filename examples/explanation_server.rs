@@ -70,6 +70,7 @@ fn main() {
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::FairPerTenant,
         latency_window: 1024,
+        precision: dcam::Precision::default(),
     };
     let d = ds.n_dims();
     let build = move || {

@@ -125,7 +125,7 @@ proptest! {
         wrong_version[8..12].copy_from_slice(&7u32.to_le_bytes());
         prop_assert!(matches!(
             Checkpoint::from_bytes(&wrong_version),
-            Err(CheckpointError::UnsupportedVersion { found: 7, supported: 1 })
+            Err(CheckpointError::UnsupportedVersion { found: 7, supported: 2 })
         ));
     }
 }

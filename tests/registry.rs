@@ -8,6 +8,7 @@ use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
 use dcam::registry::{checkpoint_model, save_checkpoint, ModelRegistry};
 use dcam::service::{Backpressure, QueuePolicy, ServiceConfig};
+use dcam::Precision;
 use dcam_series::MultivariateSeries;
 use dcam_tensor::SeededRng;
 use std::path::PathBuf;
@@ -50,6 +51,7 @@ fn service_cfg() -> ServiceConfig {
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 256,
+        precision: Precision::default(),
     }
 }
 

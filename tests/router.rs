@@ -13,7 +13,7 @@ use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
 use dcam::registry::{checkpoint_model, save_checkpoint, ModelRegistry};
 use dcam::service::{Backpressure, QueuePolicy, ServiceConfig};
-use dcam::{InputEncoding, ModelScale};
+use dcam::{InputEncoding, ModelScale, Precision};
 use dcam_router::breaker::BreakerConfig;
 use dcam_router::health::HealthConfig;
 use dcam_router::placement::placement;
@@ -70,6 +70,7 @@ fn service_cfg() -> ServiceConfig {
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 512,
+        precision: Precision::default(),
     }
 }
 

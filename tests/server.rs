@@ -11,7 +11,7 @@ use dcam::dcam::{compute_dcam, DcamConfig};
 use dcam::dcam_many::{DcamBatcherConfig, DcamManyConfig};
 use dcam::registry::{checkpoint_model, save_checkpoint, ModelRegistry};
 use dcam::service::{Backpressure, DcamService, QueuePolicy, ServiceConfig};
-use dcam::{GapClassifier, InputEncoding, ModelScale};
+use dcam::{GapClassifier, InputEncoding, ModelScale, Precision};
 use dcam_series::MultivariateSeries;
 use dcam_server::{serve, serve_registry, DcamServer, HttpClient, ServerConfig};
 use dcam_tensor::SeededRng;
@@ -49,6 +49,7 @@ fn service_cfg(dcam: DcamConfig, max_pending: usize, max_wait_ms: u64) -> Servic
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 512,
+        precision: Precision::default(),
     }
 }
 
@@ -643,6 +644,7 @@ fn two_model_server(prefix: &str, dcam_cfg: DcamConfig) -> (DcamServer, Arc<Mode
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 512,
+        precision: Precision::default(),
     };
     let registry = Arc::new(ModelRegistry::new());
     registry

@@ -12,7 +12,7 @@ use dcam::service::{
     replicate_model, Backpressure, DcamService, QueuePolicy, RequestOptions, ServiceConfig,
     ServiceError,
 };
-use dcam::{GapClassifier, InputEncoding, ModelScale};
+use dcam::{GapClassifier, InputEncoding, ModelScale, Precision};
 use dcam_series::MultivariateSeries;
 use dcam_tensor::{SeededRng, Tensor};
 use proptest::prelude::*;
@@ -57,6 +57,7 @@ fn service_cfg(dcam: DcamConfig, max_pending: usize, max_wait_ms: u64) -> Servic
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 512,
+        precision: Precision::default(),
     }
 }
 
@@ -236,6 +237,7 @@ fn reject_backpressure_bounces_excess_load() {
         backpressure: Backpressure::Reject,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 64,
+        precision: Precision::default(),
     };
     let service = DcamService::spawn(vec![toy_model(d, 2, 31)], cfg);
     let handle = service.handle();
@@ -289,6 +291,7 @@ fn timeout_backpressure_gives_up_after_deadline() {
         backpressure: Backpressure::Timeout(patience),
         queue_policy: QueuePolicy::Fifo,
         latency_window: 64,
+        precision: Precision::default(),
     };
     let service = DcamService::spawn(vec![toy_model(d, 2, 37)], cfg);
     let handle = service.handle();
@@ -336,6 +339,7 @@ fn block_backpressure_serves_everything() {
         backpressure: Backpressure::Block,
         queue_policy: QueuePolicy::Fifo,
         latency_window: 64,
+        precision: Precision::default(),
     };
     let service = DcamService::spawn(vec![toy_model(d, 2, 41)], cfg);
     let served: usize = std::thread::scope(|scope| {
